@@ -1,0 +1,65 @@
+/**
+ * Ablation (paper §5.3.3, ref [26]): selective precharge vs full CAM
+ * matching — effect on per-cycle energy and on the register-bus
+ * crossover length for the window-8 design.
+ */
+
+#include "analysis/energy_eval.h"
+#include "bench/bench_common.h"
+#include "circuit/transcoder_impl.h"
+#include "coding/factory.h"
+#include "common/stats.h"
+#include "wires/technology.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    Table table({"technology", "selective_op_pJ", "full_op_pJ",
+                 "selective_crossover_mm", "full_crossover_mm"});
+
+    // Suite-aggregate ops and per-workload crossovers.
+    std::vector<coding::CodingResult> runs;
+    coding::OpCounts total;
+    for (const auto &wl : bench::workloadSeries()) {
+        auto codec = coding::makeWindow(8);
+        runs.push_back(coding::evaluate(
+            *codec,
+            bench::seriesValues(wl, trace::BusKind::Register)));
+        const auto &ops = runs.back().ops;
+        total.cycles += ops.cycles;
+        total.matches += ops.matches;
+        total.shifts += ops.shifts;
+        total.raw_sends += ops.raw_sends;
+    }
+
+    for (const auto &wt : wires::allTechnologies()) {
+        const auto &ct = circuit::circuitTech(wt.name);
+        circuit::DesignConfig selective = circuit::window8();
+        circuit::DesignConfig full = circuit::window8();
+        full.full_precharge = true;
+        const circuit::ImplEstimate es =
+            circuit::estimate(selective, ct);
+        const circuit::ImplEstimate ef = circuit::estimate(full, ct);
+
+        auto median_cross = [&](const circuit::ImplEstimate &impl) {
+            std::vector<double> xs;
+            for (const auto &run : runs)
+                xs.push_back(
+                    analysis::crossoverLengthMm(run, impl, wt));
+            return median(std::move(xs));
+        };
+
+        table.row()
+            .cell(wt.name)
+            .cell(es.opEnergyPerCycle(total) * 1e12, 3)
+            .cell(ef.opEnergyPerCycle(total) * 1e12, 3)
+            .cell(median_cross(es), 1)
+            .cell(median_cross(ef), 1);
+    }
+    bench::emit("Ablation: selective precharge vs full CAM probe "
+                "(window-8, register bus)",
+                table, argc, argv);
+    return 0;
+}

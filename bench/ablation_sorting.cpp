@@ -1,0 +1,55 @@
+/**
+ * Ablation (paper §5.3.1): the pending-bit neighbor-swap sorting
+ * algorithm vs an oracle full sort. The paper restricts swapping to
+ * neighbors to keep wiring O(n); this quantifies what that restriction
+ * costs in coding effectiveness and what it saves in swap activity.
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    Table table({"workload", "pending_removed_%", "oracle_removed_%",
+                 "pending_swaps_per_kword", "oracle_swaps_per_kword",
+                 "pending_compares_per_word",
+                 "oracle_compares_per_word"});
+
+    for (const auto &wl : bench::workloadSeries()) {
+        const auto &values =
+            bench::seriesValues(wl, trace::BusKind::Register);
+
+        coding::ContextConfig pending_cfg;
+        auto pending = coding::makeContext(pending_cfg);
+        const coding::CodingResult rp =
+            coding::evaluate(*pending, values);
+
+        coding::ContextConfig oracle_cfg;
+        oracle_cfg.oracle_sort = true;
+        auto oracle = coding::makeContext(oracle_cfg);
+        const coding::CodingResult ro =
+            coding::evaluate(*oracle, values);
+
+        const double kwords =
+            std::max<u64>(1, rp.words) / 1000.0;
+        table.row()
+            .cell(wl)
+            .cell(bench::removedPercent(rp), 2)
+            .cell(bench::removedPercent(ro), 2)
+            .cell(static_cast<double>(rp.ops.swaps) / kwords, 2)
+            .cell(static_cast<double>(ro.ops.swaps) / kwords, 2)
+            .cell(static_cast<double>(rp.ops.compares) /
+                      std::max<u64>(1, rp.words),
+                  2)
+            .cell(static_cast<double>(ro.ops.compares) /
+                      std::max<u64>(1, ro.words),
+                  2);
+    }
+    bench::emit("Ablation: pending-bit neighbor-swap sort vs oracle "
+                "full sort (context, register bus)",
+                table, argc, argv);
+    return 0;
+}

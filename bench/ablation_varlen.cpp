@@ -1,0 +1,90 @@
+/**
+ * Future-work exploration (paper §6): how much headroom would
+ * variable-length coding have over the fixed-length transcoder? We
+ * compare the window-8 coded cost per word against the zeroth-order
+ * entropy of the value stream (an idealized variable-length coder's
+ * bits/word, a lower bound on transitions/word for transition-coded
+ * output), per workload on the register bus.
+ */
+
+#include <cmath>
+#include <unordered_map>
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+
+using namespace predbus;
+
+namespace
+{
+
+double
+entropyBitsPerWord(const std::vector<Word> &values)
+{
+    std::unordered_map<Word, u64> freq;
+    for (Word v : values)
+        ++freq[v];
+    const double n = static_cast<double>(values.size());
+    double h = 0.0;
+    for (const auto &[value, count] : freq) {
+        const double p = static_cast<double>(count) / n;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+/** First-order (conditional on previous value being equal) repeat
+ * fraction, the cheapest structure the transcoder already exploits. */
+double
+repeatFraction(const std::vector<Word> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    u64 repeats = 0;
+    for (std::size_t i = 1; i < values.size(); ++i)
+        repeats += (values[i] == values[i - 1]);
+    return static_cast<double>(repeats) /
+           static_cast<double>(values.size() - 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Table table({"workload", "unencoded_events_per_word",
+                 "window8_events_per_word", "entropy_bits_per_word",
+                 "repeat_fraction", "varlen_headroom_%"});
+
+    for (const auto &wl : bench::workloadSeries()) {
+        const auto &values =
+            bench::seriesValues(wl, trace::BusKind::Register);
+        auto codec = coding::makeWindow(8);
+        const coding::CodingResult r = coding::evaluate(*codec, values);
+        const double words =
+            static_cast<double>(std::max<u64>(1, r.words));
+        const double base_events = r.base.cost(1.0) / words;
+        const double coded_events = r.coded.cost(1.0) / words;
+        const double h = entropyBitsPerWord(values);
+        // An ideal variable-length transition code needs ~h/2 events
+        // per word on average (one transition conveys ~2 bits when
+        // codes are balanced); clamp headroom at zero.
+        const double ideal_events = h / 2.0;
+        const double headroom =
+            coded_events > 0
+                ? std::max(0.0,
+                           100.0 * (1.0 - ideal_events / coded_events))
+                : 0.0;
+        table.row()
+            .cell(wl)
+            .cell(base_events, 2)
+            .cell(coded_events, 2)
+            .cell(h, 2)
+            .cell(repeatFraction(values), 3)
+            .cell(headroom, 1);
+    }
+    bench::emit("Future work: variable-length coding headroom over "
+                "window-8 (register bus)",
+                table, argc, argv);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * Host-side throughput microbenchmarks (google-benchmark): how fast
+ * the software models encode, which bounds full-suite experiment
+ * time. Not a paper figure; a development aid.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coding/bus_energy.h"
+#include "coding/factory.h"
+#include "common/rng.h"
+
+using namespace predbus;
+
+namespace
+{
+
+std::vector<Word>
+stream(std::size_t n)
+{
+    Rng rng(99);
+    std::vector<Word> out(n);
+    std::vector<Word> pool(12);
+    for (auto &p : pool)
+        p = rng.next32();
+    for (auto &v : out)
+        v = rng.chance(0.6) ? pool[rng.below(pool.size())]
+                            : rng.next32();
+    return out;
+}
+
+void
+BM_Window8(benchmark::State &state)
+{
+    const auto values = stream(1 << 14);
+    auto codec = coding::makeWindow(8);
+    for (auto _ : state) {
+        const auto r = coding::evaluate(*codec, values);
+        benchmark::DoNotOptimize(r.coded.tau);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<s64>(values.size()));
+}
+
+void
+BM_ContextValue(benchmark::State &state)
+{
+    const auto values = stream(1 << 14);
+    coding::ContextConfig cfg;
+    auto codec = coding::makeContext(cfg);
+    for (auto _ : state) {
+        const auto r = coding::evaluate(*codec, values);
+        benchmark::DoNotOptimize(r.coded.tau);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<s64>(values.size()));
+}
+
+void
+BM_Stride8(benchmark::State &state)
+{
+    const auto values = stream(1 << 14);
+    auto codec = coding::makeStride(8);
+    for (auto _ : state) {
+        const auto r = coding::evaluate(*codec, values);
+        benchmark::DoNotOptimize(r.coded.tau);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<s64>(values.size()));
+}
+
+void
+BM_Inversion8(benchmark::State &state)
+{
+    const auto values = stream(1 << 14);
+    auto codec = coding::makeInversion(8, 1.0);
+    for (auto _ : state) {
+        const auto r = coding::evaluate(*codec, values);
+        benchmark::DoNotOptimize(r.coded.tau);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<s64>(values.size()));
+}
+
+BENCHMARK(BM_Window8);
+BENCHMARK(BM_ContextValue);
+BENCHMARK(BM_Stride8);
+BENCHMARK(BM_Inversion8);
+
+} // namespace
+
+BENCHMARK_MAIN();

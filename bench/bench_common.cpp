@@ -1,0 +1,93 @@
+#include "bench/bench_common.h"
+
+#include "workloads/workload.h"
+
+namespace predbus::bench
+{
+
+std::vector<std::string>
+workloadSeries()
+{
+    std::vector<std::string> names;
+    for (const auto &info : workloads::all())
+        names.push_back(info.name);
+    return names;
+}
+
+std::vector<std::string>
+seriesWithRandom()
+{
+    std::vector<std::string> names = {"random"};
+    for (const auto &name : workloadSeries())
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+statsBenchmarks()
+{
+    return {"gcc", "su2cor", "swim", "turb3d"};
+}
+
+std::vector<Word>
+seriesValues(const std::string &series, trace::BusKind bus)
+{
+    const analysis::SuiteOptions opt = analysis::SuiteOptions::fromEnv();
+    if (series == "random") {
+        // Sized like a typical register trace for the cycle budget.
+        return analysis::randomValues(
+            static_cast<std::size_t>(opt.cycles * 3 / 4),
+            0xD1CE + static_cast<u64>(bus));
+    }
+    return analysis::busValues(series, bus, opt);
+}
+
+void
+emit(const std::string &title, const Table &table, int argc,
+     char **argv)
+{
+    const bool csv = wantCsv(argc, argv);
+    if (!csv)
+        std::cout << "# " << title << "\n\n";
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << std::endl;
+}
+
+double
+removedPercent(const coding::CodingResult &result)
+{
+    return 100.0 * result.removedFraction(1.0);
+}
+
+Table
+sweepTable(const std::string &param_name,
+           const std::vector<unsigned> &params,
+           const std::vector<std::string> &series, trace::BusKind bus,
+           const CodecFactory &make)
+{
+    // Load all streams first so simulator output doesn't interleave
+    // with the table.
+    std::vector<std::vector<Word>> streams;
+    std::vector<std::string> header = {param_name};
+    for (const auto &name : series) {
+        streams.push_back(seriesValues(name, bus));
+        header.push_back(name);
+    }
+
+    Table table(header);
+    for (unsigned p : params) {
+        table.row().cell(static_cast<long long>(p));
+        for (const auto &stream : streams) {
+            auto codec = make(p);
+            const coding::CodingResult r =
+                coding::evaluate(*codec, stream);
+            table.cell(removedPercent(r), 2);
+        }
+    }
+    return table;
+}
+
+} // namespace predbus::bench

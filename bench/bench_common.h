@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries.
+ *
+ * Every binary prints the paper's rows/series as an aligned table on
+ * stdout (pass --csv for machine-readable output). Traces default to
+ * 400k simulated cycles per workload; override with PREDBUS_CYCLES.
+ * Traces are cached in PREDBUS_TRACE_DIR (default ./traces).
+ */
+
+#ifndef PREDBUS_BENCH_BENCH_COMMON_H
+#define PREDBUS_BENCH_BENCH_COMMON_H
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/suite.h"
+#include "coding/bus_energy.h"
+#include "common/table.h"
+#include "trace/trace_io.h"
+
+namespace predbus::bench
+{
+
+/** The paper's series order: "random" then the 17 workloads. */
+std::vector<std::string> seriesWithRandom();
+
+/** Just the 17 workloads (paper presentation order). */
+std::vector<std::string> workloadSeries();
+
+/** The four benchmarks of Figs 7/8/15. */
+std::vector<std::string> statsBenchmarks();
+
+/**
+ * Values for a series name: "random" yields a uniform random stream
+ * sized like the workload traces; anything else is a suite trace.
+ */
+std::vector<Word> seriesValues(const std::string &series,
+                               trace::BusKind bus);
+
+/** Print the table (aligned or CSV) with a heading line. */
+void emit(const std::string &title, const Table &table, int argc,
+          char **argv);
+
+/** "Normalized energy removed" percentage at λ=1 (paper §4.4). */
+double removedPercent(const coding::CodingResult &result);
+
+/** Builds the codec for one swept parameter value. */
+using CodecFactory =
+    std::function<std::unique_ptr<coding::Transcoder>(unsigned)>;
+
+/**
+ * The common shape of Figs 16-23: rows are parameter values, columns
+ * are series, cells are % normalized energy removed on @p bus.
+ */
+Table sweepTable(const std::string &param_name,
+                 const std::vector<unsigned> &params,
+                 const std::vector<std::string> &series,
+                 trace::BusKind bus, const CodecFactory &make);
+
+} // namespace predbus::bench
+
+#endif // PREDBUS_BENCH_BENCH_COMMON_H

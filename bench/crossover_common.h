@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared machinery for the crossover experiments (Figs 37-38,
+ * Table 3): per-benchmark coding runs for {8,16}-entry window designs
+ * across the three technology nodes, reduced to SPECint/SPECfp
+ * medians.
+ */
+
+#ifndef PREDBUS_BENCH_CROSSOVER_COMMON_H
+#define PREDBUS_BENCH_CROSSOVER_COMMON_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/energy_eval.h"
+#include "bench/bench_common.h"
+#include "circuit/transcoder_impl.h"
+#include "common/stats.h"
+#include "coding/factory.h"
+#include "wires/technology.h"
+#include "workloads/workload.h"
+
+namespace predbus::bench
+{
+
+/** One (workload, entries) coding run on a bus. */
+struct CrossRun
+{
+    std::string workload;
+    bool is_fp = false;
+    unsigned entries = 8;
+    coding::CodingResult result;
+};
+
+/** Run window-{8,16} over the whole suite on @p bus. */
+inline std::vector<CrossRun>
+crossoverRuns(trace::BusKind bus)
+{
+    std::vector<CrossRun> runs;
+    for (const auto &info : workloads::all()) {
+        const auto &values = seriesValues(info.name, bus);
+        for (unsigned entries : {8u, 16u}) {
+            CrossRun run;
+            run.workload = info.name;
+            run.is_fp = info.is_fp;
+            run.entries = entries;
+            auto codec = coding::makeWindow(entries);
+            run.result = coding::evaluate(*codec, values);
+            runs.push_back(std::move(run));
+        }
+    }
+    return runs;
+}
+
+/** Median normalized energy across a suite subset at one length. */
+inline double
+medianNormalized(const std::vector<CrossRun> &runs, bool fp,
+                 unsigned entries, const wires::Technology &wire_tech,
+                 const circuit::CircuitTech &ckt_tech, double length)
+{
+    circuit::DesignConfig cfg = circuit::window8();
+    cfg.entries = entries;
+    const circuit::ImplEstimate impl = circuit::estimate(cfg, ckt_tech);
+    std::vector<double> vals;
+    for (const auto &run : runs) {
+        if (run.is_fp != fp || run.entries != entries)
+            continue;
+        vals.push_back(analysis::evalAtLength(run.result, impl,
+                                              wire_tech, length)
+                           .normalized());
+    }
+    return median(std::move(vals));
+}
+
+/** Median crossover length across a subset ("all" when fp_filter<0). */
+inline double
+medianCrossover(const std::vector<CrossRun> &runs, int fp_filter,
+                unsigned entries, const wires::Technology &wire_tech,
+                const circuit::CircuitTech &ckt_tech)
+{
+    circuit::DesignConfig cfg = circuit::window8();
+    cfg.entries = entries;
+    const circuit::ImplEstimate impl = circuit::estimate(cfg, ckt_tech);
+    std::vector<double> vals;
+    for (const auto &run : runs) {
+        if (fp_filter >= 0 && run.is_fp != (fp_filter == 1))
+            continue;
+        if (run.entries != entries)
+            continue;
+        vals.push_back(analysis::crossoverLengthMm(run.result, impl,
+                                                   wire_tech));
+    }
+    return median(std::move(vals));
+}
+
+} // namespace predbus::bench
+
+#endif // PREDBUS_BENCH_CROSSOVER_COMMON_H

@@ -1,0 +1,62 @@
+/**
+ * Extension beyond the paper: the memory *address* bus.
+ *
+ * The paper's related work (workzone [15], sector-based [1]) targets
+ * address buses, whose traffic is dominated by strides and small
+ * working sets of regions — exactly what the stride and dictionary
+ * predictors exploit. This bench runs the paper's schemes on the
+ * address stream of every workload.
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+#include "common/stats.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    struct Scheme
+    {
+        const char *label;
+        std::function<std::unique_ptr<coding::Transcoder>()> make;
+    };
+    const std::vector<Scheme> schemes = {
+        {"window8", [] { return coding::makeWindow(8); }},
+        {"window16", [] { return coding::makeWindow(16); }},
+        {"stride4", [] { return coding::makeStride(4); }},
+        {"stride16", [] { return coding::makeStride(16); }},
+        {"ctx-value", [] { return coding::makeContext(
+                               coding::ContextConfig{}); }},
+        {"businvert", [] { return coding::makeInversion(2, 0.0); }},
+    };
+
+    std::vector<std::string> header = {"workload"};
+    for (const auto &s : schemes)
+        header.push_back(s.label);
+
+    Table table(header);
+    std::vector<std::vector<double>> columns(schemes.size());
+    for (const auto &wl : bench::workloadSeries()) {
+        const auto &values =
+            bench::seriesValues(wl, trace::BusKind::Address);
+        table.row().cell(wl);
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            auto codec = schemes[i].make();
+            const coding::CodingResult r =
+                coding::evaluate(*codec, values);
+            const double pct = bench::removedPercent(r);
+            columns[i].push_back(pct);
+            table.cell(pct, 2);
+        }
+    }
+    table.row().cell("MEDIAN");
+    for (auto &col : columns)
+        table.cell(median(col), 2);
+
+    bench::emit("Extension: % energy removed on the memory address "
+                "bus",
+                table, argc, argv);
+    return 0;
+}

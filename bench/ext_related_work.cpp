@@ -1,0 +1,61 @@
+/**
+ * Extension: the related-work encodings of paper §2 head-to-head with
+ * the paper's transcoders, on the register bus and on the address bus
+ * (working-zone's home turf). Partial bus-invert [20], working-zone
+ * [15], classic bus-invert [23], window and context.
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+#include "common/stats.h"
+
+using namespace predbus;
+
+namespace
+{
+
+void
+runBus(trace::BusKind bus, const char *title, int argc, char **argv)
+{
+    const char *specs[] = {"inv:2",  "pbi:4",      "pbi:8",
+                           "wze:4",  "window:8",   "ctx:28+8",
+                           "stride:16"};
+
+    std::vector<std::string> header = {"workload"};
+    for (const char *s : specs)
+        header.push_back(s);
+
+    Table table(header);
+    std::vector<std::vector<double>> columns(std::size(specs));
+    for (const auto &wl : bench::workloadSeries()) {
+        const auto &values = bench::seriesValues(wl, bus);
+        table.row().cell(wl);
+        for (std::size_t i = 0; i < std::size(specs); ++i) {
+            auto codec = coding::makeFromSpec(specs[i]);
+            const double pct = bench::removedPercent(
+                coding::evaluate(*codec, values));
+            columns[i].push_back(pct);
+            table.cell(pct, 2);
+        }
+    }
+    table.row().cell("MEDIAN");
+    for (auto &col : columns)
+        table.cell(median(col), 2);
+    bench::emit(title, table, argc, argv);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runBus(trace::BusKind::Register,
+           "Extension: related-work encodings, register bus "
+           "(% energy removed)",
+           argc, argv);
+    runBus(trace::BusKind::Address,
+           "Extension: related-work encodings, address bus "
+           "(% energy removed)",
+           argc, argv);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * Figure 6: wire propagation delay vs length, buffered (linear) and
+ * unbuffered (quadratic), for the three technology nodes.
+ */
+
+#include "bench/bench_common.h"
+#include "wires/wire_model.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> header = {"length_mm"};
+    for (const auto &tech : wires::allTechnologies())
+        header.push_back("Repeater_" + tech.name);
+    for (const auto &tech : wires::allTechnologies())
+        header.push_back("Wire_" + tech.name);
+
+    Table table(header);
+    for (int len = 1; len <= 30; ++len) {
+        table.row().cell(static_cast<long long>(len));
+        for (const bool buffered : {true, false}) {
+            for (const auto &tech : wires::allTechnologies()) {
+                const wires::WireModel w(tech, len, buffered);
+                table.cell(w.delay() * 1e12, 1);
+            }
+        }
+    }
+    bench::emit("Fig 6: wire delay (ps) vs length (mm)", table, argc,
+                argv);
+    return 0;
+}

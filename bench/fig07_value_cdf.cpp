@@ -1,0 +1,54 @@
+/**
+ * Figure 7: CDF of the most frequent unique values for the register
+ * and memory data buses of gcc, su2cor, swim and turb3d.
+ */
+
+#include "bench/bench_common.h"
+#include "trace/trace_stats.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::size_t> ks = {1,    2,    5,     10,   20,
+                                         50,   100,  200,   500,  1000,
+                                         2000, 5000, 10000, 20000,
+                                         50000, 100000};
+
+    std::vector<std::string> header = {"top_k_unique_values"};
+    struct Series
+    {
+        std::string name;
+        std::vector<double> cdf;
+    };
+    std::vector<Series> series;
+    for (const auto &wl : bench::statsBenchmarks()) {
+        for (const auto bus :
+             {trace::BusKind::Register, trace::BusKind::Memory}) {
+            Series s;
+            s.name = wl + (bus == trace::BusKind::Register
+                               ? ", reg bus"
+                               : ", memory data bus");
+            s.cdf = trace::uniqueValueCdf(bench::seriesValues(wl, bus));
+            header.push_back(s.name);
+            series.push_back(std::move(s));
+        }
+    }
+
+    Table table(header);
+    for (std::size_t k : ks) {
+        table.row().cell(static_cast<long long>(k));
+        for (const auto &s : series) {
+            const double frac =
+                s.cdf.empty()
+                    ? 0.0
+                    : s.cdf[std::min(k, s.cdf.size()) - 1];
+            table.cell(frac, 4);
+        }
+    }
+    bench::emit(
+        "Fig 7: fraction of total values covered by top-k uniques",
+        table, argc, argv);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * Figure 8: average fraction of values that are unique within a
+ * window, vs window size, for the same traces as Fig 7.
+ */
+
+#include "bench/bench_common.h"
+#include "trace/trace_stats.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::size_t> windows = {
+        1, 2, 5, 10, 20, 50, 100, 1000, 10000, 100000};
+
+    std::vector<std::string> header = {"window_size"};
+    struct Series
+    {
+        std::string name;
+        std::vector<Word> values;
+    };
+    std::vector<Series> series;
+    for (const auto &wl : bench::statsBenchmarks()) {
+        for (const auto bus :
+             {trace::BusKind::Register, trace::BusKind::Memory}) {
+            Series s;
+            s.name = wl + (bus == trace::BusKind::Register
+                               ? " reg bus"
+                               : " memory data");
+            s.values = bench::seriesValues(wl, bus);
+            header.push_back(s.name);
+            series.push_back(std::move(s));
+        }
+    }
+
+    Table table(header);
+    for (std::size_t w : windows) {
+        table.row().cell(static_cast<long long>(w));
+        for (const auto &s : series)
+            table.cell(trace::windowUniqueFraction(s.values, w), 4);
+    }
+    bench::emit("Fig 8: average unique fraction per window", table,
+                argc, argv);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * Figure 15: normalized energy remaining for the generalized
+ * inversion coder as a function of the wire's actual λ, when the
+ * selection logic assumes λ=0 (λ0), λ=1 (λ1), or the true value (λN).
+ * Series: register-bus average, memory-bus average (over the Fig 7
+ * benchmarks), and uniform random data.
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+#include "common/stats.h"
+
+using namespace predbus;
+
+namespace
+{
+
+constexpr unsigned kPatterns = 8;
+
+/** % energy remaining at actual λ for one stream, one selector λ. */
+double
+remainingPercent(const std::vector<Word> &values, double assumed,
+                 double actual)
+{
+    auto codec = coding::makeInversion(kPatterns, assumed);
+    const coding::CodingResult r = coding::evaluate(*codec, values);
+    const double base = r.base.cost(actual);
+    return base > 0 ? 100.0 * r.coded.cost(actual) / base : 100.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<double> lambdas = {0.1, 0.2, 0.5, 1.0, 2.0,
+                                         5.0, 10.0, 20.0, 50.0, 100.0};
+
+    // Gather the streams once.
+    std::vector<std::vector<Word>> mem_streams, reg_streams;
+    for (const auto &wl : bench::statsBenchmarks()) {
+        reg_streams.push_back(
+            bench::seriesValues(wl, trace::BusKind::Register));
+        mem_streams.push_back(
+            bench::seriesValues(wl, trace::BusKind::Memory));
+    }
+    const std::vector<Word> random =
+        bench::seriesValues("random", trace::BusKind::Register);
+
+    Table table({"actual_lambda", "mem_l0", "mem_l1", "mem_lN",
+                 "reg_l0", "reg_l1", "reg_lN", "random_l0",
+                 "random_l1", "random_lN"});
+    for (double actual : lambdas) {
+        table.row().cell(actual, 2);
+        for (const auto *streams : {&mem_streams, &reg_streams}) {
+            for (const double assumed : {0.0, 1.0, actual}) {
+                std::vector<double> vals;
+                for (const auto &stream : *streams)
+                    vals.push_back(
+                        remainingPercent(stream, assumed, actual));
+                table.cell(mean(vals), 2);
+            }
+        }
+        for (const double assumed : {0.0, 1.0, actual})
+            table.cell(remainingPercent(random, assumed, actual), 2);
+    }
+    bench::emit("Fig 15: inversion coder % energy remaining vs actual "
+                "lambda (8 patterns)",
+                table, argc, argv);
+    return 0;
+}

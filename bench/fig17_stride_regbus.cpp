@@ -1,0 +1,25 @@
+/**
+ * Figure 17: % normalized energy removed by the multi-stride
+ * transcoder on the register bus vs the number of stride predictors.
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<unsigned> strides = {1,  2,  3,  4,  5,  6,
+                                           8,  10, 12, 15, 20, 25,
+                                           30};
+    const Table table = bench::sweepTable(
+        "strides", strides, bench::seriesWithRandom(),
+        trace::BusKind::Register,
+        [](unsigned k) { return coding::makeStride(k); });
+    bench::emit(
+        "Fig 17: stride predictor % energy removed, register bus",
+        table, argc, argv);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * Figure 18: % normalized energy removed by the Window-based
+ * transcoder on the memory data bus vs shift register size.
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<unsigned> sizes = {2,  4,  6,  8,  12, 16,
+                                         24, 32, 48, 64};
+    const Table table = bench::sweepTable(
+        "window_entries", sizes, bench::workloadSeries(),
+        trace::BusKind::Memory,
+        [](unsigned n) { return coding::makeWindow(n); });
+    bench::emit(
+        "Fig 18: window transcoder % energy removed, memory bus",
+        table, argc, argv);
+    return 0;
+}

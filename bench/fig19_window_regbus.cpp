@@ -1,0 +1,42 @@
+/**
+ * Figure 19: % normalized energy removed by the Window-based
+ * transcoder on the register bus vs shift register size. The paper's
+ * headline "average 36% transition reduction on the register bus"
+ * (§7) corresponds to the 8-entry column average, which this binary
+ * also prints.
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+#include "common/stats.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<unsigned> sizes = {2,  4,  6,  8,  12, 16,
+                                         24, 32, 48, 64};
+    const Table table = bench::sweepTable(
+        "window_entries", sizes, bench::workloadSeries(),
+        trace::BusKind::Register,
+        [](unsigned n) { return coding::makeWindow(n); });
+    bench::emit(
+        "Fig 19: window transcoder % energy removed, register bus",
+        table, argc, argv);
+
+    // Headline summary (paper §7: average 36% on SPEC95).
+    std::vector<double> at8;
+    for (std::size_t r = 0; r < table.rowCount(); ++r) {
+        if (table.at(r, 0) == "8") {
+            for (std::size_t c = 1; c < table.columnCount(); ++c)
+                at8.push_back(std::stod(table.at(r, c)));
+        }
+    }
+    if (!wantCsv(argc, argv)) {
+        std::cout << "Average % energy removed at 8 entries "
+                     "(paper headline ~36% transition reduction): "
+                  << mean(at8) << "%\n";
+    }
+    return 0;
+}

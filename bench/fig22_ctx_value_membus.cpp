@@ -1,0 +1,28 @@
+/**
+ * Figure 22: value-based context transcoder, % energy removed vs
+ * frequency table size, memory bus (shift register = 8).
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<unsigned> sizes = {4,  8,  12, 16, 20, 24,
+                                         28, 32, 40, 48, 56, 64};
+    const Table table = bench::sweepTable(
+        "table_size", sizes, bench::seriesWithRandom(),
+        trace::BusKind::Memory, [](unsigned t) {
+            coding::ContextConfig cfg;
+            cfg.table_size = t;
+            cfg.sr_size = 8;
+            return coding::makeContext(cfg);
+        });
+    bench::emit(
+        "Fig 22: context (value-based) % energy removed, memory bus",
+        table, argc, argv);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * Figure 24: value-based context transcoder, % energy removed vs
+ * staging shift-register size, register bus, for table sizes 16 and
+ * 64 (benchmarks li, compress, gcc, perl, fpppp, apsi, swim).
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<unsigned> sr_sizes = {2, 4, 8, 12, 16, 24, 28};
+    const std::vector<std::string> wls = {"li",    "compress", "gcc",
+                                          "perl",  "fpppp",    "apsi",
+                                          "swim"};
+
+    std::vector<std::string> header = {"shift_register_size"};
+    for (const auto &wl : wls)
+        for (unsigned t : {16u, 64u})
+            header.push_back(wl + ":" + std::to_string(t));
+
+    std::vector<std::vector<Word>> streams;
+    for (const auto &wl : wls)
+        streams.push_back(
+            bench::seriesValues(wl, trace::BusKind::Register));
+
+    Table table(header);
+    for (unsigned s : sr_sizes) {
+        table.row().cell(static_cast<long long>(s));
+        for (std::size_t i = 0; i < wls.size(); ++i) {
+            for (unsigned t : {16u, 64u}) {
+                coding::ContextConfig cfg;
+                cfg.table_size = t;
+                cfg.sr_size = s;
+                auto codec = coding::makeContext(cfg);
+                table.cell(bench::removedPercent(
+                               coding::evaluate(*codec, streams[i])),
+                           2);
+            }
+        }
+    }
+    bench::emit("Fig 24: context (value-based) % energy removed vs "
+                "shift register size, register bus",
+                table, argc, argv);
+    return 0;
+}

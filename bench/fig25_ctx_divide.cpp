@@ -1,0 +1,50 @@
+/**
+ * Figure 25: value-based context transcoder, % energy removed vs
+ * counter divide period, register bus, table sizes 16 and 64.
+ */
+
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<unsigned> periods = {4,    16,   64,  256,
+                                           1024, 4096, 16384};
+    const std::vector<std::string> wls = {"li",    "compress", "gcc",
+                                          "perl",  "fpppp",    "apsi",
+                                          "swim"};
+
+    std::vector<std::string> header = {"counter_divide_period"};
+    for (const auto &wl : wls)
+        for (unsigned t : {16u, 64u})
+            header.push_back(wl + ":" + std::to_string(t));
+
+    std::vector<std::vector<Word>> streams;
+    for (const auto &wl : wls)
+        streams.push_back(
+            bench::seriesValues(wl, trace::BusKind::Register));
+
+    Table table(header);
+    for (unsigned period : periods) {
+        table.row().cell(static_cast<long long>(period));
+        for (std::size_t i = 0; i < wls.size(); ++i) {
+            for (unsigned t : {16u, 64u}) {
+                coding::ContextConfig cfg;
+                cfg.table_size = t;
+                cfg.sr_size = 8;
+                cfg.divide_period = period;
+                auto codec = coding::makeContext(cfg);
+                table.cell(bench::removedPercent(
+                               coding::evaluate(*codec, streams[i])),
+                           2);
+            }
+        }
+    }
+    bench::emit("Fig 25: context (value-based) % energy removed vs "
+                "counter divide period, register bus",
+                table, argc, argv);
+    return 0;
+}

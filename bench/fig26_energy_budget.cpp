@@ -1,0 +1,70 @@
+/**
+ * Figure 26: transcoder energy budget (wire energy saved per bus
+ * word) vs total dictionary entries, for Window- and Context-based
+ * designs at 5 / 10 / 15 mm (0.13um, register bus, suite average).
+ */
+
+#include "analysis/energy_eval.h"
+#include "bench/bench_common.h"
+#include "coding/factory.h"
+#include "common/stats.h"
+#include "wires/technology.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<unsigned> entry_counts = {4,  8,  12, 16, 24,
+                                                32, 48, 64};
+    const std::vector<double> lengths = {15.0, 10.0, 5.0};
+    const wires::Technology tech = wires::tech013();
+
+    std::vector<std::vector<Word>> streams;
+    for (const auto &wl : bench::workloadSeries())
+        streams.push_back(
+            bench::seriesValues(wl, trace::BusKind::Register));
+
+    std::vector<std::string> header = {"total_entries"};
+    for (double len : lengths) {
+        header.push_back(std::to_string(static_cast<int>(len)) +
+                         "mm_Context");
+        header.push_back(std::to_string(static_cast<int>(len)) +
+                         "mm_Window");
+    }
+
+    Table table(header);
+    for (unsigned entries : entry_counts) {
+        table.row().cell(static_cast<long long>(entries));
+
+        // Suite-average budget for each design at each length.
+        auto budget = [&](bool context, double len) {
+            std::vector<double> per_wl;
+            for (const auto &stream : streams) {
+                std::unique_ptr<coding::Transcoder> codec;
+                if (context) {
+                    coding::ContextConfig cfg;
+                    cfg.sr_size = std::min(8u, entries / 2);
+                    cfg.table_size =
+                        std::max(2u, entries - cfg.sr_size);
+                    codec = coding::makeContext(cfg);
+                } else {
+                    codec = coding::makeWindow(entries);
+                }
+                const coding::CodingResult r =
+                    coding::evaluate(*codec, stream);
+                per_wl.push_back(analysis::energyBudgetPerWord(
+                    r, tech, len));
+            }
+            return mean(per_wl) * 1e12;  // pJ
+        };
+
+        for (double len : lengths) {
+            table.cell(budget(true, len), 4);
+            table.cell(budget(false, len), 4);
+        }
+    }
+    bench::emit("Fig 26: energy budget (pJ per word) vs total entries",
+                table, argc, argv);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * Figure 35: total (wires + encoder + decoder) energy of the 8-entry
+ * window transcoder normalized to the unencoded bus, vs wire length,
+ * register bus, 0.13um. Values below 1.0 mean the transcoder saves
+ * energy.
+ */
+
+#include "analysis/energy_eval.h"
+#include "bench/bench_common.h"
+#include "circuit/transcoder_impl.h"
+#include "coding/factory.h"
+#include "wires/technology.h"
+
+using namespace predbus;
+
+namespace
+{
+
+void
+runLengthSweep(trace::BusKind bus, const std::string &title, int argc,
+               char **argv)
+{
+    const circuit::ImplEstimate impl =
+        circuit::estimate(circuit::window8(), circuit::circuit013());
+    const wires::Technology tech = wires::tech013();
+
+    std::vector<std::string> header = {"length_mm"};
+    std::vector<coding::CodingResult> runs;
+    for (const auto &wl : bench::workloadSeries()) {
+        header.push_back(wl);
+        auto codec = coding::makeWindow(8);
+        runs.push_back(coding::evaluate(
+            *codec, bench::seriesValues(wl, bus)));
+    }
+
+    Table table(header);
+    for (int len = 1; len <= 30; ++len) {
+        table.row().cell(static_cast<long long>(len));
+        for (const auto &run : runs) {
+            const analysis::LengthEval e =
+                analysis::evalAtLength(run, impl, tech, len);
+            table.cell(e.normalized(), 3);
+        }
+    }
+    bench::emit(title, table, argc, argv);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runLengthSweep(trace::BusKind::Register,
+                   "Fig 35: window-8 total energy normalized to "
+                   "unencoded, register bus, 0.13um",
+                   argc, argv);
+    return 0;
+}

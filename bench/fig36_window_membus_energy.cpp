@@ -1,0 +1,47 @@
+/**
+ * Figure 36: total (wires + encoder + decoder) energy of the 8-entry
+ * window transcoder normalized to the unencoded bus, vs wire length,
+ * memory data bus, 0.13um. The paper finds the memory bus much less
+ * favorable: fewer absolute transitions are removed, so the codec
+ * energy dominates at short lengths.
+ */
+
+#include "analysis/energy_eval.h"
+#include "bench/bench_common.h"
+#include "circuit/transcoder_impl.h"
+#include "coding/factory.h"
+#include "wires/technology.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const circuit::ImplEstimate impl =
+        circuit::estimate(circuit::window8(), circuit::circuit013());
+    const wires::Technology tech = wires::tech013();
+
+    std::vector<std::string> header = {"length_mm"};
+    std::vector<coding::CodingResult> runs;
+    for (const auto &wl : bench::workloadSeries()) {
+        header.push_back(wl);
+        auto codec = coding::makeWindow(8);
+        runs.push_back(coding::evaluate(
+            *codec,
+            bench::seriesValues(wl, trace::BusKind::Memory)));
+    }
+
+    Table table(header);
+    for (int len = 1; len <= 30; ++len) {
+        table.row().cell(static_cast<long long>(len));
+        for (const auto &run : runs) {
+            const analysis::LengthEval e =
+                analysis::evalAtLength(run, impl, tech, len);
+            table.cell(e.normalized(), 3);
+        }
+    }
+    bench::emit("Fig 36: window-8 total energy normalized to "
+                "unencoded, memory bus, 0.13um",
+                table, argc, argv);
+    return 0;
+}

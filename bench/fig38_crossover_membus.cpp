@@ -1,0 +1,41 @@
+/**
+ * Figure 38: median normalized total energy vs wire length on the
+ * memory data bus, same matrix as Fig 37.
+ */
+
+#include "bench/crossover_common.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const auto runs = bench::crossoverRuns(trace::BusKind::Memory);
+
+    std::vector<std::string> header = {"length_mm"};
+    for (const auto &wt : wires::allTechnologies())
+        for (unsigned entries : {8u, 16u})
+            for (const char *suite : {"specINT", "specFP"})
+                header.push_back(wt.name + "_" +
+                                 std::to_string(entries) + "e_" +
+                                 suite);
+
+    Table table(header);
+    for (int len = 1; len <= 30; ++len) {
+        table.row().cell(static_cast<long long>(len));
+        for (const auto &wt : wires::allTechnologies()) {
+            const auto &ct = circuit::circuitTech(wt.name);
+            for (unsigned entries : {8u, 16u}) {
+                for (const bool fp : {false, true}) {
+                    table.cell(bench::medianNormalized(
+                                   runs, fp, entries, wt, ct, len),
+                               3);
+                }
+            }
+        }
+    }
+    bench::emit("Fig 38: median normalized energy vs length, memory "
+                "bus",
+                table, argc, argv);
+    return 0;
+}

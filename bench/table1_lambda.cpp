@@ -1,0 +1,34 @@
+/**
+ * Table 1: effective λ (inter-wire / substrate capacitance ratio) for
+ * unbuffered and repeater-buffered wires per technology node.
+ */
+
+#include "bench/bench_common.h"
+#include "wires/wire_model.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    Table table({"technology", "wire_type", "average_lambda"});
+    for (const auto &tech : wires::allTechnologies()) {
+        table.row()
+            .cell(tech.name)
+            .cell("unbuffered")
+            .cell(tech.unbufferedLambda(), 3);
+        // Average across the plotted length range, as in the paper.
+        double sum = 0.0;
+        int n = 0;
+        for (int len = 5; len <= 30; len += 5) {
+            sum += wires::WireModel(tech, len, true).effectiveLambda();
+            ++n;
+        }
+        table.row()
+            .cell(tech.name)
+            .cell("with_repeaters")
+            .cell(sum / n, 3);
+    }
+    bench::emit("Table 1: effective lambda values", table, argc, argv);
+    return 0;
+}

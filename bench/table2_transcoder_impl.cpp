@@ -1,0 +1,111 @@
+/**
+ * Table 2: transcoder implementation characteristics per technology —
+ * voltage, area, average operation energy (measured on the suite's
+ * register-bus traffic), leakage per cycle, delay, and cycle time —
+ * for the window-8 encoder and the inversion-coder base case.
+ *
+ * Also reports the statistical-vs-event-level model validation the
+ * paper performs in §5.4.2.
+ */
+
+#include "bench/bench_common.h"
+#include "circuit/netlist_sim.h"
+#include "circuit/transcoder_impl.h"
+#include "coding/factory.h"
+#include "common/stats.h"
+
+using namespace predbus;
+
+namespace
+{
+
+/** Suite-average op counts for a codec on the register bus. */
+coding::OpCounts
+suiteOps(const std::function<std::unique_ptr<coding::Transcoder>()>
+             &make)
+{
+    coding::OpCounts total;
+    for (const auto &wl : bench::workloadSeries()) {
+        auto codec = make();
+        const coding::CodingResult r = coding::evaluate(
+            *codec,
+            bench::seriesValues(wl, trace::BusKind::Register));
+        total.cycles += r.ops.cycles;
+        total.matches += r.ops.matches;
+        total.shifts += r.ops.shifts;
+        total.counter_incs += r.ops.counter_incs;
+        total.compares += r.ops.compares;
+        total.swaps += r.ops.swaps;
+        total.divisions += r.ops.divisions;
+        total.raw_sends += r.ops.raw_sends;
+        total.hits += r.ops.hits;
+        total.last_hits += r.ops.last_hits;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Table table({"technology", "voltage_V", "area_um2", "op_energy_pJ",
+                 "leakage_pJ", "delay_ns", "cycle_time_ns"});
+
+    const coding::OpCounts window_ops =
+        suiteOps([] { return coding::makeWindow(8); });
+    for (const auto &tech : circuit::allCircuitTechs()) {
+        const circuit::ImplEstimate est =
+            circuit::estimate(circuit::window8(), tech);
+        table.row()
+            .cell(tech.name)
+            .cell(tech.vdd, 1)
+            .cell(est.area_um2, 0)
+            .cell(est.opEnergyPerCycle(window_ops) * 1e12, 2)
+            .cell(est.leak_per_cycle * 1e12, 5)
+            .cell(est.delay * 1e9, 1)
+            .cell(est.cycle_time * 1e9, 1);
+    }
+
+    const coding::OpCounts inv_ops =
+        suiteOps([] { return coding::makeInversion(2, 0.0); });
+    const circuit::ImplEstimate inv =
+        circuit::estimate(circuit::invertCoder(), circuit::circuit013());
+    table.row()
+        .cell("InvertCoder")
+        .cell(1.2, 1)
+        .cell(inv.area_um2, 0)
+        .cell(inv.opEnergyPerCycle(inv_ops) * 1e12, 2)
+        .cell(inv.leak_per_cycle * 1e12, 5)
+        .cell(inv.delay * 1e9, 1)
+        .cell(inv.cycle_time * 1e9, 1);
+
+    bench::emit("Table 2: transcoder implementation characteristics",
+                table, argc, argv);
+
+    // Validation of the statistical model against the event-level
+    // accounting (paper: within 6% on a 100-cycle netlist run).
+    const auto sample =
+        bench::seriesValues("gcc", trace::BusKind::Register);
+    const std::vector<Word> head(
+        sample.begin(),
+        sample.begin() + std::min<std::size_t>(sample.size(), 10000));
+    auto codec = coding::makeWindow(8);
+    const coding::CodingResult r = coding::evaluate(*codec, head);
+    const circuit::ImplEstimate est =
+        circuit::estimate(circuit::window8(), circuit::circuit013());
+    const double statistical =
+        est.energyFor(r.ops, false) -
+        static_cast<double>(r.ops.cycles) * est.leak_per_cycle;
+    const circuit::NetlistEnergy detailed =
+        circuit::detailedWindowEnergy(head, 8, circuit::circuit013());
+    if (!wantCsv(argc, argv)) {
+        std::cout << "Statistical vs event-level model (gcc register "
+                     "trace): "
+                  << statistical * 1e12 << " pJ vs "
+                  << detailed.total * 1e12 << " pJ ("
+                  << 100.0 * (statistical / detailed.total - 1.0)
+                  << "% apart)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * Table 3: median crossover lengths (mm) for the window design on the
+ * register bus — technology x {8,16} entries x {SPECint, SPECfp, ALL}.
+ * Paper anchors: 0.13um/8-entry ~11.5mm (ALL) down to 0.07um/16-entry
+ * ~2.7mm.
+ */
+
+#include <cmath>
+
+#include "bench/crossover_common.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const auto runs =
+        bench::crossoverRuns(trace::BusKind::Register);
+
+    Table table({"technology", "entries", "SPECint_mm", "SPECfp_mm",
+                 "ALL_mm"});
+    for (const auto &wt : wires::allTechnologies()) {
+        const auto &ct = circuit::circuitTech(wt.name);
+        for (unsigned entries : {8u, 16u}) {
+            table.row()
+                .cell(wt.name)
+                .cell(static_cast<long long>(entries));
+            for (int fp_filter : {0, 1, -1}) {
+                const double med = bench::medianCrossover(
+                    runs, fp_filter, entries, wt, ct);
+                if (std::isfinite(med))
+                    table.cell(med, 1);
+                else
+                    table.cell("inf");
+            }
+        }
+    }
+    bench::emit("Table 3: median crossover lengths, register bus, "
+                "window design",
+                table, argc, argv);
+    return 0;
+}

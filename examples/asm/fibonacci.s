@@ -1,0 +1,24 @@
+# fibonacci.s — P32 sample program for predbus-asm / bus_explorer.
+# Computes fib(0..24) into a table, then OUTs fib(24).
+
+    .data 0x30000000
+    .space 128              # fib table (25 words + pad)
+
+    .text
+    li r1, 0x30000000       # table base
+    li r2, 0                # fib(0)
+    li r3, 1                # fib(1)
+    sw r2, 0(r1)
+    sw r3, 4(r1)
+    li r4, 23               # remaining entries
+    addi r1, r1, 8
+loop:
+    add r5, r2, r3          # next = a + b
+    sw r5, 0(r1)
+    move r2, r3
+    move r3, r5
+    addi r1, r1, 4
+    addi r4, r4, -1
+    bgtz r4, loop
+    out r3                  # fib(24) = 46368
+    halt

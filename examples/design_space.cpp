@@ -1,0 +1,123 @@
+/**
+ * design_space: "should I put a transcoder on this bus?"
+ *
+ * The question an SoC designer would ask of this library: given a bus
+ * length (mm) and a technology node, which transcoder design — if any
+ * — saves energy, and how much? Sweeps window sizes and the context
+ * design across the workload suite and prints the verdict.
+ *
+ * Usage: design_space [length_mm] [technology]
+ *        design_space 8 0.10um
+ */
+
+#include <cmath>
+#include <functional>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/energy_eval.h"
+#include "analysis/suite.h"
+#include "circuit/transcoder_impl.h"
+#include "coding/factory.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "wires/technology.h"
+#include "workloads/workload.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    const double length_mm = (argc > 1) ? std::atof(argv[1]) : 10.0;
+    const std::string tech_name = (argc > 2) ? argv[2] : "0.13um";
+    const wires::Technology &wire_tech = wires::technology(tech_name);
+    const circuit::CircuitTech &ckt_tech =
+        circuit::circuitTech(tech_name);
+
+    std::printf("Design space for a %.1f mm register-class bus at %s\n"
+                "(suite medians over %zu workloads; < 1.000 saves "
+                "energy)\n\n",
+                length_mm, tech_name.c_str(),
+                workloads::all().size());
+
+    struct Candidate
+    {
+        std::string label;
+        circuit::DesignConfig impl_cfg;
+        std::function<std::unique_ptr<coding::Transcoder>()> make;
+    };
+    std::vector<Candidate> candidates;
+    for (unsigned entries : {4u, 8u, 16u, 32u}) {
+        circuit::DesignConfig cfg = circuit::window8();
+        cfg.entries = entries;
+        candidates.push_back(
+            {"window-" + std::to_string(entries), cfg, [entries] {
+                 return coding::makeWindow(entries);
+             }});
+    }
+    {
+        circuit::DesignConfig cfg = circuit::context28();
+        candidates.push_back({"context-28+4", cfg, [] {
+                                  coding::ContextConfig c;
+                                  c.table_size = 28;
+                                  c.sr_size = 4;
+                                  return coding::makeContext(c);
+                              }});
+    }
+    {
+        circuit::DesignConfig cfg = circuit::invertCoder();
+        candidates.push_back({"bus-invert", cfg, [] {
+                                  return coding::makeInversion(2, 0.0);
+                              }});
+    }
+
+    Table table({"design", "area_um2", "median_normalized",
+                 "median_crossover_mm", "verdict"});
+    std::string best;
+    double best_norm = 1.0;
+    for (const auto &cand : candidates) {
+        const circuit::ImplEstimate impl =
+            circuit::estimate(cand.impl_cfg, ckt_tech);
+        std::vector<double> norms, crossovers;
+        for (const auto &info : workloads::all()) {
+            auto codec = cand.make();
+            const coding::CodingResult r = coding::evaluate(
+                *codec,
+                analysis::busValues(info.name,
+                                    trace::BusKind::Register));
+            norms.push_back(
+                analysis::evalAtLength(r, impl, wire_tech, length_mm)
+                    .normalized());
+            crossovers.push_back(
+                analysis::crossoverLengthMm(r, impl, wire_tech));
+        }
+        const double med_norm = median(norms);
+        const double med_cross = median(crossovers);
+        table.row()
+            .cell(cand.label)
+            .cell(impl.area_um2, 0)
+            .cell(med_norm, 3)
+            .cell(std::isfinite(med_cross) ? std::to_string(med_cross)
+                                               .substr(0, 5)
+                                           : "inf")
+            .cell(med_norm < 1.0 ? "saves energy" : "not worth it");
+        if (med_norm < best_norm) {
+            best_norm = med_norm;
+            best = cand.label;
+        }
+    }
+    table.print(std::cout);
+    if (best.empty()) {
+        std::printf("\nVerdict: leave this bus unencoded at %.1f mm.\n",
+                    length_mm);
+    } else {
+        std::printf("\nVerdict: %s, saving %.1f%% of total bus energy "
+                    "at %.1f mm.\n",
+                    best.c_str(), 100.0 * (1.0 - best_norm), length_mm);
+    }
+    return 0;
+}

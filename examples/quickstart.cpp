@@ -1,0 +1,68 @@
+/**
+ * Quickstart: the core predbus flow in ~60 lines.
+ *
+ *  1. Build one of the SPEC95-like workloads.
+ *  2. Simulate it on the out-of-order machine, capturing the register
+ *     bus trace.
+ *  3. Run the paper's 8-entry window transcoder over the trace.
+ *  4. Combine wire-event savings with the circuit model to find the
+ *     break-even wire length at 0.13um.
+ */
+
+#include <cstdio>
+
+#include "analysis/energy_eval.h"
+#include "circuit/transcoder_impl.h"
+#include "coding/factory.h"
+#include "sim/machine.h"
+#include "wires/technology.h"
+#include "workloads/workload.h"
+
+using namespace predbus;
+
+int
+main()
+{
+    // 1. A guest program: the gcc-like IR evaluation kernel.
+    const isa::Program program = workloads::build("gcc", /*scale=*/4);
+
+    // 2. Simulate; the machine halts or we stop after 200k cycles.
+    sim::Machine machine(program);
+    const sim::RunResult run = machine.run(200'000);
+    std::printf("simulated %llu cycles, %llu instructions (IPC %.2f)\n",
+                static_cast<unsigned long long>(run.stats.cycles),
+                static_cast<unsigned long long>(run.stats.instructions),
+                run.stats.ipc());
+    std::printf("register bus carried %zu values\n",
+                run.reg_bus.size());
+
+    // 3. Encode the register-bus values with the window-8 transcoder.
+    auto codec = coding::makeWindow(8);
+    const coding::CodingResult result =
+        coding::evaluate(*codec, run.reg_bus.values());
+    std::printf("window-8: %.1f%% of wire energy removed "
+                "(hits %.0f%%, repeats %.0f%%)\n",
+                100.0 * result.removedFraction(1.0),
+                100.0 * static_cast<double>(result.ops.hits) /
+                    static_cast<double>(result.ops.cycles),
+                100.0 * static_cast<double>(result.ops.last_hits) /
+                    static_cast<double>(result.ops.cycles));
+
+    // 4. Where does the transcoder pay for itself at 0.13um?
+    const circuit::ImplEstimate impl =
+        circuit::estimate(circuit::window8(), circuit::circuit013());
+    const double crossover = analysis::crossoverLengthMm(
+        result, impl, wires::tech013());
+    std::printf("encoder+decoder cost %.2f pJ per word; break-even "
+                "bus length: %.1f mm\n",
+                impl.energyFor(result.ops) * 1e12 /
+                    static_cast<double>(result.words),
+                crossover);
+
+    const analysis::LengthEval at15 =
+        analysis::evalAtLength(result, impl, wires::tech013(), 15.0);
+    std::printf("at 15 mm the coded bus uses %.0f%% of the unencoded "
+                "bus energy\n",
+                100.0 * at15.normalized());
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * sorting_walkthrough: the paper's Fig 27 pending-bit sorting
+ * algorithm, narrated step by step.
+ *
+ * Builds a small context dictionary, engineers an equal-count plateau
+ * like the one in the figure, hits the bottom entry, and prints the
+ * table after every cycle so you can watch the entry bubble up one
+ * neighbor swap at a time while Invariant 2 (sorted counters) holds
+ * throughout.
+ */
+
+#include <cstdio>
+
+#include "coding/context.h"
+
+using namespace predbus;
+
+namespace
+{
+
+void
+dump(const coding::ContextDict &dict, const char *note)
+{
+    std::printf("%-34s |", note);
+    for (unsigned i = 0; i < dict.validCount(); ++i) {
+        std::printf(" %04llx:%-2u",
+                    static_cast<unsigned long long>(dict.tableKey(i)),
+                    dict.tableCount(i));
+    }
+    std::printf("  %s\n", dict.sortedByCount() ? "(sorted ok)"
+                                               : "(INVARIANT BROKEN)");
+}
+
+} // namespace
+
+int
+main()
+{
+    coding::ContextConfig cfg;
+    cfg.table_size = 6;
+    cfg.sr_size = 1;
+    cfg.divide_period = 0;
+    coding::ContextDict dict(cfg);
+    coding::OpCounts ops;
+
+    // Install six values (the 1-entry SR promotes each displaced
+    // value into the table).
+    const Word vals[] = {0xFFEE, 0x1122, 0x5438, 0x9988, 0x3344,
+                         0x7788};
+    for (Word v : vals)
+        dict.access(v, &ops);
+    dict.access(0xAAAA, &ops);  // flush the last one into the table
+    dump(dict, "installed (equal-count plateau)");
+
+    // Paper Fig 27: a hit on the bottom entry sets its pending bit;
+    // each later cycle it swaps past one equal-count neighbor, and
+    // only increments when the entry above holds a greater count.
+    const Word target = 0x7788;
+    std::printf("\nhit 0x7788 three times, then idle cycles:\n");
+    for (int step = 0; step < 3; ++step) {
+        dict.access(target, &ops);
+        dump(dict, "after hit + 1 sort cycle");
+    }
+    for (int step = 0; step < 4; ++step) {
+        dict.access(0xAAAA, &ops);  // unrelated traffic
+        dump(dict, "after idle sort cycle");
+    }
+
+    std::printf("\nswaps performed: %llu, counter increments: %llu\n",
+                static_cast<unsigned long long>(ops.swaps),
+                static_cast<unsigned long long>(ops.counter_incs));
+    std::printf("The hit entry rose without ever breaking the sorted "
+                "order —\nexactly the property §5.3.1's pending bit "
+                "exists to protect.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "analysis/energy_eval.h"
+
+#include <limits>
+
+namespace predbus::analysis
+{
+
+LengthEval
+evalAtLength(const coding::CodingResult &run,
+             const circuit::ImplEstimate &impl,
+             const wires::Technology &tech, double length_mm,
+             bool include_decoder)
+{
+    const wires::WireModel wire(tech, length_mm, /*buffered=*/true);
+    LengthEval out;
+    out.wire_base = wire.energy(run.base.tau, run.base.kappa);
+    out.wire_coded = wire.energy(run.coded.tau, run.coded.kappa);
+    out.codec = impl.energyFor(run.ops, include_decoder);
+    return out;
+}
+
+double
+crossoverLengthMm(const coding::CodingResult &run,
+                  const circuit::ImplEstimate &impl,
+                  const wires::Technology &tech, bool include_decoder)
+{
+    // Wire energy is linear in length: savings(L) = rate * L with
+    // rate in J/mm. Crossover solves savings(L) = codec energy.
+    const wires::WireModel per_mm(tech, 1.0, /*buffered=*/true);
+    const double d_tau = static_cast<double>(run.base.tau) -
+                         static_cast<double>(run.coded.tau);
+    const double d_kappa = static_cast<double>(run.base.kappa) -
+                           static_cast<double>(run.coded.kappa);
+    const double rate = per_mm.energyPerTransition() * d_tau +
+                        per_mm.energyPerCoupling() * d_kappa;
+    if (rate <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return impl.energyFor(run.ops, include_decoder) / rate;
+}
+
+double
+energyBudgetPerWord(const coding::CodingResult &run,
+                    const wires::Technology &tech, double length_mm)
+{
+    if (run.words == 0)
+        return 0.0;
+    const wires::WireModel wire(tech, length_mm, /*buffered=*/true);
+    const double saved =
+        wire.energy(run.base.tau, run.base.kappa) -
+        wire.energy(run.coded.tau, run.coded.kappa);
+    return saved / static_cast<double>(run.words);
+}
+
+} // namespace predbus::analysis

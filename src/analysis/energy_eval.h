@@ -1,0 +1,70 @@
+/**
+ * @file
+ * End-to-end energy evaluation: coding results (wire-event counts and
+ * operation counts) combined with the wire model and the transcoder
+ * circuit model, producing the paper's §5 metrics — total normalized
+ * energy vs length (Figs 35-36), energy budget (Fig 26), and the
+ * crossover length (Figs 37-38, Table 3).
+ */
+
+#ifndef PREDBUS_ANALYSIS_ENERGY_EVAL_H
+#define PREDBUS_ANALYSIS_ENERGY_EVAL_H
+
+#include "circuit/transcoder_impl.h"
+#include "coding/bus_energy.h"
+#include "wires/wire_model.h"
+
+namespace predbus::analysis
+{
+
+/** Energy breakdown of a run at one wire length. */
+struct LengthEval
+{
+    double wire_base = 0;   ///< J on the unencoded bus
+    double wire_coded = 0;  ///< J on the coded bus wires
+    double codec = 0;       ///< J in encoder+decoder (dynamic+leak)
+
+    double totalCoded() const { return wire_coded + codec; }
+
+    /** Total coded energy normalized to the unencoded bus (the y-axis
+     * of Figs 35-36; < 1 means the transcoder saves energy). */
+    double
+    normalized() const
+    {
+        return wire_base > 0 ? totalCoded() / wire_base : 1.0;
+    }
+};
+
+/**
+ * Evaluate a coding run on a bus of @p length_mm built from buffered
+ * wires of @p tech.
+ */
+LengthEval evalAtLength(const coding::CodingResult &run,
+                        const circuit::ImplEstimate &impl,
+                        const wires::Technology &tech,
+                        double length_mm,
+                        bool include_decoder = true);
+
+/**
+ * Crossover length (paper footnote 4): the wire length at which the
+ * transcoder's energy equals the wire energy it saves; beyond it the
+ * transcoder wins. Returns +infinity when the coding never saves wire
+ * events at this λ.
+ */
+double crossoverLengthMm(const coding::CodingResult &run,
+                         const circuit::ImplEstimate &impl,
+                         const wires::Technology &tech,
+                         bool include_decoder = true);
+
+/**
+ * Energy budget (paper §5.1, Fig 26): wire energy saved per bus word
+ * at @p length_mm — what an implementation may spend per word and
+ * still break even.
+ */
+double energyBudgetPerWord(const coding::CodingResult &run,
+                           const wires::Technology &tech,
+                           double length_mm);
+
+} // namespace predbus::analysis
+
+#endif // PREDBUS_ANALYSIS_ENERGY_EVAL_H

@@ -1,0 +1,98 @@
+#include "analysis/suite.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "sim/machine.h"
+#include "workloads/workload.h"
+
+namespace predbus::analysis
+{
+
+SuiteOptions
+SuiteOptions::fromEnv()
+{
+    SuiteOptions opt;
+    if (const char *cycles = std::getenv("PREDBUS_CYCLES")) {
+        const long long v = std::atoll(cycles);
+        if (v > 0)
+            opt.cycles = static_cast<u64>(v);
+    }
+    if (const char *dir = std::getenv("PREDBUS_TRACE_DIR"))
+        opt.cache_dir = dir;
+    return opt;
+}
+
+namespace
+{
+
+std::string
+cachePath(const SuiteOptions &opt, const std::string &workload,
+          trace::BusKind bus)
+{
+    return opt.cache_dir + "/" + workload + "_" +
+           trace::busName(bus) + "_" + std::to_string(opt.cycles) +
+           ".pbtr";
+}
+
+/** Simulate @p workload for the option's cycle budget and write both
+ * bus traces into the cache. */
+void
+generateTraces(const SuiteOptions &opt, const std::string &workload)
+{
+    // Scale the workload so the cycle budget, not program length,
+    // bounds the trace (workload passes are >= ~30k instructions).
+    const u32 scale =
+        static_cast<u32>(opt.cycles / 20'000 + 2);
+    sim::Machine machine(workloads::build(workload, scale));
+    sim::RunResult run = machine.run(opt.cycles);
+
+    std::filesystem::create_directories(opt.cache_dir);
+    trace::saveTrace(cachePath(opt, workload, trace::BusKind::Register),
+                     run.reg_bus);
+    trace::saveTrace(cachePath(opt, workload, trace::BusKind::Memory),
+                     run.mem_bus);
+    trace::saveTrace(cachePath(opt, workload, trace::BusKind::Address),
+                     run.addr_bus);
+    trace::saveTrace(
+        cachePath(opt, workload, trace::BusKind::Writeback),
+        run.wb_bus);
+}
+
+} // namespace
+
+const std::vector<Word> &
+busValues(const std::string &workload, trace::BusKind bus,
+          const SuiteOptions &opt)
+{
+    using Key = std::tuple<std::string, int, u64>;
+    static std::map<Key, std::vector<Word>> memo;
+    const Key key{workload, static_cast<int>(bus), opt.cycles};
+    if (const auto it = memo.find(key); it != memo.end())
+        return it->second;
+
+    const std::string path = cachePath(opt, workload, bus);
+    auto loaded = trace::loadTrace(path);
+    if (!loaded) {
+        generateTraces(opt, workload);
+        loaded = trace::loadTrace(path);
+        if (!loaded)
+            fatal("failed to generate trace for ", workload);
+    }
+    return memo.emplace(key, loaded->values()).first->second;
+}
+
+std::vector<Word>
+randomValues(std::size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<Word> out(n);
+    for (auto &v : out)
+        v = rng.next32();
+    return out;
+}
+
+} // namespace predbus::analysis

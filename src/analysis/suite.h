@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Suite trace provider: simulator-generated bus traces for every
+ * workload, cached on disk so the 20+ bench binaries don't each re-run
+ * the simulator.
+ */
+
+#ifndef PREDBUS_ANALYSIS_SUITE_H
+#define PREDBUS_ANALYSIS_SUITE_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/trace_io.h"
+
+namespace predbus::analysis
+{
+
+/** Trace capture options (environment-overridable). */
+struct SuiteOptions
+{
+    /** Machine cycles to simulate per workload (PREDBUS_CYCLES). */
+    u64 cycles = 400'000;
+    /** Trace cache directory (PREDBUS_TRACE_DIR). */
+    std::string cache_dir = "traces";
+
+    /** Defaults overridden by the environment. */
+    static SuiteOptions fromEnv();
+};
+
+/**
+ * Bus values for (workload, bus). Loads from the trace cache, running
+ * the simulator (and populating the cache) on first use. Also cached
+ * in memory for the life of the process.
+ */
+const std::vector<Word> &busValues(const std::string &workload,
+                                   trace::BusKind bus,
+                                   const SuiteOptions &opt =
+                                       SuiteOptions::fromEnv());
+
+/** Uniform random values — the paper's "random" series. */
+std::vector<Word> randomValues(std::size_t n, u64 seed = 0xD1CE);
+
+} // namespace predbus::analysis
+
+#endif // PREDBUS_ANALYSIS_SUITE_H

@@ -1,0 +1,82 @@
+#include "circuit/circuit_tech.h"
+
+#include "common/log.h"
+
+namespace predbus::circuit
+{
+
+// Fitted to Table 2 (window-8 encoder):
+//   node    area(um2)  op energy  leakage/cyc  delay  cycle
+//   0.13um  12400      1.39 pJ    0.00088 pJ   3.1ns  4.0ns
+//   0.10um   7340      1.07 pJ    0.00338 pJ   2.4ns  3.2ns
+//   0.07um   3600      0.55 pJ    0.00787 pJ   2.0ns  2.7ns
+// Unit capacitances shrink slower than pure feature scaling because
+// local interconnect dominates cell load at smaller nodes (the same
+// effect the paper sees between its measured and scaled designs).
+
+CircuitTech
+circuit013()
+{
+    CircuitTech t;
+    t.name = "0.13um";
+    t.feature_um = 0.13;
+    t.vdd = 1.2;
+    t.unit_cap = 3.62e-15;
+    t.leak_per_tr = 4.8e-11;
+    t.area_per_tr_um2 = 2.666;
+    t.t0 = 15.0e-12;
+    t.match_mu = 10.9;
+    t.cycle_margin = 1.29;
+    return t;
+}
+
+CircuitTech
+circuit010()
+{
+    CircuitTech t;
+    t.name = "0.10um";
+    t.feature_um = 0.10;
+    t.vdd = 1.1;
+    t.unit_cap = 3.29e-15;
+    t.leak_per_tr = 2.3e-10;
+    t.area_per_tr_um2 = 2.666 * (0.10 / 0.13) * (0.10 / 0.13);
+    t.t0 = 11.0e-12;
+    t.match_mu = 11.5;
+    t.cycle_margin = 1.33;
+    return t;
+}
+
+CircuitTech
+circuit007()
+{
+    CircuitTech t;
+    t.name = "0.07um";
+    t.feature_um = 0.07;
+    t.vdd = 0.9;
+    t.unit_cap = 2.54e-15;
+    t.leak_per_tr = 6.3e-10;
+    t.area_per_tr_um2 = 2.666 * (0.07 / 0.13) * (0.07 / 0.13);
+    t.t0 = 8.0e-12;
+    t.match_mu = 13.2;
+    t.cycle_margin = 1.35;
+    return t;
+}
+
+const std::vector<CircuitTech> &
+allCircuitTechs()
+{
+    static const std::vector<CircuitTech> techs = {
+        circuit013(), circuit010(), circuit007()};
+    return techs;
+}
+
+const CircuitTech &
+circuitTech(const std::string &name)
+{
+    for (const CircuitTech &t : allCircuitTechs())
+        if (t.name == name)
+            return t;
+    fatal("unknown circuit technology '", name, "'");
+}
+
+} // namespace predbus::circuit

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Circuit-level technology parameters for the transcoder
+ * implementation model (paper §5.4).
+ *
+ * The paper lays the transcoder out in ST 0.13µm, extracts it, and
+ * characterizes per-operation energies in HSPICE, scaling to 0.10 and
+ * 0.07µm with BPTM. We substitute a switched-capacitance model: every
+ * elementary circuit event (a CAM bitcell evaluation, a shift-cell
+ * write, a Johnson counter step...) charges a node of roughly one
+ * "unit" capacitance, and operations are budgets of unit events. The
+ * per-node unit capacitance, leakage, area and timing constants below
+ * are fitted so the canonical 8-entry window encoder reproduces the
+ * paper's Table 2 anchors; everything else (other sizes, the context
+ * design, the inversion coder) follows from structure.
+ */
+
+#ifndef PREDBUS_CIRCUIT_CIRCUIT_TECH_H
+#define PREDBUS_CIRCUIT_CIRCUIT_TECH_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::circuit
+{
+
+struct CircuitTech
+{
+    std::string name;        ///< matches wires::Technology names
+    double feature_um;
+    double vdd;              ///< V
+    double unit_cap;         ///< F switched per elementary event
+    double leak_per_tr;      ///< W static leakage per transistor
+    double area_per_tr_um2;  ///< layout area per transistor
+    double t0;               ///< s, unit logic stage delay
+    double match_mu;         ///< stages-to-delay multiplier (NAND tree)
+    double cycle_margin;     ///< cycle time = delay * cycle_margin
+
+    /** J per elementary switching event. */
+    double
+    unitEnergy() const
+    {
+        return unit_cap * vdd * vdd;
+    }
+};
+
+/** The three nodes of the paper (Table 2 rows). */
+CircuitTech circuit013();
+CircuitTech circuit010();
+CircuitTech circuit007();
+
+const std::vector<CircuitTech> &allCircuitTechs();
+const CircuitTech &circuitTech(const std::string &name);
+
+} // namespace predbus::circuit
+
+#endif // PREDBUS_CIRCUIT_CIRCUIT_TECH_H

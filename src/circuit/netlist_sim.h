@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Event-level switched-capacitance accounting for the window encoder.
+ *
+ * The paper validates its statistical (operation-count × per-op
+ * energy) model against a full netlist simulation of a short trace
+ * (§5.4.2, within 6%). This is our analogue: instead of fixed per-op
+ * event budgets, walk the trace through a bit-exact model of the
+ * window encoder and charge only the nodes that actually switch —
+ * input bits that change, CAM comparators whose selective precharge
+ * actually extends past the low nibble, shift-cell bits that actually
+ * flip on replacement, and the actual output transitions.
+ */
+
+#ifndef PREDBUS_CIRCUIT_NETLIST_SIM_H
+#define PREDBUS_CIRCUIT_NETLIST_SIM_H
+
+#include <span>
+
+#include "circuit/circuit_tech.h"
+#include "common/types.h"
+
+namespace predbus::circuit
+{
+
+/** Per-run result of the event-level accounting. */
+struct NetlistEnergy
+{
+    double total = 0.0;       ///< J, encoder side
+    u64 events = 0;           ///< unit switching events charged
+    u64 cycles = 0;
+};
+
+/**
+ * Run the bit-exact window-encoder accounting over @p values.
+ * @p entries is the window size (paper: 8).
+ */
+NetlistEnergy detailedWindowEnergy(std::span<const Word> values,
+                                   unsigned entries,
+                                   const CircuitTech &tech);
+
+} // namespace predbus::circuit
+
+#endif // PREDBUS_CIRCUIT_NETLIST_SIM_H

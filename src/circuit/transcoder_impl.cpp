@@ -1,0 +1,171 @@
+#include "circuit/transcoder_impl.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace predbus::circuit
+{
+
+DesignConfig
+window8()
+{
+    DesignConfig c;
+    c.kind = DesignKind::Window;
+    c.entries = 8;
+    return c;
+}
+
+DesignConfig
+window16()
+{
+    DesignConfig c;
+    c.kind = DesignKind::Window;
+    c.entries = 16;
+    return c;
+}
+
+DesignConfig
+context28()
+{
+    DesignConfig c;
+    c.kind = DesignKind::ContextValue;
+    c.table_size = 28;
+    c.sr_size = 4;
+    return c;
+}
+
+DesignConfig
+invertCoder()
+{
+    DesignConfig c;
+    c.kind = DesignKind::Inversion;
+    c.patterns = 2;
+    return c;
+}
+
+namespace
+{
+
+double
+log2d(double x)
+{
+    return std::log2(std::max(2.0, x));
+}
+
+} // namespace
+
+ImplEstimate
+estimate(const DesignConfig &config, const CircuitTech &tech)
+{
+    ImplEstimate est;
+    est.config = config;
+    est.tech_name = tech.name;
+    const double W = config.width;
+    const double eu = tech.unitEnergy();
+
+    double dict_entries = 0;  // for the match-tree delay model
+
+    switch (config.kind) {
+      case DesignKind::Window: {
+        const double E = config.entries;
+        dict_entries = E;
+        est.transistors = static_cast<u64>(E * W * 12 + W * 34 +
+                                           E * 24 + 300);
+        est.e_clock = (E * 2 + W + 20) * eu;
+        const double ext = config.full_precharge ? 1.0 : 0.25;
+        est.e_match = (E * 4 + E * (W - 4) * ext + E + W) * eu;
+        est.e_shift = (W + E) * eu;
+        est.e_raw = 2 * W * eu;
+        est.e_dec_read = (W + E) * eu;   // wordline + entry readout
+        est.e_dec_raw = W * eu;          // pass-through latch
+        break;
+      }
+      case DesignKind::ContextValue:
+      case DesignKind::ContextTransition: {
+        // Transition-based tags are value pairs: double the CAM width.
+        const double tag_w =
+            (config.kind == DesignKind::ContextTransition) ? 2 * W : W;
+        const double T = config.table_size;
+        const double S = config.sr_size;
+        const double B = config.counter_bits;
+        dict_entries = T + S;
+        est.transistors = static_cast<u64>(
+            (T + S) * tag_w * 12 + T * (B * 10 + 96) + S * (B * 10) +
+            W * 34 + 500);
+        est.e_clock = ((T + S) * 2 + W + T + 30) * eu;
+        const double ext = config.full_precharge ? 1.0 : 0.25;
+        est.e_match = ((T + S) * 4 + (T + S) * (tag_w - 4) * ext +
+                       (T + S) + tag_w) *
+                      eu;
+        est.e_shift = (tag_w + S) * eu;
+        est.e_count = 3 * eu;              // Johnson: one bit flips
+        est.e_compare = (B / 2.0) * eu;    // XOR equality comparator
+        est.e_swap = 2 * (tag_w + B) * eu; // both entries rewritten
+        est.e_divide = (T + S) * B * eu;
+        est.e_raw = 2 * W * eu;
+        est.e_dec_read = (tag_w + T + S) * eu;
+        est.e_dec_raw = W * eu;
+        break;
+      }
+      case DesignKind::Inversion: {
+        const double P = config.patterns;
+        dict_entries = 2;
+        est.transistors =
+            static_cast<u64>(W * 36 + P * W * 4 + 350);
+        est.e_clock = (W + 10) * eu;
+        // Every cycle: P transition-vector XOR trees plus a carry-save
+        // popcount and the final selection (paper §5.4.1). The decoder
+        // is a single XOR with the selected pattern.
+        est.e_raw = (P * W * 1.2 + W * 6.9) * eu;
+        est.e_dec_raw = W * 1.5 * eu;
+        break;
+      }
+    }
+
+    est.area_um2 =
+        static_cast<double>(est.transistors) * tech.area_per_tr_um2;
+
+    if (config.kind == DesignKind::Inversion) {
+        est.delay = tech.match_mu * tech.t0 * (2 * log2d(W) + 3.4);
+        est.cycle_time = est.delay;  // paper Table 2: 2.2ns / 2.2ns
+    } else {
+        est.delay = tech.match_mu * tech.t0 *
+                    (W / 2.0 + log2d(dict_entries));
+        est.cycle_time = est.delay * tech.cycle_margin;
+    }
+
+    est.leak_per_cycle = static_cast<double>(est.transistors) *
+                         tech.leak_per_tr * est.cycle_time;
+    return est;
+}
+
+double
+ImplEstimate::energyFor(const coding::OpCounts &ops,
+                        bool include_decoder) const
+{
+    // Dictionary-maintenance energy is common to both FSMs (the
+    // decoder replays the same updates to stay synchronized).
+    const double maintenance =
+        static_cast<double>(ops.cycles) * e_clock +
+        static_cast<double>(ops.shifts) * e_shift +
+        static_cast<double>(ops.counter_incs) * e_count +
+        static_cast<double>(ops.compares) * e_compare +
+        static_cast<double>(ops.swaps) * e_swap +
+        static_cast<double>(ops.divisions) * e_divide;
+    const double leak =
+        static_cast<double>(ops.cycles) * leak_per_cycle;
+
+    const double encoder =
+        maintenance + static_cast<double>(ops.matches) * e_match +
+        static_cast<double>(ops.raw_sends) * e_raw + leak;
+    if (!include_decoder)
+        return encoder;
+    const double decoder =
+        maintenance +
+        static_cast<double>(ops.hits + ops.last_hits) * e_dec_read +
+        static_cast<double>(ops.raw_sends) * e_dec_raw + leak;
+    return encoder + decoder;
+}
+
+} // namespace predbus::circuit

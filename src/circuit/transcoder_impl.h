@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Implementation estimates for transcoder designs (paper §5.3-5.4,
+ * Table 2): transistor count, area, per-operation energies, leakage,
+ * and timing, for the Window, Context, and Inversion designs.
+ *
+ * Per-operation energies are budgets of "unit events" (elementary
+ * switched nodes) derived from the circuit structure the paper
+ * describes: selective-precharge CAM matching [26], pointer-based
+ * shift entries, Johnson counters, XOR counter comparators, and
+ * neighbor-swap cells (Figs 28-31).
+ */
+
+#ifndef PREDBUS_CIRCUIT_TRANSCODER_IMPL_H
+#define PREDBUS_CIRCUIT_TRANSCODER_IMPL_H
+
+#include "circuit/circuit_tech.h"
+#include "coding/codec.h"
+
+namespace predbus::circuit
+{
+
+/** Which hardware design is being estimated. */
+enum class DesignKind
+{
+    Window,
+    ContextValue,
+    ContextTransition,
+    Inversion,
+};
+
+/** Structural parameters of a transcoder implementation. */
+struct DesignConfig
+{
+    DesignKind kind = DesignKind::Window;
+    unsigned width = 32;        ///< bus width W_B
+    unsigned entries = 8;       ///< window entries
+    unsigned table_size = 28;   ///< context frequency table
+    unsigned sr_size = 8;       ///< context staging shift register
+    unsigned patterns = 2;      ///< inversion constant patterns
+    unsigned counter_bits = 12; ///< context Johnson counter width
+    /** Ablation: disable selective precharge — every CAM comparator
+     * evaluates fully on every probe (paper ref [26] motivates the
+     * selective design). */
+    bool full_precharge = false;
+};
+
+/** The canonical silicon design of the paper (§5.4.1, Fig 33). */
+DesignConfig window8();
+/** The projected larger design (Table 3's 16-entry rows). */
+DesignConfig window16();
+/** The laid-out context design (Fig 32: 28 table + 4 SR). */
+DesignConfig context28();
+/** The base-case inversion coder (§5.2). */
+DesignConfig invertCoder();
+
+/** Everything Table 2 reports, plus per-op energies. */
+struct ImplEstimate
+{
+    DesignConfig config;
+    std::string tech_name;
+    u64 transistors = 0;
+    double area_um2 = 0;
+
+    // Per-operation dynamic energies (J), encoder side.
+    double e_clock = 0;     ///< per cycle (clock tree + idle control)
+    double e_match = 0;     ///< per CAM probe
+    double e_shift = 0;     ///< per shift-register insert
+    double e_count = 0;     ///< per counter increment
+    double e_compare = 0;   ///< per adjacent counter comparison
+    double e_swap = 0;      ///< per neighbor entry swap
+    double e_divide = 0;    ///< per whole-table counter division
+    double e_raw = 0;       ///< per raw (unencoded) send
+
+    /** Decoder-side costs: the decoder never searches the CAM — a
+     * received code is an *indexed* entry read — and its raw path is
+     * a pass-through latch. */
+    double e_dec_read = 0;  ///< per received dictionary code
+    double e_dec_raw = 0;   ///< per received raw word
+
+    double leak_per_cycle = 0;  ///< J of leakage per cycle
+    double delay = 0;           ///< s, data-ready to bus-out
+    double cycle_time = 0;      ///< s
+
+    /**
+     * Dynamic + leakage energy (J) for a run with the given encoder
+     * operation counts. With @p include_decoder the decoder FSM is
+     * charged too: it mirrors the encoder's dictionary updates and
+     * clocking (same area, §5.4.1) but replaces every CAM search with
+     * an indexed entry read and every raw-path encode with a
+     * pass-through latch.
+     */
+    double energyFor(const coding::OpCounts &ops,
+                     bool include_decoder = true) const;
+
+    /** Average energy per cycle (J) for the given counts. */
+    double
+    opEnergyPerCycle(const coding::OpCounts &ops) const
+    {
+        return ops.cycles
+                   ? energyFor(ops, false) / static_cast<double>(
+                                                 ops.cycles)
+                   : 0.0;
+    }
+};
+
+/** Build the estimate for @p config at @p tech. */
+ImplEstimate estimate(const DesignConfig &config,
+                      const CircuitTech &tech);
+
+} // namespace predbus::circuit
+
+#endif // PREDBUS_CIRCUIT_TRANSCODER_IMPL_H

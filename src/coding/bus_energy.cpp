@@ -1,0 +1,84 @@
+#include "coding/bus_energy.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace predbus::coding
+{
+
+BusEnergyMeter::BusEnergyMeter(unsigned n_wires) : width(n_wires)
+{
+    panicIf(n_wires == 0 || n_wires > 64,
+            "BusEnergyMeter supports 1..64 wires");
+}
+
+void
+BusEnergyMeter::observe(u64 state)
+{
+    state &= maskLow(width);
+    if (first) {
+        prev = state;
+        first = false;
+        return;
+    }
+    total.tau += static_cast<u64>(hammingDistance(prev, state));
+    if (width > 1)
+        total.kappa +=
+            static_cast<u64>(couplingEvents(prev, state, width));
+    prev = state;
+}
+
+void
+BusEnergyMeter::reset()
+{
+    prev = 0;
+    first = true;
+    total = EnergyCount{};
+}
+
+EnergyCount
+measureUnencoded(std::span<const Word> values)
+{
+    BusEnergyMeter meter(kDataWidth);
+    for (Word v : values)
+        meter.observe(v);
+    return meter.count();
+}
+
+CodingResult
+evaluate(Transcoder &codec, std::span<const Word> values,
+         bool verify_decode)
+{
+    codec.reset();
+    CodingResult result;
+    result.words = values.size();
+    result.base = measureUnencoded(values);
+
+    if (codec.metersInternally()) {
+        for (Word v : values) {
+            const u64 token = codec.encode(v);
+            if (verify_decode) {
+                const Word back = codec.decode(token);
+                panicIf(back != v, codec.name(),
+                        ": decode mismatch: sent ", v, " got ", back);
+            }
+        }
+        result.coded = codec.internalCount();
+    } else {
+        BusEnergyMeter meter(codec.width());
+        for (Word v : values) {
+            const u64 state = codec.encode(v);
+            meter.observe(state);
+            if (verify_decode) {
+                const Word back = codec.decode(state);
+                panicIf(back != v, codec.name(),
+                        ": decode mismatch: sent ", v, " got ", back);
+            }
+        }
+        result.coded = meter.count();
+    }
+    result.ops = codec.ops();
+    return result;
+}
+
+} // namespace predbus::coding

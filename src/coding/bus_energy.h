@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Wire-event accounting (paper Eqs. 1-3) and trace evaluation.
+ */
+
+#ifndef PREDBUS_CODING_BUS_ENERGY_H
+#define PREDBUS_CODING_BUS_ENERGY_H
+
+#include <span>
+#include <vector>
+
+#include "coding/codec.h"
+#include "common/types.h"
+
+namespace predbus::coding
+{
+
+/**
+ * Accumulates tau (self transitions, Eq. 2) and kappa (coupling
+ * events, Eq. 3) over a stream of bus wire states up to 64 wires wide.
+ */
+class BusEnergyMeter
+{
+  public:
+    explicit BusEnergyMeter(unsigned n_wires);
+
+    /** Account the transition from the previous state to @p state. */
+    void observe(u64 state);
+
+    const EnergyCount &count() const { return total; }
+    void reset();
+
+  private:
+    unsigned width;
+    u64 prev = 0;
+    bool first = true;
+    EnergyCount total;
+};
+
+/** Wire events of the unencoded 32-bit bus carrying @p values. */
+EnergyCount measureUnencoded(std::span<const Word> values);
+
+/** Result of running one transcoder over one trace. */
+struct CodingResult
+{
+    EnergyCount base;    ///< unencoded 32-wire bus
+    EnergyCount coded;   ///< coded bus (width() wires)
+    OpCounts ops;        ///< encoder operation counts
+    u64 words = 0;
+
+    /**
+     * Fraction of wire energy removed at coupling ratio @p lambda
+     * (positive = coding saves events). This is the quantity the
+     * paper plots as "Normalized Energy Removed".
+     */
+    double
+    removedFraction(double lambda) const
+    {
+        const double b = base.cost(lambda);
+        return (b > 0.0) ? 1.0 - coded.cost(lambda) / b : 0.0;
+    }
+};
+
+/**
+ * Run @p codec over @p values (resetting it first), metering both the
+ * unencoded baseline and the coded bus. With @p verify_decode, every
+ * word is round-tripped through the decoder and mismatches throw
+ * PanicError (used by the tests).
+ */
+CodingResult evaluate(Transcoder &codec, std::span<const Word> values,
+                      bool verify_decode = false);
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_BUS_ENERGY_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The bus transcoder interface (paper Figs 1-2).
+ *
+ * A transcoder is a pair of synchronized FSMs at either end of a bus.
+ * In this library one Transcoder object holds *both* FSMs: encode()
+ * advances the encoder with the next value to transmit and returns the
+ * resulting bus wire state; decode() advances the decoder with that
+ * wire state and returns the recovered value. Keeping both in one
+ * object makes round-trip property testing trivial while preserving
+ * the hardware split (the two FSMs share no state).
+ *
+ * Wire protocol for predictive transcoders (paper Fig 2): W_B = 32
+ * data wires plus 2 transition-signalled control wires. Each word is a
+ * code word XORed onto the previous wire state (transition coding,
+ * Fig 1):
+ *  - no control flip   -> dictionary code; all-zero data flips mean
+ *                         "same as last value" (code 0), a one-hot
+ *                         (or low-weight) data flip names a dictionary
+ *                         index;
+ *  - control wire 0    -> raw: the data field of the code word is the
+ *                         value itself;
+ *  - control wire 1    -> raw inverted: data field is ~value.
+ */
+
+#ifndef PREDBUS_CODING_CODEC_H
+#define PREDBUS_CODING_CODEC_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace predbus::coding
+{
+
+/** Data bus width in bits (the paper studies 32-bit buses). */
+constexpr unsigned kDataWidth = 32;
+
+/**
+ * Hardware operation counts accumulated by the *encoder* FSM; the
+ * circuit model (src/circuit) converts these into energy (paper
+ * Fig 28 / §5.3.2).
+ */
+struct OpCounts
+{
+    u64 cycles = 0;        ///< words processed
+    u64 matches = 0;       ///< CAM probe operations (selective precharge)
+    u64 shifts = 0;        ///< shift-register insertions
+    u64 counter_incs = 0;  ///< Johnson counter increments
+    u64 compares = 0;      ///< counter equality comparisons
+    u64 swaps = 0;         ///< adjacent entry swaps (sorting)
+    u64 divisions = 0;     ///< whole-table counter halving events
+    u64 raw_sends = 0;     ///< words sent unencoded (raw / raw-inverted)
+    u64 hits = 0;          ///< dictionary or predictor hits
+    u64 last_hits = 0;     ///< repeats coded as code 0
+};
+
+/** Counted wire events over a run (paper Eqs. 2-3). */
+struct EnergyCount
+{
+    u64 tau = 0;    ///< self transitions
+    u64 kappa = 0;  ///< coupling events
+
+    /** Relative cost at coupling ratio @p lambda (paper Eq. 1). */
+    double
+    cost(double lambda) const
+    {
+        return static_cast<double>(tau) +
+               lambda * static_cast<double>(kappa);
+    }
+
+    EnergyCount &
+    operator+=(const EnergyCount &other)
+    {
+        tau += other.tau;
+        kappa += other.kappa;
+        return *this;
+    }
+};
+
+/** Abstract transcoder (encoder + decoder FSM pair). */
+class Transcoder
+{
+  public:
+    virtual ~Transcoder() = default;
+
+    /** Scheme name for tables, e.g. "window8". */
+    virtual std::string name() const = 0;
+
+    /** Total wire count of the coded bus (data + control/signal). */
+    virtual unsigned width() const = 0;
+
+    /** Advance the encoder; returns the new bus wire state. */
+    virtual u64 encode(Word value) = 0;
+
+    /** Advance the decoder with a wire state; returns the value. */
+    virtual Word decode(u64 wire_state) = 0;
+
+    /** Reset both FSMs and the operation counters. */
+    virtual void reset() = 0;
+
+    /**
+     * Spatial-style coders with more than 64 wires meter their own
+     * energy instead of exposing wire states.
+     */
+    virtual bool metersInternally() const { return false; }
+    virtual EnergyCount internalCount() const { return {}; }
+
+    const OpCounts &ops() const { return op_counts; }
+
+  protected:
+    OpCounts op_counts;
+};
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_CODEC_H

@@ -1,0 +1,210 @@
+#include "coding/context.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace predbus::coding
+{
+
+ContextDict::ContextDict(const ContextConfig &config) : cfg(config)
+{
+    if (cfg.table_size < 2)
+        fatal("context table needs at least 2 entries");
+    if (cfg.sr_size < 1)
+        fatal("context shift register needs at least 1 entry");
+    if (cfg.table_size + cfg.sr_size > kMaxCodePoints)
+        fatal("context table+SR exceeds ", kMaxCodePoints,
+              " code points");
+    table.resize(cfg.table_size);
+    sr.resize(cfg.sr_size);
+}
+
+u64
+ContextDict::makeKey(Word v) const
+{
+    return cfg.transition_based ? ((u64{prev} << 32) | v) : u64{v};
+}
+
+LookupResult
+ContextDict::access(Word v, OpCounts *ops)
+{
+    const u64 key = makeKey(v);
+    LookupResult res{false, 0};
+    if (ops)
+        ++ops->matches;
+
+    // Probe the frequency table (positions are the codes).
+    for (unsigned i = 0; i < valid_count; ++i) {
+        if (table[i].key == key) {
+            res = LookupResult{true, i};
+            // Pending increment (paper step 1). A hit while the bit
+            // is already set is lost — the paper's stated caveat.
+            table[i].pending = true;
+            break;
+        }
+    }
+
+    // Probe the staging shift register.
+    if (!res.hit) {
+        for (unsigned j = 0; j < sr.size(); ++j) {
+            if (sr[j].valid && sr[j].key == key) {
+                res = LookupResult{true, cfg.table_size + j};
+                if (sr[j].count < kCounterMax) {
+                    ++sr[j].count;
+                    if (ops)
+                        ++ops->counter_incs;
+                }
+                break;
+            }
+        }
+    }
+
+    // Miss everywhere: shift in; the displaced entry may be promoted
+    // into the table if it earned more counts than the table floor.
+    if (!res.hit) {
+        const SrEntry outgoing = sr[sr_head];
+        if (outgoing.valid) {
+            if (valid_count < cfg.table_size) {
+                // Fill the table densely from the top; clamp to keep
+                // invariant 2.
+                TabEntry &slot = table[valid_count];
+                slot.key = outgoing.key;
+                slot.count =
+                    (valid_count == 0)
+                        ? outgoing.count
+                        : std::min(outgoing.count,
+                                   table[valid_count - 1].count);
+                slot.pending = false;
+                slot.valid = true;
+                ++valid_count;
+            } else if (outgoing.count >
+                       table[cfg.table_size - 1].count) {
+                TabEntry &slot = table[cfg.table_size - 1];
+                slot.key = outgoing.key;
+                slot.count = std::min(
+                    outgoing.count, table[cfg.table_size - 2].count);
+                slot.pending = false;
+            }
+        }
+        sr[sr_head] = SrEntry{key, 1, true};
+        sr_head = (sr_head + 1) % sr.size();
+        if (ops)
+            ++ops->shifts;
+    }
+
+    // Per-cycle maintenance: sorting step and counter division.
+    sortStep(ops);
+    ++cycle;
+    if (cfg.divide_period && cycle % cfg.divide_period == 0)
+        divideCounters(ops);
+
+    prev = v;
+    return res;
+}
+
+void
+ContextDict::sortStep(OpCounts *ops)
+{
+    if (cfg.oracle_sort) {
+        // Ablation: resolve every pending increment immediately and
+        // fully re-sort (stable) by count. Costs are charged as if a
+        // full sorting network ran: n*log2(n) comparisons and the
+        // observed displacement in swaps.
+        for (unsigned i = 0; i < valid_count; ++i) {
+            if (table[i].pending) {
+                if (table[i].count < kCounterMax)
+                    table[i].count++;
+                table[i].pending = false;
+                if (ops)
+                    ++ops->counter_incs;
+            }
+        }
+        if (ops && valid_count > 1)
+            ops->compares += static_cast<u64>(
+                valid_count *
+                std::max(1.0, std::log2(double(valid_count))));
+        for (unsigned i = 1; i < valid_count; ++i) {
+            unsigned j = i;
+            while (j > 0 && table[j].count > table[j - 1].count) {
+                std::swap(table[j], table[j - 1]);
+                if (ops)
+                    ++ops->swaps;
+                --j;
+            }
+        }
+        return;
+    }
+    // Paper §5.3.1. Step 2: the top entry increments when pending.
+    if (valid_count > 0 && table[0].pending) {
+        if (table[0].count < kCounterMax)
+            table[0].count++;
+        table[0].pending = false;
+        if (ops)
+            ++ops->counter_incs;
+    }
+    // Step 3: adjacent pairs.
+    for (unsigned p = 1; p < valid_count; ++p) {
+        if (ops)
+            ++ops->compares;
+        if (table[p].count == table[p - 1].count) {
+            if (table[p].pending) {
+                std::swap(table[p], table[p - 1]);
+                if (ops)
+                    ++ops->swaps;
+            }
+        } else if (table[p].pending) {
+            if (table[p].count < kCounterMax)
+                table[p].count++;
+            table[p].pending = false;
+            if (ops)
+                ++ops->counter_incs;
+        }
+    }
+}
+
+void
+ContextDict::divideCounters(OpCounts *ops)
+{
+    for (unsigned i = 0; i < valid_count; ++i)
+        table[i].count >>= 1;
+    for (auto &entry : sr)
+        if (entry.valid)
+            entry.count >>= 1;
+    if (ops)
+        ++ops->divisions;
+}
+
+Word
+ContextDict::valueAt(unsigned index) const
+{
+    if (index < cfg.table_size) {
+        panicIf(index >= valid_count, "context: invalid table index");
+        return static_cast<Word>(table[index].key & 0xffffffffu);
+    }
+    const unsigned j = index - cfg.table_size;
+    panicIf(j >= sr.size() || !sr[j].valid,
+            "context: invalid SR index");
+    return static_cast<Word>(sr[j].key & 0xffffffffu);
+}
+
+void
+ContextDict::reset()
+{
+    std::fill(table.begin(), table.end(), TabEntry{});
+    std::fill(sr.begin(), sr.end(), SrEntry{});
+    sr_head = 0;
+    valid_count = 0;
+    cycle = 0;
+    prev = 0;
+}
+
+bool
+ContextDict::sortedByCount() const
+{
+    for (unsigned p = 1; p < valid_count; ++p)
+        if (table[p].count > table[p - 1].count)
+            return false;
+    return true;
+}
+
+} // namespace predbus::coding

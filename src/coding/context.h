@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Context-based dictionary (paper §4.3 Figs 12-14, §5.3): a staging
+ * shift register with frequency counts in front of a frequency table
+ * kept sorted by the paper's pending-bit neighbor-swap algorithm
+ * (§5.3.1, Fig 27).
+ *
+ * Invariant 1: every resident tag is unique (at most one match).
+ * Invariant 2: table entries are ordered by non-increasing counter
+ * value, so the table position *is* the code and the most frequent
+ * values get the lowest-weight codes.
+ *
+ * The value-based flavor keys on bus values (Fig 13); the
+ * transition-based flavor keys on (previous, current) value pairs
+ * (Fig 14).
+ */
+
+#ifndef PREDBUS_CODING_CONTEXT_H
+#define PREDBUS_CODING_CONTEXT_H
+
+#include <vector>
+
+#include "coding/predictive.h"
+
+namespace predbus::coding
+{
+
+/** Configuration for the context dictionary. */
+struct ContextConfig
+{
+    unsigned table_size = 28;
+    unsigned sr_size = 8;
+    u32 divide_period = 4096;  ///< counter division time; 0 = never
+    bool transition_based = false;
+    /**
+     * Ablation: replace the paper's pending-bit neighbor-swap sorting
+     * with an oracle full sort every cycle (what unrestricted-swap
+     * hardware would achieve, at O(n^2) wiring cost the paper rejects
+     * in §5.3.1).
+     */
+    bool oracle_sort = false;
+};
+
+class ContextDict
+{
+  public:
+    explicit ContextDict(const ContextConfig &config);
+
+    LookupResult access(Word v, OpCounts *ops);
+    Word valueAt(unsigned index) const;
+    void reset();
+
+    unsigned tableSize() const { return cfg.table_size; }
+    unsigned srSize() const { return cfg.sr_size; }
+
+    /** Counter of table position @p i (tests). */
+    u32 tableCount(unsigned i) const { return table[i].count; }
+    bool tableValid(unsigned i) const { return table[i].valid; }
+    u64 tableKey(unsigned i) const { return table[i].key; }
+    unsigned validCount() const { return valid_count; }
+
+    /** Invariant 2 check: counters non-increasing down the table. */
+    bool sortedByCount() const;
+
+  private:
+    struct TabEntry
+    {
+        u64 key = 0;
+        u32 count = 0;
+        bool pending = false;
+        bool valid = false;
+    };
+    struct SrEntry
+    {
+        u64 key = 0;
+        u32 count = 0;
+        bool valid = false;
+    };
+
+    u64 makeKey(Word v) const;
+    void sortStep(OpCounts *ops);
+    void divideCounters(OpCounts *ops);
+
+    static constexpr u32 kCounterMax = 4095;  ///< 4x4-bit Johnson
+
+    ContextConfig cfg;
+    std::vector<TabEntry> table;   ///< position 0 = most frequent
+    std::vector<SrEntry> sr;
+    unsigned sr_head = 0;
+    unsigned valid_count = 0;      ///< dense prefix of valid entries
+    u64 cycle = 0;
+    Word prev = 0;                 ///< previous value (transition keys)
+};
+
+/** Context-based transcoders. */
+using ContextTranscoder = PredictiveTranscoder<ContextDict>;
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_CONTEXT_H

@@ -1,0 +1,217 @@
+#include "coding/factory.h"
+
+#include <charconv>
+
+#include "common/log.h"
+#include "coding/inversion.h"
+#include "coding/partial_invert.h"
+#include "coding/workzone.h"
+#include "coding/spatial.h"
+#include "coding/stride.h"
+#include "coding/window.h"
+
+namespace predbus::coding
+{
+
+namespace
+{
+
+/** The unencoded bus: wire states are the values themselves. */
+class RawBus : public Transcoder
+{
+  public:
+    std::string name() const override { return "raw"; }
+    unsigned width() const override { return kDataWidth; }
+
+    u64
+    encode(Word value) override
+    {
+        ++op_counts.cycles;
+        return value;
+    }
+
+    Word decode(u64 wire_state) override
+    {
+        return static_cast<Word>(wire_state);
+    }
+
+    void reset() override { op_counts = OpCounts{}; }
+};
+
+} // namespace
+
+std::unique_ptr<Transcoder>
+makeRaw()
+{
+    return std::make_unique<RawBus>();
+}
+
+std::unique_ptr<Transcoder>
+makeWindow(unsigned entries, double lambda, bool cost_aware)
+{
+    const std::string name = "window" + std::to_string(entries) +
+                             (cost_aware ? "-ca" : "");
+    return std::make_unique<WindowTranscoder>(
+        name, WindowDict(entries), lambda, cost_aware);
+}
+
+std::unique_ptr<Transcoder>
+makeContext(const ContextConfig &config, double lambda)
+{
+    const std::string flavor =
+        config.transition_based ? "ctx-trans" : "ctx-value";
+    return std::make_unique<ContextTranscoder>(
+        flavor + std::to_string(config.table_size) + "+" +
+            std::to_string(config.sr_size),
+        ContextDict(config), lambda);
+}
+
+std::unique_ptr<Transcoder>
+makeStride(unsigned strides, double lambda)
+{
+    return std::make_unique<StrideTranscoder>(strides, lambda);
+}
+
+std::unique_ptr<Transcoder>
+makeInversion(unsigned patterns, double assumed_lambda)
+{
+    return std::make_unique<InversionCoder>(patterns, assumed_lambda);
+}
+
+std::unique_ptr<Transcoder>
+makeSpatial(unsigned input_bits)
+{
+    return std::make_unique<SpatialCoder>(input_bits);
+}
+
+std::unique_ptr<Transcoder>
+makePartialInvert(unsigned groups, double assumed_lambda)
+{
+    return std::make_unique<PartialBusInvert>(groups, assumed_lambda);
+}
+
+std::unique_ptr<Transcoder>
+makeWorkZone(unsigned zones)
+{
+    return std::make_unique<WorkZoneCoder>(zones);
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitColons(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char ch : spec) {
+        if (ch == ':') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+unsigned
+parseUnsigned(const std::string &tok, const std::string &spec)
+{
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    if (ec != std::errc{} || ptr != tok.data() + tok.size())
+        fatal("bad number '", tok, "' in codec spec '", spec, "'");
+    return value;
+}
+
+} // namespace
+
+std::unique_ptr<Transcoder>
+makeFromSpec(const std::string &spec)
+{
+    const std::vector<std::string> parts = splitColons(spec);
+    const std::string &kind = parts[0];
+
+    if (kind == "raw") {
+        if (parts.size() != 1)
+            fatal("codec spec 'raw' takes no arguments");
+        return makeRaw();
+    }
+    if (kind == "window") {
+        if (parts.size() < 2 || parts.size() > 3)
+            fatal("codec spec: expected window:N[:ca]");
+        const unsigned entries = parseUnsigned(parts[1], spec);
+        bool cost_aware = false;
+        if (parts.size() == 3) {
+            if (parts[2] != "ca")
+                fatal("codec spec: unknown window option '", parts[2],
+                      "'");
+            cost_aware = true;
+        }
+        return makeWindow(entries, 1.0, cost_aware);
+    }
+    if (kind == "ctx") {
+        if (parts.size() < 2)
+            fatal("codec spec: expected ctx:T+S[:trans][:dD]");
+        const auto plus = parts[1].find('+');
+        if (plus == std::string::npos)
+            fatal("codec spec: context needs T+S sizes");
+        ContextConfig cfg;
+        cfg.table_size =
+            parseUnsigned(parts[1].substr(0, plus), spec);
+        cfg.sr_size = parseUnsigned(parts[1].substr(plus + 1), spec);
+        for (std::size_t i = 2; i < parts.size(); ++i) {
+            if (parts[i] == "trans")
+                cfg.transition_based = true;
+            else if (!parts[i].empty() && parts[i][0] == 'd')
+                cfg.divide_period =
+                    parseUnsigned(parts[i].substr(1), spec);
+            else
+                fatal("codec spec: unknown context option '", parts[i],
+                      "'");
+        }
+        return makeContext(cfg);
+    }
+    if (kind == "stride") {
+        if (parts.size() != 2)
+            fatal("codec spec: expected stride:K");
+        return makeStride(parseUnsigned(parts[1], spec));
+    }
+    if (kind == "inv") {
+        if (parts.size() < 2 || parts.size() > 3)
+            fatal("codec spec: expected inv:P[:l<lambda>]");
+        double lambda = 0.0;
+        if (parts.size() == 3) {
+            if (parts[2].empty() || parts[2][0] != 'l')
+                fatal("codec spec: unknown inversion option '",
+                      parts[2], "'");
+            try {
+                lambda = std::stod(parts[2].substr(1));
+            } catch (const std::exception &) {
+                fatal("codec spec: bad lambda in '", spec, "'");
+            }
+        }
+        return makeInversion(parseUnsigned(parts[1], spec), lambda);
+    }
+    if (kind == "pbi") {
+        if (parts.size() != 2)
+            fatal("codec spec: expected pbi:G");
+        return makePartialInvert(parseUnsigned(parts[1], spec), 1.0);
+    }
+    if (kind == "wze") {
+        if (parts.size() != 2)
+            fatal("codec spec: expected wze:Z");
+        return makeWorkZone(parseUnsigned(parts[1], spec));
+    }
+    if (kind == "spatial") {
+        if (parts.size() != 2)
+            fatal("codec spec: expected spatial:B");
+        return makeSpatial(parseUnsigned(parts[1], spec));
+    }
+    fatal("unknown codec spec '", spec, "'");
+}
+
+} // namespace predbus::coding

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Construction helpers for all the paper's coding schemes.
+ */
+
+#ifndef PREDBUS_CODING_FACTORY_H
+#define PREDBUS_CODING_FACTORY_H
+
+#include <memory>
+#include <string>
+
+#include "coding/codec.h"
+#include "coding/context.h"
+
+namespace predbus::coding
+{
+
+/** The unencoded 32-wire bus (baseline). */
+std::unique_ptr<Transcoder> makeRaw();
+
+/** Window-based transcoder with @p entries (paper default 8).
+ * @p cost_aware enables the encoder-side raw-vs-code cost comparison
+ * (extension; see PredictiveTranscoder). */
+std::unique_ptr<Transcoder> makeWindow(unsigned entries,
+                                       double lambda = 1.0,
+                                       bool cost_aware = false);
+
+/** Context-based transcoder (value- or transition-based). */
+std::unique_ptr<Transcoder> makeContext(const ContextConfig &config,
+                                        double lambda = 1.0);
+
+/** Multi-stride transcoder with intervals 1..@p strides. */
+std::unique_ptr<Transcoder> makeStride(unsigned strides,
+                                       double lambda = 1.0);
+
+/** Generalized inversion coder; @p assumed_lambda is the λ the
+ * selection logic optimizes for (paper's λ0/λ1/λN). */
+std::unique_ptr<Transcoder> makeInversion(unsigned patterns,
+                                          double assumed_lambda);
+
+/** One-hot spatial coder over @p input_bits-wide values. */
+std::unique_ptr<Transcoder> makeSpatial(unsigned input_bits);
+
+/** Partial bus-invert [20]: @p groups independent invert segments. */
+std::unique_ptr<Transcoder> makePartialInvert(unsigned groups,
+                                              double assumed_lambda);
+
+/** Working-zone encoding [15] with @p zones zone registers. */
+std::unique_ptr<Transcoder> makeWorkZone(unsigned zones);
+
+/**
+ * Build a transcoder from a textual spec (for tools and scripts):
+ *   "raw"                  unencoded baseline
+ *   "window:N[:ca]"        window, N entries, optional cost-aware
+ *   "ctx:T+S[:trans][:dD]" context, table T, SR S, optional
+ *                          transition-based, optional divide period D
+ *   "stride:K"             strides 1..K
+ *   "inv:P[:l<lambda>]"    inversion, P patterns, assumed lambda
+ *   "pbi:G"                partial bus-invert, G groups
+ *   "wze:Z"                working-zone encoding, Z zones
+ *   "spatial:B"            one-hot over B input bits
+ * Throws FatalError on malformed specs.
+ */
+std::unique_ptr<Transcoder> makeFromSpec(const std::string &spec);
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_FACTORY_H

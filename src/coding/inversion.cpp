@@ -1,0 +1,102 @@
+#include "coding/inversion.h"
+
+#include <bit>
+
+#include "coding/protocol.h"
+#include "common/log.h"
+
+namespace predbus::coding
+{
+
+const std::vector<Word> &
+inversionPatterns()
+{
+    // Ordered so prefixes are sensible pattern sets: identity and full
+    // inversion first (classic bus-invert), then half-word, byte,
+    // nibble, and bit-interleaved granularities.
+    static const std::vector<Word> patterns = [] {
+        std::vector<Word> p = {
+            0x00000000u, 0xffffffffu, 0xffff0000u, 0x0000ffffu,
+            0xff00ff00u, 0x00ff00ffu, 0xf0f0f0f0u, 0x0f0f0f0fu,
+            0xccccccccu, 0x33333333u, 0xaaaaaaaau, 0x55555555u,
+            0xff000000u, 0x00ff0000u, 0x0000ff00u, 0x000000ffu,
+            0xffffff00u, 0xffff00ffu, 0xff00ffffu, 0x00ffffffu,
+            0xf000f000u, 0x0f000f00u, 0x00f000f0u, 0x000f000fu,
+            0xc0c0c0c0u, 0x30303030u, 0x0c0c0c0cu, 0x03030303u,
+            0xe0e0e0e0u, 0x07070707u, 0x70707070u, 0x0e0e0e0eu,
+        };
+        // Extend deterministically to 64 with golden-ratio hashes.
+        u32 x = 0x9e3779b9u;
+        while (p.size() < 64) {
+            p.push_back(x);
+            x = x * 0x85ebca6bu + 0xc2b2ae35u;
+        }
+        return p;
+    }();
+    return patterns;
+}
+
+InversionCoder::InversionCoder(unsigned num_patterns,
+                               double assumed_lambda)
+    : assumed_lambda(assumed_lambda)
+{
+    if (num_patterns < 2 || num_patterns > 64 ||
+        !std::has_single_bit(num_patterns))
+        fatal("inversion coder needs a power-of-two pattern count in "
+              "[2, 64]");
+    const auto &all = inversionPatterns();
+    patterns.assign(all.begin(), all.begin() + num_patterns);
+    signal_bits =
+        static_cast<unsigned>(std::countr_zero(num_patterns));
+    total_width = kDataWidth + signal_bits;
+}
+
+std::string
+InversionCoder::name() const
+{
+    return "inv" + std::to_string(patterns.size());
+}
+
+u64
+InversionCoder::encode(Word value)
+{
+    ++op_counts.cycles;
+    u64 best_state = 0;
+    double best_cost = 0.0;
+    for (std::size_t j = 0; j < patterns.size(); ++j) {
+        const u64 data = u64{value ^ patterns[j]};
+        const u64 cand = data | (u64{j} << kDataWidth);
+        const double cost =
+            transitionCost(enc_state, cand, total_width,
+                           assumed_lambda);
+        if (j == 0 || cost < best_cost) {
+            best_cost = cost;
+            best_state = cand;
+        }
+    }
+    // Each candidate costs a transition-vector XOR + weight count.
+    op_counts.compares += patterns.size();
+    ++op_counts.raw_sends;
+    enc_state = best_state;
+    return best_state;
+}
+
+Word
+InversionCoder::decode(u64 wire_state)
+{
+    const u64 index = wire_state >> kDataWidth;
+    panicIf(index >= patterns.size(), "inversion: bad pattern index");
+    dec_state = wire_state;
+    return static_cast<Word>(wire_state & kDataMask) ^
+           patterns[static_cast<std::size_t>(index)];
+}
+
+void
+InversionCoder::reset()
+{
+    enc_state = 0;
+    dec_state = 0;
+    op_counts = OpCounts{};
+}
+
+} // namespace predbus::coding

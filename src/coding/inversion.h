@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Generalized inversion coder (paper §4.3 Fig 10, Fig 15, §5.2).
+ *
+ * Stateless except for the current bus value: each word's transition
+ * vector (input XOR current bus data) is XORed with one of a set of
+ * constant bit patterns; the pattern minimizing the assumed-λ cost of
+ * the resulting bus transition is chosen and its index is signalled on
+ * log2(patterns) extra wires. Pattern set {0, ~0} with λ=0 is classic
+ * Bus-Invert; the paper's λ0/λ1/λN variants differ only in the λ the
+ * *selector* assumes (the actual wire λ is applied when measuring).
+ */
+
+#ifndef PREDBUS_CODING_INVERSION_H
+#define PREDBUS_CODING_INVERSION_H
+
+#include <vector>
+
+#include "coding/codec.h"
+
+namespace predbus::coding
+{
+
+/** The default generalized pattern set (first n are used). */
+const std::vector<Word> &inversionPatterns();
+
+class InversionCoder : public Transcoder
+{
+  public:
+    /**
+     * @p num_patterns constants (power of two, <= 64);
+     * @p assumed_lambda is the λ the selection logic optimizes for.
+     */
+    InversionCoder(unsigned num_patterns, double assumed_lambda);
+
+    std::string name() const override;
+    unsigned width() const override { return total_width; }
+    u64 encode(Word value) override;
+    Word decode(u64 wire_state) override;
+    void reset() override;
+
+  private:
+    std::vector<Word> patterns;
+    double assumed_lambda;
+    unsigned signal_bits;
+    unsigned total_width;
+    u64 enc_state = 0;
+    u64 dec_state = 0;
+};
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_INVERSION_H

@@ -1,0 +1,104 @@
+#include "coding/partial_invert.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace predbus::coding
+{
+
+PartialBusInvert::PartialBusInvert(unsigned groups,
+                                   double assumed_lambda)
+    : n_groups(groups), assumed_lambda(assumed_lambda)
+{
+    if (groups == 0 || kDataWidth % groups != 0)
+        fatal("partial bus-invert: group count must divide ",
+              kDataWidth);
+    group_bits = kDataWidth / groups;
+}
+
+std::string
+PartialBusInvert::name() const
+{
+    return "pbi" + std::to_string(n_groups);
+}
+
+u64
+PartialBusInvert::encode(Word value)
+{
+    ++op_counts.cycles;
+    ++op_counts.raw_sends;
+    // Greedy per-group selection. Groups are adjacent on the bus, so
+    // a group's inversion choice affects the coupling boundary with
+    // its neighbor; the greedy pass goes low-to-high using the
+    // already-decided lower neighbor (hardware does the same with a
+    // ripple of majority voters).
+    u64 next = 0;
+    for (unsigned g = 0; g < n_groups; ++g) {
+        const unsigned lo = g * group_bits;
+        const u64 field_mask = maskLow(group_bits) << lo;
+        const u64 plain = u64{value} & field_mask;
+        const u64 inverted = ~u64{value} & field_mask;
+        const u64 invert_wire = u64{1} << (kDataWidth + g);
+
+        // Cost of each candidate against the current full state,
+        // considering wires up to this group's top boundary plus the
+        // invert wire (an approximation the per-group voter can make).
+        const u64 base = next;  // lower groups already decided
+        const u64 cand0 = base | plain;
+        const u64 cand1 = base | inverted | invert_wire;
+        const unsigned span = lo + group_bits;
+        const double cost0 =
+            transitionCostBits(cand0, span, g, false);
+        const double cost1 = transitionCostBits(cand1, span, g, true);
+        next = (cost0 <= cost1) ? cand0 : cand1;
+        ++op_counts.compares;
+    }
+    enc_state = next;
+    return next;
+}
+
+double
+PartialBusInvert::transitionCostBits(u64 candidate, unsigned span,
+                                     unsigned group,
+                                     bool invert_wire_set) const
+{
+    // Self transitions over the decided data span plus this group's
+    // invert wire; coupling over the decided span.
+    const u64 data_mask = maskLow(span);
+    const u64 prev_data = enc_state & data_mask;
+    const u64 cand_data = candidate & data_mask;
+    double cost = hammingDistance(prev_data, cand_data);
+    if (span > 1) {
+        cost += assumed_lambda *
+                couplingEvents(prev_data, cand_data, span);
+    }
+    const bool prev_inv =
+        (enc_state >> (kDataWidth + group)) & 1;
+    cost += (prev_inv != invert_wire_set) ? 1.0 : 0.0;
+    return cost;
+}
+
+Word
+PartialBusInvert::decode(u64 wire_state)
+{
+    u64 value = wire_state & maskLow(kDataWidth);
+    for (unsigned g = 0; g < n_groups; ++g) {
+        if ((wire_state >> (kDataWidth + g)) & 1) {
+            const u64 field_mask = maskLow(group_bits)
+                                   << (g * group_bits);
+            value ^= field_mask;
+        }
+    }
+    dec_state = wire_state;
+    return static_cast<Word>(value);
+}
+
+void
+PartialBusInvert::reset()
+{
+    enc_state = 0;
+    dec_state = 0;
+    op_counts = OpCounts{};
+}
+
+} // namespace predbus::coding

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Partial bus-invert coding (paper §2, ref [20] Shin/Chae/Choi).
+ *
+ * The bus is split into @p groups contiguous groups; each group
+ * carries its own invert wire and decides inversion independently, so
+ * a localized burst of transitions can be inverted without disturbing
+ * quiet groups. groups=1 degenerates to classic bus-invert [23].
+ * Implemented as a related-work baseline for comparison benches.
+ */
+
+#ifndef PREDBUS_CODING_PARTIAL_INVERT_H
+#define PREDBUS_CODING_PARTIAL_INVERT_H
+
+#include <vector>
+
+#include "coding/codec.h"
+
+namespace predbus::coding
+{
+
+class PartialBusInvert : public Transcoder
+{
+  public:
+    /** @p groups must divide 32; @p assumed_lambda drives selection. */
+    PartialBusInvert(unsigned groups, double assumed_lambda);
+
+    std::string name() const override;
+    unsigned width() const override { return kDataWidth + n_groups; }
+    u64 encode(Word value) override;
+    Word decode(u64 wire_state) override;
+    void reset() override;
+
+  private:
+    double transitionCostBits(u64 candidate, unsigned span,
+                              unsigned group,
+                              bool invert_wire_set) const;
+
+    unsigned n_groups;
+    unsigned group_bits;
+    double assumed_lambda;
+    u64 enc_state = 0;
+    u64 dec_state = 0;
+};
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_PARTIAL_INVERT_H

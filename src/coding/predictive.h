@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Generic predictive transcoder (paper Fig 2): a dictionary policy
+ * plugged into the common wire protocol, with LAST-value repeats
+ * costing zero transitions and raw / raw-inverted fallback.
+ *
+ * The Dict policy must provide:
+ *   struct-like LookupResult { bool hit; unsigned index; }
+ *   LookupResult access(Word v, OpCounts *ops);  // probe then update
+ *   Word valueAt(unsigned index) const;          // pre-access content
+ *   void reset();
+ * access() must return the *pre-update* index, because the decoder
+ * reads valueAt() before advancing its own copy of the dictionary.
+ */
+
+#ifndef PREDBUS_CODING_PREDICTIVE_H
+#define PREDBUS_CODING_PREDICTIVE_H
+
+#include <string>
+#include <utility>
+
+#include "coding/protocol.h"
+#include "common/log.h"
+
+namespace predbus::coding
+{
+
+/** Result of a dictionary probe. */
+struct LookupResult
+{
+    bool hit = false;
+    unsigned index = 0;
+};
+
+template <typename Dict>
+class PredictiveTranscoder : public Transcoder
+{
+  public:
+    /**
+     * @p cost_aware: let the encoder compare the dictionary-code and
+     * raw candidate states and send the cheaper one even on a hit.
+     * The decoder is unaffected (it interprets whatever arrives), so
+     * this is a pure encoder-side policy — an extension beyond the
+     * paper, quantified by bench/ablation_costaware.
+     */
+    PredictiveTranscoder(std::string scheme_name, Dict dictionary,
+                         double lambda = 1.0, bool cost_aware = false)
+        : scheme(std::move(scheme_name)), enc_dict(dictionary),
+          dec_dict(dictionary), lambda(lambda), cost_aware(cost_aware)
+    {
+    }
+
+    std::string name() const override { return scheme; }
+    unsigned width() const override { return kCodedWidth; }
+
+    u64
+    encode(Word value) override
+    {
+        ++op_counts.cycles;
+        const bool is_repeat = enc_has_last && value == enc_last;
+        const LookupResult res = enc_dict.access(value, &op_counts);
+        if (is_repeat) {
+            // LAST-value prediction: the wire state (data and control)
+            // is left exactly as-is — zero transitions.
+            ++op_counts.last_hits;
+        } else if (res.hit && res.index < kMaxCodePoints) {
+            const u64 code_state =
+                withCtl((enc_state ^ codeVector(res.index)) & kDataMask,
+                        CtlState::Code);
+            if (cost_aware) {
+                const u64 raw_state =
+                    chooseRawState(enc_state, value, lambda);
+                const double code_cost = transitionCost(
+                    enc_state, code_state, kCodedWidth, lambda);
+                const double raw_cost = transitionCost(
+                    enc_state, raw_state, kCodedWidth, lambda);
+                if (raw_cost < code_cost) {
+                    ++op_counts.raw_sends;
+                    enc_state = raw_state;
+                } else {
+                    ++op_counts.hits;
+                    enc_state = code_state;
+                }
+            } else {
+                ++op_counts.hits;
+                enc_state = code_state;
+            }
+        } else {
+            ++op_counts.raw_sends;
+            enc_state = chooseRawState(enc_state, value, lambda);
+        }
+        enc_last = value;
+        enc_has_last = true;
+        return enc_state;
+    }
+
+    Word
+    decode(u64 wire_state) override
+    {
+        const auto decoded = interpret(wire_state, dec_state);
+        panicIf(!decoded, scheme, ": undecodable wire state");
+        Word value = 0;
+        using Kind = DecodedCodeword::Kind;
+        switch (decoded->kind) {
+          case Kind::LastValue:
+            panicIf(!dec_has_last, scheme, ": LAST code with no history");
+            value = dec_last;
+            break;
+          case Kind::Dictionary:
+            value = dec_dict.valueAt(decoded->index);
+            break;
+          case Kind::Raw:
+          case Kind::RawInverted:
+            value = decoded->raw;
+            break;
+        }
+        dec_dict.access(value, nullptr);
+        dec_state = wire_state;
+        dec_last = value;
+        dec_has_last = true;
+        return value;
+    }
+
+    void
+    reset() override
+    {
+        enc_dict.reset();
+        dec_dict.reset();
+        enc_state = dec_state = 0;
+        enc_has_last = dec_has_last = false;
+        enc_last = dec_last = 0;
+        op_counts = OpCounts{};
+    }
+
+    /** Dictionary access for tests/telemetry (encoder side). */
+    const Dict &dictionary() const { return enc_dict; }
+
+  private:
+    std::string scheme;
+    Dict enc_dict;
+    Dict dec_dict;
+    double lambda;
+    bool cost_aware;
+    u64 enc_state = 0;
+    u64 dec_state = 0;
+    Word enc_last = 0;
+    Word dec_last = 0;
+    bool enc_has_last = false;
+    bool dec_has_last = false;
+};
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_PREDICTIVE_H

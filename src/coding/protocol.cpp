@@ -1,0 +1,38 @@
+#include "coding/protocol.h"
+
+namespace predbus::coding
+{
+
+std::optional<DecodedCodeword>
+interpret(u64 state, u64 prev_state)
+{
+    DecodedCodeword out;
+    const u64 data = state & kDataMask;
+    switch (ctlOf(state)) {
+      case CtlState::Code: {
+        const u64 cw = data ^ (prev_state & kDataMask);
+        if (cw == 0) {
+            out.kind = DecodedCodeword::Kind::LastValue;
+            return out;
+        }
+        if (const auto index = codeIndex(cw)) {
+            out.kind = DecodedCodeword::Kind::Dictionary;
+            out.index = *index;
+            return out;
+        }
+        return std::nullopt;
+      }
+      case CtlState::Raw:
+        out.kind = DecodedCodeword::Kind::Raw;
+        out.raw = static_cast<Word>(data);
+        return out;
+      case CtlState::RawInv:
+        out.kind = DecodedCodeword::Kind::RawInverted;
+        out.raw = static_cast<Word>(~data & kDataMask);
+        return out;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace predbus::coding

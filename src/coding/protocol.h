@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared wire-protocol helpers for predictive transcoders: low-weight
+ * code vectors sorted by energy cost (paper §1.2), control-wire
+ * signalling, and the raw / raw-inverted choice.
+ *
+ * Protocol (paper Fig 2): the coded bus carries W_B data wires plus
+ * two control wires whose *state* selects the interpretation of the
+ * data wires —
+ *   Code   (00): the data wires are transition-coded; the XOR against
+ *                the previous data state is the code word (all-zero =
+ *                LAST value, low-weight vector = dictionary index);
+ *   Raw    (01): the data wires carry the value itself;
+ *   RawInv (10): the data wires carry the inverted value.
+ * Absolute control states (rather than transition-signalled ones)
+ * make runs of raw words cost exactly what the unencoded bus would:
+ * only the first raw word of a run flips a control wire.
+ */
+
+#ifndef PREDBUS_CODING_PROTOCOL_H
+#define PREDBUS_CODING_PROTOCOL_H
+
+#include <optional>
+
+#include "coding/codec.h"
+#include "common/bitops.h"
+
+namespace predbus::coding
+{
+
+/** Control wires sit above the 32 data wires. */
+constexpr unsigned kCodedWidth = kDataWidth + 2;
+constexpr u64 kDataMask = maskLow(kDataWidth);
+constexpr u64 kCtlMask = u64{3} << kDataWidth;
+
+/** Interpretation selected by the control wires. */
+enum class CtlState : unsigned
+{
+    Code = 0,
+    Raw = 1,
+    RawInv = 2,
+};
+
+constexpr u64
+withCtl(u64 data, CtlState ctl)
+{
+    return (data & kDataMask) |
+           (u64{static_cast<unsigned>(ctl)} << kDataWidth);
+}
+
+constexpr CtlState
+ctlOf(u64 state)
+{
+    return static_cast<CtlState>((state >> kDataWidth) & 3);
+}
+
+/**
+ * Dictionary code vectors sorted by increasing Hamming weight:
+ * indices 0..31 are one-hot, 32..62 two-hot (adjacent pairs),
+ * 63..92 three-hot runs. 93 code points total.
+ */
+constexpr unsigned kMaxCodePoints = 93;
+
+constexpr u64
+codeVector(unsigned index)
+{
+    if (index < 32)
+        return u64{1} << index;
+    if (index < 63)
+        return u64{3} << (index - 32);
+    return u64{7} << (index - 63);
+}
+
+/** Inverse of codeVector; nullopt for unassigned patterns. */
+constexpr std::optional<unsigned>
+codeIndex(u64 vector)
+{
+    if (vector == 0 || (vector >> kDataWidth) != 0)
+        return std::nullopt;
+    const int weight = popcount(vector);
+    const int low = std::countr_zero(vector);
+    switch (weight) {
+      case 1:
+        return static_cast<unsigned>(low);
+      case 2:
+        if (vector == (u64{3} << low) && low < 31)
+            return static_cast<unsigned>(32 + low);
+        return std::nullopt;
+      case 3:
+        if (vector == (u64{7} << low) && low < 30)
+            return static_cast<unsigned>(63 + low);
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+/** Relative transition cost between two wire states (Eq. 1 shape). */
+inline double
+transitionCost(u64 from, u64 to, unsigned n_wires, double lambda)
+{
+    const double tau = hammingDistance(from, to);
+    const double kappa = couplingEvents(from, to, n_wires);
+    return tau + lambda * kappa;
+}
+
+/**
+ * Pick raw vs raw-inverted for @p value against wire state @p cur
+ * (Fig 2): candidate states are (value, Raw) and (~value, RawInv);
+ * return the cheaper at coupling ratio @p lambda.
+ */
+inline u64
+chooseRawState(u64 cur, Word value, double lambda)
+{
+    const u64 cand_raw = withCtl(value, CtlState::Raw);
+    const u64 cand_inv =
+        withCtl(~u64{value} & kDataMask, CtlState::RawInv);
+    const double cost_raw =
+        transitionCost(cur, cand_raw, kCodedWidth, lambda);
+    const double cost_inv =
+        transitionCost(cur, cand_inv, kCodedWidth, lambda);
+    return (cost_raw <= cost_inv) ? cand_raw : cand_inv;
+}
+
+/** Interpretation of one received wire state. */
+struct DecodedCodeword
+{
+    enum class Kind { LastValue, Dictionary, Raw, RawInverted } kind;
+    unsigned index = 0;   ///< dictionary index (Kind::Dictionary)
+    Word raw = 0;         ///< payload (Raw / RawInverted)
+};
+
+/**
+ * Interpret the wire state @p state given the previous state
+ * @p prev_state. nullopt for illegal combinations (control state 11
+ * or a non-code transition vector under Code).
+ */
+std::optional<DecodedCodeword> interpret(u64 state, u64 prev_state);
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_PROTOCOL_H

@@ -1,0 +1,74 @@
+#include "coding/spatial.h"
+
+#include <set>
+
+#include "common/log.h"
+
+namespace predbus::coding
+{
+
+SpatialCoder::SpatialCoder(unsigned input_bits) : in_bits(input_bits)
+{
+    if (input_bits == 0 || input_bits > 20)
+        fatal("spatial coder supports 1..20 input bits");
+}
+
+std::string
+SpatialCoder::name() const
+{
+    return "spatial" + std::to_string(in_bits);
+}
+
+u64
+SpatialCoder::encode(Word value)
+{
+    ++op_counts.cycles;
+    panicIf(value >= (u32{1} << in_bits),
+            "spatial: value exceeds input width");
+    if (enc_first) {
+        enc_first = false;
+        enc_cur = value;
+        return value;
+    }
+    if (value != enc_cur) {
+        // One wire falls, one rises.
+        count.tau += 2;
+
+        // Coupling: adjacent pairs (p, p+1) for p in [0, W-2] whose
+        // relative state changed. A one-hot at position x contributes
+        // relative-state bits {x-1, x}; the symmetric difference of
+        // the old and new contributions is what flips.
+        const unsigned w = width();
+        const s64 a = enc_cur, b = value;
+        std::set<s64> changed;
+        for (s64 p : {a - 1, a, b - 1, b}) {
+            if (p < 0 || p > static_cast<s64>(w) - 2)
+                continue;
+            if (changed.count(p))
+                changed.erase(p);  // appears twice: cancels
+            else
+                changed.insert(p);
+        }
+        count.kappa += changed.size();
+        enc_cur = value;
+    }
+    ++op_counts.hits;
+    return value;
+}
+
+Word
+SpatialCoder::decode(u64 wire_state)
+{
+    return static_cast<Word>(wire_state);
+}
+
+void
+SpatialCoder::reset()
+{
+    count = EnergyCount{};
+    enc_cur = 0;
+    enc_first = true;
+    op_counts = OpCounts{};
+}
+
+} // namespace predbus::coding

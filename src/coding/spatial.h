@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Spatial (one-hot) coder (paper §4.3, Fig 9).
+ *
+ * W_C = 2^W_B: every input value maps to a single wire, so any value
+ * change costs exactly two transitions (one wire falls, one rises) at
+ * an exponential area cost. Because the bus can have up to 2^20
+ * wires, this coder meters its own tau/kappa analytically instead of
+ * exposing wire states.
+ */
+
+#ifndef PREDBUS_CODING_SPATIAL_H
+#define PREDBUS_CODING_SPATIAL_H
+
+#include "coding/codec.h"
+
+namespace predbus::coding
+{
+
+class SpatialCoder : public Transcoder
+{
+  public:
+    /** @p input_bits <= 20; the coded bus has 2^input_bits wires. */
+    explicit SpatialCoder(unsigned input_bits);
+
+    std::string name() const override;
+    unsigned width() const override { return 1u << in_bits; }
+    /** Input values must fit in input_bits. Returns the value as an
+     * opaque token (the one-hot position). */
+    u64 encode(Word value) override;
+    Word decode(u64 wire_state) override;
+    void reset() override;
+
+    bool metersInternally() const override { return true; }
+    EnergyCount internalCount() const override { return count; }
+
+  private:
+    unsigned in_bits;
+    EnergyCount count;
+    Word enc_cur = 0;
+    bool enc_first = true;
+};
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_SPATIAL_H

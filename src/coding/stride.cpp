@@ -1,0 +1,117 @@
+#include "coding/stride.h"
+
+#include "common/log.h"
+
+namespace predbus::coding
+{
+
+StrideTranscoder::StrideTranscoder(unsigned num_strides, double lambda)
+    : K(num_strides), lambda(lambda)
+{
+    if (K == 0 || K > kMaxCodePoints)
+        fatal("stride count must be 1..", kMaxCodePoints);
+    enc.history.assign(2 * K, 0);
+    dec.history.assign(2 * K, 0);
+}
+
+std::string
+StrideTranscoder::name() const
+{
+    return "stride" + std::to_string(K);
+}
+
+void
+StrideTranscoder::Fsm::push(Word v)
+{
+    for (std::size_t i = history.size(); i-- > 1;)
+        history[i] = history[i - 1];
+    history[0] = v;
+    if (filled < history.size())
+        ++filled;
+    last = v;
+    has_last = true;
+}
+
+bool
+StrideTranscoder::Fsm::predict(unsigned k, Word &out) const
+{
+    if (filled < 2 * k)
+        return false;
+    const Word recent = history[k - 1];
+    const Word older = history[2 * k - 1];
+    out = recent + (recent - older);
+    return true;
+}
+
+u64
+StrideTranscoder::encode(Word value)
+{
+    ++op_counts.cycles;
+    if (enc.has_last && value == enc.last) {
+        ++op_counts.last_hits;
+        enc.push(value);
+        return enc.state;
+    }
+    bool coded = false;
+    for (unsigned k = 1; k <= K; ++k) {
+        Word pred;
+        // Two subtractions and a comparison per stride (paper §4.4).
+        ++op_counts.compares;
+        if (enc.predict(k, pred) && pred == value) {
+            ++op_counts.hits;
+            enc.state = withCtl((enc.state ^ codeVector(k - 1)) &
+                                    kDataMask,
+                                CtlState::Code);
+            coded = true;
+            break;
+        }
+    }
+    if (!coded) {
+        ++op_counts.raw_sends;
+        enc.state = chooseRawState(enc.state, value, lambda);
+    }
+    enc.push(value);
+    return enc.state;
+}
+
+Word
+StrideTranscoder::decode(u64 wire_state)
+{
+    const auto decoded = interpret(wire_state, dec.state);
+    panicIf(!decoded, "stride: undecodable wire state");
+    Word value = 0;
+    using Kind = DecodedCodeword::Kind;
+    switch (decoded->kind) {
+      case Kind::LastValue:
+        panicIf(!dec.has_last, "stride: LAST code with no history");
+        value = dec.last;
+        break;
+      case Kind::Dictionary: {
+        const unsigned k = decoded->index + 1;
+        Word pred;
+        panicIf(k > K || !dec.predict(k, pred),
+                "stride: invalid stride code");
+        value = pred;
+        break;
+      }
+      case Kind::Raw:
+      case Kind::RawInverted:
+        value = decoded->raw;
+        break;
+    }
+    dec.push(value);
+    dec.state = wire_state;
+    return value;
+}
+
+void
+StrideTranscoder::reset()
+{
+    enc = Fsm{};
+    dec = Fsm{};
+    enc.history.assign(2 * K, 0);
+    dec.history.assign(2 * K, 0);
+    op_counts = OpCounts{};
+}
+
+} // namespace predbus::coding

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Multi-stride predictive transcoder (paper §4.3 Fig 11, Figs 16-17).
+ *
+ * A shift register of previous bus values feeds K stride predictors:
+ * predictor k extrapolates from every k-th value,
+ * pred_k = h[k-1] + (h[k-1] - h[2k-1]) (h[0] = most recent). The
+ * lowest matching interval wins and is sent as a low-weight code
+ * (confidence ordering); LAST-value repeats are code 0; otherwise the
+ * word goes raw.
+ */
+
+#ifndef PREDBUS_CODING_STRIDE_H
+#define PREDBUS_CODING_STRIDE_H
+
+#include <vector>
+
+#include "coding/protocol.h"
+
+namespace predbus::coding
+{
+
+class StrideTranscoder : public Transcoder
+{
+  public:
+    /** @p num_strides = K, intervals 1..K. */
+    explicit StrideTranscoder(unsigned num_strides, double lambda = 1.0);
+
+    std::string name() const override;
+    unsigned width() const override { return kCodedWidth; }
+    u64 encode(Word value) override;
+    Word decode(u64 wire_state) override;
+    void reset() override;
+
+    unsigned strides() const { return K; }
+
+  private:
+    struct Fsm
+    {
+        std::vector<Word> history;  ///< [0] = most recent
+        std::size_t filled = 0;
+        u64 state = 0;
+        Word last = 0;
+        bool has_last = false;
+
+        void push(Word v);
+        /** Prediction for interval k; false if history too short. */
+        bool predict(unsigned k, Word &out) const;
+    };
+
+    unsigned K;
+    double lambda;
+    Fsm enc, dec;
+};
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_STRIDE_H

@@ -1,0 +1,56 @@
+#include "coding/window.h"
+
+namespace predbus::coding
+{
+
+WindowDict::WindowDict(unsigned n_entries)
+{
+    if (n_entries == 0 || n_entries > kMaxCodePoints)
+        fatal("window size must be 1..", kMaxCodePoints);
+    vals.assign(n_entries, 0);
+    valid.assign(n_entries, false);
+}
+
+LookupResult
+WindowDict::access(Word v, OpCounts *ops)
+{
+    if (ops)
+        ++ops->matches;
+    for (unsigned i = 0; i < vals.size(); ++i) {
+        if (valid[i] && vals[i] == v)
+            return LookupResult{true, i};
+    }
+    // Miss: replace the oldest entry (pointer-based shift).
+    vals[head] = v;
+    valid[head] = true;
+    head = (head + 1) % vals.size();
+    if (ops)
+        ++ops->shifts;
+    return LookupResult{false, 0};
+}
+
+Word
+WindowDict::valueAt(unsigned index) const
+{
+    panicIf(index >= vals.size(), "window index out of range");
+    return vals[index];
+}
+
+void
+WindowDict::reset()
+{
+    std::fill(valid.begin(), valid.end(), false);
+    std::fill(vals.begin(), vals.end(), 0);
+    head = 0;
+}
+
+bool
+WindowDict::contains(Word v) const
+{
+    for (unsigned i = 0; i < vals.size(); ++i)
+        if (valid[i] && vals[i] == v)
+            return true;
+    return false;
+}
+
+} // namespace predbus::coding

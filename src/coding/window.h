@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Window-based dictionary (paper §4.3 "Window-based predictor",
+ * Figs 18-19, and the silicon design of §5, Fig 33).
+ *
+ * A pointer-based shift register of the last N *unique* bus values:
+ * hits leave the register untouched; misses replace the oldest entry
+ * (only the head entry's bits change — the paper's "pointer-based
+ * shift entries" circuit). Codes are physical positions.
+ */
+
+#ifndef PREDBUS_CODING_WINDOW_H
+#define PREDBUS_CODING_WINDOW_H
+
+#include <vector>
+
+#include "coding/predictive.h"
+
+namespace predbus::coding
+{
+
+class WindowDict
+{
+  public:
+    explicit WindowDict(unsigned entries);
+
+    LookupResult access(Word v, OpCounts *ops);
+    Word valueAt(unsigned index) const;
+    unsigned entries() const { return static_cast<unsigned>(vals.size()); }
+    void reset();
+
+    /** True if @p v is currently resident (for tests). */
+    bool contains(Word v) const;
+
+  private:
+    std::vector<Word> vals;
+    std::vector<bool> valid;
+    unsigned head = 0;   ///< next replacement position
+};
+
+/** The paper's Window-based transcoder. */
+using WindowTranscoder = PredictiveTranscoder<WindowDict>;
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_WINDOW_H

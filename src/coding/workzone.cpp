@@ -1,0 +1,148 @@
+#include "coding/workzone.h"
+
+#include <bit>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace predbus::coding
+{
+
+WorkZoneCoder::WorkZoneCoder(unsigned zones) : n_zones(zones)
+{
+    if (zones == 0 || zones > 16 || !std::has_single_bit(zones))
+        fatal("workzone: zone count must be a power of two in [1,16]");
+    zone_bits = static_cast<unsigned>(std::countr_zero(zones));
+    total_width = kDataWidth + 1 + zone_bits;
+    enc.zones.resize(zones);
+    dec.zones.resize(zones);
+}
+
+std::string
+WorkZoneCoder::name() const
+{
+    return "wze" + std::to_string(n_zones);
+}
+
+unsigned
+WorkZoneCoder::offsetIndex(s32 delta)
+{
+    panicIf(delta == 0 || delta < -kRange || delta > kRange,
+            "workzone: offset out of range");
+    return delta > 0 ? static_cast<unsigned>(delta - 1)
+                     : static_cast<unsigned>(16 + (-delta - 1));
+}
+
+s32
+WorkZoneCoder::indexOffset(unsigned index)
+{
+    panicIf(index >= 32, "workzone: bad offset index");
+    return index < 16 ? static_cast<s32>(index + 1)
+                      : -static_cast<s32>(index - 16 + 1);
+}
+
+u64
+WorkZoneCoder::encode(Word value)
+{
+    ++op_counts.cycles;
+
+    // Find the closest zone within range.
+    int best_zone = -1;
+    s32 best_delta = 0;
+    for (unsigned z = 0; z < n_zones; ++z) {
+        if (!enc.zones[z].valid)
+            continue;
+        const s32 delta =
+            static_cast<s32>(value - enc.zones[z].prev);
+        if (delta < -kRange || delta > kRange)
+            continue;
+        if (best_zone < 0 ||
+            std::abs(delta) < std::abs(best_delta)) {
+            best_zone = static_cast<int>(z);
+            best_delta = delta;
+        }
+    }
+    ++op_counts.matches;
+
+    u64 next;
+    if (best_zone >= 0) {
+        ++op_counts.hits;
+        if (best_delta == 0)
+            ++op_counts.last_hits;
+        u64 data = enc.state & maskLow(kDataWidth);
+        if (best_delta != 0)
+            data ^= u64{1} << offsetIndex(best_delta);
+        next = data | (u64{1} << kDataWidth) |
+               (u64{static_cast<unsigned>(best_zone)}
+                << (kDataWidth + 1));
+        Zone &zone = enc.zones[static_cast<unsigned>(best_zone)];
+        zone.prev = value;
+        zone.lru = ++enc.use_counter;
+    } else {
+        ++op_counts.raw_sends;
+        // Replace the LRU (or first invalid) zone.
+        unsigned victim = 0;
+        for (unsigned z = 0; z < n_zones; ++z) {
+            if (!enc.zones[z].valid) {
+                victim = z;
+                break;
+            }
+            if (enc.zones[z].lru < enc.zones[victim].lru)
+                victim = z;
+        }
+        Zone &zone = enc.zones[victim];
+        zone.prev = value;
+        zone.valid = true;
+        zone.lru = ++enc.use_counter;
+        ++op_counts.shifts;
+        next = u64{value} | (u64{victim} << (kDataWidth + 1));
+    }
+    enc.state = next;
+    return next;
+}
+
+Word
+WorkZoneCoder::decode(u64 wire_state)
+{
+    const bool hit = (wire_state >> kDataWidth) & 1;
+    const unsigned z = static_cast<unsigned>(
+        (wire_state >> (kDataWidth + 1)) & maskLow(zone_bits));
+    Word value;
+    if (hit) {
+        panicIf(z >= n_zones || !dec.zones[z].valid,
+                "workzone: hit on invalid zone");
+        const u64 flips = (wire_state ^ dec.state) & maskLow(kDataWidth);
+        if (flips == 0) {
+            value = dec.zones[z].prev;
+        } else {
+            panicIf(popcount(flips) != 1,
+                    "workzone: non-one-hot offset");
+            const unsigned index = static_cast<unsigned>(
+                std::countr_zero(flips));
+            value = dec.zones[z].prev +
+                    static_cast<Word>(indexOffset(index));
+        }
+        dec.zones[z].prev = value;
+        dec.zones[z].lru = ++dec.use_counter;
+    } else {
+        value = static_cast<Word>(wire_state & maskLow(kDataWidth));
+        Zone &zone = dec.zones[z];
+        zone.prev = value;
+        zone.valid = true;
+        zone.lru = ++dec.use_counter;
+    }
+    dec.state = wire_state;
+    return value;
+}
+
+void
+WorkZoneCoder::reset()
+{
+    enc = Fsm{};
+    dec = Fsm{};
+    enc.zones.assign(n_zones, Zone{});
+    dec.zones.assign(n_zones, Zone{});
+    op_counts = OpCounts{};
+}
+
+} // namespace predbus::coding

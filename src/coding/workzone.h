@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Working-zone encoding (paper §2, ref [15] Musoll/Lang/Cortadella).
+ *
+ * An address-bus code: programs touch a few "working zones" (stack,
+ * several arrays), and successive addresses within a zone differ by a
+ * small offset. The encoder keeps one previous address per zone; when
+ * the new address lands within ±16 words of some zone's previous
+ * address, it transmits the offset as a one-hot flip of the data wires
+ * plus the zone id — otherwise it sends the raw address and (re)trains
+ * the least-recently-used zone.
+ *
+ * Wire layout: 32 data wires, 1 hit wire (absolute), zone-id wires
+ * (absolute, log2(zones)).
+ */
+
+#ifndef PREDBUS_CODING_WORKZONE_H
+#define PREDBUS_CODING_WORKZONE_H
+
+#include <vector>
+
+#include "coding/codec.h"
+
+namespace predbus::coding
+{
+
+class WorkZoneCoder : public Transcoder
+{
+  public:
+    /** @p zones must be a power of two in [1, 16]. */
+    explicit WorkZoneCoder(unsigned zones);
+
+    std::string name() const override;
+    unsigned width() const override { return total_width; }
+    u64 encode(Word value) override;
+    Word decode(u64 wire_state) override;
+    void reset() override;
+
+    /** Offsets coded one-hot: delta in [-16, 16] excluding nothing;
+     * delta==0 uses the all-zero flip. */
+    static constexpr s32 kRange = 16;
+
+  private:
+    struct Zone
+    {
+        Word prev = 0;
+        bool valid = false;
+        u64 lru = 0;
+    };
+
+    struct Fsm
+    {
+        std::vector<Zone> zones;
+        u64 state = 0;
+        u64 use_counter = 0;
+    };
+
+    /** delta in [-kRange, kRange], delta != 0 -> wire index 0..31. */
+    static unsigned offsetIndex(s32 delta);
+    static s32 indexOffset(unsigned index);
+
+    u64 encodeWith(Fsm &fsm, Word value, bool count_ops);
+
+    unsigned n_zones;
+    unsigned zone_bits;
+    unsigned total_width;
+    Fsm enc, dec;
+};
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_WORKZONE_H

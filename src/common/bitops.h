@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the ISA, coding, and circuit layers.
+ *
+ * All functions are constexpr-friendly and operate on explicit-width
+ * unsigned types so behaviour is identical across hosts.
+ */
+
+#ifndef PREDBUS_COMMON_BITOPS_H
+#define PREDBUS_COMMON_BITOPS_H
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace predbus
+{
+
+/** Number of set bits (Hamming weight) of @p x. */
+constexpr int
+popcount(u64 x)
+{
+    return std::popcount(x);
+}
+
+/** Hamming distance between two words: bits that differ. */
+constexpr int
+hammingDistance(u64 a, u64 b)
+{
+    return std::popcount(a ^ b);
+}
+
+/** Extract bit @p pos (0 = LSB) of @p x. */
+constexpr u32
+bit(u64 x, unsigned pos)
+{
+    return static_cast<u32>((x >> pos) & 1u);
+}
+
+/** Extract the bit field [lo, lo+len) of @p x. */
+constexpr u64
+bits(u64 x, unsigned lo, unsigned len)
+{
+    return (len >= 64) ? (x >> lo) : ((x >> lo) & ((u64{1} << len) - 1));
+}
+
+/** Insert @p value into the bit field [lo, lo+len) of @p x. */
+constexpr u64
+insertBits(u64 x, unsigned lo, unsigned len, u64 value)
+{
+    const u64 mask = (len >= 64) ? ~u64{0} : ((u64{1} << len) - 1);
+    return (x & ~(mask << lo)) | ((value & mask) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p x to 64 bits. */
+constexpr s64
+signExtend(u64 x, unsigned width)
+{
+    const unsigned shift = 64 - width;
+    return static_cast<s64>(x << shift) >> shift;
+}
+
+/** Sign-extend the low @p width bits of @p x to 32 bits. */
+constexpr s32
+signExtend32(u32 x, unsigned width)
+{
+    const unsigned shift = 32 - width;
+    return static_cast<s32>(x << shift) >> shift;
+}
+
+/** A mask with the low @p n bits set (n may be 0..64). */
+constexpr u64
+maskLow(unsigned n)
+{
+    return (n >= 64) ? ~u64{0} : ((u64{1} << n) - 1);
+}
+
+/** One-hot word with only bit @p pos set. */
+constexpr u64
+oneHot(unsigned pos)
+{
+    return u64{1} << pos;
+}
+
+/** True if @p x has exactly zero or one bit set. */
+constexpr bool
+isOneHotOrZero(u64 x)
+{
+    return (x & (x - 1)) == 0;
+}
+
+/**
+ * Number of adjacent-pair "coupling" boundaries whose relative state
+ * changed between two samples of an @p n_wires -wide bus.
+ *
+ * This is the per-step summand of the paper's Eq. 3: for every adjacent
+ * wire pair (i, i+1), count 1 when (W_i XOR W_{i+1}) differs between the
+ * previous and the current bus state.
+ */
+constexpr int
+couplingEvents(u64 prev, u64 cur, unsigned n_wires)
+{
+    const u64 prev_rel = prev ^ (prev >> 1);
+    const u64 cur_rel = cur ^ (cur >> 1);
+    // Pairs (0,1)..(n-2,n-1) live in bits 0..n-2 of the relative views.
+    return std::popcount((prev_rel ^ cur_rel) & maskLow(n_wires - 1));
+}
+
+/** Reverse the low @p width bits of @p x. */
+constexpr u32
+reverseBits(u32 x, unsigned width)
+{
+    u32 out = 0;
+    for (unsigned i = 0; i < width; ++i)
+        out |= bit(x, i) << (width - 1 - i);
+    return out;
+}
+
+} // namespace predbus
+
+#endif // PREDBUS_COMMON_BITOPS_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: fatal() for user-caused
+ * conditions (bad configuration, malformed input), panic() for internal
+ * invariant violations (library bugs).
+ */
+
+#ifndef PREDBUS_COMMON_LOG_H
+#define PREDBUS_COMMON_LOG_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace predbus
+{
+
+/** Thrown for user-correctable errors (bad config, malformed files). */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Thrown for internal invariant violations — a predbus bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream ss;
+    (ss << ... << args);
+    return ss.str();
+}
+
+} // namespace detail
+
+/** Abort the operation with a user-facing error message. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the operation due to an internal inconsistency. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Check an internal invariant; panic with context on failure. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace predbus
+
+#endif // PREDBUS_COMMON_LOG_H

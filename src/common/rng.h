@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256++).
+ *
+ * predbus needs bit-for-bit reproducible workload data and random
+ * traces across hosts, so we avoid std::mt19937 distribution quirks and
+ * implement the generator plus the few distributions we use directly.
+ */
+
+#ifndef PREDBUS_COMMON_RNG_H
+#define PREDBUS_COMMON_RNG_H
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace predbus
+{
+
+/**
+ * xoshiro256++ generator (Blackman & Vigna). Deterministically seeded
+ * via splitmix64 so any 64-bit seed yields a well-mixed state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Reset the generator state from a 64-bit seed. */
+    void
+    reseed(u64 seed)
+    {
+        // splitmix64 to expand the seed into 256 bits of state.
+        auto next_seed = [&seed]() {
+            u64 z = (seed += 0x9e3779b97f4a7c15ull);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            return z ^ (z >> 31);
+        };
+        for (auto &word : state)
+            word = next_seed();
+    }
+
+    /** Next raw 64-bit output. */
+    u64
+    next64()
+    {
+        const u64 result = rotl(state[0] + state[3], 23) + state[0];
+        const u64 t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Next 32-bit output. */
+    u32 next32() { return static_cast<u32>(next64() >> 32); }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        // Rejection-free multiply-shift (Lemire); bias is < 2^-64.
+        return static_cast<u64>(
+            (static_cast<unsigned __int128>(next64()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    s64
+    range(s64 lo, s64 hi)
+    {
+        return lo + static_cast<s64>(below(static_cast<u64>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /** Standard normal via Box-Muller (uses two uniforms per call). */
+    double
+    gaussian()
+    {
+        double u1 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        const double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(6.283185307179586 * u2);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Zipf-like draw over [0, n): rank r selected with probability
+     * proportional to 1/(r+1)^s. Used to synthesize skewed value
+     * popularity similar to real bus traffic.
+     */
+    u64
+    zipf(u64 n, double s)
+    {
+        // Inverse-CDF on a harmonic prefix table would need memory; use
+        // rejection sampling with the standard envelope instead. The
+        // envelope requires s > 1.
+        if (s <= 1.0)
+            s = 1.0 + 1e-4;
+        const double b = std::pow(2.0, s - 1.0);
+        while (true) {
+            const double u = uniform();
+            const double v = uniform();
+            const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+            const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+            if (v * x * (t - 1.0) / (b - 1.0) <= t / b &&
+                x <= static_cast<double>(n)) {
+                return static_cast<u64>(x) - 1;
+            }
+        }
+    }
+
+  private:
+    static constexpr u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 state[4];
+};
+
+} // namespace predbus
+
+#endif // PREDBUS_COMMON_RNG_H

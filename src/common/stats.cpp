@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace predbus
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n;
+    total += x;
+    if (n == 1) {
+        mu = lo = hi = x;
+        m2 = 0.0;
+        return;
+    }
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+double
+RunningStat::variance() const
+{
+    return (n > 1) ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double
+percentile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    return percentileSorted(values, q);
+}
+
+double
+median(std::vector<double> values)
+{
+    return percentile(std::move(values), 0.5);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace predbus

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small statistics helpers: running moments, percentiles, histograms.
+ */
+
+#ifndef PREDBUS_COMMON_STATS_H
+#define PREDBUS_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus
+{
+
+/**
+ * Single-pass accumulator for count / mean / variance / min / max
+ * (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    u64 count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+  private:
+    u64 n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Percentile of a sample set with linear interpolation between order
+ * statistics. @p q is in [0, 1]. The input vector is copied; callers on
+ * hot paths should sort once and use percentileSorted.
+ */
+double percentile(std::vector<double> values, double q);
+
+/** Percentile of an already ascending-sorted sample set. */
+double percentileSorted(const std::vector<double> &sorted, double q);
+
+/** Median (50th percentile). */
+double median(std::vector<double> values);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean; 0 for an empty vector; requires positive samples. */
+double geomean(const std::vector<double> &values);
+
+} // namespace predbus
+
+#endif // PREDBUS_COMMON_STATS_H

@@ -1,0 +1,104 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace predbus
+{
+
+Table::Table(std::vector<std::string> header) : header(std::move(header)) {}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(std::string value)
+{
+    if (rows.empty())
+        throw std::logic_error("Table::cell called before Table::row");
+    rows.back().push_back(std::move(value));
+    return *this;
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream ss;
+    ss.setf(std::ios::fixed);
+    ss.precision(precision);
+    ss << value;
+    return cell(ss.str());
+}
+
+const std::string &
+Table::at(std::size_t r, std::size_t c) const
+{
+    return rows.at(r).at(c);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string &v = (c < cells.size()) ? cells[c] : "";
+            os << v << std::string(width[c] - v.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(header);
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &r : rows)
+        emit_row(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit_row(header);
+    for (const auto &r : rows)
+        emit_row(r);
+}
+
+bool
+wantCsv(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--csv") == 0)
+            return true;
+    return false;
+}
+
+} // namespace predbus

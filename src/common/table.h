@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Aligned console tables with optional CSV output.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures as
+ * rows/series; this class provides the uniform rendering for them.
+ */
+
+#ifndef PREDBUS_COMMON_TABLE_H
+#define PREDBUS_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace predbus
+{
+
+/**
+ * A rectangular table of strings with a header row. Numeric helpers
+ * format doubles with a fixed precision. Render as aligned text (for
+ * humans) or CSV (for plotting scripts).
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(std::string value);
+
+    /** Append an integer cell. */
+    Table &cell(long long value);
+
+    /** Append a floating-point cell with @p precision digits. */
+    Table &cell(double value, int precision = 3);
+
+    std::size_t rowCount() const { return rows.size(); }
+    std::size_t columnCount() const { return header.size(); }
+
+    /** The string contents of row @p r, column @p c. */
+    const std::string &at(std::size_t r, std::size_t c) const;
+
+    /** Render with space-padded, column-aligned formatting. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (no quoting; cells must be clean). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Parse bench-binary command-line conventions: returns true if
+ * "--csv" appears in (argc, argv).
+ */
+bool wantCsv(int argc, char **argv);
+
+} // namespace predbus
+
+#endif // PREDBUS_COMMON_TABLE_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental fixed-width type aliases used throughout predbus.
+ */
+
+#ifndef PREDBUS_COMMON_TYPES_H
+#define PREDBUS_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace predbus
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** A 32-bit value as it appears on a bus. */
+using Word = u32;
+
+/** Simulator cycle count. */
+using Cycle = u64;
+
+/** Guest physical/virtual address (flat 32-bit address space). */
+using Addr = u32;
+
+} // namespace predbus
+
+#endif // PREDBUS_COMMON_TYPES_H

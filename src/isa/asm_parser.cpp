@@ -1,0 +1,422 @@
+#include "isa/asm_parser.h"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "isa/isa.h"
+
+namespace predbus::isa
+{
+
+namespace
+{
+
+/** One operand token: a register, an FP register, a number, a symbol,
+ * or a memory reference imm(reg). */
+struct Operand
+{
+    enum class Kind { IntReg, FpReg, Number, Symbol, Mem } kind;
+    u8 reg = 0;
+    s64 number = 0;
+    double fnumber = 0.0;
+    std::string symbol;
+    // Mem: number is the offset, reg the base register.
+};
+
+class Parser
+{
+  public:
+    Parser(const std::string &source, const std::string &name,
+           Addr code_base)
+        : source(source), a(name, code_base)
+    {
+    }
+
+    Program
+    run()
+    {
+        std::istringstream in(source);
+        std::string line;
+        while (std::getline(in, line)) {
+            ++line_no;
+            parseLine(line);
+        }
+        Program prog = a.finish();
+        for (auto &seg : data_segments)
+            prog.data.push_back(std::move(seg));
+        return prog;
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &msg)
+    {
+        fatal("asm line ", line_no, ": ", msg);
+    }
+
+    static std::string
+    strip(const std::string &s)
+    {
+        std::size_t b = 0, e = s.size();
+        while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+            ++b;
+        while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+            --e;
+        return s.substr(b, e - b);
+    }
+
+    void
+    parseLine(std::string line)
+    {
+        // Remove comments.
+        for (char marker : {'#', ';'}) {
+            const auto pos = line.find(marker);
+            if (pos != std::string::npos)
+                line.resize(pos);
+        }
+        line = strip(line);
+        if (line.empty())
+            return;
+
+        // Leading labels (possibly several, possibly same line as insn).
+        while (true) {
+            const auto colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            const std::string head = strip(line.substr(0, colon));
+            if (head.empty() || !isSymbol(head))
+                break;
+            a.label(head);
+            line = strip(line.substr(colon + 1));
+            if (line.empty())
+                return;
+        }
+
+        if (line[0] == '.') {
+            parseDirective(line);
+            return;
+        }
+        parseInstruction(line);
+    }
+
+    static bool
+    isSymbol(const std::string &s)
+    {
+        if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0])))
+            return false;
+        for (char c : s)
+            if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+                return false;
+        return true;
+    }
+
+    static std::vector<std::string>
+    splitOperands(const std::string &s)
+    {
+        std::vector<std::string> out;
+        std::string cur;
+        for (char c : s) {
+            if (c == ',') {
+                out.push_back(strip(cur));
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        cur = strip(cur);
+        if (!cur.empty())
+            out.push_back(cur);
+        return out;
+    }
+
+    s64
+    parseNumber(const std::string &tok)
+    {
+        try {
+            std::size_t used = 0;
+            const s64 v = std::stoll(tok, &used, 0);
+            if (used != tok.size())
+                error("bad number '" + tok + "'");
+            return v;
+        } catch (const std::exception &) {
+            error("bad number '" + tok + "'");
+        }
+    }
+
+    Operand
+    parseOperand(const std::string &tok)
+    {
+        Operand op{};
+        if (tok.empty())
+            error("empty operand");
+        // Memory reference: imm(rN) — detect trailing ')'.
+        if (tok.back() == ')') {
+            const auto open = tok.find('(');
+            if (open == std::string::npos)
+                error("bad memory operand '" + tok + "'");
+            const std::string off = strip(tok.substr(0, open));
+            const std::string base =
+                strip(tok.substr(open + 1, tok.size() - open - 2));
+            op.kind = Operand::Kind::Mem;
+            op.number = off.empty() ? 0 : parseNumber(off);
+            op.reg = parseRegName(base, 'r');
+            return op;
+        }
+        if ((tok[0] == 'r' || tok[0] == 'f') && tok.size() >= 2 &&
+            std::isdigit(static_cast<unsigned char>(tok[1]))) {
+            op.kind = (tok[0] == 'r') ? Operand::Kind::IntReg
+                                      : Operand::Kind::FpReg;
+            op.reg = parseRegName(tok, tok[0]);
+            return op;
+        }
+        if (std::isdigit(static_cast<unsigned char>(tok[0])) ||
+            tok[0] == '-' || tok[0] == '+') {
+            op.kind = Operand::Kind::Number;
+            op.number = parseNumber(tok);
+            return op;
+        }
+        if (isSymbol(tok)) {
+            op.kind = Operand::Kind::Symbol;
+            op.symbol = tok;
+            return op;
+        }
+        error("unrecognized operand '" + tok + "'");
+    }
+
+    u8
+    parseRegName(const std::string &tok, char prefix)
+    {
+        if (tok.size() < 2 || tok[0] != prefix)
+            error("expected register, got '" + tok + "'");
+        s64 n = 0;
+        for (std::size_t i = 1; i < tok.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+                error("expected register, got '" + tok + "'");
+            n = n * 10 + (tok[i] - '0');
+        }
+        if (n > 31)
+            error("register out of range '" + tok + "'");
+        return static_cast<u8>(n);
+    }
+
+    void
+    parseDirective(const std::string &line)
+    {
+        std::istringstream ss(line);
+        std::string word;
+        ss >> word;
+        std::string rest;
+        std::getline(ss, rest);
+        rest = strip(rest);
+
+        if (word == ".text") {
+            in_data = false;
+            return;
+        }
+        if (word == ".data") {
+            in_data = true;
+            data_segments.emplace_back();
+            data_segments.back().base = rest.empty()
+                ? kDefaultDataBase
+                : static_cast<Addr>(parseNumber(rest));
+            return;
+        }
+        if (!in_data && (word == ".word" || word == ".double" ||
+                         word == ".space"))
+            error(word + " outside a .data section");
+        if (word == ".word") {
+            for (const std::string &tok : splitOperands(rest)) {
+                const u32 v = static_cast<u32>(parseNumber(tok));
+                auto &bytes = data_segments.back().bytes;
+                for (int b = 0; b < 4; ++b)
+                    bytes.push_back(static_cast<u8>(v >> (8 * b)));
+            }
+            return;
+        }
+        if (word == ".double") {
+            for (const std::string &tok : splitOperands(rest)) {
+                double d = 0.0;
+                try {
+                    d = std::stod(tok);
+                } catch (const std::exception &) {
+                    error("bad double '" + tok + "'");
+                }
+                u64 raw;
+                std::memcpy(&raw, &d, 8);
+                auto &bytes = data_segments.back().bytes;
+                for (int b = 0; b < 8; ++b)
+                    bytes.push_back(static_cast<u8>(raw >> (8 * b)));
+            }
+            return;
+        }
+        if (word == ".space") {
+            const s64 n = parseNumber(rest);
+            if (n < 0)
+                error(".space with negative size");
+            auto &bytes = data_segments.back().bytes;
+            bytes.insert(bytes.end(), static_cast<std::size_t>(n), 0);
+            return;
+        }
+        error("unknown directive '" + word + "'");
+    }
+
+    Operand
+    need(const std::vector<Operand> &ops, std::size_t i,
+         Operand::Kind kind)
+    {
+        if (i >= ops.size())
+            error("missing operand");
+        if (ops[i].kind != kind) {
+            // Allow a plain number where a memory operand with zero base
+            // would be nonsense; no implicit conversions otherwise.
+            error("operand " + std::to_string(i + 1) + " has wrong kind");
+        }
+        return ops[i];
+    }
+
+    void
+    parseInstruction(const std::string &line)
+    {
+        std::istringstream ss(line);
+        std::string mnemonic;
+        ss >> mnemonic;
+        std::string rest;
+        std::getline(ss, rest);
+        std::vector<Operand> ops;
+        for (const std::string &tok : splitOperands(strip(rest)))
+            ops.push_back(parseOperand(tok));
+
+        using K = Operand::Kind;
+        auto ir = [&](std::size_t i) { return Reg{need(ops, i, K::IntReg).reg}; };
+        auto fr = [&](std::size_t i) { return FReg{need(ops, i, K::FpReg).reg}; };
+        auto num = [&](std::size_t i) { return need(ops, i, K::Number).number; };
+        auto mem = [&](std::size_t i) { return need(ops, i, K::Mem); };
+        auto sym = [&](std::size_t i) { return need(ops, i, K::Symbol).symbol; };
+
+        const std::string &m = mnemonic;
+        // Pseudo-ops first.
+        if (m == "li") { a.li(ir(0), static_cast<u32>(num(1))); return; }
+        if (m == "la") { a.la(ir(0), static_cast<Addr>(num(1))); return; }
+        if (m == "move") { a.move(ir(0), ir(1)); return; }
+        if (m == "nop") { a.nop(); return; }
+
+        if (m == "sll") { a.sll(ir(0), ir(1), static_cast<unsigned>(num(2))); return; }
+        if (m == "srl") { a.srl(ir(0), ir(1), static_cast<unsigned>(num(2))); return; }
+        if (m == "sra") { a.sra(ir(0), ir(1), static_cast<unsigned>(num(2))); return; }
+        if (m == "sllv") { a.sllv(ir(0), ir(1), ir(2)); return; }
+        if (m == "srlv") { a.srlv(ir(0), ir(1), ir(2)); return; }
+        if (m == "srav") { a.srav(ir(0), ir(1), ir(2)); return; }
+        if (m == "add") { a.add(ir(0), ir(1), ir(2)); return; }
+        if (m == "sub") { a.sub(ir(0), ir(1), ir(2)); return; }
+        if (m == "mul") { a.mul(ir(0), ir(1), ir(2)); return; }
+        if (m == "div") { a.div(ir(0), ir(1), ir(2)); return; }
+        if (m == "rem") { a.rem(ir(0), ir(1), ir(2)); return; }
+        if (m == "and") { a.and_(ir(0), ir(1), ir(2)); return; }
+        if (m == "or") { a.or_(ir(0), ir(1), ir(2)); return; }
+        if (m == "xor") { a.xor_(ir(0), ir(1), ir(2)); return; }
+        if (m == "nor") { a.nor(ir(0), ir(1), ir(2)); return; }
+        if (m == "slt") { a.slt(ir(0), ir(1), ir(2)); return; }
+        if (m == "sltu") { a.sltu(ir(0), ir(1), ir(2)); return; }
+        if (m == "addi") { a.addi(ir(0), ir(1), static_cast<s32>(num(2))); return; }
+        if (m == "slti") { a.slti(ir(0), ir(1), static_cast<s32>(num(2))); return; }
+        if (m == "sltiu") { a.sltiu(ir(0), ir(1), static_cast<s32>(num(2))); return; }
+        if (m == "andi") { a.andi(ir(0), ir(1), static_cast<u32>(num(2))); return; }
+        if (m == "ori") { a.ori(ir(0), ir(1), static_cast<u32>(num(2))); return; }
+        if (m == "xori") { a.xori(ir(0), ir(1), static_cast<u32>(num(2))); return; }
+        if (m == "lui") { a.lui(ir(0), static_cast<u32>(num(1))); return; }
+
+        if (m == "lb" || m == "lbu" || m == "lh" || m == "lhu" ||
+            m == "lw" || m == "sb" || m == "sh" || m == "sw") {
+            const Operand mo = mem(1);
+            const Reg rt = ir(0);
+            const Reg base{mo.reg};
+            const s32 off = static_cast<s32>(mo.number);
+            if (m == "lb") a.lb(rt, base, off);
+            else if (m == "lbu") a.lbu(rt, base, off);
+            else if (m == "lh") a.lh(rt, base, off);
+            else if (m == "lhu") a.lhu(rt, base, off);
+            else if (m == "lw") a.lw(rt, base, off);
+            else if (m == "sb") a.sb(rt, base, off);
+            else if (m == "sh") a.sh(rt, base, off);
+            else a.sw(rt, base, off);
+            return;
+        }
+        if (m == "fld" || m == "fsd") {
+            const Operand mo = mem(1);
+            const FReg ft = fr(0);
+            if (m == "fld")
+                a.fld(ft, Reg{mo.reg}, static_cast<s32>(mo.number));
+            else
+                a.fsd(ft, Reg{mo.reg}, static_cast<s32>(mo.number));
+            return;
+        }
+
+        if (m == "j") { a.j(sym(0)); return; }
+        if (m == "jal") { a.jal(sym(0)); return; }
+        if (m == "jr") { a.jr(ir(0)); return; }
+        if (m == "jalr") { a.jalr(ir(0), ir(1)); return; }
+        if (m == "beq") { a.beq(ir(0), ir(1), sym(2)); return; }
+        if (m == "bne") { a.bne(ir(0), ir(1), sym(2)); return; }
+        if (m == "blez") { a.blez(ir(0), sym(1)); return; }
+        if (m == "bgtz") { a.bgtz(ir(0), sym(1)); return; }
+        if (m == "bltz") { a.bltz(ir(0), sym(1)); return; }
+        if (m == "bgez") { a.bgez(ir(0), sym(1)); return; }
+
+        if (m == "fadd") { a.fadd(fr(0), fr(1), fr(2)); return; }
+        if (m == "fsub") { a.fsub(fr(0), fr(1), fr(2)); return; }
+        if (m == "fmul") { a.fmul(fr(0), fr(1), fr(2)); return; }
+        if (m == "fdiv") { a.fdiv(fr(0), fr(1), fr(2)); return; }
+        if (m == "fmin") { a.fmin(fr(0), fr(1), fr(2)); return; }
+        if (m == "fmax") { a.fmax(fr(0), fr(1), fr(2)); return; }
+        if (m == "fsqrt") { a.fsqrt(fr(0), fr(1)); return; }
+        if (m == "fabs") { a.fabs_(fr(0), fr(1)); return; }
+        if (m == "fneg") { a.fneg(fr(0), fr(1)); return; }
+        if (m == "fmov") { a.fmov(fr(0), fr(1)); return; }
+        if (m == "cvtif") { a.cvtif(fr(0), ir(1)); return; }
+        if (m == "cvtfi") { a.cvtfi(ir(0), fr(1)); return; }
+        if (m == "fclt") { a.fclt(ir(0), fr(1), fr(2)); return; }
+        if (m == "fcle") { a.fcle(ir(0), fr(1), fr(2)); return; }
+        if (m == "fceq") { a.fceq(ir(0), fr(1), fr(2)); return; }
+
+        if (m == "halt") { a.halt(); return; }
+        if (m == "out") { a.out(ir(0)); return; }
+
+        error("unknown mnemonic '" + m + "'");
+    }
+
+    const std::string &source;
+    Asm a;
+    int line_no = 0;
+    bool in_data = false;
+    std::vector<Segment> data_segments;
+};
+
+} // namespace
+
+Program
+assembleText(const std::string &source, const std::string &name,
+             Addr code_base)
+{
+    Parser p(source, name, code_base);
+    Program prog = p.run();
+    prog.name = name;
+    return prog;
+}
+
+Program
+assembleFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open assembly file '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return assembleText(ss.str(), path);
+}
+
+} // namespace predbus::isa

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Text assembler for P32 (.s syntax).
+ *
+ * Accepts the syntax emitted by disassemble() plus labels, pseudo-ops
+ * and data directives:
+ *
+ * @code
+ *   # comment
+ *   .data 0x100000        ; switch to data emission at address
+ *   .word 1, 2, 3
+ *   .double 3.14
+ *   .space 64             ; zero-filled bytes
+ *   .text                 ; back to code
+ *   li r1, 0x1234
+ *   loop:
+ *   addi r1, r1, -1
+ *   bgtz r1, loop
+ *   halt
+ * @endcode
+ */
+
+#ifndef PREDBUS_ISA_ASM_PARSER_H
+#define PREDBUS_ISA_ASM_PARSER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace predbus::isa
+{
+
+/**
+ * Assemble P32 source text into a Program.
+ * Throws FatalError with a line number on syntax errors.
+ */
+Program assembleText(const std::string &source,
+                     const std::string &name = "asm",
+                     Addr code_base = kDefaultCodeBase);
+
+/** Assemble a .s file from disk. */
+Program assembleFile(const std::string &path);
+
+} // namespace predbus::isa
+
+#endif // PREDBUS_ISA_ASM_PARSER_H

@@ -1,0 +1,294 @@
+#include "isa/assembler.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace predbus::isa
+{
+
+Asm::Asm(std::string name, Addr code_base, Addr pool_base)
+    : name(std::move(name)), code_base(code_base), pool_base(pool_base)
+{
+}
+
+void
+Asm::label(const std::string &label_name)
+{
+    if (labels.count(label_name))
+        fatal("duplicate label '", label_name, "' in ", name);
+    labels[label_name] = static_cast<u32>(code.size());
+}
+
+Addr
+Asm::here() const
+{
+    return code_base + static_cast<Addr>(code.size() * 4);
+}
+
+Addr
+Asm::labelAddr(const std::string &label_name) const
+{
+    auto it = labels.find(label_name);
+    if (it == labels.end())
+        fatal("undefined label '", label_name, "' in ", name);
+    return code_base + it->second * 4;
+}
+
+void
+Asm::emit(const Instruction &inst)
+{
+    panicIf(finished, "Asm::emit after finish()");
+    code.push_back(encode(inst));
+}
+
+void
+Asm::raw(u32 word)
+{
+    panicIf(finished, "Asm::raw after finish()");
+    code.push_back(word);
+}
+
+namespace
+{
+
+Instruction
+rtype(Opcode op, u8 rd, u8 rs, u8 rt, u8 shamt = 0)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.rt = rt;
+    i.shamt = shamt;
+    return i;
+}
+
+Instruction
+itype(Opcode op, u8 rt, u8 rs, s32 imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rt = rt;
+    i.rs = rs;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+void Asm::sll(Reg rd, Reg rt, unsigned shamt)
+{ emit(rtype(Opcode::SLL, rd.n, 0, rt.n, static_cast<u8>(shamt))); }
+void Asm::srl(Reg rd, Reg rt, unsigned shamt)
+{ emit(rtype(Opcode::SRL, rd.n, 0, rt.n, static_cast<u8>(shamt))); }
+void Asm::sra(Reg rd, Reg rt, unsigned shamt)
+{ emit(rtype(Opcode::SRA, rd.n, 0, rt.n, static_cast<u8>(shamt))); }
+void Asm::sllv(Reg rd, Reg rt, Reg rs)
+{ emit(rtype(Opcode::SLLV, rd.n, rs.n, rt.n)); }
+void Asm::srlv(Reg rd, Reg rt, Reg rs)
+{ emit(rtype(Opcode::SRLV, rd.n, rs.n, rt.n)); }
+void Asm::srav(Reg rd, Reg rt, Reg rs)
+{ emit(rtype(Opcode::SRAV, rd.n, rs.n, rt.n)); }
+
+void Asm::add(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::ADD, rd.n, rs.n, rt.n)); }
+void Asm::sub(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::SUB, rd.n, rs.n, rt.n)); }
+void Asm::mul(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::MUL, rd.n, rs.n, rt.n)); }
+void Asm::div(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::DIV, rd.n, rs.n, rt.n)); }
+void Asm::rem(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::REM, rd.n, rs.n, rt.n)); }
+void Asm::and_(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::AND, rd.n, rs.n, rt.n)); }
+void Asm::or_(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::OR, rd.n, rs.n, rt.n)); }
+void Asm::xor_(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::XOR, rd.n, rs.n, rt.n)); }
+void Asm::nor(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::NOR, rd.n, rs.n, rt.n)); }
+void Asm::slt(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::SLT, rd.n, rs.n, rt.n)); }
+void Asm::sltu(Reg rd, Reg rs, Reg rt)
+{ emit(rtype(Opcode::SLTU, rd.n, rs.n, rt.n)); }
+
+void Asm::addi(Reg rt, Reg rs, s32 imm)
+{ emit(itype(Opcode::ADDI, rt.n, rs.n, imm)); }
+void Asm::slti(Reg rt, Reg rs, s32 imm)
+{ emit(itype(Opcode::SLTI, rt.n, rs.n, imm)); }
+void Asm::sltiu(Reg rt, Reg rs, s32 imm)
+{ emit(itype(Opcode::SLTIU, rt.n, rs.n, imm)); }
+void Asm::andi(Reg rt, Reg rs, u32 imm)
+{ emit(itype(Opcode::ANDI, rt.n, rs.n, static_cast<s32>(imm & 0xffff))); }
+void Asm::ori(Reg rt, Reg rs, u32 imm)
+{ emit(itype(Opcode::ORI, rt.n, rs.n, static_cast<s32>(imm & 0xffff))); }
+void Asm::xori(Reg rt, Reg rs, u32 imm)
+{ emit(itype(Opcode::XORI, rt.n, rs.n, static_cast<s32>(imm & 0xffff))); }
+void Asm::lui(Reg rt, u32 imm)
+{ emit(itype(Opcode::LUI, rt.n, 0, static_cast<s32>(imm & 0xffff))); }
+
+void Asm::lb(Reg rt, Reg rs, s32 offset)
+{ emit(itype(Opcode::LB, rt.n, rs.n, offset)); }
+void Asm::lbu(Reg rt, Reg rs, s32 offset)
+{ emit(itype(Opcode::LBU, rt.n, rs.n, offset)); }
+void Asm::lh(Reg rt, Reg rs, s32 offset)
+{ emit(itype(Opcode::LH, rt.n, rs.n, offset)); }
+void Asm::lhu(Reg rt, Reg rs, s32 offset)
+{ emit(itype(Opcode::LHU, rt.n, rs.n, offset)); }
+void Asm::lw(Reg rt, Reg rs, s32 offset)
+{ emit(itype(Opcode::LW, rt.n, rs.n, offset)); }
+void Asm::sb(Reg rt, Reg rs, s32 offset)
+{ emit(itype(Opcode::SB, rt.n, rs.n, offset)); }
+void Asm::sh(Reg rt, Reg rs, s32 offset)
+{ emit(itype(Opcode::SH, rt.n, rs.n, offset)); }
+void Asm::sw(Reg rt, Reg rs, s32 offset)
+{ emit(itype(Opcode::SW, rt.n, rs.n, offset)); }
+void Asm::fld(FReg ft, Reg rs, s32 offset)
+{ emit(itype(Opcode::FLD, ft.n, rs.n, offset)); }
+void Asm::fsd(FReg ft, Reg rs, s32 offset)
+{ emit(itype(Opcode::FSD, ft.n, rs.n, offset)); }
+
+void
+Asm::j(const std::string &target)
+{
+    fixups.push_back({static_cast<u32>(code.size()), target, true});
+    Instruction i;
+    i.op = Opcode::J;
+    emit(i);
+}
+
+void
+Asm::jal(const std::string &target)
+{
+    fixups.push_back({static_cast<u32>(code.size()), target, true});
+    Instruction i;
+    i.op = Opcode::JAL;
+    emit(i);
+}
+
+void Asm::jr(Reg rs) { emit(rtype(Opcode::JR, 0, rs.n, 0)); }
+void Asm::jalr(Reg rd, Reg rs) { emit(rtype(Opcode::JALR, rd.n, rs.n, 0)); }
+
+void
+Asm::branchTo(Opcode op, Reg rs, Reg rt, const std::string &target)
+{
+    fixups.push_back({static_cast<u32>(code.size()), target, false});
+    emit(itype(op, rt.n, rs.n, 0));
+}
+
+void Asm::beq(Reg rs, Reg rt, const std::string &l)
+{ branchTo(Opcode::BEQ, rs, rt, l); }
+void Asm::bne(Reg rs, Reg rt, const std::string &l)
+{ branchTo(Opcode::BNE, rs, rt, l); }
+void Asm::blez(Reg rs, const std::string &l)
+{ branchTo(Opcode::BLEZ, rs, Reg{0}, l); }
+void Asm::bgtz(Reg rs, const std::string &l)
+{ branchTo(Opcode::BGTZ, rs, Reg{0}, l); }
+void Asm::bltz(Reg rs, const std::string &l)
+{ branchTo(Opcode::BLTZ, rs, Reg{0}, l); }
+void Asm::bgez(Reg rs, const std::string &l)
+{ branchTo(Opcode::BGEZ, rs, Reg{0}, l); }
+
+void Asm::fadd(FReg fd, FReg fs, FReg ft)
+{ emit(rtype(Opcode::FADD, fd.n, fs.n, ft.n)); }
+void Asm::fsub(FReg fd, FReg fs, FReg ft)
+{ emit(rtype(Opcode::FSUB, fd.n, fs.n, ft.n)); }
+void Asm::fmul(FReg fd, FReg fs, FReg ft)
+{ emit(rtype(Opcode::FMUL, fd.n, fs.n, ft.n)); }
+void Asm::fdiv(FReg fd, FReg fs, FReg ft)
+{ emit(rtype(Opcode::FDIV, fd.n, fs.n, ft.n)); }
+void Asm::fsqrt(FReg fd, FReg fs)
+{ emit(rtype(Opcode::FSQRT, fd.n, fs.n, 0)); }
+void Asm::fabs_(FReg fd, FReg fs)
+{ emit(rtype(Opcode::FABS, fd.n, fs.n, 0)); }
+void Asm::fneg(FReg fd, FReg fs)
+{ emit(rtype(Opcode::FNEG, fd.n, fs.n, 0)); }
+void Asm::fmov(FReg fd, FReg fs)
+{ emit(rtype(Opcode::FMOV, fd.n, fs.n, 0)); }
+void Asm::fmin(FReg fd, FReg fs, FReg ft)
+{ emit(rtype(Opcode::FMIN, fd.n, fs.n, ft.n)); }
+void Asm::fmax(FReg fd, FReg fs, FReg ft)
+{ emit(rtype(Opcode::FMAX, fd.n, fs.n, ft.n)); }
+void Asm::cvtif(FReg fd, Reg rs)
+{ emit(rtype(Opcode::CVTIF, fd.n, rs.n, 0)); }
+void Asm::cvtfi(Reg rd, FReg fs)
+{ emit(rtype(Opcode::CVTFI, rd.n, fs.n, 0)); }
+void Asm::fclt(Reg rd, FReg fs, FReg ft)
+{ emit(rtype(Opcode::FCLT, rd.n, fs.n, ft.n)); }
+void Asm::fcle(Reg rd, FReg fs, FReg ft)
+{ emit(rtype(Opcode::FCLE, rd.n, fs.n, ft.n)); }
+void Asm::fceq(Reg rd, FReg fs, FReg ft)
+{ emit(rtype(Opcode::FCEQ, rd.n, fs.n, ft.n)); }
+
+void Asm::halt() { emit(rtype(Opcode::HALT, 0, 0, 0)); }
+void Asm::out(Reg rs) { emit(rtype(Opcode::OUT, 0, rs.n, 0)); }
+
+void
+Asm::li(Reg rd, u32 value)
+{
+    const s32 sval = static_cast<s32>(value);
+    if (sval >= -32768 && sval <= 32767) {
+        addi(rd, Reg{0}, sval);
+        return;
+    }
+    lui(rd, value >> 16);
+    if (value & 0xffff)
+        ori(rd, rd, value & 0xffff);
+}
+
+void
+Asm::move(Reg rd, Reg rs)
+{
+    or_(rd, rs, Reg{0});
+}
+
+void
+Asm::nop()
+{
+    emit(rtype(Opcode::SLL, 0, 0, 0, 0));
+}
+
+void
+Asm::fli(FReg fd, double value, Reg scratch)
+{
+    const Addr slot = pool_base + static_cast<Addr>(pool.size() * 8);
+    pool.push_back(value);
+    la(scratch, slot);
+    fld(fd, scratch, 0);
+}
+
+Program
+Asm::finish()
+{
+    panicIf(finished, "Asm::finish called twice");
+    finished = true;
+    for (const Fixup &fx : fixups) {
+        auto it = labels.find(fx.label);
+        if (it == labels.end())
+            fatal("undefined label '", fx.label, "' in ", name);
+        const u32 target_index = it->second;
+        Instruction inst = *decode(code[fx.index]);
+        if (fx.is_jump) {
+            const Addr byte_addr = code_base + target_index * 4;
+            inst.target = byte_addr >> 2;
+        } else {
+            const s64 delta = static_cast<s64>(target_index) -
+                              (static_cast<s64>(fx.index) + 1);
+            if (delta < -32768 || delta > 32767)
+                fatal("branch to '", fx.label, "' out of range in ", name);
+            inst.imm = static_cast<s32>(delta);
+        }
+        code[fx.index] = encode(inst);
+    }
+
+    Program prog;
+    prog.name = name;
+    prog.code_base = code_base;
+    prog.entry = code_base;
+    prog.code = code;
+    if (!pool.empty())
+        prog.addDoubles(pool_base, pool);
+    return prog;
+}
+
+} // namespace predbus::isa

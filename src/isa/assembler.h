@@ -1,0 +1,206 @@
+/**
+ * @file
+ * In-process assembler for P32 with a fluent C++ DSL.
+ *
+ * All workloads are written against this class. It supports forward
+ * label references (branches and jumps are fixed up at finish()), the
+ * usual pseudo-instructions (li, la, move, nop, fli), and a pooled
+ * double-constant area for FP literals.
+ *
+ * Example:
+ * @code
+ *   Asm a("demo");
+ *   a.li(r1, 10);
+ *   a.label("loop");
+ *   a.addi(r2, r2, 3);
+ *   a.addi(r1, r1, -1);
+ *   a.bgtz(r1, "loop");
+ *   a.out(r2);
+ *   a.halt();
+ *   Program p = a.finish();
+ * @endcode
+ */
+
+#ifndef PREDBUS_ISA_ASSEMBLER_H
+#define PREDBUS_ISA_ASSEMBLER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "isa/program.h"
+
+namespace predbus::isa
+{
+
+/** Type-safe integer register name. */
+struct Reg
+{
+    u8 n = 0;
+};
+
+/** Type-safe FP register name. */
+struct FReg
+{
+    u8 n = 0;
+};
+
+/** Register-name constants (r0..r31, f0..f31). */
+namespace regs
+{
+#define PREDBUS_DECL_REG(i) \
+    inline constexpr Reg r##i{i}; \
+    inline constexpr FReg f##i{i};
+PREDBUS_DECL_REG(0) PREDBUS_DECL_REG(1) PREDBUS_DECL_REG(2)
+PREDBUS_DECL_REG(3) PREDBUS_DECL_REG(4) PREDBUS_DECL_REG(5)
+PREDBUS_DECL_REG(6) PREDBUS_DECL_REG(7) PREDBUS_DECL_REG(8)
+PREDBUS_DECL_REG(9) PREDBUS_DECL_REG(10) PREDBUS_DECL_REG(11)
+PREDBUS_DECL_REG(12) PREDBUS_DECL_REG(13) PREDBUS_DECL_REG(14)
+PREDBUS_DECL_REG(15) PREDBUS_DECL_REG(16) PREDBUS_DECL_REG(17)
+PREDBUS_DECL_REG(18) PREDBUS_DECL_REG(19) PREDBUS_DECL_REG(20)
+PREDBUS_DECL_REG(21) PREDBUS_DECL_REG(22) PREDBUS_DECL_REG(23)
+PREDBUS_DECL_REG(24) PREDBUS_DECL_REG(25) PREDBUS_DECL_REG(26)
+PREDBUS_DECL_REG(27) PREDBUS_DECL_REG(28) PREDBUS_DECL_REG(29)
+PREDBUS_DECL_REG(30) PREDBUS_DECL_REG(31)
+#undef PREDBUS_DECL_REG
+} // namespace regs
+
+/**
+ * Assembles one program. Instructions append sequentially from
+ * @p code_base; finish() resolves label fixups and emits the Program.
+ */
+class Asm
+{
+  public:
+    explicit Asm(std::string name, Addr code_base = kDefaultCodeBase,
+                 Addr pool_base = kDefaultDataBase - 0x10000);
+
+    // ---- labels -------------------------------------------------------
+    /** Define @p name at the current code position. */
+    void label(const std::string &name);
+    /** Byte address of the next instruction to be emitted. */
+    Addr here() const;
+    /** Byte address of a defined label (fatal if undefined). */
+    Addr labelAddr(const std::string &name) const;
+
+    // ---- shifts -------------------------------------------------------
+    void sll(Reg rd, Reg rt, unsigned shamt);
+    void srl(Reg rd, Reg rt, unsigned shamt);
+    void sra(Reg rd, Reg rt, unsigned shamt);
+    void sllv(Reg rd, Reg rt, Reg rs);
+    void srlv(Reg rd, Reg rt, Reg rs);
+    void srav(Reg rd, Reg rt, Reg rs);
+
+    // ---- integer arithmetic/logic --------------------------------------
+    void add(Reg rd, Reg rs, Reg rt);
+    void sub(Reg rd, Reg rs, Reg rt);
+    void mul(Reg rd, Reg rs, Reg rt);
+    void div(Reg rd, Reg rs, Reg rt);
+    void rem(Reg rd, Reg rs, Reg rt);
+    void and_(Reg rd, Reg rs, Reg rt);
+    void or_(Reg rd, Reg rs, Reg rt);
+    void xor_(Reg rd, Reg rs, Reg rt);
+    void nor(Reg rd, Reg rs, Reg rt);
+    void slt(Reg rd, Reg rs, Reg rt);
+    void sltu(Reg rd, Reg rs, Reg rt);
+    void addi(Reg rt, Reg rs, s32 imm);
+    void slti(Reg rt, Reg rs, s32 imm);
+    void sltiu(Reg rt, Reg rs, s32 imm);
+    void andi(Reg rt, Reg rs, u32 imm);
+    void ori(Reg rt, Reg rs, u32 imm);
+    void xori(Reg rt, Reg rs, u32 imm);
+    void lui(Reg rt, u32 imm);
+
+    // ---- memory ---------------------------------------------------------
+    void lb(Reg rt, Reg rs, s32 offset);
+    void lbu(Reg rt, Reg rs, s32 offset);
+    void lh(Reg rt, Reg rs, s32 offset);
+    void lhu(Reg rt, Reg rs, s32 offset);
+    void lw(Reg rt, Reg rs, s32 offset);
+    void sb(Reg rt, Reg rs, s32 offset);
+    void sh(Reg rt, Reg rs, s32 offset);
+    void sw(Reg rt, Reg rs, s32 offset);
+    void fld(FReg ft, Reg rs, s32 offset);
+    void fsd(FReg ft, Reg rs, s32 offset);
+
+    // ---- control --------------------------------------------------------
+    void j(const std::string &label);
+    void jal(const std::string &label);
+    void jr(Reg rs);
+    void jalr(Reg rd, Reg rs);
+    void beq(Reg rs, Reg rt, const std::string &label);
+    void bne(Reg rs, Reg rt, const std::string &label);
+    void blez(Reg rs, const std::string &label);
+    void bgtz(Reg rs, const std::string &label);
+    void bltz(Reg rs, const std::string &label);
+    void bgez(Reg rs, const std::string &label);
+
+    // ---- floating point ---------------------------------------------------
+    void fadd(FReg fd, FReg fs, FReg ft);
+    void fsub(FReg fd, FReg fs, FReg ft);
+    void fmul(FReg fd, FReg fs, FReg ft);
+    void fdiv(FReg fd, FReg fs, FReg ft);
+    void fsqrt(FReg fd, FReg fs);
+    void fabs_(FReg fd, FReg fs);
+    void fneg(FReg fd, FReg fs);
+    void fmov(FReg fd, FReg fs);
+    void fmin(FReg fd, FReg fs, FReg ft);
+    void fmax(FReg fd, FReg fs, FReg ft);
+    void cvtif(FReg fd, Reg rs);
+    void cvtfi(Reg rd, FReg fs);
+    void fclt(Reg rd, FReg fs, FReg ft);
+    void fcle(Reg rd, FReg fs, FReg ft);
+    void fceq(Reg rd, FReg fs, FReg ft);
+
+    // ---- harness ----------------------------------------------------------
+    void halt();
+    void out(Reg rs);
+
+    // ---- pseudo-instructions ------------------------------------------------
+    /** Load an arbitrary 32-bit constant (1-2 instructions). */
+    void li(Reg rd, u32 value);
+    /** Load an address (alias of li, reads better in workloads). */
+    void la(Reg rd, Addr addr) { li(rd, addr); }
+    void move(Reg rd, Reg rs);
+    void nop();
+    /**
+     * Load a double literal via the constant pool:
+     * allocates an 8-byte pool slot and emits li(scratch)+fld.
+     */
+    void fli(FReg fd, double value, Reg scratch);
+
+    /** Emit a raw, pre-encoded instruction word. */
+    void raw(u32 word);
+    /** Emit a decoded instruction directly. */
+    void emit(const Instruction &inst);
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return code.size(); }
+
+    /** Resolve fixups and build the final Program. */
+    Program finish();
+
+  private:
+    void branchTo(Opcode op, Reg rs, Reg rt, const std::string &label);
+
+    std::string name;
+    Addr code_base;
+    Addr pool_base;
+    std::vector<u32> code;
+    std::map<std::string, u32> labels;   ///< label -> instruction index
+
+    struct Fixup
+    {
+        u32 index;          ///< instruction needing patching
+        std::string label;
+        bool is_jump;       ///< J/JAL (absolute) vs branch (relative)
+    };
+    std::vector<Fixup> fixups;
+    std::vector<double> pool;
+    bool finished = false;
+};
+
+} // namespace predbus::isa
+
+#endif // PREDBUS_ISA_ASSEMBLER_H

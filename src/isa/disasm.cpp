@@ -1,0 +1,110 @@
+/**
+ * @file
+ * P32 disassembler. Output format matches what the text assembler
+ * accepts, so disassemble/assemble round-trips.
+ */
+
+#include "isa/isa.h"
+
+#include <sstream>
+
+namespace predbus::isa
+{
+
+namespace
+{
+
+std::string
+ireg(u8 n)
+{
+    return "r" + std::to_string(n);
+}
+
+std::string
+freg(u8 n)
+{
+    return "f" + std::to_string(n);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    using Op = Opcode;
+    const OpInfo &info = opInfo(inst.op);
+    std::ostringstream ss;
+    ss << info.mnemonic << ' ';
+    switch (inst.op) {
+      case Op::SLL: case Op::SRL: case Op::SRA:
+        ss << ireg(inst.rd) << ", " << ireg(inst.rt) << ", "
+           << int{inst.shamt};
+        break;
+      case Op::SLLV: case Op::SRLV: case Op::SRAV:
+        ss << ireg(inst.rd) << ", " << ireg(inst.rt) << ", "
+           << ireg(inst.rs);
+        break;
+      case Op::ADD: case Op::SUB: case Op::MUL: case Op::DIV:
+      case Op::REM: case Op::AND: case Op::OR: case Op::XOR:
+      case Op::NOR: case Op::SLT: case Op::SLTU:
+        ss << ireg(inst.rd) << ", " << ireg(inst.rs) << ", "
+           << ireg(inst.rt);
+        break;
+      case Op::ADDI: case Op::SLTI: case Op::SLTIU:
+      case Op::ANDI: case Op::ORI: case Op::XORI:
+        ss << ireg(inst.rt) << ", " << ireg(inst.rs) << ", " << inst.imm;
+        break;
+      case Op::LUI:
+        ss << ireg(inst.rt) << ", " << inst.imm;
+        break;
+      case Op::LB: case Op::LBU: case Op::LH: case Op::LHU: case Op::LW:
+      case Op::SB: case Op::SH: case Op::SW:
+        ss << ireg(inst.rt) << ", " << inst.imm << '(' << ireg(inst.rs)
+           << ')';
+        break;
+      case Op::FLD: case Op::FSD:
+        ss << freg(inst.rt) << ", " << inst.imm << '(' << ireg(inst.rs)
+           << ')';
+        break;
+      case Op::J: case Op::JAL:
+        ss << "0x" << std::hex << (inst.target << 2);
+        break;
+      case Op::JR: case Op::OUT:
+        ss << ireg(inst.rs);
+        break;
+      case Op::JALR:
+        ss << ireg(inst.rd) << ", " << ireg(inst.rs);
+        break;
+      case Op::BEQ: case Op::BNE:
+        ss << ireg(inst.rs) << ", " << ireg(inst.rt) << ", " << inst.imm;
+        break;
+      case Op::BLEZ: case Op::BGTZ: case Op::BLTZ: case Op::BGEZ:
+        ss << ireg(inst.rs) << ", " << inst.imm;
+        break;
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+      case Op::FMIN: case Op::FMAX:
+        ss << freg(inst.rd) << ", " << freg(inst.rs) << ", "
+           << freg(inst.rt);
+        break;
+      case Op::FSQRT: case Op::FABS: case Op::FNEG: case Op::FMOV:
+        ss << freg(inst.rd) << ", " << freg(inst.rs);
+        break;
+      case Op::CVTIF:
+        ss << freg(inst.rd) << ", " << ireg(inst.rs);
+        break;
+      case Op::CVTFI:
+        ss << ireg(inst.rd) << ", " << freg(inst.rs);
+        break;
+      case Op::FCLT: case Op::FCLE: case Op::FCEQ:
+        ss << ireg(inst.rd) << ", " << freg(inst.rs) << ", "
+           << freg(inst.rt);
+        break;
+      case Op::HALT:
+        return info.mnemonic;
+      default:
+        break;
+    }
+    return ss.str();
+}
+
+} // namespace predbus::isa

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * P32 binary encodings: opcode tables, encode/decode.
+ *
+ * Format layout (MIPS-like):
+ *   R-type: op[31:26] rs[25:21] rt[20:16] rd[15:11] shamt[10:6] funct[5:0]
+ *   I-type: op[31:26] rs[25:21] rt[20:16] imm[15:0]
+ *   J-type: op[31:26] target[25:0]      (word-granular absolute target)
+ */
+
+#include "isa/isa.h"
+
+#include <array>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace predbus::isa
+{
+
+namespace
+{
+
+// Primary opcode field values.
+constexpr u32 kOpRtype = 0;
+constexpr u32 kOpRegimm = 1;
+constexpr u32 kOpJ = 2;
+constexpr u32 kOpJal = 3;
+constexpr u32 kOpBeq = 4;
+constexpr u32 kOpBne = 5;
+constexpr u32 kOpBlez = 6;
+constexpr u32 kOpBgtz = 7;
+constexpr u32 kOpAddi = 8;
+constexpr u32 kOpSlti = 10;
+constexpr u32 kOpSltiu = 11;
+constexpr u32 kOpAndi = 12;
+constexpr u32 kOpOri = 13;
+constexpr u32 kOpXori = 14;
+constexpr u32 kOpLui = 15;
+constexpr u32 kOpFp = 17;
+constexpr u32 kOpLb = 32;
+constexpr u32 kOpLh = 33;
+constexpr u32 kOpLw = 35;
+constexpr u32 kOpLbu = 36;
+constexpr u32 kOpLhu = 37;
+constexpr u32 kOpSb = 40;
+constexpr u32 kOpSh = 41;
+constexpr u32 kOpSw = 43;
+constexpr u32 kOpFld = 53;
+constexpr u32 kOpFsd = 61;
+
+// R-type funct values.
+constexpr u32 kFnSll = 0;
+constexpr u32 kFnSrl = 2;
+constexpr u32 kFnSra = 3;
+constexpr u32 kFnSllv = 4;
+constexpr u32 kFnSrlv = 6;
+constexpr u32 kFnSrav = 7;
+constexpr u32 kFnJr = 8;
+constexpr u32 kFnJalr = 9;
+constexpr u32 kFnHalt = 12;
+constexpr u32 kFnOut = 13;
+constexpr u32 kFnMul = 24;
+constexpr u32 kFnDiv = 26;
+constexpr u32 kFnRem = 27;
+constexpr u32 kFnAdd = 32;
+constexpr u32 kFnSub = 34;
+constexpr u32 kFnAnd = 36;
+constexpr u32 kFnOr = 37;
+constexpr u32 kFnXor = 38;
+constexpr u32 kFnNor = 39;
+constexpr u32 kFnSlt = 42;
+constexpr u32 kFnSltu = 43;
+
+// FP funct values (primary opcode kOpFp).
+constexpr u32 kFnFadd = 0;
+constexpr u32 kFnFsub = 1;
+constexpr u32 kFnFmul = 2;
+constexpr u32 kFnFdiv = 3;
+constexpr u32 kFnFsqrt = 4;
+constexpr u32 kFnFabs = 5;
+constexpr u32 kFnFneg = 6;
+constexpr u32 kFnFmov = 7;
+constexpr u32 kFnCvtif = 8;
+constexpr u32 kFnCvtfi = 9;
+constexpr u32 kFnFclt = 10;
+constexpr u32 kFnFcle = 11;
+constexpr u32 kFnFceq = 12;
+constexpr u32 kFnFmin = 13;
+constexpr u32 kFnFmax = 14;
+
+constexpr std::size_t kNumOps = static_cast<std::size_t>(Opcode::NumOpcodes);
+
+constexpr std::array<OpInfo, kNumOps>
+buildOpTable()
+{
+    std::array<OpInfo, kNumOps> t{};
+    auto set = [&t](Opcode op, const char *mn, FuClass fu, u8 lat,
+                    bool ld = false, bool st = false, bool br = false,
+                    bool jp = false, bool fp = false) {
+        t[static_cast<std::size_t>(op)] =
+            OpInfo{mn, fu, lat, ld, st, br, jp, fp};
+    };
+    using Op = Opcode;
+    set(Op::SLL, "sll", FuClass::IntAlu, 1);
+    set(Op::SRL, "srl", FuClass::IntAlu, 1);
+    set(Op::SRA, "sra", FuClass::IntAlu, 1);
+    set(Op::SLLV, "sllv", FuClass::IntAlu, 1);
+    set(Op::SRLV, "srlv", FuClass::IntAlu, 1);
+    set(Op::SRAV, "srav", FuClass::IntAlu, 1);
+    set(Op::ADD, "add", FuClass::IntAlu, 1);
+    set(Op::SUB, "sub", FuClass::IntAlu, 1);
+    set(Op::MUL, "mul", FuClass::IntMul, 3);
+    set(Op::DIV, "div", FuClass::IntDiv, 20);
+    set(Op::REM, "rem", FuClass::IntDiv, 20);
+    set(Op::AND, "and", FuClass::IntAlu, 1);
+    set(Op::OR, "or", FuClass::IntAlu, 1);
+    set(Op::XOR, "xor", FuClass::IntAlu, 1);
+    set(Op::NOR, "nor", FuClass::IntAlu, 1);
+    set(Op::SLT, "slt", FuClass::IntAlu, 1);
+    set(Op::SLTU, "sltu", FuClass::IntAlu, 1);
+    set(Op::ADDI, "addi", FuClass::IntAlu, 1);
+    set(Op::SLTI, "slti", FuClass::IntAlu, 1);
+    set(Op::SLTIU, "sltiu", FuClass::IntAlu, 1);
+    set(Op::ANDI, "andi", FuClass::IntAlu, 1);
+    set(Op::ORI, "ori", FuClass::IntAlu, 1);
+    set(Op::XORI, "xori", FuClass::IntAlu, 1);
+    set(Op::LUI, "lui", FuClass::IntAlu, 1);
+    set(Op::LB, "lb", FuClass::MemRead, 1, true);
+    set(Op::LBU, "lbu", FuClass::MemRead, 1, true);
+    set(Op::LH, "lh", FuClass::MemRead, 1, true);
+    set(Op::LHU, "lhu", FuClass::MemRead, 1, true);
+    set(Op::LW, "lw", FuClass::MemRead, 1, true);
+    set(Op::SB, "sb", FuClass::MemWrite, 1, false, true);
+    set(Op::SH, "sh", FuClass::MemWrite, 1, false, true);
+    set(Op::SW, "sw", FuClass::MemWrite, 1, false, true);
+    set(Op::FLD, "fld", FuClass::MemRead, 1, true, false, false, false,
+        true);
+    set(Op::FSD, "fsd", FuClass::MemWrite, 1, false, true, false, false,
+        true);
+    set(Op::J, "j", FuClass::None, 1, false, false, false, true);
+    set(Op::JAL, "jal", FuClass::None, 1, false, false, false, true);
+    set(Op::JR, "jr", FuClass::IntAlu, 1, false, false, false, true);
+    set(Op::JALR, "jalr", FuClass::IntAlu, 1, false, false, false, true);
+    set(Op::BEQ, "beq", FuClass::IntAlu, 1, false, false, true);
+    set(Op::BNE, "bne", FuClass::IntAlu, 1, false, false, true);
+    set(Op::BLEZ, "blez", FuClass::IntAlu, 1, false, false, true);
+    set(Op::BGTZ, "bgtz", FuClass::IntAlu, 1, false, false, true);
+    set(Op::BLTZ, "bltz", FuClass::IntAlu, 1, false, false, true);
+    set(Op::BGEZ, "bgez", FuClass::IntAlu, 1, false, false, true);
+    set(Op::FADD, "fadd", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::FSUB, "fsub", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::FMUL, "fmul", FuClass::FpMul, 4, false, false, false, false,
+        true);
+    set(Op::FDIV, "fdiv", FuClass::FpDiv, 12, false, false, false, false,
+        true);
+    set(Op::FSQRT, "fsqrt", FuClass::FpDiv, 24, false, false, false, false,
+        true);
+    set(Op::FABS, "fabs", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::FNEG, "fneg", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::FMOV, "fmov", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::CVTIF, "cvtif", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::CVTFI, "cvtfi", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::FCLT, "fclt", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::FCLE, "fcle", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::FCEQ, "fceq", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::FMIN, "fmin", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::FMAX, "fmax", FuClass::FpAdd, 2, false, false, false, false,
+        true);
+    set(Op::HALT, "halt", FuClass::None, 1);
+    set(Op::OUT, "out", FuClass::IntAlu, 1);
+    return t;
+}
+
+constexpr std::array<OpInfo, kNumOps> kOpTable = buildOpTable();
+
+struct REncoding { Opcode op; u32 funct; };
+
+// R-type funct <-> opcode mapping (primary opcode 0).
+constexpr REncoding kRtypeMap[] = {
+    {Opcode::SLL, kFnSll},   {Opcode::SRL, kFnSrl},
+    {Opcode::SRA, kFnSra},   {Opcode::SLLV, kFnSllv},
+    {Opcode::SRLV, kFnSrlv}, {Opcode::SRAV, kFnSrav},
+    {Opcode::JR, kFnJr},     {Opcode::JALR, kFnJalr},
+    {Opcode::HALT, kFnHalt}, {Opcode::OUT, kFnOut},
+    {Opcode::MUL, kFnMul},   {Opcode::DIV, kFnDiv},
+    {Opcode::REM, kFnRem},   {Opcode::ADD, kFnAdd},
+    {Opcode::SUB, kFnSub},   {Opcode::AND, kFnAnd},
+    {Opcode::OR, kFnOr},     {Opcode::XOR, kFnXor},
+    {Opcode::NOR, kFnNor},   {Opcode::SLT, kFnSlt},
+    {Opcode::SLTU, kFnSltu},
+};
+
+// FP funct <-> opcode mapping (primary opcode kOpFp).
+constexpr REncoding kFpMap[] = {
+    {Opcode::FADD, kFnFadd},   {Opcode::FSUB, kFnFsub},
+    {Opcode::FMUL, kFnFmul},   {Opcode::FDIV, kFnFdiv},
+    {Opcode::FSQRT, kFnFsqrt}, {Opcode::FABS, kFnFabs},
+    {Opcode::FNEG, kFnFneg},   {Opcode::FMOV, kFnFmov},
+    {Opcode::CVTIF, kFnCvtif}, {Opcode::CVTFI, kFnCvtfi},
+    {Opcode::FCLT, kFnFclt},   {Opcode::FCLE, kFnFcle},
+    {Opcode::FCEQ, kFnFceq},   {Opcode::FMIN, kFnFmin},
+    {Opcode::FMAX, kFnFmax},
+};
+
+struct IEncoding { Opcode op; u32 primary; bool zero_extend; };
+
+// I-type primary opcode <-> opcode mapping (excluding REGIMM).
+constexpr IEncoding kItypeMap[] = {
+    {Opcode::BEQ, kOpBeq, false},   {Opcode::BNE, kOpBne, false},
+    {Opcode::BLEZ, kOpBlez, false}, {Opcode::BGTZ, kOpBgtz, false},
+    {Opcode::ADDI, kOpAddi, false}, {Opcode::SLTI, kOpSlti, false},
+    {Opcode::SLTIU, kOpSltiu, false},
+    {Opcode::ANDI, kOpAndi, true},  {Opcode::ORI, kOpOri, true},
+    {Opcode::XORI, kOpXori, true},  {Opcode::LUI, kOpLui, true},
+    {Opcode::LB, kOpLb, false},     {Opcode::LBU, kOpLbu, false},
+    {Opcode::LH, kOpLh, false},     {Opcode::LHU, kOpLhu, false},
+    {Opcode::LW, kOpLw, false},     {Opcode::SB, kOpSb, false},
+    {Opcode::SH, kOpSh, false},     {Opcode::SW, kOpSw, false},
+    {Opcode::FLD, kOpFld, false},   {Opcode::FSD, kOpFsd, false},
+};
+
+bool
+isRtype(Opcode op)
+{
+    for (const auto &e : kRtypeMap)
+        if (e.op == op)
+            return true;
+    return false;
+}
+
+bool
+isFpRtype(Opcode op)
+{
+    for (const auto &e : kFpMap)
+        if (e.op == op)
+            return true;
+    return false;
+}
+
+u32
+rtypeFunct(Opcode op)
+{
+    for (const auto &e : kRtypeMap)
+        if (e.op == op)
+            return e.funct;
+    panic("rtypeFunct: not an R-type opcode");
+}
+
+u32
+fpFunct(Opcode op)
+{
+    for (const auto &e : kFpMap)
+        if (e.op == op)
+            return e.funct;
+    panic("fpFunct: not an FP opcode");
+}
+
+const IEncoding *
+itypeFor(Opcode op)
+{
+    for (const auto &e : kItypeMap)
+        if (e.op == op)
+            return &e;
+    return nullptr;
+}
+
+const IEncoding *
+itypeForPrimary(u32 primary)
+{
+    for (const auto &e : kItypeMap)
+        if (e.primary == primary)
+            return &e;
+    return nullptr;
+}
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    return kOpTable[static_cast<std::size_t>(op)];
+}
+
+u32
+encode(const Instruction &inst)
+{
+    auto pack_r = [&](u32 primary, u32 funct) {
+        return (primary << 26) | (u32{inst.rs} << 21) |
+               (u32{inst.rt} << 16) | (u32{inst.rd} << 11) |
+               (u32{inst.shamt} << 6) | funct;
+    };
+
+    if (isRtype(inst.op))
+        return pack_r(kOpRtype, rtypeFunct(inst.op));
+    if (isFpRtype(inst.op))
+        return pack_r(kOpFp, fpFunct(inst.op));
+    if (inst.op == Opcode::J || inst.op == Opcode::JAL) {
+        const u32 primary = (inst.op == Opcode::J) ? kOpJ : kOpJal;
+        return (primary << 26) | (inst.target & maskLow(26));
+    }
+    if (inst.op == Opcode::BLTZ || inst.op == Opcode::BGEZ) {
+        const u32 rt_sel = (inst.op == Opcode::BLTZ) ? 0 : 1;
+        return (kOpRegimm << 26) | (u32{inst.rs} << 21) | (rt_sel << 16) |
+               (static_cast<u32>(inst.imm) & 0xffffu);
+    }
+    const IEncoding *ie = itypeFor(inst.op);
+    panicIf(ie == nullptr, "encode: unhandled opcode");
+    return (ie->primary << 26) | (u32{inst.rs} << 21) |
+           (u32{inst.rt} << 16) | (static_cast<u32>(inst.imm) & 0xffffu);
+}
+
+std::optional<Instruction>
+decode(u32 word)
+{
+    const u32 primary = word >> 26;
+    Instruction inst;
+    inst.rs = static_cast<u8>(bits(word, 21, 5));
+    inst.rt = static_cast<u8>(bits(word, 16, 5));
+    inst.rd = static_cast<u8>(bits(word, 11, 5));
+    inst.shamt = static_cast<u8>(bits(word, 6, 5));
+
+    if (primary == kOpRtype || primary == kOpFp) {
+        const u32 funct = bits(word, 0, 6);
+        const auto *map = (primary == kOpRtype) ? kRtypeMap : kFpMap;
+        const std::size_t n = (primary == kOpRtype)
+                                  ? std::size(kRtypeMap)
+                                  : std::size(kFpMap);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (map[i].funct == funct) {
+                inst.op = map[i].op;
+                return inst;
+            }
+        }
+        return std::nullopt;
+    }
+    if (primary == kOpJ || primary == kOpJal) {
+        inst.op = (primary == kOpJ) ? Opcode::J : Opcode::JAL;
+        inst.rs = inst.rt = inst.rd = inst.shamt = 0;
+        inst.target = static_cast<u32>(bits(word, 0, 26));
+        return inst;
+    }
+    if (primary == kOpRegimm) {
+        if (inst.rt == 0)
+            inst.op = Opcode::BLTZ;
+        else if (inst.rt == 1)
+            inst.op = Opcode::BGEZ;
+        else
+            return std::nullopt;
+        inst.rd = inst.shamt = 0;
+        inst.imm = signExtend32(static_cast<u32>(bits(word, 0, 16)), 16);
+        return inst;
+    }
+    const IEncoding *ie = itypeForPrimary(primary);
+    if (ie == nullptr)
+        return std::nullopt;
+    inst.op = ie->op;
+    inst.rd = inst.shamt = 0;
+    const u32 raw = static_cast<u32>(bits(word, 0, 16));
+    inst.imm = ie->zero_extend ? static_cast<s32>(raw)
+                               : signExtend32(raw, 16);
+    return inst;
+}
+
+std::optional<u8>
+intDest(const Instruction &inst)
+{
+    using Op = Opcode;
+    switch (inst.op) {
+      case Op::SLL: case Op::SRL: case Op::SRA:
+      case Op::SLLV: case Op::SRLV: case Op::SRAV:
+      case Op::ADD: case Op::SUB: case Op::MUL:
+      case Op::DIV: case Op::REM:
+      case Op::AND: case Op::OR: case Op::XOR: case Op::NOR:
+      case Op::SLT: case Op::SLTU:
+      case Op::JALR:
+        return inst.rd ? std::optional<u8>(inst.rd) : std::nullopt;
+      case Op::ADDI: case Op::SLTI: case Op::SLTIU:
+      case Op::ANDI: case Op::ORI: case Op::XORI: case Op::LUI:
+      case Op::LB: case Op::LBU: case Op::LH: case Op::LHU: case Op::LW:
+        return inst.rt ? std::optional<u8>(inst.rt) : std::nullopt;
+      case Op::JAL:
+        return u8{31};
+      case Op::CVTFI: case Op::FCLT: case Op::FCLE: case Op::FCEQ:
+        return inst.rd ? std::optional<u8>(inst.rd) : std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<u8>
+fpDest(const Instruction &inst)
+{
+    using Op = Opcode;
+    switch (inst.op) {
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+      case Op::FSQRT: case Op::FABS: case Op::FNEG: case Op::FMOV:
+      case Op::CVTIF: case Op::FMIN: case Op::FMAX:
+        return inst.rd;
+      case Op::FLD:
+        return inst.rt;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<u8>
+firstIntSourceField(const Instruction &inst)
+{
+    using Op = Opcode;
+    switch (inst.op) {
+      case Op::SLL: case Op::SRL: case Op::SRA:
+      case Op::SLLV: case Op::SRLV: case Op::SRAV:
+        return inst.rt;
+      case Op::ADD: case Op::SUB: case Op::MUL: case Op::DIV:
+      case Op::REM: case Op::AND: case Op::OR: case Op::XOR:
+      case Op::NOR: case Op::SLT: case Op::SLTU:
+      case Op::BEQ: case Op::BNE:
+      case Op::ADDI: case Op::SLTI: case Op::SLTIU:
+      case Op::ANDI: case Op::ORI: case Op::XORI:
+      case Op::BLEZ: case Op::BGTZ: case Op::BLTZ: case Op::BGEZ:
+      case Op::JR: case Op::JALR: case Op::OUT:
+      case Op::LB: case Op::LBU: case Op::LH: case Op::LHU:
+      case Op::LW: case Op::FLD: case Op::SB: case Op::SH:
+      case Op::SW: case Op::FSD: case Op::CVTIF:
+        return inst.rs;
+      default:
+        return std::nullopt;
+    }
+}
+
+SourceRegs
+sources(const Instruction &inst)
+{
+    using Op = Opcode;
+    SourceRegs s;
+    auto ri = [](u8 r) {
+        return r ? std::optional<u8>(r) : std::nullopt;
+    };
+    switch (inst.op) {
+      case Op::SLL: case Op::SRL: case Op::SRA:
+        s.int0 = ri(inst.rt);
+        break;
+      case Op::SLLV: case Op::SRLV: case Op::SRAV:
+        s.int0 = ri(inst.rt);
+        s.int1 = ri(inst.rs);
+        break;
+      case Op::ADD: case Op::SUB: case Op::MUL: case Op::DIV:
+      case Op::REM: case Op::AND: case Op::OR: case Op::XOR:
+      case Op::NOR: case Op::SLT: case Op::SLTU:
+      case Op::BEQ: case Op::BNE:
+        s.int0 = ri(inst.rs);
+        s.int1 = ri(inst.rt);
+        break;
+      case Op::ADDI: case Op::SLTI: case Op::SLTIU:
+      case Op::ANDI: case Op::ORI: case Op::XORI:
+      case Op::BLEZ: case Op::BGTZ: case Op::BLTZ: case Op::BGEZ:
+      case Op::JR: case Op::JALR: case Op::OUT:
+      case Op::LB: case Op::LBU: case Op::LH: case Op::LHU:
+      case Op::LW: case Op::FLD:
+        s.int0 = ri(inst.rs);
+        break;
+      case Op::SB: case Op::SH: case Op::SW:
+        s.int0 = ri(inst.rs);
+        s.int1 = ri(inst.rt);
+        break;
+      case Op::FSD:
+        s.int0 = ri(inst.rs);
+        s.fp0 = inst.rt;
+        break;
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+      case Op::FMIN: case Op::FMAX:
+      case Op::FCLT: case Op::FCLE: case Op::FCEQ:
+        s.fp0 = inst.rs;
+        s.fp1 = inst.rt;
+        break;
+      case Op::FSQRT: case Op::FABS: case Op::FNEG: case Op::FMOV:
+      case Op::CVTFI:
+        s.fp0 = inst.rs;
+        break;
+      case Op::CVTIF:
+        s.int0 = ri(inst.rs);
+        break;
+      case Op::LUI: case Op::J: case Op::JAL: case Op::HALT:
+        break;
+      default:
+        break;
+    }
+    return s;
+}
+
+} // namespace predbus::isa

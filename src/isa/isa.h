@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The P32 instruction set: a MIPS-like 32-bit RISC used as the guest
+ * ISA for the SimpleScalar-style simulator.
+ *
+ * P32 exists so the bus traces evaluated by the paper's coding schemes
+ * come from a real pipelined machine running real programs. It has:
+ *  - 32 integer registers r0..r31 (r0 hardwired to zero),
+ *  - 32 double-precision FP registers f0..f31,
+ *  - fixed 32-bit instruction encodings in three formats (R, I, J),
+ *  - no branch delay slots,
+ *  - HALT and OUT "harness" instructions for terminating programs and
+ *    emitting validation values.
+ */
+
+#ifndef PREDBUS_ISA_ISA_H
+#define PREDBUS_ISA_ISA_H
+
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace predbus::isa
+{
+
+/** Number of integer / FP architectural registers. */
+constexpr unsigned kNumIntRegs = 32;
+constexpr unsigned kNumFpRegs = 32;
+
+/** All P32 operations. */
+enum class Opcode : u8
+{
+    // Integer register-register.
+    SLL, SRL, SRA, SLLV, SRLV, SRAV,
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR, NOR, SLT, SLTU,
+    // Integer register-immediate.
+    ADDI, SLTI, SLTIU, ANDI, ORI, XORI, LUI,
+    // Memory.
+    LB, LBU, LH, LHU, LW, SB, SH, SW,
+    FLD, FSD,
+    // Control.
+    J, JAL, JR, JALR,
+    BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ,
+    // Floating point (double precision).
+    FADD, FSUB, FMUL, FDIV, FSQRT, FABS, FNEG, FMOV,
+    CVTIF, CVTFI, FCLT, FCLE, FCEQ, FMIN, FMAX,
+    // Harness.
+    HALT, OUT,
+    NumOpcodes,
+};
+
+/** Functional-unit class an operation executes on. */
+enum class FuClass : u8
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,   // add/sub/compare/convert/abs/neg/mov/min/max
+    FpMul,
+    FpDiv,   // div and sqrt
+    MemRead,
+    MemWrite,
+    None,    // control handled at dispatch (J, HALT, OUT)
+};
+
+/**
+ * A decoded instruction. Register fields are architectural indices; the
+ * per-opcode semantics determine whether a field names an integer or FP
+ * register (see sources/destinations helpers below).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::HALT;
+    u8 rs = 0;     ///< first source register field
+    u8 rt = 0;     ///< second source (or I-type destination) field
+    u8 rd = 0;     ///< R-type destination field
+    u8 shamt = 0;  ///< shift amount
+    s32 imm = 0;   ///< sign- or zero-extended immediate (I-type)
+    u32 target = 0; ///< word-granular absolute target (J-type)
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    FuClass fu;
+    u8 latency;        ///< execution latency in cycles (pipelined FUs)
+    bool is_load;
+    bool is_store;
+    bool is_branch;    ///< conditional branch
+    bool is_jump;      ///< unconditional control transfer
+    bool is_fp;        ///< touches the FP register file
+};
+
+/** Look up static properties for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Destination registers of @p inst. nullopt when none. */
+std::optional<u8> intDest(const Instruction &inst);
+std::optional<u8> fpDest(const Instruction &inst);
+
+/**
+ * The first integer register *field* the instruction reads, including
+ * r0 (the register-file port drives its output for r0 reads too, so
+ * the bus timing generator wants the field, not the dependency).
+ */
+std::optional<u8> firstIntSourceField(const Instruction &inst);
+
+/** Source registers of @p inst (up to two of each file). */
+struct SourceRegs
+{
+    std::optional<u8> int0, int1;
+    std::optional<u8> fp0, fp1;
+};
+SourceRegs sources(const Instruction &inst);
+
+/** Encode @p inst to its 32-bit machine word. */
+u32 encode(const Instruction &inst);
+
+/**
+ * Decode a machine word. Returns nullopt for illegal encodings
+ * (unknown opcode/funct values).
+ */
+std::optional<Instruction> decode(u32 word);
+
+/** Human-readable disassembly, e.g. "add r3, r1, r2". */
+std::string disassemble(const Instruction &inst);
+
+} // namespace predbus::isa
+
+#endif // PREDBUS_ISA_ISA_H

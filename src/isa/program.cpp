@@ -1,0 +1,35 @@
+#include "isa/program.h"
+
+#include <cstring>
+
+namespace predbus::isa
+{
+
+void
+Program::addWords(Addr base, const std::vector<u32> &words)
+{
+    std::vector<u8> bytes(words.size() * 4);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const u32 w = words[i];
+        bytes[i * 4 + 0] = static_cast<u8>(w);
+        bytes[i * 4 + 1] = static_cast<u8>(w >> 8);
+        bytes[i * 4 + 2] = static_cast<u8>(w >> 16);
+        bytes[i * 4 + 3] = static_cast<u8>(w >> 24);
+    }
+    addSegment(base, std::move(bytes));
+}
+
+void
+Program::addDoubles(Addr base, const std::vector<double> &values)
+{
+    std::vector<u8> bytes(values.size() * 8);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        u64 raw;
+        std::memcpy(&raw, &values[i], 8);
+        for (int b = 0; b < 8; ++b)
+            bytes[i * 8 + b] = static_cast<u8>(raw >> (8 * b));
+    }
+    addSegment(base, std::move(bytes));
+}
+
+} // namespace predbus::isa

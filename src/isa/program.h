@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A loadable guest program: code image, data segments, entry point.
+ */
+
+#ifndef PREDBUS_ISA_PROGRAM_H
+#define PREDBUS_ISA_PROGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::isa
+{
+
+/** Default load addresses used by the assembler and workloads. */
+constexpr Addr kDefaultCodeBase = 0x00001000;
+constexpr Addr kDefaultDataBase = 0x00100000;
+constexpr Addr kDefaultStackTop = 0x7ffff000;
+
+/** A contiguous initialized data region. */
+struct Segment
+{
+    Addr base = 0;
+    std::vector<u8> bytes;
+};
+
+/** A complete guest program image. */
+struct Program
+{
+    std::string name;
+    Addr code_base = kDefaultCodeBase;
+    Addr entry = kDefaultCodeBase;
+    std::vector<u32> code;          ///< encoded instructions
+    std::vector<Segment> data;      ///< initialized data segments
+
+    /** Append a data segment initialized with raw bytes. */
+    void
+    addSegment(Addr base, std::vector<u8> bytes)
+    {
+        data.push_back(Segment{base, std::move(bytes)});
+    }
+
+    /** Append a data segment of 32-bit words. */
+    void addWords(Addr base, const std::vector<u32> &words);
+
+    /** Append a data segment of doubles (little-endian IEEE754). */
+    void addDoubles(Addr base, const std::vector<double> &values);
+};
+
+} // namespace predbus::isa
+
+#endif // PREDBUS_ISA_PROGRAM_H

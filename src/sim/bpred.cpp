@@ -1,0 +1,101 @@
+#include "sim/bpred.h"
+
+#include <bit>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace predbus::sim
+{
+
+u32
+Bpred::counterIndex(Addr pc) const
+{
+    const u32 word = pc >> 2;
+    if (cfg.kind == BpredKind::Gshare)
+        return (word ^ static_cast<u32>(history)) &
+               (cfg.bimodal_entries - 1);
+    return word & (cfg.bimodal_entries - 1);
+}
+
+Bpred::Bpred(const BpredConfig &config) : cfg(config)
+{
+    if (!std::has_single_bit(cfg.bimodal_entries) ||
+        !std::has_single_bit(cfg.btb_entries))
+        fatal("bpred tables must be powers of two");
+    counters.assign(cfg.bimodal_entries, 2);  // weakly taken
+    btb.resize(cfg.btb_entries);
+    ras.assign(cfg.ras_entries, 0);
+}
+
+Prediction
+Bpred::predict(Addr pc, bool is_unconditional, bool is_return)
+{
+    ++stat.lookups;
+    Prediction p;
+    if (is_return && ras_top > 0) {
+        p.taken = true;
+        p.target_valid = true;
+        p.target = ras[--ras_top];
+        return p;
+    }
+    const u32 word = pc >> 2;
+    if (is_unconditional) {
+        p.taken = true;
+    } else {
+        const u8 ctr = counters[counterIndex(pc)];
+        p.taken = ctr >= 2;
+    }
+    const BtbEntry &entry = btb[word & (cfg.btb_entries - 1)];
+    if (entry.valid && entry.pc == pc) {
+        p.target_valid = true;
+        p.target = entry.target;
+    }
+    return p;
+}
+
+void
+Bpred::update(Addr pc, bool taken, Addr target, bool is_conditional)
+{
+    const u32 word = pc >> 2;
+    if (is_conditional) {
+        u8 &ctr = counters[counterIndex(pc)];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        if (cfg.kind == BpredKind::Gshare) {
+            history = ((history << 1) | (taken ? 1 : 0)) &
+                      maskLow(cfg.history_bits);
+        }
+    }
+    if (taken) {
+        BtbEntry &entry = btb[word & (cfg.btb_entries - 1)];
+        entry.valid = true;
+        entry.pc = pc;
+        entry.target = target;
+    }
+}
+
+void
+Bpred::pushReturn(Addr return_addr)
+{
+    if (cfg.ras_entries == 0)
+        return;
+    if (ras_top == cfg.ras_entries) {
+        // Full: shift down (rare; depth is small).
+        for (u32 i = 1; i < cfg.ras_entries; ++i)
+            ras[i - 1] = ras[i];
+        --ras_top;
+    }
+    ras[ras_top++] = return_addr;
+}
+
+void
+Bpred::recordOutcome(bool dir_correct, bool target_correct)
+{
+    stat.dir_hits += dir_correct ? 1 : 0;
+    stat.target_hits += target_correct ? 1 : 0;
+}
+
+} // namespace predbus::sim

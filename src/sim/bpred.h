@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Branch prediction: bimodal 2-bit counters + direct-mapped BTB and a
+ * small return-address stack, in the SimpleScalar style.
+ */
+
+#ifndef PREDBUS_SIM_BPRED_H
+#define PREDBUS_SIM_BPRED_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::sim
+{
+
+/** Direction predictor flavor. */
+enum class BpredKind
+{
+    Bimodal,   ///< PC-indexed 2-bit counters (SimpleScalar default)
+    Gshare,    ///< global-history XOR PC indexed (two-level)
+};
+
+struct BpredConfig
+{
+    BpredKind kind = BpredKind::Bimodal;
+    u32 bimodal_entries = 2048;   ///< 2-bit counters (power of two)
+    u32 btb_entries = 512;        ///< direct-mapped, tagged
+    u32 ras_entries = 8;          ///< return-address stack depth
+    u32 history_bits = 8;         ///< gshare global history length
+};
+
+struct BpredStats
+{
+    u64 lookups = 0;
+    u64 dir_hits = 0;       ///< direction predicted correctly
+    u64 target_hits = 0;    ///< taken branches with correct target
+
+    double
+    accuracy() const
+    {
+        return lookups ? static_cast<double>(dir_hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+};
+
+/** A combined direction + target prediction. */
+struct Prediction
+{
+    bool taken = false;
+    bool target_valid = false;
+    Addr target = 0;
+};
+
+class Bpred
+{
+  public:
+    explicit Bpred(const BpredConfig &config);
+
+    /**
+     * Predict a conditional branch or jump at @p pc.
+     * @p is_unconditional short-circuits direction to taken.
+     * @p is_return pops the RAS for the target.
+     */
+    Prediction predict(Addr pc, bool is_unconditional, bool is_return);
+
+    /** Record the resolved outcome of the branch at @p pc. */
+    void update(Addr pc, bool taken, Addr target, bool is_conditional);
+
+    /** Push a return address (on call dispatch). */
+    void pushReturn(Addr return_addr);
+
+    const BpredStats &stats() const { return stat; }
+
+    /** Account a correct/incorrect resolution (for stats only). */
+    void recordOutcome(bool dir_correct, bool target_correct);
+
+  private:
+    u32 counterIndex(Addr pc) const;
+
+    BpredConfig cfg;
+    u64 history = 0;               ///< gshare global history
+    std::vector<u8> counters;      ///< 2-bit saturating
+    struct BtbEntry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+    };
+    std::vector<BtbEntry> btb;
+    std::vector<Addr> ras;
+    u32 ras_top = 0;               ///< number of valid entries
+    BpredStats stat;
+};
+
+} // namespace predbus::sim
+
+#endif // PREDBUS_SIM_BPRED_H

@@ -1,0 +1,99 @@
+#include "sim/cache.h"
+
+#include <bit>
+
+#include "common/log.h"
+
+namespace predbus::sim
+{
+
+Cache::Cache(const CacheConfig &config, Cache *next_level,
+             u32 memory_latency)
+    : cfg(config), next(next_level), mem_latency(memory_latency)
+{
+    if (cfg.line_bytes == 0 || !std::has_single_bit(cfg.line_bytes))
+        fatal(cfg.name, ": line size must be a power of two");
+    if (cfg.assoc == 0)
+        fatal(cfg.name, ": associativity must be nonzero");
+    if (cfg.size_bytes % (cfg.line_bytes * cfg.assoc) != 0)
+        fatal(cfg.name, ": size must be a multiple of line*assoc");
+    num_sets = cfg.size_bytes / (cfg.line_bytes * cfg.assoc);
+    if (!std::has_single_bit(num_sets))
+        fatal(cfg.name, ": set count must be a power of two");
+    offset_bits = static_cast<unsigned>(std::countr_zero(cfg.line_bytes));
+    lines.resize(static_cast<std::size_t>(num_sets) * cfg.assoc);
+}
+
+u32
+Cache::access(Addr addr, bool is_write)
+{
+    ++stat.accesses;
+    const u64 block = addr >> offset_bits;
+    const u32 set = static_cast<u32>(block) & (num_sets - 1);
+    const u64 tag = block >> std::countr_zero(num_sets);
+    Line *set_base = &lines[static_cast<std::size_t>(set) * cfg.assoc];
+
+    // Hit?
+    for (u32 w = 0; w < cfg.assoc; ++w) {
+        Line &line = set_base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++use_counter;
+            line.dirty = line.dirty || is_write;
+            return cfg.hit_latency;
+        }
+    }
+
+    // Miss: pick victim (invalid first, else true-LRU).
+    ++stat.misses;
+    Line *victim = set_base;
+    for (u32 w = 0; w < cfg.assoc; ++w) {
+        Line &line = set_base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+
+    u32 latency = cfg.hit_latency;
+    if (victim->valid && victim->dirty) {
+        ++stat.writebacks;
+        // Write the dirty block back one level down. The write-back is
+        // charged to this request for simplicity (no write buffer).
+        const Addr victim_addr = static_cast<Addr>(
+            ((victim->tag << std::countr_zero(num_sets)) | set)
+            << offset_bits);
+        latency += next ? next->access(victim_addr, true) : mem_latency;
+    }
+
+    // Fill from the next level.
+    latency += next ? next->access(addr, false) : mem_latency;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lru = ++use_counter;
+    return latency;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const u64 block = addr >> offset_bits;
+    const u32 set = static_cast<u32>(block) & (num_sets - 1);
+    const u64 tag = block >> std::countr_zero(num_sets);
+    const Line *set_base = &lines[static_cast<std::size_t>(set) * cfg.assoc];
+    for (u32 w = 0; w < cfg.assoc; ++w)
+        if (set_base[w].valid && set_base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines)
+        line = Line{};
+}
+
+} // namespace predbus::sim

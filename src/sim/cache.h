@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Set-associative cache timing model (LRU, write-back, write-allocate).
+ *
+ * The caches model *timing only*: data lives in the functional Memory.
+ * A cache access returns the total latency for the request, chaining
+ * into the next level (another cache or a fixed main-memory latency) on
+ * miss, and charging an extra next-level access for dirty evictions.
+ */
+
+#ifndef PREDBUS_SIM_CACHE_H
+#define PREDBUS_SIM_CACHE_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::sim
+{
+
+/** Geometry and latency parameters for one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    u32 size_bytes = 16 * 1024;
+    u32 line_bytes = 32;
+    u32 assoc = 4;
+    u32 hit_latency = 1;
+};
+
+/** Counters for one cache level. */
+struct CacheStats
+{
+    u64 accesses = 0;
+    u64 misses = 0;
+    u64 writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * One cache level. Levels are chained via a next pointer; the last
+ * level charges @p memory_latency for misses.
+ */
+class Cache
+{
+  public:
+    /** @p next_level may be nullptr for the last cache before memory. */
+    Cache(const CacheConfig &config, Cache *next_level,
+          u32 memory_latency);
+
+    /**
+     * Access @p addr; returns the latency in cycles for this request.
+     * @p is_write marks stores (sets the dirty bit on the line).
+     */
+    u32 access(Addr addr, bool is_write);
+
+    /** True if @p addr currently hits without changing any state. */
+    bool probe(Addr addr) const;
+
+    /** Drop all lines (does not reset statistics). */
+    void flush();
+
+    const CacheStats &stats() const { return stat; }
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        u64 tag = 0;
+        u64 lru = 0;   ///< last-use stamp
+    };
+
+    u32 numSets() const { return num_sets; }
+
+    CacheConfig cfg;
+    Cache *next;
+    u32 mem_latency;
+    u32 num_sets;
+    unsigned offset_bits;
+    std::vector<Line> lines;   ///< num_sets * assoc, set-major
+    u64 use_counter = 0;
+    CacheStats stat;
+};
+
+} // namespace predbus::sim
+
+#endif // PREDBUS_SIM_CACHE_H

@@ -1,0 +1,315 @@
+#include "sim/functional.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace predbus::sim
+{
+
+namespace
+{
+
+u32
+wordOfDoubleLo(double d)
+{
+    u64 raw;
+    std::memcpy(&raw, &d, 8);
+    return static_cast<u32>(raw);
+}
+
+u32
+wordOfDoubleHi(double d)
+{
+    u64 raw;
+    std::memcpy(&raw, &d, 8);
+    return static_cast<u32>(raw >> 32);
+}
+
+s32
+safeDiv(s32 a, s32 b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<s32>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+s32
+safeRem(s32 a, s32 b)
+{
+    if (b == 0)
+        return a;
+    if (a == std::numeric_limits<s32>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+s32
+doubleToInt(double d)
+{
+    if (std::isnan(d))
+        return 0;
+    if (d >= 2147483647.0)
+        return std::numeric_limits<s32>::max();
+    if (d <= -2147483648.0)
+        return std::numeric_limits<s32>::min();
+    return static_cast<s32>(d);
+}
+
+} // namespace
+
+ExecInfo
+ArchState::step()
+{
+    panicIf(halt_flag, "ArchState::step after halt");
+
+    ExecInfo info;
+    info.pc = pc;
+    const u32 raw = mem->read32(pc);
+    const auto decoded = isa::decode(raw);
+    if (!decoded)
+        fatal("illegal instruction 0x", std::hex, raw, " at pc 0x", pc);
+    const isa::Instruction inst = *decoded;
+    info.inst = inst;
+
+    // Record the register-bus port-0 value: the rs-field operand the
+    // register file drives this cycle, including r0 reads (the port
+    // physically reads out zero for them, as in real hardware).
+    if (const auto port = isa::firstIntSourceField(inst)) {
+        info.has_int_operand = true;
+        info.int_operand = readInt(*port);
+    }
+
+    Addr next = pc + 4;
+    const u32 rs = readInt(inst.rs);
+    const u32 rt = readInt(inst.rt);
+    const s32 srs = static_cast<s32>(rs);
+    const s32 srt = static_cast<s32>(rt);
+    const double fs = readFp(inst.rs);
+    const double ft = readFp(inst.rt);
+
+    using Op = isa::Opcode;
+    switch (inst.op) {
+      case Op::SLL: writeInt(inst.rd, rt << inst.shamt); break;
+      case Op::SRL: writeInt(inst.rd, rt >> inst.shamt); break;
+      case Op::SRA:
+        writeInt(inst.rd, static_cast<u32>(srt >> inst.shamt));
+        break;
+      case Op::SLLV: writeInt(inst.rd, rt << (rs & 31)); break;
+      case Op::SRLV: writeInt(inst.rd, rt >> (rs & 31)); break;
+      case Op::SRAV:
+        writeInt(inst.rd, static_cast<u32>(srt >> (rs & 31)));
+        break;
+      case Op::ADD: writeInt(inst.rd, rs + rt); break;
+      case Op::SUB: writeInt(inst.rd, rs - rt); break;
+      case Op::MUL: writeInt(inst.rd, rs * rt); break;
+      case Op::DIV:
+        writeInt(inst.rd, static_cast<u32>(safeDiv(srs, srt)));
+        break;
+      case Op::REM:
+        writeInt(inst.rd, static_cast<u32>(safeRem(srs, srt)));
+        break;
+      case Op::AND: writeInt(inst.rd, rs & rt); break;
+      case Op::OR: writeInt(inst.rd, rs | rt); break;
+      case Op::XOR: writeInt(inst.rd, rs ^ rt); break;
+      case Op::NOR: writeInt(inst.rd, ~(rs | rt)); break;
+      case Op::SLT: writeInt(inst.rd, srs < srt ? 1 : 0); break;
+      case Op::SLTU: writeInt(inst.rd, rs < rt ? 1 : 0); break;
+
+      case Op::ADDI:
+        writeInt(inst.rt, rs + static_cast<u32>(inst.imm));
+        break;
+      case Op::SLTI: writeInt(inst.rt, srs < inst.imm ? 1 : 0); break;
+      case Op::SLTIU:
+        writeInt(inst.rt, rs < static_cast<u32>(inst.imm) ? 1 : 0);
+        break;
+      case Op::ANDI:
+        writeInt(inst.rt, rs & static_cast<u32>(inst.imm));
+        break;
+      case Op::ORI:
+        writeInt(inst.rt, rs | static_cast<u32>(inst.imm));
+        break;
+      case Op::XORI:
+        writeInt(inst.rt, rs ^ static_cast<u32>(inst.imm));
+        break;
+      case Op::LUI:
+        writeInt(inst.rt, static_cast<u32>(inst.imm) << 16);
+        break;
+
+      case Op::LB: case Op::LBU: case Op::LH: case Op::LHU:
+      case Op::LW: case Op::FLD: {
+        const Addr addr = rs + static_cast<u32>(inst.imm);
+        info.is_mem = true;
+        info.mem_addr = addr;
+        switch (inst.op) {
+          case Op::LB:
+            writeInt(inst.rt, static_cast<u32>(
+                                  static_cast<s32>(
+                                      static_cast<s8>(mem->read8(addr)))));
+            info.mem_lo = readInt(inst.rt);
+            break;
+          case Op::LBU:
+            writeInt(inst.rt, mem->read8(addr));
+            info.mem_lo = readInt(inst.rt);
+            break;
+          case Op::LH:
+            writeInt(inst.rt, static_cast<u32>(
+                                  static_cast<s32>(static_cast<s16>(
+                                      mem->read16(addr)))));
+            info.mem_lo = readInt(inst.rt);
+            break;
+          case Op::LHU:
+            writeInt(inst.rt, mem->read16(addr));
+            info.mem_lo = readInt(inst.rt);
+            break;
+          case Op::LW:
+            writeInt(inst.rt, mem->read32(addr));
+            info.mem_lo = readInt(inst.rt);
+            break;
+          case Op::FLD: {
+            const double d = mem->readDouble(addr);
+            writeFp(inst.rt, d);
+            info.mem_is_double = true;
+            info.mem_lo = wordOfDoubleLo(d);
+            info.mem_hi = wordOfDoubleHi(d);
+            break;
+          }
+          default:
+            break;
+        }
+        break;
+      }
+
+      case Op::SB: case Op::SH: case Op::SW: case Op::FSD: {
+        const Addr addr = rs + static_cast<u32>(inst.imm);
+        info.is_mem = true;
+        info.mem_addr = addr;
+        switch (inst.op) {
+          case Op::SB:
+            mem->write8(addr, static_cast<u8>(rt));
+            info.mem_lo = static_cast<u8>(rt);
+            break;
+          case Op::SH:
+            mem->write16(addr, static_cast<u16>(rt));
+            info.mem_lo = static_cast<u16>(rt);
+            break;
+          case Op::SW:
+            mem->write32(addr, rt);
+            info.mem_lo = rt;
+            break;
+          case Op::FSD: {
+            const double d = readFp(inst.rt);
+            mem->writeDouble(addr, d);
+            info.mem_is_double = true;
+            info.mem_lo = wordOfDoubleLo(d);
+            info.mem_hi = wordOfDoubleHi(d);
+            break;
+          }
+          default:
+            break;
+        }
+        break;
+      }
+
+      case Op::J:
+        info.is_control = true;
+        info.taken = true;
+        next = inst.target << 2;
+        break;
+      case Op::JAL:
+        info.is_control = true;
+        info.taken = true;
+        writeInt(31, pc + 4);
+        next = inst.target << 2;
+        break;
+      case Op::JR:
+        info.is_control = true;
+        info.taken = true;
+        next = rs;
+        break;
+      case Op::JALR:
+        info.is_control = true;
+        info.taken = true;
+        writeInt(inst.rd, pc + 4);
+        next = rs;
+        break;
+
+      case Op::BEQ: case Op::BNE: case Op::BLEZ: case Op::BGTZ:
+      case Op::BLTZ: case Op::BGEZ: {
+        info.is_control = true;
+        bool take = false;
+        switch (inst.op) {
+          case Op::BEQ: take = rs == rt; break;
+          case Op::BNE: take = rs != rt; break;
+          case Op::BLEZ: take = srs <= 0; break;
+          case Op::BGTZ: take = srs > 0; break;
+          case Op::BLTZ: take = srs < 0; break;
+          case Op::BGEZ: take = srs >= 0; break;
+          default: break;
+        }
+        info.taken = take;
+        if (take)
+            next = pc + 4 + (static_cast<u32>(inst.imm) << 2);
+        break;
+      }
+
+      case Op::FADD: writeFp(inst.rd, fs + ft); break;
+      case Op::FSUB: writeFp(inst.rd, fs - ft); break;
+      case Op::FMUL: writeFp(inst.rd, fs * ft); break;
+      case Op::FDIV: writeFp(inst.rd, fs / ft); break;
+      case Op::FSQRT:
+        writeFp(inst.rd, fs >= 0.0 ? std::sqrt(fs) : 0.0);
+        break;
+      case Op::FABS: writeFp(inst.rd, std::fabs(fs)); break;
+      case Op::FNEG: writeFp(inst.rd, -fs); break;
+      case Op::FMOV: writeFp(inst.rd, fs); break;
+      case Op::FMIN: writeFp(inst.rd, std::fmin(fs, ft)); break;
+      case Op::FMAX: writeFp(inst.rd, std::fmax(fs, ft)); break;
+      case Op::CVTIF: writeFp(inst.rd, static_cast<double>(srs)); break;
+      case Op::CVTFI:
+        writeInt(inst.rd, static_cast<u32>(doubleToInt(fs)));
+        break;
+      case Op::FCLT: writeInt(inst.rd, fs < ft ? 1 : 0); break;
+      case Op::FCLE: writeInt(inst.rd, fs <= ft ? 1 : 0); break;
+      case Op::FCEQ: writeInt(inst.rd, fs == ft ? 1 : 0); break;
+
+      case Op::HALT:
+        halt_flag = true;
+        info.halted = true;
+        next = pc;
+        break;
+      case Op::OUT:
+        out_values.push_back(rs);
+        break;
+
+      default:
+        panic("unhandled opcode in ArchState::step");
+    }
+
+    if (const auto dest = isa::intDest(inst)) {
+        info.has_int_result = true;
+        info.int_result = readInt(*dest);
+    }
+
+    pc = next;
+    info.next_pc = next;
+    return info;
+}
+
+u64
+ArchState::run(u64 max_steps)
+{
+    u64 steps = 0;
+    while (!halt_flag && steps < max_steps) {
+        step();
+        ++steps;
+    }
+    return steps;
+}
+
+} // namespace predbus::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architectural (functional) execution of P32 instructions.
+ *
+ * The out-of-order core executes instructions functionally at dispatch
+ * (the SimpleScalar approach) and models timing separately; this file
+ * provides the architectural state and one-instruction step, returning
+ * everything the timing model and bus tracers need.
+ */
+
+#ifndef PREDBUS_SIM_FUNCTIONAL_H
+#define PREDBUS_SIM_FUNCTIONAL_H
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/isa.h"
+#include "sim/memory.h"
+
+namespace predbus::sim
+{
+
+/** Everything observable about one executed instruction. */
+struct ExecInfo
+{
+    isa::Instruction inst;
+    Addr pc = 0;
+    Addr next_pc = 0;
+
+    bool is_control = false;      ///< branch or jump
+    bool taken = false;           ///< control transfer taken
+
+    bool is_mem = false;
+    Addr mem_addr = 0;
+    bool mem_is_double = false;   ///< FLD/FSD: two bus beats
+    Word mem_lo = 0;              ///< low word on the memory data bus
+    Word mem_hi = 0;              ///< high word (doubles only)
+
+    bool has_int_operand = false; ///< read an integer register operand
+    Word int_operand = 0;         ///< value of the first int operand
+
+    bool has_int_result = false;  ///< wrote an integer register
+    Word int_result = 0;          ///< the written value (writeback bus)
+
+    bool halted = false;
+};
+
+/** Architectural register file + PC + memory binding. */
+class ArchState
+{
+  public:
+    explicit ArchState(Memory &memory) : mem(&memory) {}
+
+    Addr pc = 0;
+
+    u32 readInt(unsigned r) const { return r ? iregs[r] : 0; }
+    void
+    writeInt(unsigned r, u32 v)
+    {
+        if (r)
+            iregs[r] = v;
+    }
+    double readFp(unsigned r) const { return fregs[r]; }
+    void writeFp(unsigned r, double v) { fregs[r] = v; }
+
+    Memory &memory() { return *mem; }
+    const Memory &memory() const { return *mem; }
+
+    bool halted() const { return halt_flag; }
+
+    /** Values emitted by OUT, in program order. */
+    const std::vector<u32> &output() const { return out_values; }
+
+    /**
+     * Execute exactly one instruction at the current PC.
+     * Illegal encodings raise FatalError (guest bug).
+     */
+    ExecInfo step();
+
+    /** Convenience: run until HALT or @p max_steps; returns steps. */
+    u64 run(u64 max_steps);
+
+  private:
+    std::array<u32, isa::kNumIntRegs> iregs{};
+    std::array<double, isa::kNumFpRegs> fregs{};
+    Memory *mem;
+    std::vector<u32> out_values;
+    bool halt_flag = false;
+};
+
+} // namespace predbus::sim
+
+#endif // PREDBUS_SIM_FUNCTIONAL_H

@@ -1,0 +1,508 @@
+#include "sim/machine.h"
+
+#include "common/log.h"
+
+namespace predbus::sim
+{
+
+using isa::FuClass;
+using isa::Opcode;
+
+/** One in-flight instruction in the register update unit. */
+struct Machine::RuuEntry
+{
+    ExecInfo info;
+    u64 seq = 0;
+    u64 deps[3] = {kNoSeq, kNoSeq, kNoSeq};
+    unsigned ndeps = 0;
+    bool issued = false;
+    bool completed = false;
+    Cycle complete_cycle = 0;
+    u8 mem_size = 0;       ///< bytes touched (loads/stores)
+};
+
+/** One fetched (possibly wrong-path) instruction awaiting dispatch. */
+struct Machine::IfqEntry
+{
+    Addr pc = 0;
+    isa::Instruction inst;
+    Addr predicted_next = 0;
+};
+
+namespace
+{
+
+u8
+memSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::LB: case Opcode::LBU: case Opcode::SB: return 1;
+      case Opcode::LH: case Opcode::LHU: case Opcode::SH: return 2;
+      case Opcode::LW: case Opcode::SW: return 4;
+      case Opcode::FLD: case Opcode::FSD: return 8;
+      default: return 0;
+    }
+}
+
+} // namespace
+
+Machine::Machine(const isa::Program &program, const SimConfig &config)
+    : cfg(config)
+{
+    mem.load(program);
+    arch_state = std::make_unique<ArchState>(mem);
+    arch_state->pc = program.entry;
+    fetch_pc = program.entry;
+
+    if (cfg.use_l2)
+        l2_cache =
+            std::make_unique<Cache>(cfg.l2, nullptr, cfg.memory_latency);
+    il1_cache = std::make_unique<Cache>(cfg.il1, l2_cache.get(),
+                                        cfg.memory_latency);
+    dl1_cache = std::make_unique<Cache>(cfg.dl1, l2_cache.get(),
+                                        cfg.memory_latency);
+    bpred = std::make_unique<Bpred>(cfg.bpred);
+
+    for (u64 &w : last_int_writer)
+        w = kNoSeq;
+    for (u64 &w : last_fp_writer)
+        w = kNoSeq;
+}
+
+Machine::~Machine() = default;
+
+bool
+Machine::depsReady(const RuuEntry &entry) const
+{
+    for (unsigned i = 0; i < entry.ndeps; ++i) {
+        const u64 dep = entry.deps[i];
+        if (dep < head_seq)
+            continue;  // producer already committed
+        if (dep >= head_seq + ruu.size())
+            continue;  // defensive; should not happen
+        const RuuEntry &producer =
+            ruu[static_cast<std::size_t>(dep - head_seq)];
+        if (!producer.completed)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Memory-dependence check for the load at RUU position @p index.
+ * Returns true when an older store blocks issue. Sets @p forward when
+ * the youngest conflicting store fully covers the load and has issued
+ * (store-to-load forwarding, 1-cycle latency).
+ */
+bool
+Machine::olderStoreBlocks(std::size_t index, bool &forward) const
+{
+    forward = false;
+    const RuuEntry &load = ruu[index];
+    const Addr lo = load.info.mem_addr;
+    const Addr hi = lo + load.mem_size;
+    for (std::size_t i = index; i-- > 0;) {
+        const RuuEntry &older = ruu[i];
+        if (!opInfo(older.info.inst.op).is_store)
+            continue;
+        const Addr s_lo = older.info.mem_addr;
+        const Addr s_hi = s_lo + older.mem_size;
+        const bool overlap = (lo < s_hi) && (s_lo < hi);
+        if (!overlap)
+            continue;
+        const bool covers = (s_lo <= lo) && (hi <= s_hi);
+        if (covers && older.issued) {
+            forward = true;
+            return false;
+        }
+        return true;  // partial overlap or store not ready: stall
+    }
+    return false;
+}
+
+void
+Machine::doCommit()
+{
+    u32 committed = 0;
+    while (committed < cfg.commit_width && !ruu.empty()) {
+        RuuEntry &head = ruu.front();
+        if (!head.completed)
+            break;
+        const isa::OpInfo &info = opInfo(head.info.inst.op);
+        if (info.is_store) {
+            if (mem_ports_used >= cfg.mem_ports)
+                break;
+            ++mem_ports_used;
+            const u32 latency =
+                dl1_cache->access(head.info.mem_addr, true);
+            addr_bus.post(cycle, head.info.mem_addr);
+            mem_bus.post(cycle + latency, head.info.mem_lo);
+            if (head.info.mem_is_double)
+                mem_bus.post(cycle + latency + 1, head.info.mem_hi);
+            --lsq_count;
+        } else if (info.is_load) {
+            --lsq_count;
+        }
+        ++stat.instructions;
+        ++committed;
+        ruu.pop_front();
+        ++head_seq;
+    }
+}
+
+void
+Machine::doWriteback()
+{
+    // Writeback bus timing generator (extension): the result value of
+    // the first (oldest) instruction completing this cycle.
+    bool wb_posted = false;
+    for (RuuEntry &entry : ruu) {
+        if (entry.issued && !entry.completed &&
+            entry.complete_cycle <= cycle) {
+            entry.completed = true;
+            if (!wb_posted && entry.info.has_int_result) {
+                wb_bus.post(cycle, entry.info.int_result);
+                wb_posted = true;
+            }
+            if (entry.seq == blocked_branch_seq) {
+                blocked_branch_seq = kNoSeq;
+                fetch_avail_cycle =
+                    std::max<Cycle>(fetch_avail_cycle,
+                                    cycle + 1 + cfg.mispredict_penalty);
+            }
+        }
+    }
+}
+
+void
+Machine::doIssue()
+{
+    for (std::size_t i = 0;
+         i < ruu.size() && issued_this_cycle < cfg.issue_width; ++i) {
+        RuuEntry &entry = ruu[i];
+        if (entry.issued || !depsReady(entry))
+            continue;
+
+        const isa::OpInfo &info = opInfo(entry.info.inst.op);
+        u32 latency = info.latency;
+
+        // Functional unit availability.
+        switch (info.fu) {
+          case FuClass::IntAlu:
+            if (alu_used >= cfg.int_alus)
+                continue;
+            break;
+          case FuClass::IntMul:
+          case FuClass::IntDiv:
+            if (muldiv_used >= cfg.int_mult_divs)
+                continue;
+            break;
+          case FuClass::FpAdd:
+            if (fpalu_used >= cfg.fp_alus)
+                continue;
+            break;
+          case FuClass::FpMul:
+          case FuClass::FpDiv:
+            if (fpmuldiv_used >= cfg.fp_mult_divs)
+                continue;
+            break;
+          case FuClass::MemRead:
+            if (mem_ports_used >= cfg.mem_ports)
+                continue;
+            break;
+          case FuClass::MemWrite:
+          case FuClass::None:
+            break;
+        }
+
+        if (info.is_load) {
+            bool forward = false;
+            if (olderStoreBlocks(i, forward))
+                continue;
+            if (forward) {
+                latency = 1;
+            } else {
+                latency = dl1_cache->access(entry.info.mem_addr, false);
+            }
+            ++mem_ports_used;
+            addr_bus.post(cycle, entry.info.mem_addr);
+            mem_bus.post(cycle + latency, entry.info.mem_lo);
+            if (entry.info.mem_is_double)
+                mem_bus.post(cycle + latency + 1, entry.info.mem_hi);
+        }
+
+        // Claim the functional unit.
+        switch (info.fu) {
+          case FuClass::IntAlu: ++alu_used; break;
+          case FuClass::IntMul:
+          case FuClass::IntDiv: ++muldiv_used; break;
+          case FuClass::FpAdd: ++fpalu_used; break;
+          case FuClass::FpMul:
+          case FuClass::FpDiv: ++fpmuldiv_used; break;
+          default: break;
+        }
+
+        entry.issued = true;
+        entry.complete_cycle = cycle + latency;
+        ++issued_this_cycle;
+
+        // Register bus timing generator (issue-order variant): one
+        // output port, first integer operand of the first instruction
+        // issued this cycle.
+        if (cfg.reg_bus_at_issue && !reg_bus_posted &&
+            entry.info.has_int_operand) {
+            reg_bus.post(cycle, entry.info.int_operand);
+            reg_bus_posted = true;
+        }
+    }
+}
+
+void
+Machine::doDispatch()
+{
+    u32 dispatched = 0;
+    while (dispatched < cfg.decode_width && !ifq.empty() &&
+           ruu.size() < cfg.ruu_size && !dispatch_halted) {
+        const IfqEntry fe = ifq.front();
+        if (fe.pc != arch_state->pc) {
+            // Stale wrong-path instructions past an undetected
+            // redirect; resynchronize the front end.
+            ifq.clear();
+            fetch_pc = arch_state->pc;
+            break;
+        }
+        const isa::OpInfo &info = opInfo(fe.inst.op);
+        if ((info.is_load || info.is_store) && lsq_count >= cfg.lsq_size)
+            break;
+        ifq.pop_front();
+
+        const ExecInfo exec = arch_state->step();
+
+        // Register bus timing generator (default): the port value of
+        // the first instruction through the dispatch stage each cycle
+        // — sim-outorder reads operands here (program order).
+        if (!cfg.reg_bus_at_issue && !reg_bus_posted &&
+            exec.has_int_operand) {
+            reg_bus.post(cycle, exec.int_operand);
+            reg_bus_posted = true;
+        }
+
+        RuuEntry entry;
+        entry.info = exec;
+        entry.seq = next_seq++;
+        entry.mem_size = memSize(exec.inst.op);
+
+        // Register dependencies via the most recent in-flight writers.
+        const isa::SourceRegs srcs = isa::sources(exec.inst);
+        auto add_dep = [&entry](u64 producer) {
+            if (producer == kNoSeq)
+                return;
+            for (unsigned i = 0; i < entry.ndeps; ++i)
+                if (entry.deps[i] == producer)
+                    return;
+            entry.deps[entry.ndeps++] = producer;
+        };
+        if (srcs.int0)
+            add_dep(last_int_writer[*srcs.int0]);
+        if (srcs.int1)
+            add_dep(last_int_writer[*srcs.int1]);
+        if (srcs.fp0)
+            add_dep(last_fp_writer[*srcs.fp0]);
+        if (srcs.fp1)
+            add_dep(last_fp_writer[*srcs.fp1]);
+        if (const auto d = isa::intDest(exec.inst))
+            last_int_writer[*d] = entry.seq;
+        if (const auto d = isa::fpDest(exec.inst))
+            last_fp_writer[*d] = entry.seq;
+
+        if (info.is_load || info.is_store) {
+            ++lsq_count;
+            if (info.is_load)
+                ++stat.loads;
+            else
+                ++stat.stores;
+        }
+
+        // FuClass::None ops (J, JAL, HALT) never visit a functional
+        // unit: complete at dispatch.
+        if (info.fu == FuClass::None) {
+            entry.issued = true;
+            entry.completed = true;
+            entry.complete_cycle = cycle;
+        }
+
+        const bool was_control = exec.is_control;
+        ruu.push_back(entry);
+        ++dispatched;
+
+        if (was_control) {
+            ++stat.branches;
+            const bool is_conditional = info.is_branch;
+            bpred->update(exec.pc, exec.taken, exec.next_pc,
+                          is_conditional);
+            const bool correct = fe.predicted_next == exec.next_pc;
+            bpred->recordOutcome(correct, correct);
+            if (!correct) {
+                ++stat.mispredicts;
+                ifq.clear();
+                fetch_pc = exec.next_pc;
+                RuuEntry &placed = ruu.back();
+                if (placed.completed) {
+                    // Unconditional direct jumps resolve immediately.
+                    fetch_avail_cycle = std::max<Cycle>(
+                        fetch_avail_cycle,
+                        cycle + 1 + cfg.mispredict_penalty);
+                } else {
+                    blocked_branch_seq = placed.seq;
+                }
+                break;
+            }
+        }
+
+        if (exec.halted) {
+            dispatch_halted = true;
+            ifq.clear();
+            break;
+        }
+    }
+}
+
+void
+Machine::doFetch()
+{
+    if (dispatch_halted || blocked_branch_seq != kNoSeq ||
+        cycle < fetch_avail_cycle)
+        return;
+
+    u64 last_line = ~u64{0};
+    for (u32 fetched = 0;
+         fetched < cfg.fetch_width && ifq.size() < cfg.ifq_size;
+         ++fetched) {
+        const u64 line = fetch_pc / cfg.il1.line_bytes;
+        if (line != last_line) {
+            const u32 latency = il1_cache->access(fetch_pc, false);
+            if (latency > cfg.il1.hit_latency) {
+                // I-cache miss: the front end refills; nothing else is
+                // fetched until the line returns.
+                fetch_avail_cycle = cycle + latency;
+                return;
+            }
+            last_line = line;
+        }
+
+        const u32 raw = mem.read32(fetch_pc);
+        const auto decoded = isa::decode(raw);
+        if (!decoded)
+            return;  // wrong-path garbage: emit nothing, await redirect
+        const isa::Instruction inst = *decoded;
+
+        IfqEntry fe;
+        fe.pc = fetch_pc;
+        fe.inst = inst;
+
+        Addr next = fetch_pc + 4;
+        bool taken_transfer = false;
+        switch (inst.op) {
+          case Opcode::J:
+          case Opcode::JAL:
+            next = inst.target << 2;
+            taken_transfer = true;
+            if (inst.op == Opcode::JAL)
+                bpred->pushReturn(fetch_pc + 4);
+            break;
+          case Opcode::JR:
+          case Opcode::JALR: {
+            const bool is_return =
+                inst.op == Opcode::JR && inst.rs == 31;
+            const Prediction p =
+                bpred->predict(fetch_pc, true, is_return);
+            if (p.target_valid)
+                next = p.target;
+            taken_transfer = true;
+            if (inst.op == Opcode::JALR)
+                bpred->pushReturn(fetch_pc + 4);
+            break;
+          }
+          case Opcode::BEQ: case Opcode::BNE: case Opcode::BLEZ:
+          case Opcode::BGTZ: case Opcode::BLTZ: case Opcode::BGEZ: {
+            const Prediction p =
+                bpred->predict(fetch_pc, false, false);
+            if (p.taken) {
+                next = fetch_pc + 4 +
+                       (static_cast<u32>(inst.imm) << 2);
+                taken_transfer = true;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+
+        fe.predicted_next = next;
+        ifq.push_back(fe);
+        fetch_pc = next;
+        if (taken_transfer)
+            break;  // one taken transfer per fetch cycle
+        if (inst.op == Opcode::HALT)
+            break;
+    }
+}
+
+RunResult
+Machine::run(u64 max_cycles)
+{
+    Cycle last_commit_cycle = 0;
+    u64 last_committed = 0;
+
+    while (cycle < max_cycles) {
+        mem_ports_used = 0;
+        alu_used = 0;
+        muldiv_used = 0;
+        fpalu_used = 0;
+        fpmuldiv_used = 0;
+        issued_this_cycle = 0;
+        reg_bus_posted = false;
+
+        doCommit();
+        doWriteback();
+        doIssue();
+        doDispatch();
+        doFetch();
+
+        if (stat.instructions != last_committed) {
+            last_committed = stat.instructions;
+            last_commit_cycle = cycle;
+        } else if (cycle - last_commit_cycle > 100000) {
+            panic("machine deadlock: no commit in 100000 cycles at "
+                  "cycle ",
+                  cycle);
+        }
+
+        ++cycle;
+        if (dispatch_halted && ruu.empty())
+            break;
+    }
+
+    stat.cycles = cycle;
+    stat.il1 = il1_cache->stats();
+    stat.dl1 = dl1_cache->stats();
+    if (l2_cache)
+        stat.l2 = l2_cache->stats();
+    stat.bpred = bpred->stats();
+
+    RunResult result;
+    result.stats = stat;
+    result.output = arch_state->output();
+    reg_bus.finalize();
+    mem_bus.finalize();
+    addr_bus.finalize();
+    wb_bus.finalize();
+    result.reg_bus = std::move(reg_bus);
+    result.mem_bus = std::move(mem_bus);
+    result.addr_bus = std::move(addr_bus);
+    result.wb_bus = std::move(wb_bus);
+    result.halted = dispatch_halted;
+    return result;
+}
+
+} // namespace predbus::sim

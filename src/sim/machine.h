@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The out-of-order superscalar machine (SimpleScalar sim-outorder
+ * style) with the paper's two bus timing generators.
+ *
+ * Pipeline model:
+ *  - fetch: along the predicted path from the I-cache into the IFQ;
+ *  - dispatch: in program order; instructions execute *functionally*
+ *    here (correct path only), allocate RUU/LSQ entries, and resolve
+ *    branch predictions (mispredictions flush the IFQ and stall fetch
+ *    until the branch's writeback plus a redirect penalty);
+ *  - issue: oldest-first from the RUU when operands and a functional
+ *    unit are available; loads access the D-cache or forward from an
+ *    older in-flight store;
+ *  - writeback: completion wakes dependents;
+ *  - commit: in order; stores perform their D-cache write here.
+ *
+ * Bus timing generators (paper §4.1):
+ *  - register bus: the first integer operand value read by the first
+ *    instruction issued each cycle (one register-file output port);
+ *  - memory bus: load data is posted at issue + access latency; store
+ *    data at commit + access latency; doubles take two beats.
+ */
+
+#ifndef PREDBUS_SIM_MACHINE_H
+#define PREDBUS_SIM_MACHINE_H
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+#include "sim/bpred.h"
+#include "sim/cache.h"
+#include "sim/functional.h"
+#include "sim/memory.h"
+#include "trace/trace.h"
+
+namespace predbus::sim
+{
+
+/** Machine configuration (SimpleScalar-like defaults). */
+struct SimConfig
+{
+    u32 fetch_width = 4;
+    u32 decode_width = 4;
+    u32 issue_width = 4;
+    u32 commit_width = 4;
+    u32 ifq_size = 16;
+    u32 ruu_size = 64;
+    u32 lsq_size = 32;
+
+    u32 int_alus = 4;
+    u32 int_mult_divs = 1;
+    u32 fp_alus = 2;
+    u32 fp_mult_divs = 1;
+    u32 mem_ports = 2;
+
+    /** Extra redirect cycles after a mispredicted branch resolves. */
+    u32 mispredict_penalty = 2;
+
+    /**
+     * Where the register-bus timing generator samples its port:
+     * at dispatch (program order — where sim-outorder reads
+     * operands, the default) or at issue (out-of-order).
+     */
+    bool reg_bus_at_issue = false;
+
+    u32 memory_latency = 80;
+    bool use_l2 = true;
+    CacheConfig il1{"il1", 16 * 1024, 32, 1, 1};
+    CacheConfig dl1{"dl1", 16 * 1024, 32, 4, 1};
+    CacheConfig l2{"ul2", 256 * 1024, 64, 4, 6};
+    BpredConfig bpred;
+};
+
+/** Aggregate run statistics. */
+struct SimStats
+{
+    u64 cycles = 0;
+    u64 instructions = 0;
+    u64 branches = 0;
+    u64 mispredicts = 0;
+    u64 loads = 0;
+    u64 stores = 0;
+    CacheStats il1, dl1, l2;
+    BpredStats bpred;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** Everything a run produces. */
+struct RunResult
+{
+    SimStats stats;
+    std::vector<u32> output;        ///< OUT values, program order
+    trace::ValueTrace reg_bus;      ///< register-file output port
+    trace::ValueTrace mem_bus;      ///< data bus to caches/memory
+    trace::ValueTrace addr_bus;     ///< address bus (extension)
+    trace::ValueTrace wb_bus;       ///< result/writeback bus (extension)
+    bool halted = false;            ///< guest executed HALT
+};
+
+/** A loaded machine ready to run one program. */
+class Machine
+{
+  public:
+    explicit Machine(const isa::Program &program,
+                     const SimConfig &config = SimConfig{});
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /**
+     * Simulate until the guest halts, the pipeline drains, or
+     * @p max_cycles elapse. Returns the collected result.
+     */
+    RunResult run(u64 max_cycles);
+
+    /** Architectural state access (for tests). */
+    ArchState &arch() { return *arch_state; }
+    Memory &memory() { return mem; }
+
+  private:
+    struct RuuEntry;
+    struct IfqEntry;
+
+    void doCommit();
+    void doWriteback();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    bool depsReady(const RuuEntry &entry) const;
+    bool olderStoreBlocks(std::size_t index, bool &forward) const;
+
+    SimConfig cfg;
+    Memory mem;
+    std::unique_ptr<ArchState> arch_state;
+    std::unique_ptr<Cache> l2_cache;   ///< may be null
+    std::unique_ptr<Cache> il1_cache;
+    std::unique_ptr<Cache> dl1_cache;
+    std::unique_ptr<Bpred> bpred;
+
+    // Pipeline state.
+    Cycle cycle = 0;
+    u64 next_seq = 0;
+    u64 head_seq = 0;
+    std::deque<RuuEntry> ruu;
+    std::deque<IfqEntry> ifq;
+    u32 lsq_count = 0;
+    Addr fetch_pc = 0;
+    Cycle fetch_avail_cycle = 0;
+    static constexpr u64 kNoSeq = ~u64{0};
+    u64 blocked_branch_seq = kNoSeq;
+    bool dispatch_halted = false;
+
+    /** Seq of the most recent in-flight writer per register. */
+    u64 last_int_writer[isa::kNumIntRegs];
+    u64 last_fp_writer[isa::kNumFpRegs];
+
+    // Per-cycle resource counters.
+    u32 mem_ports_used = 0;
+    u32 alu_used = 0;
+    u32 muldiv_used = 0;
+    u32 fpalu_used = 0;
+    u32 fpmuldiv_used = 0;
+    u32 issued_this_cycle = 0;
+    bool reg_bus_posted = false;
+
+    // Results under construction.
+    SimStats stat;
+    trace::ValueTrace reg_bus;
+    trace::ValueTrace mem_bus;
+    trace::ValueTrace addr_bus;
+    trace::ValueTrace wb_bus;
+};
+
+} // namespace predbus::sim
+
+#endif // PREDBUS_SIM_MACHINE_H

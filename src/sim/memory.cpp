@@ -1,0 +1,139 @@
+#include "sim/memory.h"
+
+#include <cstring>
+
+namespace predbus::sim
+{
+
+const Memory::Page *
+Memory::findPage(Addr addr) const
+{
+    const auto it = pages.find(addr >> kPageBits);
+    return (it == pages.end()) ? nullptr : it->second.get();
+}
+
+Memory::Page &
+Memory::touchPage(Addr addr)
+{
+    auto &slot = pages[addr >> kPageBits];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+u8
+Memory::read8(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr & (kPageSize - 1)] : 0;
+}
+
+u16
+Memory::read16(Addr addr) const
+{
+    // Fast path: fully inside one page and aligned.
+    const Addr off = addr & (kPageSize - 1);
+    if (const Page *page = findPage(addr); page && off + 2 <= kPageSize) {
+        u16 v;
+        std::memcpy(&v, page->data() + off, 2);
+        return v;
+    }
+    return static_cast<u16>(read8(addr)) |
+           (static_cast<u16>(read8(addr + 1)) << 8);
+}
+
+u32
+Memory::read32(Addr addr) const
+{
+    const Addr off = addr & (kPageSize - 1);
+    if (const Page *page = findPage(addr); page && off + 4 <= kPageSize) {
+        u32 v;
+        std::memcpy(&v, page->data() + off, 4);
+        return v;
+    }
+    u32 v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | read8(addr + static_cast<Addr>(i));
+    return v;
+}
+
+u64
+Memory::read64(Addr addr) const
+{
+    return static_cast<u64>(read32(addr)) |
+           (static_cast<u64>(read32(addr + 4)) << 32);
+}
+
+double
+Memory::readDouble(Addr addr) const
+{
+    const u64 raw = read64(addr);
+    double d;
+    std::memcpy(&d, &raw, 8);
+    return d;
+}
+
+void
+Memory::write8(Addr addr, u8 value)
+{
+    touchPage(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void
+Memory::write16(Addr addr, u16 value)
+{
+    const Addr off = addr & (kPageSize - 1);
+    if (off + 2 <= kPageSize) {
+        std::memcpy(touchPage(addr).data() + off, &value, 2);
+        return;
+    }
+    write8(addr, static_cast<u8>(value));
+    write8(addr + 1, static_cast<u8>(value >> 8));
+}
+
+void
+Memory::write32(Addr addr, u32 value)
+{
+    const Addr off = addr & (kPageSize - 1);
+    if (off + 4 <= kPageSize) {
+        std::memcpy(touchPage(addr).data() + off, &value, 4);
+        return;
+    }
+    for (int i = 0; i < 4; ++i)
+        write8(addr + static_cast<Addr>(i),
+               static_cast<u8>(value >> (8 * i)));
+}
+
+void
+Memory::write64(Addr addr, u64 value)
+{
+    write32(addr, static_cast<u32>(value));
+    write32(addr + 4, static_cast<u32>(value >> 32));
+}
+
+void
+Memory::writeDouble(Addr addr, double value)
+{
+    u64 raw;
+    std::memcpy(&raw, &value, 8);
+    write64(addr, raw);
+}
+
+void
+Memory::load(const isa::Program &program)
+{
+    Addr pc = program.code_base;
+    for (u32 word : program.code) {
+        write32(pc, word);
+        pc += 4;
+    }
+    for (const isa::Segment &seg : program.data) {
+        Addr addr = seg.base;
+        for (u8 byte : seg.bytes)
+            write8(addr++, byte);
+    }
+}
+
+} // namespace predbus::sim

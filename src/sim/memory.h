@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sparse byte-addressable guest memory (flat 32-bit address space).
+ *
+ * Backed by 4 KiB pages allocated on first touch, so guest programs can
+ * scatter data anywhere in the address space without host cost.
+ * Little-endian, like the P32 ISA.
+ */
+
+#ifndef PREDBUS_SIM_MEMORY_H
+#define PREDBUS_SIM_MEMORY_H
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace predbus::sim
+{
+
+class Memory
+{
+  public:
+    static constexpr unsigned kPageBits = 12;
+    static constexpr Addr kPageSize = 1u << kPageBits;
+
+    u8 read8(Addr addr) const;
+    u16 read16(Addr addr) const;
+    u32 read32(Addr addr) const;
+    u64 read64(Addr addr) const;
+    double readDouble(Addr addr) const;
+
+    void write8(Addr addr, u8 value);
+    void write16(Addr addr, u16 value);
+    void write32(Addr addr, u32 value);
+    void write64(Addr addr, u64 value);
+    void writeDouble(Addr addr, double value);
+
+    /** Copy a program's code and data segments into memory. */
+    void load(const isa::Program &program);
+
+    /** Number of pages currently allocated (for tests/telemetry). */
+    std::size_t pageCount() const { return pages.size(); }
+
+  private:
+    using Page = std::array<u8, kPageSize>;
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<u32, std::unique_ptr<Page>> pages;
+};
+
+} // namespace predbus::sim
+
+#endif // PREDBUS_SIM_MEMORY_H

@@ -1,0 +1,37 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace predbus::trace
+{
+
+void
+ValueTrace::finalize()
+{
+    if (!sorted) {
+        std::stable_sort(events.begin(), events.end(),
+                         [](const BusEvent &a, const BusEvent &b) {
+                             return a.cycle < b.cycle;
+                         });
+        sorted = true;
+    }
+}
+
+std::vector<Word>
+ValueTrace::values() const
+{
+    std::vector<Word> out;
+    out.reserve(events.size());
+    for (const BusEvent &e : events)
+        out.push_back(e.value);
+    return out;
+}
+
+void
+ValueTrace::setRaw(std::vector<BusEvent> ev)
+{
+    events = std::move(ev);
+    sorted = false;
+}
+
+} // namespace predbus::trace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bus value traces.
+ *
+ * A trace is the time-ordered sequence of 32-bit values posted onto a
+ * bus. Between postings the bus holds its previous value, so wire
+ * transitions occur only at postings; idle cycles carry no events.
+ * This matches the paper's trace semantics (§4.1).
+ */
+
+#ifndef PREDBUS_TRACE_TRACE_H
+#define PREDBUS_TRACE_TRACE_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::trace
+{
+
+/** One value appearing on a bus at a given cycle. */
+struct BusEvent
+{
+    Cycle cycle = 0;
+    Word value = 0;
+
+    bool operator==(const BusEvent &other) const = default;
+};
+
+/**
+ * A bus value trace. Events may be posted out of time order (the
+ * simulator schedules memory values into the future); finalize() must
+ * be called before reading.
+ */
+class ValueTrace
+{
+  public:
+    /** Post @p value appearing on the bus at @p cycle. */
+    void
+    post(Cycle cycle, Word value)
+    {
+        events.push_back(BusEvent{cycle, value});
+        sorted = sorted && (events.size() < 2 ||
+                            events[events.size() - 2].cycle <= cycle);
+    }
+
+    /** Stable-sort events into time order. Idempotent. */
+    void finalize();
+
+    bool empty() const { return events.empty(); }
+    std::size_t size() const { return events.size(); }
+
+    const BusEvent &operator[](std::size_t i) const { return events[i]; }
+
+    auto begin() const { return events.begin(); }
+    auto end() const { return events.end(); }
+
+    /** Just the value sequence (post-finalize order). */
+    std::vector<Word> values() const;
+
+    /** Direct access for IO. */
+    const std::vector<BusEvent> &raw() const { return events; }
+    void setRaw(std::vector<BusEvent> ev);
+
+  private:
+    std::vector<BusEvent> events;
+    bool sorted = true;
+};
+
+} // namespace predbus::trace
+
+#endif // PREDBUS_TRACE_TRACE_H

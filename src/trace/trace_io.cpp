@@ -1,0 +1,110 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/log.h"
+
+namespace predbus::trace
+{
+
+namespace
+{
+
+constexpr u32 kMagic = 0x50425452;  // "PBTR"
+constexpr u32 kVersion = 1;
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+writeU32(std::FILE *f, u32 v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+writeU64(std::FILE *f, u64 v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readU32(std::FILE *f, u32 &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readU64(std::FILE *f, u64 &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+} // namespace
+
+const char *
+busName(BusKind kind)
+{
+    switch (kind) {
+      case BusKind::Register: return "register";
+      case BusKind::Memory: return "memory";
+      case BusKind::Address: return "address";
+      case BusKind::Writeback: return "writeback";
+    }
+    return "unknown";
+}
+
+void
+saveTrace(const std::string &path, const ValueTrace &trace)
+{
+    File f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot write trace file '", path, "'");
+    bool ok = writeU32(f.get(), kMagic) && writeU32(f.get(), kVersion) &&
+              writeU64(f.get(), trace.size());
+    for (std::size_t i = 0; ok && i < trace.size(); ++i) {
+        ok = writeU64(f.get(), trace[i].cycle) &&
+             writeU32(f.get(), trace[i].value);
+    }
+    if (!ok)
+        fatal("short write to trace file '", path, "'");
+}
+
+std::optional<ValueTrace>
+loadTrace(const std::string &path)
+{
+    File f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return std::nullopt;
+    u32 magic = 0, version = 0;
+    u64 count = 0;
+    if (!readU32(f.get(), magic) || magic != kMagic ||
+        !readU32(f.get(), version) || version != kVersion ||
+        !readU64(f.get(), count))
+        return std::nullopt;
+    std::vector<BusEvent> events;
+    events.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        BusEvent e;
+        if (!readU64(f.get(), e.cycle) || !readU32(f.get(), e.value))
+            return std::nullopt;
+        events.push_back(e);
+    }
+    ValueTrace trace;
+    trace.setRaw(std::move(events));
+    trace.finalize();
+    return trace;
+}
+
+} // namespace predbus::trace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary trace file IO and the trace cache.
+ *
+ * Bench binaries share simulator-generated traces through a cache
+ * directory: the first binary to need a (workload, bus) trace runs the
+ * simulator and saves it; later binaries load the file. Files are
+ * keyed by workload, bus, and cycle budget, so changing the budget
+ * regenerates.
+ */
+
+#ifndef PREDBUS_TRACE_TRACE_IO_H
+#define PREDBUS_TRACE_TRACE_IO_H
+
+#include <optional>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace predbus::trace
+{
+
+/** Which traced bus. Register and Memory are the paper's §4.1 buses;
+ * Address is an extension: the memory *address* bus, the target of the
+ * related-work encodings ([1,15] workzone/sector schemes); Writeback is
+ * the result bus into the reorder buffer/register file (the abstract's
+ * other "internal bus"). */
+enum class BusKind
+{
+    Register,
+    Memory,
+    Address,
+    Writeback,
+};
+
+/** Lowercase bus name used in cache file names and tables. */
+const char *busName(BusKind kind);
+
+/** Write @p trace to @p path (throws FatalError on IO failure). */
+void saveTrace(const std::string &path, const ValueTrace &trace);
+
+/** Read a trace; nullopt if the file is missing or malformed. */
+std::optional<ValueTrace> loadTrace(const std::string &path);
+
+} // namespace predbus::trace
+
+#endif // PREDBUS_TRACE_TRACE_IO_H

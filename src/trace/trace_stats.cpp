@@ -1,0 +1,60 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace predbus::trace
+{
+
+std::vector<double>
+uniqueValueCdf(const std::vector<Word> &values)
+{
+    if (values.empty())
+        return {};
+    std::unordered_map<Word, u64> freq;
+    freq.reserve(values.size() / 4);
+    for (Word v : values)
+        ++freq[v];
+    std::vector<u64> counts;
+    counts.reserve(freq.size());
+    for (const auto &[value, count] : freq)
+        counts.push_back(count);
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+
+    std::vector<double> cdf(counts.size());
+    const double total = static_cast<double>(values.size());
+    u64 running = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        running += counts[i];
+        cdf[i] = static_cast<double>(running) / total;
+    }
+    return cdf;
+}
+
+double
+windowUniqueFraction(const std::vector<Word> &values, std::size_t window)
+{
+    if (window == 0 || values.size() < window)
+        return 0.0;
+    const std::size_t n_windows = values.size() / window;
+    std::unordered_set<Word> seen;
+    seen.reserve(window * 2);
+    double sum = 0.0;
+    for (std::size_t w = 0; w < n_windows; ++w) {
+        seen.clear();
+        for (std::size_t i = 0; i < window; ++i)
+            seen.insert(values[w * window + i]);
+        sum += static_cast<double>(seen.size()) /
+               static_cast<double>(window);
+    }
+    return sum / static_cast<double>(n_windows);
+}
+
+std::size_t
+uniqueValueCount(const std::vector<Word> &values)
+{
+    return std::unordered_set<Word>(values.begin(), values.end()).size();
+}
+
+} // namespace predbus::trace

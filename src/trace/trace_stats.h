@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Statistical characterizations of bus value traces (paper §4.2).
+ */
+
+#ifndef PREDBUS_TRACE_TRACE_STATS_H
+#define PREDBUS_TRACE_TRACE_STATS_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::trace
+{
+
+/**
+ * Cumulative distribution of unique values by frequency (Fig 7):
+ * result[k] = fraction of all trace values covered by the (k+1) most
+ * frequent unique values. result.size() == number of unique values.
+ */
+std::vector<double> uniqueValueCdf(const std::vector<Word> &values);
+
+/**
+ * Average fraction of values that are unique within a window of
+ * @p window values (Fig 8). Computed over consecutive non-overlapping
+ * windows; the final partial window is ignored. Returns 0 when the
+ * trace is shorter than one window.
+ */
+double windowUniqueFraction(const std::vector<Word> &values,
+                            std::size_t window);
+
+/** Number of distinct values in the trace. */
+std::size_t uniqueValueCount(const std::vector<Word> &values);
+
+} // namespace predbus::trace
+
+#endif // PREDBUS_TRACE_TRACE_STATS_H

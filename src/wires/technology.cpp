@@ -1,0 +1,86 @@
+#include "wires/technology.h"
+
+#include "common/log.h"
+
+namespace predbus::wires
+{
+
+// Calibration targets (see DESIGN.md):
+//  - Table 1 unbuffered λ: 14.0 / 16.6 / 14.5;
+//  - Table 1 buffered λ (0.670 / 0.576 / 0.591) emerges from the
+//    repeater capacitance computed by the repeater model;
+//  - Fig 5: 30mm unbuffered wire energy ~2-2.6pJ at 0.13um, lower for
+//    smaller nodes (V^2 scaling);
+//  - Fig 6: 30mm unbuffered delay ~3.2ns (quadratic), buffered ~1ns
+//    (linear);
+//  - Table 2 Vdd: 1.2 / 1.1 / 0.9 V (ITRS).
+
+Technology
+tech013()
+{
+    Technology t;
+    t.name = "0.13um";
+    t.feature_um = 0.13;
+    t.vdd = 1.2;
+    t.r_per_mm = 150.0;
+    t.cs_per_mm = 2.00e-15;   // fF/mm scale
+    t.ci_per_mm = 28.0e-15;
+    t.r0 = 10.0e3;
+    t.c0 = 2.0e-15;
+    t.t0 = 15.0e-12;
+    t.rep_cap_factor = 0.907;
+    return t;
+}
+
+Technology
+tech010()
+{
+    Technology t;
+    t.name = "0.10um";
+    t.feature_um = 0.10;
+    t.vdd = 1.1;
+    t.r_per_mm = 250.0;
+    t.cs_per_mm = 1.70e-15;
+    t.ci_per_mm = 28.2e-15;
+    t.r0 = 13.0e3;
+    t.c0 = 1.4e-15;
+    t.t0 = 11.0e-12;
+    t.rep_cap_factor = 1.076;
+    return t;
+}
+
+Technology
+tech007()
+{
+    Technology t;
+    t.name = "0.07um";
+    t.feature_um = 0.07;
+    t.vdd = 0.9;
+    t.r_per_mm = 400.0;
+    t.cs_per_mm = 1.83e-15;
+    t.ci_per_mm = 26.6e-15;
+    t.r0 = 17.0e3;
+    t.c0 = 0.9e-15;
+    t.t0 = 8.0e-12;
+    t.rep_cap_factor = 1.038;
+    return t;
+}
+
+const std::vector<Technology> &
+allTechnologies()
+{
+    static const std::vector<Technology> techs = {tech013(), tech010(),
+                                                  tech007()};
+    return techs;
+}
+
+const Technology &
+technology(const std::string &name)
+{
+    for (const Technology &t : allTechnologies())
+        if (t.name == name)
+            return t;
+    fatal("unknown technology '", name, "'");
+}
+
+} // namespace predbus::wires

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Interconnect technology parameters (paper §3).
+ *
+ * The paper derives wire parameters from the Berkeley Predictive
+ * Technology Model and ITRS geometries, then characterizes them with
+ * HSPICE. We substitute an analytic distributed-RC + repeater model
+ * (DESIGN.md §1): the parameter sets below are calibrated so that the
+ * model lands on the paper's published anchors — Table 1 effective-λ
+ * values and the Fig 5/6 energy/delay magnitudes.
+ */
+
+#ifndef PREDBUS_WIRES_TECHNOLOGY_H
+#define PREDBUS_WIRES_TECHNOLOGY_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::wires
+{
+
+/** One process node's wire and driver parameters. */
+struct Technology
+{
+    std::string name;       ///< "0.13um", ...
+    double feature_um;      ///< drawn feature size
+    double vdd;             ///< supply voltage (V)
+    double r_per_mm;        ///< wire resistance (ohm/mm, min pitch)
+    double cs_per_mm;       ///< wire-to-substrate capacitance (F/mm)
+    double ci_per_mm;       ///< inter-wire capacitance per neighbor (F/mm)
+    double r0;              ///< min inverter output resistance (ohm)
+    double c0;              ///< min inverter input capacitance (F)
+    double t0;              ///< min inverter intrinsic delay (s)
+    double rep_cap_factor;  ///< calibration: fraction of repeater gate
+                            ///< capacitance charged per transition
+                            ///< (fitted to the paper's Table 1 buffered
+                            ///< effective-lambda values)
+
+    /** Unbuffered λ = CI / CS (paper Fig 3, Table 1). */
+    double
+    unbufferedLambda() const
+    {
+        return ci_per_mm / cs_per_mm;
+    }
+};
+
+/** The three nodes the paper evaluates. */
+Technology tech013();
+Technology tech010();
+Technology tech007();
+
+/** All nodes, largest feature first (paper's presentation order). */
+const std::vector<Technology> &allTechnologies();
+
+/** Look up by name ("0.13um" etc.); FatalError if unknown. */
+const Technology &technology(const std::string &name);
+
+} // namespace predbus::wires
+
+#endif // PREDBUS_WIRES_TECHNOLOGY_H

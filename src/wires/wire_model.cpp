@@ -1,0 +1,108 @@
+#include "wires/wire_model.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace predbus::wires
+{
+
+namespace
+{
+
+/** Total switched capacitance per mm for delay purposes (both
+ * neighbors quiet, so they contribute full CI each). */
+double
+cTotalPerMm(const Technology &t)
+{
+    return t.cs_per_mm + 2.0 * t.ci_per_mm;
+}
+
+} // namespace
+
+RepeaterDesign
+optimalRepeaters(const Technology &tech, double length_mm)
+{
+    RepeaterDesign d;
+    const double R = tech.r_per_mm * length_mm;
+    const double C = cTotalPerMm(tech) * length_mm;
+    const double k =
+        std::sqrt((0.4 * R * C) / (0.7 * tech.r0 * tech.c0));
+    const double h = std::sqrt((tech.r0 * C) / (R * tech.c0));
+    d.count = static_cast<u32>(std::max(1.0, std::round(k)));
+    d.size = h;
+    d.cap_total =
+        tech.rep_cap_factor * k * h * tech.c0;  // use unrounded k
+    return d;
+}
+
+WireModel::WireModel(const Technology &tech, double length_mm,
+                     bool buffered)
+    : technology(tech), length_mm(length_mm), is_buffered(buffered)
+{
+    if (length_mm <= 0.0)
+        fatal("wire length must be positive");
+    if (buffered) {
+        design = optimalRepeaters(tech, length_mm);
+        cs_eff = tech.cs_per_mm + design.cap_total / length_mm;
+    } else {
+        cs_eff = tech.cs_per_mm;
+    }
+}
+
+double
+WireModel::effectiveLambda() const
+{
+    return technology.ci_per_mm / cs_eff;
+}
+
+double
+WireModel::energyPerTransition() const
+{
+    return cs_eff * length_mm * technology.vdd * technology.vdd;
+}
+
+double
+WireModel::energyPerCoupling() const
+{
+    return technology.ci_per_mm * length_mm * technology.vdd *
+           technology.vdd;
+}
+
+double
+WireModel::energy(u64 tau, u64 kappa) const
+{
+    return energyPerTransition() * static_cast<double>(tau) +
+           energyPerCoupling() * static_cast<double>(kappa);
+}
+
+double
+WireModel::isolatedTransitionEnergy() const
+{
+    return (cs_eff + 2.0 * technology.ci_per_mm) * length_mm *
+           technology.vdd * technology.vdd;
+}
+
+double
+WireModel::delay() const
+{
+    const double R = technology.r_per_mm * length_mm;
+    const double C = cTotalPerMm(technology) * length_mm;
+    if (!is_buffered) {
+        // Fixed large driver (50x min) plus distributed Elmore term:
+        // quadratic in length, as in Fig 6.
+        return 0.7 * (technology.r0 / 50.0) * C + 0.4 * R * C;
+    }
+    const double k = std::max(1.0, static_cast<double>(design.count));
+    const double h = design.size;
+    const double per_stage =
+        0.7 * (technology.r0 / h) *
+            (2.0 * h * technology.c0 + C / k) +
+        (R / k) * (0.4 * C / k + 0.7 * h * technology.c0);
+    // Initial driver cascade to reach size h: ~ln(h) min-inverter
+    // delays (exponential taper).
+    const double cascade = std::log(std::max(2.0, h)) * technology.t0 * 3;
+    return k * per_stage + cascade;
+}
+
+} // namespace predbus::wires

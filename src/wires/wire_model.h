@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Distributed-RC wire model with optimal repeater insertion
+ * (paper §3, Figs 4-6, Table 1).
+ *
+ * Buffered wires use the Bakoglu optimal repeater design: count
+ * k = sqrt(0.4 R C / 0.7 R0 C0), size h = sqrt(R0 C / R C0) (see the
+ * paper's refs [2,3,12,17]). The repeater capacitance is folded into
+ * the effective substrate capacitance, which is what reduces the
+ * effective λ from ~14 (bare wire) to ~0.6 (buffered) as in Table 1.
+ */
+
+#ifndef PREDBUS_WIRES_WIRE_MODEL_H
+#define PREDBUS_WIRES_WIRE_MODEL_H
+
+#include "common/types.h"
+#include "wires/technology.h"
+
+namespace predbus::wires
+{
+
+/** Result of optimal repeater sizing for one wire. */
+struct RepeaterDesign
+{
+    u32 count = 0;          ///< number of repeaters along the wire
+    double size = 0.0;      ///< width, multiples of a minimum inverter
+    double cap_total = 0.0; ///< switched repeater capacitance (F)
+};
+
+/** Bakoglu-optimal repeaters for a wire of @p length_mm. */
+RepeaterDesign optimalRepeaters(const Technology &tech, double length_mm);
+
+/**
+ * Energy/delay/λ for one wire of a bus at a given length. Energy
+ * follows the paper's Eq. 1: E = E_tr * (tau + lambda * kappa), where
+ * E_tr is the cost of one self-transition and lambda the coupling
+ * ratio.
+ */
+class WireModel
+{
+  public:
+    WireModel(const Technology &tech, double length_mm, bool buffered);
+
+    const Technology &tech() const { return technology; }
+    double lengthMm() const { return length_mm; }
+    bool buffered() const { return is_buffered; }
+    const RepeaterDesign &repeaters() const { return design; }
+
+    /** Effective λ = CI / CS_eff (Table 1). */
+    double effectiveLambda() const;
+
+    /** Energy (J) of one self-transition event (CS_eff · V² · L). */
+    double energyPerTransition() const;
+
+    /** Energy (J) of one coupling event (CI · V² · L). */
+    double energyPerCoupling() const;
+
+    /** Total energy (J) for tau self and kappa coupling events. */
+    double energy(u64 tau, u64 kappa) const;
+
+    /**
+     * Energy (J) of an isolated transition with both neighbors quiet
+     * — the quantity plotted in Fig 5 ((CS_eff + 2 CI) V² L).
+     */
+    double isolatedTransitionEnergy() const;
+
+    /** End-to-end propagation delay (s) — Fig 6. */
+    double delay() const;
+
+  private:
+    Technology technology;
+    double length_mm;
+    bool is_buffered;
+    RepeaterDesign design;
+    double cs_eff;    ///< F/mm including repeater loading
+};
+
+} // namespace predbus::wires
+
+#endif // PREDBUS_WIRES_WIRE_MODEL_H

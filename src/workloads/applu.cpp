@@ -1,0 +1,158 @@
+/**
+ * @file
+ * applu: SSOR forward/backward sweeps.
+ *
+ * LU-SSOR solvers sweep a grid forward with a lower-triangular update
+ * and backward with an upper-triangular one; each point depends on the
+ * just-updated neighbors, so the recurrence is serial (low ILP, like
+ * the original applu). A small source term keeps the fixed point
+ * nonzero.
+ */
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kGrid = 0x36b14000;
+constexpr u32 kN = 64;
+constexpr u64 kSeed = 0xAB1;
+constexpr Addr kLit = 0x7fff8900;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+std::vector<double>
+makeGrid()
+{
+    return smoothField(kN * kN, 0.2, 0.8, kSeed);
+}
+
+} // namespace
+
+std::vector<u32>
+referenceApplu(u32 scale)
+{
+    std::vector<double> v = makeGrid();
+    double acc = 0.0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        // Forward sweep.
+        for (u32 i = 1; i < kN; ++i) {
+            for (u32 j = 1; j < kN; ++j) {
+                const u32 idx = i * kN + j;
+                const double nb = v[idx - 1] + v[idx - kN];
+                double t = v[idx] + nb * 0.3;
+                t = t * 0.6 + 0.01;
+                v[idx] = t;
+            }
+        }
+        // Backward sweep.
+        acc = 0.0;
+        for (u32 i = kN - 1; i-- > 0;) {
+            for (u32 j = kN - 1; j-- > 0;) {
+                const u32 idx = i * kN + j;
+                const double nb = v[idx + 1] + v[idx + kN];
+                double t = v[idx] + nb * 0.3;
+                t = t * 0.6 + 0.01;
+                v[idx] = t;
+                acc = acc + t;
+            }
+        }
+    }
+    return {cvtfi(acc * 64.0)};
+}
+
+isa::Program
+buildApplu(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("applu");
+
+    a.fli(f1, 0.3, r9);
+    a.fli(f2, 0.6, r9);
+    a.fli(f3, 0.01, r9);
+    a.fli(f4, 64.0, r9);
+    a.la(r29, kLit);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    constexpr s32 kRow = static_cast<s32>(kN * 8);
+
+    a.label("pass");
+
+    // Forward sweep: rows 1..63, cols 1..63 ascending.
+    a.la(r1, kGrid + (kN + 1) * 8);
+    a.li(r4, kN - 1);
+    a.label("frow");
+    a.li(r5, kN - 1);
+    a.label("fcell");
+    a.fld(f5, r1, -8);
+    a.fld(f6, r1, -kRow);
+    a.fadd(f5, f5, f6);          // nb
+    a.fld(f6, r1, 0);
+    a.fmul(f5, f5, f1);
+    a.fadd(f6, f6, f5);
+    a.fmul(f6, f6, f2);
+    a.fld(f3, r29, 0);           // reload 0.01 from the literal pool
+    a.fadd(f6, f6, f3);
+    a.fsd(f6, r1, 0);
+    a.addi(r1, r1, 8);
+    a.addi(r5, r5, -1);
+    a.bgtz(r5, "fcell");
+    a.addi(r1, r1, 8);           // skip col 0 of next row
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "frow");
+
+    // Backward sweep: rows kN-2..0, cols kN-2..0 descending.
+    a.fli(f15, 0.0, r9);
+    a.la(r1, kGrid + ((kN - 2) * kN + (kN - 2)) * 8);
+    a.li(r4, kN - 1);
+    a.label("brow");
+    a.li(r5, kN - 1);
+    a.label("bcell");
+    a.fld(f5, r1, 8);
+    a.fld(f6, r1, kRow);
+    a.fadd(f5, f5, f6);
+    a.fld(f6, r1, 0);
+    a.fmul(f5, f5, f1);
+    a.fadd(f6, f6, f5);
+    a.fmul(f6, f6, f2);
+    a.fld(f3, r29, 0);           // reload 0.01 from the literal pool
+    a.fadd(f6, f6, f3);
+    a.fsd(f6, r1, 0);
+    a.fadd(f15, f15, f6);
+    a.addi(r1, r1, -8);
+    a.addi(r5, r5, -1);
+    a.bgtz(r5, "bcell");
+    a.addi(r1, r1, -8);          // skip col kN-1 of previous row
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "brow");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.fmul(f15, f15, f4);
+    a.cvtfi(r10, f15);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addDoubles(kLit, {0.01});
+    p.addDoubles(kGrid, makeGrid());
+    return p;
+}
+
+} // namespace predbus::workloads

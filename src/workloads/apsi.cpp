@@ -1,0 +1,141 @@
+/**
+ * @file
+ * apsi: column physics with polynomial evaluation.
+ *
+ * Mesoscale weather codes evaluate pointwise physics parameterizations
+ * (saturation curves and the like) over every grid cell. Each pass
+ * walks a 64x64 temperature/moisture pair of grids evaluating a cubic
+ * polynomial (Horner form) per cell and relaxing both fields.
+ */
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kT = 0x29e58000;
+constexpr Addr kQ = 0x12b94000;
+constexpr u32 kN = 64;
+constexpr u64 kSeed = 0xA951;
+constexpr Addr kLit = 0x7fff8500;  // literal pool (reloaded in-loop)
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+std::vector<double>
+makeT()
+{
+    return smoothField(kN * kN, 0.0, 1.0, kSeed);
+}
+
+std::vector<double>
+makeQ()
+{
+    return smoothField(kN * kN, 0.0, 0.5, kSeed + 1);
+}
+
+} // namespace
+
+std::vector<u32>
+referenceApsi(u32 scale)
+{
+    std::vector<double> t = makeT();
+    std::vector<double> q = makeQ();
+    double acc = 0.0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        acc = 0.0;
+        for (u32 idx = 0; idx < kN * kN; ++idx) {
+            const double tv = t[idx];
+            // Horner: e = c0 + tv*(c1 + tv*(c2 + tv*c3)).
+            double e = tv * 0.05;
+            e = e + 0.3;
+            e = e * tv;
+            e = e + 0.5;
+            e = e * tv;
+            e = e + 0.1;
+            const double qn = q[idx] * 0.9 + e * 0.1;
+            const double tn = tv + (qn - tv) * 0.001;
+            q[idx] = qn;
+            t[idx] = tn;
+            acc = acc + qn;
+        }
+    }
+    return {cvtfi(acc * 64.0)};
+}
+
+isa::Program
+buildApsi(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("apsi");
+
+    a.fli(f1, 0.05, r9);
+    a.fli(f2, 0.3, r9);
+    a.fli(f3, 0.5, r9);
+    a.fli(f4, 0.1, r9);
+    a.fli(f5, 0.9, r9);
+    a.fli(f6, 0.001, r9);
+    a.fli(f7, 64.0, r9);
+    a.la(r29, kLit);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.la(r1, kT);
+    a.la(r2, kQ);
+    a.fli(f15, 0.0, r9);
+    a.li(r4, kN * kN);
+
+    a.label("cell");
+    a.fld(f8, r1, 0);            // tv
+    a.fmul(f9, f8, f1);
+    a.fadd(f9, f9, f2);
+    a.fmul(f9, f9, f8);
+    a.fadd(f9, f9, f3);
+    a.fmul(f9, f9, f8);
+    a.fld(f4, r29, 0);           // reload 0.1 from the literal pool
+    a.fadd(f9, f9, f4);          // e
+    a.fld(f10, r2, 0);
+    a.fmul(f10, f10, f5);
+    a.fmul(f11, f9, f4);
+    a.fadd(f10, f10, f11);       // qn
+    a.fsub(f11, f10, f8);
+    a.fmul(f11, f11, f6);
+    a.fadd(f11, f8, f11);        // tn
+    a.fsd(f10, r2, 0);
+    a.fsd(f11, r1, 0);
+    a.fadd(f15, f15, f10);
+    a.addi(r1, r1, 8);
+    a.addi(r2, r2, 8);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "cell");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.fmul(f15, f15, f7);
+    a.cvtfi(r10, f15);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addDoubles(kLit, {0.1});
+    p.addDoubles(kT, makeT());
+    p.addDoubles(kQ, makeQ());
+    return p;
+}
+
+} // namespace predbus::workloads

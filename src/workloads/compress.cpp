@@ -1,0 +1,120 @@
+/**
+ * @file
+ * compress: LZW-style hashing over synthetic English-like text.
+ *
+ * The SPEC95 `compress` kernel spends its time rolling a hash over
+ * input bytes and probing/updating a code table. This kernel does the
+ * same: for every input byte it updates a multiplicative hash, forms a
+ * candidate code word from (hash, byte), and either counts a hit or
+ * replaces the table entry.
+ */
+
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kText = 0x10038000;
+constexpr Addr kTab = 0x2a4c4000;
+constexpr Addr kFrame = 0x7fff8000;  // stack frame: spilled table base
+constexpr u32 kTextLen = 8192;
+constexpr u32 kTabMask = 4095;
+constexpr u64 kSeed = 0xC0;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+} // namespace
+
+std::vector<u32>
+referenceCompress(u32 scale)
+{
+    const std::string text = syntheticText(kTextLen, kSeed);
+    std::vector<u32> tab(kTabMask + 1, 0);
+    u32 hits = 0;
+    u32 h = 0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        for (u32 i = 0; i < kTextLen; ++i) {
+            const u32 c = static_cast<u8>(text[i]);
+            h = ((h << 5) - h + c) & kTabMask;
+            const u32 code = (h << 8) ^ (c * 131);
+            if (tab[h] == code)
+                ++hits;
+            else
+                tab[h] = code;
+        }
+    }
+    return {hits, h};
+}
+
+isa::Program
+buildCompress(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("compress");
+
+    a.la(r29, kFrame);
+    a.la(r6, kTab);
+    a.sw(r6, r29, 0);     // spill the table base (reloaded per byte)
+    a.li(r7, 0);          // hits
+    a.li(r4, 0);          // h
+    a.li(r9, 131);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.la(r1, kText);
+    a.li(r2, kTextLen);
+
+    a.label("inner");
+    a.lbu(r3, r1, 0);
+    a.sll(r8, r4, 5);
+    a.sub(r4, r8, r4);
+    a.add(r4, r4, r3);
+    a.andi(r4, r4, kTabMask);
+    a.sll(r5, r4, 8);
+    a.mul(r10, r3, r9);
+    a.xor_(r5, r5, r10);
+    a.lw(r6, r29, 0);     // reload spilled table base (compiled-code
+                          // idiom: high register pressure)
+    a.sll(r8, r4, 2);
+    a.add(r8, r6, r8);
+    a.lw(r10, r8, 0);
+    a.beq(r10, r5, "hit");
+    a.sw(r5, r8, 0);
+    a.j("next");
+    a.label("hit");
+    a.addi(r7, r7, 1);
+    a.label("next");
+    a.addi(r1, r1, 1);
+    a.addi(r2, r2, -1);
+    a.bgtz(r2, "inner");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.out(r7);
+    a.out(r4);
+    a.halt();
+
+    isa::Program p = a.finish();
+    const std::string text = syntheticText(kTextLen, kSeed);
+    p.addSegment(kText,
+                 std::vector<u8>(text.begin(), text.end()));
+    return p;
+}
+
+} // namespace predbus::workloads

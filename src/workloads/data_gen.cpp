@@ -1,0 +1,89 @@
+#include "workloads/data_gen.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace predbus::workloads
+{
+
+std::vector<u32>
+randomWords(std::size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u32> out(n);
+    for (auto &w : out)
+        w = rng.next32();
+    return out;
+}
+
+std::vector<u32>
+boundedWords(std::size_t n, u32 bound, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u32> out(n);
+    for (auto &w : out)
+        w = static_cast<u32>(rng.below(bound));
+    return out;
+}
+
+std::vector<double>
+smoothField(std::size_t n, double lo, double hi, u64 seed)
+{
+    Rng rng(seed);
+    const double p1 = rng.uniform(0.01, 0.05);
+    const double p2 = rng.uniform(0.002, 0.01);
+    const double ph1 = rng.uniform(0.0, 6.28);
+    const double ph2 = rng.uniform(0.0, 6.28);
+    std::vector<double> out(n);
+    const double mid = 0.5 * (lo + hi);
+    const double amp = 0.5 * (hi - lo);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(i);
+        out[i] = mid + amp * 0.5 *
+                           (std::sin(p1 * x + ph1) +
+                            std::sin(p2 * x + ph2));
+    }
+    return out;
+}
+
+std::vector<double>
+randomDoubles(std::size_t n, double lo, double hi, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<double> out(n);
+    for (auto &d : out)
+        d = rng.uniform(lo, hi);
+    return out;
+}
+
+std::string
+syntheticText(std::size_t n_bytes, u64 seed)
+{
+    static const char *kDict[] = {
+        "the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+        "he", "was", "for", "on", "are", "as", "with", "his", "they",
+        "at", "be", "this", "have", "from", "or", "one", "had", "by",
+        "word", "but", "not", "what", "all", "were", "we", "when",
+        "your", "can", "said", "there", "use", "an", "each", "which",
+        "she", "do", "how", "their", "if", "will", "up", "other",
+        "about", "out", "many", "then", "them", "these", "so", "some",
+        "her", "would", "make", "like", "him", "into", "time", "has",
+        "look", "two", "more", "write", "go", "see", "number", "no",
+        "way", "could", "people", "my", "than", "first", "water",
+        "been", "call", "who", "oil", "its", "now", "find", "long",
+        "down", "day", "did", "get", "come", "made", "may", "part",
+    };
+    constexpr std::size_t kDictSize = std::size(kDict);
+    Rng rng(seed);
+    std::string out;
+    out.reserve(n_bytes + 16);
+    while (out.size() < n_bytes) {
+        out += kDict[rng.zipf(kDictSize, 1.2)];
+        out += ' ';
+    }
+    out.resize(n_bytes);
+    return out;
+}
+
+} // namespace predbus::workloads

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic synthetic input data for the workloads.
+ */
+
+#ifndef PREDBUS_WORKLOADS_DATA_GEN_H
+#define PREDBUS_WORKLOADS_DATA_GEN_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::workloads
+{
+
+/** Uniform random 32-bit words. */
+std::vector<u32> randomWords(std::size_t n, u64 seed);
+
+/** Random words bounded below @p bound. */
+std::vector<u32> boundedWords(std::size_t n, u32 bound, u64 seed);
+
+/** Smooth doubles in [lo, hi): sum of a few sinusoids over the index,
+ * the usual initializer for stencil grids. */
+std::vector<double> smoothField(std::size_t n, double lo, double hi,
+                                u64 seed);
+
+/** Uniform random doubles in [lo, hi). */
+std::vector<double> randomDoubles(std::size_t n, double lo, double hi,
+                                  u64 seed);
+
+/**
+ * English-like text: words drawn from a small dictionary with Zipf
+ * popularity, separated by spaces. Feeds compress/perl.
+ */
+std::string syntheticText(std::size_t n_bytes, u64 seed);
+
+} // namespace predbus::workloads
+
+#endif // PREDBUS_WORKLOADS_DATA_GEN_H

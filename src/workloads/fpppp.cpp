@@ -1,0 +1,150 @@
+/**
+ * @file
+ * fpppp: dense multi-term products with high ILP.
+ *
+ * Quantum chemistry two-electron kernels evaluate long arithmetic
+ * expressions over a few streams with essentially no branches. Each
+ * pass forms six pairwise products of four input streams per element,
+ * combines them, stores the result, and slowly relaxes one stream so
+ * values evolve across passes.
+ */
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+constexpr u32 kLen = 512;
+constexpr Addr kA = 0x1f3a4000;
+constexpr Addr kB = 0x30c58000;
+constexpr Addr kC = 0x0b96c000;
+constexpr Addr kD = 0x24e10000;
+constexpr Addr kE = 0x399bc000;
+constexpr u64 kSeed = 0xF4B4;
+constexpr Addr kLit = 0x7fff8600;
+
+u32
+passes(u32 scale)
+{
+    return 12 * scale;
+}
+
+std::vector<double>
+makeStream(u64 salt)
+{
+    return randomDoubles(kLen, -1.0, 1.0, kSeed + salt);
+}
+
+} // namespace
+
+std::vector<u32>
+referenceFpppp(u32 scale)
+{
+    std::vector<double> av = makeStream(0);
+    const std::vector<double> bv = makeStream(1);
+    const std::vector<double> cv = makeStream(2);
+    const std::vector<double> dv = makeStream(3);
+    std::vector<double> ev(kLen, 0.0);
+    double acc = 0.0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        acc = 0.0;
+        for (u32 i = 0; i < kLen; ++i) {
+            const double x = av[i], y = bv[i], z = cv[i], w = dv[i];
+            const double p1 = x * y;
+            const double p2 = z * w;
+            const double p3 = x * z;
+            const double p4 = y * w;
+            const double p5 = x * w;
+            const double p6 = y * z;
+            double e1 = p1 + p2;
+            e1 = e1 - p3;
+            double e2 = p4 - p5;
+            e2 = e2 + p6;
+            const double e = e1 * e2;
+            ev[i] = e;
+            av[i] = x * 0.999 + e1 * 0.001;
+            acc = acc + e;
+        }
+    }
+    return {cvtfi(acc * 1024.0)};
+}
+
+isa::Program
+buildFpppp(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("fpppp");
+
+    a.fli(f1, 0.999, r9);
+    a.fli(f2, 0.001, r9);
+    a.fli(f3, 1024.0, r9);
+    a.la(r29, kLit);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.la(r1, kA);
+    a.la(r2, kB);
+    a.la(r3, kC);
+    a.la(r4, kD);
+    a.la(r5, kE);
+    a.fli(f15, 0.0, r9);
+    a.li(r6, kLen);
+
+    a.label("cell");
+    a.fld(f4, r1, 0);            // x
+    a.fld(f5, r2, 0);            // y
+    a.fld(f6, r3, 0);            // z
+    a.fld(f7, r4, 0);            // w
+    a.fmul(f8, f4, f5);          // p1
+    a.fmul(f9, f6, f7);          // p2
+    a.fmul(f10, f4, f6);         // p3
+    a.fmul(f11, f5, f7);         // p4
+    a.fmul(f12, f4, f7);         // p5
+    a.fmul(f13, f5, f6);         // p6
+    a.fadd(f8, f8, f9);          // e1 = p1+p2
+    a.fsub(f8, f8, f10);         //      - p3
+    a.fsub(f11, f11, f12);       // e2 = p4-p5
+    a.fadd(f11, f11, f13);       //      + p6
+    a.fmul(f9, f8, f11);         // e
+    a.fsd(f9, r5, 0);
+    a.fld(f1, r29, 0);           // reload 0.999 from the literal pool
+    a.fmul(f10, f4, f1);
+    a.fmul(f12, f8, f2);
+    a.fadd(f10, f10, f12);
+    a.fsd(f10, r1, 0);           // a[i] relaxed
+    a.fadd(f15, f15, f9);
+
+    a.addi(r1, r1, 8);
+    a.addi(r2, r2, 8);
+    a.addi(r3, r3, 8);
+    a.addi(r4, r4, 8);
+    a.addi(r5, r5, 8);
+    a.addi(r6, r6, -1);
+    a.bgtz(r6, "cell");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.fmul(f15, f15, f3);
+    a.cvtfi(r10, f15);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addDoubles(kLit, {0.999});
+    p.addDoubles(kA, makeStream(0));
+    p.addDoubles(kB, makeStream(1));
+    p.addDoubles(kC, makeStream(2));
+    p.addDoubles(kD, makeStream(3));
+    return p;
+}
+
+} // namespace predbus::workloads

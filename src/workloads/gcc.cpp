@@ -1,0 +1,174 @@
+/**
+ * @file
+ * gcc: IR DAG evaluation with per-node operation dispatch.
+ *
+ * The compiler spends its time walking pointer-linked IR structures
+ * and branching on node kinds. This kernel evaluates a random DAG of
+ * 16-byte nodes {op, left-offset, right-offset, value}: each pass
+ * recomputes every node's value from its children through a small
+ * op-dispatch branch tree.
+ */
+
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/kernels.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kNodes = 0x33d20000;
+constexpr Addr kFrame = 0x7fff8300;
+constexpr u32 kNumNodes = 4096;
+constexpr u64 kSeed = 0x6CC;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+struct Dag
+{
+    std::vector<u32> op, left, right, val;
+};
+
+Dag
+makeDag()
+{
+    Rng rng(kSeed);
+    Dag d;
+    d.op.resize(kNumNodes);
+    d.left.resize(kNumNodes);
+    d.right.resize(kNumNodes);
+    d.val.resize(kNumNodes);
+    for (u32 i = 0; i < kNumNodes; ++i) {
+        d.op[i] = static_cast<u32>(rng.below(8));
+        d.left[i] = (i < 2) ? i : static_cast<u32>(rng.below(i));
+        d.right[i] = (i < 2) ? i : static_cast<u32>(rng.below(i));
+        d.val[i] = rng.next32();
+    }
+    return d;
+}
+
+u32
+evalOp(u32 op, u32 vl, u32 vr, u32 index)
+{
+    u32 v;
+    switch (op & 3) {
+      case 0: v = vl + vr; break;
+      case 1: v = vl - vr; break;
+      case 2: v = vl ^ vr; break;
+      default: v = (vl < vr) ? vl : vr; break;
+    }
+    if (op & 4)
+        v += index;
+    return v;
+}
+
+} // namespace
+
+std::vector<u32>
+referenceGcc(u32 scale)
+{
+    Dag d = makeDag();
+    u32 chk = 0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        for (u32 i = 2; i < kNumNodes; ++i) {
+            const u32 v = evalOp(d.op[i], d.val[d.left[i]],
+                                 d.val[d.right[i]], i);
+            d.val[i] = v;
+            chk ^= v;
+        }
+    }
+    return {chk};
+}
+
+isa::Program
+buildGcc(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("gcc");
+
+    a.la(r29, kFrame);
+    a.la(r6, kNodes);
+    a.sw(r6, r29, 0);
+    a.li(r11, 0);                       // chk
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.la(r1, kNodes + 32);              // node 2
+    a.li(r2, kNumNodes - 2);
+    a.li(r12, 2);                       // node index
+
+    a.label("inner");
+    a.lw(r6, r29, 0);                   // reload spilled node pool base
+    a.lw(r3, r1, 0);                    // op
+    a.lw(r4, r1, 4);                    // left byte offset
+    a.lw(r5, r1, 8);                    // right byte offset
+    a.add(r10, r6, r4);
+    a.lw(r7, r10, 12);                  // vl
+    a.add(r10, r6, r5);
+    a.lw(r8, r10, 12);                  // vr
+    a.andi(r10, r3, 3);
+    a.beq(r10, r0, "c_add");
+    a.addi(r10, r10, -1);
+    a.beq(r10, r0, "c_sub");
+    a.addi(r10, r10, -1);
+    a.beq(r10, r0, "c_xor");
+    // min (unsigned)
+    a.sltu(r9, r7, r8);
+    a.bne(r9, r0, "take_l");
+    a.move(r9, r8);
+    a.j("c_done");
+    a.label("take_l");
+    a.move(r9, r7);
+    a.j("c_done");
+    a.label("c_add");
+    a.add(r9, r7, r8);
+    a.j("c_done");
+    a.label("c_sub");
+    a.sub(r9, r7, r8);
+    a.j("c_done");
+    a.label("c_xor");
+    a.xor_(r9, r7, r8);
+    a.label("c_done");
+    a.andi(r10, r3, 4);
+    a.beq(r10, r0, "no_bias");
+    a.add(r9, r9, r12);
+    a.label("no_bias");
+    a.sw(r9, r1, 12);
+    a.xor_(r11, r11, r9);
+    a.addi(r1, r1, 16);
+    a.addi(r12, r12, 1);
+    a.addi(r2, r2, -1);
+    a.bgtz(r2, "inner");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.out(r11);
+    a.halt();
+
+    isa::Program p = a.finish();
+    const Dag d = makeDag();
+    std::vector<u32> words;
+    words.reserve(kNumNodes * 4);
+    for (u32 i = 0; i < kNumNodes; ++i) {
+        words.push_back(d.op[i]);
+        words.push_back(d.left[i] * 16);   // byte offsets, pointer-like
+        words.push_back(d.right[i] * 16);
+        words.push_back(d.val[i]);
+    }
+    p.addWords(kNodes, words);
+    return p;
+}
+
+} // namespace predbus::workloads

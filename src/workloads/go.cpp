@@ -1,0 +1,170 @@
+/**
+ * @file
+ * go: board scans with neighbor counting.
+ *
+ * Game-playing programs repeatedly scan a small board, branching on
+ * cell contents and tallying pattern features. Each pass scans the
+ * interior of a 32x32 byte board, counting empty and same-colored
+ * neighbors per stone, then perturbs one cell so successive scans see
+ * an evolving position.
+ */
+
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/kernels.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kBoard = 0x145ac000;
+constexpr u32 kDim = 32;
+constexpr u64 kSeed = 0x60;
+
+u32
+passes(u32 scale)
+{
+    return 8 * scale;
+}
+
+std::vector<u8>
+makeBoard()
+{
+    Rng rng(kSeed);
+    std::vector<u8> board(kDim * kDim);
+    for (auto &cell : board)
+        cell = static_cast<u8>(rng.below(3));
+    return board;
+}
+
+} // namespace
+
+std::vector<u32>
+referenceGo(u32 scale)
+{
+    std::vector<u8> board = makeBoard();
+    u32 score = 0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        for (u32 i = 1; i < kDim - 1; ++i) {
+            for (u32 j = 1; j < kDim - 1; ++j) {
+                const u32 idx = i * kDim + j;
+                const u32 c = board[idx];
+                if (c == 0)
+                    continue;
+                u32 libs = 0, same = 0;
+                for (const int off : {-1, 1, -static_cast<int>(kDim),
+                                      static_cast<int>(kDim)}) {
+                    const u32 v =
+                        board[static_cast<u32>(static_cast<int>(idx) +
+                                               off)];
+                    if (v == 0)
+                        ++libs;
+                    else if (v == c)
+                        ++same;
+                }
+                if (c == 1)
+                    score += libs + 2 * same;
+                else
+                    score -= libs;
+            }
+        }
+        // Perturb one interior-ish cell so positions evolve.
+        const u32 idx = (pass * 37 + 11) & (kDim * kDim - 1);
+        board[idx] = static_cast<u8>((board[idx] + 1) % 3);
+    }
+    return {score};
+}
+
+isa::Program
+buildGo(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("go");
+
+    constexpr s32 kD = static_cast<s32>(kDim);
+    a.la(r13, kBoard);
+    a.li(r11, 0);        // score
+    a.li(r14, 0);        // pass index (ascending)
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.li(r2, 1);         // i
+
+    a.label("row");
+    // r1 = &board[i*kDim + 1]
+    a.sll(r8, r2, 5);
+    a.add(r8, r8, r13);
+    a.addi(r1, r8, 1);
+    a.li(r3, kD - 2);    // j counter
+
+    a.label("cell");
+    a.lbu(r4, r1, 0);
+    a.beq(r4, r0, "next_cell");
+    a.li(r5, 0);         // libs
+    a.li(r6, 0);         // same
+
+    // Four neighbors, unrolled.
+    for (const s32 off : {-1, 1, -kD, kD}) {
+        const std::string tag = "n" + std::to_string(off + 100);
+        a.lbu(r7, r1, off);
+        a.bne(r7, r0, tag + "_stone");
+        a.addi(r5, r5, 1);
+        a.j(tag + "_done");
+        a.label(tag + "_stone");
+        a.bne(r7, r4, tag + "_done");
+        a.addi(r6, r6, 1);
+        a.label(tag + "_done");
+    }
+
+    a.li(r8, 1);
+    a.bne(r4, r8, "white");
+    a.sll(r8, r6, 1);
+    a.add(r8, r8, r5);
+    a.add(r11, r11, r8);
+    a.j("next_cell");
+    a.label("white");
+    a.sub(r11, r11, r5);
+
+    a.label("next_cell");
+    a.addi(r1, r1, 1);
+    a.addi(r3, r3, -1);
+    a.bgtz(r3, "cell");
+
+    a.addi(r2, r2, 1);
+    a.li(r8, kD - 1);
+    a.bne(r2, r8, "row");
+
+    // Perturbation: board[(pass*37 + 11) & 1023] = (old + 1) % 3.
+    a.li(r8, 37);
+    a.mul(r8, r14, r8);
+    a.addi(r8, r8, 11);
+    a.andi(r8, r8, kDim * kDim - 1);
+    a.add(r8, r13, r8);
+    a.lbu(r7, r8, 0);
+    a.addi(r7, r7, 1);
+    a.li(r9, 3);
+    a.bne(r7, r9, "no_wrap");
+    a.li(r7, 0);
+    a.label("no_wrap");
+    a.sb(r7, r8, 0);
+
+    a.addi(r14, r14, 1);
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.out(r11);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addSegment(kBoard, makeBoard());
+    return p;
+}
+
+} // namespace predbus::workloads

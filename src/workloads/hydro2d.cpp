@@ -1,0 +1,184 @@
+/**
+ * @file
+ * hydro2d: upwind flux sweeps on a 2D grid.
+ *
+ * Hydrodynamics codes compute dissipative fluxes between neighboring
+ * cells and update conserved quantities directionally. Each pass does
+ * a row sweep then a column sweep over a 48x48 density grid using a
+ * Rusanov-style flux with |.| dissipation.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kRho = 0x2b8d4000;
+constexpr u32 kN = 48;
+constexpr u64 kSeed = 0x44D;
+constexpr Addr kLit = 0x7fff8800;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+std::vector<double>
+makeGrid()
+{
+    return smoothField(kN * kN, 0.8, 1.2, kSeed);
+}
+
+/** flux(a, b) = (a+b)*0.5 - |b-a|*0.5; mirrors the assembly. */
+double
+flux(double a, double b)
+{
+    const double avg = (a + b) * 0.5;
+    const double d = std::fabs(b - a);
+    return avg - d * 0.5;
+}
+
+} // namespace
+
+std::vector<u32>
+referenceHydro2d(u32 scale)
+{
+    std::vector<double> rho = makeGrid();
+    double acc = 0.0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        acc = 0.0;
+        // Row sweep.
+        for (u32 i = 0; i < kN; ++i) {
+            for (u32 j = 1; j < kN - 1; ++j) {
+                const u32 idx = i * kN + j;
+                const double fl = flux(rho[idx - 1], rho[idx]);
+                const double fr = flux(rho[idx], rho[idx + 1]);
+                const double rn = rho[idx] + (fl - fr) * 0.05;
+                rho[idx] = rn;
+                acc = acc + rn;
+            }
+        }
+        // Column sweep.
+        for (u32 j = 0; j < kN; ++j) {
+            for (u32 i = 1; i < kN - 1; ++i) {
+                const u32 idx = i * kN + j;
+                const double fl = flux(rho[idx - kN], rho[idx]);
+                const double fr = flux(rho[idx], rho[idx + kN]);
+                const double rn = rho[idx] + (fl - fr) * 0.05;
+                rho[idx] = rn;
+                acc = acc + rn;
+            }
+        }
+    }
+    return {cvtfi(acc * 64.0)};
+}
+
+isa::Program
+buildHydro2d(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("hydro2d");
+
+    a.fli(f1, 0.5, r9);
+    a.fli(f2, 0.05, r9);
+    a.fli(f3, 64.0, r9);
+    a.la(r29, kLit);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    constexpr s32 kRow = static_cast<s32>(kN * 8);
+
+    // The flux computation appears four times; emit it via a helper
+    // that reads (prev: f5, cur: f6) -> result f7 using f8 scratch.
+    auto emit_flux = [&a](isa::FReg fa, isa::FReg fb, isa::FReg fout,
+                          isa::FReg scratch) {
+        using namespace isa::regs;
+        a.fadd(fout, fa, fb);
+        a.fmul(fout, fout, f1);      // avg
+        a.fsub(scratch, fb, fa);
+        a.fabs_(scratch, scratch);
+        a.fmul(scratch, scratch, f1);
+        a.fsub(fout, fout, scratch);
+    };
+
+    a.label("pass");
+    a.fli(f15, 0.0, r9);  // acc
+
+    // Row sweep: r1 points at rho[i*kN + 1].
+    a.la(r1, kRho + 8);
+    a.li(r4, kN);         // i
+    a.label("rsweep_row");
+    a.li(r5, kN - 2);     // j
+    a.label("rsweep_cell");
+    a.fld(f1, r29, 0);           // reload 0.5 from the literal pool
+    a.fld(f5, r1, -8);
+    a.fld(f6, r1, 0);
+    a.fld(f9, r1, 8);
+    emit_flux(f5, f6, f7, f8);   // fl
+    emit_flux(f6, f9, f10, f8);  // fr
+    a.fsub(f7, f7, f10);
+    a.fmul(f7, f7, f2);
+    a.fadd(f6, f6, f7);          // rn
+    a.fsd(f6, r1, 0);
+    a.fadd(f15, f15, f6);
+    a.addi(r1, r1, 8);
+    a.addi(r5, r5, -1);
+    a.bgtz(r5, "rsweep_cell");
+    a.addi(r1, r1, 16);          // skip last + first of next row
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "rsweep_row");
+
+    // Column sweep: r1 points at rho[kN + j].
+    a.li(r6, 0);                 // j
+    a.label("csweep_col");
+    a.sll(r8, r6, 3);
+    a.la(r1, kRho);
+    a.add(r1, r1, r8);
+    a.addi(r1, r1, kRow);        // rho[kN + j]
+    a.li(r5, kN - 2);            // i
+    a.label("csweep_cell");
+    a.fld(f1, r29, 0);           // reload 0.5 from the literal pool
+    a.fld(f5, r1, -kRow);
+    a.fld(f6, r1, 0);
+    a.fld(f9, r1, kRow);
+    emit_flux(f5, f6, f7, f8);
+    emit_flux(f6, f9, f10, f8);
+    a.fsub(f7, f7, f10);
+    a.fmul(f7, f7, f2);
+    a.fadd(f6, f6, f7);
+    a.fsd(f6, r1, 0);
+    a.fadd(f15, f15, f6);
+    a.addi(r1, r1, kRow);
+    a.addi(r5, r5, -1);
+    a.bgtz(r5, "csweep_cell");
+    a.addi(r6, r6, 1);
+    a.li(r8, kN);
+    a.bne(r6, r8, "csweep_col");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.fmul(f15, f15, f3);
+    a.cvtfi(r10, f15);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addDoubles(kLit, {0.5});
+    p.addDoubles(kRho, makeGrid());
+    return p;
+}
+
+} // namespace predbus::workloads

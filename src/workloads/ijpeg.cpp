@@ -1,0 +1,206 @@
+/**
+ * @file
+ * ijpeg: integer 8x8 DCT-style butterflies with quantization.
+ *
+ * Image compression kernels transform 8x8 blocks with integer
+ * butterfly networks and then quantize by shifts. Each pass runs a
+ * row-wise butterfly + quantization over every block of a 64x64 image
+ * in place, so the data evolves across passes.
+ */
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/kernels.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kImg = 0x3b670000;
+constexpr u32 kDim = 64;
+constexpr u64 kSeed = 0x17E6;
+
+u32
+passes(u32 scale)
+{
+    return 4 * scale;
+}
+
+std::vector<u32>
+makeImage()
+{
+    Rng rng(kSeed);
+    std::vector<u32> img(kDim * kDim);
+    for (auto &px : img)
+        px = static_cast<u32>(rng.below(256));
+    return img;
+}
+
+/** One row butterfly + quantization; mirrors the assembly exactly. */
+void
+rowKernel(u32 *row)
+{
+    const u32 a0 = row[0], a1 = row[1], a2 = row[2], a3 = row[3];
+    const u32 a4 = row[4], a5 = row[5], a6 = row[6], a7 = row[7];
+    const u32 s0 = a0 + a7, s1 = a1 + a6, s2 = a2 + a5, s3 = a3 + a4;
+    const u32 d0 = a0 - a7, d1 = a1 - a6, d2 = a2 - a5, d3 = a3 - a4;
+    const u32 t0 = s0 + s3, t1 = s1 + s2;
+    const u32 t2 = s0 - s3, t3 = s1 - s2;
+    row[0] = (t0 + t1) >> 1;
+    row[1] = (d0 + (d1 >> 1)) >> 1;
+    row[2] = (t2 + (t3 >> 1)) >> 2;
+    row[3] = (d1 - (d2 >> 2)) >> 1;
+    row[4] = (t0 - t1) >> 2;
+    row[5] = (d2 + (d3 >> 1)) >> 2;
+    row[6] = (t2 - t3) >> 3;
+    row[7] = (d3 ^ d0) >> 3;
+}
+
+} // namespace
+
+std::vector<u32>
+referenceIjpeg(u32 scale)
+{
+    std::vector<u32> img = makeImage();
+    u32 chk = 0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        for (u32 block_row = 0; block_row < kDim / 8; ++block_row) {
+            for (u32 block_col = 0; block_col < kDim / 8; ++block_col) {
+                for (u32 r = 0; r < 8; ++r) {
+                    u32 *row = &img[(block_row * 8 + r) * kDim +
+                                    block_col * 8];
+                    rowKernel(row);
+                    chk += row[0] ^ row[7];
+                }
+            }
+        }
+    }
+    return {chk};
+}
+
+isa::Program
+buildIjpeg(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("ijpeg");
+
+    // Register plan: r1 row pointer, r2 block row, r3 block col,
+    // r4 row-in-block, r5..r12 a0..a7 then reused, r11 checksum via
+    // r26, temporaries r13..r25.
+    a.la(r27, kImg);
+    a.li(r26, 0);       // checksum
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.li(r2, 0);        // block row
+    a.label("brow");
+    a.li(r3, 0);        // block col
+    a.label("bcol");
+    a.li(r4, 0);        // row within block
+    a.label("row");
+    // r1 = img + ((block_row*8 + row)*64 + block_col*8) * 4
+    a.sll(r13, r2, 3);
+    a.add(r13, r13, r4);
+    a.sll(r13, r13, 6);
+    a.sll(r14, r3, 3);
+    a.add(r13, r13, r14);
+    a.sll(r13, r13, 2);
+    a.add(r1, r27, r13);
+
+    a.lw(r5, r1, 0);
+    a.lw(r6, r1, 4);
+    a.lw(r7, r1, 8);
+    a.lw(r8, r1, 12);
+    a.lw(r9, r1, 16);
+    a.lw(r10, r1, 20);
+    a.lw(r11, r1, 24);
+    a.lw(r12, r1, 28);
+
+    // Sums and differences.
+    a.add(r13, r5, r12);   // s0
+    a.add(r14, r6, r11);   // s1
+    a.add(r15, r7, r10);   // s2
+    a.add(r16, r8, r9);    // s3
+    a.sub(r17, r5, r12);   // d0
+    a.sub(r18, r6, r11);   // d1
+    a.sub(r19, r7, r10);   // d2
+    a.sub(r20, r8, r9);    // d3
+    a.add(r21, r13, r16);  // t0
+    a.add(r22, r14, r15);  // t1
+    a.sub(r23, r13, r16);  // t2
+    a.sub(r24, r14, r15);  // t3
+
+    // Outputs with quantizing shifts.
+    a.add(r25, r21, r22);
+    a.srl(r25, r25, 1);
+    a.sw(r25, r1, 0);
+    a.move(r5, r25);       // keep row[0] for the checksum
+
+    a.srl(r25, r18, 1);
+    a.add(r25, r17, r25);
+    a.srl(r25, r25, 1);
+    a.sw(r25, r1, 4);
+
+    a.srl(r25, r24, 1);
+    a.add(r25, r23, r25);
+    a.srl(r25, r25, 2);
+    a.sw(r25, r1, 8);
+
+    a.srl(r25, r19, 2);
+    a.sub(r25, r18, r25);
+    a.srl(r25, r25, 1);
+    a.sw(r25, r1, 12);
+
+    a.sub(r25, r21, r22);
+    a.srl(r25, r25, 2);
+    a.sw(r25, r1, 16);
+
+    a.srl(r25, r20, 1);
+    a.add(r25, r19, r25);
+    a.srl(r25, r25, 2);
+    a.sw(r25, r1, 20);
+
+    a.sub(r25, r23, r24);
+    a.srl(r25, r25, 3);
+    a.sw(r25, r1, 24);
+
+    a.xor_(r25, r20, r17);
+    a.srl(r25, r25, 3);
+    a.sw(r25, r1, 28);
+
+    // chk += row[0] ^ row[7]
+    a.xor_(r25, r5, r25);
+    a.add(r26, r26, r25);
+
+    a.addi(r4, r4, 1);
+    a.li(r13, 8);
+    a.bne(r4, r13, "row");
+
+    a.addi(r3, r3, 1);
+    a.li(r13, kDim / 8);
+    a.bne(r3, r13, "bcol");
+
+    a.addi(r2, r2, 1);
+    a.li(r13, kDim / 8);
+    a.bne(r2, r13, "brow");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.out(r26);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addWords(kImg, makeImage());
+    return p;
+}
+
+} // namespace predbus::workloads

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Internal: per-benchmark builder + host-reference pairs.
+ *
+ * Each kernel file implements one SPEC95-like workload: a build<Name>()
+ * returning the guest program, and a reference<Name>() host mirror that
+ * computes the exact OUT values the guest emits (same arithmetic, same
+ * order, so FP results match bit-for-bit).
+ */
+
+#ifndef PREDBUS_WORKLOADS_KERNELS_H
+#define PREDBUS_WORKLOADS_KERNELS_H
+
+#include <vector>
+
+#include "isa/program.h"
+
+namespace predbus::workloads
+{
+
+#define PREDBUS_DECLARE_KERNEL(Name) \
+    isa::Program build##Name(u32 scale); \
+    std::vector<u32> reference##Name(u32 scale);
+
+// SPECint.
+PREDBUS_DECLARE_KERNEL(Compress)
+PREDBUS_DECLARE_KERNEL(Gcc)
+PREDBUS_DECLARE_KERNEL(Go)
+PREDBUS_DECLARE_KERNEL(Ijpeg)
+PREDBUS_DECLARE_KERNEL(Li)
+PREDBUS_DECLARE_KERNEL(M88ksim)
+PREDBUS_DECLARE_KERNEL(Perl)
+
+// SPECfp.
+PREDBUS_DECLARE_KERNEL(Applu)
+PREDBUS_DECLARE_KERNEL(Apsi)
+PREDBUS_DECLARE_KERNEL(Fpppp)
+PREDBUS_DECLARE_KERNEL(Hydro2d)
+PREDBUS_DECLARE_KERNEL(Mgrid)
+PREDBUS_DECLARE_KERNEL(Su2cor)
+PREDBUS_DECLARE_KERNEL(Swim)
+PREDBUS_DECLARE_KERNEL(Tomcatv)
+PREDBUS_DECLARE_KERNEL(Turb3d)
+PREDBUS_DECLARE_KERNEL(Wave5)
+
+#undef PREDBUS_DECLARE_KERNEL
+
+} // namespace predbus::workloads
+
+#endif // PREDBUS_WORKLOADS_KERNELS_H

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * li: cons-cell list construction and traversal.
+ *
+ * Lisp interpreters chase car/cdr pointers through a cell heap. Each
+ * pass builds linked lists by bump allocation (wrapping when the heap
+ * is exhausted, a crude sweep) and immediately traverses them, summing
+ * the car fields through data-dependent loads.
+ */
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/kernels.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kHeap = 0x27c5a000;
+constexpr u32 kNumCells = 8192;
+constexpr u32 kListLen = 48;
+constexpr u32 kListsPerPass = 128;
+constexpr u32 kNil = 0xffffffffu;
+constexpr Addr kFrame = 0x7fff8400;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+} // namespace
+
+std::vector<u32>
+referenceLi(u32 scale)
+{
+    std::vector<u32> car(kNumCells, 0), cdr(kNumCells, 0);
+    u32 bump = 0;
+    u32 sum = 0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        for (u32 list = 0; list < kListsPerPass; ++list) {
+            u32 head = kNil;
+            for (u32 k = 0; k < kListLen; ++k) {
+                const u32 cell = bump;
+                bump = (bump + 1 == kNumCells) ? 0 : bump + 1;
+                car[cell] = pass + list * 7 + k;
+                cdr[cell] = head;
+                head = cell;
+            }
+            u32 p = head;
+            while (p != kNil) {
+                sum += car[p];
+                p = cdr[p];
+            }
+        }
+    }
+    return {sum};
+}
+
+isa::Program
+buildLi(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("li");
+
+    // r13 heap base, r1 bump, r11 sum, r14 pass idx, r15 list idx,
+    // r2 head, r3 k, r4 cell, r5 addr, r6 value, r7 nil.
+    a.la(r29, kFrame);
+    a.la(r13, kHeap);
+    a.sw(r13, r29, 0);
+    a.li(r1, 0);
+    a.li(r11, 0);
+    a.li(r14, 0);
+    a.li(r7, kNil);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.li(r15, 0);
+
+    a.label("list");
+    a.move(r2, r7);              // head = nil
+    a.li(r3, kListLen);
+
+    a.label("build");
+    a.move(r4, r1);              // cell = bump
+    a.addi(r1, r1, 1);
+    a.li(r5, kNumCells);
+    a.bne(r1, r5, "no_wrap");
+    a.li(r1, 0);
+    a.label("no_wrap");
+    // car[cell] = pass + list*7 + (kListLen - r3)
+    a.sll(r6, r15, 3);
+    a.sub(r6, r6, r15);          // list*7
+    a.add(r6, r6, r14);
+    a.li(r5, kListLen);
+    a.sub(r5, r5, r3);
+    a.add(r6, r6, r5);
+    a.lw(r13, r29, 0);           // reload spilled heap base
+    a.sll(r5, r4, 3);
+    a.add(r5, r13, r5);          // &cell
+    a.sw(r6, r5, 0);             // car
+    a.sw(r2, r5, 4);             // cdr = head
+    a.move(r2, r4);              // head = cell
+    a.addi(r3, r3, -1);
+    a.bgtz(r3, "build");
+
+    // Traverse.
+    a.label("walk");
+    a.beq(r2, r7, "walk_done");
+    a.lw(r13, r29, 0);           // reload spilled heap base
+    a.sll(r5, r2, 3);
+    a.add(r5, r13, r5);
+    a.lw(r6, r5, 0);
+    a.add(r11, r11, r6);
+    a.lw(r2, r5, 4);
+    a.j("walk");
+    a.label("walk_done");
+
+    a.addi(r15, r15, 1);
+    a.li(r5, kListsPerPass);
+    a.bne(r15, r5, "list");
+
+    a.addi(r14, r14, 1);
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.out(r11);
+    a.halt();
+
+    return a.finish();
+}
+
+} // namespace predbus::workloads

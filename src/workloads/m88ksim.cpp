@@ -1,0 +1,204 @@
+/**
+ * @file
+ * m88ksim: CPU interpreter fetch/decode/dispatch loop.
+ *
+ * Architecture simulators fetch encoded words, extract bit fields, and
+ * dispatch on opcodes. This kernel interprets a buffer of 4096 fake
+ * instructions against 32 fake registers held in memory, with a
+ * data-dependent program counter so control flow varies.
+ */
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kProg = 0x1d2b0000;
+constexpr Addr kRegs = 0x3529c000;
+constexpr Addr kFrame = 0x7fff8100;
+constexpr u32 kProgLen = 4096;
+constexpr u32 kStepsPerPass = 8192;
+constexpr u64 kSeed = 0x88;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+std::vector<u32>
+makeProg()
+{
+    return randomWords(kProgLen, kSeed);
+}
+
+std::vector<u32>
+makeRegs()
+{
+    return randomWords(32, kSeed + 1);
+}
+
+} // namespace
+
+std::vector<u32>
+referenceM88ksim(u32 scale)
+{
+    const std::vector<u32> prog = makeProg();
+    std::vector<u32> regs = makeRegs();
+    u32 chk = 0;
+    u32 fpc = 0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        for (u32 step = 0; step < kStepsPerPass; ++step) {
+            const u32 w = prog[fpc];
+            const u32 op = w >> 28;
+            const u32 rd = (w >> 23) & 31;
+            const u32 rs1 = (w >> 18) & 31;
+            const u32 rs2 = (w >> 13) & 31;
+            const u32 imm = w & 0xffff;
+            const u32 va = regs[rs1];
+            const u32 vb = regs[rs2];
+            u32 v;
+            switch (op & 7) {
+              case 0: v = va + vb; break;
+              case 1: v = va - vb; break;
+              case 2: v = va ^ vb; break;
+              case 3: v = va | vb; break;
+              case 4: v = va + imm; break;
+              case 5: v = imm << 3; break;
+              case 6: v = (va < vb) ? 1 : 0; break;
+              default: v = va + (vb >> 2); break;
+            }
+            regs[rd] = v;
+            chk ^= v;
+            const u32 advance = (op & 8) ? ((v & 3) + 1) : 1;
+            fpc = (fpc + advance) & (kProgLen - 1);
+        }
+    }
+    return {chk, fpc};
+}
+
+isa::Program
+buildM88ksim(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("m88ksim");
+
+    // r13 prog base, r12 regs base, r1 fpc, r2 step counter,
+    // r3 w, r4 op, r5 rd, r6 va, r7 vb, r8 imm, r9 v, r10 tmp,
+    // r11 chk.
+    a.la(r29, kFrame);
+    a.la(r13, kProg);
+    a.sw(r13, r29, 0);
+    a.la(r12, kRegs);
+    a.sw(r12, r29, 4);
+    a.li(r1, 0);
+    a.li(r11, 0);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.li(r2, kStepsPerPass);
+
+    a.label("step");
+    a.lw(r13, r29, 0);           // reload spilled prog base
+    a.sll(r10, r1, 2);
+    a.add(r10, r13, r10);
+    a.lw(r3, r10, 0);            // w
+
+    a.lw(r12, r29, 4);           // reload spilled regfile base
+    a.srl(r4, r3, 28);           // op
+    a.srl(r5, r3, 23);
+    a.andi(r5, r5, 31);          // rd
+    a.srl(r10, r3, 18);
+    a.andi(r10, r10, 31);        // rs1
+    a.sll(r10, r10, 2);
+    a.add(r10, r12, r10);
+    a.lw(r6, r10, 0);            // va
+    a.srl(r10, r3, 13);
+    a.andi(r10, r10, 31);        // rs2
+    a.sll(r10, r10, 2);
+    a.add(r10, r12, r10);
+    a.lw(r7, r10, 0);            // vb
+    a.andi(r8, r3, 0xffff);      // imm
+
+    a.andi(r10, r4, 7);
+    a.beq(r10, r0, "op_add");
+    a.addi(r10, r10, -1);
+    a.beq(r10, r0, "op_sub");
+    a.addi(r10, r10, -1);
+    a.beq(r10, r0, "op_xor");
+    a.addi(r10, r10, -1);
+    a.beq(r10, r0, "op_or");
+    a.addi(r10, r10, -1);
+    a.beq(r10, r0, "op_addi");
+    a.addi(r10, r10, -1);
+    a.beq(r10, r0, "op_lui");
+    a.addi(r10, r10, -1);
+    a.beq(r10, r0, "op_slt");
+    a.srl(r9, r7, 2);            // default
+    a.add(r9, r6, r9);
+    a.j("op_done");
+    a.label("op_add");
+    a.add(r9, r6, r7);
+    a.j("op_done");
+    a.label("op_sub");
+    a.sub(r9, r6, r7);
+    a.j("op_done");
+    a.label("op_xor");
+    a.xor_(r9, r6, r7);
+    a.j("op_done");
+    a.label("op_or");
+    a.or_(r9, r6, r7);
+    a.j("op_done");
+    a.label("op_addi");
+    a.add(r9, r6, r8);
+    a.j("op_done");
+    a.label("op_lui");
+    a.sll(r9, r8, 3);
+    a.j("op_done");
+    a.label("op_slt");
+    a.sltu(r9, r6, r7);
+    a.label("op_done");
+
+    a.sll(r10, r5, 2);
+    a.add(r10, r12, r10);
+    a.sw(r9, r10, 0);            // regs[rd] = v
+    a.xor_(r11, r11, r9);
+
+    a.andi(r10, r4, 8);
+    a.beq(r10, r0, "adv1");
+    a.andi(r10, r9, 3);
+    a.addi(r10, r10, 1);
+    a.add(r1, r1, r10);
+    a.j("adv_done");
+    a.label("adv1");
+    a.addi(r1, r1, 1);
+    a.label("adv_done");
+    a.andi(r1, r1, kProgLen - 1);
+
+    a.addi(r2, r2, -1);
+    a.bgtz(r2, "step");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.out(r11);
+    a.out(r1);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addWords(kProg, makeProg());
+    p.addWords(kRegs, makeRegs());
+    return p;
+}
+
+} // namespace predbus::workloads

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * mgrid: 3D 7-point stencil relaxation.
+ *
+ * Multigrid solvers relax 3D grids with nearest-neighbor stencils.
+ * Each pass applies a damped 7-point Jacobi-in-place step over the
+ * interior of a 16^3 double grid.
+ */
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kGrid = 0x19c6c000;
+constexpr u32 kN = 16;
+constexpr u64 kSeed = 0x316D;
+constexpr Addr kLit = 0x7fff8a00;
+
+u32
+passes(u32 scale)
+{
+    return 4 * scale;
+}
+
+std::vector<double>
+makeGrid()
+{
+    return smoothField(kN * kN * kN, 0.0, 1.0, kSeed);
+}
+
+} // namespace
+
+std::vector<u32>
+referenceMgrid(u32 scale)
+{
+    std::vector<double> v = makeGrid();
+    double acc = 0.0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        acc = 0.0;
+        for (u32 k = 1; k < kN - 1; ++k) {
+            for (u32 j = 1; j < kN - 1; ++j) {
+                for (u32 i = 1; i < kN - 1; ++i) {
+                    const u32 idx = (k * kN + j) * kN + i;
+                    double s = v[idx - 1] + v[idx + 1];
+                    s = s + v[idx - kN];
+                    s = s + v[idx + kN];
+                    s = s + v[idx - kN * kN];
+                    s = s + v[idx + kN * kN];
+                    const double vn = v[idx] * 0.4 + s * 0.1;
+                    v[idx] = vn;
+                    acc = acc + vn;
+                }
+            }
+        }
+    }
+    return {cvtfi(acc * 256.0)};
+}
+
+isa::Program
+buildMgrid(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("mgrid");
+
+    a.fli(f1, 0.4, r9);
+    a.fli(f2, 0.1, r9);
+    a.fli(f3, 256.0, r9);
+    a.la(r29, kLit);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    constexpr s32 kRow = static_cast<s32>(kN * 8);
+    constexpr s32 kPlane = static_cast<s32>(kN * kN * 8);
+
+    a.label("pass");
+    a.fli(f15, 0.0, r9);
+    a.li(r4, kN - 2);    // k
+
+    a.label("plane");
+    a.li(r5, kN - 2);    // j
+    // r1 = &v[(k*kN + j)*kN + 1]; recompute per row below.
+
+    a.label("rowk");
+    // r1 = base + ((k*16 + j)*16 + 1)*8 where k = kN-1-r4, j = kN-1-r5
+    a.li(r8, kN - 1);
+    a.sub(r8, r8, r4);          // k
+    a.sll(r8, r8, 4);
+    a.li(r7, kN - 1);
+    a.sub(r7, r7, r5);          // j
+    a.add(r8, r8, r7);
+    a.sll(r8, r8, 4);
+    a.addi(r8, r8, 1);
+    a.sll(r8, r8, 3);
+    a.la(r1, kGrid);
+    a.add(r1, r1, r8);
+    a.li(r6, kN - 2);    // i
+
+    a.label("cell");
+    a.fld(f5, r1, -8);
+    a.fld(f6, r1, 8);
+    a.fadd(f5, f5, f6);
+    a.fld(f6, r1, -kRow);
+    a.fadd(f5, f5, f6);
+    a.fld(f6, r1, kRow);
+    a.fadd(f5, f5, f6);
+    a.fld(f6, r1, -kPlane);
+    a.fadd(f5, f5, f6);
+    a.fld(f6, r1, kPlane);
+    a.fadd(f5, f5, f6);
+    a.fld(f6, r1, 0);
+    a.fmul(f6, f6, f1);
+    a.fld(f2, r29, 0);           // reload 0.1 from the literal pool
+    a.fmul(f5, f5, f2);
+    a.fadd(f6, f6, f5);          // vn
+    a.fsd(f6, r1, 0);
+    a.fadd(f15, f15, f6);
+    a.addi(r1, r1, 8);
+    a.addi(r6, r6, -1);
+    a.bgtz(r6, "cell");
+
+    a.addi(r5, r5, -1);
+    a.bgtz(r5, "rowk");
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "plane");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.fmul(f15, f15, f3);
+    a.cvtfi(r10, f15);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addDoubles(kLit, {0.1});
+    p.addDoubles(kGrid, makeGrid());
+    return p;
+}
+
+} // namespace predbus::workloads

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * perl: string hashing and associative-array probing.
+ *
+ * Script interpreters hash identifier strings and probe hash tables
+ * constantly. Each pass scans English-like text byte by byte, rolling
+ * a x33 hash per word, and on each word boundary probes an
+ * open-addressed table (insert on empty, count hits).
+ */
+
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kText = 0x2e414000;
+constexpr Addr kTab = 0x172d8000;
+constexpr Addr kFrame = 0x7fff8200;
+constexpr u32 kTextLen = 8192;
+constexpr u32 kTabMask = 2047;
+constexpr u32 kMaxProbes = 8;
+constexpr u64 kSeed = 0x9E71;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+} // namespace
+
+std::vector<u32>
+referencePerl(u32 scale)
+{
+    const std::string text = syntheticText(kTextLen, kSeed);
+    std::vector<u32> tab(kTabMask + 1, 0);
+    u32 hits = 0, inserts = 0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        u32 h = 5381;
+        for (u32 i = 0; i < kTextLen; ++i) {
+            const u32 c = static_cast<u8>(text[i]);
+            if (c != ' ') {
+                h = h * 33 + c;
+                continue;
+            }
+            if (h == 5381)
+                continue;  // consecutive spaces: empty word
+            // Probe. Hash value 0 would alias the empty marker; the
+            // x33 hash of a nonempty word over printable ASCII is
+            // never 0 in practice, and the guest does the same test.
+            u32 idx = h & kTabMask;
+            for (u32 probe = 0; probe < kMaxProbes; ++probe) {
+                if (tab[idx] == h) {
+                    ++hits;
+                    break;
+                }
+                if (tab[idx] == 0) {
+                    tab[idx] = h;
+                    ++inserts;
+                    break;
+                }
+                idx = (idx + 1) & kTabMask;
+            }
+            h = 5381;
+        }
+    }
+    return {hits, inserts};
+}
+
+isa::Program
+buildPerl(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("perl");
+
+    // r13 text base, r12 table base, r1 byte ptr, r2 remaining,
+    // r3 c, r4 h, r5 idx, r6 probe counter, r7 entry, r8 tmp,
+    // r10 hits, r11 inserts, r9 const 5381.
+    a.la(r29, kFrame);
+    a.la(r13, kText);
+    a.la(r12, kTab);
+    a.sw(r12, r29, 0);
+    a.li(r10, 0);
+    a.li(r11, 0);
+    a.li(r9, 5381);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.move(r1, r13);
+    a.li(r2, kTextLen);
+    a.move(r4, r9);
+
+    a.label("byte");
+    a.lbu(r3, r1, 0);
+    a.li(r8, ' ');
+    a.beq(r3, r8, "word_end");
+    // h = h*33 + c  (h<<5 + h + c)
+    a.sll(r8, r4, 5);
+    a.add(r4, r8, r4);
+    a.add(r4, r4, r3);
+    a.j("next_byte");
+
+    a.label("word_end");
+    a.beq(r4, r9, "next_byte");   // empty word
+    a.lw(r12, r29, 0);            // reload spilled table base
+    a.andi(r5, r4, kTabMask);
+    a.li(r6, kMaxProbes);
+    a.label("probe");
+    a.sll(r8, r5, 2);
+    a.add(r8, r12, r8);
+    a.lw(r7, r8, 0);
+    a.beq(r7, r4, "hit");
+    a.beq(r7, r0, "empty");
+    a.addi(r5, r5, 1);
+    a.andi(r5, r5, kTabMask);
+    a.addi(r6, r6, -1);
+    a.bgtz(r6, "probe");
+    a.j("probed");
+    a.label("hit");
+    a.addi(r10, r10, 1);
+    a.j("probed");
+    a.label("empty");
+    a.sw(r4, r8, 0);
+    a.addi(r11, r11, 1);
+    a.label("probed");
+    a.move(r4, r9);
+
+    a.label("next_byte");
+    a.addi(r1, r1, 1);
+    a.addi(r2, r2, -1);
+    a.bgtz(r2, "byte");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.out(r10);
+    a.out(r11);
+    a.halt();
+
+    isa::Program p = a.finish();
+    const std::string text = syntheticText(kTextLen, kSeed);
+    p.addSegment(kText, std::vector<u8>(text.begin(), text.end()));
+    return p;
+}
+
+} // namespace predbus::workloads

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * su2cor: complex matrix-vector products with renormalization.
+ *
+ * Quantum-physics codes iterate complex linear algebra. Each pass
+ * multiplies a 24x24 complex matrix into a complex vector, then
+ * renormalizes the result by a data-dependent factor (one division per
+ * element, as in the real code's projections).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+constexpr u32 kN = 24;
+constexpr Addr kM = 0x23f0c000;                  // 24x24 complex (re,im)
+constexpr Addr kVec = 0x35d64000;                // 24 complex
+constexpr Addr kW = 0x0e5a8000;                  // 24 complex scratch
+constexpr u64 kSeed = 0x52C0;
+constexpr Addr kFrame = 0x7fff8700;
+
+u32
+passes(u32 scale)
+{
+    return 12 * scale;
+}
+
+std::vector<double>
+makeMatrix()
+{
+    return randomDoubles(kN * kN * 2, -1.0, 1.0, kSeed);
+}
+
+std::vector<double>
+makeVector()
+{
+    return randomDoubles(kN * 2, -1.0, 1.0, kSeed + 1);
+}
+
+} // namespace
+
+std::vector<u32>
+referenceSu2cor(u32 scale)
+{
+    const std::vector<double> m = makeMatrix();
+    std::vector<double> v = makeVector();
+    std::vector<double> w(kN * 2, 0.0);
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        for (u32 i = 0; i < kN; ++i) {
+            double wr = 0.0, wi = 0.0;
+            for (u32 k = 0; k < kN; ++k) {
+                const double ar = m[(i * kN + k) * 2];
+                const double ai = m[(i * kN + k) * 2 + 1];
+                const double br = v[k * 2];
+                const double bi = v[k * 2 + 1];
+                wr = wr + (ar * br - ai * bi);
+                wi = wi + (ar * bi + ai * br);
+            }
+            w[i * 2] = wr;
+            w[i * 2 + 1] = wi;
+        }
+        const double s = std::fabs(w[0]) + 0.5;
+        for (u32 i = 0; i < kN; ++i) {
+            v[i * 2] = w[i * 2] / s;
+            v[i * 2 + 1] = w[i * 2 + 1] / s;
+        }
+    }
+    double acc = 0.0;
+    for (u32 i = 0; i < kN; ++i)
+        acc = acc + v[i * 2];
+    return {cvtfi(acc * 1024.0)};
+}
+
+isa::Program
+buildSu2cor(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("su2cor");
+
+    a.fli(f1, 0.5, r9);
+    a.fli(f2, 1024.0, r9);
+    a.la(r29, kFrame);
+    a.la(r2, kVec);
+    a.sw(r2, r29, 0);            // spill the vector base
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.label("pass");
+    a.la(r1, kM);                // matrix row pointer
+    a.la(r3, kW);                // w pointer
+    a.li(r4, kN);                // i
+
+    a.label("rowloop");
+    a.fli(f5, 0.0, r9);          // wr
+    a.fli(f6, 0.0, r9);          // wi
+    a.li(r22, 0);                // v byte offset
+    a.li(r5, kN);                // k
+
+    a.label("dot");
+    a.fld(f7, r1, 0);            // ar
+    a.fld(f8, r1, 8);            // ai
+    a.lw(r2, r29, 0);            // reload spilled vector base
+    a.add(r2, r2, r22);
+    a.fld(f9, r2, 0);            // br
+    a.fld(f10, r2, 8);           // bi
+    a.fmul(f11, f7, f9);         // ar*br
+    a.fmul(f12, f8, f10);        // ai*bi
+    a.fsub(f11, f11, f12);
+    a.fadd(f5, f5, f11);         // wr
+    a.fmul(f11, f7, f10);        // ar*bi
+    a.fmul(f12, f8, f9);         // ai*br
+    a.fadd(f11, f11, f12);
+    a.fadd(f6, f6, f11);         // wi
+    a.addi(r1, r1, 16);
+    a.addi(r22, r22, 16);
+    a.addi(r5, r5, -1);
+    a.bgtz(r5, "dot");
+
+    a.fsd(f5, r3, 0);
+    a.fsd(f6, r3, 8);
+    a.addi(r3, r3, 16);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "rowloop");
+
+    // Renormalize: s = |w[0].re| + 0.5; v = w / s.
+    a.la(r3, kW);
+    a.fld(f7, r3, 0);
+    a.fabs_(f7, f7);
+    a.fadd(f7, f7, f1);          // s
+    a.la(r2, kVec);
+    a.li(r4, kN);
+    a.label("norm");
+    a.fld(f8, r3, 0);
+    a.fdiv(f8, f8, f7);
+    a.fsd(f8, r2, 0);
+    a.fld(f8, r3, 8);
+    a.fdiv(f8, f8, f7);
+    a.fsd(f8, r2, 8);
+    a.addi(r3, r3, 16);
+    a.addi(r2, r2, 16);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "norm");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    // acc = sum of v real parts.
+    a.la(r2, kVec);
+    a.li(r4, kN);
+    a.fli(f5, 0.0, r9);
+    a.label("accum");
+    a.fld(f8, r2, 0);
+    a.fadd(f5, f5, f8);
+    a.addi(r2, r2, 16);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "accum");
+    a.fmul(f5, f5, f2);
+    a.cvtfi(r10, f5);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addDoubles(kM, makeMatrix());
+    p.addDoubles(kVec, makeVector());
+    return p;
+}
+
+} // namespace predbus::workloads

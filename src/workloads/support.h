@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Internal helpers shared by the workload kernels and their host
+ * reference implementations.
+ */
+
+#ifndef PREDBUS_WORKLOADS_SUPPORT_H
+#define PREDBUS_WORKLOADS_SUPPORT_H
+
+#include <cmath>
+#include <limits>
+
+#include "common/types.h"
+
+namespace predbus::workloads
+{
+
+/**
+ * Host mirror of the guest CVTFI semantics (clamping double->s32
+ * conversion), so reference implementations match the assembly exactly.
+ */
+inline u32
+cvtfi(double d)
+{
+    if (std::isnan(d))
+        return 0;
+    if (d >= 2147483647.0)
+        return static_cast<u32>(std::numeric_limits<s32>::max());
+    if (d <= -2147483648.0)
+        return static_cast<u32>(std::numeric_limits<s32>::min());
+    return static_cast<u32>(static_cast<s32>(d));
+}
+
+} // namespace predbus::workloads
+
+#endif // PREDBUS_WORKLOADS_SUPPORT_H

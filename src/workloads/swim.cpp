@@ -1,0 +1,168 @@
+/**
+ * @file
+ * swim: shallow-water 2D stencil.
+ *
+ * The SPEC95 `swim` benchmark sweeps finite-difference updates over
+ * u/v/p grids. Each pass applies a damped shallow-water-style update
+ * to the interior of three 64x64 double grids in place.
+ */
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kU = 0x31a48000;
+constexpr Addr kV = 0x1ce94000;
+constexpr Addr kP = 0x25b3c000;
+constexpr u32 kN = 64;
+constexpr u64 kSeed = 0x5714;
+constexpr Addr kLit = 0x7fff8d00;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+struct Grids
+{
+    std::vector<double> u, v, p;
+};
+
+Grids
+makeGrids()
+{
+    Grids g;
+    g.u = smoothField(kN * kN, -0.1, 0.1, kSeed);
+    g.v = smoothField(kN * kN, -0.1, 0.1, kSeed + 1);
+    g.p = smoothField(kN * kN, 0.5, 1.5, kSeed + 2);
+    return g;
+}
+
+} // namespace
+
+std::vector<u32>
+referenceSwim(u32 scale)
+{
+    Grids g = makeGrids();
+    double acc = 0.0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        acc = 0.0;
+        for (u32 i = 1; i < kN - 1; ++i) {
+            for (u32 j = 1; j < kN - 1; ++j) {
+                const u32 idx = i * kN + j;
+                const double du = g.p[idx + 1] - g.p[idx - 1];
+                const double dv = g.p[idx + kN] - g.p[idx - kN];
+                const double un = g.u[idx] * 0.99 + du * 0.01;
+                const double vn = g.v[idx] * 0.99 + dv * 0.01;
+                const double pn =
+                    g.p[idx] * 0.99 - (un + vn) * 0.005;
+                g.u[idx] = un;
+                g.v[idx] = vn;
+                g.p[idx] = pn;
+                acc = acc + pn;
+            }
+        }
+    }
+    return {cvtfi(acc * 16.0), cvtfi(g.u[kN + 1] * 1024.0)};
+}
+
+isa::Program
+buildSwim(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("swim");
+
+    a.fli(f1, 0.99, r9);
+    a.fli(f2, 0.01, r9);
+    a.fli(f3, 0.005, r9);
+    a.fli(f4, 16.0, r9);
+    a.fli(f5, 1024.0, r9);
+    a.la(r29, kLit);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    constexpr s32 kRow = static_cast<s32>(kN * 8);
+
+    a.label("pass");
+    a.la(r1, kP + (kN + 1) * 8);
+    a.la(r2, kU + (kN + 1) * 8);
+    a.la(r3, kV + (kN + 1) * 8);
+    a.fli(f12, 0.0, r9);  // acc (pool slot reused; loads same constant)
+    a.li(r4, kN - 2);     // i
+
+    a.label("row");
+    a.li(r5, kN - 2);     // j
+
+    a.label("cell");
+    a.fld(f1, r29, 0);           // reload 0.99 from the literal pool
+    a.fld(f6, r1, 8);
+    a.fld(f7, r1, -8);
+    a.fsub(f6, f6, f7);          // du
+    a.fld(f7, r1, kRow);
+    a.fld(f8, r1, -kRow);
+    a.fsub(f7, f7, f8);          // dv
+    a.fld(f8, r2, 0);
+    a.fmul(f8, f8, f1);
+    a.fmul(f9, f6, f2);
+    a.fadd(f8, f8, f9);          // un
+    a.fld(f9, r3, 0);
+    a.fmul(f9, f9, f1);
+    a.fmul(f10, f7, f2);
+    a.fadd(f9, f9, f10);         // vn
+    a.fld(f10, r1, 0);
+    a.fmul(f10, f10, f1);
+    a.fadd(f11, f8, f9);
+    a.fmul(f11, f11, f3);
+    a.fsub(f10, f10, f11);       // pn
+    a.fsd(f8, r2, 0);
+    a.fsd(f9, r3, 0);
+    a.fsd(f10, r1, 0);
+    a.fadd(f12, f12, f10);
+
+    a.addi(r1, r1, 8);
+    a.addi(r2, r2, 8);
+    a.addi(r3, r3, 8);
+    a.addi(r5, r5, -1);
+    a.bgtz(r5, "cell");
+
+    a.addi(r1, r1, 16);
+    a.addi(r2, r2, 16);
+    a.addi(r3, r3, 16);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "row");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.fmul(f12, f12, f4);
+    a.cvtfi(r10, f12);
+    a.out(r10);
+    a.la(r2, kU + (kN + 1) * 8);
+    a.fld(f6, r2, 0);
+    a.fmul(f6, f6, f5);
+    a.cvtfi(r10, f6);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    const Grids g = makeGrids();
+    p.addDoubles(kLit, {0.99});
+    p.addDoubles(kU, g.u);
+    p.addDoubles(kV, g.v);
+    p.addDoubles(kP, g.p);
+    return p;
+}
+
+} // namespace predbus::workloads

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * tomcatv: mesh smoothing relaxation.
+ *
+ * Mesh generation relaxes coordinate grids toward smoothness. Each
+ * pass applies a Gauss-Seidel Laplacian step to x/y coordinate grids,
+ * with a cross-coupling term from x into y.
+ */
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+// Segment bases are scattered across the address space the way a real
+// allocator would place them; the diverse high-order bits reproduce the
+// register/memory value diversity of compiled SPEC binaries.
+constexpr Addr kX = 0x2d1b8000;
+constexpr Addr kY = 0x1a6e4000;
+constexpr u32 kN = 64;
+constexpr u64 kSeed = 0x70CA;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+struct Grids
+{
+    std::vector<double> x, y;
+};
+
+Grids
+makeGrids()
+{
+    Grids g;
+    g.x = smoothField(kN * kN, -1.0, 1.0, kSeed);
+    g.y = smoothField(kN * kN, -1.0, 1.0, kSeed + 1);
+    return g;
+}
+
+} // namespace
+
+std::vector<u32>
+referenceTomcatv(u32 scale)
+{
+    Grids g = makeGrids();
+    double acc = 0.0;
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        acc = 0.0;
+        for (u32 i = 1; i < kN - 1; ++i) {
+            for (u32 j = 1; j < kN - 1; ++j) {
+                const u32 idx = i * kN + j;
+                const double xl = g.x[idx - 1], xr = g.x[idx + 1];
+                const double xu = g.x[idx - kN], xd = g.x[idx + kN];
+                const double xc = g.x[idx];
+                double t = xl + xr;
+                t = t + xu;
+                t = t + xd;
+                const double lapx = t - xc * 4.0;
+                const double xn = xc + lapx * 0.05;
+                g.x[idx] = xn;
+
+                const double yl = g.y[idx - 1], yr = g.y[idx + 1];
+                const double yu = g.y[idx - kN], yd = g.y[idx + kN];
+                const double yc = g.y[idx];
+                double s = yl + yr;
+                s = s + yu;
+                s = s + yd;
+                const double lapy = s - yc * 4.0;
+                const double cross = xr - xl;
+                double yn = yc + lapy * 0.05;
+                yn = yn + cross * 0.01;
+                g.y[idx] = yn;
+
+                acc = acc + xn;
+                acc = acc + yn;
+            }
+        }
+    }
+    return {cvtfi(acc * 8.0)};
+}
+
+isa::Program
+buildTomcatv(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("tomcatv");
+
+    a.fli(f1, 4.0, r9);
+    a.fli(f2, 0.05, r9);
+    a.fli(f3, 0.01, r9);
+    a.fli(f4, 8.0, r9);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    constexpr s32 kRow = static_cast<s32>(kN * 8);
+
+    a.label("pass");
+    a.la(r1, kX + (kN + 1) * 8);
+    a.la(r2, kY + (kN + 1) * 8);
+    a.fli(f15, 0.0, r9);  // acc
+    a.li(r4, kN - 2);
+
+    a.label("row");
+    a.li(r5, kN - 2);
+
+    a.label("cell");
+    // x relaxation.
+    a.fld(f5, r1, -8);           // xl
+    a.fld(f6, r1, 8);            // xr
+    a.fld(f7, r1, -kRow);        // xu
+    a.fld(f8, r1, kRow);         // xd
+    a.fld(f9, r1, 0);            // xc
+    a.fadd(f10, f5, f6);
+    a.fadd(f10, f10, f7);
+    a.fadd(f10, f10, f8);
+    a.fmul(f11, f9, f1);
+    a.fsub(f10, f10, f11);       // lapx
+    a.fmul(f10, f10, f2);
+    a.fadd(f10, f9, f10);        // xn
+    a.fsd(f10, r1, 0);
+
+    // y relaxation with cross term.
+    a.fld(f11, r2, -8);
+    a.fld(f12, r2, 8);
+    a.fld(f13, r2, -kRow);
+    a.fld(f14, r2, kRow);
+    a.fld(f9, r2, 0);            // yc
+    a.fadd(f11, f11, f12);
+    a.fadd(f11, f11, f13);
+    a.fadd(f11, f11, f14);
+    a.fmul(f12, f9, f1);
+    a.fsub(f11, f11, f12);       // lapy
+    a.fsub(f12, f6, f5);         // cross = xr - xl
+    a.fmul(f11, f11, f2);
+    a.fadd(f11, f9, f11);
+    a.fmul(f12, f12, f3);
+    a.fadd(f11, f11, f12);       // yn
+    a.fsd(f11, r2, 0);
+
+    a.fadd(f15, f15, f10);
+    a.fadd(f15, f15, f11);
+
+    a.addi(r1, r1, 8);
+    a.addi(r2, r2, 8);
+    a.addi(r5, r5, -1);
+    a.bgtz(r5, "cell");
+
+    a.addi(r1, r1, 16);
+    a.addi(r2, r2, 16);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "row");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    a.fmul(f15, f15, f4);
+    a.cvtfi(r10, f15);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    const Grids g = makeGrids();
+    p.addDoubles(kX, g.x);
+    p.addDoubles(kY, g.y);
+    return p;
+}
+
+} // namespace predbus::workloads

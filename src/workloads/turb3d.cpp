@@ -1,0 +1,255 @@
+/**
+ * @file
+ * turb3d: scaled FFT butterfly stages.
+ *
+ * Turbulence codes live in FFTs. Each pass runs the 9 radix-2 stages
+ * of a 512-point complex FFT with per-stage 0.5 scaling (as fixed-
+ * point FFTs do), using a precomputed twiddle table, then renormalizes
+ * by a data-dependent factor so the signal neither decays nor blows
+ * up across passes.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+constexpr u32 kN = 512;
+constexpr u32 kStages = 9;
+constexpr Addr kRe = 0x2192c000;
+constexpr Addr kIm = 0x0d7e4000;
+constexpr Addr kTwRe = 0x33468000;
+constexpr Addr kTwIm = 0x16ad0000;
+constexpr u64 kSeed = 0x73BD;
+constexpr Addr kLit = 0x7fff8b00;
+
+u32
+passes(u32 scale)
+{
+    return 2 * scale;
+}
+
+std::vector<double>
+makeSignalRe()
+{
+    return smoothField(kN, -1.0, 1.0, kSeed);
+}
+
+std::vector<double>
+makeSignalIm()
+{
+    return smoothField(kN, -1.0, 1.0, kSeed + 1);
+}
+
+std::vector<double>
+twiddleRe()
+{
+    std::vector<double> t(kN / 2);
+    for (u32 i = 0; i < kN / 2; ++i)
+        t[i] = std::cos(-2.0 * M_PI * i / kN);
+    return t;
+}
+
+std::vector<double>
+twiddleIm()
+{
+    std::vector<double> t(kN / 2);
+    for (u32 i = 0; i < kN / 2; ++i)
+        t[i] = std::sin(-2.0 * M_PI * i / kN);
+    return t;
+}
+
+} // namespace
+
+std::vector<u32>
+referenceTurb3d(u32 scale)
+{
+    std::vector<double> re = makeSignalRe();
+    std::vector<double> im = makeSignalIm();
+    const std::vector<double> twr = twiddleRe();
+    const std::vector<double> twi = twiddleIm();
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        for (u32 s = 0; s < kStages; ++s) {
+            const u32 half = 1u << s;
+            const u32 step = half << 1;
+            const u32 tw_stride = (kN / 2) >> s;
+            for (u32 base = 0; base < kN; base += step) {
+                for (u32 j = 0; j < half; ++j) {
+                    const u32 ia = base + j;
+                    const u32 ib = ia + half;
+                    const double tr = twr[j * tw_stride];
+                    const double ti = twi[j * tw_stride];
+                    const double br = re[ib] * tr - im[ib] * ti;
+                    const double bi = re[ib] * ti + im[ib] * tr;
+                    const double ar = re[ia];
+                    const double ai = im[ia];
+                    re[ia] = (ar + br) * 0.5;
+                    im[ia] = (ai + bi) * 0.5;
+                    re[ib] = (ar - br) * 0.5;
+                    im[ib] = (ai - bi) * 0.5;
+                }
+            }
+        }
+        // Renormalize.
+        const double mag = std::fabs(re[0]) + std::fabs(im[0]) + 0.5;
+        const double factor = 4.0 / mag;
+        for (u32 i = 0; i < kN; ++i) {
+            re[i] = re[i] * factor;
+            im[i] = im[i] * factor;
+        }
+    }
+    double acc = 0.0;
+    for (u32 i = 0; i < kN; ++i)
+        acc = acc + re[i];
+    return {cvtfi(acc * 256.0)};
+}
+
+isa::Program
+buildTurb3d(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("turb3d");
+
+    a.fli(f1, 0.5, r9);
+    a.fli(f2, 4.0, r9);
+    a.fli(f3, 256.0, r9);
+    a.la(r29, kLit);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    // Integer plan: r4 stage, r5 half (elements), r6 base, r7 j,
+    // r1 &re[ia], r2 &im[ia], r3 twiddle ptr offset regs,
+    // r8 tmp, r10 tmp, r12 half bytes, r13 tw stride bytes,
+    // r14 = &re base, r15 = &im base, r16 = &twr, r17 = &twi.
+    a.la(r14, kRe);
+    a.la(r15, kIm);
+    a.la(r16, kTwRe);
+    a.la(r17, kTwIm);
+
+    a.label("pass");
+    a.li(r4, 0);                 // stage
+
+    a.label("stage");
+    a.li(r8, 1);
+    a.sllv(r5, r8, r4);          // half = 1 << s
+    a.sll(r12, r5, 3);           // half bytes
+    a.li(r13, kN / 2);
+    a.srlv(r13, r13, r4);
+    a.sll(r13, r13, 3);          // tw stride bytes
+    a.li(r6, 0);                 // base (elements)
+
+    a.label("block");
+    // r1 = &re[base], r2 = &im[base]; j walks forward.
+    a.sll(r8, r6, 3);
+    a.add(r1, r14, r8);
+    a.add(r2, r15, r8);
+    a.li(r18, 0);                // twiddle byte offset
+    a.move(r7, r5);              // j counter = half
+
+    a.label("fly");
+    a.fld(f1, r29, 0);           // reload 0.5 from the literal pool
+    a.add(r8, r16, r18);
+    a.fld(f5, r8, 0);            // tr
+    a.add(r8, r17, r18);
+    a.fld(f6, r8, 0);            // ti
+    a.add(r8, r1, r12);
+    a.fld(f7, r8, 0);            // re[ib]
+    a.add(r10, r2, r12);
+    a.fld(f8, r10, 0);           // im[ib]
+    a.fmul(f9, f7, f5);          // re*tr
+    a.fmul(f10, f8, f6);         // im*ti
+    a.fsub(f9, f9, f10);         // br
+    a.fmul(f10, f7, f6);         // re*ti
+    a.fmul(f11, f8, f5);         // im*tr
+    a.fadd(f10, f10, f11);       // bi
+    a.fld(f7, r1, 0);            // ar
+    a.fld(f8, r2, 0);            // ai
+    a.fadd(f11, f7, f9);
+    a.fmul(f11, f11, f1);
+    a.fsd(f11, r1, 0);           // re[ia]
+    a.fadd(f11, f8, f10);
+    a.fmul(f11, f11, f1);
+    a.fsd(f11, r2, 0);           // im[ia]
+    a.fsub(f11, f7, f9);
+    a.fmul(f11, f11, f1);
+    a.add(r8, r1, r12);
+    a.fsd(f11, r8, 0);           // re[ib]
+    a.fsub(f11, f8, f10);
+    a.fmul(f11, f11, f1);
+    a.add(r10, r2, r12);
+    a.fsd(f11, r10, 0);          // im[ib]
+
+    a.addi(r1, r1, 8);
+    a.addi(r2, r2, 8);
+    a.add(r18, r18, r13);
+    a.addi(r7, r7, -1);
+    a.bgtz(r7, "fly");
+
+    a.sll(r8, r5, 1);            // step
+    a.add(r6, r6, r8);
+    a.li(r10, kN);
+    a.bne(r6, r10, "block");
+
+    a.addi(r4, r4, 1);
+    a.li(r8, kStages);
+    a.bne(r4, r8, "stage");
+
+    // Renormalize: factor = 4 / (|re0| + |im0| + 0.5).
+    a.fld(f5, r14, 0);
+    a.fabs_(f5, f5);
+    a.fld(f6, r15, 0);
+    a.fabs_(f6, f6);
+    a.fadd(f5, f5, f6);
+    a.fadd(f5, f5, f1);          // + 0.5
+    a.fdiv(f5, f2, f5);          // factor
+    a.move(r1, r14);
+    a.move(r2, r15);
+    a.li(r7, kN);
+    a.label("norm");
+    a.fld(f6, r1, 0);
+    a.fmul(f6, f6, f5);
+    a.fsd(f6, r1, 0);
+    a.fld(f6, r2, 0);
+    a.fmul(f6, f6, f5);
+    a.fsd(f6, r2, 0);
+    a.addi(r1, r1, 8);
+    a.addi(r2, r2, 8);
+    a.addi(r7, r7, -1);
+    a.bgtz(r7, "norm");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    // acc = sum re.
+    a.move(r1, r14);
+    a.li(r7, kN);
+    a.fli(f5, 0.0, r9);
+    a.label("accum");
+    a.fld(f6, r1, 0);
+    a.fadd(f5, f5, f6);
+    a.addi(r1, r1, 8);
+    a.addi(r7, r7, -1);
+    a.bgtz(r7, "accum");
+    a.fmul(f5, f5, f3);
+    a.cvtfi(r10, f5);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addDoubles(kLit, {0.5});
+    p.addDoubles(kRe, makeSignalRe());
+    p.addDoubles(kIm, makeSignalIm());
+    p.addDoubles(kTwRe, twiddleRe());
+    p.addDoubles(kTwIm, twiddleIm());
+    return p;
+}
+
+} // namespace predbus::workloads

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * wave5: particle-in-cell gather/scatter.
+ *
+ * Plasma codes push particles through a field grid: gather the field
+ * at each particle's cell (a data-dependent index), update velocity
+ * and position, and scatter charge back. Each pass pushes 1024
+ * particles over a 256-cell field, then relaxes the field toward the
+ * deposited charge.
+ */
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernels.h"
+#include "workloads/support.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+constexpr u32 kParticles = 1024;
+constexpr u32 kCells = 256;
+constexpr Addr kX = 0x15f28000;   // positions
+constexpr Addr kVx = 0x2c7b4000;  // velocities
+constexpr Addr kField = 0x083dc000; // E field
+constexpr Addr kCharge = 0x31e64000; // deposited charge
+constexpr u64 kSeed = 0x3A5E;
+constexpr Addr kLit = 0x7fff8c00;
+
+u32
+passes(u32 scale)
+{
+    return 4 * scale;
+}
+
+std::vector<double>
+makePositions()
+{
+    return randomDoubles(kParticles, 0.0, 256.0, kSeed);
+}
+
+std::vector<double>
+makeVelocities()
+{
+    return randomDoubles(kParticles, -1.0, 1.0, kSeed + 1);
+}
+
+std::vector<double>
+makeField()
+{
+    return smoothField(kCells, -0.5, 0.5, kSeed + 2);
+}
+
+} // namespace
+
+std::vector<u32>
+referenceWave5(u32 scale)
+{
+    std::vector<double> x = makePositions();
+    std::vector<double> vx = makeVelocities();
+    std::vector<double> e = makeField();
+    std::vector<double> ch(kCells, 0.0);
+    for (u32 pass = 0; pass < passes(scale); ++pass) {
+        for (u32 c = 0; c < kCells; ++c)
+            ch[c] = 0.0;
+        for (u32 p = 0; p < kParticles; ++p) {
+            const double xp = x[p];
+            const u32 j = cvtfi(xp) & (kCells - 1);
+            const double ej = e[j];
+            const double vn = vx[p] + ej * 0.01;
+            double xn = xp + vn * 0.1;
+            if (xn >= 256.0)
+                xn = xn - 256.0;
+            if (xn < 0.0)
+                xn = xn + 256.0;
+            vx[p] = vn;
+            x[p] = xn;
+            ch[j] = ch[j] + 1.0;
+        }
+        for (u32 c = 0; c < kCells; ++c) {
+            const double en = e[c] * 0.99 + (ch[c] - 4.0) * 0.001;
+            e[c] = en;
+        }
+    }
+    double acc = 0.0;
+    for (u32 c = 0; c < kCells; ++c)
+        acc = acc + e[c];
+    double acc2 = 0.0;
+    for (u32 p = 0; p < kParticles; p += 64)
+        acc2 = acc2 + x[p];
+    return {cvtfi(acc * 1024.0), cvtfi(acc2 * 16.0)};
+}
+
+isa::Program
+buildWave5(u32 scale)
+{
+    using namespace isa::regs;
+    isa::Asm a("wave5");
+
+    a.fli(f1, 0.01, r9);
+    a.fli(f2, 0.1, r9);
+    a.fli(f3, 256.0, r9);
+    a.fli(f4, 1.0, r9);
+    a.fli(f5, 0.99, r9);
+    a.fli(f6, 4.0, r9);
+    a.fli(f7, 0.001, r9);
+    a.fli(f13, 0.0, r9);
+    a.fli(f14, 1024.0, r9);
+    a.la(r29, kLit);
+    a.li(r28, static_cast<u32>(passes(scale)));
+
+    a.la(r14, kX);
+    a.la(r15, kVx);
+    a.la(r16, kField);
+    a.la(r17, kCharge);
+
+    a.label("pass");
+    // Zero the charge array.
+    a.move(r1, r17);
+    a.li(r4, kCells);
+    a.label("zero");
+    a.fsd(f13, r1, 0);
+    a.addi(r1, r1, 8);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "zero");
+
+    // Particle push.
+    a.move(r1, r14);             // x ptr
+    a.move(r2, r15);             // vx ptr
+    a.li(r4, kParticles);
+    a.label("push");
+    a.fld(f1, r29, 0);           // reload 0.01 from the literal pool
+    a.fld(f8, r1, 0);            // xp
+    a.cvtfi(r5, f8);
+    a.andi(r5, r5, kCells - 1);  // j
+    a.sll(r6, r5, 3);
+    a.add(r7, r16, r6);
+    a.fld(f9, r7, 0);            // e[j]
+    a.fld(f10, r2, 0);           // vx
+    a.fmul(f9, f9, f1);
+    a.fadd(f10, f10, f9);        // vn
+    a.fmul(f9, f10, f2);
+    a.fadd(f8, f8, f9);          // xn
+    a.fclt(r7, f8, f3);          // xn < 256 ?
+    a.bne(r7, r0, "no_hi_wrap");
+    a.fsub(f8, f8, f3);
+    a.label("no_hi_wrap");
+    a.fclt(r7, f8, f13);         // xn < 0 ?
+    a.beq(r7, r0, "no_lo_wrap");
+    a.fadd(f8, f8, f3);
+    a.label("no_lo_wrap");
+    a.fsd(f10, r2, 0);
+    a.fsd(f8, r1, 0);
+    a.add(r7, r17, r6);
+    a.fld(f9, r7, 0);
+    a.fadd(f9, f9, f4);
+    a.fsd(f9, r7, 0);            // ch[j] += 1
+    a.addi(r1, r1, 8);
+    a.addi(r2, r2, 8);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "push");
+
+    // Field relaxation.
+    a.move(r1, r16);
+    a.move(r2, r17);
+    a.li(r4, kCells);
+    a.label("relax");
+    a.fld(f8, r1, 0);
+    a.fmul(f8, f8, f5);
+    a.fld(f9, r2, 0);
+    a.fsub(f9, f9, f6);
+    a.fmul(f9, f9, f7);
+    a.fadd(f8, f8, f9);
+    a.fsd(f8, r1, 0);
+    a.addi(r1, r1, 8);
+    a.addi(r2, r2, 8);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "relax");
+
+    a.addi(r28, r28, -1);
+    a.bgtz(r28, "pass");
+
+    // acc over field.
+    a.move(r1, r16);
+    a.li(r4, kCells);
+    a.fli(f8, 0.0, r9);
+    a.label("acc_field");
+    a.fld(f9, r1, 0);
+    a.fadd(f8, f8, f9);
+    a.addi(r1, r1, 8);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "acc_field");
+    a.fmul(f8, f8, f14);
+    a.cvtfi(r10, f8);
+    a.out(r10);
+
+    // acc2 over every 64th particle position.
+    a.move(r1, r14);
+    a.li(r4, kParticles / 64);
+    a.fli(f8, 0.0, r9);
+    a.label("acc_pos");
+    a.fld(f9, r1, 0);
+    a.fadd(f8, f8, f9);
+    a.addi(r1, r1, 64 * 8);
+    a.addi(r4, r4, -1);
+    a.bgtz(r4, "acc_pos");
+    a.fli(f9, 16.0, r9);
+    a.fmul(f8, f8, f9);
+    a.cvtfi(r10, f8);
+    a.out(r10);
+    a.halt();
+
+    isa::Program p = a.finish();
+    p.addDoubles(kLit, {0.01});
+    p.addDoubles(kX, makePositions());
+    p.addDoubles(kVx, makeVelocities());
+    p.addDoubles(kField, makeField());
+    return p;
+}
+
+} // namespace predbus::workloads

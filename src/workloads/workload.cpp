@@ -1,0 +1,135 @@
+#include "workloads/workload.h"
+
+#include "common/log.h"
+#include "workloads/kernels.h"
+
+namespace predbus::workloads
+{
+
+namespace
+{
+
+using Builder = isa::Program (*)(u32);
+using Reference = std::vector<u32> (*)(u32);
+
+struct Entry
+{
+    WorkloadInfo info;
+    Builder build;
+    Reference reference;
+};
+
+const std::vector<Entry> &
+table()
+{
+    static const std::vector<Entry> entries = {
+        {{"ijpeg", false, "integer 8x8 DCT butterflies + quantization"},
+         buildIjpeg, referenceIjpeg},
+        {{"m88ksim", false, "CPU interpreter: fetch/decode/dispatch"},
+         buildM88ksim, referenceM88ksim},
+        {{"go", false, "board scans with neighbor counting"},
+         buildGo, referenceGo},
+        {{"gcc", false, "IR DAG evaluation with op dispatch"},
+         buildGcc, referenceGcc},
+        {{"compress", false, "LZW-style hashing over text"},
+         buildCompress, referenceCompress},
+        {{"perl", false, "string hashing + associative table"},
+         buildPerl, referencePerl},
+        {{"li", false, "cons-cell list building and traversal"},
+         buildLi, referenceLi},
+        {{"hydro2d", true, "upwind flux sweeps on a 2D grid"},
+         buildHydro2d, referenceHydro2d},
+        {{"fpppp", true, "dense multi-term products, high ILP"},
+         buildFpppp, referenceFpppp},
+        {{"apsi", true, "column physics with polynomial evaluation"},
+         buildApsi, referenceApsi},
+        {{"applu", true, "SSOR forward/backward sweeps"},
+         buildApplu, referenceApplu},
+        {{"wave5", true, "particle-in-cell gather/scatter"},
+         buildWave5, referenceWave5},
+        {{"turb3d", true, "scaled FFT butterfly stages"},
+         buildTurb3d, referenceTurb3d},
+        {{"tomcatv", true, "mesh smoothing relaxation"},
+         buildTomcatv, referenceTomcatv},
+        {{"swim", true, "shallow-water 2D stencil"},
+         buildSwim, referenceSwim},
+        {{"su2cor", true, "complex matrix-vector products"},
+         buildSu2cor, referenceSu2cor},
+        {{"mgrid", true, "3D 7-point stencil relaxation"},
+         buildMgrid, referenceMgrid},
+    };
+    return entries;
+}
+
+const Entry &
+lookup(const std::string &name)
+{
+    for (const Entry &e : table())
+        if (e.info.name == name)
+            return e;
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace
+
+const std::vector<WorkloadInfo> &
+all()
+{
+    static const std::vector<WorkloadInfo> infos = [] {
+        std::vector<WorkloadInfo> out;
+        for (const Entry &e : table())
+            out.push_back(e.info);
+        return out;
+    }();
+    return infos;
+}
+
+const std::vector<std::string> &
+intNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const Entry &e : table())
+            if (!e.info.is_fp)
+                out.push_back(e.info.name);
+        return out;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+fpNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const Entry &e : table())
+            if (e.info.is_fp)
+                out.push_back(e.info.name);
+        return out;
+    }();
+    return names;
+}
+
+const WorkloadInfo &
+info(const std::string &name)
+{
+    return lookup(name).info;
+}
+
+isa::Program
+build(const std::string &name, u32 scale)
+{
+    if (scale == 0)
+        fatal("workload scale must be nonzero");
+    return lookup(name).build(scale);
+}
+
+std::vector<u32>
+reference(const std::string &name, u32 scale)
+{
+    if (scale == 0)
+        fatal("workload scale must be nonzero");
+    return lookup(name).reference(scale);
+}
+
+} // namespace predbus::workloads

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The SPEC95-like workload suite.
+ *
+ * The paper evaluates its coding schemes on bus traces from SPEC95
+ * benchmarks. SPEC sources and inputs are not redistributable, so each
+ * benchmark is replaced by a hand-written P32 kernel implementing the
+ * same computational idiom (see DESIGN.md §1): LZW hashing for
+ * compress, pointer-chasing IR walks for gcc, shallow-water stencils
+ * for swim, and so on. What the coding experiments consume is the
+ * *statistical character* of the bus values, which these idioms set.
+ *
+ * Every workload:
+ *  - is deterministic (seeded data generators),
+ *  - emits one or more OUT checksum values before HALT,
+ *  - has a host-side reference implementation used by the tests to
+ *    validate the assembly end-to-end,
+ *  - accepts a @p scale factor multiplying its outer iteration count
+ *    (tests run scale 1; trace capture uses larger scales so the
+ *    requested cycle budget, not program length, bounds the trace).
+ */
+
+#ifndef PREDBUS_WORKLOADS_WORKLOAD_H
+#define PREDBUS_WORKLOADS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace predbus::workloads
+{
+
+/** Descriptor for one benchmark. */
+struct WorkloadInfo
+{
+    std::string name;         ///< SPEC95 benchmark name (lowercase)
+    bool is_fp = false;       ///< SPECfp (vs SPECint)
+    std::string description;  ///< kernel idiom implemented
+};
+
+/** All 17 workloads the paper plots, in the paper's order. */
+const std::vector<WorkloadInfo> &all();
+
+/** SPECint subset names (ijpeg m88ksim go gcc compress perl li). */
+const std::vector<std::string> &intNames();
+
+/** SPECfp subset names (hydro2d fpppp apsi applu wave5 turb3d
+ * tomcatv swim su2cor mgrid). */
+const std::vector<std::string> &fpNames();
+
+/** Look up a workload descriptor; FatalError for unknown names. */
+const WorkloadInfo &info(const std::string &name);
+
+/** Build the guest program for @p name at @p scale. */
+isa::Program build(const std::string &name, u32 scale = 1);
+
+/**
+ * Host-side reference output (the OUT values the guest must produce
+ * when run to completion at @p scale).
+ */
+std::vector<u32> reference(const std::string &name, u32 scale = 1);
+
+} // namespace predbus::workloads
+
+#endif // PREDBUS_WORKLOADS_WORKLOAD_H

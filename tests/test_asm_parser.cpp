@@ -1,0 +1,140 @@
+#include "isa/asm_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/isa.h"
+
+namespace predbus::isa
+{
+namespace
+{
+
+TEST(AsmParser, BasicProgram)
+{
+    const Program p = assembleText(R"(
+        # simple loop
+        li r1, 3
+        loop:
+        addi r2, r2, 10
+        addi r1, r1, -1
+        bgtz r1, loop
+        out r2
+        halt
+    )");
+    ASSERT_EQ(p.code.size(), 6u);
+    EXPECT_EQ(decode(p.code[0])->op, Opcode::ADDI);
+    const auto br = decode(p.code[3]);
+    EXPECT_EQ(br->op, Opcode::BGTZ);
+    EXPECT_EQ(br->imm, -3);
+}
+
+TEST(AsmParser, LabelOnSameLine)
+{
+    const Program p = assembleText("top: nop\n j top\n");
+    ASSERT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(decode(p.code[1])->op, Opcode::J);
+}
+
+TEST(AsmParser, MemoryOperands)
+{
+    const Program p = assembleText(R"(
+        lw r1, 8(r2)
+        sw r1, -4(r3)
+        fld f1, 16(r4)
+        fsd f1, 0(r4)
+        halt
+    )");
+    EXPECT_EQ(disassemble(*decode(p.code[0])), "lw r1, 8(r2)");
+    EXPECT_EQ(disassemble(*decode(p.code[1])), "sw r1, -4(r3)");
+    EXPECT_EQ(disassemble(*decode(p.code[2])), "fld f1, 16(r4)");
+    EXPECT_EQ(disassemble(*decode(p.code[3])), "fsd f1, 0(r4)");
+}
+
+TEST(AsmParser, DataDirectives)
+{
+    const Program p = assembleText(R"(
+        .data 0x200000
+        .word 1, 2, 3
+        .double 1.5
+        .space 8
+        .text
+        halt
+    )");
+    ASSERT_EQ(p.data.size(), 1u);
+    EXPECT_EQ(p.data[0].base, 0x200000u);
+    EXPECT_EQ(p.data[0].bytes.size(), 12u + 8u + 8u);
+    EXPECT_EQ(p.data[0].bytes[0], 1);
+    EXPECT_EQ(p.data[0].bytes[4], 2);
+}
+
+TEST(AsmParser, HexAndNegativeNumbers)
+{
+    const Program p = assembleText("li r1, 0xff\n addi r2, r1, -128\n");
+    EXPECT_EQ(decode(p.code[0])->imm, 0xff);
+    EXPECT_EQ(decode(p.code[1])->imm, -128);
+}
+
+TEST(AsmParser, FpOps)
+{
+    const Program p = assembleText(R"(
+        fadd f1, f2, f3
+        cvtif f4, r5
+        cvtfi r6, f7
+        fclt r8, f9, f10
+        halt
+    )");
+    EXPECT_EQ(disassemble(*decode(p.code[0])), "fadd f1, f2, f3");
+    EXPECT_EQ(disassemble(*decode(p.code[1])), "cvtif f4, r5");
+    EXPECT_EQ(disassemble(*decode(p.code[2])), "cvtfi r6, f7");
+    EXPECT_EQ(disassemble(*decode(p.code[3])), "fclt r8, f9, f10");
+}
+
+TEST(AsmParser, CommentsAndBlankLines)
+{
+    const Program p = assembleText(R"(
+
+        # full line comment
+        nop ; trailing comment
+        nop # other comment style
+
+        halt
+    )");
+    EXPECT_EQ(p.code.size(), 3u);
+}
+
+TEST(AsmParser, Errors)
+{
+    EXPECT_THROW(assembleText("bogus r1, r2\n"), FatalError);
+    EXPECT_THROW(assembleText("add r1, r2\n"), FatalError);
+    EXPECT_THROW(assembleText("add r1, r2, f3\n"), FatalError);
+    EXPECT_THROW(assembleText("lw r1, 4(f2)\n"), FatalError);
+    EXPECT_THROW(assembleText("li r99, 0\n"), FatalError);
+    EXPECT_THROW(assembleText("li r1, zzz\n"), FatalError);
+    EXPECT_THROW(assembleText(".word 1\n"), FatalError);
+    EXPECT_THROW(assembleText(".bogus\n"), FatalError);
+    EXPECT_THROW(assembleText("j nowhere\n"), FatalError);
+}
+
+TEST(AsmParser, DisassembleReassembleRoundTrip)
+{
+    // Disassembler output must be legal assembler input producing the
+    // identical encoding (for label-free instructions).
+    const Program p1 = assembleText(R"(
+        add r1, r2, r3
+        sll r4, r5, 7
+        lw r6, 20(r7)
+        fadd f8, f9, f10
+        fsd f1, -16(r2)
+        sltiu r3, r4, 99
+        halt
+    )");
+    std::string src;
+    for (u32 w : p1.code)
+        src += disassemble(*decode(w)) + "\n";
+    const Program p2 = assembleText(src);
+    EXPECT_EQ(p1.code, p2.code);
+}
+
+} // namespace
+} // namespace predbus::isa

@@ -1,0 +1,161 @@
+#include "isa/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/log.h"
+#include "isa/isa.h"
+
+namespace predbus::isa
+{
+namespace
+{
+
+using namespace regs;
+
+TEST(Assembler, EmitsSequentialCode)
+{
+    Asm a("t");
+    a.add(r1, r2, r3);
+    a.sub(r4, r5, r6);
+    Program p = a.finish();
+    ASSERT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(disassemble(*decode(p.code[0])), "add r1, r2, r3");
+    EXPECT_EQ(disassemble(*decode(p.code[1])), "sub r4, r5, r6");
+    EXPECT_EQ(p.entry, kDefaultCodeBase);
+}
+
+TEST(Assembler, BackwardBranchOffset)
+{
+    Asm a("t");
+    a.label("top");        // index 0
+    a.addi(r1, r1, 1);     // index 0
+    a.bne(r1, r2, "top");  // index 1: target 0, next 2 -> offset -2
+    Program p = a.finish();
+    const auto br = decode(p.code[1]);
+    ASSERT_TRUE(br.has_value());
+    EXPECT_EQ(br->op, Opcode::BNE);
+    EXPECT_EQ(br->imm, -2);
+}
+
+TEST(Assembler, ForwardBranchOffset)
+{
+    Asm a("t");
+    a.beq(r0, r0, "done"); // index 0 -> offset = 2 - 1 = 1
+    a.nop();               // index 1
+    a.label("done");       // index 2
+    a.halt();
+    Program p = a.finish();
+    const auto br = decode(p.code[0]);
+    EXPECT_EQ(br->imm, 1);
+}
+
+TEST(Assembler, JumpTargetAbsolute)
+{
+    Asm a("t", 0x2000);
+    a.nop();            // 0x2000
+    a.label("x");       // 0x2004
+    a.nop();
+    a.j("x");           // word target = 0x2004 >> 2
+    Program p = a.finish();
+    const auto jmp = decode(p.code[2]);
+    EXPECT_EQ(jmp->op, Opcode::J);
+    EXPECT_EQ(jmp->target, 0x2004u >> 2);
+}
+
+TEST(Assembler, UndefinedLabelFatal)
+{
+    Asm a("t");
+    a.j("nowhere");
+    EXPECT_THROW(a.finish(), FatalError);
+}
+
+TEST(Assembler, DuplicateLabelFatal)
+{
+    Asm a("t");
+    a.label("x");
+    EXPECT_THROW(a.label("x"), FatalError);
+}
+
+TEST(Assembler, LiSmallUsesOneInstruction)
+{
+    Asm a("t");
+    a.li(r1, 5);
+    a.li(r2, static_cast<u32>(-5));
+    Program p = a.finish();
+    EXPECT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(decode(p.code[0])->op, Opcode::ADDI);
+    EXPECT_EQ(decode(p.code[1])->imm, -5);
+}
+
+TEST(Assembler, LiLargeUsesLuiOri)
+{
+    Asm a("t");
+    a.li(r1, 0xdeadbeef);
+    Program p = a.finish();
+    ASSERT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(decode(p.code[0])->op, Opcode::LUI);
+    EXPECT_EQ(static_cast<u32>(decode(p.code[0])->imm), 0xdeadu);
+    EXPECT_EQ(decode(p.code[1])->op, Opcode::ORI);
+    EXPECT_EQ(static_cast<u32>(decode(p.code[1])->imm), 0xbeefu);
+}
+
+TEST(Assembler, LiAlignedLargeOmitsOri)
+{
+    Asm a("t");
+    a.li(r1, 0xabcd0000);
+    Program p = a.finish();
+    EXPECT_EQ(p.code.size(), 1u);
+    EXPECT_EQ(decode(p.code[0])->op, Opcode::LUI);
+}
+
+TEST(Assembler, FliAllocatesPool)
+{
+    Asm a("t");
+    a.fli(f1, 2.5, r9);
+    a.fli(f2, -1.25, r9);
+    a.halt();
+    Program p = a.finish();
+    ASSERT_EQ(p.data.size(), 1u);
+    EXPECT_EQ(p.data[0].bytes.size(), 16u);
+    // First pool slot decodes back to 2.5.
+    double v = 0;
+    static_assert(sizeof(v) == 8);
+    std::memcpy(&v, p.data[0].bytes.data(), 8);
+    EXPECT_EQ(v, 2.5);
+    std::memcpy(&v, p.data[0].bytes.data() + 8, 8);
+    EXPECT_EQ(v, -1.25);
+}
+
+TEST(Assembler, HereAndLabelAddr)
+{
+    Asm a("t", 0x1000);
+    EXPECT_EQ(a.here(), 0x1000u);
+    a.nop();
+    EXPECT_EQ(a.here(), 0x1004u);
+    a.label("L");
+    a.nop();
+    EXPECT_EQ(a.labelAddr("L"), 0x1004u);
+}
+
+TEST(Assembler, FinishTwicePanics)
+{
+    Asm a("t");
+    a.halt();
+    a.finish();
+    EXPECT_THROW(a.finish(), PanicError);
+}
+
+TEST(Program, AddWordsLittleEndian)
+{
+    Program p;
+    p.addWords(0x100, {0x04030201u});
+    ASSERT_EQ(p.data.size(), 1u);
+    ASSERT_EQ(p.data[0].bytes.size(), 4u);
+    EXPECT_EQ(p.data[0].bytes[0], 0x01);
+    EXPECT_EQ(p.data[0].bytes[3], 0x04);
+}
+
+} // namespace
+} // namespace predbus::isa

@@ -1,0 +1,115 @@
+#include "common/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace predbus
+{
+namespace
+{
+
+TEST(Bitops, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(1), 1);
+    EXPECT_EQ(popcount(0xffffffffu), 32);
+    EXPECT_EQ(popcount(~u64{0}), 64);
+    EXPECT_EQ(popcount(0xa5a5a5a5u), 16);
+}
+
+TEST(Bitops, HammingDistance)
+{
+    EXPECT_EQ(hammingDistance(0, 0), 0);
+    EXPECT_EQ(hammingDistance(0xff, 0x0f), 4);
+    EXPECT_EQ(hammingDistance(0x12345678u, 0x12345678u), 0);
+    EXPECT_EQ(hammingDistance(0, ~u64{0}), 64);
+}
+
+TEST(Bitops, BitAndBits)
+{
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 0), 0u);
+    EXPECT_EQ(bits(0xdeadbeefu, 0, 16), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeefu, 16, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xffffffffffffffffull, 0, 64), 0xffffffffffffffffull);
+}
+
+TEST(Bitops, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 8, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffu, 4, 8, 0), 0xf00fu);
+    // Value wider than field is truncated.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1ff), 0xfu);
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend32(0xffffu, 16), -1);
+    EXPECT_EQ(signExtend32(0x7fffu, 16), 32767);
+}
+
+TEST(Bitops, MaskLow)
+{
+    EXPECT_EQ(maskLow(0), 0u);
+    EXPECT_EQ(maskLow(1), 1u);
+    EXPECT_EQ(maskLow(32), 0xffffffffull);
+    EXPECT_EQ(maskLow(64), ~u64{0});
+}
+
+TEST(Bitops, OneHot)
+{
+    EXPECT_EQ(oneHot(0), 1u);
+    EXPECT_EQ(oneHot(31), 0x80000000ull);
+    EXPECT_TRUE(isOneHotOrZero(0));
+    EXPECT_TRUE(isOneHotOrZero(0x400));
+    EXPECT_FALSE(isOneHotOrZero(3));
+}
+
+TEST(Bitops, CouplingEventsBasics)
+{
+    // Single wire bus: never any coupling.
+    EXPECT_EQ(couplingEvents(0, 1, 1), 0);
+    // Two wires 00 -> 11: both change together, relative state constant.
+    EXPECT_EQ(couplingEvents(0b00, 0b11, 2), 0);
+    // Two wires 00 -> 01: relative state flips -> one coupling event.
+    EXPECT_EQ(couplingEvents(0b00, 0b01, 2), 1);
+    // Two wires 01 -> 10: both toggle in opposite directions.
+    EXPECT_EQ(couplingEvents(0b01, 0b10, 2), 0);
+    // Paper Eq.3 counts changes of (W_n XOR W_{n+1}); 01->10 keeps
+    // the XOR at 1 so no event under this (first-order) model.
+}
+
+TEST(Bitops, CouplingEventsMatchesDirectFormula)
+{
+    // Cross-check the word-parallel implementation against a literal
+    // transcription of Eq. 3 over random bus states.
+    Rng rng(123);
+    for (int iter = 0; iter < 1000; ++iter) {
+        const unsigned wires = 2 + iter % 33;
+        const u64 prev = rng.next64() & maskLow(wires);
+        const u64 cur = rng.next64() & maskLow(wires);
+        int direct = 0;
+        for (unsigned n = 0; n + 1 < wires; ++n) {
+            const int prev_rel =
+                static_cast<int>(bit(prev, n) ^ bit(prev, n + 1));
+            const int cur_rel =
+                static_cast<int>(bit(cur, n) ^ bit(cur, n + 1));
+            direct += (prev_rel != cur_rel) ? 1 : 0;
+        }
+        EXPECT_EQ(couplingEvents(prev, cur, wires), direct);
+    }
+}
+
+TEST(Bitops, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b1, 4), 0b1000u);
+    EXPECT_EQ(reverseBits(0b1011, 4), 0b1101u);
+    EXPECT_EQ(reverseBits(0x1u, 32), 0x80000000u);
+}
+
+} // namespace
+} // namespace predbus

@@ -1,0 +1,159 @@
+#include "sim/bpred.h"
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace predbus::sim
+{
+namespace
+{
+
+TEST(Bpred, InitiallyWeaklyTaken)
+{
+    Bpred b(BpredConfig{});
+    EXPECT_TRUE(b.predict(0x1000, false, false).taken);
+}
+
+TEST(Bpred, LearnsNotTaken)
+{
+    Bpred b(BpredConfig{});
+    for (int i = 0; i < 4; ++i)
+        b.update(0x1000, false, 0, true);
+    EXPECT_FALSE(b.predict(0x1000, false, false).taken);
+}
+
+TEST(Bpred, SaturatesAndRecovers)
+{
+    Bpred b(BpredConfig{});
+    for (int i = 0; i < 10; ++i)
+        b.update(0x1000, true, 0x2000, true);
+    // One not-taken shouldn't flip a saturated counter.
+    b.update(0x1000, false, 0, true);
+    EXPECT_TRUE(b.predict(0x1000, false, false).taken);
+    b.update(0x1000, false, 0, true);
+    b.update(0x1000, false, 0, true);
+    EXPECT_FALSE(b.predict(0x1000, false, false).taken);
+}
+
+TEST(Bpred, BtbProvidesTarget)
+{
+    Bpred b(BpredConfig{});
+    EXPECT_FALSE(b.predict(0x1000, true, false).target_valid);
+    b.update(0x1000, true, 0x4444, false);
+    const Prediction p = b.predict(0x1000, true, false);
+    EXPECT_TRUE(p.target_valid);
+    EXPECT_EQ(p.target, 0x4444u);
+}
+
+TEST(Bpred, BtbTagsDistinguishAliases)
+{
+    BpredConfig cfg;
+    cfg.btb_entries = 16;
+    Bpred b(cfg);
+    b.update(0x1000, true, 0xaaaa, false);
+    // Aliased PC (same index, different tag) must not get that target.
+    const Addr alias = 0x1000 + 16 * 4;
+    EXPECT_FALSE(b.predict(alias, true, false).target_valid);
+}
+
+TEST(Bpred, RasPredictsReturns)
+{
+    Bpred b(BpredConfig{});
+    b.pushReturn(0x5678);
+    const Prediction p = b.predict(0x3000, true, true);
+    EXPECT_TRUE(p.target_valid);
+    EXPECT_EQ(p.target, 0x5678u);
+    // Stack popped: next return with empty RAS has no target.
+    EXPECT_FALSE(b.predict(0x3000, true, true).target_valid);
+}
+
+TEST(Bpred, RasNested)
+{
+    Bpred b(BpredConfig{});
+    b.pushReturn(0x100);
+    b.pushReturn(0x200);
+    EXPECT_EQ(b.predict(0, true, true).target, 0x200u);
+    EXPECT_EQ(b.predict(0, true, true).target, 0x100u);
+}
+
+TEST(Bpred, RasOverflowKeepsNewest)
+{
+    BpredConfig cfg;
+    cfg.ras_entries = 2;
+    Bpred b(cfg);
+    b.pushReturn(0x1);
+    b.pushReturn(0x2);
+    b.pushReturn(0x3);  // drops 0x1
+    EXPECT_EQ(b.predict(0, true, true).target, 0x3u);
+    EXPECT_EQ(b.predict(0, true, true).target, 0x2u);
+    EXPECT_FALSE(b.predict(0, true, true).target_valid);
+}
+
+TEST(Bpred, StatsAccuracy)
+{
+    Bpred b(BpredConfig{});
+    b.predict(0, false, false);
+    b.predict(0, false, false);
+    b.recordOutcome(true, true);
+    b.recordOutcome(false, false);
+    EXPECT_DOUBLE_EQ(b.stats().accuracy(), 0.5);
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    // A strictly alternating branch defeats a bimodal predictor but is
+    // trivial for gshare once the history register captures the phase.
+    BpredConfig bimodal_cfg;
+    BpredConfig gshare_cfg;
+    gshare_cfg.kind = BpredKind::Gshare;
+    gshare_cfg.history_bits = 8;
+
+    auto accuracy = [](Bpred &b) {
+        int correct = 0;
+        const int n = 2000;
+        for (int i = 0; i < n; ++i) {
+            const bool actual = (i % 2) == 0;
+            const Prediction p = b.predict(0x1000, false, false);
+            correct += (p.taken == actual);
+            b.update(0x1000, actual, 0x2000, true);
+        }
+        return static_cast<double>(correct) / n;
+    };
+
+    Bpred bimodal(bimodal_cfg);
+    Bpred gshare(gshare_cfg);
+    const double acc_bimodal = accuracy(bimodal);
+    const double acc_gshare = accuracy(gshare);
+    EXPECT_LT(acc_bimodal, 0.7);   // bimodal dithers
+    EXPECT_GT(acc_gshare, 0.95);   // gshare locks on
+}
+
+TEST(Gshare, LearnsPeriodicPattern)
+{
+    BpredConfig cfg;
+    cfg.kind = BpredKind::Gshare;
+    cfg.history_bits = 10;
+    Bpred b(cfg);
+    // Pattern TTNTTN... period 3.
+    int correct = 0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i) {
+        const bool actual = (i % 3) != 2;
+        const Prediction p = b.predict(0x4000, false, false);
+        correct += (p.taken == actual);
+        b.update(0x4000, actual, 0x5000, true);
+    }
+    EXPECT_GT(static_cast<double>(correct) / n, 0.9);
+}
+
+
+TEST(Bpred, NonPowerOfTwoRejected)
+{
+    BpredConfig cfg;
+    cfg.bimodal_entries = 1000;
+    EXPECT_THROW(Bpred{cfg}, FatalError);
+}
+
+} // namespace
+} // namespace predbus::sim

@@ -1,0 +1,223 @@
+#include "circuit/transcoder_impl.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/netlist_sim.h"
+#include "coding/bus_energy.h"
+#include "coding/factory.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace predbus::circuit
+{
+namespace
+{
+
+/** Typical bus traffic for exercising the op-energy model. */
+std::vector<Word>
+typicalTraffic(std::size_t n, u64 seed)
+{
+    // Roughly the suite mix the Table 2 averages are measured on:
+    // ~10% repeats, ~40% dictionary-resident values, ~50% novel
+    // (about half the suite's register-bus words go raw).
+    Rng rng(seed);
+    std::vector<Word> out;
+    Word cur = 0;
+    std::vector<Word> pool;
+    for (int i = 0; i < 6; ++i)
+        pool.push_back(rng.next32());
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dice = rng.uniform();
+        if (dice < 0.1) {
+            // repeat
+        } else if (dice < 0.5) {
+            cur = pool[rng.below(pool.size())];
+        } else {
+            cur = rng.next32();
+        }
+        out.push_back(cur);
+    }
+    return out;
+}
+
+coding::OpCounts
+windowOps(unsigned entries, std::size_t n, u64 seed)
+{
+    auto codec = coding::makeWindow(entries);
+    const auto traffic = typicalTraffic(n, seed);
+    return coding::evaluate(*codec, traffic, false).ops;
+}
+
+TEST(CircuitTech, ThreeNodes)
+{
+    EXPECT_EQ(allCircuitTechs().size(), 3u);
+    EXPECT_THROW(circuitTech("0.18um"), FatalError);
+    EXPECT_GT(circuit013().unitEnergy(), circuit007().unitEnergy());
+}
+
+TEST(TranscoderImpl, Table2AreaAnchors)
+{
+    // Paper Table 2: 12400 / 7340 / 3600 um^2 for the window-8
+    // encoder; 4700 um^2 for the inversion coder at 0.13um.
+    EXPECT_NEAR(estimate(window8(), circuit013()).area_um2, 12400,
+                12400 * 0.03);
+    EXPECT_NEAR(estimate(window8(), circuit010()).area_um2, 7340,
+                7340 * 0.03);
+    EXPECT_NEAR(estimate(window8(), circuit007()).area_um2, 3600,
+                3600 * 0.03);
+    EXPECT_NEAR(estimate(invertCoder(), circuit013()).area_um2, 4700,
+                4700 * 0.05);
+}
+
+TEST(TranscoderImpl, Table2TimingAnchors)
+{
+    // Delay 3.1 / 2.4 / 2.0 ns; cycle 4 / 3.2 / 2.7 ns (window-8);
+    // inversion 2.2 / 2.2 ns at 0.13um.
+    const ImplEstimate w13 = estimate(window8(), circuit013());
+    const ImplEstimate w10 = estimate(window8(), circuit010());
+    const ImplEstimate w07 = estimate(window8(), circuit007());
+    EXPECT_NEAR(w13.delay, 3.1e-9, 0.15e-9);
+    EXPECT_NEAR(w10.delay, 2.4e-9, 0.15e-9);
+    EXPECT_NEAR(w07.delay, 2.0e-9, 0.15e-9);
+    EXPECT_NEAR(w13.cycle_time, 4.0e-9, 0.25e-9);
+    EXPECT_NEAR(w10.cycle_time, 3.2e-9, 0.25e-9);
+    EXPECT_NEAR(w07.cycle_time, 2.7e-9, 0.25e-9);
+    const ImplEstimate inv = estimate(invertCoder(), circuit013());
+    EXPECT_NEAR(inv.delay, 2.2e-9, 0.15e-9);
+    EXPECT_NEAR(inv.cycle_time, 2.2e-9, 0.15e-9);
+}
+
+TEST(TranscoderImpl, Table2LeakageAnchors)
+{
+    // Leakage per cycle: 0.00088 / 0.00338 / 0.00787 pJ; grows as
+    // technology shrinks even though dynamic energy falls.
+    const double l13 =
+        estimate(window8(), circuit013()).leak_per_cycle;
+    const double l10 =
+        estimate(window8(), circuit010()).leak_per_cycle;
+    const double l07 =
+        estimate(window8(), circuit007()).leak_per_cycle;
+    EXPECT_NEAR(l13, 0.88e-15, 0.12e-15);
+    EXPECT_NEAR(l10, 3.38e-15, 0.4e-15);
+    EXPECT_NEAR(l07, 7.87e-15, 0.9e-15);
+    EXPECT_LT(l13, l10);
+    EXPECT_LT(l10, l07);
+}
+
+TEST(TranscoderImpl, Table2OpEnergyAnchors)
+{
+    // Average op energy on typical traffic: 1.39 / 1.07 / 0.55 pJ for
+    // window-8; 1.76 pJ for the inversion coder at 0.13um. Allow 15%:
+    // the paper's number comes from its own SPEC mix.
+    const coding::OpCounts ops = windowOps(8, 50000, 42);
+    EXPECT_NEAR(estimate(window8(), circuit013()).opEnergyPerCycle(ops),
+                1.39e-12, 0.21e-12);
+    EXPECT_NEAR(estimate(window8(), circuit010()).opEnergyPerCycle(ops),
+                1.07e-12, 0.17e-12);
+    EXPECT_NEAR(estimate(window8(), circuit007()).opEnergyPerCycle(ops),
+                0.55e-12, 0.12e-12);
+
+    auto inv_codec = coding::makeInversion(2, 0.0);
+    const auto traffic = typicalTraffic(50000, 43);
+    const coding::OpCounts inv_ops =
+        coding::evaluate(*inv_codec, traffic, false).ops;
+    EXPECT_NEAR(
+        estimate(invertCoder(), circuit013()).opEnergyPerCycle(inv_ops),
+        1.76e-12, 0.26e-12);
+}
+
+TEST(TranscoderImpl, BiggerDictionariesCostMore)
+{
+    const ImplEstimate w8 = estimate(window8(), circuit013());
+    const ImplEstimate w16 = estimate(window16(), circuit013());
+    EXPECT_GT(w16.area_um2, w8.area_um2);
+    EXPECT_GT(w16.e_match, w8.e_match);
+    EXPECT_GT(w16.delay, w8.delay);
+
+    const ImplEstimate ctx = estimate(context28(), circuit013());
+    EXPECT_GT(ctx.area_um2, w8.area_um2);
+    // Paper §5.3.4: counters+compare add at least ~33% over a
+    // comparable dictionary without them.
+    DesignConfig plain_w = window8();
+    plain_w.entries = 32;
+    EXPECT_GT(ctx.area_um2,
+              estimate(plain_w, circuit013()).area_um2 * 1.05);
+}
+
+TEST(TranscoderImpl, TransitionTagsDoubleCamWidth)
+{
+    DesignConfig v = context28();
+    DesignConfig t = context28();
+    t.kind = DesignKind::ContextTransition;
+    const ImplEstimate ev = estimate(v, circuit013());
+    const ImplEstimate et = estimate(t, circuit013());
+    EXPECT_GT(et.area_um2, ev.area_um2 * 1.4);
+    EXPECT_GT(et.e_match, ev.e_match * 1.4);
+}
+
+TEST(TranscoderImpl, EnergyForComposition)
+{
+    const ImplEstimate impl = estimate(window8(), circuit013());
+    coding::OpCounts ops;
+    ops.cycles = 100;
+    ops.matches = 100;
+    ops.shifts = 40;
+    ops.raw_sends = 40;
+    ops.hits = 50;
+    ops.last_hits = 10;
+    const double enc = impl.energyFor(ops, false);
+    EXPECT_NEAR(enc,
+                100 * impl.e_clock + 100 * impl.e_match +
+                    40 * impl.e_shift + 40 * impl.e_raw +
+                    100 * impl.leak_per_cycle,
+                1e-18);
+    // The decoder mirrors dictionary maintenance but replaces the CAM
+    // search with indexed reads and the raw path with a pass-through.
+    const double dec = 100 * impl.e_clock + 40 * impl.e_shift +
+                       60 * impl.e_dec_read + 40 * impl.e_dec_raw +
+                       100 * impl.leak_per_cycle;
+    EXPECT_NEAR(impl.energyFor(ops, true), enc + dec, 1e-18);
+    EXPECT_LT(impl.energyFor(ops, true), 2 * enc);
+}
+
+TEST(NetlistSim, AgreesWithStatisticalModel)
+{
+    // The paper's statistical model validated within 6% of the
+    // netlist on a short trace; our analytic event accounting must
+    // stay within 35% of the statistical budgets on typical traffic
+    // (they share unit energies but differ in activity assumptions).
+    const auto traffic = typicalTraffic(10000, 44);
+    const NetlistEnergy detailed =
+        detailedWindowEnergy(traffic, 8, circuit013());
+    auto codec = coding::makeWindow(8);
+    const coding::OpCounts ops =
+        coding::evaluate(*codec, traffic, false).ops;
+    const ImplEstimate impl = estimate(window8(), circuit013());
+    const double statistical = impl.energyFor(ops, false) -
+                               static_cast<double>(ops.cycles) *
+                                   impl.leak_per_cycle;
+    ASSERT_GT(detailed.total, 0.0);
+    const double ratio = statistical / detailed.total;
+    EXPECT_GT(ratio, 0.65) << "statistical " << statistical
+                           << " detailed " << detailed.total;
+    EXPECT_LT(ratio, 1.55);
+}
+
+TEST(NetlistSim, ActivityDependence)
+{
+    // A constant stream must cost far less than a random stream of
+    // the same length in the detailed model.
+    std::vector<Word> constant(5000, 0x1234u);
+    Rng rng(45);
+    std::vector<Word> random(5000);
+    for (auto &v : random)
+        v = rng.next32();
+    const NetlistEnergy quiet =
+        detailedWindowEnergy(constant, 8, circuit013());
+    const NetlistEnergy busy =
+        detailedWindowEnergy(random, 8, circuit013());
+    EXPECT_LT(quiet.total, busy.total * 0.6);
+}
+
+} // namespace
+} // namespace predbus::circuit

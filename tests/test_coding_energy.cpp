@@ -1,0 +1,196 @@
+#include "coding/bus_energy.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/factory.h"
+#include "coding/protocol.h"
+#include "common/rng.h"
+
+namespace predbus::coding
+{
+namespace
+{
+
+TEST(BusEnergyMeter, CountsTransitions)
+{
+    BusEnergyMeter m(32);
+    m.observe(0x0);          // first: free
+    m.observe(0xf);          // 4 transitions
+    m.observe(0xf);          // none
+    m.observe(0x0);          // 4 more
+    EXPECT_EQ(m.count().tau, 8u);
+}
+
+TEST(BusEnergyMeter, CountsCoupling)
+{
+    BusEnergyMeter m(2);
+    m.observe(0b00);
+    m.observe(0b01);   // relative state flips: 1 coupling event
+    EXPECT_EQ(m.count().kappa, 1u);
+    m.observe(0b10);   // 01 -> 10: both toggle, XOR stays 1: no event
+    EXPECT_EQ(m.count().kappa, 1u);
+    EXPECT_EQ(m.count().tau, 3u);
+}
+
+TEST(BusEnergyMeter, ResetClears)
+{
+    BusEnergyMeter m(8);
+    m.observe(0);
+    m.observe(0xff);
+    m.reset();
+    EXPECT_EQ(m.count().tau, 0u);
+    m.observe(0xff);
+    EXPECT_EQ(m.count().tau, 0u);  // first observation after reset free
+}
+
+TEST(BusEnergyMeter, WidthMasking)
+{
+    BusEnergyMeter m(4);
+    m.observe(0);
+    m.observe(0xf0);   // outside 4-wire bus: masked away
+    EXPECT_EQ(m.count().tau, 0u);
+}
+
+TEST(EnergyCount, CostWeighting)
+{
+    EnergyCount c{10, 4};
+    EXPECT_DOUBLE_EQ(c.cost(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(c.cost(1.0), 14.0);
+    EXPECT_DOUBLE_EQ(c.cost(0.5), 12.0);
+}
+
+TEST(MeasureUnencoded, MatchesByHand)
+{
+    // 0 -> 0xFFFFFFFF: 32 tau, coupling unchanged (all wires same
+    // direction). -> 0xAAAAAAAA: 16 tau, every adjacent pair's XOR
+    // flips: 31 kappa.
+    const std::vector<Word> values = {0, 0xffffffffu, 0xaaaaaaaau};
+    const EnergyCount c = measureUnencoded(values);
+    EXPECT_EQ(c.tau, 48u);
+    EXPECT_EQ(c.kappa, 31u);
+}
+
+TEST(Protocol, CodeVectorWeights)
+{
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(popcount(codeVector(i)), 1);
+    for (unsigned i = 32; i < 63; ++i)
+        EXPECT_EQ(popcount(codeVector(i)), 2);
+    for (unsigned i = 63; i < kMaxCodePoints; ++i)
+        EXPECT_EQ(popcount(codeVector(i)), 3);
+}
+
+TEST(Protocol, CodeVectorRoundTrip)
+{
+    for (unsigned i = 0; i < kMaxCodePoints; ++i) {
+        const auto back = codeIndex(codeVector(i));
+        ASSERT_TRUE(back.has_value()) << i;
+        EXPECT_EQ(*back, i);
+    }
+}
+
+TEST(Protocol, CodeVectorsDistinct)
+{
+    for (unsigned i = 0; i < kMaxCodePoints; ++i)
+        for (unsigned j = i + 1; j < kMaxCodePoints; ++j)
+            EXPECT_NE(codeVector(i), codeVector(j));
+}
+
+TEST(Protocol, CodeIndexRejectsNonCodes)
+{
+    EXPECT_FALSE(codeIndex(0).has_value());
+    EXPECT_FALSE(codeIndex(0b101).has_value());       // non-adjacent
+    EXPECT_FALSE(codeIndex(0b1111).has_value());      // weight 4
+    EXPECT_FALSE(codeIndex(u64{1} << 33).has_value()); // control wire
+}
+
+TEST(Protocol, InterpretWireStates)
+{
+    using Kind = DecodedCodeword::Kind;
+    // Unchanged state under Code control = LAST value.
+    const u64 prev = withCtl(0xabc, CtlState::Code);
+    auto last = interpret(prev, prev);
+    ASSERT_TRUE(last);
+    EXPECT_EQ(last->kind, Kind::LastValue);
+
+    // A one-hot data flip under Code control names a dictionary index.
+    auto dict = interpret(withCtl(0xabcu ^ (1u << 5), CtlState::Code),
+                          prev);
+    ASSERT_TRUE(dict);
+    EXPECT_EQ(dict->kind, Kind::Dictionary);
+    EXPECT_EQ(dict->index, 5u);
+
+    // Raw control: the data wires are the value.
+    auto raw = interpret(withCtl(0x1234, CtlState::Raw), prev);
+    ASSERT_TRUE(raw);
+    EXPECT_EQ(raw->kind, Kind::Raw);
+    EXPECT_EQ(raw->raw, 0x1234u);
+
+    // RawInv control: the data wires are the inverted value.
+    auto inv = interpret(withCtl(0x0000ffffu, CtlState::RawInv), prev);
+    ASSERT_TRUE(inv);
+    EXPECT_EQ(inv->kind, Kind::RawInverted);
+    EXPECT_EQ(inv->raw, 0xffff0000u);
+
+    // Control state 11 is illegal.
+    EXPECT_FALSE(interpret(kCtlMask | 5u, prev));
+    // Code-kind with a non-code transition vector is illegal.
+    EXPECT_FALSE(interpret(withCtl(0xabcu ^ 0b1010u, CtlState::Code),
+                           prev));
+}
+
+TEST(Protocol, RawRunsCostBaselineOnly)
+{
+    // Control states are absolute: a run of raw words flips the
+    // control wire once, then behaves exactly like the unencoded bus.
+    const std::vector<Word> ramp = [] {
+        std::vector<Word> v;
+        for (u32 i = 0; i < 1000; ++i)
+            v.push_back(0x40000000u + 8 * i);  // high bit defeats dicts
+        return v;
+    }();
+    auto win = makeWindow(2);
+    const CodingResult r = evaluate(*win, ramp, true);
+    // tau overhead over base must be tiny (one control flip + at most
+    // a handful of raw/rawinv toggles).
+    EXPECT_LE(r.coded.tau, r.base.tau + 40);
+}
+
+TEST(Evaluate, RawBusMatchesMeasureUnencoded)
+{
+    Rng rng(5);
+    std::vector<Word> values;
+    for (int i = 0; i < 5000; ++i)
+        values.push_back(rng.next32());
+    auto raw = makeRaw();
+    const CodingResult r = evaluate(*raw, values, true);
+    const EnergyCount direct = measureUnencoded(values);
+    EXPECT_EQ(r.base.tau, direct.tau);
+    EXPECT_EQ(r.coded.tau, direct.tau);
+    EXPECT_EQ(r.coded.kappa, direct.kappa);
+    EXPECT_DOUBLE_EQ(r.removedFraction(1.0), 0.0);
+}
+
+TEST(Evaluate, RemovedFractionSignsMakeSense)
+{
+    // Blocks of two repeated values: the unencoded bus pays 32 flips
+    // per block boundary, the window codes each boundary as a single
+    // wire flip once both values are resident.
+    std::vector<Word> values;
+    for (int block = 0; block < 20; ++block)
+        for (int i = 0; i < 50; ++i)
+            values.push_back(block % 2 ? 0xffffffffu : 0u);
+    auto win = makeWindow(8);
+    const CodingResult r = evaluate(*win, values, true);
+    EXPECT_GT(r.removedFraction(1.0), 0.9);
+
+    // A constant trace has zero base energy; removedFraction must
+    // report 0 rather than dividing by zero.
+    std::vector<Word> constant(100, 7u);
+    auto win2 = makeWindow(8);
+    const CodingResult r2 = evaluate(*win2, constant, true);
+    EXPECT_DOUBLE_EQ(r2.removedFraction(1.0), 0.0);
+}
+
+} // namespace
+} // namespace predbus::coding

@@ -1,0 +1,283 @@
+#include "isa/isa.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace predbus::isa
+{
+namespace
+{
+
+Instruction
+makeR(Opcode op, u8 rd, u8 rs, u8 rt, u8 shamt = 0)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.rt = rt;
+    i.shamt = shamt;
+    return i;
+}
+
+Instruction
+makeI(Opcode op, u8 rt, u8 rs, s32 imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rt = rt;
+    i.rs = rs;
+    i.imm = imm;
+    return i;
+}
+
+TEST(IsaEncoding, RtypeRoundTrip)
+{
+    for (Opcode op : {Opcode::ADD, Opcode::SUB, Opcode::MUL, Opcode::DIV,
+                      Opcode::REM, Opcode::AND, Opcode::OR, Opcode::XOR,
+                      Opcode::NOR, Opcode::SLT, Opcode::SLTU}) {
+        const Instruction in = makeR(op, 3, 1, 2);
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, in);
+    }
+}
+
+TEST(IsaEncoding, ShiftRoundTrip)
+{
+    for (unsigned sh : {0u, 1u, 15u, 31u}) {
+        const Instruction in =
+            makeR(Opcode::SLL, 5, 0, 7, static_cast<u8>(sh));
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, in);
+    }
+}
+
+TEST(IsaEncoding, ItypeSignedImmediates)
+{
+    for (s32 imm : {0, 1, -1, 32767, -32768, 100, -12345}) {
+        const Instruction in = makeI(Opcode::ADDI, 4, 2, imm);
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->imm, imm) << "imm=" << imm;
+        EXPECT_EQ(*out, in);
+    }
+}
+
+TEST(IsaEncoding, ItypeZeroExtendedImmediates)
+{
+    for (u32 imm : {0u, 1u, 0x8000u, 0xffffu}) {
+        const Instruction in =
+            makeI(Opcode::ORI, 4, 2, static_cast<s32>(imm));
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(static_cast<u32>(out->imm), imm);
+    }
+}
+
+TEST(IsaEncoding, LoadsStoresRoundTrip)
+{
+    for (Opcode op : {Opcode::LB, Opcode::LBU, Opcode::LH, Opcode::LHU,
+                      Opcode::LW, Opcode::SB, Opcode::SH, Opcode::SW,
+                      Opcode::FLD, Opcode::FSD}) {
+        const Instruction in = makeI(op, 9, 10, -64);
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, in);
+    }
+}
+
+TEST(IsaEncoding, BranchesRoundTrip)
+{
+    for (Opcode op : {Opcode::BEQ, Opcode::BNE}) {
+        const Instruction in = makeI(op, 2, 1, -5);
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, in);
+    }
+    for (Opcode op : {Opcode::BLEZ, Opcode::BGTZ, Opcode::BLTZ,
+                      Opcode::BGEZ}) {
+        Instruction in = makeI(op, 0, 6, 12);
+        // REGIMM encodings reuse rt as a selector; decoder must still
+        // yield rt as written here (0 for BLEZ/BGTZ).
+        if (op == Opcode::BGEZ || op == Opcode::BLTZ)
+            in.rt = 0;
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->op, op);
+        EXPECT_EQ(out->rs, 6);
+        EXPECT_EQ(out->imm, 12);
+    }
+}
+
+TEST(IsaEncoding, JumpsRoundTrip)
+{
+    for (Opcode op : {Opcode::J, Opcode::JAL}) {
+        Instruction in;
+        in.op = op;
+        in.target = 0x123456;
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->op, op);
+        EXPECT_EQ(out->target, 0x123456u);
+    }
+}
+
+TEST(IsaEncoding, FpRoundTrip)
+{
+    for (Opcode op : {Opcode::FADD, Opcode::FSUB, Opcode::FMUL,
+                      Opcode::FDIV, Opcode::FSQRT, Opcode::FABS,
+                      Opcode::FNEG, Opcode::FMOV, Opcode::CVTIF,
+                      Opcode::CVTFI, Opcode::FCLT, Opcode::FCLE,
+                      Opcode::FCEQ, Opcode::FMIN, Opcode::FMAX}) {
+        const Instruction in = makeR(op, 11, 12, 13);
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, in);
+    }
+}
+
+TEST(IsaEncoding, HarnessOpsRoundTrip)
+{
+    const Instruction halt = makeR(Opcode::HALT, 0, 0, 0);
+    const Instruction out_insn = makeR(Opcode::OUT, 0, 14, 0);
+    EXPECT_EQ(*decode(encode(halt)), halt);
+    EXPECT_EQ(*decode(encode(out_insn)), out_insn);
+}
+
+TEST(IsaEncoding, IllegalWordsRejected)
+{
+    // Unknown primary opcode.
+    EXPECT_FALSE(decode(u32{63} << 26).has_value());
+    // Unknown R-type funct.
+    EXPECT_FALSE(decode(u32{1} << 0 | 63).has_value());
+    // Unknown REGIMM selector.
+    EXPECT_FALSE(decode((u32{1} << 26) | (u32{5} << 16)).has_value());
+}
+
+TEST(IsaEncoding, DistinctOpcodesEncodeDistinctly)
+{
+    // Every opcode with fixed register fields must produce a unique
+    // machine word (injective encoding).
+    std::vector<u32> words;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+        Instruction in;
+        in.op = static_cast<Opcode>(i);
+        in.rs = 1;
+        in.rt = 2;
+        in.rd = 3;
+        in.shamt = 0;
+        in.imm = 4;
+        in.target = 4;
+        // REGIMM encodes the condition in rt; keep rt legal.
+        if (in.op == Opcode::BLTZ || in.op == Opcode::BGEZ)
+            in.rt = 0;
+        words.push_back(encode(in));
+    }
+    for (std::size_t i = 0; i < words.size(); ++i)
+        for (std::size_t j = i + 1; j < words.size(); ++j)
+            EXPECT_NE(words[i], words[j]) << i << " vs " << j;
+}
+
+TEST(IsaEncoding, RandomWordsEitherRejectOrRoundTrip)
+{
+    Rng rng(77);
+    for (int i = 0; i < 20000; ++i) {
+        const u32 word = rng.next32();
+        const auto inst = decode(word);
+        if (!inst.has_value())
+            continue;
+        // decode is not injective over raw words (don't-care fields),
+        // but encode(decode(w)) must itself be decodable to the same
+        // instruction (canonical round-trip).
+        const auto again = decode(encode(*inst));
+        ASSERT_TRUE(again.has_value());
+        EXPECT_EQ(*again, *inst);
+    }
+}
+
+TEST(IsaInfo, OpInfoConsistency)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+        const Opcode op = static_cast<Opcode>(i);
+        const OpInfo &info = opInfo(op);
+        ASSERT_NE(info.mnemonic, nullptr);
+        EXPECT_GT(info.latency, 0) << info.mnemonic;
+        EXPECT_FALSE(info.is_load && info.is_store) << info.mnemonic;
+        if (info.is_load) {
+            EXPECT_EQ(info.fu, FuClass::MemRead) << info.mnemonic;
+        }
+        if (info.is_store) {
+            EXPECT_EQ(info.fu, FuClass::MemWrite) << info.mnemonic;
+        }
+    }
+}
+
+TEST(IsaInfo, DestsAndSources)
+{
+    const Instruction add = makeR(Opcode::ADD, 3, 1, 2);
+    EXPECT_EQ(intDest(add), u8{3});
+    EXPECT_FALSE(fpDest(add).has_value());
+    const SourceRegs s = sources(add);
+    EXPECT_EQ(s.int0, u8{1});
+    EXPECT_EQ(s.int1, u8{2});
+    EXPECT_FALSE(s.fp0.has_value());
+
+    // Writes to r0 are discarded: no destination.
+    const Instruction addz = makeR(Opcode::ADD, 0, 1, 2);
+    EXPECT_FALSE(intDest(addz).has_value());
+
+    // r0 sources never create dependencies.
+    const Instruction addi0 = makeI(Opcode::ADDI, 5, 0, 1);
+    EXPECT_FALSE(sources(addi0).int0.has_value());
+
+    const Instruction fadd = makeR(Opcode::FADD, 4, 5, 6);
+    EXPECT_EQ(fpDest(fadd), u8{4});
+    EXPECT_FALSE(intDest(fadd).has_value());
+    const SourceRegs fs = sources(fadd);
+    EXPECT_EQ(fs.fp0, u8{5});
+    EXPECT_EQ(fs.fp1, u8{6});
+
+    // FP f0 is a real register (unlike r0).
+    const Instruction fadd0 = makeR(Opcode::FADD, 0, 0, 0);
+    EXPECT_EQ(fpDest(fadd0), u8{0});
+    EXPECT_EQ(sources(fadd0).fp0, u8{0});
+
+    const Instruction jal = makeI(Opcode::JAL, 0, 0, 0);
+    EXPECT_EQ(intDest(jal), u8{31});
+
+    const Instruction sw = makeI(Opcode::SW, 7, 8, 4);
+    EXPECT_FALSE(intDest(sw).has_value());
+    const SourceRegs ss = sources(sw);
+    EXPECT_EQ(ss.int0, u8{8});
+    EXPECT_EQ(ss.int1, u8{7});
+
+    const Instruction fsd = makeI(Opcode::FSD, 9, 10, 8);
+    const SourceRegs fss = sources(fsd);
+    EXPECT_EQ(fss.int0, u8{10});
+    EXPECT_EQ(fss.fp0, u8{9});
+}
+
+TEST(IsaDisasm, Spotchecks)
+{
+    EXPECT_EQ(disassemble(makeR(Opcode::ADD, 3, 1, 2)), "add r3, r1, r2");
+    EXPECT_EQ(disassemble(makeI(Opcode::ADDI, 4, 2, -7)),
+              "addi r4, r2, -7");
+    EXPECT_EQ(disassemble(makeI(Opcode::LW, 5, 6, 16)), "lw r5, 16(r6)");
+    EXPECT_EQ(disassemble(makeR(Opcode::FADD, 1, 2, 3)),
+              "fadd f1, f2, f3");
+    EXPECT_EQ(disassemble(makeI(Opcode::FLD, 2, 7, -8)),
+              "fld f2, -8(r7)");
+    EXPECT_EQ(disassemble(makeR(Opcode::HALT, 0, 0, 0)), "halt");
+    EXPECT_EQ(disassemble(makeR(Opcode::SLL, 1, 0, 1, 4)),
+              "sll r1, r1, 4");
+}
+
+} // namespace
+} // namespace predbus::isa

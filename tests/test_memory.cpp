@@ -1,0 +1,87 @@
+#include "sim/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+
+namespace predbus::sim
+{
+namespace
+{
+
+TEST(Memory, DefaultZero)
+{
+    Memory m;
+    EXPECT_EQ(m.read8(0), 0);
+    EXPECT_EQ(m.read32(0x12345678), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(Memory, ByteRoundTrip)
+{
+    Memory m;
+    m.write8(100, 0xab);
+    EXPECT_EQ(m.read8(100), 0xab);
+    EXPECT_EQ(m.read8(101), 0);
+}
+
+TEST(Memory, WordLittleEndian)
+{
+    Memory m;
+    m.write32(0x1000, 0x04030201);
+    EXPECT_EQ(m.read8(0x1000), 0x01);
+    EXPECT_EQ(m.read8(0x1001), 0x02);
+    EXPECT_EQ(m.read8(0x1002), 0x03);
+    EXPECT_EQ(m.read8(0x1003), 0x04);
+    EXPECT_EQ(m.read16(0x1000), 0x0201);
+    EXPECT_EQ(m.read16(0x1002), 0x0403);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory m;
+    const Addr boundary = Memory::kPageSize - 2;
+    m.write32(boundary, 0xdeadbeef);
+    EXPECT_EQ(m.read32(boundary), 0xdeadbeefu);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(Memory, Word64AndDouble)
+{
+    Memory m;
+    m.write64(0x2000, 0x1122334455667788ull);
+    EXPECT_EQ(m.read64(0x2000), 0x1122334455667788ull);
+    EXPECT_EQ(m.read32(0x2000), 0x55667788u);
+    EXPECT_EQ(m.read32(0x2004), 0x11223344u);
+
+    m.writeDouble(0x3000, 3.14159);
+    EXPECT_EQ(m.readDouble(0x3000), 3.14159);
+}
+
+TEST(Memory, HighAddresses)
+{
+    Memory m;
+    m.write32(0xfffffff0u, 42);
+    EXPECT_EQ(m.read32(0xfffffff0u), 42u);
+}
+
+TEST(Memory, LoadProgram)
+{
+    using namespace isa;
+    using namespace isa::regs;
+    Asm a("t", 0x1000);
+    a.addi(r1, r0, 7);
+    a.halt();
+    Program p = a.finish();
+    p.addWords(0x100000, {11, 22});
+
+    Memory m;
+    m.load(p);
+    EXPECT_EQ(m.read32(0x1000), p.code[0]);
+    EXPECT_EQ(m.read32(0x1004), p.code[1]);
+    EXPECT_EQ(m.read32(0x100000), 11u);
+    EXPECT_EQ(m.read32(0x100004), 22u);
+}
+
+} // namespace
+} // namespace predbus::sim

@@ -1,0 +1,59 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace predbus
+{
+namespace
+{
+
+TEST(Table, BuildsCells)
+{
+    Table t({"a", "b", "c"});
+    t.row().cell("x").cell(7ll).cell(1.5, 2);
+    ASSERT_EQ(t.rowCount(), 1u);
+    EXPECT_EQ(t.at(0, 0), "x");
+    EXPECT_EQ(t.at(0, 1), "7");
+    EXPECT_EQ(t.at(0, 2), "1.50");
+}
+
+TEST(Table, CellBeforeRowThrows)
+{
+    Table t({"a"});
+    EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(Table, PrintAligned)
+{
+    Table t({"name", "v"});
+    t.row().cell("long_name").cell(1ll);
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("long_name"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, PrintCsv)
+{
+    Table t({"x", "y"});
+    t.row().cell(1ll).cell(2ll);
+    t.row().cell(3ll).cell(4ll);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, WantCsv)
+{
+    const char *argv1[] = {"prog", "--csv"};
+    const char *argv2[] = {"prog"};
+    EXPECT_TRUE(wantCsv(2, const_cast<char **>(argv1)));
+    EXPECT_FALSE(wantCsv(1, const_cast<char **>(argv2)));
+}
+
+} // namespace
+} // namespace predbus

@@ -1,0 +1,170 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+
+namespace predbus::trace
+{
+namespace
+{
+
+TEST(ValueTrace, PostAndIterate)
+{
+    ValueTrace t;
+    t.post(1, 10);
+    t.post(2, 20);
+    t.finalize();
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].value, 10u);
+    EXPECT_EQ(t[1].cycle, 2u);
+    EXPECT_EQ(t.values(), (std::vector<Word>{10, 20}));
+}
+
+TEST(ValueTrace, FinalizeSortsStably)
+{
+    ValueTrace t;
+    t.post(5, 1);
+    t.post(3, 2);
+    t.post(5, 3);   // same cycle as first: must stay after it? no —
+                    // first posting at cycle 5 came before, stable sort
+                    // keeps (5,1) before (5,3).
+    t.post(4, 4);
+    t.finalize();
+    EXPECT_EQ(t[0].cycle, 3u);
+    EXPECT_EQ(t[1].cycle, 4u);
+    EXPECT_EQ(t[2].value, 1u);
+    EXPECT_EQ(t[3].value, 3u);
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    ValueTrace t;
+    for (u32 i = 0; i < 1000; ++i)
+        t.post(i * 3, i * 0x01010101u);
+    t.finalize();
+    const std::string path = "/tmp/predbus_test_trace.pbtr";
+    saveTrace(path, t);
+    const auto loaded = loadTrace(path);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE((*loaded)[i] == t[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReturnsNullopt)
+{
+    EXPECT_FALSE(loadTrace("/tmp/predbus_no_such_file.pbtr").has_value());
+}
+
+TEST(TraceIo, CorruptFileRejected)
+{
+    const std::string path = "/tmp/predbus_corrupt.pbtr";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a trace", f);
+    std::fclose(f);
+    EXPECT_FALSE(loadTrace(path).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFileRejected)
+{
+    ValueTrace t;
+    t.post(1, 2);
+    t.post(3, 4);
+    const std::string path = "/tmp/predbus_trunc.pbtr";
+    saveTrace(path, t);
+    // Truncate to 20 bytes (header + partial record).
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(ftruncate(fileno(f), 20), 0);
+    std::fclose(f);
+    EXPECT_FALSE(loadTrace(path).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, BusNames)
+{
+    EXPECT_STREQ(busName(BusKind::Register), "register");
+    EXPECT_STREQ(busName(BusKind::Memory), "memory");
+}
+
+TEST(TraceStats, UniqueValueCdf)
+{
+    // 6x A, 3x B, 1x C.
+    std::vector<Word> v;
+    for (int i = 0; i < 6; ++i) v.push_back(0xA);
+    for (int i = 0; i < 3; ++i) v.push_back(0xB);
+    v.push_back(0xC);
+    const auto cdf = uniqueValueCdf(v);
+    ASSERT_EQ(cdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(cdf[0], 0.6);
+    EXPECT_DOUBLE_EQ(cdf[1], 0.9);
+    EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(TraceStats, CdfEmptyTrace)
+{
+    EXPECT_TRUE(uniqueValueCdf({}).empty());
+}
+
+TEST(TraceStats, CdfMonotonic)
+{
+    std::vector<Word> v;
+    for (u32 i = 0; i < 1000; ++i)
+        v.push_back(i % 37);
+    const auto cdf = uniqueValueCdf(v);
+    for (std::size_t i = 1; i < cdf.size(); ++i)
+        EXPECT_GE(cdf[i], cdf[i - 1]);
+    EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(TraceStats, WindowUniqueAllSame)
+{
+    std::vector<Word> v(100, 42);
+    EXPECT_DOUBLE_EQ(windowUniqueFraction(v, 10), 0.1);
+}
+
+TEST(TraceStats, WindowUniqueAllDistinct)
+{
+    std::vector<Word> v;
+    for (u32 i = 0; i < 100; ++i)
+        v.push_back(i);
+    EXPECT_DOUBLE_EQ(windowUniqueFraction(v, 10), 1.0);
+}
+
+TEST(TraceStats, WindowUniqueDecreasingInWindowSize)
+{
+    // A trace with a small working set: bigger windows see
+    // proportionally fewer unique values.
+    std::vector<Word> v;
+    for (u32 i = 0; i < 4096; ++i)
+        v.push_back(i % 16);
+    EXPECT_GT(windowUniqueFraction(v, 8),
+              windowUniqueFraction(v, 64));
+    EXPECT_GT(windowUniqueFraction(v, 64),
+              windowUniqueFraction(v, 1024));
+}
+
+TEST(TraceStats, WindowEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(windowUniqueFraction({1, 2, 3}, 0), 0.0);
+    EXPECT_DOUBLE_EQ(windowUniqueFraction({1, 2, 3}, 10), 0.0);
+}
+
+TEST(TraceStats, UniqueValueCount)
+{
+    EXPECT_EQ(uniqueValueCount({}), 0u);
+    EXPECT_EQ(uniqueValueCount({1, 1, 2, 3, 3, 3}), 3u);
+}
+
+} // namespace
+} // namespace predbus::trace

@@ -1,0 +1,477 @@
+/**
+ * Behavior tests for every coding scheme: round-trip correctness over
+ * adversarial and random streams, energy properties the paper relies
+ * on (LAST-value costs nothing, dictionary hits cost one wire flip),
+ * and the context sorting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coding/bus_energy.h"
+#include "coding/context.h"
+#include "coding/factory.h"
+#include "coding/inversion.h"
+#include "coding/protocol.h"
+#include "coding/spatial.h"
+#include "coding/stride.h"
+#include "coding/window.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace predbus::coding
+{
+namespace
+{
+
+std::vector<Word>
+randomStream(std::size_t n, u64 seed, u32 working_set = 0)
+{
+    Rng rng(seed);
+    std::vector<Word> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (working_set)
+            out.push_back(static_cast<Word>(rng.below(working_set)) *
+                          0x9e3779b9u);
+        else
+            out.push_back(rng.next32());
+    }
+    return out;
+}
+
+void
+expectRoundTrip(Transcoder &codec, const std::vector<Word> &values)
+{
+    // evaluate() with verify_decode panics on any mismatch.
+    EXPECT_NO_THROW(evaluate(codec, values, true)) << codec.name();
+}
+
+TEST(Window, RoundTripRandom)
+{
+    auto w = makeWindow(8);
+    expectRoundTrip(*w, randomStream(20000, 1));
+}
+
+TEST(Window, RoundTripSmallWorkingSet)
+{
+    auto w = makeWindow(8);
+    expectRoundTrip(*w, randomStream(20000, 2, 6));
+}
+
+TEST(Window, RepeatCodesAreFree)
+{
+    auto w = makeWindow(8);
+    std::vector<Word> values(500, 0x12345678u);
+    const CodingResult r = evaluate(*w, values, true);
+    // The first word raw-installs the value; the meter's initial
+    // state is that first wire state (matching the unencoded meter's
+    // convention), so the 499 LAST-value repeats cost nothing at all.
+    EXPECT_EQ(r.coded.tau, 0u);
+    EXPECT_EQ(r.coded.kappa, 0u);
+    EXPECT_EQ(r.ops.last_hits, 499u);
+    EXPECT_EQ(r.ops.raw_sends, 1u);
+}
+
+TEST(Window, DictionaryHitCostsOneFlip)
+{
+    auto w = makeWindow(8);
+    // Alternate between two values: after both are resident, each
+    // change is a dictionary hit = 1 wire flip (plus coupling).
+    std::vector<Word> warm = {1, 2, 1, 2};
+    std::vector<Word> values;
+    for (int i = 0; i < 100; ++i)
+        values.push_back(i % 2 ? 2 : 1);
+    const CodingResult r = evaluate(*w, values, true);
+    // 2 raw sends to install, then 98 one-flip hits (at most; coupling
+    // varies).
+    EXPECT_EQ(r.ops.raw_sends, 2u);
+    EXPECT_EQ(r.ops.hits + r.ops.last_hits, 98u);
+    EXPECT_LE(r.coded.tau,
+              2u * 33u + 98u);  // raws bounded by 33 flips each
+}
+
+TEST(Window, EvictsOldestUniqueValue)
+{
+    WindowDict d(4);
+    OpCounts ops;
+    for (Word v : {1, 2, 3, 4})
+        d.access(v, &ops);
+    EXPECT_TRUE(d.contains(1));
+    d.access(5, &ops);  // evicts 1 (oldest)
+    EXPECT_FALSE(d.contains(1));
+    EXPECT_TRUE(d.contains(2));
+    // Hitting 2 does not reorder; inserting 6 evicts 2.
+    d.access(2, &ops);
+    d.access(6, &ops);
+    EXPECT_FALSE(d.contains(2));
+    EXPECT_TRUE(d.contains(3));
+}
+
+TEST(Window, OpCountsPlausible)
+{
+    auto w = makeWindow(8);
+    const auto values = randomStream(1000, 3, 100);
+    const CodingResult r = evaluate(*w, values, false);
+    EXPECT_EQ(r.ops.cycles, 1000u);
+    EXPECT_EQ(r.ops.matches, 1000u);
+    EXPECT_EQ(r.ops.hits + r.ops.last_hits + r.ops.raw_sends, 1000u);
+    EXPECT_EQ(r.ops.shifts, r.ops.raw_sends);
+}
+
+TEST(Window, BadSizesRejected)
+{
+    EXPECT_THROW(makeWindow(0), FatalError);
+    EXPECT_THROW(makeWindow(94), FatalError);
+}
+
+TEST(ContextValue, RoundTripRandom)
+{
+    auto c = makeContext(ContextConfig{});
+    expectRoundTrip(*c, randomStream(20000, 4));
+}
+
+TEST(ContextValue, RoundTripSkewed)
+{
+    auto c = makeContext(ContextConfig{});
+    expectRoundTrip(*c, randomStream(30000, 5, 40));
+}
+
+TEST(ContextTransition, RoundTrip)
+{
+    ContextConfig cfg;
+    cfg.transition_based = true;
+    auto c = makeContext(cfg);
+    expectRoundTrip(*c, randomStream(30000, 6, 40));
+}
+
+TEST(ContextValue, InvariantsHoldUnderLoad)
+{
+    ContextConfig cfg;
+    cfg.table_size = 12;
+    cfg.sr_size = 4;
+    cfg.divide_period = 256;
+    ContextDict d(cfg);
+    Rng rng(7);
+    OpCounts ops;
+    for (int i = 0; i < 50000; ++i) {
+        d.access(static_cast<Word>(rng.below(30)), &ops);
+        ASSERT_TRUE(d.sortedByCount()) << "at access " << i;
+    }
+    // Invariant 1: unique tags among valid entries.
+    for (unsigned i = 0; i < d.validCount(); ++i)
+        for (unsigned j = i + 1; j < d.validCount(); ++j)
+            EXPECT_NE(d.tableKey(i), d.tableKey(j));
+    EXPECT_GT(ops.swaps, 0u);
+    EXPECT_GT(ops.counter_incs, 0u);
+    EXPECT_GT(ops.divisions, 100u);
+}
+
+TEST(ContextValue, PendingBitWorkedExample)
+{
+    // Paper Fig 27: table (top to bottom) 0xFFEE:9, 0x1122:8,
+    // 0x5438:7, 0x9988:6, 0x3344:6, 0x7788:6. A hit on 0x7788 sets
+    // its pending bit; over successive cycles it swaps past the two
+    // equal-count entries above it and only then increments, ending
+    // with counter 7 directly below 0x5438.
+    ContextConfig cfg;
+    cfg.table_size = 6;
+    cfg.sr_size = 1;
+    cfg.divide_period = 0;
+    ContextDict d(cfg);
+
+    // Install the 6 entries with the example's counts. Each value
+    // first passes through the SR (count accumulates there), then is
+    // promoted when displaced. We instead build the exact state by
+    // feeding values with hit counts shaping the same order, then
+    // assert the algorithm's *step behavior* on an equal-count run,
+    // which is the property Fig 27 demonstrates.
+    const Word vals[] = {0xFFEE, 0x1122, 0x5438, 0x9988, 0x3344,
+                         0x7788};
+    OpCounts ops;
+    // Install all six: each new value displaces the previous one out
+    // of the 1-entry SR, promoting it into the table; a trailing
+    // noise value flushes the last one.
+    for (Word v : vals)
+        d.access(v, &ops);
+    d.access(0xAAAA, &ops);
+    ASSERT_EQ(d.validCount(), 6u);
+    ASSERT_TRUE(d.sortedByCount());
+
+    // Now create an equal-count plateau and hit the bottom entry.
+    // Find the bottom entry's key and hit it repeatedly: each hit can
+    // bubble it at most one position per cycle, and counts stay
+    // sorted throughout (Invariant 2) — the heart of §5.3.1.
+    const u64 bottom = d.tableKey(5);
+    for (int i = 0; i < 40; ++i) {
+        d.access(static_cast<Word>(bottom), &ops);
+        ASSERT_TRUE(d.sortedByCount()) << i;
+    }
+    // The hit entry must now rank strictly above at least one of the
+    // formerly-equal entries.
+    unsigned pos = 99;
+    for (unsigned i = 0; i < 6; ++i)
+        if (d.tableKey(i) == bottom)
+            pos = i;
+    EXPECT_LT(pos, 5u);
+    EXPECT_GT(ops.swaps, 0u);
+}
+
+TEST(ContextValue, CounterDivisionAdapts)
+{
+    // With division, a stale hot value decays and a new phase's value
+    // overtakes it; without division the stale value stays on top.
+    auto run = [](u32 divide_period) {
+        ContextConfig cfg;
+        cfg.table_size = 4;
+        cfg.sr_size = 2;
+        cfg.divide_period = divide_period;
+        ContextDict d(cfg);
+        OpCounts ops;
+        // Values only enter the table when displaced from the SR, so
+        // interleave a stream of one-shot noise values to keep the SR
+        // churning (as real traffic does).
+        for (u32 i = 0; i < 3000; ++i) {
+            d.access(111, &ops);
+            d.access(5000 + i % 64, &ops);
+        }
+        for (u32 i = 0; i < 1500; ++i) {
+            d.access(222, &ops);
+            d.access(9000 + i % 64, &ops);
+        }
+        return d.tableKey(0);
+    };
+    EXPECT_EQ(run(0), 111u);      // no division: stale winner sticks
+    EXPECT_EQ(run(256), 222u);    // division: adapts to the new phase
+}
+
+TEST(ContextValue, BadConfigRejected)
+{
+    ContextConfig bad;
+    bad.table_size = 1;
+    EXPECT_THROW(ContextDict{bad}, FatalError);
+    bad.table_size = 90;
+    bad.sr_size = 8;
+    EXPECT_THROW(ContextDict{bad}, FatalError);
+}
+
+TEST(Stride, RoundTripRandom)
+{
+    auto s = makeStride(8);
+    expectRoundTrip(*s, randomStream(20000, 8));
+}
+
+TEST(Stride, PerfectStrideCodesCheaply)
+{
+    auto s = makeStride(4);
+    std::vector<Word> values;
+    for (u32 i = 0; i < 1000; ++i)
+        values.push_back(0x1000 + 4 * i);  // constant stride 4
+    const CodingResult r = evaluate(*s, values, true);
+    // After warmup the stride-1 predictor hits every word.
+    EXPECT_GT(r.ops.hits, 990u);
+    EXPECT_LT(r.ops.raw_sends, 5u);
+    // Each hit flips one wire (tau 1, kappa 1): about half the cost
+    // of the unencoded counter-like stream (tau ~2, kappa ~2).
+    EXPECT_GT(r.removedFraction(1.0), 0.4);
+}
+
+TEST(Stride, InterleavedStreamsNeedHigherStrides)
+{
+    // Two interleaved arithmetic sequences: stride-2 predicts both,
+    // stride-1 sees garbage.
+    std::vector<Word> values;
+    for (u32 i = 0; i < 1000; ++i)
+        values.push_back(i % 2 ? 0x9000 + 8 * (i / 2)
+                               : 0x100 + 4 * (i / 2));
+    auto s1 = makeStride(1);
+    auto s2 = makeStride(2);
+    const CodingResult r1 = evaluate(*s1, values, true);
+    const CodingResult r2 = evaluate(*s2, values, true);
+    EXPECT_GT(r2.ops.hits, r1.ops.hits + 800);
+    EXPECT_GT(r2.removedFraction(1.0), r1.removedFraction(1.0));
+}
+
+TEST(Stride, RepeatIsCodeZero)
+{
+    auto s = makeStride(4);
+    std::vector<Word> values(200, 7u);
+    const CodingResult r = evaluate(*s, values, true);
+    EXPECT_EQ(r.ops.last_hits, 199u);
+}
+
+TEST(Inversion, RoundTrip)
+{
+    for (unsigned n : {2u, 4u, 16u, 64u}) {
+        InversionCoder coder(n, 1.0);
+        expectRoundTrip(coder, randomStream(10000, 9 + n));
+    }
+}
+
+TEST(Inversion, NeverWorseThanRawOnTau)
+{
+    // With the identity pattern always available and lambda=0
+    // selection, coded tau on the data wires can't exceed the raw
+    // transition count by more than the signal-bit overhead.
+    auto values = randomStream(5000, 10);
+    InversionCoder coder(2, 0.0);
+    const CodingResult r = evaluate(coder, values, true);
+    EXPECT_LE(r.coded.tau, r.base.tau + 5000u);
+    // And it must actually help on average vs. plain transmission.
+    EXPECT_LT(r.coded.tau, r.base.tau);
+}
+
+TEST(Inversion, ClassicBusInvertBoundsRowWeight)
+{
+    // With patterns {0, ~0} chosen on tau alone, each word flips at
+    // most 16 data wires (+1 signal wire).
+    InversionCoder coder(2, 0.0);
+    coder.reset();
+    Rng rng(11);
+    u64 prev = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const u64 state = coder.encode(rng.next32());
+        EXPECT_LE(hammingDistance(prev & kDataMask, state & kDataMask),
+                  16);
+        prev = state;
+    }
+}
+
+TEST(Inversion, MorePatternsRemoveMoreTau)
+{
+    auto values = randomStream(20000, 12);
+    InversionCoder c2(2, 0.0), c16(16, 0.0);
+    const CodingResult r2 = evaluate(c2, values, false);
+    const CodingResult r16 = evaluate(c16, values, false);
+    EXPECT_LT(r16.coded.tau, r2.coded.tau);
+}
+
+TEST(Inversion, BadPatternCountsRejected)
+{
+    EXPECT_THROW(InversionCoder(1, 0.0), FatalError);
+    EXPECT_THROW(InversionCoder(3, 0.0), FatalError);
+    EXPECT_THROW(InversionCoder(128, 0.0), FatalError);
+}
+
+TEST(Spatial, RoundTrip)
+{
+    SpatialCoder coder(8);
+    std::vector<Word> values;
+    Rng rng(13);
+    for (int i = 0; i < 5000; ++i)
+        values.push_back(static_cast<Word>(rng.below(256)));
+    expectRoundTrip(coder, values);
+}
+
+TEST(Spatial, AtMostTwoTransitionsPerWord)
+{
+    SpatialCoder coder(10);
+    std::vector<Word> values;
+    Rng rng(14);
+    for (int i = 0; i < 3000; ++i)
+        values.push_back(static_cast<Word>(rng.below(1024)));
+    const CodingResult r = evaluate(coder, values, true);
+    EXPECT_LE(r.coded.tau, 2 * values.size());
+    // Repeats are free: a constant tail adds nothing.
+    SpatialCoder coder2(10);
+    std::vector<Word> rep(3000, 55);
+    const CodingResult r2 = evaluate(coder2, rep, true);
+    EXPECT_EQ(r2.coded.tau, 0u);
+    EXPECT_EQ(r2.coded.kappa, 0u);
+}
+
+TEST(Spatial, MetersMatchExplicitSimulationAt6Bits)
+{
+    // 2^6 = 64 wires fits the generic meter: cross-check the analytic
+    // tau/kappa against brute-force one-hot wire states.
+    SpatialCoder coder(6);
+    BusEnergyMeter meter(64);
+    Rng rng(15);
+    coder.reset();
+    for (int i = 0; i < 5000; ++i) {
+        const Word v = static_cast<Word>(rng.below(64));
+        coder.encode(v);
+        meter.observe(u64{1} << v);
+    }
+    EXPECT_EQ(coder.internalCount().tau, meter.count().tau);
+    EXPECT_EQ(coder.internalCount().kappa, meter.count().kappa);
+}
+
+TEST(Spatial, RejectsOutOfRange)
+{
+    SpatialCoder coder(4);
+    coder.encode(15);
+    EXPECT_THROW(coder.encode(16), PanicError);
+    EXPECT_THROW(SpatialCoder(0), FatalError);
+    EXPECT_THROW(SpatialCoder(21), FatalError);
+}
+
+class AllSchemesRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllSchemesRoundTrip, AdversarialStreams)
+{
+    // A battery of nasty streams every scheme must survive.
+    std::vector<std::vector<Word>> streams;
+    streams.push_back(std::vector<Word>(100, 0));
+    streams.push_back({0xffffffffu, 0, 0xffffffffu, 0, 0xffffffffu});
+    streams.push_back(randomStream(5000, 20));
+    streams.push_back(randomStream(5000, 21, 3));
+    {
+        std::vector<Word> ramp;
+        for (u32 i = 0; i < 3000; ++i)
+            ramp.push_back(i * 0x10001u);
+        streams.push_back(std::move(ramp));
+    }
+    {
+        // Alternating repeats and novelties.
+        std::vector<Word> mix;
+        Rng rng(22);
+        Word cur = 0;
+        for (int i = 0; i < 4000; ++i) {
+            if (rng.chance(0.6))
+                cur = rng.next32();
+            mix.push_back(cur);
+        }
+        streams.push_back(std::move(mix));
+    }
+
+    auto make = [&]() -> std::unique_ptr<Transcoder> {
+        switch (GetParam()) {
+          case 0: return makeRaw();
+          case 1: return makeWindow(8);
+          case 2: return makeWindow(1);
+          case 3: return makeWindow(64);
+          case 4: return makeContext(ContextConfig{});
+          case 5: {
+            ContextConfig c;
+            c.transition_based = true;
+            return makeContext(c);
+          }
+          case 6: {
+            ContextConfig c;
+            c.table_size = 64;
+            c.sr_size = 16;
+            c.divide_period = 64;
+            return makeContext(c);
+          }
+          case 7: return makeStride(1);
+          case 8: return makeStride(30);
+          case 9: return makeInversion(2, 0.0);
+          case 10: return makeInversion(64, 1.0);
+          default: return makeStride(4);
+        }
+    };
+    for (const auto &stream : streams) {
+        auto codec = make();
+        expectRoundTrip(*codec, stream);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemesRoundTrip,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace predbus::coding

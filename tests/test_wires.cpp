@@ -1,0 +1,138 @@
+#include "wires/wire_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "wires/technology.h"
+
+namespace predbus::wires
+{
+namespace
+{
+
+TEST(Technology, ThreeNodes)
+{
+    EXPECT_EQ(allTechnologies().size(), 3u);
+    EXPECT_EQ(technology("0.13um").feature_um, 0.13);
+    EXPECT_EQ(technology("0.10um").vdd, 1.1);
+    EXPECT_EQ(technology("0.07um").vdd, 0.9);
+    EXPECT_THROW(technology("0.09um"), FatalError);
+}
+
+TEST(Technology, UnbufferedLambdaMatchesTable1)
+{
+    // Paper Table 1: 14.0 / 16.6 / 14.5.
+    EXPECT_NEAR(tech013().unbufferedLambda(), 14.0, 0.2);
+    EXPECT_NEAR(tech010().unbufferedLambda(), 16.6, 0.2);
+    EXPECT_NEAR(tech007().unbufferedLambda(), 14.5, 0.2);
+}
+
+TEST(WireModel, BufferedLambdaMatchesTable1)
+{
+    // Paper Table 1: 0.670 / 0.576 / 0.591 with repeaters.
+    EXPECT_NEAR(WireModel(tech013(), 20.0, true).effectiveLambda(),
+                0.670, 0.03);
+    EXPECT_NEAR(WireModel(tech010(), 20.0, true).effectiveLambda(),
+                0.576, 0.03);
+    EXPECT_NEAR(WireModel(tech007(), 20.0, true).effectiveLambda(),
+                0.591, 0.03);
+}
+
+TEST(WireModel, EffectiveLambdaRoughlyLengthIndependent)
+{
+    const double l5 = WireModel(tech013(), 5.0, true).effectiveLambda();
+    const double l30 =
+        WireModel(tech013(), 30.0, true).effectiveLambda();
+    EXPECT_NEAR(l5, l30, 0.08);
+}
+
+TEST(WireModel, EnergyScalesLinearlyWithLength)
+{
+    const WireModel w10(tech013(), 10.0, false);
+    const WireModel w20(tech013(), 20.0, false);
+    EXPECT_NEAR(w20.energyPerTransition(),
+                2.0 * w10.energyPerTransition(), 1e-18);
+    EXPECT_NEAR(w20.energyPerCoupling(), 2.0 * w10.energyPerCoupling(),
+                1e-18);
+}
+
+TEST(WireModel, Fig5EnergyMagnitudes)
+{
+    // 30mm, 0.13um: unbuffered isolated transition ~2-3 pJ, buffered
+    // higher (repeater loading), both under the figure's 6 pJ axis.
+    const double unbuf =
+        WireModel(tech013(), 30.0, false).isolatedTransitionEnergy();
+    const double buf =
+        WireModel(tech013(), 30.0, true).isolatedTransitionEnergy();
+    EXPECT_GT(unbuf, 1.5e-12);
+    EXPECT_LT(unbuf, 3.5e-12);
+    EXPECT_GT(buf, unbuf);
+    EXPECT_LT(buf, 6.0e-12);
+}
+
+TEST(WireModel, EnergyOrderedByTechnology)
+{
+    // Smaller nodes burn less energy per transition (V^2 shrinks).
+    for (const bool buffered : {false, true}) {
+        const double e13 = WireModel(tech013(), 10, buffered)
+                               .isolatedTransitionEnergy();
+        const double e10 = WireModel(tech010(), 10, buffered)
+                               .isolatedTransitionEnergy();
+        const double e07 = WireModel(tech007(), 10, buffered)
+                               .isolatedTransitionEnergy();
+        EXPECT_GT(e13, e10);
+        EXPECT_GT(e10, e07);
+    }
+}
+
+TEST(WireModel, Fig6DelayShapes)
+{
+    // Unbuffered delay is quadratic, buffered roughly linear, and
+    // buffered wins at long lengths.
+    const double u10 = WireModel(tech013(), 10, false).delay();
+    const double u20 = WireModel(tech013(), 20, false).delay();
+    const double u30 = WireModel(tech013(), 30, false).delay();
+    EXPECT_GT(u20 / u10, 3.0);   // ~4x for pure quadratic
+    EXPECT_GT(u30, 2.0e-9);      // paper: ~3ns+ at 30mm
+    EXPECT_LT(u30, 4.5e-9);
+
+    const double b10 = WireModel(tech013(), 10, true).delay();
+    const double b30 = WireModel(tech013(), 30, true).delay();
+    EXPECT_LT(b30 / b10, 3.6);   // near-linear
+    EXPECT_LT(b30, u30);         // repeaters help at 30mm
+    EXPECT_GT(b30, 0.5e-9);
+    EXPECT_LT(b30, 2.0e-9);      // paper: ~1-1.5ns at 30mm
+}
+
+TEST(WireModel, RepeaterSizesMatchPaperRange)
+{
+    // Paper §3.2: repeaters are 40-50x minimum size; count grows
+    // linearly with length.
+    const RepeaterDesign d10 = optimalRepeaters(tech013(), 10.0);
+    const RepeaterDesign d30 = optimalRepeaters(tech013(), 30.0);
+    EXPECT_GE(d10.size, 35.0);
+    EXPECT_LE(d10.size, 60.0);
+    EXPECT_NEAR(static_cast<double>(d30.count),
+                3.0 * static_cast<double>(d10.count), 2.0);
+}
+
+TEST(WireModel, EnergyAccounting)
+{
+    const WireModel w(tech013(), 10.0, true);
+    const double e =
+        w.energy(100, 50);
+    EXPECT_NEAR(e,
+                100 * w.energyPerTransition() +
+                    50 * w.energyPerCoupling(),
+                1e-18);
+    EXPECT_EQ(w.energy(0, 0), 0.0);
+}
+
+TEST(WireModel, InvalidLengthRejected)
+{
+    EXPECT_THROW(WireModel(tech013(), 0.0, false), FatalError);
+    EXPECT_THROW(WireModel(tech013(), -1.0, true), FatalError);
+}
+
+} // namespace
+} // namespace predbus::wires

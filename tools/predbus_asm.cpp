@@ -1,0 +1,84 @@
+/**
+ * predbus-asm: assemble and inspect P32 programs.
+ *
+ *   predbus-asm prog.s              assemble, print a listing
+ *   predbus-asm prog.s --run        ...then run it functionally
+ *   predbus-asm prog.s --hex        emit code as hex words
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "isa/asm_parser.h"
+#include "isa/isa.h"
+#include "sim/functional.h"
+#include "sim/memory.h"
+
+using namespace predbus;
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool run = false, hex = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::puts("usage: predbus-asm FILE.s [--run] [--hex]");
+            return 0;
+        } else if (arg == "--run") {
+            run = true;
+        } else if (arg == "--hex") {
+            hex = true;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "predbus-asm: need a .s file\n");
+        return 1;
+    }
+
+    try {
+        const isa::Program program = isa::assembleFile(path);
+        std::printf("# %s: %zu instructions, %zu data segment(s), "
+                    "entry 0x%08x\n",
+                    program.name.c_str(), program.code.size(),
+                    program.data.size(), program.entry);
+        Addr pc = program.code_base;
+        for (u32 word : program.code) {
+            if (hex) {
+                std::printf("%08x\n", word);
+            } else {
+                const auto inst = isa::decode(word);
+                std::printf("%08x:  %08x    %s\n", pc, word,
+                            inst ? isa::disassemble(*inst).c_str()
+                                 : "<illegal>");
+            }
+            pc += 4;
+        }
+        for (const isa::Segment &seg : program.data)
+            std::printf("# data: 0x%08x .. 0x%08zx (%zu bytes)\n",
+                        seg.base, seg.base + seg.bytes.size(),
+                        seg.bytes.size());
+
+        if (run) {
+            sim::Memory mem;
+            mem.load(program);
+            sim::ArchState arch(mem);
+            arch.pc = program.entry;
+            const u64 steps = arch.run(50'000'000);
+            std::printf("# ran %llu instructions%s\n",
+                        static_cast<unsigned long long>(steps),
+                        arch.halted() ? " (halted)" : " (step limit)");
+            for (u32 v : arch.output())
+                std::printf("OUT 0x%08x (%u)\n", v, v);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "predbus-asm: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

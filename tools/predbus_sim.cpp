@@ -1,0 +1,199 @@
+/**
+ * predbus-sim: command-line front end for the simulator.
+ *
+ * Run a built-in SPEC95-like workload or your own .s program on the
+ * out-of-order machine, print statistics, and optionally dump bus
+ * traces to .pbtr files (readable by predbus-codec and the library).
+ *
+ *   predbus-sim --list
+ *   predbus-sim --workload gcc --cycles 200000 --stats
+ *   predbus-sim --asm prog.s --dump-reg reg.pbtr --dump-mem mem.pbtr
+ *   predbus-sim --workload swim --issue-width 2 --ruu 32 --l1d-kb 8
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.h"
+#include "isa/asm_parser.h"
+#include "sim/machine.h"
+#include "trace/trace_io.h"
+#include "workloads/workload.h"
+
+using namespace predbus;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "predbus-sim: run guest programs on the predbus machine\n"
+        "\n"
+        "program selection:\n"
+        "  --workload NAME     built-in SPEC95-like workload\n"
+        "  --scale N           workload outer-iteration scale (default 4)\n"
+        "  --asm FILE.s        assemble and run a P32 text program\n"
+        "  --list              list built-in workloads and exit\n"
+        "\n"
+        "run control:\n"
+        "  --cycles N          simulation budget (default 400000)\n"
+        "  --stats             print detailed machine statistics\n"
+        "  --dump-reg FILE     write the register-bus trace\n"
+        "  --dump-mem FILE     write the memory-bus trace\n"
+        "  --dump-addr FILE    write the address-bus trace\n"
+        "\n"
+        "machine configuration:\n"
+        "  --issue-width N --ruu N --lsq N --mem-lat N\n"
+        "  --l1d-kb N --l1i-kb N --l2-kb N --no-l2\n"
+        "  --bpred bimodal|gshare\n");
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "predbus-sim: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string asm_path;
+    u32 scale = 4;
+    u64 cycles = 400'000;
+    bool want_stats = false;
+    std::string dump_reg, dump_mem, dump_addr;
+    sim::SimConfig cfg;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            die(std::string("missing value for ") + argv[i]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &info : workloads::all())
+                std::printf("%-10s %-7s %s\n", info.name.c_str(),
+                            info.is_fp ? "SPECfp" : "SPECint",
+                            info.description.c_str());
+            return 0;
+        } else if (arg == "--workload") {
+            workload = need_value(i);
+        } else if (arg == "--asm") {
+            asm_path = need_value(i);
+        } else if (arg == "--scale") {
+            scale = static_cast<u32>(std::atoi(need_value(i)));
+        } else if (arg == "--cycles") {
+            cycles = static_cast<u64>(std::atoll(need_value(i)));
+        } else if (arg == "--stats") {
+            want_stats = true;
+        } else if (arg == "--dump-reg") {
+            dump_reg = need_value(i);
+        } else if (arg == "--dump-mem") {
+            dump_mem = need_value(i);
+        } else if (arg == "--dump-addr") {
+            dump_addr = need_value(i);
+        } else if (arg == "--issue-width") {
+            cfg.issue_width = cfg.fetch_width = cfg.decode_width =
+                cfg.commit_width =
+                    static_cast<u32>(std::atoi(need_value(i)));
+        } else if (arg == "--ruu") {
+            cfg.ruu_size = static_cast<u32>(std::atoi(need_value(i)));
+        } else if (arg == "--lsq") {
+            cfg.lsq_size = static_cast<u32>(std::atoi(need_value(i)));
+        } else if (arg == "--mem-lat") {
+            cfg.memory_latency =
+                static_cast<u32>(std::atoi(need_value(i)));
+        } else if (arg == "--l1d-kb") {
+            cfg.dl1.size_bytes =
+                static_cast<u32>(std::atoi(need_value(i))) * 1024;
+        } else if (arg == "--l1i-kb") {
+            cfg.il1.size_bytes =
+                static_cast<u32>(std::atoi(need_value(i))) * 1024;
+        } else if (arg == "--l2-kb") {
+            cfg.l2.size_bytes =
+                static_cast<u32>(std::atoi(need_value(i))) * 1024;
+        } else if (arg == "--no-l2") {
+            cfg.use_l2 = false;
+        } else if (arg == "--bpred") {
+            const std::string kind = need_value(i);
+            if (kind == "bimodal")
+                cfg.bpred.kind = sim::BpredKind::Bimodal;
+            else if (kind == "gshare")
+                cfg.bpred.kind = sim::BpredKind::Gshare;
+            else
+                die("unknown predictor '" + kind +
+                    "' (bimodal|gshare)");
+        } else {
+            die("unknown option '" + arg + "' (try --help)");
+        }
+    }
+
+    if (workload.empty() == asm_path.empty())
+        die("choose exactly one of --workload or --asm (try --help)");
+
+    try {
+        const isa::Program program =
+            workload.empty() ? isa::assembleFile(asm_path)
+                             : workloads::build(workload, scale);
+
+        sim::Machine machine(program, cfg);
+        const sim::RunResult run = machine.run(cycles);
+
+        std::printf("%s: %llu cycles, %llu instructions, IPC %.3f%s\n",
+                    program.name.c_str(),
+                    static_cast<unsigned long long>(run.stats.cycles),
+                    static_cast<unsigned long long>(
+                        run.stats.instructions),
+                    run.stats.ipc(),
+                    run.halted ? " (halted)" : " (cycle budget)");
+        for (u32 v : run.output)
+            std::printf("OUT 0x%08x (%u)\n", v, v);
+
+        if (want_stats) {
+            const sim::SimStats &s = run.stats;
+            std::printf(
+                "branches      %llu (%.2f%% mispredicted)\n"
+                "loads/stores  %llu / %llu\n"
+                "il1           %llu accesses, %.2f%% miss\n"
+                "dl1           %llu accesses, %.2f%% miss\n"
+                "l2            %llu accesses, %.2f%% miss\n"
+                "bus traffic   reg %zu, mem %zu, addr %zu values\n",
+                static_cast<unsigned long long>(s.branches),
+                s.branches ? 100.0 * static_cast<double>(s.mispredicts) /
+                                 static_cast<double>(s.branches)
+                           : 0.0,
+                static_cast<unsigned long long>(s.loads),
+                static_cast<unsigned long long>(s.stores),
+                static_cast<unsigned long long>(s.il1.accesses),
+                100.0 * s.il1.missRate(),
+                static_cast<unsigned long long>(s.dl1.accesses),
+                100.0 * s.dl1.missRate(),
+                static_cast<unsigned long long>(s.l2.accesses),
+                100.0 * s.l2.missRate(), run.reg_bus.size(),
+                run.mem_bus.size(), run.addr_bus.size());
+        }
+
+        if (!dump_reg.empty())
+            trace::saveTrace(dump_reg, run.reg_bus);
+        if (!dump_mem.empty())
+            trace::saveTrace(dump_mem, run.mem_bus);
+        if (!dump_addr.empty())
+            trace::saveTrace(dump_addr, run.addr_bus);
+    } catch (const std::exception &e) {
+        die(e.what());
+    }
+    return 0;
+}
