@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_costaware"
+  "../bench/ablation_costaware.pdb"
+  "CMakeFiles/ablation_costaware.dir/ablation_costaware.cpp.o"
+  "CMakeFiles/ablation_costaware.dir/ablation_costaware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_costaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

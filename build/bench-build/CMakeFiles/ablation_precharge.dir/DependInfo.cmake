@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_precharge.cpp" "bench-build/CMakeFiles/ablation_precharge.dir/ablation_precharge.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_precharge.dir/ablation_precharge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/predbus_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/predbus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/predbus_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/predbus_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/wires/CMakeFiles/predbus_wires.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/predbus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/predbus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/predbus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/predbus_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/predbus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_precharge"
+  "../bench/ablation_precharge.pdb"
+  "CMakeFiles/ablation_precharge.dir/ablation_precharge.cpp.o"
+  "CMakeFiles/ablation_precharge.dir/ablation_precharge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precharge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

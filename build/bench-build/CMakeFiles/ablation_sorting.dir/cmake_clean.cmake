@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sorting"
+  "../bench/ablation_sorting.pdb"
+  "CMakeFiles/ablation_sorting.dir/ablation_sorting.cpp.o"
+  "CMakeFiles/ablation_sorting.dir/ablation_sorting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_varlen"
+  "../bench/ablation_varlen.pdb"
+  "CMakeFiles/ablation_varlen.dir/ablation_varlen.cpp.o"
+  "CMakeFiles/ablation_varlen.dir/ablation_varlen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_varlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

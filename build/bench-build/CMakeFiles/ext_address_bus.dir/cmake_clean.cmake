@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_address_bus"
+  "../bench/ext_address_bus.pdb"
+  "CMakeFiles/ext_address_bus.dir/ext_address_bus.cpp.o"
+  "CMakeFiles/ext_address_bus.dir/ext_address_bus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_address_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

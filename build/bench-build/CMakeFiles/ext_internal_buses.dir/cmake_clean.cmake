@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_internal_buses"
+  "../bench/ext_internal_buses.pdb"
+  "CMakeFiles/ext_internal_buses.dir/ext_internal_buses.cpp.o"
+  "CMakeFiles/ext_internal_buses.dir/ext_internal_buses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_internal_buses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

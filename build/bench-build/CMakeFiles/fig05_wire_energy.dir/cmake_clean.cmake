@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_wire_energy"
+  "../bench/fig05_wire_energy.pdb"
+  "CMakeFiles/fig05_wire_energy.dir/fig05_wire_energy.cpp.o"
+  "CMakeFiles/fig05_wire_energy.dir/fig05_wire_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_wire_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

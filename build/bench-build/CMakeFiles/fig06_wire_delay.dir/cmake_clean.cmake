@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_wire_delay"
+  "../bench/fig06_wire_delay.pdb"
+  "CMakeFiles/fig06_wire_delay.dir/fig06_wire_delay.cpp.o"
+  "CMakeFiles/fig06_wire_delay.dir/fig06_wire_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_wire_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_value_cdf"
+  "../bench/fig07_value_cdf.pdb"
+  "CMakeFiles/fig07_value_cdf.dir/fig07_value_cdf.cpp.o"
+  "CMakeFiles/fig07_value_cdf.dir/fig07_value_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_value_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_window_unique"
+  "../bench/fig08_window_unique.pdb"
+  "CMakeFiles/fig08_window_unique.dir/fig08_window_unique.cpp.o"
+  "CMakeFiles/fig08_window_unique.dir/fig08_window_unique.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_window_unique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_inversion_lambda"
+  "../bench/fig15_inversion_lambda.pdb"
+  "CMakeFiles/fig15_inversion_lambda.dir/fig15_inversion_lambda.cpp.o"
+  "CMakeFiles/fig15_inversion_lambda.dir/fig15_inversion_lambda.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_inversion_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_stride_membus"
+  "../bench/fig16_stride_membus.pdb"
+  "CMakeFiles/fig16_stride_membus.dir/fig16_stride_membus.cpp.o"
+  "CMakeFiles/fig16_stride_membus.dir/fig16_stride_membus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_stride_membus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

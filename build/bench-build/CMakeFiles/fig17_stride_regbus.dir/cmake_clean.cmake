@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_stride_regbus"
+  "../bench/fig17_stride_regbus.pdb"
+  "CMakeFiles/fig17_stride_regbus.dir/fig17_stride_regbus.cpp.o"
+  "CMakeFiles/fig17_stride_regbus.dir/fig17_stride_regbus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_stride_regbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_window_membus"
+  "../bench/fig18_window_membus.pdb"
+  "CMakeFiles/fig18_window_membus.dir/fig18_window_membus.cpp.o"
+  "CMakeFiles/fig18_window_membus.dir/fig18_window_membus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_window_membus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

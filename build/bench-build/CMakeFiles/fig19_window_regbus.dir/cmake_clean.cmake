@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_window_regbus"
+  "../bench/fig19_window_regbus.pdb"
+  "CMakeFiles/fig19_window_regbus.dir/fig19_window_regbus.cpp.o"
+  "CMakeFiles/fig19_window_regbus.dir/fig19_window_regbus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_window_regbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_ctx_trans_membus"
+  "../bench/fig20_ctx_trans_membus.pdb"
+  "CMakeFiles/fig20_ctx_trans_membus.dir/fig20_ctx_trans_membus.cpp.o"
+  "CMakeFiles/fig20_ctx_trans_membus.dir/fig20_ctx_trans_membus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_ctx_trans_membus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

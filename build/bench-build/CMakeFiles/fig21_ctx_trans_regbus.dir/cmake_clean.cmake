@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_ctx_trans_regbus"
+  "../bench/fig21_ctx_trans_regbus.pdb"
+  "CMakeFiles/fig21_ctx_trans_regbus.dir/fig21_ctx_trans_regbus.cpp.o"
+  "CMakeFiles/fig21_ctx_trans_regbus.dir/fig21_ctx_trans_regbus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_ctx_trans_regbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_ctx_value_membus"
+  "../bench/fig22_ctx_value_membus.pdb"
+  "CMakeFiles/fig22_ctx_value_membus.dir/fig22_ctx_value_membus.cpp.o"
+  "CMakeFiles/fig22_ctx_value_membus.dir/fig22_ctx_value_membus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_ctx_value_membus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_ctx_value_regbus"
+  "../bench/fig23_ctx_value_regbus.pdb"
+  "CMakeFiles/fig23_ctx_value_regbus.dir/fig23_ctx_value_regbus.cpp.o"
+  "CMakeFiles/fig23_ctx_value_regbus.dir/fig23_ctx_value_regbus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_ctx_value_regbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

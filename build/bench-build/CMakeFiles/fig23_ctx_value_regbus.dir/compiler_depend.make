@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig23_ctx_value_regbus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig24_ctx_shiftreg"
+  "../bench/fig24_ctx_shiftreg.pdb"
+  "CMakeFiles/fig24_ctx_shiftreg.dir/fig24_ctx_shiftreg.cpp.o"
+  "CMakeFiles/fig24_ctx_shiftreg.dir/fig24_ctx_shiftreg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_ctx_shiftreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig25_ctx_divide"
+  "../bench/fig25_ctx_divide.pdb"
+  "CMakeFiles/fig25_ctx_divide.dir/fig25_ctx_divide.cpp.o"
+  "CMakeFiles/fig25_ctx_divide.dir/fig25_ctx_divide.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_ctx_divide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

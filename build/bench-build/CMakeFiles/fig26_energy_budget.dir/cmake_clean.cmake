@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig26_energy_budget"
+  "../bench/fig26_energy_budget.pdb"
+  "CMakeFiles/fig26_energy_budget.dir/fig26_energy_budget.cpp.o"
+  "CMakeFiles/fig26_energy_budget.dir/fig26_energy_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_energy_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

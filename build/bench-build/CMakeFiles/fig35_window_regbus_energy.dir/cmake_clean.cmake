@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig35_window_regbus_energy"
+  "../bench/fig35_window_regbus_energy.pdb"
+  "CMakeFiles/fig35_window_regbus_energy.dir/fig35_window_regbus_energy.cpp.o"
+  "CMakeFiles/fig35_window_regbus_energy.dir/fig35_window_regbus_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig35_window_regbus_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

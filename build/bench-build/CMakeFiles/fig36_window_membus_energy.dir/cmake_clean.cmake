@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig36_window_membus_energy"
+  "../bench/fig36_window_membus_energy.pdb"
+  "CMakeFiles/fig36_window_membus_energy.dir/fig36_window_membus_energy.cpp.o"
+  "CMakeFiles/fig36_window_membus_energy.dir/fig36_window_membus_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig36_window_membus_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

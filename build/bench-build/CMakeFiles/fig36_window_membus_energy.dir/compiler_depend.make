@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig36_window_membus_energy.
+# This may be replaced when dependencies are built.

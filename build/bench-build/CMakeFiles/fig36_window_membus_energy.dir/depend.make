@@ -1,0 +1,2 @@
+# Empty dependencies file for fig36_window_membus_energy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig37_crossover_regbus"
+  "../bench/fig37_crossover_regbus.pdb"
+  "CMakeFiles/fig37_crossover_regbus.dir/fig37_crossover_regbus.cpp.o"
+  "CMakeFiles/fig37_crossover_regbus.dir/fig37_crossover_regbus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig37_crossover_regbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

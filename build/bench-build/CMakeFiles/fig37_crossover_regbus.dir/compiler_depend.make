@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig37_crossover_regbus.
+# This may be replaced when dependencies are built.

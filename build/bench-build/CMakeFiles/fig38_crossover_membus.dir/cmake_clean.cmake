@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig38_crossover_membus"
+  "../bench/fig38_crossover_membus.pdb"
+  "CMakeFiles/fig38_crossover_membus.dir/fig38_crossover_membus.cpp.o"
+  "CMakeFiles/fig38_crossover_membus.dir/fig38_crossover_membus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig38_crossover_membus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

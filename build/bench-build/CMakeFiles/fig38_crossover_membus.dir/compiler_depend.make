@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig38_crossover_membus.
+# This may be replaced when dependencies are built.

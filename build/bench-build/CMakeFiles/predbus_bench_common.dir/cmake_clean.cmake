@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/predbus_bench_common.dir/bench_common.cpp.o.d"
+  "libpredbus_bench_common.a"
+  "libpredbus_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

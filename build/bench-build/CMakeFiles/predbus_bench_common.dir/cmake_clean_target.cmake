@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredbus_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_lambda"
+  "../bench/table1_lambda.pdb"
+  "CMakeFiles/table1_lambda.dir/table1_lambda.cpp.o"
+  "CMakeFiles/table1_lambda.dir/table1_lambda.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

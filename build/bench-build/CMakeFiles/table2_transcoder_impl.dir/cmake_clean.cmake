@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_transcoder_impl"
+  "../bench/table2_transcoder_impl.pdb"
+  "CMakeFiles/table2_transcoder_impl.dir/table2_transcoder_impl.cpp.o"
+  "CMakeFiles/table2_transcoder_impl.dir/table2_transcoder_impl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_transcoder_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

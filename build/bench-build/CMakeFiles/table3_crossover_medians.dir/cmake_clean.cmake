@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_crossover_medians"
+  "../bench/table3_crossover_medians.pdb"
+  "CMakeFiles/table3_crossover_medians.dir/table3_crossover_medians.cpp.o"
+  "CMakeFiles/table3_crossover_medians.dir/table3_crossover_medians.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_crossover_medians.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_explorer.dir/bus_explorer.cpp.o"
+  "CMakeFiles/bus_explorer.dir/bus_explorer.cpp.o.d"
+  "bus_explorer"
+  "bus_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_walkthrough.dir/sorting_walkthrough.cpp.o"
+  "CMakeFiles/sorting_walkthrough.dir/sorting_walkthrough.cpp.o.d"
+  "sorting_walkthrough"
+  "sorting_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

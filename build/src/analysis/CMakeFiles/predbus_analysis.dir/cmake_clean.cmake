@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus_analysis.dir/energy_eval.cpp.o"
+  "CMakeFiles/predbus_analysis.dir/energy_eval.cpp.o.d"
+  "CMakeFiles/predbus_analysis.dir/suite.cpp.o"
+  "CMakeFiles/predbus_analysis.dir/suite.cpp.o.d"
+  "libpredbus_analysis.a"
+  "libpredbus_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

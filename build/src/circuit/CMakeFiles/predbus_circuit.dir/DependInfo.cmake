@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit_tech.cpp" "src/circuit/CMakeFiles/predbus_circuit.dir/circuit_tech.cpp.o" "gcc" "src/circuit/CMakeFiles/predbus_circuit.dir/circuit_tech.cpp.o.d"
+  "/root/repo/src/circuit/netlist_sim.cpp" "src/circuit/CMakeFiles/predbus_circuit.dir/netlist_sim.cpp.o" "gcc" "src/circuit/CMakeFiles/predbus_circuit.dir/netlist_sim.cpp.o.d"
+  "/root/repo/src/circuit/transcoder_impl.cpp" "src/circuit/CMakeFiles/predbus_circuit.dir/transcoder_impl.cpp.o" "gcc" "src/circuit/CMakeFiles/predbus_circuit.dir/transcoder_impl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coding/CMakeFiles/predbus_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/predbus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

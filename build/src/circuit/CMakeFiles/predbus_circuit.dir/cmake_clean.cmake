@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus_circuit.dir/circuit_tech.cpp.o"
+  "CMakeFiles/predbus_circuit.dir/circuit_tech.cpp.o.d"
+  "CMakeFiles/predbus_circuit.dir/netlist_sim.cpp.o"
+  "CMakeFiles/predbus_circuit.dir/netlist_sim.cpp.o.d"
+  "CMakeFiles/predbus_circuit.dir/transcoder_impl.cpp.o"
+  "CMakeFiles/predbus_circuit.dir/transcoder_impl.cpp.o.d"
+  "libpredbus_circuit.a"
+  "libpredbus_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

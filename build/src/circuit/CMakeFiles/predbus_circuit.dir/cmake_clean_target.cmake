@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredbus_circuit.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/bus_energy.cpp" "src/coding/CMakeFiles/predbus_coding.dir/bus_energy.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/bus_energy.cpp.o.d"
+  "/root/repo/src/coding/context.cpp" "src/coding/CMakeFiles/predbus_coding.dir/context.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/context.cpp.o.d"
+  "/root/repo/src/coding/factory.cpp" "src/coding/CMakeFiles/predbus_coding.dir/factory.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/factory.cpp.o.d"
+  "/root/repo/src/coding/inversion.cpp" "src/coding/CMakeFiles/predbus_coding.dir/inversion.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/inversion.cpp.o.d"
+  "/root/repo/src/coding/partial_invert.cpp" "src/coding/CMakeFiles/predbus_coding.dir/partial_invert.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/partial_invert.cpp.o.d"
+  "/root/repo/src/coding/protocol.cpp" "src/coding/CMakeFiles/predbus_coding.dir/protocol.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/protocol.cpp.o.d"
+  "/root/repo/src/coding/spatial.cpp" "src/coding/CMakeFiles/predbus_coding.dir/spatial.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/spatial.cpp.o.d"
+  "/root/repo/src/coding/stride.cpp" "src/coding/CMakeFiles/predbus_coding.dir/stride.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/stride.cpp.o.d"
+  "/root/repo/src/coding/window.cpp" "src/coding/CMakeFiles/predbus_coding.dir/window.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/window.cpp.o.d"
+  "/root/repo/src/coding/workzone.cpp" "src/coding/CMakeFiles/predbus_coding.dir/workzone.cpp.o" "gcc" "src/coding/CMakeFiles/predbus_coding.dir/workzone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/predbus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

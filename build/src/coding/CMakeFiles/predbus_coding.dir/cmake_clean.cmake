@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus_coding.dir/bus_energy.cpp.o"
+  "CMakeFiles/predbus_coding.dir/bus_energy.cpp.o.d"
+  "CMakeFiles/predbus_coding.dir/context.cpp.o"
+  "CMakeFiles/predbus_coding.dir/context.cpp.o.d"
+  "CMakeFiles/predbus_coding.dir/factory.cpp.o"
+  "CMakeFiles/predbus_coding.dir/factory.cpp.o.d"
+  "CMakeFiles/predbus_coding.dir/inversion.cpp.o"
+  "CMakeFiles/predbus_coding.dir/inversion.cpp.o.d"
+  "CMakeFiles/predbus_coding.dir/partial_invert.cpp.o"
+  "CMakeFiles/predbus_coding.dir/partial_invert.cpp.o.d"
+  "CMakeFiles/predbus_coding.dir/protocol.cpp.o"
+  "CMakeFiles/predbus_coding.dir/protocol.cpp.o.d"
+  "CMakeFiles/predbus_coding.dir/spatial.cpp.o"
+  "CMakeFiles/predbus_coding.dir/spatial.cpp.o.d"
+  "CMakeFiles/predbus_coding.dir/stride.cpp.o"
+  "CMakeFiles/predbus_coding.dir/stride.cpp.o.d"
+  "CMakeFiles/predbus_coding.dir/window.cpp.o"
+  "CMakeFiles/predbus_coding.dir/window.cpp.o.d"
+  "CMakeFiles/predbus_coding.dir/workzone.cpp.o"
+  "CMakeFiles/predbus_coding.dir/workzone.cpp.o.d"
+  "libpredbus_coding.a"
+  "libpredbus_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

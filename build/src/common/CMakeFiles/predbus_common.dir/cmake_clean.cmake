@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus_common.dir/stats.cpp.o"
+  "CMakeFiles/predbus_common.dir/stats.cpp.o.d"
+  "CMakeFiles/predbus_common.dir/table.cpp.o"
+  "CMakeFiles/predbus_common.dir/table.cpp.o.d"
+  "libpredbus_common.a"
+  "libpredbus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus_isa.dir/asm_parser.cpp.o"
+  "CMakeFiles/predbus_isa.dir/asm_parser.cpp.o.d"
+  "CMakeFiles/predbus_isa.dir/assembler.cpp.o"
+  "CMakeFiles/predbus_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/predbus_isa.dir/disasm.cpp.o"
+  "CMakeFiles/predbus_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/predbus_isa.dir/encoding.cpp.o"
+  "CMakeFiles/predbus_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/predbus_isa.dir/program.cpp.o"
+  "CMakeFiles/predbus_isa.dir/program.cpp.o.d"
+  "libpredbus_isa.a"
+  "libpredbus_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

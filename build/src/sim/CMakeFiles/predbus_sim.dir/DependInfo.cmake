@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bpred.cpp" "src/sim/CMakeFiles/predbus_sim.dir/bpred.cpp.o" "gcc" "src/sim/CMakeFiles/predbus_sim.dir/bpred.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/predbus_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/predbus_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/functional.cpp" "src/sim/CMakeFiles/predbus_sim.dir/functional.cpp.o" "gcc" "src/sim/CMakeFiles/predbus_sim.dir/functional.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/predbus_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/predbus_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/predbus_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/predbus_sim.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/predbus_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/predbus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/predbus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

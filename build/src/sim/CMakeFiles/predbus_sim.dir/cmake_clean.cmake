@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus_sim.dir/bpred.cpp.o"
+  "CMakeFiles/predbus_sim.dir/bpred.cpp.o.d"
+  "CMakeFiles/predbus_sim.dir/cache.cpp.o"
+  "CMakeFiles/predbus_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/predbus_sim.dir/functional.cpp.o"
+  "CMakeFiles/predbus_sim.dir/functional.cpp.o.d"
+  "CMakeFiles/predbus_sim.dir/machine.cpp.o"
+  "CMakeFiles/predbus_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/predbus_sim.dir/memory.cpp.o"
+  "CMakeFiles/predbus_sim.dir/memory.cpp.o.d"
+  "libpredbus_sim.a"
+  "libpredbus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus_trace.dir/trace.cpp.o"
+  "CMakeFiles/predbus_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/predbus_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/predbus_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/predbus_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/predbus_trace.dir/trace_stats.cpp.o.d"
+  "libpredbus_trace.a"
+  "libpredbus_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus_wires.dir/technology.cpp.o"
+  "CMakeFiles/predbus_wires.dir/technology.cpp.o.d"
+  "CMakeFiles/predbus_wires.dir/wire_model.cpp.o"
+  "CMakeFiles/predbus_wires.dir/wire_model.cpp.o.d"
+  "libpredbus_wires.a"
+  "libpredbus_wires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus_wires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/applu.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/applu.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/applu.cpp.o.d"
+  "/root/repo/src/workloads/apsi.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/apsi.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/apsi.cpp.o.d"
+  "/root/repo/src/workloads/compress.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/compress.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/compress.cpp.o.d"
+  "/root/repo/src/workloads/data_gen.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/data_gen.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/data_gen.cpp.o.d"
+  "/root/repo/src/workloads/fpppp.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/fpppp.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/fpppp.cpp.o.d"
+  "/root/repo/src/workloads/gcc.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/gcc.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/gcc.cpp.o.d"
+  "/root/repo/src/workloads/go.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/go.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/go.cpp.o.d"
+  "/root/repo/src/workloads/hydro2d.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/hydro2d.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/hydro2d.cpp.o.d"
+  "/root/repo/src/workloads/ijpeg.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/ijpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/ijpeg.cpp.o.d"
+  "/root/repo/src/workloads/li.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/li.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/li.cpp.o.d"
+  "/root/repo/src/workloads/m88ksim.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/m88ksim.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/m88ksim.cpp.o.d"
+  "/root/repo/src/workloads/mgrid.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/mgrid.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/mgrid.cpp.o.d"
+  "/root/repo/src/workloads/perl.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/perl.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/perl.cpp.o.d"
+  "/root/repo/src/workloads/su2cor.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/su2cor.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/su2cor.cpp.o.d"
+  "/root/repo/src/workloads/swim.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/swim.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/swim.cpp.o.d"
+  "/root/repo/src/workloads/tomcatv.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/tomcatv.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/tomcatv.cpp.o.d"
+  "/root/repo/src/workloads/turb3d.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/turb3d.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/turb3d.cpp.o.d"
+  "/root/repo/src/workloads/wave5.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/wave5.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/wave5.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/predbus_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/predbus_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/predbus_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/predbus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

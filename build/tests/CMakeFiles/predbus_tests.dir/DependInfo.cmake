@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/predbus_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_asm_parser.cpp" "tests/CMakeFiles/predbus_tests.dir/test_asm_parser.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_asm_parser.cpp.o.d"
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/predbus_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_bitops.cpp" "tests/CMakeFiles/predbus_tests.dir/test_bitops.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_bitops.cpp.o.d"
+  "/root/repo/tests/test_bpred.cpp" "tests/CMakeFiles/predbus_tests.dir/test_bpred.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_bpred.cpp.o.d"
+  "/root/repo/tests/test_bus_semantics.cpp" "tests/CMakeFiles/predbus_tests.dir/test_bus_semantics.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_bus_semantics.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/predbus_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/predbus_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_coding_energy.cpp" "tests/CMakeFiles/predbus_tests.dir/test_coding_energy.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_coding_energy.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/predbus_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_functional.cpp" "tests/CMakeFiles/predbus_tests.dir/test_functional.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_functional.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/predbus_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_isa_encoding.cpp" "tests/CMakeFiles/predbus_tests.dir/test_isa_encoding.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_isa_encoding.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/predbus_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_machine_configs.cpp" "tests/CMakeFiles/predbus_tests.dir/test_machine_configs.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_machine_configs.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/predbus_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_related_work.cpp" "tests/CMakeFiles/predbus_tests.dir/test_related_work.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_related_work.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/predbus_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/predbus_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/predbus_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/predbus_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_character.cpp" "tests/CMakeFiles/predbus_tests.dir/test_trace_character.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_trace_character.cpp.o.d"
+  "/root/repo/tests/test_transcoders.cpp" "tests/CMakeFiles/predbus_tests.dir/test_transcoders.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_transcoders.cpp.o.d"
+  "/root/repo/tests/test_wires.cpp" "tests/CMakeFiles/predbus_tests.dir/test_wires.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_wires.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/predbus_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/predbus_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/predbus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/predbus_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/predbus_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/wires/CMakeFiles/predbus_wires.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/predbus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/predbus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/predbus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/predbus_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/predbus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus-asm.dir/predbus_asm.cpp.o"
+  "CMakeFiles/predbus-asm.dir/predbus_asm.cpp.o.d"
+  "predbus-asm"
+  "predbus-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus-codec.dir/predbus_codec.cpp.o"
+  "CMakeFiles/predbus-codec.dir/predbus_codec.cpp.o.d"
+  "predbus-codec"
+  "predbus-codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus-codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predbus-sim.dir/predbus_sim.cpp.o"
+  "CMakeFiles/predbus-sim.dir/predbus_sim.cpp.o.d"
+  "predbus-sim"
+  "predbus-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predbus-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
