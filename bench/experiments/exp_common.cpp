@@ -1,0 +1,124 @@
+#include "bench/experiments/exp_common.h"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "workloads/workload.h"
+
+namespace predbus::bench
+{
+
+std::vector<std::string>
+workloadSeries()
+{
+    std::vector<std::string> names;
+    for (const auto &info : workloads::all())
+        names.push_back(info.name);
+    return names;
+}
+
+std::vector<std::string>
+seriesWithRandom()
+{
+    std::vector<std::string> names = {"random"};
+    for (const auto &name : workloadSeries())
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+statsBenchmarks()
+{
+    return {"gcc", "su2cor", "swim", "turb3d"};
+}
+
+const std::vector<Word> &
+seriesValues(const std::string &series, trace::BusKind bus)
+{
+    const analysis::SuiteOptions opt = analysis::SuiteOptions::fromEnv();
+    if (series == "random") {
+        // Sized like a typical register trace for the cycle budget.
+        static std::mutex mutex;
+        static std::map<std::pair<int, u64>, std::vector<Word>> memo;
+        const std::pair<int, u64> key{static_cast<int>(bus),
+                                      opt.cycles};
+        std::lock_guard<std::mutex> g(mutex);
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+            it = memo.emplace(key,
+                              analysis::randomValues(
+                                  static_cast<std::size_t>(
+                                      opt.cycles * 3 / 4),
+                                  0xD1CE + static_cast<u64>(bus)))
+                     .first;
+        }
+        return it->second;
+    }
+    return analysis::busValues(series, bus, opt);
+}
+
+double
+removedPercent(const coding::CodingResult &result)
+{
+    return 100.0 * result.removedFraction(1.0);
+}
+
+const coding::CodingResult &
+windowRun(const std::string &workload, trace::BusKind bus,
+          unsigned entries)
+{
+    using Key = std::tuple<std::string, int, unsigned, u64>;
+    static std::mutex mutex;
+    static std::map<Key, coding::CodingResult> memo;
+    const u64 cycles = analysis::SuiteOptions::fromEnv().cycles;
+    const Key key{workload, static_cast<int>(bus), entries, cycles};
+    {
+        std::lock_guard<std::mutex> g(mutex);
+        if (const auto it = memo.find(key); it != memo.end())
+            return it->second;
+    }
+    // Evaluate outside the lock so distinct runs proceed in parallel;
+    // a racing duplicate computes the identical result and the first
+    // emplace wins.
+    const auto &values = seriesValues(workload, bus);
+    auto codec = coding::makeWindow(entries);
+    coding::CodingResult result = coding::evaluate(*codec, values);
+    std::lock_guard<std::mutex> g(mutex);
+    return memo.emplace(key, std::move(result)).first->second;
+}
+
+Table
+sweepTable(const Runner &runner, const std::string &param_name,
+           const std::vector<unsigned> &params,
+           const std::vector<std::string> &series, trace::BusKind bus,
+           const CodecFactory &make)
+{
+    // Materialize the streams first; first touch generates traces, so
+    // fan it across the pool too.
+    const std::vector<const std::vector<Word> *> streams =
+        runner.map(series, [&](const std::string &name) {
+            return &seriesValues(name, bus);
+        });
+
+    std::vector<std::string> header = {param_name};
+    header.insert(header.end(), series.begin(), series.end());
+
+    const std::size_t cols = series.size();
+    const std::vector<double> cells =
+        runner.mapIndex(params.size() * cols, [&](std::size_t i) {
+            auto codec = make(params[i / cols]);
+            return removedPercent(
+                coding::evaluate(*codec, *streams[i % cols]));
+        });
+
+    Table table(header);
+    for (std::size_t r = 0; r < params.size(); ++r) {
+        table.row().cell(static_cast<long long>(params[r]));
+        for (std::size_t c = 0; c < cols; ++c)
+            table.cell(cells[r * cols + c], 2);
+    }
+    return table;
+}
+
+} // namespace predbus::bench

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared plumbing for the registered experiments.
+ *
+ * Series naming, trace access, and the common sweep shape of
+ * Figs 16-23 — all built on the experiment engine: streams come from
+ * the thread-safe suite cache, grids fan out through the Runner, and
+ * repeated heavy runs (window-N on a given trace) are memoized across
+ * experiments so the full-registry sweep never evaluates the same
+ * (workload, scheme) pair twice.
+ */
+
+#ifndef PREDBUS_BENCH_EXPERIMENTS_EXP_COMMON_H
+#define PREDBUS_BENCH_EXPERIMENTS_EXP_COMMON_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/runner.h"
+#include "analysis/suite.h"
+#include "coding/bus_energy.h"
+#include "coding/factory.h"
+#include "common/table.h"
+#include "trace/trace_io.h"
+
+namespace predbus::bench
+{
+
+using analysis::Report;
+using analysis::Runner;
+
+/** The paper's series order: "random" then the 17 workloads. */
+std::vector<std::string> seriesWithRandom();
+
+/** Just the 17 workloads (paper presentation order). */
+std::vector<std::string> workloadSeries();
+
+/** The four benchmarks of Figs 7/8/15. */
+std::vector<std::string> statsBenchmarks();
+
+/**
+ * Values for a series name: "random" yields a uniform random stream
+ * sized like the workload traces; anything else is a suite trace.
+ * Memoized for the life of the process; thread-safe.
+ */
+const std::vector<Word> &seriesValues(const std::string &series,
+                                      trace::BusKind bus);
+
+/** "Normalized energy removed" percentage at λ=1 (paper §4.4). */
+double removedPercent(const coding::CodingResult &result);
+
+/**
+ * Window-N coding run on (workload, bus), memoized across experiments
+ * (Figs 18-19/26/35-38, Tables 2-3, and several ablations all need
+ * the same runs). Thread-safe; results identical to a fresh evaluate.
+ */
+const coding::CodingResult &windowRun(const std::string &workload,
+                                      trace::BusKind bus,
+                                      unsigned entries);
+
+/** Builds the codec for one swept parameter value. */
+using CodecFactory =
+    std::function<std::unique_ptr<coding::Transcoder>(unsigned)>;
+
+/**
+ * The common shape of Figs 16-23: rows are parameter values, columns
+ * are series, cells are % normalized energy removed on @p bus. Cells
+ * are fanned across @p runner and assembled in grid order.
+ */
+Table sweepTable(const Runner &runner, const std::string &param_name,
+                 const std::vector<unsigned> &params,
+                 const std::vector<std::string> &series,
+                 trace::BusKind bus, const CodecFactory &make);
+
+} // namespace predbus::bench
+
+#endif // PREDBUS_BENCH_EXPERIMENTS_EXP_COMMON_H

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Context-transcoder detail experiments: Fig 24 (% energy removed vs
+ * staging shift-register size) and Fig 25 (vs counter divide period),
+ * register bus, table sizes 16 and 64, on the paper's seven-benchmark
+ * subset.
+ */
+
+#include "bench/experiments/exp_common.h"
+
+namespace predbus::bench
+{
+namespace
+{
+
+const std::vector<std::string> kSubset = {"li",    "compress", "gcc",
+                                          "perl",  "fpppp",    "apsi",
+                                          "swim"};
+const std::vector<unsigned> kTables = {16u, 64u};
+
+/**
+ * Shared grid shape: rows are @p params, columns are
+ * (workload x table size), cells configure the context transcoder via
+ * @p configure(cfg, param, table_size).
+ */
+template <typename Configure>
+Table
+contextGrid(const Runner &runner, const std::string &param_name,
+            const std::vector<unsigned> &params,
+            const Configure &configure)
+{
+    std::vector<std::string> header = {param_name};
+    for (const auto &wl : kSubset)
+        for (unsigned t : kTables)
+            header.push_back(wl + ":" + std::to_string(t));
+
+    const std::vector<const std::vector<Word> *> streams =
+        runner.map(kSubset, [](const std::string &wl) {
+            return &seriesValues(wl, trace::BusKind::Register);
+        });
+
+    const std::size_t cols = kSubset.size() * kTables.size();
+    const std::vector<double> cells = runner.mapIndex(
+        params.size() * cols, [&](std::size_t i) {
+            const unsigned param = params[i / cols];
+            const std::size_t col = i % cols;
+            const std::size_t wl = col / kTables.size();
+            const unsigned t = kTables[col % kTables.size()];
+            coding::ContextConfig cfg;
+            configure(cfg, param, t);
+            auto codec = coding::makeContext(cfg);
+            return removedPercent(
+                coding::evaluate(*codec, *streams[wl]));
+        });
+
+    Table table(header);
+    for (std::size_t r = 0; r < params.size(); ++r) {
+        table.row().cell(static_cast<long long>(params[r]));
+        for (std::size_t c = 0; c < cols; ++c)
+            table.cell(cells[r * cols + c], 2);
+    }
+    return table;
+}
+
+std::vector<Report>
+runFig24(const Runner &runner)
+{
+    const std::vector<unsigned> sr_sizes = {2, 4, 8, 12, 16, 24, 28};
+    return {Report(
+        "Fig 24: context (value-based) % energy removed vs shift "
+        "register size, register bus",
+        contextGrid(runner, "shift_register_size", sr_sizes,
+                    [](coding::ContextConfig &cfg, unsigned s,
+                       unsigned t) {
+                        cfg.table_size = t;
+                        cfg.sr_size = s;
+                    }))};
+}
+
+std::vector<Report>
+runFig25(const Runner &runner)
+{
+    const std::vector<unsigned> periods = {4,    16,   64,  256,
+                                           1024, 4096, 16384};
+    return {Report(
+        "Fig 25: context (value-based) % energy removed vs counter "
+        "divide period, register bus",
+        contextGrid(runner, "counter_divide_period", periods,
+                    [](coding::ContextConfig &cfg, unsigned period,
+                       unsigned t) {
+                        cfg.table_size = t;
+                        cfg.sr_size = 8;
+                        cfg.divide_period = period;
+                    }))};
+}
+
+const analysis::RegisterExperiment reg_fig24(
+    "fig24_ctx_shiftreg",
+    "context (value-based) vs staging shift-register size", runFig24);
+const analysis::RegisterExperiment reg_fig25(
+    "fig25_ctx_divide",
+    "context (value-based) vs counter divide period", runFig25);
+
+} // namespace
+} // namespace predbus::bench

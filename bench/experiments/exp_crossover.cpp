@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Crossover experiments (Figs 37-38, Table 3): per-benchmark coding
+ * runs for {8,16}-entry window designs across the three technology
+ * nodes, reduced to SPECint/SPECfp medians.
+ */
+
+#include <cmath>
+
+#include "analysis/energy_eval.h"
+#include "bench/experiments/exp_common.h"
+#include "circuit/transcoder_impl.h"
+#include "common/stats.h"
+#include "wires/technology.h"
+#include "workloads/workload.h"
+
+namespace predbus::bench
+{
+namespace
+{
+
+/** One (workload, entries) coding run on a bus. */
+struct CrossRun
+{
+    std::string workload;
+    bool is_fp = false;
+    unsigned entries = 8;
+    coding::CodingResult result;
+};
+
+/** Run window-{8,16} over the whole suite on @p bus. */
+std::vector<CrossRun>
+crossoverRuns(const Runner &runner, trace::BusKind bus)
+{
+    std::vector<CrossRun> grid;
+    for (const auto &info : workloads::all())
+        for (unsigned entries : {8u, 16u})
+            grid.push_back({info.name, info.is_fp, entries, {}});
+
+    return runner.map(grid, [bus](const CrossRun &cell) {
+        CrossRun run = cell;
+        run.result = windowRun(cell.workload, bus, cell.entries);
+        return run;
+    });
+}
+
+/** Median normalized energy across a suite subset at one length. */
+double
+medianNormalized(const std::vector<CrossRun> &runs, bool fp,
+                 unsigned entries, const wires::Technology &wire_tech,
+                 const circuit::CircuitTech &ckt_tech, double length)
+{
+    circuit::DesignConfig cfg = circuit::window8();
+    cfg.entries = entries;
+    const circuit::ImplEstimate impl = circuit::estimate(cfg, ckt_tech);
+    std::vector<double> vals;
+    for (const auto &run : runs) {
+        if (run.is_fp != fp || run.entries != entries)
+            continue;
+        vals.push_back(analysis::evalAtLength(run.result, impl,
+                                              wire_tech, length)
+                           .normalized());
+    }
+    return median(std::move(vals));
+}
+
+/** Median crossover length across a subset ("all" when fp_filter<0). */
+double
+medianCrossover(const std::vector<CrossRun> &runs, int fp_filter,
+                unsigned entries, const wires::Technology &wire_tech,
+                const circuit::CircuitTech &ckt_tech)
+{
+    circuit::DesignConfig cfg = circuit::window8();
+    cfg.entries = entries;
+    const circuit::ImplEstimate impl = circuit::estimate(cfg, ckt_tech);
+    std::vector<double> vals;
+    for (const auto &run : runs) {
+        if (fp_filter >= 0 && run.is_fp != (fp_filter == 1))
+            continue;
+        if (run.entries != entries)
+            continue;
+        vals.push_back(analysis::crossoverLengthMm(run.result, impl,
+                                                   wire_tech));
+    }
+    return median(std::move(vals));
+}
+
+std::vector<Report>
+crossoverFigure(const Runner &runner, trace::BusKind bus,
+                const std::string &title)
+{
+    const auto runs = crossoverRuns(runner, bus);
+
+    std::vector<std::string> header = {"length_mm"};
+    for (const auto &wt : wires::allTechnologies())
+        for (unsigned entries : {8u, 16u})
+            for (const char *suite : {"specINT", "specFP"})
+                header.push_back(wt.name + "_" +
+                                 std::to_string(entries) + "e_" +
+                                 suite);
+
+    Table table(header);
+    for (int len = 1; len <= 30; ++len) {
+        table.row().cell(static_cast<long long>(len));
+        for (const auto &wt : wires::allTechnologies()) {
+            const auto &ct = circuit::circuitTech(wt.name);
+            for (unsigned entries : {8u, 16u}) {
+                for (const bool fp : {false, true}) {
+                    table.cell(medianNormalized(runs, fp, entries, wt,
+                                                ct, len),
+                               3);
+                }
+            }
+        }
+    }
+    return {Report(title, table)};
+}
+
+std::vector<Report>
+runFig37(const Runner &runner)
+{
+    return crossoverFigure(
+        runner, trace::BusKind::Register,
+        "Fig 37: median normalized energy vs length, register bus "
+        "(crossover where a curve passes 1.0)");
+}
+
+std::vector<Report>
+runFig38(const Runner &runner)
+{
+    return crossoverFigure(
+        runner, trace::BusKind::Memory,
+        "Fig 38: median normalized energy vs length, memory bus");
+}
+
+std::vector<Report>
+runTable3(const Runner &runner)
+{
+    const auto runs =
+        crossoverRuns(runner, trace::BusKind::Register);
+
+    Table table({"technology", "entries", "SPECint_mm", "SPECfp_mm",
+                 "ALL_mm"});
+    for (const auto &wt : wires::allTechnologies()) {
+        const auto &ct = circuit::circuitTech(wt.name);
+        for (unsigned entries : {8u, 16u}) {
+            table.row()
+                .cell(wt.name)
+                .cell(static_cast<long long>(entries));
+            for (int fp_filter : {0, 1, -1}) {
+                const double med =
+                    medianCrossover(runs, fp_filter, entries, wt, ct);
+                if (std::isfinite(med))
+                    table.cell(med, 1);
+                else
+                    table.cell("inf");
+            }
+        }
+    }
+    return {Report("Table 3: median crossover lengths, register bus, "
+                   "window design",
+                   table)};
+}
+
+const analysis::RegisterExperiment reg_fig37(
+    "fig37_crossover_regbus",
+    "median normalized energy vs length, register bus, 3 nodes",
+    runFig37);
+const analysis::RegisterExperiment reg_fig38(
+    "fig38_crossover_membus",
+    "median normalized energy vs length, memory bus, 3 nodes",
+    runFig38);
+const analysis::RegisterExperiment reg_table3(
+    "table3_crossover_medians",
+    "median crossover lengths, register bus, window design",
+    runTable3);
+
+} // namespace
+} // namespace predbus::bench

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Whole-system energy experiments (paper §5): Fig 26 energy budget,
+ * Table 2 transcoder implementation characteristics, and Figs 35-36
+ * total normalized energy vs wire length.
+ */
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/energy_eval.h"
+#include "bench/experiments/exp_common.h"
+#include "circuit/netlist_sim.h"
+#include "circuit/transcoder_impl.h"
+#include "common/stats.h"
+#include "wires/technology.h"
+
+namespace predbus::bench
+{
+namespace
+{
+
+std::vector<Report>
+runFig26(const Runner &runner)
+{
+    const std::vector<unsigned> entry_counts = {4,  8,  12, 16, 24,
+                                                32, 48, 64};
+    const std::vector<double> lengths = {15.0, 10.0, 5.0};
+    const wires::Technology tech = wires::tech013();
+    const auto wls = workloadSeries();
+
+    // One coding run per (entries, design, workload); the per-length
+    // budget is pure arithmetic on the run.
+    struct Cell
+    {
+        unsigned entries;
+        bool context;
+        std::size_t wl;
+    };
+    std::vector<Cell> grid;
+    for (unsigned entries : entry_counts)
+        for (const bool context : {true, false})
+            for (std::size_t w = 0; w < wls.size(); ++w)
+                grid.push_back({entries, context, w});
+
+    const std::vector<coding::CodingResult> runs =
+        runner.map(grid, [&](const Cell &cell) {
+            if (!cell.context)
+                return windowRun(wls[cell.wl],
+                                 trace::BusKind::Register,
+                                 cell.entries);
+            coding::ContextConfig cfg;
+            cfg.sr_size = std::min(8u, cell.entries / 2);
+            cfg.table_size = std::max(2u, cell.entries - cfg.sr_size);
+            auto codec = coding::makeContext(cfg);
+            return coding::evaluate(
+                *codec, seriesValues(wls[cell.wl],
+                                     trace::BusKind::Register));
+        });
+
+    std::vector<std::string> header = {"total_entries"};
+    for (double len : lengths) {
+        header.push_back(std::to_string(static_cast<int>(len)) +
+                         "mm_Context");
+        header.push_back(std::to_string(static_cast<int>(len)) +
+                         "mm_Window");
+    }
+
+    // Suite-average budget for each design at each length.
+    auto budget = [&](std::size_t row, bool context, double len) {
+        std::vector<double> per_wl;
+        for (std::size_t w = 0; w < wls.size(); ++w) {
+            const std::size_t base = row * 2 * wls.size();
+            const std::size_t idx =
+                base + (context ? 0 : wls.size()) + w;
+            per_wl.push_back(analysis::energyBudgetPerWord(
+                runs[idx], tech, len));
+        }
+        return mean(per_wl) * 1e12;  // pJ
+    };
+
+    Table table(header);
+    for (std::size_t row = 0; row < entry_counts.size(); ++row) {
+        table.row().cell(static_cast<long long>(entry_counts[row]));
+        for (double len : lengths) {
+            table.cell(budget(row, true, len), 4);
+            table.cell(budget(row, false, len), 4);
+        }
+    }
+    return {Report(
+        "Fig 26: energy budget (pJ per word) vs total entries",
+        table)};
+}
+
+/** Suite-total op counts from per-workload coding results. */
+coding::OpCounts
+totalOps(const std::vector<coding::CodingResult> &runs)
+{
+    coding::OpCounts total;
+    for (const auto &r : runs) {
+        total.cycles += r.ops.cycles;
+        total.matches += r.ops.matches;
+        total.shifts += r.ops.shifts;
+        total.counter_incs += r.ops.counter_incs;
+        total.compares += r.ops.compares;
+        total.swaps += r.ops.swaps;
+        total.divisions += r.ops.divisions;
+        total.raw_sends += r.ops.raw_sends;
+        total.hits += r.ops.hits;
+        total.last_hits += r.ops.last_hits;
+    }
+    return total;
+}
+
+std::vector<Report>
+runTable2(const Runner &runner)
+{
+    const auto wls = workloadSeries();
+
+    const std::vector<coding::CodingResult> window_runs =
+        runner.map(wls, [](const std::string &wl) {
+            return windowRun(wl, trace::BusKind::Register, 8);
+        });
+    const coding::OpCounts window_ops = totalOps(window_runs);
+
+    Table table({"technology", "voltage_V", "area_um2", "op_energy_pJ",
+                 "leakage_pJ", "delay_ns", "cycle_time_ns"});
+    for (const auto &tech : circuit::allCircuitTechs()) {
+        const circuit::ImplEstimate est =
+            circuit::estimate(circuit::window8(), tech);
+        table.row()
+            .cell(tech.name)
+            .cell(tech.vdd, 1)
+            .cell(est.area_um2, 0)
+            .cell(est.opEnergyPerCycle(window_ops) * 1e12, 2)
+            .cell(est.leak_per_cycle * 1e12, 5)
+            .cell(est.delay * 1e9, 1)
+            .cell(est.cycle_time * 1e9, 1);
+    }
+
+    const std::vector<coding::CodingResult> inv_runs =
+        runner.map(wls, [](const std::string &wl) {
+            auto codec = coding::makeInversion(2, 0.0);
+            return coding::evaluate(
+                *codec,
+                seriesValues(wl, trace::BusKind::Register));
+        });
+    const coding::OpCounts inv_ops = totalOps(inv_runs);
+    const circuit::ImplEstimate inv = circuit::estimate(
+        circuit::invertCoder(), circuit::circuit013());
+    table.row()
+        .cell("InvertCoder")
+        .cell(1.2, 1)
+        .cell(inv.area_um2, 0)
+        .cell(inv.opEnergyPerCycle(inv_ops) * 1e12, 2)
+        .cell(inv.leak_per_cycle * 1e12, 5)
+        .cell(inv.delay * 1e9, 1)
+        .cell(inv.cycle_time * 1e9, 1);
+
+    // Validation of the statistical model against the event-level
+    // accounting (paper: within 6% on a 100-cycle netlist run).
+    const auto &sample =
+        seriesValues("gcc", trace::BusKind::Register);
+    const std::vector<Word> head(
+        sample.begin(),
+        sample.begin() + std::min<std::size_t>(sample.size(), 10000));
+    auto codec = coding::makeWindow(8);
+    const coding::CodingResult r = coding::evaluate(*codec, head);
+    const circuit::ImplEstimate est =
+        circuit::estimate(circuit::window8(), circuit::circuit013());
+    const double statistical =
+        est.energyFor(r.ops, false) -
+        static_cast<double>(r.ops.cycles) * est.leak_per_cycle;
+    const circuit::NetlistEnergy detailed =
+        circuit::detailedWindowEnergy(head, 8, circuit::circuit013());
+    std::ostringstream note;
+    note << "Statistical vs event-level model (gcc register trace): "
+         << statistical * 1e12 << " pJ vs " << detailed.total * 1e12
+         << " pJ ("
+         << 100.0 * (statistical / detailed.total - 1.0)
+         << "% apart)";
+
+    return {Report("Table 2: transcoder implementation characteristics",
+                   table, {note.str()})};
+}
+
+std::vector<Report>
+lengthSweep(const Runner &runner, trace::BusKind bus,
+            const std::string &title)
+{
+    const circuit::ImplEstimate impl =
+        circuit::estimate(circuit::window8(), circuit::circuit013());
+    const wires::Technology tech = wires::tech013();
+    const auto wls = workloadSeries();
+
+    const std::vector<coding::CodingResult> runs =
+        runner.map(wls, [bus](const std::string &wl) {
+            return windowRun(wl, bus, 8);
+        });
+
+    std::vector<std::string> header = {"length_mm"};
+    header.insert(header.end(), wls.begin(), wls.end());
+
+    Table table(header);
+    for (int len = 1; len <= 30; ++len) {
+        table.row().cell(static_cast<long long>(len));
+        for (const auto &run : runs) {
+            const analysis::LengthEval e =
+                analysis::evalAtLength(run, impl, tech, len);
+            table.cell(e.normalized(), 3);
+        }
+    }
+    return {Report(title, table)};
+}
+
+std::vector<Report>
+runFig35(const Runner &runner)
+{
+    return lengthSweep(runner, trace::BusKind::Register,
+                       "Fig 35: window-8 total energy normalized to "
+                       "unencoded, register bus, 0.13um");
+}
+
+std::vector<Report>
+runFig36(const Runner &runner)
+{
+    return lengthSweep(runner, trace::BusKind::Memory,
+                       "Fig 36: window-8 total energy normalized to "
+                       "unencoded, memory bus, 0.13um");
+}
+
+const analysis::RegisterExperiment reg_fig26(
+    "fig26_energy_budget",
+    "transcoder energy budget per word vs total dictionary entries",
+    runFig26);
+const analysis::RegisterExperiment reg_table2(
+    "table2_transcoder_impl",
+    "transcoder silicon characteristics per node + model validation",
+    runTable2);
+const analysis::RegisterExperiment reg_fig35(
+    "fig35_window_regbus_energy",
+    "window-8 total energy normalized vs length, register bus",
+    runFig35);
+const analysis::RegisterExperiment reg_fig36(
+    "fig36_window_membus_energy",
+    "window-8 total energy normalized vs length, memory bus",
+    runFig36);
+
+} // namespace
+} // namespace predbus::bench

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Extension experiments beyond the paper: the memory address bus,
+ * internal buses (reorder buffer / register file), and head-to-head
+ * comparison with the related-work encodings of paper §2.
+ */
+
+#include <functional>
+#include <memory>
+
+#include "bench/experiments/exp_common.h"
+#include "common/stats.h"
+
+namespace predbus::bench
+{
+namespace
+{
+
+std::vector<Report>
+runAddressBus(const Runner &runner)
+{
+    struct Scheme
+    {
+        const char *label;
+        std::function<std::unique_ptr<coding::Transcoder>()> make;
+    };
+    const std::vector<Scheme> schemes = {
+        {"window8", [] { return coding::makeWindow(8); }},
+        {"window16", [] { return coding::makeWindow(16); }},
+        {"stride4", [] { return coding::makeStride(4); }},
+        {"stride16", [] { return coding::makeStride(16); }},
+        {"ctx-value", [] { return coding::makeContext(
+                               coding::ContextConfig{}); }},
+        {"businvert", [] { return coding::makeInversion(2, 0.0); }},
+    };
+
+    std::vector<std::string> header = {"workload"};
+    for (const auto &s : schemes)
+        header.push_back(s.label);
+
+    const auto wls = workloadSeries();
+    const std::vector<const std::vector<Word> *> streams =
+        runner.map(wls, [](const std::string &wl) {
+            return &seriesValues(wl, trace::BusKind::Address);
+        });
+    const std::vector<double> cells = runner.mapIndex(
+        wls.size() * schemes.size(), [&](std::size_t i) {
+            const std::size_t wl = i / schemes.size();
+            auto codec = schemes[i % schemes.size()].make();
+            return removedPercent(
+                coding::evaluate(*codec, *streams[wl]));
+        });
+
+    Table table(header);
+    std::vector<std::vector<double>> columns(schemes.size());
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+        table.row().cell(wls[w]);
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            const double pct = cells[w * schemes.size() + i];
+            columns[i].push_back(pct);
+            table.cell(pct, 2);
+        }
+    }
+    table.row().cell("MEDIAN");
+    for (auto &col : columns)
+        table.cell(median(col), 2);
+
+    return {Report(
+        "Extension: % energy removed on the memory address bus",
+        table)};
+}
+
+std::vector<Report>
+runInternalBuses(const Runner &runner)
+{
+    const std::vector<trace::BusKind> buses = {
+        trace::BusKind::Register, trace::BusKind::Writeback,
+        trace::BusKind::Memory, trace::BusKind::Address};
+
+    std::vector<std::string> header = {"workload"};
+    for (const auto bus : buses)
+        header.push_back(trace::busName(bus));
+
+    const auto wls = workloadSeries();
+    const std::vector<double> cells = runner.mapIndex(
+        wls.size() * buses.size(), [&](std::size_t i) {
+            const std::size_t wl = i / buses.size();
+            return removedPercent(windowRun(
+                wls[wl], buses[i % buses.size()], 8));
+        });
+
+    Table table(header);
+    std::vector<std::vector<double>> columns(buses.size());
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+        table.row().cell(wls[w]);
+        for (std::size_t i = 0; i < buses.size(); ++i) {
+            const double pct = cells[w * buses.size() + i];
+            columns[i].push_back(pct);
+            table.cell(pct, 2);
+        }
+    }
+    table.row().cell("MEDIAN");
+    for (auto &col : columns)
+        table.cell(median(col), 2);
+
+    return {Report("Extension: window-8 % energy removed across "
+                   "internal and external buses",
+                   table)};
+}
+
+Report
+relatedWorkBus(const Runner &runner, trace::BusKind bus,
+               const std::string &title)
+{
+    const std::vector<const char *> specs = {
+        "inv:2",    "pbi:4",    "pbi:8",    "wze:4",
+        "window:8", "ctx:28+8", "stride:16"};
+
+    std::vector<std::string> header = {"workload"};
+    for (const char *s : specs)
+        header.push_back(s);
+
+    const auto wls = workloadSeries();
+    const std::vector<const std::vector<Word> *> streams =
+        runner.map(wls, [bus](const std::string &wl) {
+            return &seriesValues(wl, bus);
+        });
+    const std::vector<double> cells = runner.mapIndex(
+        wls.size() * specs.size(), [&](std::size_t i) {
+            const std::size_t wl = i / specs.size();
+            auto codec =
+                coding::makeFromSpec(specs[i % specs.size()]);
+            return removedPercent(
+                coding::evaluate(*codec, *streams[wl]));
+        });
+
+    Table table(header);
+    std::vector<std::vector<double>> columns(specs.size());
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+        table.row().cell(wls[w]);
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const double pct = cells[w * specs.size() + i];
+            columns[i].push_back(pct);
+            table.cell(pct, 2);
+        }
+    }
+    table.row().cell("MEDIAN");
+    for (auto &col : columns)
+        table.cell(median(col), 2);
+    return Report(title, table);
+}
+
+std::vector<Report>
+runRelatedWork(const Runner &runner)
+{
+    return {relatedWorkBus(runner, trace::BusKind::Register,
+                           "Extension: related-work encodings, "
+                           "register bus (% energy removed)"),
+            relatedWorkBus(runner, trace::BusKind::Address,
+                           "Extension: related-work encodings, "
+                           "address bus (% energy removed)")};
+}
+
+const analysis::RegisterExperiment reg_address(
+    "ext_address_bus",
+    "paper's schemes applied to the memory address bus",
+    runAddressBus);
+const analysis::RegisterExperiment reg_internal(
+    "ext_internal_buses",
+    "window-8 across register, writeback, memory, and address buses",
+    runInternalBuses);
+const analysis::RegisterExperiment reg_related(
+    "ext_related_work",
+    "related-work encodings head-to-head on register and address "
+    "buses",
+    runRelatedWork);
+
+} // namespace
+} // namespace predbus::bench

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig 15: normalized energy remaining for the generalized inversion
+ * coder as a function of the wire's actual λ, when the selection logic
+ * assumes λ=0 (λ0), λ=1 (λ1), or the true value (λN). Series:
+ * memory-bus average, register-bus average (over the Fig 7
+ * benchmarks), and uniform random data.
+ */
+
+#include "bench/experiments/exp_common.h"
+#include "common/stats.h"
+
+namespace predbus::bench
+{
+namespace
+{
+
+constexpr unsigned kPatterns = 8;
+
+/** % energy remaining at actual λ for one stream, one selector λ. */
+double
+remainingPercent(const std::vector<Word> &values, double assumed,
+                 double actual)
+{
+    auto codec = coding::makeInversion(kPatterns, assumed);
+    const coding::CodingResult r = coding::evaluate(*codec, values);
+    const double base = r.base.cost(actual);
+    return base > 0 ? 100.0 * r.coded.cost(actual) / base : 100.0;
+}
+
+std::vector<Report>
+runFig15(const Runner &runner)
+{
+    const std::vector<double> lambdas = {0.1, 0.2, 0.5, 1.0, 2.0,
+                                         5.0, 10.0, 20.0, 50.0, 100.0};
+
+    // Gather the streams once (parallel first touch).
+    const auto wls = statsBenchmarks();
+    const std::vector<const std::vector<Word> *> reg_streams =
+        runner.map(wls, [](const std::string &wl) {
+            return &seriesValues(wl, trace::BusKind::Register);
+        });
+    const std::vector<const std::vector<Word> *> mem_streams =
+        runner.map(wls, [](const std::string &wl) {
+            return &seriesValues(wl, trace::BusKind::Memory);
+        });
+    const std::vector<Word> &random =
+        seriesValues("random", trace::BusKind::Register);
+
+    // One task per table row (actual λ); each row reproduces the
+    // original serial cell order exactly.
+    const std::vector<std::vector<double>> rows = runner.map(
+        lambdas, [&](double actual) {
+            std::vector<double> cells;
+            for (const auto *streams : {&mem_streams, &reg_streams}) {
+                for (const double assumed : {0.0, 1.0, actual}) {
+                    std::vector<double> vals;
+                    for (const auto *stream : *streams)
+                        vals.push_back(remainingPercent(
+                            *stream, assumed, actual));
+                    cells.push_back(mean(vals));
+                }
+            }
+            for (const double assumed : {0.0, 1.0, actual})
+                cells.push_back(
+                    remainingPercent(random, assumed, actual));
+            return cells;
+        });
+
+    Table table({"actual_lambda", "mem_l0", "mem_l1", "mem_lN",
+                 "reg_l0", "reg_l1", "reg_lN", "random_l0",
+                 "random_l1", "random_lN"});
+    for (std::size_t r = 0; r < lambdas.size(); ++r) {
+        table.row().cell(lambdas[r], 2);
+        for (double cell : rows[r])
+            table.cell(cell, 2);
+    }
+    return {Report("Fig 15: inversion coder % energy remaining vs "
+                   "actual lambda (8 patterns)",
+                   table)};
+}
+
+const analysis::RegisterExperiment reg_fig15(
+    "fig15_inversion_lambda",
+    "inversion coder energy remaining vs actual lambda (l0/l1/lN)",
+    runFig15);
+
+} // namespace
+} // namespace predbus::bench

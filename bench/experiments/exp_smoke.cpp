@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Smoke experiment: a fast end-to-end pass through the engine on
+ * synthetic streams only (no simulator, no trace cache). Used by the
+ * tier-1 test suite to exercise registry lookup, the parallel runner,
+ * and every emitter in well under a second.
+ */
+
+#include "bench/experiments/exp_common.h"
+
+namespace predbus::bench
+{
+namespace
+{
+
+constexpr std::size_t kWords = 4096;
+
+std::vector<Word>
+syntheticStream(unsigned variant)
+{
+    // Half pseudo-random traffic, half predictable ramp: exercises
+    // both the miss and hit paths of every predictor.
+    std::vector<Word> values =
+        analysis::randomValues(kWords / 2, 0x5A0CE + variant);
+    for (std::size_t i = 0; i < kWords / 2; ++i)
+        values.push_back(static_cast<Word>(i * (variant + 1)));
+    return values;
+}
+
+std::vector<Report>
+runSmoke(const Runner &runner)
+{
+    struct Scheme
+    {
+        const char *label;
+        const char *spec;
+    };
+    const std::vector<Scheme> schemes = {
+        {"window8", "window:8"},
+        {"stride4", "stride:4"},
+        {"ctx16+8", "ctx:16+8"},
+        {"businvert", "inv:2"},
+    };
+    const std::vector<unsigned> variants = {0, 1, 2};
+
+    std::vector<std::string> header = {"stream"};
+    for (const auto &s : schemes)
+        header.push_back(s.label);
+
+    const std::vector<double> cells = runner.mapIndex(
+        variants.size() * schemes.size(), [&](std::size_t i) {
+            const unsigned variant = variants[i / schemes.size()];
+            const auto &scheme = schemes[i % schemes.size()];
+            auto codec = coding::makeFromSpec(scheme.spec);
+            // verify_decode on: the smoke test doubles as a
+            // lossless-transcoding check.
+            return removedPercent(coding::evaluate(
+                *codec, syntheticStream(variant), true));
+        });
+
+    Table table(header);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        table.row().cell("synthetic" + std::to_string(variants[v]));
+        for (std::size_t i = 0; i < schemes.size(); ++i)
+            table.cell(cells[v * schemes.size() + i], 2);
+    }
+    return {Report("Smoke: % energy removed on synthetic streams "
+                   "(decode-verified)",
+                   table)};
+}
+
+const analysis::RegisterExperiment reg_smoke(
+    "smoke_engine",
+    "fast synthetic end-to-end engine check (tier-1)", runSmoke);
+
+} // namespace
+} // namespace predbus::bench

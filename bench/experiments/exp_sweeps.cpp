@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The parameter-sweep experiments of Figs 16-23: % normalized energy
+ * removed vs predictor size, for the stride, window, and context
+ * transcoders on the register and memory data buses.
+ */
+
+#include <sstream>
+
+#include "bench/experiments/exp_common.h"
+#include "common/stats.h"
+
+namespace predbus::bench
+{
+namespace
+{
+
+const std::vector<unsigned> kStrideCounts = {1,  2,  3,  4,  5,  6,
+                                             8,  10, 12, 15, 20, 25,
+                                             30};
+const std::vector<unsigned> kWindowSizes = {2,  4,  6,  8,  12, 16,
+                                            24, 32, 48, 64};
+const std::vector<unsigned> kTableSizes = {4,  8,  12, 16, 20, 24,
+                                           28, 32, 40, 48, 56, 64};
+
+/**
+ * Window sweep via the shared windowRun memo: identical numbers to
+ * sweepTable with makeWindow, but the (workload, entries) runs are
+ * cached for the energy/crossover experiments that need them again.
+ */
+Table
+windowSweepTable(const Runner &runner, trace::BusKind bus)
+{
+    const auto wls = workloadSeries();
+    const std::size_t cols = wls.size();
+    const std::vector<double> cells = runner.mapIndex(
+        kWindowSizes.size() * cols, [&](std::size_t i) {
+            return removedPercent(windowRun(
+                wls[i % cols], bus, kWindowSizes[i / cols]));
+        });
+
+    std::vector<std::string> header = {"window_entries"};
+    header.insert(header.end(), wls.begin(), wls.end());
+    Table table(header);
+    for (std::size_t r = 0; r < kWindowSizes.size(); ++r) {
+        table.row().cell(static_cast<long long>(kWindowSizes[r]));
+        for (std::size_t c = 0; c < cols; ++c)
+            table.cell(cells[r * cols + c], 2);
+    }
+    return table;
+}
+
+CodecFactory
+contextFactory(bool transition_based)
+{
+    return [transition_based](unsigned t) {
+        coding::ContextConfig cfg;
+        cfg.table_size = t;
+        cfg.sr_size = 8;
+        cfg.transition_based = transition_based;
+        return coding::makeContext(cfg);
+    };
+}
+
+std::vector<Report>
+runFig16(const Runner &runner)
+{
+    return {Report(
+        "Fig 16: stride predictor % energy removed, memory bus",
+        sweepTable(runner, "strides", kStrideCounts,
+                   seriesWithRandom(), trace::BusKind::Memory,
+                   [](unsigned k) { return coding::makeStride(k); }))};
+}
+
+std::vector<Report>
+runFig17(const Runner &runner)
+{
+    return {Report(
+        "Fig 17: stride predictor % energy removed, register bus",
+        sweepTable(runner, "strides", kStrideCounts,
+                   seriesWithRandom(), trace::BusKind::Register,
+                   [](unsigned k) { return coding::makeStride(k); }))};
+}
+
+std::vector<Report>
+runFig18(const Runner &runner)
+{
+    return {Report(
+        "Fig 18: window transcoder % energy removed, memory bus",
+        windowSweepTable(runner, trace::BusKind::Memory))};
+}
+
+std::vector<Report>
+runFig19(const Runner &runner)
+{
+    Table table =
+        windowSweepTable(runner, trace::BusKind::Register);
+
+    // Headline summary (paper §7: average 36% on SPEC95).
+    std::vector<double> at8;
+    for (std::size_t r = 0; r < table.rowCount(); ++r) {
+        if (table.at(r, 0) == "8") {
+            for (std::size_t c = 1; c < table.columnCount(); ++c)
+                at8.push_back(std::stod(table.at(r, c)));
+        }
+    }
+    std::ostringstream note;
+    note << "Average % energy removed at 8 entries "
+            "(paper headline ~36% transition reduction): "
+         << mean(at8) << "%";
+    return {Report(
+        "Fig 19: window transcoder % energy removed, register bus",
+        std::move(table), {note.str()})};
+}
+
+std::vector<Report>
+runFig20(const Runner &runner)
+{
+    return {Report("Fig 20: context (transition-based) % energy "
+                   "removed, memory bus",
+                   sweepTable(runner, "table_size", kTableSizes,
+                              seriesWithRandom(),
+                              trace::BusKind::Memory,
+                              contextFactory(true)))};
+}
+
+std::vector<Report>
+runFig21(const Runner &runner)
+{
+    return {Report("Fig 21: context (transition-based) % energy "
+                   "removed, register bus",
+                   sweepTable(runner, "table_size", kTableSizes,
+                              seriesWithRandom(),
+                              trace::BusKind::Register,
+                              contextFactory(true)))};
+}
+
+std::vector<Report>
+runFig22(const Runner &runner)
+{
+    return {Report(
+        "Fig 22: context (value-based) % energy removed, memory bus",
+        sweepTable(runner, "table_size", kTableSizes,
+                   seriesWithRandom(), trace::BusKind::Memory,
+                   contextFactory(false)))};
+}
+
+std::vector<Report>
+runFig23(const Runner &runner)
+{
+    return {Report(
+        "Fig 23: context (value-based) % energy removed, register bus",
+        sweepTable(runner, "table_size", kTableSizes,
+                   seriesWithRandom(), trace::BusKind::Register,
+                   contextFactory(false)))};
+}
+
+const analysis::RegisterExperiment reg_fig16(
+    "fig16_stride_membus",
+    "stride predictor sweep, memory data bus", runFig16);
+const analysis::RegisterExperiment reg_fig17(
+    "fig17_stride_regbus",
+    "stride predictor sweep, register bus", runFig17);
+const analysis::RegisterExperiment reg_fig18(
+    "fig18_window_membus",
+    "window transcoder sweep, memory data bus", runFig18);
+const analysis::RegisterExperiment reg_fig19(
+    "fig19_window_regbus",
+    "window transcoder sweep, register bus (paper headline)",
+    runFig19);
+const analysis::RegisterExperiment reg_fig20(
+    "fig20_ctx_trans_membus",
+    "context (transition-based) table-size sweep, memory bus",
+    runFig20);
+const analysis::RegisterExperiment reg_fig21(
+    "fig21_ctx_trans_regbus",
+    "context (transition-based) table-size sweep, register bus",
+    runFig21);
+const analysis::RegisterExperiment reg_fig22(
+    "fig22_ctx_value_membus",
+    "context (value-based) table-size sweep, memory bus", runFig22);
+const analysis::RegisterExperiment reg_fig23(
+    "fig23_ctx_value_regbus",
+    "context (value-based) table-size sweep, register bus", runFig23);
+
+} // namespace
+} // namespace predbus::bench

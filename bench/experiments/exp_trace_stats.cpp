@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Trace characterization experiments (paper §4.2): Fig 7 unique-value
+ * CDFs and Fig 8 per-window unique fractions, over the register and
+ * memory data buses of gcc, su2cor, swim and turb3d.
+ */
+
+#include <algorithm>
+
+#include "bench/experiments/exp_common.h"
+#include "trace/trace_stats.h"
+
+namespace predbus::bench
+{
+namespace
+{
+
+struct StatsSeries
+{
+    std::string workload;
+    trace::BusKind bus;
+};
+
+std::vector<StatsSeries>
+statsSeries()
+{
+    std::vector<StatsSeries> out;
+    for (const auto &wl : statsBenchmarks())
+        for (const auto bus :
+             {trace::BusKind::Register, trace::BusKind::Memory})
+            out.push_back({wl, bus});
+    return out;
+}
+
+std::vector<Report>
+runFig07(const Runner &runner)
+{
+    const std::vector<std::size_t> ks = {1,    2,    5,     10,   20,
+                                         50,   100,  200,   500,  1000,
+                                         2000, 5000, 10000, 20000,
+                                         50000, 100000};
+
+    const auto series = statsSeries();
+    const std::vector<std::vector<double>> cdfs =
+        runner.map(series, [](const StatsSeries &s) {
+            return trace::uniqueValueCdf(
+                seriesValues(s.workload, s.bus));
+        });
+
+    std::vector<std::string> header = {"top_k_unique_values"};
+    for (const auto &s : series)
+        header.push_back(s.workload +
+                         (s.bus == trace::BusKind::Register
+                              ? ", reg bus"
+                              : ", memory data bus"));
+
+    Table table(header);
+    for (std::size_t k : ks) {
+        table.row().cell(static_cast<long long>(k));
+        for (const auto &cdf : cdfs) {
+            const double frac =
+                cdf.empty() ? 0.0
+                            : cdf[std::min(k, cdf.size()) - 1];
+            table.cell(frac, 4);
+        }
+    }
+    return {Report(
+        "Fig 7: fraction of total values covered by top-k uniques",
+        table)};
+}
+
+std::vector<Report>
+runFig08(const Runner &runner)
+{
+    const std::vector<std::size_t> windows = {
+        1, 2, 5, 10, 20, 50, 100, 1000, 10000, 100000};
+
+    const auto series = statsSeries();
+    std::vector<std::string> header = {"window_size"};
+    for (const auto &s : series)
+        header.push_back(s.workload +
+                         (s.bus == trace::BusKind::Register
+                              ? " reg bus"
+                              : " memory data"));
+
+    const std::size_t cols = series.size();
+    const std::vector<double> cells = runner.mapIndex(
+        windows.size() * cols, [&](std::size_t i) {
+            const auto &s = series[i % cols];
+            return trace::windowUniqueFraction(
+                seriesValues(s.workload, s.bus),
+                windows[i / cols]);
+        });
+
+    Table table(header);
+    for (std::size_t r = 0; r < windows.size(); ++r) {
+        table.row().cell(static_cast<long long>(windows[r]));
+        for (std::size_t c = 0; c < cols; ++c)
+            table.cell(cells[r * cols + c], 4);
+    }
+    return {Report("Fig 8: average unique fraction per window", table)};
+}
+
+const analysis::RegisterExperiment reg_fig07(
+    "fig07_value_cdf",
+    "CDF of most-frequent unique bus values (gcc/su2cor/swim/turb3d)",
+    runFig07);
+const analysis::RegisterExperiment reg_fig08(
+    "fig08_window_unique",
+    "fraction of values unique within a window vs window size",
+    runFig08);
+
+} // namespace
+} // namespace predbus::bench

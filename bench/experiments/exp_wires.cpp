@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Interconnect characterization experiments (paper §3): Figs 5-6 and
+ * Table 1. Pure wire-model math — no traces, no simulation.
+ */
+
+#include "bench/experiments/exp_common.h"
+#include "wires/wire_model.h"
+
+namespace predbus::bench
+{
+namespace
+{
+
+/** Figs 5-6 share the same matrix; only the measured quantity and
+ * printed precision differ. */
+Table
+wireSweep(double (wires::WireModel::*metric)() const, double unit,
+          int precision)
+{
+    std::vector<std::string> header = {"length_mm"};
+    for (const auto &tech : wires::allTechnologies())
+        header.push_back("Repeater_" + tech.name);
+    for (const auto &tech : wires::allTechnologies())
+        header.push_back("Wire_" + tech.name);
+
+    Table table(header);
+    for (int len = 1; len <= 30; ++len) {
+        table.row().cell(static_cast<long long>(len));
+        for (const bool buffered : {true, false}) {
+            for (const auto &tech : wires::allTechnologies()) {
+                const wires::WireModel w(tech, len, buffered);
+                table.cell((w.*metric)() * unit, precision);
+            }
+        }
+    }
+    return table;
+}
+
+std::vector<Report>
+runFig05(const Runner &)
+{
+    return {Report("Fig 5: wire energy (pJ) vs length (mm)",
+                   wireSweep(&wires::WireModel::isolatedTransitionEnergy,
+                             1e12, 4))};
+}
+
+std::vector<Report>
+runFig06(const Runner &)
+{
+    return {Report("Fig 6: wire delay (ps) vs length (mm)",
+                   wireSweep(&wires::WireModel::delay, 1e12, 1))};
+}
+
+std::vector<Report>
+runTable1(const Runner &)
+{
+    Table table({"technology", "wire_type", "average_lambda"});
+    for (const auto &tech : wires::allTechnologies()) {
+        table.row()
+            .cell(tech.name)
+            .cell("unbuffered")
+            .cell(tech.unbufferedLambda(), 3);
+        // Average across the plotted length range, as in the paper.
+        double sum = 0.0;
+        int n = 0;
+        for (int len = 5; len <= 30; len += 5) {
+            sum += wires::WireModel(tech, len, true).effectiveLambda();
+            ++n;
+        }
+        table.row()
+            .cell(tech.name)
+            .cell("with_repeaters")
+            .cell(sum / n, 3);
+    }
+    return {Report("Table 1: effective lambda values", table)};
+}
+
+const analysis::RegisterExperiment reg_fig05(
+    "fig05_wire_energy",
+    "wire transition energy vs length, 3 nodes, buffered+unbuffered",
+    runFig05);
+const analysis::RegisterExperiment reg_fig06(
+    "fig06_wire_delay",
+    "wire propagation delay vs length, 3 nodes, buffered+unbuffered",
+    runFig06);
+const analysis::RegisterExperiment reg_table1(
+    "table1_lambda",
+    "effective lambda per technology node, unbuffered and buffered",
+    runTable1);
+
+} // namespace
+} // namespace predbus::bench

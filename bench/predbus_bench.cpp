@@ -1,0 +1,199 @@
+/**
+ * @file
+ * predbus_bench — the one driver for every registered experiment.
+ *
+ * Replaces the thirty standalone fig/table/ablation/ext binaries:
+ *
+ *   predbus_bench --list
+ *   predbus_bench --filter 'fig19*' --format csv
+ *   predbus_bench --jobs 8 --out results --format json
+ *
+ * Experiment names match the former binary names, so any published
+ * reproduction command maps 1:1. Honors PREDBUS_CYCLES and
+ * PREDBUS_TRACE_DIR like the binaries it replaces.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/runner.h"
+#include "common/log.h"
+
+using namespace predbus;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: predbus_bench [options] [name-glob...]\n"
+          "\n"
+          "  --list            list experiments and exit\n"
+          "  --filter GLOB     run experiments matching GLOB "
+          "(repeatable;\n"
+          "                    positional arguments are filters too)\n"
+          "  --jobs N          worker threads (default: hardware "
+          "threads;\n"
+          "                    results are identical for any N)\n"
+          "  --format FMT      table | csv | json (default: table)\n"
+          "  --csv             shorthand for --format csv\n"
+          "  --out DIR         write one file per experiment "
+          "(NAME.EXT)\n"
+          "                    into DIR instead of stdout\n"
+          "  --help            this text\n"
+          "\n"
+          "Environment: PREDBUS_CYCLES (trace length), "
+          "PREDBUS_TRACE_DIR (cache).\n";
+}
+
+struct Options
+{
+    bool list = false;
+    std::vector<std::string> filters;
+    unsigned jobs = 0;
+    analysis::Format format = analysis::Format::Table;
+    std::string out_dir;
+};
+
+std::string
+argValue(int argc, char **argv, int &i, const std::string &flag)
+{
+    if (i + 1 >= argc)
+        fatal("missing value for ", flag);
+    return argv[++i];
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--filter") {
+            opt.filters.push_back(argValue(argc, argv, i, arg));
+        } else if (arg == "--jobs" || arg == "-j") {
+            const std::string v = argValue(argc, argv, i, arg);
+            try {
+                opt.jobs = static_cast<unsigned>(std::stoul(v));
+            } catch (const std::exception &) {
+                fatal("bad --jobs value '", v, "'");
+            }
+        } else if (arg == "--format") {
+            const std::string v = argValue(argc, argv, i, arg);
+            const auto format = analysis::parseFormat(v);
+            if (!format)
+                fatal("unknown format '", v,
+                      "' (expected table, csv, or json)");
+            opt.format = *format;
+        } else if (arg == "--csv") {
+            opt.format = analysis::Format::Csv;
+        } else if (arg == "--out") {
+            opt.out_dir = argValue(argc, argv, i, arg);
+        } else if (!arg.empty() && arg[0] == '-') {
+            fatal("unknown option '", arg, "' (see --help)");
+        } else {
+            opt.filters.push_back(arg);
+        }
+    }
+    return opt;
+}
+
+std::vector<const analysis::Experiment *>
+selectExperiments(const Options &opt)
+{
+    const auto &registry = analysis::Registry::instance();
+    if (opt.filters.empty())
+        return registry.all();
+
+    // Union of all filters, deduped, in registry (sorted) order.
+    std::vector<const analysis::Experiment *> selected;
+    for (const auto *exp : registry.all()) {
+        for (const auto &glob : opt.filters) {
+            if (analysis::globMatch(glob, exp->name)) {
+                selected.push_back(exp);
+                break;
+            }
+        }
+    }
+    if (selected.empty()) {
+        std::string globs;
+        for (const auto &g : opt.filters)
+            globs += (globs.empty() ? "" : ", ") + g;
+        fatal("no experiment matches ", globs,
+              " (try --list for names)");
+    }
+    return selected;
+}
+
+int
+runMain(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    const auto &registry = analysis::Registry::instance();
+
+    if (opt.list) {
+        std::size_t width = 0;
+        for (const auto *exp : registry.all())
+            width = std::max(width, exp->name.size());
+        for (const auto *exp : registry.all())
+            std::cout << exp->name
+                      << std::string(width - exp->name.size() + 2, ' ')
+                      << exp->description << '\n';
+        return 0;
+    }
+
+    const auto selected = selectExperiments(opt);
+    const analysis::Runner runner(opt.jobs);
+
+    if (!opt.out_dir.empty())
+        std::filesystem::create_directories(opt.out_dir);
+
+    for (const auto *exp : selected) {
+        const std::vector<analysis::Report> reports =
+            exp->run(runner);
+        if (opt.out_dir.empty()) {
+            analysis::emitExperiment(std::cout, exp->name, reports,
+                                     opt.format);
+        } else {
+            const std::filesystem::path path =
+                std::filesystem::path(opt.out_dir) /
+                (exp->name + "." +
+                 analysis::formatExtension(opt.format));
+            std::ofstream os(path);
+            if (!os)
+                fatal("cannot write ", path.string());
+            analysis::emitExperiment(os, exp->name, reports,
+                                     opt.format);
+            std::cerr << "wrote " << path.string() << '\n';
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const FatalError &e) {
+        std::cerr << "predbus_bench: " << e.what() << '\n';
+        return 1;
+    } catch (const PanicError &e) {
+        std::cerr << "predbus_bench: internal error: " << e.what()
+                  << '\n';
+        return 2;
+    }
+}

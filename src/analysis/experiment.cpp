@@ -1,0 +1,207 @@
+#include "analysis/experiment.h"
+
+#include <ostream>
+
+#include "common/log.h"
+
+namespace predbus::analysis
+{
+
+std::optional<Format>
+parseFormat(const std::string &name)
+{
+    if (name == "table")
+        return Format::Table;
+    if (name == "csv")
+        return Format::Csv;
+    if (name == "json")
+        return Format::Json;
+    return std::nullopt;
+}
+
+const char *
+formatExtension(Format format)
+{
+    switch (format) {
+      case Format::Table: return "txt";
+      case Format::Csv: return "csv";
+      case Format::Json: return "json";
+    }
+    return "txt";
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::add(Experiment experiment)
+{
+    const auto [it, inserted] =
+        experiments.emplace(experiment.name, std::move(experiment));
+    if (!inserted)
+        fatal("duplicate experiment name '", it->first, "'");
+}
+
+std::vector<const Experiment *>
+Registry::all() const
+{
+    std::vector<const Experiment *> out;
+    out.reserve(experiments.size());
+    for (const auto &[name, exp] : experiments)
+        out.push_back(&exp);
+    return out;
+}
+
+std::vector<const Experiment *>
+Registry::match(const std::string &glob) const
+{
+    std::vector<const Experiment *> out;
+    for (const auto &[name, exp] : experiments)
+        if (globMatch(glob, name))
+            out.push_back(&exp);
+    return out;
+}
+
+const Experiment *
+Registry::find(const std::string &name) const
+{
+    const auto it = experiments.find(name);
+    return it == experiments.end() ? nullptr : &it->second;
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative '*'/'?' matcher with backtracking to the last star.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+namespace
+{
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                os << "\\u00" << hex[(ch >> 4) & 0xf]
+                   << hex[ch & 0xf];
+            } else {
+                os << ch;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+emitReportJson(std::ostream &os, const Report &report,
+               const char *indent)
+{
+    os << indent << "{\n";
+    os << indent << "  \"title\": ";
+    jsonEscape(os, report.title);
+    os << ",\n" << indent << "  \"header\": [";
+    for (std::size_t c = 0; c < report.table.columnCount(); ++c) {
+        if (c)
+            os << ", ";
+        jsonEscape(os, report.table.headerAt(c));
+    }
+    os << "],\n" << indent << "  \"rows\": [\n";
+    for (std::size_t r = 0; r < report.table.rowCount(); ++r) {
+        os << indent << "    [";
+        for (std::size_t c = 0; c < report.table.columnCount(); ++c) {
+            if (c)
+                os << ", ";
+            jsonEscape(os, report.table.at(r, c));
+        }
+        os << ']' << (r + 1 < report.table.rowCount() ? "," : "")
+           << '\n';
+    }
+    os << indent << "  ],\n" << indent << "  \"notes\": [";
+    for (std::size_t i = 0; i < report.notes.size(); ++i) {
+        if (i)
+            os << ", ";
+        jsonEscape(os, report.notes[i]);
+    }
+    os << "]\n" << indent << "}";
+}
+
+} // namespace
+
+void
+emitReport(std::ostream &os, const Report &report, Format format)
+{
+    switch (format) {
+      case Format::Table:
+        os << "# " << report.title << "\n\n";
+        report.table.print(os);
+        for (const auto &note : report.notes)
+            os << note << '\n';
+        os << '\n';
+        break;
+      case Format::Csv:
+        // Matches the pre-engine bench --csv output: data rows only,
+        // one trailing blank line per table.
+        report.table.printCsv(os);
+        os << '\n';
+        break;
+      case Format::Json:
+        emitReportJson(os, report, "");
+        os << '\n';
+        break;
+    }
+}
+
+void
+emitExperiment(std::ostream &os, const std::string &name,
+               const std::vector<Report> &reports, Format format)
+{
+    if (format == Format::Json) {
+        os << "{\n  \"experiment\": ";
+        jsonEscape(os, name);
+        os << ",\n  \"reports\": [\n";
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            emitReportJson(os, reports[i], "    ");
+            os << (i + 1 < reports.size() ? "," : "") << '\n';
+        }
+        os << "  ]\n}\n";
+        return;
+    }
+    for (const auto &report : reports)
+        emitReport(os, report, format);
+}
+
+} // namespace predbus::analysis

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The experiment registry and structured result emitters.
+ *
+ * Every paper figure/table reproduction, ablation, and extension is a
+ * registered Experiment: a name (the former standalone binary's name),
+ * a one-line description, and a producer that builds one or more
+ * Reports, parallelizing its (workload, scheme, parameter) grid
+ * through the supplied Runner. One driver binary (predbus_bench)
+ * lists, filters, and runs them; tools and tests reuse the same
+ * registry and emitters.
+ */
+
+#ifndef PREDBUS_ANALYSIS_EXPERIMENT_H
+#define PREDBUS_ANALYSIS_EXPERIMENT_H
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/runner.h"
+#include "common/table.h"
+
+namespace predbus::analysis
+{
+
+/** Output encodings understood by every emitter. */
+enum class Format
+{
+    Table,  ///< aligned human-readable text
+    Csv,    ///< RFC-4180-ish CSV, one table per report
+    Json,   ///< one JSON object per experiment
+};
+
+/** Parse "table" | "csv" | "json" (nullopt otherwise). */
+std::optional<Format> parseFormat(const std::string &name);
+
+/** File extension (without dot) for --out files. */
+const char *formatExtension(Format format);
+
+/** One table of results plus free-form footnote lines. */
+struct Report
+{
+    std::string title;               ///< heading, e.g. the figure caption
+    Table table;                     ///< the rows/series grid
+    std::vector<std::string> notes;  ///< headline summaries etc.
+
+    explicit Report(std::string title, Table table,
+                    std::vector<std::string> notes = {})
+        : title(std::move(title)),
+          table(std::move(table)),
+          notes(std::move(notes))
+    {
+    }
+};
+
+/** A registered experiment. */
+struct Experiment
+{
+    /** Registry key; kept equal to the pre-engine binary name
+     * (e.g. "fig19_window_regbus") so published commands survive. */
+    std::string name;
+    /** One-line description for --list. */
+    std::string description;
+    /** Produce the reports, fanning grid cells through @p runner. */
+    std::function<std::vector<Report>(const Runner &runner)> run;
+};
+
+/**
+ * Process-wide experiment registry. Experiments self-register at
+ * static-init time via RegisterExperiment; iteration is sorted by
+ * name so listings and full-registry runs are deterministic.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Throws FatalError on duplicate names. */
+    void add(Experiment experiment);
+
+    /** All experiments, sorted by name. */
+    std::vector<const Experiment *> all() const;
+
+    /** Experiments whose name matches @p glob (sorted by name). */
+    std::vector<const Experiment *>
+    match(const std::string &glob) const;
+
+    /** Exact-name lookup; nullptr when absent. */
+    const Experiment *find(const std::string &name) const;
+
+  private:
+    std::map<std::string, Experiment> experiments;
+};
+
+/** Static registrar: declare one per experiment at namespace scope. */
+struct RegisterExperiment
+{
+    RegisterExperiment(
+        std::string name, std::string description,
+        std::function<std::vector<Report>(const Runner &)> run)
+    {
+        Registry::instance().add(Experiment{
+            std::move(name), std::move(description), std::move(run)});
+    }
+};
+
+/** Shell-style glob match supporting '*' and '?'. */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+/** Render one report in @p format. CSV omits title and notes (data
+ * only, matching the pre-engine --csv output byte for byte). */
+void emitReport(std::ostream &os, const Report &report,
+                Format format);
+
+/** Render a whole experiment's reports; JSON wraps them in a single
+ * object keyed by the experiment name. */
+void emitExperiment(std::ostream &os, const std::string &name,
+                    const std::vector<Report> &reports, Format format);
+
+} // namespace predbus::analysis
+
+#endif // PREDBUS_ANALYSIS_EXPERIMENT_H

@@ -1,0 +1,76 @@
+#include "analysis/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace predbus::analysis
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+Runner::Runner(unsigned jobs) : job_count(resolveJobs(jobs)) {}
+
+void
+Runner::forEachIndex(std::size_t n,
+                     const std::function<void(std::size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+
+    if (job_count <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Work-stealing by shared atomic counter: threads pull the next
+    // index until exhausted. Results are written by index by the
+    // caller, so scheduling order never affects output.
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::size_t first_error_index = n;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(error_mutex);
+                if (i < first_error_index) {
+                    first_error_index = i;
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    const std::size_t thread_count =
+        std::min<std::size_t>(job_count, n);
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count - 1);
+    for (std::size_t t = 1; t < thread_count; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &th : pool)
+        th.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace predbus::analysis

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parallel grid runner for the experiment engine.
+ *
+ * Experiments decompose into independent cells — typically one
+ * (workload, scheme, parameter) coding run each. The runner fans cells
+ * across a pool of worker threads and collects results *by index*, so
+ * the assembled output is deterministic and byte-identical regardless
+ * of the job count: --jobs 1 and --jobs N produce the same tables.
+ */
+
+#ifndef PREDBUS_ANALYSIS_RUNNER_H
+#define PREDBUS_ANALYSIS_RUNNER_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace predbus::analysis
+{
+
+/**
+ * Executes indexed tasks on up to @p jobs threads. jobs == 1 runs
+ * inline on the calling thread (no pool), which is also the fallback
+ * when hardware_concurrency is unknown. Exceptions thrown by tasks are
+ * captured and rethrown on the calling thread (first by index).
+ */
+class Runner
+{
+  public:
+    /** @p jobs 0 means one job per hardware thread. */
+    explicit Runner(unsigned jobs = 0);
+
+    unsigned jobs() const { return job_count; }
+
+    /** Run fn(0) .. fn(n-1), fanned across the pool; returns when all
+     * are done. Tasks must be independent. */
+    void forEachIndex(std::size_t n,
+                      const std::function<void(std::size_t)> &fn) const;
+
+    /**
+     * Map @p items through @p fn in parallel; results arrive in input
+     * order (result[i] == fn(items[i])) independent of scheduling.
+     */
+    template <typename T, typename F>
+    auto
+    map(const std::vector<T> &items, F &&fn) const
+        -> std::vector<decltype(fn(items[0]))>
+    {
+        using R = decltype(fn(items[0]));
+        std::vector<R> results(items.size());
+        forEachIndex(items.size(), [&](std::size_t i) {
+            results[i] = fn(items[i]);
+        });
+        return results;
+    }
+
+    /** Map over indices 0..n-1; result[i] == fn(i). */
+    template <typename F>
+    auto
+    mapIndex(std::size_t n, F &&fn) const
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        using R = decltype(fn(std::size_t{0}));
+        std::vector<R> results(n);
+        forEachIndex(n, [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+  private:
+    unsigned job_count;
+};
+
+/** Resolve a --jobs style request: 0 -> hardware threads (min 1). */
+unsigned resolveJobs(unsigned requested);
+
+} // namespace predbus::analysis
+
+#endif // PREDBUS_ANALYSIS_RUNNER_H

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <mutex>
 
 #include "common/log.h"
 #include "common/rng.h"
@@ -39,7 +40,7 @@ cachePath(const SuiteOptions &opt, const std::string &workload,
 }
 
 /** Simulate @p workload for the option's cycle budget and write both
- * bus traces into the cache. */
+ * bus traces into the cache (atomically, via saveTrace). */
 void
 generateTraces(const SuiteOptions &opt, const std::string &workload)
 {
@@ -49,6 +50,13 @@ generateTraces(const SuiteOptions &opt, const std::string &workload)
         static_cast<u32>(opt.cycles / 20'000 + 2);
     sim::Machine machine(workloads::build(workload, scale));
     sim::RunResult run = machine.run(opt.cycles);
+
+    // Finalize (time-sort) before saving so cache files stream in
+    // order without the sorting fallback.
+    run.reg_bus.finalize();
+    run.mem_bus.finalize();
+    run.addr_bus.finalize();
+    run.wb_bus.finalize();
 
     std::filesystem::create_directories(opt.cache_dir);
     trace::saveTrace(cachePath(opt, workload, trace::BusKind::Register),
@@ -62,27 +70,84 @@ generateTraces(const SuiteOptions &opt, const std::string &workload)
         run.wb_bus);
 }
 
+/**
+ * Serialize trace generation per (workload, cycles): concurrent
+ * requests for the same missing trace run the simulator exactly once;
+ * requests for different workloads proceed in parallel.
+ */
+class GenerationLocks
+{
+  public:
+    std::mutex &
+    forKey(const std::string &workload, u64 cycles)
+    {
+        const std::string key =
+            workload + "#" + std::to_string(cycles);
+        std::lock_guard<std::mutex> g(registry_mutex);
+        return locks[key];  // std::map: stable node addresses
+    }
+
+  private:
+    std::mutex registry_mutex;
+    std::map<std::string, std::mutex> locks;
+};
+
+GenerationLocks generation_locks;
+
+/** Ensure the cache file for (workload, bus) exists; returns its path.
+ * Thread-safe; at most one simulator run per (workload, cycles). */
+std::string
+ensureCached(const SuiteOptions &opt, const std::string &workload,
+             trace::BusKind bus)
+{
+    const std::string path = cachePath(opt, workload, bus);
+    if (std::filesystem::exists(path))
+        return path;
+    std::lock_guard<std::mutex> g(
+        generation_locks.forKey(workload, opt.cycles));
+    // Re-check under the lock: another thread may have generated it.
+    if (std::filesystem::exists(path))
+        return path;
+    generateTraces(opt, workload);
+    if (!std::filesystem::exists(path))
+        fatal("failed to generate trace for ", workload);
+    return path;
+}
+
 } // namespace
+
+std::unique_ptr<trace::TraceSource>
+openTrace(const std::string &workload, trace::BusKind bus,
+          const SuiteOptions &opt)
+{
+    return std::make_unique<trace::FileTraceSource>(
+        ensureCached(opt, workload, bus));
+}
 
 const std::vector<Word> &
 busValues(const std::string &workload, trace::BusKind bus,
           const SuiteOptions &opt)
 {
     using Key = std::tuple<std::string, int, u64>;
+    static std::mutex memo_mutex;
     static std::map<Key, std::vector<Word>> memo;
     const Key key{workload, static_cast<int>(bus), opt.cycles};
-    if (const auto it = memo.find(key); it != memo.end())
-        return it->second;
-
-    const std::string path = cachePath(opt, workload, bus);
-    auto loaded = trace::loadTrace(path);
-    if (!loaded) {
-        generateTraces(opt, workload);
-        loaded = trace::loadTrace(path);
-        if (!loaded)
-            fatal("failed to generate trace for ", workload);
+    {
+        std::lock_guard<std::mutex> g(memo_mutex);
+        if (const auto it = memo.find(key); it != memo.end())
+            return it->second;
     }
-    return memo.emplace(key, loaded->values()).first->second;
+
+    // Load (possibly generating) outside the memo lock so concurrent
+    // misses on different traces overlap; the per-trace generation
+    // lock inside ensureCached prevents duplicate simulator runs.
+    auto source = openTrace(workload, bus, opt);
+    std::vector<Word> values = trace::drain(*source);
+
+    std::lock_guard<std::mutex> g(memo_mutex);
+    // std::map never invalidates references; if another thread won the
+    // race, emplace is a no-op returning the existing entry.
+    return memo.emplace(key, std::move(values)).first->second;
 }
 
 std::vector<Word>

@@ -1,18 +1,24 @@
 /**
  * @file
  * Suite trace provider: simulator-generated bus traces for every
- * workload, cached on disk so the 20+ bench binaries don't each re-run
- * the simulator.
+ * workload, cached on disk so experiments don't each re-run the
+ * simulator. All entry points are thread-safe: the experiment engine
+ * fans (workload, scheme) cells across cores, and concurrent callers
+ * may request the same trace. Generation happens once per trace
+ * (per-trace lock) and cache files are written atomically, so parallel
+ * runs can neither corrupt the cache nor duplicate simulator work.
  */
 
 #ifndef PREDBUS_ANALYSIS_SUITE_H
 #define PREDBUS_ANALYSIS_SUITE_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "trace/trace_io.h"
+#include "trace/trace_source.h"
 
 namespace predbus::analysis
 {
@@ -30,9 +36,20 @@ struct SuiteOptions
 };
 
 /**
- * Bus values for (workload, bus). Loads from the trace cache, running
- * the simulator (and populating the cache) on first use. Also cached
- * in memory for the life of the process.
+ * Streaming access to the (workload, bus) trace: ensures the cache
+ * file exists (running the simulator under a per-trace lock on first
+ * use) and returns a chunked source over it. This is the preferred
+ * contract for new code — it does not pin the whole trace in memory.
+ */
+std::unique_ptr<trace::TraceSource>
+openTrace(const std::string &workload, trace::BusKind bus,
+          const SuiteOptions &opt = SuiteOptions::fromEnv());
+
+/**
+ * Whole-vector adapter over openTrace(): loads from the trace cache,
+ * running the simulator (and populating the cache) on first use. Also
+ * memoized in memory for the life of the process; the returned
+ * reference stays valid until exit. Thread-safe.
  */
 const std::vector<Word> &busValues(const std::string &workload,
                                    trace::BusKind bus,

@@ -1,5 +1,7 @@
 #include "coding/bus_energy.h"
 
+#include <algorithm>
+
 #include "common/bitops.h"
 #include "common/log.h"
 
@@ -45,40 +47,53 @@ measureUnencoded(std::span<const Word> values)
     return meter.count();
 }
 
+StreamingEvaluator::StreamingEvaluator(Transcoder &codec,
+                                       bool verify_decode)
+    : codec(codec),
+      verify(verify_decode),
+      base_meter(kDataWidth),
+      coded_meter(std::min(codec.width(), 64u))
+{
+    codec.reset();
+}
+
+void
+StreamingEvaluator::feed(std::span<const Word> values)
+{
+    words += values.size();
+    const bool internal = codec.metersInternally();
+    for (Word v : values) {
+        base_meter.observe(v);
+        const u64 state = codec.encode(v);
+        if (!internal)
+            coded_meter.observe(state);
+        if (verify) {
+            const Word back = codec.decode(state);
+            panicIf(back != v, codec.name(),
+                    ": decode mismatch: sent ", v, " got ", back);
+        }
+    }
+}
+
+CodingResult
+StreamingEvaluator::result() const
+{
+    CodingResult r;
+    r.words = words;
+    r.base = base_meter.count();
+    r.coded = codec.metersInternally() ? codec.internalCount()
+                                       : coded_meter.count();
+    r.ops = codec.ops();
+    return r;
+}
+
 CodingResult
 evaluate(Transcoder &codec, std::span<const Word> values,
          bool verify_decode)
 {
-    codec.reset();
-    CodingResult result;
-    result.words = values.size();
-    result.base = measureUnencoded(values);
-
-    if (codec.metersInternally()) {
-        for (Word v : values) {
-            const u64 token = codec.encode(v);
-            if (verify_decode) {
-                const Word back = codec.decode(token);
-                panicIf(back != v, codec.name(),
-                        ": decode mismatch: sent ", v, " got ", back);
-            }
-        }
-        result.coded = codec.internalCount();
-    } else {
-        BusEnergyMeter meter(codec.width());
-        for (Word v : values) {
-            const u64 state = codec.encode(v);
-            meter.observe(state);
-            if (verify_decode) {
-                const Word back = codec.decode(state);
-                panicIf(back != v, codec.name(),
-                        ": decode mismatch: sent ", v, " got ", back);
-            }
-        }
-        result.coded = meter.count();
-    }
-    result.ops = codec.ops();
-    return result;
+    StreamingEvaluator eval(codec, verify_decode);
+    eval.feed(values);
+    return eval.result();
 }
 
 } // namespace predbus::coding

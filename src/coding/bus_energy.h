@@ -62,6 +62,33 @@ struct CodingResult
 };
 
 /**
+ * Incremental trace evaluation: feed values in chunks, then collect
+ * the CodingResult. Feeding one whole-trace span is equivalent to the
+ * one-shot evaluate() below; the chunked form lets callers stream
+ * traces (trace::TraceSource) without materializing them.
+ */
+class StreamingEvaluator
+{
+  public:
+    /** Resets @p codec; it must outlive the evaluator. */
+    explicit StreamingEvaluator(Transcoder &codec,
+                                bool verify_decode = false);
+
+    /** Process the next chunk of the trace. */
+    void feed(std::span<const Word> values);
+
+    /** Totals over everything fed so far. */
+    CodingResult result() const;
+
+  private:
+    Transcoder &codec;
+    bool verify;
+    BusEnergyMeter base_meter;
+    BusEnergyMeter coded_meter;
+    u64 words = 0;
+};
+
+/**
  * Run @p codec over @p values (resetting it first), metering both the
  * unencoded baseline and the coded bus. With @p verify_decode, every
  * word is round-tripped through the decoder and mismatches throw

@@ -44,6 +44,12 @@ class Table
     /** The string contents of row @p r, column @p c. */
     const std::string &at(std::size_t r, std::size_t c) const;
 
+    /** The header label of column @p c. */
+    const std::string &headerAt(std::size_t c) const
+    {
+        return header.at(c);
+    }
+
     /** Render with space-padded, column-aligned formatting. */
     void print(std::ostream &os) const;
 

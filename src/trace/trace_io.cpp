@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/log.h"
 
 namespace predbus::trace
@@ -68,17 +70,32 @@ busName(BusKind kind)
 void
 saveTrace(const std::string &path, const ValueTrace &trace)
 {
-    File f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        fatal("cannot write trace file '", path, "'");
-    bool ok = writeU32(f.get(), kMagic) && writeU32(f.get(), kVersion) &&
-              writeU64(f.get(), trace.size());
-    for (std::size_t i = 0; ok && i < trace.size(); ++i) {
-        ok = writeU64(f.get(), trace[i].cycle) &&
-             writeU32(f.get(), trace[i].value);
+    // Write to a temp file in the same directory and atomically rename
+    // it into place, so concurrent writers (ctest -j, parallel
+    // experiment runs) can never expose a partially written cache file:
+    // readers see either the old file, no file, or the complete one.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        File f(std::fopen(tmp.c_str(), "wb"));
+        if (!f)
+            fatal("cannot write trace file '", tmp, "'");
+        bool ok = writeU32(f.get(), kMagic) &&
+                  writeU32(f.get(), kVersion) &&
+                  writeU64(f.get(), trace.size());
+        for (std::size_t i = 0; ok && i < trace.size(); ++i) {
+            ok = writeU64(f.get(), trace[i].cycle) &&
+                 writeU32(f.get(), trace[i].value);
+        }
+        if (!ok) {
+            std::remove(tmp.c_str());
+            fatal("short write to trace file '", tmp, "'");
+        }
     }
-    if (!ok)
-        fatal("short write to trace file '", path, "'");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("cannot rename trace file '", tmp, "' to '", path, "'");
+    }
 }
 
 std::optional<ValueTrace>

@@ -36,7 +36,10 @@ enum class BusKind
 /** Lowercase bus name used in cache file names and tables. */
 const char *busName(BusKind kind);
 
-/** Write @p trace to @p path (throws FatalError on IO failure). */
+/** Write @p trace to @p path (throws FatalError on IO failure).
+ * The write is atomic: data goes to a temp file in the same directory
+ * which is then renamed over @p path, so concurrent writers and
+ * readers never observe a partial file. */
 void saveTrace(const std::string &path, const ValueTrace &trace);
 
 /** Read a trace; nullopt if the file is missing or malformed. */

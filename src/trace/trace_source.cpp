@@ -1,0 +1,184 @@
+#include "trace/trace_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "trace/trace_io.h"
+
+namespace predbus::trace
+{
+
+std::size_t
+SpanTraceSource::read(std::span<Word> out)
+{
+    const std::size_t n =
+        std::min(out.size(), values.size() - pos);
+    std::copy_n(values.begin() + static_cast<std::ptrdiff_t>(pos), n,
+                out.begin());
+    pos += n;
+    return n;
+}
+
+namespace
+{
+
+// Matches the on-disk record layout written by saveTrace.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kEventBytes = 8 + 4;
+// Events per block read (~48 KB): batching the fread calls makes
+// streaming faster than the event-at-a-time loader path.
+constexpr std::size_t kBatchEvents = 4096;
+
+void
+parseEvent(const unsigned char *record, u64 &cycle, u32 &value)
+{
+    std::memcpy(&cycle, record, sizeof(cycle));
+    std::memcpy(&value, record + sizeof(cycle), sizeof(value));
+}
+
+} // namespace
+
+FileTraceSource::FileTraceSource(std::string path)
+    : path(std::move(path))
+{
+    open();
+    // A later event with an earlier cycle would change where *every*
+    // event lands after the loader's stable sort, so out-of-order
+    // files cannot be served incrementally at all. Detect that up
+    // front with a cheap scan of the cycle column and fall back to
+    // the sorting loader before anything is handed out.
+    if (!scanIsTimeOrdered())
+        materialize();
+}
+
+bool
+FileTraceSource::scanIsTimeOrdered()
+{
+    std::vector<unsigned char> buf(kBatchEvents * kEventBytes);
+    u64 prev = 0;
+    bool first = true;
+    for (std::size_t done = 0; done < count;) {
+        const std::size_t batch =
+            std::min(kBatchEvents, count - done);
+        if (std::fread(buf.data(), kEventBytes, batch, file) != batch)
+            fatal("short read from trace file '", path, "'");
+        for (std::size_t i = 0; i < batch; ++i) {
+            u64 cycle = 0;
+            u32 value = 0;
+            parseEvent(buf.data() + i * kEventBytes, cycle, value);
+            if (!first && cycle < prev)
+                return false;
+            prev = cycle;
+            first = false;
+        }
+        done += batch;
+    }
+    if (std::fseek(file, static_cast<long>(kHeaderBytes), SEEK_SET) !=
+        0)
+        fatal("cannot seek in trace file '", path, "'");
+    return true;
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+FileTraceSource::open()
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '", path, "'");
+    u32 magic = 0, version = 0;
+    u64 n = 0;
+    if (std::fread(&magic, sizeof(magic), 1, file) != 1 ||
+        std::fread(&version, sizeof(version), 1, file) != 1 ||
+        std::fread(&n, sizeof(n), 1, file) != 1 ||
+        magic != 0x50425452u || version != 1) {
+        std::fclose(file);
+        file = nullptr;
+        fatal("malformed trace file '", path, "'");
+    }
+    count = static_cast<std::size_t>(n);
+    served = 0;
+    last_cycle = 0;
+}
+
+void
+FileTraceSource::materialize()
+{
+    // Out-of-order file: delegate to the sorting loader so the value
+    // order matches ValueTrace::values().
+    auto loaded = loadTrace(path);
+    if (!loaded)
+        fatal("malformed trace file '", path, "'");
+    fallback =
+        std::make_unique<VectorTraceSource>(loaded->values());
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+std::size_t
+FileTraceSource::read(std::span<Word> out)
+{
+    if (fallback)
+        return fallback->read(out);
+
+    const std::size_t want =
+        std::min(out.size(), count - served);
+    std::vector<unsigned char> buf(
+        std::min(want, kBatchEvents) * kEventBytes);
+    for (std::size_t i = 0; i < want;) {
+        const std::size_t batch = std::min(kBatchEvents, want - i);
+        if (std::fread(buf.data(), kEventBytes, batch, file) != batch)
+            fatal("short read from trace file '", path, "'");
+        for (std::size_t k = 0; k < batch; ++k) {
+            u64 cycle = 0;
+            u32 value = 0;
+            parseEvent(buf.data() + k * kEventBytes, cycle, value);
+            last_cycle = cycle;
+            out[i + k] = value;
+        }
+        i += batch;
+    }
+    served += want;
+    return want;
+}
+
+void
+FileTraceSource::rewind()
+{
+    if (fallback) {
+        fallback->rewind();
+        return;
+    }
+    if (std::fseek(file, static_cast<long>(kHeaderBytes), SEEK_SET) !=
+        0)
+        fatal("cannot seek in trace file '", path, "'");
+    served = 0;
+    last_cycle = 0;
+    (void)kEventBytes;
+}
+
+std::vector<Word>
+drain(TraceSource &source)
+{
+    std::vector<Word> all;
+    if (const auto hint = source.sizeHint())
+        all.reserve(*hint);
+    Word buf[4096];
+    for (;;) {
+        const std::size_t got = source.read(buf);
+        if (got == 0)
+            break;
+        all.insert(all.end(), buf, buf + got);
+    }
+    return all;
+}
+
+} // namespace predbus::trace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Chunked, streaming access to bus value traces.
+ *
+ * The experiment engine processes traces as a stream of fixed-size
+ * chunks instead of one fully materialized vector, so multi-million
+ * cycle captures need not fit in memory per consumer and parallel
+ * experiments can share the on-disk cache without each holding a
+ * private copy. The whole-vector path remains available as an adapter
+ * (VectorTraceSource / drain).
+ */
+
+#ifndef PREDBUS_TRACE_TRACE_SOURCE_H
+#define PREDBUS_TRACE_TRACE_SOURCE_H
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace predbus::trace
+{
+
+/**
+ * A restartable stream of bus values in trace (time) order.
+ *
+ * Consumers call read() with a destination span until it returns 0;
+ * rewind() restarts the stream from the beginning for another pass.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Fill @p out with the next values of the stream; returns how many
+     * were written. 0 means end of stream.
+     */
+    virtual std::size_t read(std::span<Word> out) = 0;
+
+    /** Restart the stream from the first value. */
+    virtual void rewind() = 0;
+
+    /** Total value count when known up front (files, vectors). */
+    virtual std::optional<std::size_t> sizeHint() const
+    {
+        return std::nullopt;
+    }
+};
+
+/** Adapter: stream over an in-memory value vector (not owned). */
+class SpanTraceSource : public TraceSource
+{
+  public:
+    explicit SpanTraceSource(std::span<const Word> values)
+        : values(values)
+    {
+    }
+
+    std::size_t read(std::span<Word> out) override;
+    void rewind() override { pos = 0; }
+    std::optional<std::size_t> sizeHint() const override
+    {
+        return values.size();
+    }
+
+  private:
+    std::span<const Word> values;
+    std::size_t pos = 0;
+};
+
+/** Adapter: stream over an owned value vector. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<Word> values)
+        : owned(std::move(values)), span_source(owned)
+    {
+    }
+
+    std::size_t read(std::span<Word> out) override
+    {
+        return span_source.read(out);
+    }
+    void rewind() override { span_source.rewind(); }
+    std::optional<std::size_t> sizeHint() const override
+    {
+        return owned.size();
+    }
+
+  private:
+    std::vector<Word> owned;
+    SpanTraceSource span_source;
+};
+
+/**
+ * Stream a .pbtr trace file in chunks without materializing it.
+ *
+ * Trace files are normally written in time order (the cache finalizes
+ * before saving). The constructor verifies that with a cheap scan of
+ * the cycle column; an out-of-order file transparently falls back to
+ * loading and sorting whole, so the value order always matches
+ * ValueTrace::values().
+ */
+class FileTraceSource : public TraceSource
+{
+  public:
+    /** Throws FatalError if the file is missing or malformed. */
+    explicit FileTraceSource(std::string path);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    std::size_t read(std::span<Word> out) override;
+    void rewind() override;
+    std::optional<std::size_t> sizeHint() const override
+    {
+        return count;
+    }
+
+  private:
+    void open();
+    /** One pass over the cycle column; leaves the file at event 0. */
+    bool scanIsTimeOrdered();
+    /** Load the entire file sorted (out-of-order fallback). */
+    void materialize();
+
+    std::string path;
+    std::FILE *file = nullptr;
+    std::size_t count = 0;     ///< events in the file
+    std::size_t served = 0;    ///< values handed out since rewind
+    u64 last_cycle = 0;        ///< order check while streaming
+    std::unique_ptr<VectorTraceSource> fallback;
+};
+
+/** Read every (remaining) value of @p source into one vector. */
+std::vector<Word> drain(TraceSource &source);
+
+} // namespace predbus::trace
+
+#endif // PREDBUS_TRACE_TRACE_SOURCE_H

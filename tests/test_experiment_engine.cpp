@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The experiment engine: registry lookup and glob filtering, runner
+ * determinism (--jobs N must be byte-identical to --jobs 1), exception
+ * propagation, and the structured emitters.
+ */
+
+#include <atomic>
+#include <sstream>
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "analysis/runner.h"
+#include "common/log.h"
+
+using namespace predbus;
+
+namespace
+{
+
+TEST(Registry, EveryFormerBinaryIsRegistered)
+{
+    const char *expected[] = {
+        "fig05_wire_energy",        "fig06_wire_delay",
+        "table1_lambda",            "fig07_value_cdf",
+        "fig08_window_unique",      "fig15_inversion_lambda",
+        "fig16_stride_membus",      "fig17_stride_regbus",
+        "fig18_window_membus",      "fig19_window_regbus",
+        "fig20_ctx_trans_membus",   "fig21_ctx_trans_regbus",
+        "fig22_ctx_value_membus",   "fig23_ctx_value_regbus",
+        "fig24_ctx_shiftreg",       "fig25_ctx_divide",
+        "fig26_energy_budget",      "table2_transcoder_impl",
+        "fig35_window_regbus_energy", "fig36_window_membus_energy",
+        "fig37_crossover_regbus",   "fig38_crossover_membus",
+        "table3_crossover_medians", "ablation_costaware",
+        "ablation_precharge",       "ablation_sorting",
+        "ablation_varlen",          "ext_address_bus",
+        "ext_internal_buses",       "ext_related_work",
+        "smoke_engine",
+    };
+    const auto &registry = analysis::Registry::instance();
+    for (const char *name : expected) {
+        SCOPED_TRACE(name);
+        const analysis::Experiment *exp = registry.find(name);
+        ASSERT_NE(exp, nullptr);
+        EXPECT_EQ(exp->name, name);
+        EXPECT_FALSE(exp->description.empty());
+        EXPECT_TRUE(exp->run != nullptr);
+    }
+    EXPECT_EQ(registry.all().size(), std::size(expected));
+}
+
+TEST(Registry, AllIsSortedAndMatchFilters)
+{
+    const auto &registry = analysis::Registry::instance();
+    const auto all = registry.all();
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1]->name, all[i]->name);
+
+    EXPECT_EQ(registry.match("fig19*").size(), 1u);
+    EXPECT_EQ(registry.match("fig19_window_regbus").size(), 1u);
+    EXPECT_EQ(registry.match("ablation_*").size(), 4u);
+    EXPECT_EQ(registry.match("*").size(), all.size());
+    EXPECT_TRUE(registry.match("zzz*").empty());
+    EXPECT_EQ(registry.find("no_such_experiment"), nullptr);
+}
+
+TEST(Glob, MatchesShellStyle)
+{
+    EXPECT_TRUE(analysis::globMatch("*", ""));
+    EXPECT_TRUE(analysis::globMatch("fig*", "fig19_window_regbus"));
+    EXPECT_TRUE(analysis::globMatch("*regbus", "fig19_window_regbus"));
+    EXPECT_TRUE(analysis::globMatch("fig??_*", "fig19_window_regbus"));
+    EXPECT_TRUE(analysis::globMatch("*window*", "fig19_window_regbus"));
+    EXPECT_FALSE(analysis::globMatch("fig2*", "fig19_window_regbus"));
+    EXPECT_FALSE(analysis::globMatch("fig19", "fig19_window_regbus"));
+    EXPECT_FALSE(analysis::globMatch("", "x"));
+}
+
+TEST(Runner, MapPreservesInputOrder)
+{
+    const analysis::Runner runner(8);
+    const auto results = runner.mapIndex(
+        1000, [](std::size_t i) { return i * 2 + 1; });
+    ASSERT_EQ(results.size(), 1000u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i * 2 + 1);
+}
+
+TEST(Runner, ExceptionsPropagateToCaller)
+{
+    const analysis::Runner runner(4);
+    EXPECT_THROW(
+        runner.forEachIndex(100,
+                            [](std::size_t i) {
+                                if (i == 37)
+                                    fatal("cell ", i, " failed");
+                            }),
+        FatalError);
+}
+
+TEST(Runner, ZeroJobsResolvesToHardware)
+{
+    EXPECT_GE(analysis::resolveJobs(0), 1u);
+    EXPECT_EQ(analysis::resolveJobs(5), 5u);
+    EXPECT_GE(analysis::Runner(0).jobs(), 1u);
+}
+
+/** Emit one experiment's reports in @p format via N-job runner. */
+std::string
+emitWithJobs(const std::string &name, unsigned jobs,
+             analysis::Format format)
+{
+    const analysis::Experiment *exp =
+        analysis::Registry::instance().find(name);
+    EXPECT_NE(exp, nullptr);
+    const analysis::Runner runner(jobs);
+    std::ostringstream os;
+    analysis::emitExperiment(os, exp->name, exp->run(runner), format);
+    return os.str();
+}
+
+TEST(Engine, JobCountDoesNotChangeOutput)
+{
+    // Cheap experiments only (no simulator): the smoke experiment plus
+    // the analytic wire sweeps cover table/CSV/JSON emitters.
+    for (const char *name :
+         {"smoke_engine", "fig05_wire_energy", "table1_lambda"}) {
+        SCOPED_TRACE(name);
+        for (const auto format :
+             {analysis::Format::Csv, analysis::Format::Json}) {
+            const std::string serial =
+                emitWithJobs(name, 1, format);
+            const std::string parallel =
+                emitWithJobs(name, 8, format);
+            EXPECT_FALSE(serial.empty());
+            EXPECT_EQ(serial, parallel);
+        }
+    }
+}
+
+TEST(Emitters, FormatsRenderAsExpected)
+{
+    Table table({"a", "b"});
+    table.row().cell("x").cell(1.25, 2);
+    table.row().cell("y").cell(3.0, 2);
+    const analysis::Report report("Tiny \"report\"",
+                                  std::move(table), {"note one"});
+
+    std::ostringstream csv;
+    analysis::emitReport(csv, report, analysis::Format::Csv);
+    EXPECT_EQ(csv.str(), "a,b\nx,1.25\ny,3.00\n\n");
+
+    std::ostringstream txt;
+    analysis::emitReport(txt, report, analysis::Format::Table);
+    EXPECT_NE(txt.str().find("# Tiny \"report\""), std::string::npos);
+    EXPECT_NE(txt.str().find("note one"), std::string::npos);
+
+    std::ostringstream json;
+    analysis::emitExperiment(json, "tiny", {report},
+                             analysis::Format::Json);
+    const std::string j = json.str();
+    EXPECT_NE(j.find("\"experiment\": \"tiny\""), std::string::npos);
+    EXPECT_NE(j.find("\"Tiny \\\"report\\\"\""), std::string::npos);
+    EXPECT_NE(j.find("[\"x\", \"1.25\"]"), std::string::npos);
+    EXPECT_NE(j.find("\"notes\": [\"note one\"]"), std::string::npos);
+}
+
+TEST(Emitters, ParseFormatAndExtensions)
+{
+    EXPECT_EQ(analysis::parseFormat("table"), analysis::Format::Table);
+    EXPECT_EQ(analysis::parseFormat("csv"), analysis::Format::Csv);
+    EXPECT_EQ(analysis::parseFormat("json"), analysis::Format::Json);
+    EXPECT_FALSE(analysis::parseFormat("yaml").has_value());
+    EXPECT_STREQ(analysis::formatExtension(analysis::Format::Table),
+                 "txt");
+    EXPECT_STREQ(analysis::formatExtension(analysis::Format::Csv),
+                 "csv");
+    EXPECT_STREQ(analysis::formatExtension(analysis::Format::Json),
+                 "json");
+}
+
+TEST(Registry, DuplicateRegistrationIsFatal)
+{
+    auto noop = [](const analysis::Runner &) {
+        return std::vector<analysis::Report>{};
+    };
+    analysis::Registry::instance().add(
+        analysis::Experiment{"test_dup_probe", "probe", noop});
+    EXPECT_THROW(analysis::Registry::instance().add(
+                     analysis::Experiment{"test_dup_probe", "again",
+                                          noop}),
+                 FatalError);
+}
+
+} // namespace

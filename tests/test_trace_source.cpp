@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Streaming trace sources: chunked reads must reproduce exactly the
+ * values() of the materialized path, including the out-of-order file
+ * fallback, and the trace cache write must be atomic.
+ */
+
+#include <filesystem>
+#include <gtest/gtest.h>
+
+#include "analysis/suite.h"
+#include "coding/bus_energy.h"
+#include "coding/factory.h"
+#include "trace/trace_io.h"
+#include "trace/trace_source.h"
+
+using namespace predbus;
+
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::path(::testing::TempDir()) / name)
+        .string();
+}
+
+trace::ValueTrace
+rampTrace(std::size_t n, bool ascending)
+{
+    trace::ValueTrace t;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t k = ascending ? i : n - 1 - i;
+        t.post(static_cast<Cycle>(k), static_cast<Word>(k * 7 + 3));
+    }
+    return t;
+}
+
+std::vector<Word>
+readChunked(trace::TraceSource &source, std::size_t chunk)
+{
+    std::vector<Word> out;
+    std::vector<Word> buf(chunk);
+    std::size_t got;
+    while ((got = source.read(buf)) != 0)
+        out.insert(out.end(), buf.begin(),
+                   buf.begin() + static_cast<std::ptrdiff_t>(got));
+    return out;
+}
+
+TEST(TraceSource, SpanAndVectorMatchDrain)
+{
+    const std::vector<Word> values = analysis::randomValues(1000, 42);
+
+    trace::SpanTraceSource span(values);
+    EXPECT_EQ(readChunked(span, 7), values);
+    span.rewind();
+    EXPECT_EQ(trace::drain(span), values);
+    ASSERT_TRUE(span.sizeHint().has_value());
+    EXPECT_EQ(*span.sizeHint(), values.size());
+
+    trace::VectorTraceSource vec(values);
+    EXPECT_EQ(readChunked(vec, 333), values);
+    vec.rewind();
+    EXPECT_EQ(trace::drain(vec), values);
+}
+
+TEST(TraceSource, FileStreamsInOrderTrace)
+{
+    const std::string path = tempPath("stream_inorder.pbtr");
+    trace::ValueTrace t = rampTrace(2500, /*ascending=*/true);
+    trace::saveTrace(path, t);
+
+    trace::FileTraceSource source(path);
+    ASSERT_TRUE(source.sizeHint().has_value());
+    EXPECT_EQ(*source.sizeHint(), t.size());
+    EXPECT_EQ(readChunked(source, 64), t.values());
+
+    // rewind() restarts from the first value.
+    source.rewind();
+    EXPECT_EQ(trace::drain(source), t.values());
+}
+
+TEST(TraceSource, FileFallsBackOnOutOfOrderTrace)
+{
+    // saveTrace preserves raw event order, so an unfinalized trace
+    // posted backwards produces an out-of-order file; streaming must
+    // still yield the time-sorted order loadTrace produces.
+    const std::string path = tempPath("stream_outoforder.pbtr");
+    trace::ValueTrace t = rampTrace(1200, /*ascending=*/false);
+    trace::saveTrace(path, t);
+
+    const auto loaded = trace::loadTrace(path);
+    ASSERT_TRUE(loaded.has_value());
+
+    trace::FileTraceSource source(path);
+    EXPECT_EQ(readChunked(source, 100), loaded->values());
+    source.rewind();
+    EXPECT_EQ(trace::drain(source), loaded->values());
+}
+
+TEST(TraceSource, MissingFileThrows)
+{
+    EXPECT_THROW(
+        trace::FileTraceSource(tempPath("no_such_trace.pbtr")),
+        FatalError);
+}
+
+TEST(TraceIo, SaveLeavesNoTempFiles)
+{
+    const std::string dir =
+        tempPath("atomic_save_dir");
+    std::filesystem::create_directories(dir);
+    const std::string path =
+        (std::filesystem::path(dir) / "trace.pbtr").string();
+    trace::saveTrace(path, rampTrace(100, true));
+
+    std::size_t entries = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        ++entries;
+        EXPECT_EQ(entry.path().filename().string(), "trace.pbtr");
+    }
+    EXPECT_EQ(entries, 1u);
+
+    // Overwrite is atomic too: same invariant after a second save.
+    trace::saveTrace(path, rampTrace(50, true));
+    const auto loaded = trace::loadTrace(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->size(), 50u);
+}
+
+TEST(StreamingEvaluator, ChunkedFeedMatchesOneShotEvaluate)
+{
+    const std::vector<Word> values = analysis::randomValues(5000, 7);
+
+    auto codec_a = coding::makeWindow(8);
+    const coding::CodingResult one_shot =
+        coding::evaluate(*codec_a, values);
+
+    auto codec_b = coding::makeWindow(8);
+    coding::StreamingEvaluator eval(*codec_b);
+    for (std::size_t pos = 0; pos < values.size(); pos += 997) {
+        const std::size_t n = std::min<std::size_t>(
+            997, values.size() - pos);
+        eval.feed({values.data() + pos, n});
+    }
+    const coding::CodingResult chunked = eval.result();
+
+    EXPECT_EQ(chunked.words, one_shot.words);
+    EXPECT_EQ(chunked.base.tau, one_shot.base.tau);
+    EXPECT_EQ(chunked.base.kappa, one_shot.base.kappa);
+    EXPECT_EQ(chunked.coded.tau, one_shot.coded.tau);
+    EXPECT_EQ(chunked.coded.kappa, one_shot.coded.kappa);
+    EXPECT_EQ(chunked.ops.cycles, one_shot.ops.cycles);
+    EXPECT_EQ(chunked.ops.hits, one_shot.ops.hits);
+    EXPECT_EQ(chunked.ops.raw_sends, one_shot.ops.raw_sends);
+}
+
+} // namespace

@@ -3,22 +3,28 @@
  *
  * Takes a .pbtr trace (from predbus-sim --dump-*) and one or more
  * codec specs, prints wire-event savings, operation counts, and —
- * given a technology and wire length — the full energy verdict.
+ * given a technology and wire length — the full energy verdict. The
+ * trace is streamed (trace::TraceSource), never fully materialized,
+ * and results go through the experiment engine's emitters, so the
+ * same run is available as an aligned table, CSV, or JSON.
  *
  *   predbus-codec trace.pbtr window:8 ctx:28+8 stride:8 inv:2
  *   predbus-codec trace.pbtr window:8 --tech 0.13um --length 15
+ *   predbus-codec trace.pbtr window:8 --format json
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/energy_eval.h"
+#include "analysis/experiment.h"
 #include "circuit/transcoder_impl.h"
 #include "coding/factory.h"
-#include "trace/trace_io.h"
+#include "trace/trace_source.h"
 
 using namespace predbus;
 
@@ -34,7 +40,7 @@ die(const std::string &msg)
 
 /** Map a codec spec onto the closest hardware design estimate. */
 circuit::DesignConfig
-implFor(const std::string &spec, const coding::Transcoder &codec)
+implFor(const std::string &spec)
 {
     circuit::DesignConfig cfg;
     if (spec.rfind("window", 0) == 0) {
@@ -53,8 +59,30 @@ implFor(const std::string &spec, const coding::Transcoder &codec)
         cfg.kind = circuit::DesignKind::Window;
         cfg.entries = 8;
     }
-    (void)codec;
     return cfg;
+}
+
+/** Stream the trace through the codec in chunks. */
+coding::CodingResult
+streamEvaluate(const std::string &trace_path, coding::Transcoder &codec)
+{
+    trace::FileTraceSource source(trace_path);
+    coding::StreamingEvaluator eval(codec, /*verify_decode=*/true);
+    std::vector<Word> chunk(4096);
+    for (;;) {
+        const std::size_t got = source.read(chunk);
+        if (got == 0)
+            break;
+        eval.feed({chunk.data(), got});
+    }
+    return eval.result();
+}
+
+double
+percentOf(u64 part, u64 whole)
+{
+    return 100.0 * static_cast<double>(part) /
+           static_cast<double>(std::max<u64>(1, whole));
 }
 
 } // namespace
@@ -66,15 +94,17 @@ main(int argc, char **argv)
     std::vector<std::string> specs;
     std::string tech_name = "0.13um";
     double length_mm = 0.0;
+    analysis::Format format = analysis::Format::Table;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::puts(
                 "usage: predbus-codec TRACE.pbtr SPEC... "
-                "[--tech NODE] [--length MM]\n"
+                "[--tech NODE] [--length MM] [--format FMT]\n"
                 "specs: raw | window:N[:ca] | ctx:T+S[:trans][:dD] | "
-                "stride:K | inv:P[:lX] | spatial:B");
+                "stride:K | inv:P[:lX] | spatial:B\n"
+                "formats: table | csv | json");
             return 0;
         } else if (arg == "--tech") {
             if (i + 1 >= argc)
@@ -84,6 +114,13 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 die("missing value for --length");
             length_mm = std::atof(argv[++i]);
+        } else if (arg == "--format") {
+            if (i + 1 >= argc)
+                die("missing value for --format");
+            const auto parsed = analysis::parseFormat(argv[++i]);
+            if (!parsed)
+                die("unknown format (expected table, csv, or json)");
+            format = *parsed;
         } else if (trace_path.empty()) {
             trace_path = arg;
         } else {
@@ -94,52 +131,56 @@ main(int argc, char **argv)
         die("need a trace file and at least one codec spec "
             "(try --help)");
 
-    const auto trace = trace::loadTrace(trace_path);
-    if (!trace)
-        die("cannot read trace '" + trace_path + "'");
-    const std::vector<Word> values = trace->values();
-    std::printf("%s: %zu values\n\n", trace_path.c_str(),
-                values.size());
+    std::vector<std::string> header = {
+        "codec",     "removed_%", "tau_base", "tau_coded", "kappa_base",
+        "kappa_coded", "hits_%",  "repeats_%", "raw_%"};
+    const bool with_length = length_mm > 0.0;
+    if (with_length) {
+        header.push_back("normalized");
+        header.push_back("crossover_mm");
+    }
 
+    Table table(header);
+    u64 words = 0;
     for (const std::string &spec : specs) {
         try {
             auto codec = coding::makeFromSpec(spec);
             const coding::CodingResult r =
-                coding::evaluate(*codec, values, /*verify=*/true);
-            std::printf("%-16s removed %6.2f%%  (tau %llu->%llu, "
-                        "kappa %llu->%llu; hits %.1f%%, repeats "
-                        "%.1f%%, raw %.1f%%)\n",
-                        codec->name().c_str(),
-                        100.0 * r.removedFraction(1.0),
-                        static_cast<unsigned long long>(r.base.tau),
-                        static_cast<unsigned long long>(r.coded.tau),
-                        static_cast<unsigned long long>(r.base.kappa),
-                        static_cast<unsigned long long>(r.coded.kappa),
-                        100.0 * static_cast<double>(r.ops.hits) /
-                            std::max<u64>(1, r.ops.cycles),
-                        100.0 * static_cast<double>(r.ops.last_hits) /
-                            std::max<u64>(1, r.ops.cycles),
-                        100.0 * static_cast<double>(r.ops.raw_sends) /
-                            std::max<u64>(1, r.ops.cycles));
-
-            if (length_mm > 0.0) {
+                streamEvaluate(trace_path, *codec);
+            words = r.words;
+            table.row()
+                .cell(codec->name())
+                .cell(100.0 * r.removedFraction(1.0), 2)
+                .cell(static_cast<long long>(r.base.tau))
+                .cell(static_cast<long long>(r.coded.tau))
+                .cell(static_cast<long long>(r.base.kappa))
+                .cell(static_cast<long long>(r.coded.kappa))
+                .cell(percentOf(r.ops.hits, r.ops.cycles), 1)
+                .cell(percentOf(r.ops.last_hits, r.ops.cycles), 1)
+                .cell(percentOf(r.ops.raw_sends, r.ops.cycles), 1);
+            if (with_length) {
                 const auto &wire_tech = wires::technology(tech_name);
                 const auto &ckt_tech = circuit::circuitTech(tech_name);
-                const circuit::ImplEstimate impl = circuit::estimate(
-                    implFor(spec, *codec), ckt_tech);
+                const circuit::ImplEstimate impl =
+                    circuit::estimate(implFor(spec), ckt_tech);
                 const analysis::LengthEval e = analysis::evalAtLength(
                     r, impl, wire_tech, length_mm);
-                const double cross = analysis::crossoverLengthMm(
-                    r, impl, wire_tech);
-                std::printf(
-                    "%-16s at %.1f mm (%s): normalized %.3f, "
-                    "crossover %.1f mm\n",
-                    "", length_mm, tech_name.c_str(), e.normalized(),
-                    cross);
+                table.cell(e.normalized(), 3)
+                    .cell(analysis::crossoverLengthMm(r, impl,
+                                                      wire_tech),
+                          1);
             }
         } catch (const std::exception &e) {
-            std::printf("%-16s error: %s\n", spec.c_str(), e.what());
+            die(spec + ": " + e.what());
         }
     }
+
+    std::string title = trace_path + ": " + std::to_string(words) +
+                        " values";
+    if (with_length)
+        title += " (" + tech_name + ", " +
+                 std::to_string(length_mm) + " mm)";
+    analysis::emitReport(std::cout, analysis::Report(title, table),
+                         format);
     return 0;
 }

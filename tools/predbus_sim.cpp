@@ -16,6 +16,9 @@
 #include <cstring>
 #include <string>
 
+#include <iostream>
+
+#include "analysis/experiment.h"
 #include "common/log.h"
 #include "isa/asm_parser.h"
 #include "sim/machine.h"
@@ -84,10 +87,17 @@ main(int argc, char **argv)
             usage();
             return 0;
         } else if (arg == "--list") {
+            Table table({"workload", "suite", "description"});
             for (const auto &info : workloads::all())
-                std::printf("%-10s %-7s %s\n", info.name.c_str(),
-                            info.is_fp ? "SPECfp" : "SPECint",
-                            info.description.c_str());
+                table.row()
+                    .cell(info.name)
+                    .cell(info.is_fp ? "SPECfp" : "SPECint")
+                    .cell(info.description);
+            analysis::emitReport(
+                std::cout,
+                analysis::Report("Built-in SPEC95-like workloads",
+                                 std::move(table)),
+                analysis::Format::Table);
             return 0;
         } else if (arg == "--workload") {
             workload = need_value(i);

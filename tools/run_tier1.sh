@@ -1,0 +1,12 @@
+#!/bin/sh
+# Configure, build, and run the tier-1 test suite (unit tests + the
+# predbus_bench smoke experiment). Usage: tools/run_tier1.sh [builddir]
+set -e
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+cmake -S "$ROOT" -B "$BUILD"
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" -L tier1 --output-on-failure
