@@ -4,10 +4,23 @@
 #include <mutex>
 #include <tuple>
 
+#include "obs/metrics.h"
 #include "workloads/workload.h"
 
 namespace predbus::bench
 {
+
+namespace
+{
+
+// Cross-experiment window-run memoization accounting (pre-registered
+// so the metrics report always carries the names).
+obs::Counter &window_memo_hits =
+    obs::Registry::global().counter("coding.window.memo_hits");
+obs::Counter &window_memo_misses =
+    obs::Registry::global().counter("coding.window.memo_misses");
+
+} // namespace
 
 std::vector<std::string>
 workloadSeries()
@@ -75,9 +88,12 @@ windowRun(const std::string &workload, trace::BusKind bus,
     const Key key{workload, static_cast<int>(bus), entries, cycles};
     {
         std::lock_guard<std::mutex> g(mutex);
-        if (const auto it = memo.find(key); it != memo.end())
+        if (const auto it = memo.find(key); it != memo.end()) {
+            window_memo_hits.inc();
             return it->second;
+        }
     }
+    window_memo_misses.inc();
     // Evaluate outside the lock so distinct runs proceed in parallel;
     // a racing duplicate computes the identical result and the first
     // emplace wins.

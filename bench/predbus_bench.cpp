@@ -7,22 +7,37 @@
  *   predbus_bench --list
  *   predbus_bench --filter 'fig19*' --format csv
  *   predbus_bench --jobs 8 --out results --format json
+ *   predbus_bench --metrics=m.json --trace-out=t.json --progress
  *
  * Experiment names match the former binary names, so any published
  * reproduction command maps 1:1. Honors PREDBUS_CYCLES and
- * PREDBUS_TRACE_DIR like the binaries it replaces.
+ * PREDBUS_TRACE_DIR like the binaries it replaces, and PREDBUS_LOG_LEVEL
+ * for diagnostics. Observability artifacts (docs/OBSERVABILITY.md):
+ * --metrics emits the run manifest + metrics report, --trace-out the
+ * Chrome trace of the run's parallelism, --progress a live ticker.
  */
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "analysis/experiment.h"
 #include "analysis/runner.h"
+#include "analysis/suite.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/tracing.h"
 
 using namespace predbus;
 
@@ -46,10 +61,18 @@ usage(std::ostream &os)
           "  --out DIR         write one file per experiment "
           "(NAME.EXT)\n"
           "                    into DIR instead of stdout\n"
+          "  --metrics[=FILE]  emit the metrics report + run manifest "
+          "JSON\n"
+          "                    to FILE (stderr if no FILE)\n"
+          "  --trace-out=FILE  record phase tracing; write Chrome\n"
+          "                    trace-event JSON to FILE\n"
+          "  --progress        single-line progress ticker on stderr\n"
+          "                    (auto-disabled when not a TTY)\n"
           "  --help            this text\n"
           "\n"
           "Environment: PREDBUS_CYCLES (trace length), "
-          "PREDBUS_TRACE_DIR (cache).\n";
+          "PREDBUS_TRACE_DIR (cache),\n"
+          "PREDBUS_LOG_LEVEL (error|warn|info|debug).\n";
 }
 
 struct Options
@@ -59,6 +82,10 @@ struct Options
     unsigned jobs = 0;
     analysis::Format format = analysis::Format::Table;
     std::string out_dir;
+    bool metrics = false;
+    std::string metrics_file;  ///< empty: report goes to stderr
+    std::string trace_out;
+    bool progress = false;
 };
 
 std::string
@@ -100,6 +127,20 @@ parseArgs(int argc, char **argv)
             opt.format = analysis::Format::Csv;
         } else if (arg == "--out") {
             opt.out_dir = argValue(argc, argv, i, arg);
+        } else if (arg == "--metrics") {
+            opt.metrics = true;
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            opt.metrics = true;
+            opt.metrics_file = arg.substr(std::string("--metrics=").size());
+        } else if (arg == "--trace-out") {
+            opt.trace_out = argValue(argc, argv, i, arg);
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opt.trace_out =
+                arg.substr(std::string("--trace-out=").size());
+            if (opt.trace_out.empty())
+                fatal("missing value for --trace-out");
+        } else if (arg == "--progress") {
+            opt.progress = true;
         } else if (!arg.empty() && arg[0] == '-') {
             fatal("unknown option '", arg, "' (see --help)");
         } else {
@@ -136,6 +177,119 @@ selectExperiments(const Options &opt)
     return selected;
 }
 
+/**
+ * Single-line stderr ticker driven by the runner.cells_done/_total
+ * counters: "cells 42/96  12.3s elapsed  ETA 15.8s". The total grows
+ * as experiments start their grids, so the ETA covers the work known
+ * so far. Auto-disabled when stderr is not a TTY (no escape codes in
+ * redirected logs).
+ */
+class ProgressTicker
+{
+  public:
+    ProgressTicker(bool wanted, obs::Registry &registry)
+        : done(registry.counter("runner.cells_done")),
+          total(registry.counter("runner.cells_total"))
+    {
+        if (!wanted || !::isatty(::fileno(stderr)))
+            return;
+        start_time = std::chrono::steady_clock::now();
+        thread = std::thread([this] { loop(); });
+    }
+
+    ~ProgressTicker()
+    {
+        if (!thread.joinable())
+            return;
+        stop.store(true);
+        thread.join();
+        // Blank the ticker line so ordinary output follows cleanly.
+        std::fprintf(stderr, "\r%*s\r", 64, "");
+        std::fflush(stderr);
+    }
+
+  private:
+    void
+    loop()
+    {
+        while (!stop.load()) {
+            draw();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+        }
+        draw();
+    }
+
+    void
+    draw()
+    {
+        const u64 d = done.value();
+        const u64 t = total.value();
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_time)
+                .count();
+        char eta[32] = "?";
+        if (d > 0 && t >= d)
+            std::snprintf(eta, sizeof(eta), "%.1fs",
+                          elapsed * static_cast<double>(t - d) /
+                              static_cast<double>(d));
+        std::fprintf(stderr,
+                     "\rcells %llu/%llu  %.1fs elapsed  ETA %s   ",
+                     static_cast<unsigned long long>(d),
+                     static_cast<unsigned long long>(t), elapsed,
+                     eta);
+        std::fflush(stderr);
+    }
+
+    obs::Counter &done;
+    obs::Counter &total;
+    std::chrono::steady_clock::time_point start_time;
+    std::atomic<bool> stop{false};
+    std::thread thread;
+};
+
+void
+writeMetrics(const Options &opt,
+             const std::vector<std::pair<std::string, double>> &walls)
+{
+    const analysis::SuiteOptions suite =
+        analysis::SuiteOptions::fromEnv();
+    obs::ReportContext ctx;
+    ctx.tool = "predbus_bench";
+    std::string filters;
+    for (const auto &f : opt.filters)
+        filters += (filters.empty() ? "" : " ") + f;
+    ctx.config = {
+        {"filters", filters.empty() ? "*" : filters},
+        {"jobs", std::to_string(analysis::resolveJobs(opt.jobs))},
+        {"format", analysis::formatExtension(opt.format)},
+        {"cycles", std::to_string(suite.cycles)},
+        {"trace_dir", suite.cache_dir},
+    };
+    ctx.experiment_wall_ms = walls;
+
+    if (opt.metrics_file.empty()) {
+        writeMetricsReport(std::cerr, ctx, obs::Registry::global());
+        return;
+    }
+    std::ofstream os(opt.metrics_file);
+    if (!os)
+        fatal("cannot write ", opt.metrics_file);
+    writeMetricsReport(os, ctx, obs::Registry::global());
+    logInfo("wrote metrics report ", opt.metrics_file);
+}
+
+void
+writeTrace(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write ", path);
+    obs::TraceBuffer::global().writeChromeJson(os);
+    logInfo("wrote trace ", path);
+}
+
 int
 runMain(int argc, char **argv)
 {
@@ -153,31 +307,49 @@ runMain(int argc, char **argv)
         return 0;
     }
 
+    if (!opt.trace_out.empty())
+        obs::TraceBuffer::global().setEnabled(true);
+
     const auto selected = selectExperiments(opt);
     const analysis::Runner runner(opt.jobs);
 
     if (!opt.out_dir.empty())
         std::filesystem::create_directories(opt.out_dir);
 
-    for (const auto *exp : selected) {
-        const std::vector<analysis::Report> reports =
-            exp->run(runner);
-        if (opt.out_dir.empty()) {
-            analysis::emitExperiment(std::cout, exp->name, reports,
-                                     opt.format);
-        } else {
-            const std::filesystem::path path =
-                std::filesystem::path(opt.out_dir) /
-                (exp->name + "." +
-                 analysis::formatExtension(opt.format));
-            std::ofstream os(path);
-            if (!os)
-                fatal("cannot write ", path.string());
-            analysis::emitExperiment(os, exp->name, reports,
-                                     opt.format);
-            std::cerr << "wrote " << path.string() << '\n';
+    std::vector<std::pair<std::string, double>> walls;
+    {
+        const ProgressTicker ticker(opt.progress,
+                                    obs::Registry::global());
+        for (const auto *exp : selected) {
+            const obs::ScopedTimer span("experiment:" + exp->name);
+            const u64 t0 = obs::nowNs();
+            const std::vector<analysis::Report> reports =
+                exp->run(runner);
+            walls.emplace_back(
+                exp->name,
+                static_cast<double>(obs::nowNs() - t0) / 1e6);
+            if (opt.out_dir.empty()) {
+                analysis::emitExperiment(std::cout, exp->name,
+                                         reports, opt.format);
+            } else {
+                const std::filesystem::path path =
+                    std::filesystem::path(opt.out_dir) /
+                    (exp->name + "." +
+                     analysis::formatExtension(opt.format));
+                std::ofstream os(path);
+                if (!os)
+                    fatal("cannot write ", path.string());
+                analysis::emitExperiment(os, exp->name, reports,
+                                         opt.format);
+                logInfo("wrote ", path.string());
+            }
         }
     }
+
+    if (opt.metrics)
+        writeMetrics(opt, walls);
+    if (!opt.trace_out.empty())
+        writeTrace(opt.trace_out);
     return 0;
 }
 
@@ -189,11 +361,10 @@ main(int argc, char **argv)
     try {
         return runMain(argc, argv);
     } catch (const FatalError &e) {
-        std::cerr << "predbus_bench: " << e.what() << '\n';
+        logError("predbus_bench: ", e.what());
         return 1;
     } catch (const PanicError &e) {
-        std::cerr << "predbus_bench: internal error: " << e.what()
-                  << '\n';
+        logError("predbus_bench: internal error: ", e.what());
         return 2;
     }
 }

@@ -4,10 +4,125 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
 
 namespace predbus::analysis
 {
+
+namespace
+{
+
+// Pre-register the runner metrics so every report carries them (at 0
+// if nothing ran) and --jobs 1 / --jobs N reports have identical keys.
+[[maybe_unused]] obs::Counter &g_cells_total =
+    obs::Registry::global().counter("runner.cells_total");
+[[maybe_unused]] obs::Counter &g_cells_done =
+    obs::Registry::global().counter("runner.cells_done");
+[[maybe_unused]] obs::Counter &g_cells_failed =
+    obs::Registry::global().counter("runner.cells_failed");
+[[maybe_unused]] obs::Histogram &g_cell_ns =
+    obs::Registry::global().histogram("runner.cell_ns");
+[[maybe_unused]] obs::Histogram &g_queue_ns =
+    obs::Registry::global().histogram("runner.queue_ns");
+[[maybe_unused]] obs::Gauge &g_jobs = obs::Registry::global().gauge("runner.jobs");
+
+/** Resolved per forEachIndex call so injected registries work. */
+struct RunnerMetrics
+{
+    obs::Counter &cells_total;
+    obs::Counter &cells_done;
+    obs::Counter &cells_failed;
+    obs::Histogram &cell_ns;
+    obs::Histogram &queue_ns;
+    obs::Gauge &jobs;
+
+    explicit RunnerMetrics(obs::Registry &reg)
+        : cells_total(reg.counter("runner.cells_total")),
+          cells_done(reg.counter("runner.cells_done")),
+          cells_failed(reg.counter("runner.cells_failed")),
+          cell_ns(reg.histogram("runner.cell_ns")),
+          queue_ns(reg.histogram("runner.queue_ns")),
+          jobs(reg.gauge("runner.jobs"))
+    {
+    }
+};
+
+struct CellFailure
+{
+    std::size_t index;
+    std::string message;
+};
+
+/** Run one cell with timing, metrics, and optional tracing. */
+void
+runCell(const std::function<void(std::size_t)> &fn, std::size_t i,
+        u64 fan_start_ns, const RunnerMetrics &m)
+{
+    const bool tracing = obs::TraceBuffer::global().enabled();
+    const u64 t0 = obs::nowNs();
+    m.queue_ns.record(static_cast<double>(t0 - fan_start_ns));
+    fn(i);
+    const u64 dur = obs::nowNs() - t0;
+    m.cell_ns.record(static_cast<double>(dur));
+    m.cells_done.inc();
+    if (tracing)
+        obs::TraceBuffer::global().record(
+            "cell:" + std::to_string(i), t0, dur);
+}
+
+/**
+ * Surface every failure, not just the first: a single failing cell
+ * rethrows its original exception unchanged; multiple failures
+ * rethrow the first-by-index exception's message augmented with the
+ * failure count and the failed indices (type preserved for the
+ * library's own error classes).
+ */
+[[noreturn]] void
+rethrowFailures(std::exception_ptr first,
+                std::vector<CellFailure> failures, std::size_t n)
+{
+    std::sort(failures.begin(), failures.end(),
+              [](const CellFailure &a, const CellFailure &b) {
+                  return a.index < b.index;
+              });
+    if (failures.size() == 1)
+        std::rethrow_exception(first);
+
+    constexpr std::size_t kMaxListed = 16;
+    std::string indices;
+    for (std::size_t i = 0;
+         i < std::min(failures.size(), kMaxListed); ++i) {
+        if (i)
+            indices += ", ";
+        indices += std::to_string(failures[i].index);
+    }
+    if (failures.size() > kMaxListed)
+        indices += ", +" +
+                   std::to_string(failures.size() - kMaxListed) +
+                   " more";
+    const std::string summary =
+        failures.front().message + " [" +
+        std::to_string(failures.size()) + " of " +
+        std::to_string(n) + " cells failed; indices: " + indices +
+        "]";
+
+    try {
+        std::rethrow_exception(first);
+    } catch (const PanicError &) {
+        throw PanicError(summary);
+    } catch (const FatalError &) {
+        throw FatalError(summary);
+    } catch (...) {
+        throw std::runtime_error(summary);
+    }
+}
+
+} // namespace
 
 unsigned
 resolveJobs(unsigned requested)
@@ -18,7 +133,11 @@ resolveJobs(unsigned requested)
     return hw ? hw : 1;
 }
 
-Runner::Runner(unsigned jobs) : job_count(resolveJobs(jobs)) {}
+Runner::Runner(unsigned jobs, obs::Registry *metrics)
+    : job_count(resolveJobs(jobs)),
+      metrics(metrics ? metrics : &obs::Registry::global())
+{
+}
 
 void
 Runner::forEachIndex(std::size_t n,
@@ -27,50 +146,69 @@ Runner::forEachIndex(std::size_t n,
     if (n == 0)
         return;
 
-    if (job_count <= 1 || n == 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
+    const RunnerMetrics m(*metrics);
+    m.jobs.set(static_cast<s64>(job_count));
+    m.cells_total.inc(n);
+    const u64 fan_start = obs::nowNs();
 
-    // Work-stealing by shared atomic counter: threads pull the next
-    // index until exhausted. Results are written by index by the
-    // caller, so scheduling order never affects output.
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
     std::exception_ptr first_error;
     std::size_t first_error_index = n;
+    std::vector<CellFailure> failures;
+    std::mutex error_mutex;
 
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
+    auto guarded = [&](std::size_t i) {
+        try {
+            runCell(fn, i, fan_start, m);
+        } catch (...) {
+            std::string message;
             try {
-                fn(i);
+                throw;
+            } catch (const std::exception &e) {
+                message = e.what();
             } catch (...) {
-                std::lock_guard<std::mutex> g(error_mutex);
-                if (i < first_error_index) {
-                    first_error_index = i;
-                    first_error = std::current_exception();
-                }
+                message = "unknown error";
+            }
+            m.cells_failed.inc();
+            std::lock_guard<std::mutex> g(error_mutex);
+            failures.push_back(CellFailure{i, std::move(message)});
+            if (i < first_error_index) {
+                first_error_index = i;
+                first_error = std::current_exception();
             }
         }
     };
 
-    const std::size_t thread_count =
-        std::min<std::size_t>(job_count, n);
-    std::vector<std::thread> pool;
-    pool.reserve(thread_count - 1);
-    for (std::size_t t = 1; t < thread_count; ++t)
-        pool.emplace_back(worker);
-    worker();
-    for (auto &th : pool)
-        th.join();
+    if (job_count <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            guarded(i);
+    } else {
+        // Work-stealing by shared atomic counter: threads pull the
+        // next index until exhausted. Results are written by index by
+        // the caller, so scheduling order never affects output.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                guarded(i);
+            }
+        };
+
+        const std::size_t thread_count =
+            std::min<std::size_t>(job_count, n);
+        std::vector<std::thread> pool;
+        pool.reserve(thread_count - 1);
+        for (std::size_t t = 1; t < thread_count; ++t)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &th : pool)
+            th.join();
+    }
 
     if (first_error)
-        std::rethrow_exception(first_error);
+        rethrowFailures(first_error, std::move(failures), n);
 }
 
 } // namespace predbus::analysis

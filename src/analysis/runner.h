@@ -16,20 +16,38 @@
 #include <functional>
 #include <vector>
 
+namespace predbus::obs
+{
+class Registry;
+}
+
 namespace predbus::analysis
 {
 
 /**
  * Executes indexed tasks on up to @p jobs threads. jobs == 1 runs
  * inline on the calling thread (no pool), which is also the fallback
- * when hardware_concurrency is unknown. Exceptions thrown by tasks are
- * captured and rethrown on the calling thread (first by index).
+ * when hardware_concurrency is unknown.
+ *
+ * Exceptions thrown by tasks are captured and rethrown on the calling
+ * thread: a single failure is rethrown as-is (first by index); when
+ * several cells fail, the rethrown message additionally reports the
+ * failure count and the failed indices, so a grid-wide breakage is
+ * not mistaken for a single bad cell.
+ *
+ * Every forEachIndex call publishes runner.* metrics (cells done,
+ * failures, per-cell wall time, queue wait) into @p metrics — the
+ * process-wide obs registry by default, an injected instance in
+ * tests. When the global trace buffer is enabled, each cell also
+ * records a "cell:<index>" span.
  */
 class Runner
 {
   public:
-    /** @p jobs 0 means one job per hardware thread. */
-    explicit Runner(unsigned jobs = 0);
+    /** @p jobs 0 means one job per hardware thread; @p metrics
+     * nullptr means obs::Registry::global(). */
+    explicit Runner(unsigned jobs = 0,
+                    obs::Registry *metrics = nullptr);
 
     unsigned jobs() const { return job_count; }
 
@@ -69,6 +87,7 @@ class Runner
 
   private:
     unsigned job_count;
+    obs::Registry *metrics;
 };
 
 /** Resolve a --jobs style request: 0 -> hardware threads (min 1). */

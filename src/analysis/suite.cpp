@@ -7,11 +7,33 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
 #include "sim/machine.h"
 #include "workloads/workload.h"
 
 namespace predbus::analysis
 {
+
+namespace
+{
+
+// Trace-cache accounting; file-scope so every metrics report carries
+// the names even when the cache is never touched (smoke runs).
+obs::Counter &cache_hits =
+    obs::Registry::global().counter("trace.cache.hits");
+obs::Counter &cache_misses =
+    obs::Registry::global().counter("trace.cache.misses");
+obs::Counter &cache_generated =
+    obs::Registry::global().counter("trace.cache.generated");
+obs::Counter &memo_hits =
+    obs::Registry::global().counter("trace.memo.hits");
+obs::Counter &memo_misses =
+    obs::Registry::global().counter("trace.memo.misses");
+obs::Histogram &generate_ns =
+    obs::Registry::global().histogram("trace.cache.generate_ns");
+
+} // namespace
 
 SuiteOptions
 SuiteOptions::fromEnv()
@@ -44,6 +66,9 @@ cachePath(const SuiteOptions &opt, const std::string &workload,
 void
 generateTraces(const SuiteOptions &opt, const std::string &workload)
 {
+    obs::ScopedTimer span("generate:" + workload, nullptr,
+                          &generate_ns);
+    cache_generated.inc();
     // Scale the workload so the cycle budget, not program length,
     // bounds the trace (workload passes are >= ~30k instructions).
     const u32 scale =
@@ -101,13 +126,18 @@ ensureCached(const SuiteOptions &opt, const std::string &workload,
              trace::BusKind bus)
 {
     const std::string path = cachePath(opt, workload, bus);
-    if (std::filesystem::exists(path))
+    if (std::filesystem::exists(path)) {
+        cache_hits.inc();
         return path;
+    }
     std::lock_guard<std::mutex> g(
         generation_locks.forKey(workload, opt.cycles));
     // Re-check under the lock: another thread may have generated it.
-    if (std::filesystem::exists(path))
+    if (std::filesystem::exists(path)) {
+        cache_hits.inc();
         return path;
+    }
+    cache_misses.inc();
     generateTraces(opt, workload);
     if (!std::filesystem::exists(path))
         fatal("failed to generate trace for ", workload);
@@ -134,9 +164,12 @@ busValues(const std::string &workload, trace::BusKind bus,
     const Key key{workload, static_cast<int>(bus), opt.cycles};
     {
         std::lock_guard<std::mutex> g(memo_mutex);
-        if (const auto it = memo.find(key); it != memo.end())
+        if (const auto it = memo.find(key); it != memo.end()) {
+            memo_hits.inc();
             return it->second;
+        }
     }
+    memo_misses.inc();
 
     // Load (possibly generating) outside the memo lock so concurrent
     // misses on different traces overlap; the per-trace generation

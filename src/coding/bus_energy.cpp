@@ -4,6 +4,7 @@
 
 #include "common/bitops.h"
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace predbus::coding
 {
@@ -54,7 +55,14 @@ StreamingEvaluator::StreamingEvaluator(Transcoder &codec,
       base_meter(kDataWidth),
       coded_meter(std::min(codec.width(), 64u))
 {
+    // Every evaluated transcoder publishes its per-scheme dictionary
+    // counters (coding.<name>.*) to the process registry. Attaching
+    // resolves the counters once per codec; per-run cost is the flush
+    // in result() — the encode loop itself is untouched.
+    if (!codec.hasStatsSink())
+        codec.setStatsSink(obs::Registry::global(), codec.name());
     codec.reset();
+    codec.syncStatsBaseline();
 }
 
 void
@@ -84,6 +92,7 @@ StreamingEvaluator::result() const
     r.coded = codec.metersInternally() ? codec.internalCount()
                                        : coded_meter.count();
     r.ops = codec.ops();
+    codec.flushStats();
     return r;
 }
 

@@ -1,0 +1,60 @@
+#include "coding/codec.h"
+
+#include "obs/metrics.h"
+
+namespace predbus::coding
+{
+
+void
+Transcoder::setStatsSink(obs::Registry &registry,
+                         const std::string &prefix)
+{
+    const std::string base =
+        "coding." + obs::metricSegment(prefix) + ".";
+    stats.cycles = &registry.counter(base + "cycles");
+    stats.dict_hits = &registry.counter(base + "dict_hits");
+    stats.last_hits = &registry.counter(base + "last_hits");
+    stats.raw_sends = &registry.counter(base + "raw_sends");
+    stats.dict_evictions = &registry.counter(base + "dict_evictions");
+    stats.cam_probes = &registry.counter(base + "cam_probes");
+    stats.counter_incs = &registry.counter(base + "counter_incs");
+    stats.compares = &registry.counter(base + "compares");
+    stats.swaps = &registry.counter(base + "swaps");
+    stats.divisions = &registry.counter(base + "divisions");
+    stats.attached = true;
+}
+
+void
+Transcoder::flushStats()
+{
+    if (!stats.attached)
+        return;
+    // Deltas against the last flush; a reset() since then (counters
+    // restarted below the baseline) publishes the full current value.
+    const auto delta = [](u64 current, u64 &baseline) {
+        const u64 d =
+            current >= baseline ? current - baseline : current;
+        baseline = current;
+        return d;
+    };
+    stats.cycles->inc(delta(op_counts.cycles, published.cycles));
+    stats.dict_hits->inc(delta(op_counts.hits, published.hits));
+    stats.last_hits->inc(
+        delta(op_counts.last_hits, published.last_hits));
+    stats.raw_sends->inc(
+        delta(op_counts.raw_sends, published.raw_sends));
+    // A shift inserts a new value, evicting the oldest resident entry
+    // (window) or the staging tail (context): the dictionary's
+    // eviction count.
+    stats.dict_evictions->inc(
+        delta(op_counts.shifts, published.shifts));
+    stats.cam_probes->inc(delta(op_counts.matches, published.matches));
+    stats.counter_incs->inc(
+        delta(op_counts.counter_incs, published.counter_incs));
+    stats.compares->inc(delta(op_counts.compares, published.compares));
+    stats.swaps->inc(delta(op_counts.swaps, published.swaps));
+    stats.divisions->inc(
+        delta(op_counts.divisions, published.divisions));
+}
+
+} // namespace predbus::coding

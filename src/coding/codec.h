@@ -30,6 +30,12 @@
 
 #include "common/types.h"
 
+namespace predbus::obs
+{
+class Counter;
+class Registry;
+}
+
 namespace predbus::coding
 {
 
@@ -108,8 +114,53 @@ class Transcoder
 
     const OpCounts &ops() const { return op_counts; }
 
+    /**
+     * Optional metrics sink: once attached, flushStats() publishes
+     * operation-count deltas as coding.<prefix>.* counters
+     * (dict_hits, dict_evictions, last_hits, raw_sends, cam_probes,
+     * ...) in @p registry. @p prefix is sanitized into one metric
+     * segment (typically name()). The encode/decode hot path is
+     * untouched — publication happens only at flush, so an attached
+     * sink costs a handful of relaxed atomic adds per evaluated
+     * trace.
+     */
+    void setStatsSink(obs::Registry &registry,
+                      const std::string &prefix);
+
+    bool hasStatsSink() const { return stats.attached; }
+
+    /** Mark the current op counters as already published (call after
+     * reset() so a reused transcoder's next flush reports only the
+     * new run). */
+    void syncStatsBaseline() { published = op_counts; }
+
+    /** Publish op-count deltas since the last flush (no-op without a
+     * sink). */
+    void flushStats();
+
   protected:
     OpCounts op_counts;
+
+  private:
+    /** Counters resolved once at attach; pointers stay valid for the
+     * registry's lifetime. */
+    struct StatsSink
+    {
+        bool attached = false;
+        obs::Counter *cycles = nullptr;
+        obs::Counter *dict_hits = nullptr;
+        obs::Counter *last_hits = nullptr;
+        obs::Counter *raw_sends = nullptr;
+        obs::Counter *dict_evictions = nullptr;
+        obs::Counter *cam_probes = nullptr;
+        obs::Counter *counter_incs = nullptr;
+        obs::Counter *compares = nullptr;
+        obs::Counter *swaps = nullptr;
+        obs::Counter *divisions = nullptr;
+    };
+
+    StatsSink stats;
+    OpCounts published;
 };
 
 } // namespace predbus::coding

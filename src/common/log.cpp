@@ -1,0 +1,100 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace predbus
+{
+
+namespace
+{
+
+LogLevel
+parseLevel(const char *text, LogLevel fallback)
+{
+    if (!text)
+        return fallback;
+    const struct
+    {
+        const char *name;
+        LogLevel level;
+    } names[] = {
+        {"error", LogLevel::Error}, {"0", LogLevel::Error},
+        {"warn", LogLevel::Warn},   {"1", LogLevel::Warn},
+        {"info", LogLevel::Info},   {"2", LogLevel::Info},
+        {"debug", LogLevel::Debug}, {"3", LogLevel::Debug},
+    };
+    for (const auto &entry : names)
+        if (std::strcmp(text, entry.name) == 0)
+            return entry.level;
+    return fallback;
+}
+
+std::atomic<int> &
+levelStore()
+{
+    static std::atomic<int> level{static_cast<int>(
+        parseLevel(std::getenv("PREDBUS_LOG_LEVEL"),
+                   LogLevel::Info))};
+    return level;
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelStore().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStore().store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           static_cast<int>(logLevel());
+}
+
+void
+logLine(LogLevel level, const std::string &message)
+{
+    // Assemble the whole record first and emit it with one fwrite
+    // under a mutex: concurrent threads cannot interleave fragments,
+    // and a parallel run's log stays line-parseable.
+    std::string line;
+    line.reserve(message.size() + 24);
+    line += "predbus [";
+    line += levelName(level);
+    line += "] ";
+    line += message;
+    line += '\n';
+
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> g(mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace predbus

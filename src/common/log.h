@@ -1,8 +1,11 @@
 /**
  * @file
- * Error-reporting helpers in the gem5 spirit: fatal() for user-caused
+ * Error-reporting helpers in the gem5 spirit — fatal() for user-caused
  * conditions (bad configuration, malformed input), panic() for internal
- * invariant violations (library bugs).
+ * invariant violations (library bugs) — plus a leveled diagnostic
+ * logger (error/warn/info/debug) writing thread-safe, line-buffered
+ * records to stderr. The level defaults to info and is overridable
+ * with PREDBUS_LOG_LEVEL (name or 0-3).
  */
 
 #ifndef PREDBUS_COMMON_LOG_H
@@ -11,6 +14,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace predbus
 {
@@ -66,6 +70,66 @@ panicIf(bool condition, Args &&...args)
 {
     if (condition)
         panic(std::forward<Args>(args)...);
+}
+
+/** Diagnostic severities, most severe first. */
+enum class LogLevel
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Current threshold (records above it are dropped). First call reads
+ * PREDBUS_LOG_LEVEL ("error"|"warn"|"info"|"debug" or 0-3);
+ * unset/unparsable means Info. */
+LogLevel logLevel();
+
+/** Override the threshold for this process (tests, CLI flags). */
+void setLogLevel(LogLevel level);
+
+/** True iff a record at @p level would be emitted. */
+bool logEnabled(LogLevel level);
+
+/** Emit one record: "predbus [level] message\n" to stderr as a single
+ * write, safe against interleaving from concurrent threads. */
+void logLine(LogLevel level, const std::string &message);
+
+template <typename... Args>
+void
+logError(Args &&...args)
+{
+    if (logEnabled(LogLevel::Error))
+        logLine(LogLevel::Error,
+                detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    if (logEnabled(LogLevel::Warn))
+        logLine(LogLevel::Warn,
+                detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    if (logEnabled(LogLevel::Info))
+        logLine(LogLevel::Info,
+                detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    if (logEnabled(LogLevel::Debug))
+        logLine(LogLevel::Debug,
+                detail::concat(std::forward<Args>(args)...));
 }
 
 } // namespace predbus

@@ -1,0 +1,229 @@
+#include "obs/json_check.h"
+
+#include <cctype>
+
+namespace predbus::obs
+{
+
+namespace
+{
+
+constexpr int kMaxDepth = 64;
+
+class Checker
+{
+  public:
+    explicit Checker(const std::string &text) : s(text) {}
+
+    std::optional<std::string>
+    check()
+    {
+        skipWs();
+        if (!value(0))
+            return fail();
+        skipWs();
+        if (pos != s.size())
+            error = "trailing characters";
+        return error.empty()
+                   ? std::nullopt
+                   : std::optional<std::string>(fail());
+    }
+
+  private:
+    std::string
+    fail() const
+    {
+        return error + " at offset " + std::to_string(pos);
+    }
+
+    bool
+    setError(const char *message)
+    {
+        if (error.empty())
+            error = message;
+        return false;
+    }
+
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t i = 0;
+        while (word[i]) {
+            if (pos + i >= s.size() || s[pos + i] != word[i])
+                return setError("bad literal");
+            ++i;
+        }
+        pos += i;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return setError("expected string");
+        ++pos;
+        while (pos < s.size()) {
+            const unsigned char ch =
+                static_cast<unsigned char>(s[pos]);
+            if (ch == '"') {
+                ++pos;
+                return true;
+            }
+            if (ch < 0x20)
+                return setError("control character in string");
+            if (ch == '\\') {
+                ++pos;
+                const char esc = peek();
+                if (esc == 'u') {
+                    ++pos;
+                    for (int i = 0; i < 4; ++i, ++pos)
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                peek())))
+                            return setError("bad \\u escape");
+                    continue;
+                }
+                if (esc != '"' && esc != '\\' && esc != '/' &&
+                    esc != 'b' && esc != 'f' && esc != 'n' &&
+                    esc != 'r' && esc != 't')
+                    return setError("bad escape");
+                ++pos;
+                continue;
+            }
+            ++pos;
+        }
+        return setError("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        if (peek() == '-')
+            ++pos;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return setError("bad number");
+        if (peek() == '0') {
+            ++pos;
+        } else {
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (peek() == '.') {
+            ++pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return setError("bad fraction");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return setError("bad exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        return true;
+    }
+
+    bool
+    value(int depth)
+    {
+        if (depth > kMaxDepth)
+            return setError("nesting too deep");
+        switch (peek()) {
+          case '{': return object(depth);
+          case '[': return array(depth);
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object(int depth)
+    {
+        ++pos;  // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return setError("expected ':'");
+            ++pos;
+            skipWs();
+            if (!value(depth + 1))
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                return true;
+            }
+            return setError("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array(int depth)
+    {
+        ++pos;  // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value(depth + 1))
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                return true;
+            }
+            return setError("expected ',' or ']'");
+        }
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+    std::string error;
+};
+
+} // namespace
+
+std::optional<std::string>
+jsonSyntaxError(const std::string &text)
+{
+    return Checker(text).check();
+}
+
+} // namespace predbus::obs

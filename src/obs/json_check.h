@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Minimal JSON syntax checker for the observability artifacts. The
+ * emitters hand-write JSON (no third-party dependency), so the tests
+ * and tools need an in-tree way to assert the output actually parses.
+ * Validation only — no DOM is built.
+ */
+
+#ifndef PREDBUS_OBS_JSON_CHECK_H
+#define PREDBUS_OBS_JSON_CHECK_H
+
+#include <optional>
+#include <string>
+
+namespace predbus::obs
+{
+
+/**
+ * Parse @p text as one JSON value (RFC 8259 syntax, nesting capped at
+ * 64). Returns std::nullopt when valid, otherwise a message with the
+ * character offset of the first error.
+ */
+std::optional<std::string> jsonSyntaxError(const std::string &text);
+
+} // namespace predbus::obs
+
+#endif // PREDBUS_OBS_JSON_CHECK_H

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/log.h"
+#include "common/stats.h"
+
+namespace predbus::obs
+{
+
+void
+Histogram::record(double value)
+{
+    std::lock_guard<std::mutex> g(mutex);
+    if (n == 0) {
+        lo = hi = value;
+    } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+    ++n;
+    sum += value;
+    if (samples.size() < kMaxSamples)
+        samples.push_back(value);
+}
+
+u64
+Histogram::count() const
+{
+    std::lock_guard<std::mutex> g(mutex);
+    return n;
+}
+
+HistogramStats
+Histogram::stats() const
+{
+    std::lock_guard<std::mutex> g(mutex);
+    HistogramStats s;
+    s.count = n;
+    if (n == 0)
+        return s;
+    s.min = lo;
+    s.max = hi;
+    s.mean = sum / static_cast<double>(n);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50 = percentileSorted(sorted, 0.50);
+    s.p95 = percentileSorted(sorted, 0.95);
+    s.p99 = percentileSorted(sorted, 0.99);
+    return s;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+bool
+Registry::validName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    bool saw_dot = false;
+    char prev = '.';
+    for (char ch : name) {
+        if (ch == '.') {
+            if (prev == '.')
+                return false;  // empty segment
+            saw_dot = true;
+        } else if (!((ch >= 'a' && ch <= 'z') ||
+                     (ch >= '0' && ch <= '9') || ch == '_')) {
+            return false;
+        }
+        prev = ch;
+    }
+    return saw_dot;
+}
+
+void
+Registry::checkName(const std::string &name, const char *kind) const
+{
+    panicIf(!validName(name), "invalid metric name '", name,
+            "' (want lowercase dotted segments, e.g. trace.cache.hits)");
+    // A name belongs to exactly one metric kind.
+    const bool clash =
+        (kind != std::string("counter") &&
+         counter_map.count(name) != 0) ||
+        (kind != std::string("gauge") && gauge_map.count(name) != 0) ||
+        (kind != std::string("histogram") &&
+         histogram_map.count(name) != 0);
+    panicIf(clash, "metric '", name, "' already registered as a ",
+            "different kind than ", kind);
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(mutex);
+    auto it = counter_map.find(name);
+    if (it == counter_map.end()) {
+        checkName(name, "counter");
+        it = counter_map.emplace(name, std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(mutex);
+    auto it = gauge_map.find(name);
+    if (it == gauge_map.end()) {
+        checkName(name, "gauge");
+        it = gauge_map.emplace(name, std::make_unique<Gauge>()).first;
+    }
+    return *it->second;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(mutex);
+    auto it = histogram_map.find(name);
+    if (it == histogram_map.end()) {
+        checkName(name, "histogram");
+        it = histogram_map.emplace(name, std::make_unique<Histogram>())
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<std::pair<std::string, u64>>
+Registry::counters() const
+{
+    std::lock_guard<std::mutex> g(mutex);
+    std::vector<std::pair<std::string, u64>> out;
+    out.reserve(counter_map.size());
+    for (const auto &[name, c] : counter_map)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, s64>>
+Registry::gauges() const
+{
+    std::lock_guard<std::mutex> g(mutex);
+    std::vector<std::pair<std::string, s64>> out;
+    out.reserve(gauge_map.size());
+    for (const auto &[name, gauge] : gauge_map)
+        out.emplace_back(name, gauge->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, HistogramStats>>
+Registry::histograms() const
+{
+    std::lock_guard<std::mutex> g(mutex);
+    std::vector<std::pair<std::string, HistogramStats>> out;
+    out.reserve(histogram_map.size());
+    for (const auto &[name, h] : histogram_map)
+        out.emplace_back(name, h->stats());
+    return out;
+}
+
+std::string
+metricSegment(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char ch : label) {
+        const unsigned char u = static_cast<unsigned char>(ch);
+        if ((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+            ch == '_')
+            out.push_back(ch);
+        else if (ch >= 'A' && ch <= 'Z')
+            out.push_back(
+                static_cast<char>(std::tolower(u)));
+        else
+            out.push_back('_');
+    }
+    if (out.empty())
+        out = "_";
+    return out;
+}
+
+} // namespace predbus::obs

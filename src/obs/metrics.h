@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Metrics registry: named, thread-safe counters / gauges / histograms
+ * with hierarchical dotted names ("trace.cache.hits",
+ * "runner.cell_ns"). Increments on the hot path are single relaxed
+ * atomic adds; name resolution is a mutex-protected map lookup meant
+ * to happen once (cache the returned reference).
+ *
+ * There is one process-wide default registry (Registry::global()) that
+ * the instrumented layers publish into, plus freely constructible
+ * instances for tests. Registered objects live as long as the registry
+ * and their addresses are stable, so references may be kept at file
+ * scope:
+ *
+ *   namespace { auto &hits =
+ *       obs::Registry::global().counter("trace.cache.hits"); }
+ *
+ * File-scope references double as pre-registration: the name appears
+ * in every metrics report (value 0) even if the event never fires,
+ * which keeps report *structure* independent of the run.
+ *
+ * Naming convention (enforced — invalid names panic): two or more
+ * lowercase [a-z0-9_] segments joined by dots, `<subsystem>.<topic>`
+ * or `<subsystem>.<object>.<event>`. Histogram names carry their unit
+ * as a suffix ("_ns", "_bytes"). tools/check_metrics_names.sh lints
+ * the convention and docs/OBSERVABILITY.md registers every name.
+ */
+
+#ifndef PREDBUS_OBS_METRICS_H
+#define PREDBUS_OBS_METRICS_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::obs
+{
+
+/** Monotonic event count. Increment cost: one relaxed atomic add. */
+class Counter
+{
+  public:
+    void
+    inc(u64 n = 1)
+    {
+        v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    u64 value() const { return v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<u64> v{0};
+};
+
+/** Last-written value (job counts, sizes). */
+class Gauge
+{
+  public:
+    void set(s64 value) { v.store(value, std::memory_order_relaxed); }
+
+    void
+    add(s64 delta)
+    {
+        v.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    s64 value() const { return v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<s64> v{0};
+};
+
+/** Summary of a histogram's samples (percentiles interpolated). */
+struct HistogramStats
+{
+    u64 count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * Sample distribution (timings, sizes). record() takes a mutex — fine
+ * for per-cell / per-run events, not for per-word hot loops (use a
+ * Counter there). Raw samples are retained up to kMaxSamples so
+ * percentiles are exact for any realistic grid; count/min/max/mean
+ * stay exact beyond that.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kMaxSamples = 1u << 20;
+
+    void record(double value);
+
+    u64 count() const;
+
+    /** Consistent snapshot of all summary statistics. */
+    HistogramStats stats() const;
+
+  private:
+    mutable std::mutex mutex;
+    std::vector<double> samples;
+    u64 n = 0;
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Named metric container. Thread-safe; metric objects have stable
+ * addresses for the registry's lifetime. A name identifies exactly one
+ * kind — asking for an existing name as a different kind panics.
+ */
+class Registry
+{
+  public:
+    /** The process-wide default registry. */
+    static Registry &global();
+
+    /** True iff @p name follows the dotted-name convention. */
+    static bool validName(const std::string &name);
+
+    /** Find-or-create. Panics on invalid names or kind conflicts. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Sorted-by-name snapshots for report emission. */
+    std::vector<std::pair<std::string, u64>> counters() const;
+    std::vector<std::pair<std::string, s64>> gauges() const;
+    std::vector<std::pair<std::string, HistogramStats>>
+    histograms() const;
+
+  private:
+    void checkName(const std::string &name, const char *kind) const;
+
+    mutable std::mutex mutex;
+    // std::map: stable node addresses across inserts.
+    std::map<std::string, std::unique_ptr<Counter>> counter_map;
+    std::map<std::string, std::unique_ptr<Gauge>> gauge_map;
+    std::map<std::string, std::unique_ptr<Histogram>> histogram_map;
+};
+
+/**
+ * Make an arbitrary label (a codec name, a workload) usable as one
+ * metric-name segment: lowercased, every other character mapped to
+ * '_'. Never empty ("_" for an empty input).
+ */
+std::string metricSegment(const std::string &label);
+
+} // namespace predbus::obs
+
+#endif // PREDBUS_OBS_METRICS_H

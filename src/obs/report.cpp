@@ -1,0 +1,166 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+#ifndef PREDBUS_GIT_DESCRIBE
+#define PREDBUS_GIT_DESCRIBE "unknown"
+#endif
+#ifndef PREDBUS_BUILD_TYPE
+#define PREDBUS_BUILD_TYPE "unknown"
+#endif
+#ifndef PREDBUS_CXX_FLAGS
+#define PREDBUS_CXX_FLAGS ""
+#endif
+
+namespace predbus::obs
+{
+
+namespace
+{
+
+std::string
+compilerString()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                os << "\\u00" << hex[(ch >> 4) & 0xf]
+                   << hex[ch & 0xf];
+            } else {
+                os << ch;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Fixed-point JSON number (never exponent form, never NaN/Inf). */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    os << buf;
+}
+
+void
+writeHistogram(std::ostream &os, const HistogramStats &h,
+               const char *indent)
+{
+    os << "{\n" << indent << "  \"count\": " << h.count;
+    const std::pair<const char *, double> fields[] = {
+        {"min", h.min},   {"max", h.max}, {"mean", h.mean},
+        {"p50", h.p50},   {"p95", h.p95}, {"p99", h.p99},
+    };
+    for (const auto &[key, value] : fields) {
+        os << ",\n" << indent << "  \"" << key << "\": ";
+        jsonNumber(os, value);
+    }
+    os << '\n' << indent << '}';
+}
+
+} // namespace
+
+BuildInfo
+buildInfo()
+{
+    BuildInfo info;
+    info.compiler = compilerString();
+    info.flags = PREDBUS_CXX_FLAGS;
+    info.build_type = PREDBUS_BUILD_TYPE;
+    info.git = PREDBUS_GIT_DESCRIBE;
+    return info;
+}
+
+void
+writeMetricsReport(std::ostream &os, const ReportContext &ctx,
+                   const Registry &registry)
+{
+    const BuildInfo build = buildInfo();
+
+    os << "{\n  \"schema\": \"predbus.metrics.v1\",\n  \"tool\": ";
+    jsonEscape(os, ctx.tool);
+
+    os << ",\n  \"build\": {\n    \"compiler\": ";
+    jsonEscape(os, build.compiler);
+    os << ",\n    \"flags\": ";
+    jsonEscape(os, build.flags);
+    os << ",\n    \"build_type\": ";
+    jsonEscape(os, build.build_type);
+    os << ",\n    \"git\": ";
+    jsonEscape(os, build.git);
+    os << "\n  },\n  \"config\": {";
+    for (std::size_t i = 0; i < ctx.config.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        jsonEscape(os, ctx.config[i].first);
+        os << ": ";
+        jsonEscape(os, ctx.config[i].second);
+    }
+    os << (ctx.config.empty() ? "" : "\n  ") << "},\n";
+
+    os << "  \"experiments\": [";
+    for (std::size_t i = 0; i < ctx.experiment_wall_ms.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ") << "{\"name\": ";
+        jsonEscape(os, ctx.experiment_wall_ms[i].first);
+        os << ", \"wall_ms\": ";
+        jsonNumber(os, ctx.experiment_wall_ms[i].second);
+        os << '}';
+    }
+    os << (ctx.experiment_wall_ms.empty() ? "" : "\n  ") << "],\n";
+
+    const auto counters = registry.counters();
+    os << "  \"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        jsonEscape(os, counters[i].first);
+        os << ": " << counters[i].second;
+    }
+    os << (counters.empty() ? "" : "\n  ") << "},\n";
+
+    const auto gauges = registry.gauges();
+    os << "  \"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        jsonEscape(os, gauges[i].first);
+        os << ": " << gauges[i].second;
+    }
+    os << (gauges.empty() ? "" : "\n  ") << "},\n";
+
+    const auto histograms = registry.histograms();
+    os << "  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        jsonEscape(os, histograms[i].first);
+        os << ": ";
+        writeHistogram(os, histograms[i].second, "    ");
+    }
+    os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+} // namespace predbus::obs

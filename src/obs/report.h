@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Run manifest + metrics report: one JSON document tying results to
+ * the build that produced them (compiler, flags, git describe), the
+ * run configuration, per-experiment wall times, and every metric in a
+ * Registry — the structured artifact trajectory tracking consumes.
+ * Schema: docs/OBSERVABILITY.md.
+ */
+
+#ifndef PREDBUS_OBS_REPORT_H
+#define PREDBUS_OBS_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace predbus::obs
+{
+
+class Registry;
+
+/** Toolchain/build identity captured at compile/configure time. */
+struct BuildInfo
+{
+    std::string compiler;    ///< e.g. "gcc 13.2.0"
+    std::string flags;       ///< CMAKE_CXX_FLAGS (+ per-config)
+    std::string build_type;  ///< CMAKE_BUILD_TYPE
+    std::string git;         ///< git describe --always --dirty
+};
+
+/** Build info of this binary. */
+BuildInfo buildInfo();
+
+/** What the report describes beyond the registry contents. */
+struct ReportContext
+{
+    std::string tool = "predbus";
+    /** Config key/value pairs, emitted in the given order. */
+    std::vector<std::pair<std::string, std::string>> config;
+    /** (experiment name, wall milliseconds), in run order. */
+    std::vector<std::pair<std::string, double>> experiment_wall_ms;
+};
+
+/**
+ * Emit the metrics report JSON: manifest (tool, build, config),
+ * experiment wall times, and the registry's counters, gauges, and
+ * histogram summaries sorted by name. Structure depends only on which
+ * metrics exist, never on their values, so reports from --jobs 1 and
+ * --jobs N have identical key sets.
+ */
+void writeMetricsReport(std::ostream &os, const ReportContext &ctx,
+                        const Registry &registry);
+
+} // namespace predbus::obs
+
+#endif // PREDBUS_OBS_REPORT_H

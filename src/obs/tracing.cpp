@@ -1,0 +1,188 @@
+#include "obs/tracing.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace predbus::obs
+{
+
+u64
+nowNs()
+{
+    using clock = std::chrono::steady_clock;
+    // Anchor at first use so span timestamps are small and the Chrome
+    // viewer's timeline starts near zero.
+    static const clock::time_point anchor = clock::now();
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - anchor)
+            .count());
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity(capacity) {}
+
+TraceBuffer &
+TraceBuffer::global()
+{
+    static TraceBuffer buffer;
+    return buffer;
+}
+
+void
+TraceBuffer::setEnabled(bool enabled)
+{
+    on.store(enabled, std::memory_order_relaxed);
+}
+
+void
+TraceBuffer::record(std::string name, u64 start_ns, u64 dur_ns)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> g(mutex);
+    if (spans.size() >= capacity) {
+        drops.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    SpanEvent ev;
+    ev.name = std::move(name);
+    ev.start_ns = start_ns;
+    ev.dur_ns = dur_ns;
+    ev.tid = tidOf(std::this_thread::get_id());
+    spans.push_back(std::move(ev));
+}
+
+u32
+TraceBuffer::tidOf(std::thread::id id)
+{
+    // Called with the buffer mutex held.
+    const auto it = tids.find(id);
+    if (it != tids.end())
+        return it->second;
+    const u32 tid = static_cast<u32>(tids.size());
+    tids.emplace(id, tid);
+    return tid;
+}
+
+std::size_t
+TraceBuffer::size() const
+{
+    std::lock_guard<std::mutex> g(mutex);
+    return spans.size();
+}
+
+u64
+TraceBuffer::dropped() const
+{
+    return drops.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanEvent>
+TraceBuffer::events() const
+{
+    std::lock_guard<std::mutex> g(mutex);
+    return spans;
+}
+
+void
+TraceBuffer::clear()
+{
+    std::lock_guard<std::mutex> g(mutex);
+    spans.clear();
+    tids.clear();
+    drops.store(0, std::memory_order_relaxed);
+}
+
+namespace
+{
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                os << "\\u00" << hex[(ch >> 4) & 0xf]
+                   << hex[ch & 0xf];
+            } else {
+                os << ch;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Microseconds with sub-ns-safe fixed formatting ("12.345"). */
+void
+writeMicros(std::ostream &os, u64 ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    os << buf;
+}
+
+} // namespace
+
+void
+TraceBuffer::writeChromeJson(std::ostream &os) const
+{
+    std::vector<SpanEvent> snapshot = events();
+    os << "{\n  \"displayTimeUnit\": \"ms\",\n"
+          "  \"droppedSpans\": "
+       << dropped() << ",\n  \"traceEvents\": [\n";
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        const SpanEvent &ev = snapshot[i];
+        os << "    {\"name\": ";
+        jsonEscape(os, ev.name);
+        os << ", \"cat\": \"predbus\", \"ph\": \"X\", \"pid\": 1, "
+              "\"tid\": "
+           << ev.tid << ", \"ts\": ";
+        writeMicros(os, ev.start_ns);
+        os << ", \"dur\": ";
+        writeMicros(os, ev.dur_ns);
+        os << '}' << (i + 1 < snapshot.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+ScopedTimer::ScopedTimer(std::string name, TraceBuffer *buffer,
+                         Histogram *histogram)
+    : name(std::move(name)),
+      buffer(buffer ? buffer : &TraceBuffer::global()),
+      histogram(histogram)
+{
+    active = this->buffer->enabled() || this->histogram;
+    if (active)
+        start = nowNs();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (!active)
+        return;
+    const u64 dur = nowNs() - start;
+    if (histogram)
+        histogram->record(static_cast<double>(dur));
+    buffer->record(std::move(name), start, dur);
+}
+
+u64
+ScopedTimer::elapsedNs() const
+{
+    return active ? nowNs() - start : 0;
+}
+
+} // namespace predbus::obs

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Phase tracing: RAII scoped timers recording (name, start, duration,
+ * thread) spans into a bounded in-memory buffer, exportable as Chrome
+ * trace-event JSON (load in chrome://tracing or ui.perfetto.dev).
+ *
+ * Tracing is off by default and costs one relaxed atomic load per
+ * ScopedTimer when disabled — no clock reads, no allocation. The
+ * predbus_bench --trace-out flag enables the global buffer for the
+ * run and writes the JSON at exit.
+ */
+
+#ifndef PREDBUS_OBS_TRACING_H
+#define PREDBUS_OBS_TRACING_H
+
+#include <atomic>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::obs
+{
+
+class Histogram;
+
+/** Nanoseconds of steady time since the first obs clock use. */
+u64 nowNs();
+
+/** One completed span. */
+struct SpanEvent
+{
+    std::string name;
+    u64 start_ns = 0;
+    u64 dur_ns = 0;
+    u32 tid = 0;  ///< small dense thread number, 0 = first seen
+};
+
+/**
+ * Bounded span store. Thread-safe; once @p capacity spans are held,
+ * further spans are counted as dropped rather than recorded (a trace
+ * that silently self-truncates would misrepresent the run, so the
+ * drop count is exported in the JSON metadata).
+ */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(std::size_t capacity = 1u << 16);
+
+    /** The process-wide buffer ScopedTimer uses by default. */
+    static TraceBuffer &global();
+
+    void setEnabled(bool enabled);
+    bool
+    enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /** Record a completed span (no-op while disabled). */
+    void record(std::string name, u64 start_ns, u64 dur_ns);
+
+    std::size_t size() const;
+    u64 dropped() const;
+    std::vector<SpanEvent> events() const;
+    void clear();
+
+    /**
+     * Chrome trace-event JSON: {"traceEvents": [...]} with complete
+     * ("ph":"X") events, timestamps in microseconds.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    u32 tidOf(std::thread::id id);
+
+    std::atomic<bool> on{false};
+    std::atomic<u64> drops{0};
+    mutable std::mutex mutex;
+    std::vector<SpanEvent> spans;
+    std::size_t capacity;
+    std::map<std::thread::id, u32> tids;
+};
+
+/**
+ * RAII span: measures construction-to-destruction and records it into
+ * a TraceBuffer (the global one by default) and/or an optional
+ * Histogram. When the buffer is disabled and no histogram is given,
+ * the timer takes no clock readings at all.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(std::string name,
+                         TraceBuffer *buffer = nullptr,
+                         Histogram *histogram = nullptr);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Nanoseconds since construction (0 when inactive). */
+    u64 elapsedNs() const;
+
+  private:
+    std::string name;
+    TraceBuffer *buffer;
+    Histogram *histogram;
+    u64 start = 0;
+    bool active = false;
+};
+
+} // namespace predbus::obs
+
+#endif // PREDBUS_OBS_TRACING_H

@@ -1,6 +1,9 @@
 #include "sim/machine.h"
 
+#include <string>
+
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace predbus::sim
 {
@@ -42,6 +45,36 @@ memSize(Opcode op)
       case Opcode::FLD: case Opcode::FSD: return 8;
       default: return 0;
     }
+}
+
+/** Export one run's SimStats into the process metrics registry, so a
+ * metrics report records how much simulation backed the traces. */
+void
+publishSimStats(const SimStats &stats)
+{
+    auto &reg = obs::Registry::global();
+    reg.counter("sim.machine.runs").inc();
+    reg.counter("sim.machine.cycles").inc(stats.cycles);
+    reg.counter("sim.machine.instructions").inc(stats.instructions);
+    reg.counter("sim.machine.branches").inc(stats.branches);
+    reg.counter("sim.machine.mispredicts").inc(stats.mispredicts);
+    reg.counter("sim.machine.loads").inc(stats.loads);
+    reg.counter("sim.machine.stores").inc(stats.stores);
+    const struct
+    {
+        const char *name;
+        const CacheStats &cache;
+    } caches[] = {
+        {"il1", stats.il1}, {"dl1", stats.dl1}, {"l2", stats.l2}};
+    for (const auto &[name, cache] : caches) {
+        const std::string base = std::string("sim.cache.") + name;
+        reg.counter(base + ".accesses").inc(cache.accesses);
+        reg.counter(base + ".misses").inc(cache.misses);
+        reg.counter(base + ".writebacks").inc(cache.writebacks);
+    }
+    reg.counter("sim.bpred.lookups").inc(stats.bpred.lookups);
+    reg.counter("sim.bpred.dir_hits").inc(stats.bpred.dir_hits);
+    reg.counter("sim.bpred.target_hits").inc(stats.bpred.target_hits);
 }
 
 } // namespace
@@ -502,6 +535,7 @@ Machine::run(u64 max_cycles)
     result.addr_bus = std::move(addr_bus);
     result.wb_bus = std::move(wb_bus);
     result.halted = dispatch_halted;
+    publishSimStats(result.stats);
     return result;
 }
 

@@ -7,12 +7,24 @@
 #include <unistd.h>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace predbus::trace
 {
 
 namespace
 {
+
+// Cache-write accounting: saves, and whether the atomic
+// rename-into-place succeeded (pre-registered for report stability).
+obs::Counter &io_saves =
+    obs::Registry::global().counter("trace.io.saves");
+obs::Counter &io_renames_ok =
+    obs::Registry::global().counter("trace.io.renames_ok");
+obs::Counter &io_renames_failed =
+    obs::Registry::global().counter("trace.io.renames_failed");
+obs::Counter &io_bytes_written =
+    obs::Registry::global().counter("trace.io.bytes_written");
 
 constexpr u32 kMagic = 0x50425452;  // "PBTR"
 constexpr u32 kVersion = 1;
@@ -76,6 +88,7 @@ saveTrace(const std::string &path, const ValueTrace &trace)
     // readers see either the old file, no file, or the complete one.
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
+    io_saves.inc();
     {
         File f(std::fopen(tmp.c_str(), "wb"));
         if (!f)
@@ -91,11 +104,14 @@ saveTrace(const std::string &path, const ValueTrace &trace)
             std::remove(tmp.c_str());
             fatal("short write to trace file '", tmp, "'");
         }
+        io_bytes_written.inc(16 + 12 * trace.size());
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        io_renames_failed.inc();
         std::remove(tmp.c_str());
         fatal("cannot rename trace file '", tmp, "' to '", path, "'");
     }
+    io_renames_ok.inc();
 }
 
 std::optional<ValueTrace>

@@ -4,10 +4,24 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 #include "trace/trace_io.h"
 
 namespace predbus::trace
 {
+
+namespace
+{
+
+// Streaming-read accounting (pre-registered for report stability).
+obs::Counter &source_opens =
+    obs::Registry::global().counter("trace.source.opens");
+obs::Counter &source_bytes_read =
+    obs::Registry::global().counter("trace.source.bytes_read");
+obs::Counter &source_sort_fallbacks =
+    obs::Registry::global().counter("trace.source.sort_fallbacks");
+
+} // namespace
 
 std::size_t
 SpanTraceSource::read(std::span<Word> out)
@@ -89,6 +103,7 @@ FileTraceSource::~FileTraceSource()
 void
 FileTraceSource::open()
 {
+    source_opens.inc();
     file = std::fopen(path.c_str(), "rb");
     if (!file)
         fatal("cannot open trace file '", path, "'");
@@ -112,6 +127,7 @@ FileTraceSource::materialize()
 {
     // Out-of-order file: delegate to the sorting loader so the value
     // order matches ValueTrace::values().
+    source_sort_fallbacks.inc();
     auto loaded = loadTrace(path);
     if (!loaded)
         fatal("malformed trace file '", path, "'");
@@ -147,6 +163,7 @@ FileTraceSource::read(std::span<Word> out)
         i += batch;
     }
     served += want;
+    source_bytes_read.inc(want * kEventBytes);
     return want;
 }
 

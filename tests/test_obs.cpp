@@ -1,0 +1,428 @@
+/**
+ * @file
+ * The observability subsystem: metrics registry concurrency and naming,
+ * scoped-timer tracing and Chrome JSON export, the metrics report
+ * (structure determinism across job counts), the JSON syntax checker,
+ * the leveled logger, and the runner's failure aggregation.
+ */
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "analysis/runner.h"
+#include "common/log.h"
+#include "obs/json_check.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/tracing.h"
+
+using namespace predbus;
+
+namespace
+{
+
+TEST(Metrics, CounterSumsExactlyUnderContention)
+{
+    obs::Registry registry;
+    obs::Counter &c = registry.counter("test.counter.contended");
+    constexpr unsigned kThreads = 8;
+    constexpr u64 kIncsPerThread = 100000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (u64 i = 0; i < kIncsPerThread; ++i)
+                c.inc();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), kThreads * kIncsPerThread);
+}
+
+TEST(Metrics, HistogramCountExactUnderContention)
+{
+    obs::Registry registry;
+    obs::Histogram &h = registry.histogram("test.histogram.dur_ns");
+    constexpr unsigned kThreads = 8;
+    constexpr u64 kPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            for (u64 i = 0; i < kPerThread; ++i)
+                h.record(static_cast<double>(t * kPerThread + i));
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const obs::HistogramStats stats = h.stats();
+    EXPECT_EQ(stats.count, kThreads * kPerThread);
+    EXPECT_EQ(stats.min, 0.0);
+    EXPECT_EQ(stats.max,
+              static_cast<double>(kThreads * kPerThread - 1));
+    // Mean of 0..N-1 is (N-1)/2.
+    EXPECT_NEAR(stats.mean,
+                static_cast<double>(kThreads * kPerThread - 1) / 2.0,
+                1e-6);
+    EXPECT_GT(stats.p95, stats.p50);
+}
+
+TEST(Metrics, HistogramPercentilesExact)
+{
+    obs::Registry registry;
+    obs::Histogram &h = registry.histogram("test.percentiles.dur_ns");
+    for (int i = 1; i <= 100; ++i)
+        h.record(static_cast<double>(i));
+    const obs::HistogramStats stats = h.stats();
+    EXPECT_EQ(stats.count, 100u);
+    EXPECT_NEAR(stats.p50, 50.5, 0.51);
+    EXPECT_NEAR(stats.p95, 95.0, 1.01);
+    EXPECT_NEAR(stats.p99, 99.0, 1.01);
+}
+
+TEST(Metrics, SameNameReturnsSameObject)
+{
+    obs::Registry registry;
+    obs::Counter &a = registry.counter("test.same.name");
+    obs::Counter &b = registry.counter("test.same.name");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Metrics, InvalidNamesPanic)
+{
+    obs::Registry registry;
+    EXPECT_THROW(registry.counter(""), PanicError);
+    EXPECT_THROW(registry.counter("noDots"), PanicError);
+    EXPECT_THROW(registry.counter("Upper.case"), PanicError);
+    EXPECT_THROW(registry.counter("trailing.dot."), PanicError);
+    EXPECT_THROW(registry.counter(".leading.dot"), PanicError);
+    EXPECT_THROW(registry.counter("two..dots"), PanicError);
+    EXPECT_THROW(registry.counter("bad.char-here"), PanicError);
+    EXPECT_THROW(registry.gauge("bad name.space"), PanicError);
+    EXPECT_THROW(registry.histogram("BAD.ns"), PanicError);
+}
+
+TEST(Metrics, ValidNameFollowsConvention)
+{
+    EXPECT_TRUE(obs::Registry::validName("runner.cell_ns"));
+    EXPECT_TRUE(obs::Registry::validName("trace.cache.hits"));
+    EXPECT_TRUE(obs::Registry::validName("coding.window8.dict_hits"));
+    EXPECT_FALSE(obs::Registry::validName("single"));
+    EXPECT_FALSE(obs::Registry::validName("has.Upper"));
+    EXPECT_FALSE(obs::Registry::validName("has.da-sh"));
+}
+
+TEST(Metrics, KindConflictPanics)
+{
+    obs::Registry registry;
+    registry.counter("test.kind.conflict");
+    EXPECT_THROW(registry.gauge("test.kind.conflict"), PanicError);
+    EXPECT_THROW(registry.histogram("test.kind.conflict"), PanicError);
+}
+
+TEST(Metrics, SnapshotsAreSortedByName)
+{
+    obs::Registry registry;
+    registry.counter("test.z.last");
+    registry.counter("test.a.first");
+    registry.counter("test.m.middle");
+    const auto counters = registry.counters();
+    ASSERT_EQ(counters.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(
+        counters.begin(), counters.end(),
+        [](const auto &a, const auto &b) { return a.first < b.first; }));
+}
+
+TEST(Metrics, SegmentSanitizesArbitraryLabels)
+{
+    EXPECT_EQ(obs::metricSegment("Window-8"), "window_8");
+    EXPECT_EQ(obs::metricSegment("ctx value"), "ctx_value");
+    EXPECT_EQ(obs::metricSegment("inv2"), "inv2");
+    EXPECT_EQ(obs::metricSegment(""), "_");
+    EXPECT_TRUE(obs::Registry::validName(
+        "coding." + obs::metricSegment("Any Codec!") + ".hits"));
+}
+
+TEST(Tracing, ScopedTimerNestingRecordsBothSpans)
+{
+    obs::TraceBuffer buffer(16);
+    buffer.setEnabled(true);
+    {
+        const obs::ScopedTimer outer("outer", &buffer);
+        {
+            const obs::ScopedTimer inner("inner", &buffer);
+        }
+    }
+    const auto events = buffer.events();
+    ASSERT_EQ(events.size(), 2u);
+    // Destruction order records inner first.
+    EXPECT_EQ(events[0].name, "inner");
+    EXPECT_EQ(events[1].name, "outer");
+    // The child span nests inside the parent's interval.
+    EXPECT_GE(events[0].start_ns, events[1].start_ns);
+    EXPECT_LE(events[0].start_ns + events[0].dur_ns,
+              events[1].start_ns + events[1].dur_ns);
+}
+
+TEST(Tracing, DisabledBufferRecordsNothing)
+{
+    obs::TraceBuffer buffer(16);
+    {
+        const obs::ScopedTimer timer("ignored", &buffer);
+    }
+    EXPECT_EQ(buffer.size(), 0u);
+    EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(Tracing, BoundedBufferCountsDrops)
+{
+    obs::TraceBuffer buffer(4);
+    buffer.setEnabled(true);
+    for (int i = 0; i < 10; ++i)
+        buffer.record("span", 0, 1);
+    EXPECT_EQ(buffer.size(), 4u);
+    EXPECT_EQ(buffer.dropped(), 6u);
+}
+
+TEST(Tracing, TimerFeedsHistogramWithoutBuffer)
+{
+    obs::Registry registry;
+    obs::Histogram &h = registry.histogram("test.timer.dur_ns");
+    obs::TraceBuffer buffer(16);  // stays disabled
+    {
+        const obs::ScopedTimer timer("timed", &buffer, &h);
+    }
+    EXPECT_EQ(buffer.size(), 0u);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Tracing, ChromeJsonIsValidAndComplete)
+{
+    obs::TraceBuffer buffer(8);
+    buffer.setEnabled(true);
+    {
+        const obs::ScopedTimer a("phase \"quoted\"\\slash", &buffer);
+        const obs::ScopedTimer b("phase:two", &buffer);
+    }
+    for (int i = 0; i < 20; ++i)
+        buffer.record("overflow", 0, 1);
+    std::ostringstream os;
+    buffer.writeChromeJson(os);
+    const std::string json = os.str();
+    EXPECT_EQ(obs::jsonSyntaxError(json), std::nullopt)
+        << obs::jsonSyntaxError(json).value_or("") << "\n"
+        << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"droppedSpans\""), std::string::npos);
+}
+
+TEST(JsonCheck, AcceptsValidDocuments)
+{
+    EXPECT_EQ(obs::jsonSyntaxError("{}"), std::nullopt);
+    EXPECT_EQ(obs::jsonSyntaxError("[1, 2.5, -3e4, 1e-2]"),
+              std::nullopt);
+    EXPECT_EQ(obs::jsonSyntaxError(
+                  R"({"a": [true, false, null], "b": "x\n\"y\""})"),
+              std::nullopt);
+    EXPECT_EQ(obs::jsonSyntaxError(R"("é")"), std::nullopt);
+}
+
+TEST(JsonCheck, RejectsInvalidDocuments)
+{
+    EXPECT_NE(obs::jsonSyntaxError(""), std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError("{"), std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError("{\"a\": }"), std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError("[1, ]"), std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError("[1] trailing"), std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError("nul"), std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError("01"), std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError("\"unterminated"), std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError("NaN"), std::nullopt);
+}
+
+/** Key set (sorted names) of every metric in @p registry. */
+std::set<std::string>
+metricNames(const obs::Registry &registry)
+{
+    std::set<std::string> names;
+    for (const auto &[name, value] : registry.counters())
+        names.insert(name);
+    for (const auto &[name, value] : registry.gauges())
+        names.insert(name);
+    for (const auto &[name, stats] : registry.histograms())
+        names.insert(name);
+    return names;
+}
+
+TEST(Report, StructureIdenticalAcrossJobCounts)
+{
+    // The same grid through one- and eight-job runners must register
+    // the same metric names — report structure is scheduling-free.
+    obs::Registry reg1, reg8;
+    const analysis::Runner one(1, &reg1);
+    const analysis::Runner eight(8, &reg8);
+    const auto work = [](std::size_t i) {
+        volatile double x = 0;
+        for (std::size_t k = 0; k < 100 * (i % 7 + 1); ++k)
+            x = x + static_cast<double>(k);
+    };
+    one.forEachIndex(64, work);
+    eight.forEachIndex(64, work);
+    EXPECT_EQ(metricNames(reg1), metricNames(reg8));
+
+    // Values agree where scheduling can't matter.
+    const auto counter = [](const obs::Registry &r,
+                            const std::string &name) {
+        for (const auto &[n, v] : r.counters())
+            if (n == name)
+                return v;
+        return u64{0};
+    };
+    EXPECT_EQ(counter(reg1, "runner.cells_done"), 64u);
+    EXPECT_EQ(counter(reg8, "runner.cells_done"), 64u);
+    EXPECT_EQ(counter(reg1, "runner.cells_failed"), 0u);
+    EXPECT_EQ(counter(reg8, "runner.cells_failed"), 0u);
+}
+
+TEST(Report, JsonIsValidAndCarriesManifest)
+{
+    obs::Registry registry;
+    registry.counter("test.report.hits").inc(7);
+    registry.gauge("test.report.jobs").set(4);
+    registry.histogram("test.report.cell_ns").record(1234.5);
+
+    obs::ReportContext ctx;
+    ctx.tool = "test_obs";
+    ctx.config = {{"filters", "smoke*"}, {"jobs", "4"}};
+    ctx.experiment_wall_ms = {{"smoke_engine", 12.5}};
+
+    std::ostringstream os;
+    obs::writeMetricsReport(os, ctx, registry);
+    const std::string json = os.str();
+
+    EXPECT_EQ(obs::jsonSyntaxError(json), std::nullopt)
+        << obs::jsonSyntaxError(json).value_or("") << "\n"
+        << json;
+    for (const char *needle :
+         {"\"schema\"", "\"predbus.metrics.v1\"", "\"build\"",
+          "\"compiler\"", "\"flags\"", "\"git\"", "\"config\"",
+          "\"experiments\"", "\"smoke_engine\"",
+          "\"test.report.hits\": 7", "\"test.report.jobs\": 4",
+          "\"test.report.cell_ns\"", "\"p50\"", "\"p95\"",
+          "\"p99\""}) {
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle << " in\n"
+            << json;
+    }
+    EXPECT_FALSE(obs::buildInfo().compiler.empty());
+}
+
+TEST(Report, FormatOutputByteIdenticalWithObservabilityOn)
+{
+    // Turning on tracing and flushing metrics must not perturb the
+    // experiment emitters: rendered output is byte-identical.
+    const analysis::Experiment *exp =
+        analysis::Registry::instance().find("smoke_engine");
+    ASSERT_NE(exp, nullptr);
+    const analysis::Runner runner(2);
+
+    const auto render = [&](analysis::Format format) {
+        std::ostringstream os;
+        analysis::emitExperiment(os, exp->name, exp->run(runner),
+                                 format);
+        return os.str();
+    };
+
+    const std::string table_off = render(analysis::Format::Table);
+    const std::string csv_off = render(analysis::Format::Csv);
+    const std::string json_off = render(analysis::Format::Json);
+
+    obs::TraceBuffer::global().setEnabled(true);
+    const std::string table_on = render(analysis::Format::Table);
+    const std::string csv_on = render(analysis::Format::Csv);
+    const std::string json_on = render(analysis::Format::Json);
+    obs::TraceBuffer::global().setEnabled(false);
+    obs::TraceBuffer::global().clear();
+
+    EXPECT_EQ(table_off, table_on);
+    EXPECT_EQ(csv_off, csv_on);
+    EXPECT_EQ(json_off, json_on);
+}
+
+TEST(RunnerFailures, SingleFailureRethrownUnchanged)
+{
+    obs::Registry registry;
+    const analysis::Runner runner(4, &registry);
+    try {
+        runner.forEachIndex(100, [](std::size_t i) {
+            if (i == 37)
+                fatal("cell ", i, " failed");
+        });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "cell 37 failed");
+    }
+}
+
+TEST(RunnerFailures, MultiFailureReportsCountAndIndices)
+{
+    obs::Registry registry;
+    const analysis::Runner runner(4, &registry);
+    try {
+        runner.forEachIndex(100, [](std::size_t i) {
+            if (i % 10 == 3)
+                fatal("cell ", i, " failed");
+        });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        // First failure by index leads; the summary names the rest.
+        EXPECT_NE(msg.find("cell 3 failed"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("10 of 100 cells failed"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("indices: 3, 13, 23"), std::string::npos)
+            << msg;
+    }
+    u64 failed = 0;
+    for (const auto &[name, value] : registry.counters())
+        if (name == "runner.cells_failed")
+            failed = value;
+    EXPECT_EQ(failed, 10u);
+}
+
+TEST(RunnerFailures, PanicTypePreservedInAggregate)
+{
+    obs::Registry registry;
+    const analysis::Runner runner(4, &registry);
+    EXPECT_THROW(runner.forEachIndex(
+                     20,
+                     [](std::size_t i) {
+                         if (i % 2 == 0)
+                             panic("invariant broke at ", i);
+                     }),
+                 PanicError);
+}
+
+TEST(Log, LevelGatesRecords)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(logEnabled(LogLevel::Debug));
+    setLogLevel(saved);
+}
+
+} // namespace

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Lint the observability metric names.
+#
+# Every literal registry call — counter("...") / gauge("...") /
+# histogram("...") — in src/, bench/, and tools/ must (a) follow the
+# dotted-name convention (two or more lowercase [a-z0-9_] segments
+# joined by single dots) and (b) be registered in the metric-name
+# table of docs/OBSERVABILITY.md, so metrics never drift out of the
+# docs. Names built at runtime (coding.<codec>.*, sim.cache.<level>.*)
+# are documented as patterns and validated at registration by
+# Registry::validName instead.
+#
+# Usage: tools/check_metrics_names.sh   (exit 0 clean, 1 on violations)
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+DOCS="$ROOT/docs/OBSERVABILITY.md"
+
+[ -r "$DOCS" ] || { echo "check_metrics_names: missing $DOCS" >&2; exit 1; }
+
+# Tests exercise the validator with deliberately bad names; skip them.
+names=$(grep -rhoE '(counter|gauge|histogram)\("[^"]*"\)' \
+            "$ROOT/src" "$ROOT/bench" "$ROOT/tools" \
+            --include='*.cpp' --include='*.h' 2>/dev/null |
+        sed -E 's/^[a-z]+\("([^"]*)"\)$/\1/' | sort -u)
+
+status=0
+for name in $names; do
+    if ! printf '%s\n' "$name" |
+            grep -qE '^[a-z0-9_]+(\.[a-z0-9_]+)+$'; then
+        echo "check_metrics_names: '$name' violates the dotted-name" \
+             "convention (see docs/OBSERVABILITY.md)" >&2
+        status=1
+        continue
+    fi
+    if ! grep -qF "\`$name\`" "$DOCS"; then
+        echo "check_metrics_names: '$name' is not registered in" \
+             "docs/OBSERVABILITY.md" >&2
+        status=1
+    fi
+done
+
+[ "$status" -eq 0 ] && echo "check_metrics_names: OK ($(printf '%s\n' "$names" | grep -c .) names)"
+exit "$status"

@@ -1,6 +1,8 @@
 #!/bin/sh
 # Configure, build, and run the tier-1 test suite (unit tests + the
-# predbus_bench smoke experiment). Usage: tools/run_tier1.sh [builddir]
+# predbus_bench smoke experiment), lint the metric names, and check
+# the observability artifacts are valid JSON.
+# Usage: tools/run_tier1.sh [builddir]
 set -e
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -10,3 +12,15 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 cmake -S "$ROOT" -B "$BUILD"
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure
+
+"$ROOT/tools/check_metrics_names.sh"
+
+# Smoke run with observability on: both artifacts must parse as JSON.
+OBSDIR=$(mktemp -d)
+trap 'rm -rf "$OBSDIR"' EXIT
+"$BUILD/bench/predbus_bench" --filter 'smoke*' \
+    --metrics="$OBSDIR/metrics.json" \
+    --trace-out="$OBSDIR/trace.json" > /dev/null
+python3 -m json.tool "$OBSDIR/metrics.json" > /dev/null
+python3 -m json.tool "$OBSDIR/trace.json" > /dev/null
+echo "observability artifacts: OK"
