@@ -157,21 +157,16 @@ selectExperiments(const Options &opt)
     if (opt.filters.empty())
         return registry.all();
 
-    // Union of all filters, deduped, in registry (sorted) order.
-    std::vector<const analysis::Experiment *> selected;
-    for (const auto *exp : registry.all()) {
-        for (const auto &glob : opt.filters) {
-            if (analysis::globMatch(glob, exp->name)) {
-                selected.push_back(exp);
-                break;
-            }
-        }
-    }
-    if (selected.empty()) {
+    // Any glob matching nothing is a hard error — a silently dropped
+    // typo'd filter looks exactly like a passing run.
+    std::vector<std::string> unmatched;
+    const std::vector<const analysis::Experiment *> selected =
+        analysis::selectByGlobs(registry, opt.filters, &unmatched);
+    if (!unmatched.empty()) {
         std::string globs;
-        for (const auto &g : opt.filters)
+        for (const auto &g : unmatched)
             globs += (globs.empty() ? "" : ", ") + g;
-        fatal("no experiment matches ", globs,
+        fatal("no experiment matches: ", globs,
               " (try --list for names)");
     }
     return selected;

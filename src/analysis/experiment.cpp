@@ -99,6 +99,33 @@ globMatch(const std::string &pattern, const std::string &text)
     return p == pattern.size();
 }
 
+std::vector<const Experiment *>
+selectByGlobs(const Registry &registry,
+              const std::vector<std::string> &globs,
+              std::vector<std::string> *unmatched)
+{
+    std::vector<bool> hit(globs.size(), false);
+    std::vector<const Experiment *> selected;
+    for (const Experiment *exp : registry.all()) {
+        bool taken = false;
+        for (std::size_t i = 0; i < globs.size(); ++i) {
+            if (globMatch(globs[i], exp->name)) {
+                hit[i] = true;
+                if (!taken) {
+                    selected.push_back(exp);
+                    taken = true;
+                }
+            }
+        }
+    }
+    if (unmatched) {
+        for (std::size_t i = 0; i < globs.size(); ++i)
+            if (!hit[i])
+                unmatched->push_back(globs[i]);
+    }
+    return selected;
+}
+
 namespace
 {
 

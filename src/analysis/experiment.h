@@ -111,6 +111,17 @@ struct RegisterExperiment
 /** Shell-style glob match supporting '*' and '?'. */
 bool globMatch(const std::string &pattern, const std::string &text);
 
+/**
+ * Union of experiments matching any of @p globs, deduped, in registry
+ * (sorted) order. Globs that match no experiment at all are collected
+ * into @p unmatched (when non-null) so callers can refuse typo'd
+ * filters instead of silently ignoring them.
+ */
+std::vector<const Experiment *>
+selectByGlobs(const Registry &registry,
+              const std::vector<std::string> &globs,
+              std::vector<std::string> *unmatched = nullptr);
+
 /** Render one report in @p format. CSV omits title and notes (data
  * only, matching the pre-engine --csv output byte for byte). */
 void emitReport(std::ostream &os, const Report &report,

@@ -1,0 +1,56 @@
+#include "coding/session.h"
+
+#include "coding/factory.h"
+#include "common/log.h"
+
+namespace predbus::coding
+{
+
+CodecSession::CodecSession(std::unique_ptr<Transcoder> transcoder)
+    : transcoder(std::move(transcoder))
+{
+    panicIf(!this->transcoder, "CodecSession needs a transcoder");
+}
+
+CodecSession::CodecSession(const std::string &spec)
+    : CodecSession(makeFromSpec(spec))
+{
+}
+
+void
+CodecSession::encodeBatch(std::span<const Word> values,
+                          std::vector<u64> &out)
+{
+    out.reserve(out.size() + values.size());
+    for (const Word value : values) {
+        const u64 state = transcoder->encode(value);
+        sum = checksumFold(sum, state);
+        out.push_back(state);
+    }
+    ++seq_no;
+}
+
+void
+CodecSession::decodeBatch(std::span<const u64> states,
+                          std::vector<Word> &out)
+{
+    out.reserve(out.size() + states.size());
+    for (const u64 state : states) {
+        const Word value = transcoder->decode(state);
+        sum = checksumFold(sum, value);
+        out.push_back(value);
+    }
+    ++seq_no;
+}
+
+void
+CodecSession::resync()
+{
+    transcoder->reset();
+    transcoder->syncStatsBaseline();
+    seq_no = 0;
+    sum = kChecksumSeed;
+    ++epoch_no;
+}
+
+} // namespace predbus::coding

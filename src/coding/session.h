@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Stateful codec sessions: the unit of service in src/serve.
+ *
+ * A CodecSession wraps one Transcoder (a synchronized encoder/decoder
+ * FSM pair, see codec.h) with the bookkeeping a *distributed* use of
+ * that pair needs: a per-batch sequence number and a rolling checksum
+ * of the session's output stream. The paper's correctness invariant is
+ * that the dictionaries at both ends of the bus evolve in lock-step;
+ * when the two ends are a client and a server separated by a network,
+ * that invariant is verified explicitly — both sides fold the same
+ * output stream into the same checksum, and any divergence (a dropped
+ * batch, a reordered frame, mismatched state) is detected before the
+ * FSMs are advanced further. resync() is the recovery path: both ends
+ * return to the initial FSM state and start a new epoch.
+ *
+ * The same class is the in-process reference for the end-to-end tests:
+ * a trace pushed through a served session must produce byte-identical
+ * wire states, checksums, and operation counts to a local CodecSession
+ * built from the same spec.
+ */
+
+#ifndef PREDBUS_CODING_SESSION_H
+#define PREDBUS_CODING_SESSION_H
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coding/codec.h"
+
+namespace predbus::coding
+{
+
+/** FNV-1a 64-bit offset basis: the checksum of an empty stream. */
+constexpr u64 kChecksumSeed = 0xcbf29ce484222325ull;
+
+/** Fold one 64-bit output (wire state or zero-extended word) into a
+ * rolling FNV-1a checksum, least-significant byte first. */
+constexpr u64
+checksumFold(u64 sum, u64 value)
+{
+    for (int i = 0; i < 8; ++i) {
+        sum ^= (value >> (8 * i)) & 0xff;
+        sum *= 0x100000001b3ull;
+    }
+    return sum;
+}
+
+/** One stateful transcoding session. */
+class CodecSession
+{
+  public:
+    explicit CodecSession(std::unique_ptr<Transcoder> transcoder);
+
+    /** Build from a factory spec ("window:8", ...); throws FatalError
+     * on malformed specs (coding::makeFromSpec). */
+    explicit CodecSession(const std::string &spec);
+
+    const Transcoder &codec() const { return *transcoder; }
+    Transcoder &codec() { return *transcoder; }
+
+    /** Batches processed since construction / the last resync(). */
+    u64 seq() const { return seq_no; }
+
+    /** Rolling checksum over every output produced so far. */
+    u64 checksum() const { return sum; }
+
+    /** Resyncs performed (0 for a fresh session). */
+    u32 epoch() const { return epoch_no; }
+
+    /**
+     * Encode @p values, appending one wire state per value to @p out.
+     * Advances the sequence number by one and folds each produced
+     * state into the checksum.
+     */
+    void encodeBatch(std::span<const Word> values,
+                     std::vector<u64> &out);
+
+    /**
+     * Decode @p states, appending one value per state to @p out.
+     * Advances the sequence number and folds each decoded value
+     * (zero-extended) into the checksum.
+     */
+    void decodeBatch(std::span<const u64> states,
+                     std::vector<Word> &out);
+
+    /**
+     * Recovery handshake: reset both FSMs to their initial state,
+     * restart the sequence number and checksum, and begin a new
+     * epoch. After resync() the session behaves exactly like a fresh
+     * one (operation counters restart too).
+     */
+    void resync();
+
+  private:
+    std::unique_ptr<Transcoder> transcoder;
+    u64 seq_no = 0;
+    u64 sum = kChecksumSeed;
+    u32 epoch_no = 0;
+};
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_SESSION_H

@@ -1,0 +1,210 @@
+#include "serve/client.h"
+
+#include "common/log.h"
+
+namespace predbus::serve
+{
+
+Client
+Client::connectUnixSocket(const std::string &path)
+{
+    return Client(connectUnix(path));
+}
+
+Client
+Client::connectTcpSocket(const std::string &host, u16 port)
+{
+    return Client(connectTcp(host, port));
+}
+
+Client::~Client()
+{
+    closeFd(sock);
+}
+
+Client::Client(Client &&other) noexcept : sock(other.sock)
+{
+    other.sock = -1;
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        closeFd(sock);
+        sock = other.sock;
+        other.sock = -1;
+    }
+    return *this;
+}
+
+void
+Client::send(const protocol::Frame &frame)
+{
+    if (!sendFrame(sock, frame))
+        fatal("serve client: connection lost while sending");
+}
+
+protocol::Frame
+Client::recv()
+{
+    protocol::Frame frame;
+    switch (readFrame(sock, frame)) {
+      case ReadResult::Ok:
+        return frame;
+      case ReadResult::Eof:
+      case ReadResult::Truncated:
+        fatal("serve client: server closed the connection");
+      case ReadResult::BadMagic:
+      case ReadResult::BadVersion:
+      case ReadResult::TooLarge:
+        fatal("serve client: malformed frame from server");
+      case ReadResult::IoError:
+        fatal("serve client: receive failed");
+    }
+    fatal("serve client: unreachable");
+}
+
+namespace
+{
+
+/** Engage @p error if @p frame is an error response. */
+bool
+takeError(const protocol::Frame &frame,
+          std::optional<ServeError> &error)
+{
+    if (frame.hdr.type != static_cast<u8>(protocol::MsgType::Error))
+        return false;
+    ServeError e;
+    if (!protocol::parseError(frame, e.code, e.message)) {
+        e.code = protocol::ErrCode::Internal;
+        e.message = "unparseable error response";
+    }
+    error = std::move(e);
+    return true;
+}
+
+} // namespace
+
+std::optional<ClientSession>
+Client::open(const std::string &spec,
+             std::optional<ServeError> &error)
+{
+    send(protocol::makeOpenSession(spec));
+    const protocol::Frame response = recv();
+    if (takeError(response, error))
+        return std::nullopt;
+    u32 session = 0;
+    u32 width = 0;
+    if (!protocol::parseOpenOk(response, session, width))
+        fatal("serve client: bad OPEN_SESSION response");
+    return ClientSession(*this, session, width);
+}
+
+ClientSession
+Client::openOrThrow(const std::string &spec)
+{
+    std::optional<ServeError> error;
+    std::optional<ClientSession> session = open(spec, error);
+    if (!session) {
+        fatal("serve client: open '", spec, "' failed: ",
+              protocol::errName(error->code), " (", error->message,
+              ")");
+    }
+    return *session;
+}
+
+BatchResult<u64>
+ClientSession::encode(std::span<const Word> words)
+{
+    BatchResult<u64> result;
+    client->send(
+        protocol::makeEncode(id_, seq_no + 1, sum, words));
+    const protocol::Frame response = client->recv();
+    if (takeError(response, result.error))
+        return result;
+    if (!protocol::parseEncodeOk(response, result.checksum,
+                                 result.data))
+        fatal("serve client: bad ENCODE response");
+
+    // Advance the mirror and verify the server agrees with it.
+    ++seq_no;
+    for (const u64 state : result.data)
+        sum = coding::checksumFold(sum, state);
+    if (result.checksum != sum || response.hdr.seq != seq_no) {
+        fatal("serve client: server checksum diverged "
+              "(session state corrupted)");
+    }
+    return result;
+}
+
+BatchResult<Word>
+ClientSession::decode(std::span<const u64> states)
+{
+    BatchResult<Word> result;
+    client->send(
+        protocol::makeDecode(id_, seq_no + 1, sum, states));
+    const protocol::Frame response = client->recv();
+    if (takeError(response, result.error))
+        return result;
+    if (!protocol::parseDecodeOk(response, result.checksum,
+                                 result.data))
+        fatal("serve client: bad DECODE response");
+
+    ++seq_no;
+    for (const Word word : result.data)
+        sum = coding::checksumFold(sum, word);
+    if (result.checksum != sum || response.hdr.seq != seq_no) {
+        fatal("serve client: server checksum diverged "
+              "(session state corrupted)");
+    }
+    return result;
+}
+
+protocol::SessionStats
+ClientSession::stats()
+{
+    client->send(protocol::makeStats(id_));
+    const protocol::Frame response = client->recv();
+    std::optional<ServeError> error;
+    if (takeError(response, error)) {
+        fatal("serve client: STATS failed: ",
+              protocol::errName(error->code));
+    }
+    protocol::SessionStats stats;
+    if (!protocol::parseStatsOk(response, stats))
+        fatal("serve client: bad STATS response");
+    return stats;
+}
+
+u32
+ClientSession::resync()
+{
+    client->send(protocol::makeResync(id_));
+    const protocol::Frame response = client->recv();
+    std::optional<ServeError> error;
+    if (takeError(response, error)) {
+        fatal("serve client: RESYNC failed: ",
+              protocol::errName(error->code));
+    }
+    u32 epoch = 0;
+    if (!protocol::parseResyncOk(response, epoch))
+        fatal("serve client: bad RESYNC response");
+    seq_no = 0;
+    sum = coding::kChecksumSeed;
+    return epoch;
+}
+
+void
+ClientSession::close()
+{
+    client->send(protocol::makeClose(id_));
+    const protocol::Frame response = client->recv();
+    std::optional<ServeError> error;
+    if (takeError(response, error)) {
+        fatal("serve client: CLOSE failed: ",
+              protocol::errName(error->code));
+    }
+}
+
+} // namespace predbus::serve

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Blocking client for the predbus serving protocol.
+ *
+ * Client owns one connection (TCP or Unix socket) and exposes both a
+ * low-level frame interface (send()/recv(), used by the protocol
+ * tests and for pipelined load generation) and ClientSession, the
+ * high-level stateful handle that mirrors the server session's
+ * sequence number and rolling output checksum — the client half of
+ * the synchronized-dictionary invariant. Server-reported errors are
+ * returned as values (ServeError), not exceptions, so callers can
+ * react to OVERLOADED and DESYNC in their control flow; transport
+ * failures (connection lost) throw FatalError.
+ */
+
+#ifndef PREDBUS_SERVE_CLIENT_H
+#define PREDBUS_SERVE_CLIENT_H
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coding/session.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+
+namespace predbus::serve
+{
+
+/** A server-reported error response. */
+struct ServeError
+{
+    protocol::ErrCode code{};
+    std::string message;
+};
+
+class ClientSession;
+
+class Client
+{
+  public:
+    static Client connectUnixSocket(const std::string &path);
+    static Client connectTcpSocket(const std::string &host, u16 port);
+    ~Client();
+
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Send one frame; throws FatalError if the connection is gone. */
+    void send(const protocol::Frame &frame);
+
+    /** Receive one frame; throws FatalError on EOF or garbage. */
+    protocol::Frame recv();
+
+    /** The raw socket (tests craft malformed byte streams with it). */
+    int fd() const { return sock; }
+
+    /**
+     * OPEN_SESSION round trip. On success returns a session handle;
+     * on a server error returns it in @p error (handle disengaged).
+     */
+    std::optional<ClientSession>
+    open(const std::string &spec,
+         std::optional<ServeError> &error);
+
+    /** Convenience: open() that throws FatalError on server errors. */
+    ClientSession openOrThrow(const std::string &spec);
+
+  private:
+    explicit Client(int sock) : sock(sock) {}
+
+    int sock = -1;
+};
+
+/** Result of one batch round trip. */
+template <typename T>
+struct BatchResult
+{
+    std::vector<T> data;               ///< states (encode) / words
+    u64 checksum = 0;                  ///< server post-batch checksum
+    std::optional<ServeError> error;   ///< engaged if the batch failed
+
+    bool ok() const { return !error.has_value(); }
+};
+
+/**
+ * One open session. Tracks the client-side mirror of the session
+ * stream (sequence number + rolling checksum); every request carries
+ * the mirror so the server can detect desync, and every response is
+ * verified against the mirror so the client can too (a mismatch
+ * throws FatalError — the server lied about shared state).
+ */
+class ClientSession
+{
+  public:
+    ClientSession(Client &client, u32 id, u32 width)
+        : client(&client), id_(id), width_(width)
+    {
+    }
+
+    u32 id() const { return id_; }
+    u32 width() const { return width_; }
+    u64 seq() const { return seq_no; }
+    u64 checksum() const { return sum; }
+
+    /** Encode a batch of words into wire states. */
+    BatchResult<u64> encode(std::span<const Word> words);
+
+    /** Decode a batch of wire states into words. */
+    BatchResult<Word> decode(std::span<const u64> states);
+
+    /** Fetch the server-side session statistics. */
+    protocol::SessionStats stats();
+
+    /** Recovery handshake: reset both ends to a fresh epoch. */
+    u32 resync();
+
+    /** CLOSE round trip; the handle is dead afterwards. */
+    void close();
+
+  private:
+    Client *client;
+    u32 id_;
+    u32 width_;
+    u64 seq_no = 0;
+    u64 sum = coding::kChecksumSeed;
+};
+
+} // namespace predbus::serve
+
+#endif // PREDBUS_SERVE_CLIENT_H

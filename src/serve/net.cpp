@@ -1,0 +1,216 @@
+#include "serve/net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.h"
+
+namespace predbus::serve
+{
+
+namespace
+{
+
+[[noreturn]] void
+sysFatal(const char *what, const std::string &target)
+{
+    fatal(what, " ", target, ": ", std::strerror(errno));
+}
+
+} // namespace
+
+int
+listenTcp(u16 port, u16 &bound_port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        sysFatal("socket", "tcp");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        closeFd(fd);
+        sysFatal("bind", "tcp port " + std::to_string(port));
+    }
+    if (::listen(fd, 128) != 0) {
+        closeFd(fd);
+        sysFatal("listen", "tcp port " + std::to_string(port));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) !=
+        0) {
+        closeFd(fd);
+        sysFatal("getsockname", "tcp");
+    }
+    bound_port = ntohs(addr.sin_port);
+    return fd;
+}
+
+int
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("unix socket path too long: ", path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        sysFatal("socket", "unix");
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        closeFd(fd);
+        sysFatal("bind", path);
+    }
+    if (::listen(fd, 128) != 0) {
+        closeFd(fd);
+        sysFatal("listen", path);
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, u16 port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        sysFatal("socket", "tcp");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        closeFd(fd);
+        fatal("bad IPv4 address '", host, "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        closeFd(fd);
+        sysFatal("connect", host + ":" + std::to_string(port));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("unix socket path too long: ", path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        sysFatal("socket", "unix");
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        closeFd(fd);
+        sysFatal("connect", path);
+    }
+    return fd;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+sendAll(int fd, const void *data, std::size_t n)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    while (n > 0) {
+        const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += sent;
+        n -= static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+RecvStatus
+recvAll(int fd, void *data, std::size_t n)
+{
+    u8 *p = static_cast<u8 *>(data);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(fd, p + got, n - got, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return RecvStatus::Error;
+        }
+        if (r == 0)
+            return got == 0 ? RecvStatus::Eof : RecvStatus::Partial;
+        got += static_cast<std::size_t>(r);
+    }
+    return RecvStatus::Ok;
+}
+
+bool
+sendFrame(int fd, const protocol::Frame &frame)
+{
+    const std::vector<u8> bytes = protocol::serialize(frame);
+    return sendAll(fd, bytes.data(), bytes.size());
+}
+
+ReadResult
+readFrame(int fd, protocol::Frame &frame)
+{
+    u8 header[protocol::kHeaderSize];
+    switch (recvAll(fd, header, sizeof(header))) {
+      case RecvStatus::Eof:
+        return ReadResult::Eof;
+      case RecvStatus::Partial:
+        return ReadResult::Truncated;
+      case RecvStatus::Error:
+        return ReadResult::IoError;
+      case RecvStatus::Ok:
+        break;
+    }
+    switch (protocol::parseHeader(header, frame.hdr)) {
+      case protocol::HeaderStatus::BadMagic:
+        return ReadResult::BadMagic;
+      case protocol::HeaderStatus::BadVersion:
+        return ReadResult::BadVersion;
+      case protocol::HeaderStatus::TooLarge:
+        return ReadResult::TooLarge;
+      case protocol::HeaderStatus::Ok:
+        break;
+    }
+    frame.payload.resize(frame.hdr.payload_len);
+    if (frame.hdr.payload_len == 0)
+        return ReadResult::Ok;
+    switch (recvAll(fd, frame.payload.data(), frame.payload.size())) {
+      case RecvStatus::Eof:
+      case RecvStatus::Partial:
+        return ReadResult::Truncated;
+      case RecvStatus::Error:
+        return ReadResult::IoError;
+      case RecvStatus::Ok:
+        break;
+    }
+    return ReadResult::Ok;
+}
+
+} // namespace predbus::serve

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal POSIX socket helpers shared by the server, the client, and
+ * the load generator: TCP and Unix-domain listen/connect plus
+ * whole-buffer send/recv and frame IO. All failures surface as
+ * FatalError (setup paths) or as status returns (data paths) — the
+ * serving layer never crashes on a peer's misbehavior.
+ */
+
+#ifndef PREDBUS_SERVE_NET_H
+#define PREDBUS_SERVE_NET_H
+
+#include <string>
+
+#include "common/types.h"
+#include "serve/protocol.h"
+
+namespace predbus::serve
+{
+
+/** Listen on TCP 127.0.0.1:@p port (0 = ephemeral); @p bound_port
+ * receives the actual port. Throws FatalError on failure. */
+int listenTcp(u16 port, u16 &bound_port);
+
+/** Listen on a Unix domain socket at @p path (unlinked first).
+ * Throws FatalError on failure (including over-long paths). */
+int listenUnix(const std::string &path);
+
+/** Connect to TCP @p host:@p port. Throws FatalError on failure. */
+int connectTcp(const std::string &host, u16 port);
+
+/** Connect to the Unix socket at @p path. Throws FatalError. */
+int connectUnix(const std::string &path);
+
+/** Close @p fd if valid (idempotent helper). */
+void closeFd(int fd);
+
+/** Send the whole buffer (MSG_NOSIGNAL); false on any failure. */
+bool sendAll(int fd, const void *data, std::size_t n);
+
+enum class RecvStatus
+{
+    Ok,       ///< buffer filled
+    Eof,      ///< clean close before the first byte
+    Partial,  ///< peer closed mid-buffer
+    Error,    ///< socket error
+};
+
+/** Receive exactly @p n bytes. */
+RecvStatus recvAll(int fd, void *data, std::size_t n);
+
+/** Serialize and send one frame. */
+bool sendFrame(int fd, const protocol::Frame &frame);
+
+enum class ReadResult
+{
+    Ok,          ///< frame parsed
+    Eof,         ///< clean close on a frame boundary
+    Truncated,   ///< peer closed mid-frame
+    BadMagic,    ///< header magic mismatch — stream is garbage
+    BadVersion,  ///< unsupported protocol version
+    TooLarge,    ///< declared payload over kMaxPayload
+    IoError,     ///< socket error
+};
+
+/** Read one length-prefixed frame off @p fd. */
+ReadResult readFrame(int fd, protocol::Frame &frame);
+
+} // namespace predbus::serve
+
+#endif // PREDBUS_SERVE_NET_H

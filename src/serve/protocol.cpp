@@ -1,0 +1,468 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace predbus::serve::protocol
+{
+
+namespace
+{
+
+void
+putU16(std::vector<u8> &out, u16 v)
+{
+    out.push_back(static_cast<u8>(v));
+    out.push_back(static_cast<u8>(v >> 8));
+}
+
+void
+putU32(std::vector<u8> &out, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<u8> &out, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+/** Bounds-checked little-endian reader over a payload. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::span<const u8> bytes) : bytes(bytes) {}
+
+    bool
+    getU16(u16 &v)
+    {
+        if (bytes.size() - pos < 2)
+            return false;
+        v = static_cast<u16>(bytes[pos] | (u16{bytes[pos + 1]} << 8));
+        pos += 2;
+        return true;
+    }
+
+    bool
+    getU32(u32 &v)
+    {
+        if (bytes.size() - pos < 4)
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= u32{bytes[pos + i]} << (8 * i);
+        pos += 4;
+        return true;
+    }
+
+    bool
+    getU64(u64 &v)
+    {
+        if (bytes.size() - pos < 8)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= u64{bytes[pos + i]} << (8 * i);
+        pos += 8;
+        return true;
+    }
+
+    bool
+    getBytes(std::size_t n, std::string &out)
+    {
+        if (bytes.size() - pos < n)
+            return false;
+        out.assign(reinterpret_cast<const char *>(bytes.data() + pos),
+                   n);
+        pos += n;
+        return true;
+    }
+
+    bool done() const { return pos == bytes.size(); }
+
+  private:
+    std::span<const u8> bytes;
+    std::size_t pos = 0;
+};
+
+Frame
+frameOf(MsgType type, u32 session, u64 seq)
+{
+    Frame frame;
+    frame.hdr.type = static_cast<u8>(type);
+    frame.hdr.session = session;
+    frame.hdr.seq = seq;
+    return frame;
+}
+
+bool
+isType(const Frame &frame, MsgType type)
+{
+    return frame.hdr.type == static_cast<u8>(type);
+}
+
+} // namespace
+
+const char *
+errName(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::BadFrame:
+        return "bad_frame";
+      case ErrCode::BadVersion:
+        return "bad_version";
+      case ErrCode::BadSpec:
+        return "bad_spec";
+      case ErrCode::NoSession:
+        return "no_session";
+      case ErrCode::Desync:
+        return "desync";
+      case ErrCode::Overloaded:
+        return "overloaded";
+      case ErrCode::Draining:
+        return "draining";
+      case ErrCode::TooLarge:
+        return "too_large";
+      case ErrCode::SessionLimit:
+        return "session_limit";
+      case ErrCode::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+void
+writeHeader(std::vector<u8> &out, const FrameHeader &hdr)
+{
+    putU32(out, kMagic);
+    out.push_back(kVersion);
+    out.push_back(hdr.type);
+    putU16(out, 0);  // reserved
+    putU32(out, hdr.session);
+    putU32(out, hdr.payload_len);
+    putU64(out, hdr.seq);
+}
+
+HeaderStatus
+parseHeader(std::span<const u8> bytes, FrameHeader &hdr)
+{
+    auto u32At = [&](std::size_t at) {
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= u32{bytes[at + i]} << (8 * i);
+        return v;
+    };
+    u64 seq = 0;
+    for (int i = 0; i < 8; ++i)
+        seq |= u64{bytes[16 + i]} << (8 * i);
+
+    const u32 magic = u32At(0);
+    const u8 version = bytes[4];
+    hdr.type = bytes[5];
+    hdr.session = u32At(8);
+    hdr.payload_len = u32At(12);
+    hdr.seq = seq;
+    if (magic != kMagic)
+        return HeaderStatus::BadMagic;
+    if (version != kVersion)
+        return HeaderStatus::BadVersion;
+    if (hdr.payload_len > kMaxPayload)
+        return HeaderStatus::TooLarge;
+    return HeaderStatus::Ok;
+}
+
+std::vector<u8>
+serialize(const Frame &frame)
+{
+    std::vector<u8> out;
+    out.reserve(kHeaderSize + frame.payload.size());
+    FrameHeader hdr = frame.hdr;
+    hdr.payload_len = static_cast<u32>(frame.payload.size());
+    writeHeader(out, hdr);
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+    return out;
+}
+
+Frame
+makeOpenSession(const std::string &spec)
+{
+    Frame frame = frameOf(MsgType::OpenSession, 0, 0);
+    putU16(frame.payload, static_cast<u16>(spec.size()));
+    frame.payload.insert(frame.payload.end(), spec.begin(), spec.end());
+    return frame;
+}
+
+Frame
+makeEncode(u32 session, u64 seq, u64 checksum,
+           std::span<const Word> words)
+{
+    Frame frame = frameOf(MsgType::Encode, session, seq);
+    putU64(frame.payload, checksum);
+    putU32(frame.payload, static_cast<u32>(words.size()));
+    for (const Word w : words)
+        putU32(frame.payload, w);
+    return frame;
+}
+
+Frame
+makeDecode(u32 session, u64 seq, u64 checksum,
+           std::span<const u64> states)
+{
+    Frame frame = frameOf(MsgType::Decode, session, seq);
+    putU64(frame.payload, checksum);
+    putU32(frame.payload, static_cast<u32>(states.size()));
+    for (const u64 s : states)
+        putU64(frame.payload, s);
+    return frame;
+}
+
+Frame
+makeStats(u32 session)
+{
+    return frameOf(MsgType::Stats, session, 0);
+}
+
+Frame
+makeResync(u32 session)
+{
+    return frameOf(MsgType::Resync, session, 0);
+}
+
+Frame
+makeClose(u32 session)
+{
+    return frameOf(MsgType::Close, session, 0);
+}
+
+Frame
+makeOpenOk(u32 session, u32 width)
+{
+    Frame frame = frameOf(MsgType::OpenOk, session, 0);
+    putU32(frame.payload, session);
+    putU32(frame.payload, width);
+    return frame;
+}
+
+Frame
+makeEncodeOk(u32 session, u64 seq, u64 checksum,
+             std::span<const u64> states)
+{
+    Frame frame = frameOf(MsgType::EncodeOk, session, seq);
+    putU64(frame.payload, checksum);
+    putU32(frame.payload, static_cast<u32>(states.size()));
+    for (const u64 s : states)
+        putU64(frame.payload, s);
+    return frame;
+}
+
+Frame
+makeDecodeOk(u32 session, u64 seq, u64 checksum,
+             std::span<const Word> words)
+{
+    Frame frame = frameOf(MsgType::DecodeOk, session, seq);
+    putU64(frame.payload, checksum);
+    putU32(frame.payload, static_cast<u32>(words.size()));
+    for (const Word w : words)
+        putU32(frame.payload, w);
+    return frame;
+}
+
+Frame
+makeStatsOk(u32 session, const SessionStats &stats)
+{
+    Frame frame = frameOf(MsgType::StatsOk, session, 0);
+    putU64(frame.payload, stats.seq);
+    putU64(frame.payload, stats.checksum);
+    putU32(frame.payload, stats.epoch);
+    putU32(frame.payload, stats.width);
+    const coding::OpCounts &ops = stats.ops;
+    for (const u64 v : {ops.cycles, ops.matches, ops.shifts,
+                        ops.counter_incs, ops.compares, ops.swaps,
+                        ops.divisions, ops.raw_sends, ops.hits,
+                        ops.last_hits})
+        putU64(frame.payload, v);
+    return frame;
+}
+
+Frame
+makeResyncOk(u32 session, u32 epoch)
+{
+    Frame frame = frameOf(MsgType::ResyncOk, session, 0);
+    putU32(frame.payload, epoch);
+    return frame;
+}
+
+Frame
+makeCloseOk(u32 session)
+{
+    return frameOf(MsgType::CloseOk, session, 0);
+}
+
+Frame
+makeError(u32 session, u64 seq, ErrCode code,
+          const std::string &message)
+{
+    Frame frame = frameOf(MsgType::Error, session, seq);
+    putU16(frame.payload, static_cast<u16>(code));
+    const std::size_t n = std::min<std::size_t>(message.size(), 512);
+    putU16(frame.payload, static_cast<u16>(n));
+    frame.payload.insert(frame.payload.end(), message.begin(),
+                         message.begin() + static_cast<long>(n));
+    return frame;
+}
+
+bool
+parseOpenSession(const Frame &frame, std::string &spec)
+{
+    if (!isType(frame, MsgType::OpenSession))
+        return false;
+    Cursor cur(frame.payload);
+    u16 len = 0;
+    return cur.getU16(len) && len <= kMaxSpecLen &&
+           cur.getBytes(len, spec) && cur.done();
+}
+
+bool
+parseEncode(const Frame &frame, u64 &checksum,
+            std::vector<Word> &words)
+{
+    if (!isType(frame, MsgType::Encode))
+        return false;
+    Cursor cur(frame.payload);
+    u32 count = 0;
+    if (!cur.getU64(checksum) || !cur.getU32(count) ||
+        count > kMaxBatchWords)
+        return false;
+    words.clear();
+    words.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        u32 w = 0;
+        if (!cur.getU32(w))
+            return false;
+        words.push_back(w);
+    }
+    return cur.done();
+}
+
+bool
+parseDecode(const Frame &frame, u64 &checksum,
+            std::vector<u64> &states)
+{
+    if (!isType(frame, MsgType::Decode))
+        return false;
+    Cursor cur(frame.payload);
+    u32 count = 0;
+    if (!cur.getU64(checksum) || !cur.getU32(count) ||
+        count > kMaxBatchWords)
+        return false;
+    states.clear();
+    states.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        u64 s = 0;
+        if (!cur.getU64(s))
+            return false;
+        states.push_back(s);
+    }
+    return cur.done();
+}
+
+bool
+parseOpenOk(const Frame &frame, u32 &session, u32 &width)
+{
+    if (!isType(frame, MsgType::OpenOk))
+        return false;
+    Cursor cur(frame.payload);
+    return cur.getU32(session) && cur.getU32(width) && cur.done();
+}
+
+bool
+parseEncodeOk(const Frame &frame, u64 &checksum,
+              std::vector<u64> &states)
+{
+    if (!isType(frame, MsgType::EncodeOk))
+        return false;
+    Cursor cur(frame.payload);
+    u32 count = 0;
+    if (!cur.getU64(checksum) || !cur.getU32(count) ||
+        count > kMaxBatchWords)
+        return false;
+    states.clear();
+    states.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        u64 s = 0;
+        if (!cur.getU64(s))
+            return false;
+        states.push_back(s);
+    }
+    return cur.done();
+}
+
+bool
+parseDecodeOk(const Frame &frame, u64 &checksum,
+              std::vector<Word> &words)
+{
+    if (!isType(frame, MsgType::DecodeOk))
+        return false;
+    Cursor cur(frame.payload);
+    u32 count = 0;
+    if (!cur.getU64(checksum) || !cur.getU32(count) ||
+        count > kMaxBatchWords)
+        return false;
+    words.clear();
+    words.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        u32 w = 0;
+        if (!cur.getU32(w))
+            return false;
+        words.push_back(w);
+    }
+    return cur.done();
+}
+
+bool
+parseStatsOk(const Frame &frame, SessionStats &stats)
+{
+    if (!isType(frame, MsgType::StatsOk))
+        return false;
+    Cursor cur(frame.payload);
+    if (!cur.getU64(stats.seq) || !cur.getU64(stats.checksum) ||
+        !cur.getU32(stats.epoch) || !cur.getU32(stats.width))
+        return false;
+    coding::OpCounts &ops = stats.ops;
+    for (u64 *field : {&ops.cycles, &ops.matches, &ops.shifts,
+                       &ops.counter_incs, &ops.compares, &ops.swaps,
+                       &ops.divisions, &ops.raw_sends, &ops.hits,
+                       &ops.last_hits}) {
+        if (!cur.getU64(*field))
+            return false;
+    }
+    return cur.done();
+}
+
+bool
+parseResyncOk(const Frame &frame, u32 &epoch)
+{
+    if (!isType(frame, MsgType::ResyncOk))
+        return false;
+    Cursor cur(frame.payload);
+    return cur.getU32(epoch) && cur.done();
+}
+
+bool
+parseError(const Frame &frame, ErrCode &code, std::string &message)
+{
+    if (!isType(frame, MsgType::Error))
+        return false;
+    Cursor cur(frame.payload);
+    u16 raw_code = 0;
+    u16 len = 0;
+    if (!cur.getU16(raw_code) || !cur.getU16(len) ||
+        !cur.getBytes(len, message) || !cur.done())
+        return false;
+    code = static_cast<ErrCode>(raw_code);
+    return true;
+}
+
+} // namespace predbus::serve::protocol

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The predbus serving wire protocol (docs/SERVING.md).
+ *
+ * Length-prefixed binary frames over a byte stream (TCP or Unix
+ * domain socket). Every frame is a fixed 24-byte little-endian header
+ * followed by `payload_len` payload bytes:
+ *
+ *   offset size field
+ *   0      4    magic "PBS1" (0x31534250 LE)
+ *   4      1    version (1)
+ *   5      1    type (MsgType)
+ *   6      2    reserved (0)
+ *   8      4    session id (0 when not session-scoped)
+ *   12     4    payload_len (<= kMaxPayload)
+ *   16     8    seq (per-session batch sequence; 0 otherwise)
+ *
+ * Requests are 0x01..0x7f, responses are the request type | 0x80, and
+ * 0xff is the error response. ENCODE/DECODE requests carry the
+ * client's rolling stream checksum *before* the batch (see
+ * coding/session.h); the server verifies it against its own before
+ * advancing the session FSMs, which is how cross-network dictionary
+ * desynchronization is detected. Responses carry the checksum *after*
+ * the batch so the client can verify the server the same way.
+ *
+ * This layer is pure bytes — no sockets, no sessions — so the framing
+ * parser can be fuzzed in isolation (tests/test_serve_protocol.cpp).
+ */
+
+#ifndef PREDBUS_SERVE_PROTOCOL_H
+#define PREDBUS_SERVE_PROTOCOL_H
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coding/codec.h"
+#include "common/types.h"
+
+namespace predbus::serve::protocol
+{
+
+constexpr u32 kMagic = 0x31534250;  ///< "PBS1" on the wire
+constexpr u8 kVersion = 1;
+constexpr std::size_t kHeaderSize = 24;
+
+/** Hard payload bound: anything larger is rejected unread. */
+constexpr u32 kMaxPayload = 1u << 20;
+
+/** Largest word/state count accepted in one ENCODE/DECODE batch. */
+constexpr u32 kMaxBatchWords = 65536;
+
+/** Largest accepted codec spec string. */
+constexpr u32 kMaxSpecLen = 256;
+
+enum class MsgType : u8
+{
+    OpenSession = 0x01,  ///< payload: u16 len, spec bytes
+    Encode = 0x02,       ///< payload: u64 checksum, u32 n, u32 word[n]
+    Decode = 0x03,       ///< payload: u64 checksum, u32 n, u64 state[n]
+    Stats = 0x04,        ///< empty payload
+    Resync = 0x05,       ///< empty payload
+    Close = 0x06,        ///< empty payload
+
+    OpenOk = 0x81,    ///< payload: u32 session, u32 width
+    EncodeOk = 0x82,  ///< payload: u64 checksum, u32 n, u64 state[n]
+    DecodeOk = 0x83,  ///< payload: u64 checksum, u32 n, u32 word[n]
+    StatsOk = 0x84,   ///< payload: SessionStats
+    ResyncOk = 0x85,  ///< payload: u32 epoch
+    CloseOk = 0x86,   ///< empty payload
+    Error = 0xff,     ///< payload: u16 code, u16 len, message bytes
+};
+
+/** Error codes carried by MsgType::Error. */
+enum class ErrCode : u16
+{
+    BadFrame = 1,      ///< malformed header or payload
+    BadVersion = 2,    ///< unsupported protocol version
+    BadSpec = 3,       ///< OPEN_SESSION spec rejected by the factory
+    NoSession = 4,     ///< unknown session id
+    Desync = 5,        ///< sequence/checksum mismatch; RESYNC required
+    Overloaded = 6,    ///< request queue full — batch was shed
+    Draining = 7,      ///< server is shutting down
+    TooLarge = 8,      ///< payload or batch over the hard bounds
+    SessionLimit = 9,  ///< per-connection session cap reached
+    Internal = 10,     ///< unexpected server-side failure
+};
+
+/** Human-readable error-code name ("desync", "overloaded", ...). */
+const char *errName(ErrCode code);
+
+struct FrameHeader
+{
+    u8 type = 0;
+    u32 session = 0;
+    u32 payload_len = 0;
+    u64 seq = 0;
+};
+
+/** One parsed frame. */
+struct Frame
+{
+    FrameHeader hdr;
+    std::vector<u8> payload;
+};
+
+/** Header-level verdict before any payload is read. */
+enum class HeaderStatus
+{
+    Ok,
+    BadMagic,
+    BadVersion,
+    TooLarge,
+};
+
+/** Serialize @p hdr into exactly kHeaderSize bytes appended to @p out. */
+void writeHeader(std::vector<u8> &out, const FrameHeader &hdr);
+
+/** Parse a header from @p bytes (must be >= kHeaderSize). */
+HeaderStatus parseHeader(std::span<const u8> bytes, FrameHeader &hdr);
+
+/** Serialize a whole frame (header + payload). */
+std::vector<u8> serialize(const Frame &frame);
+
+/** Per-session statistics reported by STATS. */
+struct SessionStats
+{
+    u64 seq = 0;
+    u64 checksum = 0;
+    u32 epoch = 0;
+    u32 width = 0;
+    coding::OpCounts ops;
+};
+
+// -- request builders ---------------------------------------------------
+Frame makeOpenSession(const std::string &spec);
+Frame makeEncode(u32 session, u64 seq, u64 checksum,
+                 std::span<const Word> words);
+Frame makeDecode(u32 session, u64 seq, u64 checksum,
+                 std::span<const u64> states);
+Frame makeStats(u32 session);
+Frame makeResync(u32 session);
+Frame makeClose(u32 session);
+
+// -- response builders --------------------------------------------------
+Frame makeOpenOk(u32 session, u32 width);
+Frame makeEncodeOk(u32 session, u64 seq, u64 checksum,
+                   std::span<const u64> states);
+Frame makeDecodeOk(u32 session, u64 seq, u64 checksum,
+                   std::span<const Word> words);
+Frame makeStatsOk(u32 session, const SessionStats &stats);
+Frame makeResyncOk(u32 session, u32 epoch);
+Frame makeCloseOk(u32 session);
+Frame makeError(u32 session, u64 seq, ErrCode code,
+                const std::string &message);
+
+// -- payload parsers (false on malformed payloads) ----------------------
+bool parseOpenSession(const Frame &frame, std::string &spec);
+bool parseEncode(const Frame &frame, u64 &checksum,
+                 std::vector<Word> &words);
+bool parseDecode(const Frame &frame, u64 &checksum,
+                 std::vector<u64> &states);
+bool parseOpenOk(const Frame &frame, u32 &session, u32 &width);
+bool parseEncodeOk(const Frame &frame, u64 &checksum,
+                   std::vector<u64> &states);
+bool parseDecodeOk(const Frame &frame, u64 &checksum,
+                   std::vector<Word> &words);
+bool parseStatsOk(const Frame &frame, SessionStats &stats);
+bool parseResyncOk(const Frame &frame, u32 &epoch);
+bool parseError(const Frame &frame, ErrCode &code,
+                std::string &message);
+
+} // namespace predbus::serve::protocol
+
+#endif // PREDBUS_SERVE_PROTOCOL_H

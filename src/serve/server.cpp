@@ -1,0 +1,531 @@
+#include "serve/server.h"
+
+#include <cerrno>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "obs/tracing.h"
+
+namespace predbus::serve
+{
+
+namespace
+{
+
+unsigned
+resolveWorkers(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 2;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options, obs::Registry &reg)
+    : opt(std::move(options)),
+      registry(reg),
+      m_accepted(reg.counter("serve.connections_accepted")),
+      m_conns_active(reg.gauge("serve.connections_active")),
+      m_sessions_opened(reg.counter("serve.sessions_opened")),
+      m_sessions_active(reg.gauge("serve.sessions_active")),
+      m_batches(reg.counter("serve.batches")),
+      m_words(reg.counter("serve.words")),
+      m_rejects(reg.counter("serve.rejects")),
+      m_errors(reg.counter("serve.errors")),
+      m_desyncs(reg.counter("serve.desyncs")),
+      m_resyncs(reg.counter("serve.resyncs")),
+      m_queue_depth(reg.gauge("serve.queue_depth")),
+      m_batch_ns(reg.histogram("serve.batch_ns"))
+{
+    if (opt.unix_path.empty() && opt.tcp_port < 0)
+        fatal("server needs a unix path and/or a tcp port");
+    if (opt.queue_capacity == 0 || opt.max_pending == 0)
+        fatal("queue capacity and per-connection pending cap "
+              "must be positive");
+
+    if (!opt.unix_path.empty())
+        listen_fds.push_back(listenUnix(opt.unix_path));
+    if (opt.tcp_port >= 0) {
+        listen_fds.push_back(
+            listenTcp(static_cast<u16>(opt.tcp_port), tcp_port));
+    }
+
+    const unsigned workers = resolveWorkers(opt.workers);
+    {
+        // Accept threads push reader threads into `threads` under
+        // conns_mutex; hold it here so their pushes can't interleave
+        // with ours.
+        std::lock_guard<std::mutex> lock(conns_mutex);
+        threads.reserve(workers + listen_fds.size());
+        for (unsigned i = 0; i < workers; ++i)
+            threads.emplace_back([this] { workerLoop(); });
+        for (const int fd : listen_fds)
+            threads.emplace_back([this, fd] { acceptLoop(fd); });
+    }
+    logInfo("serve: listening (",
+            opt.unix_path.empty() ? "no unix" : opt.unix_path,
+            ", tcp port ", tcp_port, "), ", workers, " workers, queue ",
+            opt.queue_capacity);
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::acceptLoop(int listen_fd)
+{
+    while (!stopping.load() && !draining.load()) {
+        pollfd pfd{listen_fd, POLLIN, 0};
+        const int n = ::poll(&pfd, 1, 100);
+        if (n <= 0)
+            continue;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            logWarn("serve: accept failed: errno ", errno);
+            continue;
+        }
+        if (stopping.load() || draining.load()) {
+            closeFd(fd);
+            break;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        m_accepted.inc();
+        m_conns_active.add(1);
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex);
+            conns.push_back(conn);
+            threads.emplace_back(
+                [this, conn] { readerLoop(conn); });
+        }
+    }
+}
+
+void
+Server::readerLoop(ConnPtr conn)
+{
+    for (;;) {
+        protocol::Frame frame;
+        const ReadResult result = readFrame(conn->fd, frame);
+        if (result == ReadResult::Ok) {
+            if (draining.load() || stopping.load()) {
+                m_rejects.inc();
+                replyError(*conn, frame, protocol::ErrCode::Draining,
+                           "server is draining");
+                continue;
+            }
+            bool enqueued = false;
+            {
+                std::lock_guard<std::mutex> lock(conn->mutex);
+                if (conn->pending.size() <
+                        opt.max_pending &&
+                    queued.load(std::memory_order_relaxed) <
+                        static_cast<int>(opt.queue_capacity)) {
+                    queued.fetch_add(1, std::memory_order_relaxed);
+                    m_queue_depth.add(1);
+                    conn->pending.push_back(std::move(frame));
+                    if (!conn->scheduled) {
+                        conn->scheduled = true;
+                        std::lock_guard<std::mutex> rlock(ready_mutex);
+                        ready.push_back(conn);
+                        ready_cv.notify_one();
+                    }
+                    enqueued = true;
+                }
+            }
+            if (!enqueued) {
+                m_rejects.inc();
+                replyError(*conn, frame, protocol::ErrCode::Overloaded,
+                           "request queue full");
+            }
+            continue;
+        }
+
+        // Stream over: clean EOF, a framing violation, or an IO
+        // error. Report framing violations best-effort, then stop
+        // reading; frames already queued still complete.
+        protocol::Frame nil;
+        switch (result) {
+          case ReadResult::BadMagic:
+            m_errors.inc();
+            replyError(*conn, nil, protocol::ErrCode::BadFrame,
+                       "bad frame magic");
+            break;
+          case ReadResult::BadVersion:
+            m_errors.inc();
+            replyError(*conn, nil, protocol::ErrCode::BadVersion,
+                       "unsupported protocol version");
+            break;
+          case ReadResult::TooLarge:
+            m_errors.inc();
+            replyError(*conn, nil, protocol::ErrCode::TooLarge,
+                       "frame payload over limit");
+            break;
+          case ReadResult::Truncated:
+          case ReadResult::IoError:
+          case ReadResult::Eof:
+          case ReadResult::Ok:
+            break;
+        }
+        break;
+    }
+
+    bool finalize_now = false;
+    {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        conn->input_done = true;
+        finalize_now = !conn->scheduled && conn->pending.empty();
+    }
+    if (finalize_now)
+        finalize(conn);
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        ConnPtr conn;
+        {
+            std::unique_lock<std::mutex> lock(ready_mutex);
+            ready_cv.wait(lock, [this] {
+                return pool_stopping || !ready.empty();
+            });
+            if (pool_stopping)
+                return;
+            conn = std::move(ready.front());
+            ready.pop_front();
+        }
+
+        protocol::Frame frame;
+        bool have = false;
+        bool broken;
+        {
+            std::lock_guard<std::mutex> lock(conn->mutex);
+            broken = conn->broken;
+            if (!broken && !conn->pending.empty()) {
+                frame = std::move(conn->pending.front());
+                conn->pending.pop_front();
+                queued.fetch_sub(1, std::memory_order_relaxed);
+                m_queue_depth.add(-1);
+                have = true;
+            }
+        }
+
+        if (have && !handleFrame(*conn, frame)) {
+            // Write failed: the peer is gone. Drop what's left and
+            // kick the reader off the socket.
+            std::lock_guard<std::mutex> lock(conn->mutex);
+            conn->broken = true;
+            broken = true;
+            ::shutdown(conn->fd, SHUT_RDWR);
+        }
+
+        bool finalize_now = false;
+        {
+            std::lock_guard<std::mutex> lock(conn->mutex);
+            if (broken && !conn->pending.empty()) {
+                queued.fetch_sub(
+                    static_cast<int>(conn->pending.size()),
+                    std::memory_order_relaxed);
+                m_queue_depth.add(
+                    -static_cast<s64>(conn->pending.size()));
+                conn->pending.clear();
+            }
+            if (!conn->pending.empty()) {
+                std::lock_guard<std::mutex> rlock(ready_mutex);
+                ready.push_back(conn);
+                ready_cv.notify_one();
+            } else {
+                conn->scheduled = false;
+                finalize_now = conn->input_done;
+            }
+        }
+        if (finalize_now)
+            finalize(conn);
+    }
+}
+
+bool
+Server::handleFrame(Conn &conn, const protocol::Frame &frame)
+{
+    using protocol::MsgType;
+    switch (static_cast<MsgType>(frame.hdr.type)) {
+      case MsgType::OpenSession:
+        return handleOpen(conn, frame);
+      case MsgType::Encode:
+      case MsgType::Decode:
+        return handleBatch(conn, frame);
+      case MsgType::Stats:
+      case MsgType::Resync:
+      case MsgType::Close:
+        return handleControl(conn, frame);
+      default:
+        m_errors.inc();
+        return replyError(conn, frame, protocol::ErrCode::BadFrame,
+                          "unknown request type");
+    }
+}
+
+bool
+Server::handleOpen(Conn &conn, const protocol::Frame &frame)
+{
+    std::string spec;
+    if (!protocol::parseOpenSession(frame, spec)) {
+        m_errors.inc();
+        return replyError(conn, frame, protocol::ErrCode::BadFrame,
+                          "malformed OPEN_SESSION payload");
+    }
+    if (conn.sessions.size() >= opt.max_sessions) {
+        m_errors.inc();
+        return replyError(conn, frame,
+                          protocol::ErrCode::SessionLimit,
+                          "session limit reached");
+    }
+    try {
+        coding::CodecSession codec(spec);
+        const u32 width = codec.codec().width();
+        const u32 id = conn.next_session++;
+        conn.sessions.emplace(id, Conn::Session(std::move(codec)));
+        m_sessions_opened.inc();
+        m_sessions_active.add(1);
+        return reply(conn, protocol::makeOpenOk(id, width));
+    } catch (const FatalError &e) {
+        m_errors.inc();
+        return replyError(conn, frame, protocol::ErrCode::BadSpec,
+                          e.what());
+    }
+}
+
+bool
+Server::handleBatch(Conn &conn, const protocol::Frame &frame)
+{
+    const auto it = conn.sessions.find(frame.hdr.session);
+    if (it == conn.sessions.end()) {
+        m_errors.inc();
+        return replyError(conn, frame, protocol::ErrCode::NoSession,
+                          "unknown session");
+    }
+    Conn::Session &session = it->second;
+    if (session.desynced) {
+        m_errors.inc();
+        return replyError(conn, frame, protocol::ErrCode::Desync,
+                          "session desynchronized; RESYNC required");
+    }
+
+    const bool is_encode =
+        frame.hdr.type == static_cast<u8>(protocol::MsgType::Encode);
+    u64 client_sum = 0;
+    std::vector<Word> words;
+    std::vector<u64> states;
+    const bool parsed =
+        is_encode ? protocol::parseEncode(frame, client_sum, words)
+                  : protocol::parseDecode(frame, client_sum, states);
+    if (!parsed) {
+        m_errors.inc();
+        return replyError(conn, frame, protocol::ErrCode::BadFrame,
+                          "malformed batch payload");
+    }
+
+    // The networked synchronized-dictionary invariant: the batch must
+    // be the next in sequence and the client's view of the output
+    // stream must match ours, or the FSMs are not advanced at all.
+    coding::CodecSession &codec = session.codec;
+    if (frame.hdr.seq != codec.seq() + 1 ||
+        client_sum != codec.checksum()) {
+        session.desynced = true;
+        m_desyncs.inc();
+        m_errors.inc();
+        return replyError(conn, frame, protocol::ErrCode::Desync,
+                          "sequence/checksum mismatch; RESYNC "
+                          "required");
+    }
+
+    const u64 t0 = obs::nowNs();
+    protocol::Frame response;
+    std::size_t batch_words = 0;
+    if (is_encode) {
+        states.clear();
+        codec.encodeBatch(words, states);
+        batch_words = words.size();
+        response =
+            protocol::makeEncodeOk(frame.hdr.session, codec.seq(),
+                                   codec.checksum(), states);
+    } else {
+        words.clear();
+        codec.decodeBatch(states, words);
+        batch_words = states.size();
+        response =
+            protocol::makeDecodeOk(frame.hdr.session, codec.seq(),
+                                   codec.checksum(), words);
+    }
+    m_batches.inc();
+    m_words.inc(batch_words);
+    m_batch_ns.record(static_cast<double>(obs::nowNs() - t0));
+    return reply(conn, response);
+}
+
+bool
+Server::handleControl(Conn &conn, const protocol::Frame &frame)
+{
+    const auto it = conn.sessions.find(frame.hdr.session);
+    if (it == conn.sessions.end()) {
+        m_errors.inc();
+        return replyError(conn, frame, protocol::ErrCode::NoSession,
+                          "unknown session");
+    }
+    Conn::Session &session = it->second;
+
+    switch (static_cast<protocol::MsgType>(frame.hdr.type)) {
+      case protocol::MsgType::Stats: {
+          protocol::SessionStats stats;
+          stats.seq = session.codec.seq();
+          stats.checksum = session.codec.checksum();
+          stats.epoch = session.codec.epoch();
+          stats.width = session.codec.codec().width();
+          stats.ops = session.codec.codec().ops();
+          return reply(conn, protocol::makeStatsOk(frame.hdr.session,
+                                                   stats));
+      }
+      case protocol::MsgType::Resync:
+        session.codec.resync();
+        session.desynced = false;
+        m_resyncs.inc();
+        return reply(conn,
+                     protocol::makeResyncOk(frame.hdr.session,
+                                            session.codec.epoch()));
+      case protocol::MsgType::Close:
+        conn.sessions.erase(it);
+        m_sessions_active.add(-1);
+        return reply(conn, protocol::makeCloseOk(frame.hdr.session));
+      default:
+        panic("handleControl: unexpected type ",
+              unsigned{frame.hdr.type});
+    }
+}
+
+bool
+Server::reply(Conn &conn, const protocol::Frame &frame)
+{
+    std::lock_guard<std::mutex> lock(conn.write_mutex);
+    return sendFrame(conn.fd, frame);
+}
+
+bool
+Server::replyError(Conn &conn, const protocol::Frame &request,
+                   protocol::ErrCode code, const std::string &message)
+{
+    return reply(conn, protocol::makeError(request.hdr.session,
+                                           request.hdr.seq, code,
+                                           message));
+}
+
+void
+Server::finalize(const ConnPtr &conn)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (conn->finalized)
+            return;
+        conn->finalized = true;
+        if (!conn->pending.empty()) {
+            queued.fetch_sub(static_cast<int>(conn->pending.size()),
+                             std::memory_order_relaxed);
+            m_queue_depth.add(-static_cast<s64>(conn->pending.size()));
+            conn->pending.clear();
+        }
+    }
+    if (!conn->sessions.empty()) {
+        m_sessions_active.add(-static_cast<s64>(conn->sessions.size()));
+        conn->sessions.clear();
+    }
+    closeFd(conn->fd);
+    m_conns_active.add(-1);
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex);
+        std::erase(conns, conn);
+    }
+    conns_cv.notify_all();
+}
+
+void
+Server::beginDrain()
+{
+    draining.store(true);
+    std::lock_guard<std::mutex> lock(conns_mutex);
+    for (const ConnPtr &conn : conns)
+        ::shutdown(conn->fd, SHUT_RD);
+}
+
+void
+Server::waitDrained()
+{
+    std::unique_lock<std::mutex> lock(conns_mutex);
+    conns_cv.wait(lock, [this] {
+        return conns.empty() &&
+               queued.load(std::memory_order_relaxed) == 0;
+    });
+}
+
+void
+Server::stop()
+{
+    std::lock_guard<std::mutex> stop_lock(stop_mutex);
+    if (stopped)
+        return;
+    stopped = true;
+
+    stopping.store(true);
+    draining.store(true);
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex);
+        for (const ConnPtr &conn : conns)
+            ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    {
+        std::lock_guard<std::mutex> lock(ready_mutex);
+        pool_stopping = true;
+        ready_cv.notify_all();
+    }
+
+    // Joining drains the accept loops, the readers (their sockets are
+    // shut down), and the workers. New reader threads cannot appear:
+    // the accept loops observe `stopping` before spawning.
+    for (;;) {
+        std::vector<std::thread> to_join;
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex);
+            to_join.swap(threads);
+        }
+        if (to_join.empty())
+            break;
+        for (std::thread &t : to_join)
+            t.join();
+    }
+
+    // Workers may have exited holding schedule tokens; retire any
+    // connection still registered.
+    std::vector<ConnPtr> leftover;
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex);
+        leftover = conns;
+    }
+    for (const ConnPtr &conn : leftover)
+        finalize(conn);
+
+    for (const int fd : listen_fds)
+        closeFd(fd);
+    listen_fds.clear();
+    if (!opt.unix_path.empty())
+        ::unlink(opt.unix_path.c_str());
+}
+
+} // namespace predbus::serve

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The stateful bus-transcoding server behind predbus_served.
+ *
+ * Architecture (docs/SERVING.md):
+ *
+ *   accept threads (one per listener: TCP and/or Unix socket)
+ *     -> one reader thread per connection: frames the byte stream,
+ *        applies backpressure, and enqueues parsed frames
+ *     -> a fixed worker pool draining a bounded request queue
+ *
+ * Ordering: a session's FSMs must see its batches in order, so a
+ * connection is scheduled onto the pool as a unit — it sits in the
+ * ready queue at most once, and whichever worker holds it processes
+ * exactly one pending frame before re-scheduling. Different
+ * connections run on different workers concurrently; one connection's
+ * requests are strictly serialized.
+ *
+ * Backpressure: the reader rejects a frame *at parse time* with an
+ * Overloaded error when the global queued-frame budget
+ * (Options::queue_capacity) or the per-connection pending cap
+ * (Options::max_pending) is full. Memory is bounded by
+ * queue_capacity x kMaxPayload regardless of client behavior;
+ * nothing buffers without bound.
+ *
+ * Drain: beginDrain() stops accepting, half-closes every connection
+ * (SHUT_RD), and lets the workers finish every already-queued batch —
+ * responses are still written. waitDrained() blocks until the last
+ * connection retires. stop() is the hard variant used by tests and
+ * the final step of a graceful shutdown.
+ */
+
+#ifndef PREDBUS_SERVE_SERVER_H
+#define PREDBUS_SERVE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coding/session.h"
+#include "obs/metrics.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+
+namespace predbus::serve
+{
+
+/** Server configuration. */
+struct ServerOptions
+{
+    /** Unix domain socket path; empty disables the Unix listener. */
+    std::string unix_path;
+    /** TCP port (0 = ephemeral); negative disables the TCP listener. */
+    int tcp_port = -1;
+    /** Worker pool size; 0 = hardware concurrency. */
+    unsigned workers = 0;
+    /** Global bound on queued-but-unprocessed frames. */
+    unsigned queue_capacity = 256;
+    /** Per-connection bound on pending frames. */
+    unsigned max_pending = 32;
+    /** Per-connection bound on open sessions. */
+    unsigned max_sessions = 64;
+};
+
+class Server
+{
+  public:
+    /** Construct and start listening/serving. Metrics go to
+     * @p registry (serve.* names, docs/OBSERVABILITY.md). */
+    explicit Server(ServerOptions options,
+                    obs::Registry &registry = obs::Registry::global());
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Actual TCP port (after ephemeral resolution); 0 if disabled. */
+    u16 tcpPort() const { return tcp_port; }
+
+    /** Stop accepting and half-close connections; in-flight batches
+     * still complete and their responses are written. */
+    void beginDrain();
+
+    /** Block until every connection has retired (call beginDrain()
+     * first, or this waits for clients to hang up on their own). */
+    void waitDrained();
+
+    /** Hard stop: abort connections, stop the pool, join all threads.
+     * Idempotent; the destructor calls it. */
+    void stop();
+
+  private:
+    /** Per-connection state. Field access rules:
+     *  - pending/scheduled/input_done/broken/finalized: conn mutex;
+     *  - sessions/next_session/desynced: only the (single) worker
+     *    currently holding the connection's schedule token, or the
+     *    finalizer after the token is permanently dropped;
+     *  - writes to fd: write_mutex (reader rejects vs worker replies).
+     */
+    struct Conn
+    {
+        int fd = -1;
+        std::mutex mutex;
+        std::mutex write_mutex;
+        std::deque<protocol::Frame> pending;
+        bool scheduled = false;
+        bool input_done = false;
+        bool broken = false;
+        bool finalized = false;
+
+        struct Session
+        {
+            coding::CodecSession codec;
+            bool desynced = false;
+
+            explicit Session(coding::CodecSession codec)
+                : codec(std::move(codec))
+            {
+            }
+        };
+
+        std::map<u32, Session> sessions;
+        u32 next_session = 1;
+    };
+
+    using ConnPtr = std::shared_ptr<Conn>;
+
+    void acceptLoop(int listen_fd);
+    void readerLoop(ConnPtr conn);
+    void workerLoop();
+
+    /** Handle one request frame; returns false when the connection
+     * should be torn down (write failure). */
+    bool handleFrame(Conn &conn, const protocol::Frame &frame);
+    bool handleOpen(Conn &conn, const protocol::Frame &frame);
+    bool handleBatch(Conn &conn, const protocol::Frame &frame);
+    bool handleControl(Conn &conn, const protocol::Frame &frame);
+
+    bool reply(Conn &conn, const protocol::Frame &frame);
+    bool replyError(Conn &conn, const protocol::Frame &request,
+                    protocol::ErrCode code, const std::string &message);
+
+    /** Drop the connection's sessions and fd exactly once. */
+    void finalize(const ConnPtr &conn);
+
+    ServerOptions opt;
+    obs::Registry &registry;
+
+    // Listeners.
+    std::vector<int> listen_fds;
+    u16 tcp_port = 0;
+
+    // Ready queue of connections with pending work.
+    std::mutex ready_mutex;
+    std::condition_variable ready_cv;
+    std::deque<ConnPtr> ready;
+    bool pool_stopping = false;
+
+    // Global queued-frame budget (backpressure).
+    std::atomic<int> queued{0};
+
+    // Connection registry (for drain/stop) and thread bookkeeping.
+    std::mutex conns_mutex;
+    std::condition_variable conns_cv;
+    std::vector<ConnPtr> conns;
+    std::vector<std::thread> threads;
+    std::atomic<bool> draining{false};
+    std::atomic<bool> stopping{false};
+    bool stopped = false;
+    std::mutex stop_mutex;
+
+    // serve.* metrics (resolved once; see docs/OBSERVABILITY.md).
+    obs::Counter &m_accepted;
+    obs::Gauge &m_conns_active;
+    obs::Counter &m_sessions_opened;
+    obs::Gauge &m_sessions_active;
+    obs::Counter &m_batches;
+    obs::Counter &m_words;
+    obs::Counter &m_rejects;
+    obs::Counter &m_errors;
+    obs::Counter &m_desyncs;
+    obs::Counter &m_resyncs;
+    obs::Gauge &m_queue_depth;
+    obs::Histogram &m_batch_ns;
+};
+
+} // namespace predbus::serve
+
+#endif // PREDBUS_SERVE_SERVER_H

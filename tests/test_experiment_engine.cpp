@@ -65,6 +65,40 @@ TEST(Registry, AllIsSortedAndMatchFilters)
     EXPECT_EQ(registry.find("no_such_experiment"), nullptr);
 }
 
+TEST(Registry, SelectByGlobsReportsUnmatchedFilters)
+{
+    const auto &registry = analysis::Registry::instance();
+    const auto all = registry.all();
+
+    // All filters match: union, deduped, sorted, nothing unmatched.
+    std::vector<std::string> unmatched;
+    auto selected = analysis::selectByGlobs(
+        registry, {"fig19*", "*", "ablation_*"}, &unmatched);
+    EXPECT_TRUE(unmatched.empty());
+    ASSERT_EQ(selected.size(), all.size());
+    for (std::size_t i = 1; i < selected.size(); ++i)
+        EXPECT_LT(selected[i - 1]->name, selected[i]->name);
+
+    // A typo'd filter alongside matching ones is reported, and the
+    // matching ones still select.
+    unmatched.clear();
+    selected = analysis::selectByGlobs(
+        registry, {"fig19*", "zzz_no_such*", "fig19*"}, &unmatched);
+    EXPECT_EQ(selected.size(), 1u);
+    ASSERT_EQ(unmatched.size(), 1u);
+    EXPECT_EQ(unmatched[0], "zzz_no_such*");
+
+    // Nothing matches: everything is unmatched, selection is empty.
+    unmatched.clear();
+    selected =
+        analysis::selectByGlobs(registry, {"nope", "nada*"}, &unmatched);
+    EXPECT_TRUE(selected.empty());
+    EXPECT_EQ(unmatched.size(), 2u);
+
+    // The out-parameter is optional.
+    EXPECT_EQ(analysis::selectByGlobs(registry, {"fig19*"}).size(), 1u);
+}
+
 TEST(Glob, MatchesShellStyle)
 {
     EXPECT_TRUE(analysis::globMatch("*", ""));

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * End-to-end tests for the serving subsystem: a served session over a
+ * real socket must be indistinguishable from the in-process codec
+ * path — byte-identical wire states, decoded streams, checksums, and
+ * operation counts — and the overload/desync/drain behaviors the
+ * protocol promises must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "analysis/suite.h"
+#include "coding/factory.h"
+#include "coding/session.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+using namespace predbus;
+using serve::protocol::ErrCode;
+using serve::protocol::MsgType;
+
+namespace
+{
+
+/** Unique per-test unix socket path under the system temp dir. */
+std::string
+socketPath()
+{
+    static std::atomic<int> counter{0};
+    return "/tmp/predbus_e2e_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/** Deterministic value stream with both random and strided phases so
+ * dictionary, stride, and inversion codecs all exercise their hit and
+ * miss paths. */
+std::vector<Word>
+testStream(std::size_t n)
+{
+    std::vector<Word> values = analysis::randomValues(n / 2, 0xE2E);
+    for (std::size_t i = 0; values.size() < n; ++i) {
+        // Strided addresses with periodic repeats.
+        values.push_back(static_cast<Word>(0x1000'0000 + 16 * i));
+        if (i % 7 == 0 && values.size() < n)
+            values.push_back(values[values.size() / 2]);
+    }
+    values.resize(n);
+    return values;
+}
+
+class ServeE2E : public ::testing::Test
+{
+  protected:
+    serve::Server &
+    startServer(serve::ServerOptions opt = {})
+    {
+        path = socketPath();
+        opt.unix_path = path;
+        server = std::make_unique<serve::Server>(opt, registry);
+        return *server;
+    }
+
+    serve::Client
+    connect()
+    {
+        return serve::Client::connectUnixSocket(path);
+    }
+
+    u64
+    counterValue(const std::string &name)
+    {
+        return registry.counter(name).value();
+    }
+
+    s64
+    gaugeValue(const std::string &name)
+    {
+        return registry.gauge(name).value();
+    }
+
+    obs::Registry registry;
+    std::string path;
+    std::unique_ptr<serve::Server> server;
+};
+
+void
+expectOpsEqual(const coding::OpCounts &a, const coding::OpCounts &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.matches, b.matches);
+    EXPECT_EQ(a.shifts, b.shifts);
+    EXPECT_EQ(a.counter_incs, b.counter_incs);
+    EXPECT_EQ(a.compares, b.compares);
+    EXPECT_EQ(a.swaps, b.swaps);
+    EXPECT_EQ(a.divisions, b.divisions);
+    EXPECT_EQ(a.raw_sends, b.raw_sends);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.last_hits, b.last_hits);
+}
+
+} // namespace
+
+// The core acceptance property: for every spec family the paper
+// studies, a socket round trip is lossless and every piece of state
+// the two paths expose (wire states, checksums, sequence numbers,
+// per-session transition/op stats) is identical to the in-process
+// codec path.
+TEST_F(ServeE2E, SocketPathMatchesInProcessPath)
+{
+    startServer();
+    const std::vector<Word> stream = testStream(4096);
+    constexpr std::size_t kBatch = 256;
+
+    for (const std::string spec :
+         {"window:8", "ctx:16+4", "inv:2", "stride:4", "raw"}) {
+        SCOPED_TRACE(spec);
+        serve::Client client = connect();
+        serve::ClientSession enc_remote = client.openOrThrow(spec);
+        serve::ClientSession dec_remote = client.openOrThrow(spec);
+
+        coding::CodecSession enc_local(spec);
+        coding::CodecSession dec_local(spec);
+        EXPECT_EQ(enc_remote.width(), enc_local.codec().width());
+
+        std::vector<Word> decoded_all;
+        for (std::size_t pos = 0; pos < stream.size();
+             pos += kBatch) {
+            const std::span<const Word> batch(stream.data() + pos,
+                                              kBatch);
+
+            // Server encode vs in-process encode: identical states.
+            const auto remote = enc_remote.encode(batch);
+            ASSERT_TRUE(remote.ok());
+            std::vector<u64> local_states;
+            enc_local.encodeBatch(batch, local_states);
+            ASSERT_EQ(remote.data, local_states);
+            EXPECT_EQ(remote.checksum, enc_local.checksum());
+
+            // Server decode of those states: lossless round trip,
+            // and identical to the in-process decoder.
+            const auto decoded = dec_remote.decode(remote.data);
+            ASSERT_TRUE(decoded.ok());
+            std::vector<Word> local_words;
+            dec_local.decodeBatch(local_states, local_words);
+            ASSERT_EQ(decoded.data, local_words);
+            ASSERT_EQ(std::vector<Word>(batch.begin(), batch.end()),
+                      decoded.data);
+            decoded_all.insert(decoded_all.end(),
+                               decoded.data.begin(),
+                               decoded.data.end());
+        }
+        EXPECT_EQ(decoded_all, stream);
+
+        // Per-session stats over the wire match the local FSMs.
+        const auto enc_stats = enc_remote.stats();
+        EXPECT_EQ(enc_stats.seq, enc_local.seq());
+        EXPECT_EQ(enc_stats.checksum, enc_local.checksum());
+        EXPECT_EQ(enc_stats.epoch, 0u);
+        expectOpsEqual(enc_stats.ops, enc_local.codec().ops());
+
+        const auto dec_stats = dec_remote.stats();
+        EXPECT_EQ(dec_stats.checksum, dec_local.checksum());
+        expectOpsEqual(dec_stats.ops, dec_local.codec().ops());
+
+        enc_remote.close();
+        dec_remote.close();
+    }
+
+    EXPECT_GT(counterValue("serve.batches"), 0u);
+    EXPECT_GT(counterValue("serve.words"), 0u);
+}
+
+TEST_F(ServeE2E, TcpRoundTrip)
+{
+    serve::ServerOptions opt;
+    opt.tcp_port = 0;  // ephemeral
+    path = socketPath();
+    opt.unix_path = path;
+    server = std::make_unique<serve::Server>(opt, registry);
+    ASSERT_GT(server->tcpPort(), 0);
+
+    serve::Client client = serve::Client::connectTcpSocket(
+        "127.0.0.1", server->tcpPort());
+    serve::ClientSession session = client.openOrThrow("window:8");
+    const std::vector<Word> stream = testStream(512);
+    const auto encoded = session.encode(stream);
+    ASSERT_TRUE(encoded.ok());
+
+    coding::CodecSession local("window:8");
+    std::vector<u64> expected;
+    local.encodeBatch(stream, expected);
+    EXPECT_EQ(encoded.data, expected);
+}
+
+// Forced desync: a batch with a corrupted checksum must be detected
+// *before* the server FSMs advance, the session must refuse further
+// batches, and RESYNC must restore it to a fresh-session state whose
+// subsequent encodes match a fresh in-process reference.
+TEST_F(ServeE2E, ForcedDesyncRecoversViaResync)
+{
+    startServer();
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("window:8");
+    const std::vector<Word> stream = testStream(1024);
+    const std::span<const Word> first(stream.data(), 256);
+    const std::span<const Word> second(stream.data() + 256, 256);
+
+    ASSERT_TRUE(session.encode(first).ok());
+
+    // Poison: right seq, wrong checksum (a lost response would look
+    // like this — the client's dictionary no longer matches).
+    client.send(serve::protocol::makeEncode(
+        session.id(), session.seq() + 1,
+        session.checksum() ^ 0xDEAD, second));
+    serve::protocol::Frame response = client.recv();
+    ErrCode code{};
+    std::string message;
+    ASSERT_TRUE(serve::protocol::parseError(response, code, message));
+    EXPECT_EQ(code, ErrCode::Desync);
+
+    // The session is now latched desynced: even a well-formed batch
+    // is refused until RESYNC.
+    const auto refused = session.encode(second);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.error->code, ErrCode::Desync);
+
+    // Recovery handshake.
+    const u32 epoch = session.resync();
+    EXPECT_EQ(epoch, 1u);
+    EXPECT_EQ(session.seq(), 0u);
+
+    // Post-resync encodes match a *fresh* in-process session.
+    const auto after = session.encode(second);
+    ASSERT_TRUE(after.ok());
+    coding::CodecSession fresh("window:8");
+    std::vector<u64> expected;
+    fresh.encodeBatch(second, expected);
+    EXPECT_EQ(after.data, expected);
+    EXPECT_EQ(after.checksum, fresh.checksum());
+
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.epoch, 1u);
+    EXPECT_EQ(counterValue("serve.desyncs"), 1u);
+    EXPECT_EQ(counterValue("serve.resyncs"), 1u);
+}
+
+// Overload: with a one-slot queue and a single worker, pipelining a
+// slow batch followed by a burst must shed load with explicit
+// OVERLOADED errors — and the server must keep running.
+TEST_F(ServeE2E, OverloadShedsWithExplicitRejects)
+{
+    serve::ServerOptions opt;
+    opt.workers = 1;
+    opt.queue_capacity = 1;
+    opt.max_pending = 1;
+    startServer(opt);
+
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("window:8");
+
+    // One protocol-max batch to occupy the worker...
+    const std::vector<Word> big =
+        testStream(serve::protocol::kMaxBatchWords);
+    client.send(serve::protocol::makeEncode(
+        session.id(), 1, session.checksum(), big));
+    // ...then a pipelined burst the one-deep queue cannot hold.
+    constexpr int kBurst = 8;
+    const std::vector<Word> small = testStream(16);
+    for (int i = 0; i < kBurst; ++i) {
+        client.send(serve::protocol::makeEncode(
+            session.id(), static_cast<u64>(2 + i), 0, small));
+    }
+
+    int ok = 0;
+    int overloaded = 0;
+    int desync = 0;
+    for (int i = 0; i < 1 + kBurst; ++i) {
+        const serve::protocol::Frame frame = client.recv();
+        if (frame.hdr.type == static_cast<u8>(MsgType::EncodeOk)) {
+            ++ok;
+            continue;
+        }
+        ErrCode code{};
+        std::string message;
+        ASSERT_TRUE(
+            serve::protocol::parseError(frame, code, message));
+        if (code == ErrCode::Overloaded)
+            ++overloaded;
+        else if (code == ErrCode::Desync)
+            ++desync;
+    }
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(overloaded, 1);
+    EXPECT_EQ(ok + overloaded + desync, 1 + kBurst);
+    EXPECT_EQ(counterValue("serve.rejects"),
+              static_cast<u64>(overloaded));
+
+    // The server survived the burst: recover and keep encoding.
+    session.resync();
+    EXPECT_TRUE(session.encode(small).ok());
+}
+
+// Graceful drain: queued batches complete, their responses arrive,
+// then connections close and the listener goes away.
+TEST_F(ServeE2E, DrainCompletesInFlightBatches)
+{
+    startServer();
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("window:8");
+    const std::vector<Word> batch = testStream(4096);
+
+    client.send(serve::protocol::makeEncode(
+        session.id(), 1, session.checksum(), batch));
+    // Give the reader a moment to queue the frame, then drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server->beginDrain();
+
+    // The in-flight batch's response still arrives, and it is the
+    // same answer an undrained server would have produced.
+    const serve::protocol::Frame response = client.recv();
+    ASSERT_EQ(response.hdr.type,
+              static_cast<u8>(MsgType::EncodeOk));
+    u64 checksum = 0;
+    std::vector<u64> states;
+    ASSERT_TRUE(
+        serve::protocol::parseEncodeOk(response, checksum, states));
+    coding::CodecSession local("window:8");
+    std::vector<u64> expected;
+    local.encodeBatch(batch, expected);
+    EXPECT_EQ(states, expected);
+
+    server->waitDrained();
+    EXPECT_EQ(gaugeValue("serve.connections_active"), 0);
+    EXPECT_EQ(gaugeValue("serve.sessions_active"), 0);
+    EXPECT_EQ(gaugeValue("serve.queue_depth"), 0);
+    server->stop();
+
+    // The listener is gone: new connections are refused.
+    EXPECT_THROW(serve::Client::connectUnixSocket(path), FatalError);
+}
+
+// A second connection's sessions are independent: same spec, same
+// stream, same states — interleaved with another client's traffic.
+TEST_F(ServeE2E, ConnectionsAreIsolated)
+{
+    startServer();
+    serve::Client a = connect();
+    serve::Client b = connect();
+    serve::ClientSession sa = a.openOrThrow("stride:4");
+    serve::ClientSession sb = b.openOrThrow("stride:4");
+
+    const std::vector<Word> stream = testStream(512);
+    const auto ra1 = sa.encode(std::span(stream).first(128));
+    const auto rb1 = sb.encode(std::span(stream).first(128));
+    const auto ra2 = sa.encode(std::span(stream).subspan(128, 128));
+    const auto rb2 = sb.encode(std::span(stream).subspan(128, 128));
+    ASSERT_TRUE(ra1.ok() && rb1.ok() && ra2.ok() && rb2.ok());
+    EXPECT_EQ(ra1.data, rb1.data);
+    EXPECT_EQ(ra2.data, rb2.data);
+    EXPECT_EQ(sa.checksum(), sb.checksum());
+}

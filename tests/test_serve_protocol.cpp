@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Malformed-input hardening for the serving protocol: the framing
+ * parser and the server must reject truncated, oversized, and garbage
+ * frames cleanly — an error response or a closed connection, never a
+ * crash, a hang, or a leaked session. Includes a deterministic
+ * fuzz-style sweep of random byte streams and mutated valid frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+using namespace predbus;
+using namespace predbus::serve;
+using protocol::ErrCode;
+using protocol::Frame;
+using protocol::MsgType;
+
+namespace
+{
+
+std::string
+socketPath()
+{
+    static std::atomic<int> counter{0};
+    return "/tmp/predbus_proto_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/** Poll until @p done returns true (teardown is asynchronous). */
+template <typename F>
+bool
+eventually(F done, int timeout_ms = 5000)
+{
+    for (int waited = 0; waited < timeout_ms; waited += 10) {
+        if (done())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return done();
+}
+
+class ServeProtocol : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = socketPath();
+        ServerOptions opt;
+        opt.unix_path = path;
+        opt.workers = 2;
+        server = std::make_unique<Server>(opt, registry);
+    }
+
+    Client
+    connect()
+    {
+        return Client::connectUnixSocket(path);
+    }
+
+    /** The server still serves: a fresh connection can open a session
+     * and push a batch through it. */
+    void
+    expectServerHealthy()
+    {
+        Client client = connect();
+        ClientSession session = client.openOrThrow("window:4");
+        const std::vector<Word> words{1, 2, 3, 2, 1};
+        const auto result = session.encode(words);
+        ASSERT_TRUE(result.ok());
+        const auto decoded =
+            client.openOrThrow("window:4").decode(result.data);
+        ASSERT_TRUE(decoded.ok());
+        EXPECT_EQ(decoded.data, words);
+    }
+
+    /** No leaked sessions/connections once peers are gone. */
+    void
+    expectNoLeaks()
+    {
+        EXPECT_TRUE(eventually([&] {
+            return registry.gauge("serve.sessions_active").value() ==
+                       0 &&
+                   registry.gauge("serve.connections_active")
+                           .value() == 0 &&
+                   registry.gauge("serve.queue_depth").value() == 0;
+        })) << "sessions="
+            << registry.gauge("serve.sessions_active").value()
+            << " conns="
+            << registry.gauge("serve.connections_active").value()
+            << " queue="
+            << registry.gauge("serve.queue_depth").value();
+    }
+
+    obs::Registry registry;
+    std::string path;
+    std::unique_ptr<Server> server;
+};
+
+/** Read frames until the peer closes; returns them. */
+std::vector<Frame>
+drainResponses(int fd)
+{
+    std::vector<Frame> frames;
+    for (;;) {
+        Frame frame;
+        if (readFrame(fd, frame) != ReadResult::Ok)
+            return frames;
+        frames.push_back(std::move(frame));
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Pure parser properties (no sockets).
+// ---------------------------------------------------------------
+
+TEST(ServeFraming, HeaderRoundTrip)
+{
+    protocol::FrameHeader hdr;
+    hdr.type = static_cast<u8>(MsgType::Encode);
+    hdr.session = 0xABCD;
+    hdr.payload_len = 123;
+    hdr.seq = 0x1122334455667788ull;
+
+    std::vector<u8> bytes;
+    protocol::writeHeader(bytes, hdr);
+    ASSERT_EQ(bytes.size(), protocol::kHeaderSize);
+
+    protocol::FrameHeader parsed;
+    ASSERT_EQ(protocol::parseHeader(bytes, parsed),
+              protocol::HeaderStatus::Ok);
+    EXPECT_EQ(parsed.type, hdr.type);
+    EXPECT_EQ(parsed.session, hdr.session);
+    EXPECT_EQ(parsed.payload_len, hdr.payload_len);
+    EXPECT_EQ(parsed.seq, hdr.seq);
+}
+
+TEST(ServeFraming, HeaderRejectsGarbage)
+{
+    protocol::FrameHeader hdr;
+    std::vector<u8> bytes;
+    protocol::writeHeader(bytes, hdr);
+
+    std::vector<u8> bad_magic = bytes;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_EQ(protocol::parseHeader(bad_magic, hdr),
+              protocol::HeaderStatus::BadMagic);
+
+    std::vector<u8> bad_version = bytes;
+    bad_version[4] = 99;
+    EXPECT_EQ(protocol::parseHeader(bad_version, hdr),
+              protocol::HeaderStatus::BadVersion);
+
+    std::vector<u8> oversized = bytes;
+    oversized[12] = 0xFF;
+    oversized[13] = 0xFF;
+    oversized[14] = 0xFF;
+    oversized[15] = 0x7F;
+    EXPECT_EQ(protocol::parseHeader(oversized, hdr),
+              protocol::HeaderStatus::TooLarge);
+}
+
+TEST(ServeFraming, PayloadParsersRoundTrip)
+{
+    const std::vector<Word> words{0, 1, 0xFFFFFFFF, 42};
+    const std::vector<u64> states{7, 0, u64{1} << 33};
+
+    Frame enc = protocol::makeEncode(3, 9, 0xAA, words);
+    u64 sum = 0;
+    std::vector<Word> got_words;
+    ASSERT_TRUE(protocol::parseEncode(enc, sum, got_words));
+    EXPECT_EQ(sum, 0xAAu);
+    EXPECT_EQ(got_words, words);
+
+    Frame dec = protocol::makeDecode(3, 9, 0xBB, states);
+    std::vector<u64> got_states;
+    ASSERT_TRUE(protocol::parseDecode(dec, sum, got_states));
+    EXPECT_EQ(got_states, states);
+
+    Frame open = protocol::makeOpenSession("window:8");
+    std::string spec;
+    ASSERT_TRUE(protocol::parseOpenSession(open, spec));
+    EXPECT_EQ(spec, "window:8");
+
+    Frame err = protocol::makeError(1, 2, ErrCode::Desync, "boom");
+    ErrCode code{};
+    std::string message;
+    ASSERT_TRUE(protocol::parseError(err, code, message));
+    EXPECT_EQ(code, ErrCode::Desync);
+    EXPECT_EQ(message, "boom");
+}
+
+TEST(ServeFraming, PayloadParsersRejectTruncationAndTrailingBytes)
+{
+    const std::vector<Word> words{1, 2, 3};
+    Frame enc = protocol::makeEncode(1, 1, 0, words);
+
+    Frame truncated = enc;
+    truncated.payload.pop_back();
+    u64 sum = 0;
+    std::vector<Word> out;
+    EXPECT_FALSE(protocol::parseEncode(truncated, sum, out));
+
+    Frame trailing = enc;
+    trailing.payload.push_back(0);
+    EXPECT_FALSE(protocol::parseEncode(trailing, sum, out));
+
+    // Count field claiming more words than the payload holds.
+    Frame lying = enc;
+    lying.payload[8] = 0xFF;
+    EXPECT_FALSE(protocol::parseEncode(lying, sum, out));
+
+    // Batch count over the protocol bound.
+    Frame oversized = enc;
+    oversized.payload[8] = 0xFF;
+    oversized.payload[9] = 0xFF;
+    oversized.payload[10] = 0xFF;
+    oversized.payload[11] = 0x7F;
+    EXPECT_FALSE(protocol::parseEncode(oversized, sum, out));
+}
+
+// Deterministic fuzz of the pure parsers: random payloads must never
+// crash and must be rejected or parsed without reading out of bounds.
+TEST(ServeFraming, FuzzPayloadParsers)
+{
+    Rng rng(0xF0220);
+    for (int i = 0; i < 2000; ++i) {
+        Frame frame;
+        frame.hdr.type = static_cast<u8>(rng.below(256));
+        frame.payload.resize(rng.below(200));
+        for (u8 &b : frame.payload)
+            b = static_cast<u8>(rng.below(256));
+
+        u64 sum = 0;
+        u32 a = 0;
+        u32 b = 0;
+        std::vector<Word> words;
+        std::vector<u64> states;
+        std::string text;
+        protocol::SessionStats stats;
+        ErrCode code{};
+        protocol::parseOpenSession(frame, text);
+        protocol::parseEncode(frame, sum, words);
+        protocol::parseDecode(frame, sum, states);
+        protocol::parseOpenOk(frame, a, b);
+        protocol::parseEncodeOk(frame, sum, states);
+        protocol::parseDecodeOk(frame, sum, words);
+        protocol::parseStatsOk(frame, stats);
+        protocol::parseResyncOk(frame, a);
+        protocol::parseError(frame, code, text);
+    }
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------
+// Server hardening over real sockets.
+// ---------------------------------------------------------------
+
+TEST_F(ServeProtocol, GarbageStreamIsRejectedCleanly)
+{
+    Client client = connect();
+    const std::string garbage = "GET / HTTP/1.1\r\nHost: nope\r\n\r\n";
+    ASSERT_TRUE(sendAll(client.fd(), garbage.data(), garbage.size()));
+
+    const std::vector<Frame> responses = drainResponses(client.fd());
+    ASSERT_EQ(responses.size(), 1u);
+    ErrCode code{};
+    std::string message;
+    ASSERT_TRUE(protocol::parseError(responses[0], code, message));
+    EXPECT_EQ(code, ErrCode::BadFrame);
+
+    expectServerHealthy();
+    expectNoLeaks();
+}
+
+TEST_F(ServeProtocol, OversizedFrameIsRejectedUnread)
+{
+    Client client = connect();
+    protocol::FrameHeader hdr;
+    hdr.type = static_cast<u8>(MsgType::Encode);
+    hdr.payload_len = 0;
+    std::vector<u8> bytes;
+    protocol::writeHeader(bytes, hdr);
+    // Patch payload_len over the limit after serialization (the
+    // builder APIs cannot produce this frame).
+    bytes[12] = 0xFF;
+    bytes[13] = 0xFF;
+    bytes[14] = 0xFF;
+    bytes[15] = 0x7F;
+    ASSERT_TRUE(sendAll(client.fd(), bytes.data(), bytes.size()));
+
+    const std::vector<Frame> responses = drainResponses(client.fd());
+    ASSERT_EQ(responses.size(), 1u);
+    ErrCode code{};
+    std::string message;
+    ASSERT_TRUE(protocol::parseError(responses[0], code, message));
+    EXPECT_EQ(code, ErrCode::TooLarge);
+
+    expectServerHealthy();
+    expectNoLeaks();
+}
+
+TEST_F(ServeProtocol, TruncatedHeaderDisconnect)
+{
+    {
+        Client client = connect();
+        const u8 partial[5] = {0x50, 0x42, 0x53, 0x31, 0x01};
+        ASSERT_TRUE(
+            sendAll(client.fd(), partial, sizeof(partial)));
+        // Destructor closes mid-header.
+    }
+    expectServerHealthy();
+    expectNoLeaks();
+}
+
+TEST_F(ServeProtocol, MidBatchDisconnectDoesNotLeakSessions)
+{
+    {
+        Client client = connect();
+        ClientSession session = client.openOrThrow("window:8");
+        ASSERT_EQ(
+            registry.gauge("serve.sessions_active").value(), 1);
+
+        // A frame header promising a 4 KiB batch, then only a sliver
+        // of it, then a hard disconnect.
+        protocol::FrameHeader hdr;
+        hdr.type = static_cast<u8>(MsgType::Encode);
+        hdr.session = session.id();
+        hdr.seq = 1;
+        hdr.payload_len = 4096;
+        std::vector<u8> bytes;
+        protocol::writeHeader(bytes, hdr);
+        bytes.resize(bytes.size() + 100, 0xAB);
+        ASSERT_TRUE(sendAll(client.fd(), bytes.data(), bytes.size()));
+    }
+    expectServerHealthy();
+    expectNoLeaks();
+}
+
+TEST_F(ServeProtocol, MalformedPayloadGetsErrorNotDisconnect)
+{
+    {
+        Client client = connect();
+        // Well-framed OPEN_SESSION whose payload lies about its spec
+        // length.
+        Frame open = protocol::makeOpenSession("window:8");
+        open.payload[0] = 0xFF;
+        open.payload[1] = 0x00;
+        client.send(open);
+        Frame response = client.recv();
+        ErrCode code{};
+        std::string message;
+        ASSERT_TRUE(protocol::parseError(response, code, message));
+        EXPECT_EQ(code, ErrCode::BadFrame);
+
+        // Same connection still works afterwards.
+        ClientSession session = client.openOrThrow("window:8");
+        EXPECT_TRUE(session.encode(std::vector<Word>{1, 2, 3}).ok());
+    }
+    expectNoLeaks();
+}
+
+TEST_F(ServeProtocol, UnknownSessionAndBadSpec)
+{
+    {
+        Client client = connect();
+        client.send(protocol::makeEncode(
+            777, 1, coding::kChecksumSeed, std::vector<Word>{1}));
+        Frame response = client.recv();
+        ErrCode code{};
+        std::string message;
+        ASSERT_TRUE(protocol::parseError(response, code, message));
+        EXPECT_EQ(code, ErrCode::NoSession);
+
+        std::optional<ServeError> error;
+        EXPECT_FALSE(
+            client.open("flux-capacitor:88", error).has_value());
+        ASSERT_TRUE(error.has_value());
+        EXPECT_EQ(error->code, ErrCode::BadSpec);
+    }
+    expectNoLeaks();
+}
+
+TEST_F(ServeProtocol, SessionLimitEnforced)
+{
+    ServerOptions opt;
+    opt.unix_path = socketPath();
+    opt.max_sessions = 2;
+    obs::Registry local;
+    Server limited(opt, local);
+
+    Client client = Client::connectUnixSocket(opt.unix_path);
+    client.openOrThrow("raw");
+    client.openOrThrow("raw");
+    std::optional<ServeError> error;
+    EXPECT_FALSE(client.open("raw", error).has_value());
+    ASSERT_TRUE(error.has_value());
+    EXPECT_EQ(error->code, ErrCode::SessionLimit);
+}
+
+TEST_F(ServeProtocol, UnknownRequestTypeGetsError)
+{
+    Client client = connect();
+    Frame weird;
+    weird.hdr.type = 0x5E;
+    client.send(weird);
+    Frame response = client.recv();
+    ErrCode code{};
+    std::string message;
+    ASSERT_TRUE(protocol::parseError(response, code, message));
+    EXPECT_EQ(code, ErrCode::BadFrame);
+    expectServerHealthy();
+}
+
+TEST_F(ServeProtocol, EmptyBatchIsValid)
+{
+    Client client = connect();
+    ClientSession session = client.openOrThrow("window:8");
+    const auto result = session.encode(std::span<const Word>{});
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.data.empty());
+    EXPECT_EQ(session.seq(), 1u);
+}
+
+// Deterministic fuzz against the live server: random byte streams on
+// fresh connections, then mutated-but-valid frames. The server must
+// stay healthy and leak-free through all of it.
+TEST_F(ServeProtocol, FuzzRandomStreamsAgainstServer)
+{
+    Rng rng(0x5EED5);
+    for (int round = 0; round < 40; ++round) {
+        Client client = connect();
+        std::vector<u8> blob(rng.below(300) + 1);
+        for (u8 &b : blob)
+            b = static_cast<u8>(rng.below(256));
+        if (!sendAll(client.fd(), blob.data(), blob.size()))
+            continue;  // server already slammed the door — fine
+        // Half-close: a blob shorter than a header would otherwise
+        // leave the server waiting for more bytes forever.
+        ::shutdown(client.fd(), SHUT_WR);
+        drainResponses(client.fd());
+    }
+
+    Rng mut(0xA17E);
+    for (int round = 0; round < 40; ++round) {
+        Client client = connect();
+        std::vector<u8> bytes = protocol::serialize(
+            protocol::makeOpenSession("window:8"));
+        const std::vector<u8> enc_bytes = protocol::serialize(
+            protocol::makeEncode(1, 1, coding::kChecksumSeed,
+                                 std::vector<Word>{1, 2, 3, 4}));
+        bytes.insert(bytes.end(), enc_bytes.begin(),
+                     enc_bytes.end());
+        // Flip a couple of random bytes somewhere in the stream.
+        for (int flips = 0; flips < 2; ++flips)
+            bytes[mut.below(bytes.size())] ^=
+                static_cast<u8>(1 + mut.below(255));
+        if (!sendAll(client.fd(), bytes.data(), bytes.size()))
+            continue;
+        ::shutdown(client.fd(), SHUT_WR);
+        drainResponses(client.fd());
+    }
+
+    expectServerHealthy();
+    expectNoLeaks();
+}

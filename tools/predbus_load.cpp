@@ -1,0 +1,431 @@
+/**
+ * @file
+ * predbus_load — load generator for predbus_served.
+ *
+ * Replays a bus-value stream (a .pbtr trace file, a simulated
+ * workload trace, or deterministic random values) against a running
+ * server over parallel connections and reports throughput plus
+ * p50/p95/p99 batch latency from an obs histogram. Modes:
+ *
+ *   encode     client words -> server wire states
+ *   decode     pre-encoded wire states -> server words
+ *   roundtrip  encode session + decode session; every decoded word is
+ *              checked against the original stream (lossless by
+ *              construction — mismatches are reported and fail the
+ *              run)
+ *
+ *   predbus_load --unix /tmp/predbus.sock --spec window:8
+ *   predbus_load --tcp-port 7411 --source trace:traces/go.pbtr
+ *   predbus_load --unix S --source workload:gcc:writeback \
+ *                --connections 8 --batch 512 --batches 200
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/suite.h"
+#include "coding/session.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/tracing.h"
+#include "serve/client.h"
+#include "trace/trace_source.h"
+
+using namespace predbus;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: predbus_load [options]\n"
+          "\n"
+          "  --unix PATH        connect to a Unix domain socket\n"
+          "  --host H           TCP host (default 127.0.0.1)\n"
+          "  --tcp-port P       TCP port\n"
+          "  --spec SPEC        codec spec (default window:8)\n"
+          "  --source SRC       value stream:\n"
+          "                       random[:N]          deterministic "
+          "PRNG (default,\n"
+          "                                           N=262144)\n"
+          "                       trace:FILE          .pbtr trace "
+          "replay\n"
+          "                       workload:NAME[:BUS] simulated "
+          "workload trace\n"
+          "                       (BUS: register|memory|address|"
+          "writeback)\n"
+          "  --mode M           encode | decode | roundtrip "
+          "(default)\n"
+          "  --connections C    parallel connections (default 4)\n"
+          "  --batch N          words per batch (default 256)\n"
+          "  --batches B        batches per connection (default: one "
+          "pass\n"
+          "                     over the stream)\n"
+          "  --metrics=FILE     write the load.* metrics report "
+          "JSON\n"
+          "  --help             this text\n";
+}
+
+struct Options
+{
+    std::string unix_path;
+    std::string host = "127.0.0.1";
+    int tcp_port = -1;
+    std::string spec = "window:8";
+    std::string source = "random";
+    std::string mode = "roundtrip";
+    unsigned connections = 4;
+    unsigned batch = 256;
+    unsigned batches = 0;  ///< 0: one pass over the stream
+    std::string metrics_file;
+};
+
+std::string
+argValue(int argc, char **argv, int &i, const std::string &flag)
+{
+    if (i + 1 >= argc)
+        fatal("missing value for ", flag);
+    return argv[++i];
+}
+
+unsigned
+parseUnsigned(const std::string &value, const std::string &flag)
+{
+    try {
+        return static_cast<unsigned>(std::stoul(value));
+    } catch (const std::exception &) {
+        fatal("bad ", flag, " value '", value, "'");
+    }
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (arg == "--unix") {
+            opt.unix_path = argValue(argc, argv, i, arg);
+        } else if (arg == "--host") {
+            opt.host = argValue(argc, argv, i, arg);
+        } else if (arg == "--tcp-port") {
+            opt.tcp_port = static_cast<int>(
+                parseUnsigned(argValue(argc, argv, i, arg), arg));
+        } else if (arg == "--spec") {
+            opt.spec = argValue(argc, argv, i, arg);
+        } else if (arg == "--source") {
+            opt.source = argValue(argc, argv, i, arg);
+        } else if (arg == "--mode") {
+            opt.mode = argValue(argc, argv, i, arg);
+        } else if (arg == "--connections") {
+            opt.connections =
+                parseUnsigned(argValue(argc, argv, i, arg), arg);
+        } else if (arg == "--batch") {
+            opt.batch =
+                parseUnsigned(argValue(argc, argv, i, arg), arg);
+        } else if (arg == "--batches") {
+            opt.batches =
+                parseUnsigned(argValue(argc, argv, i, arg), arg);
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            opt.metrics_file =
+                arg.substr(std::string("--metrics=").size());
+        } else {
+            fatal("unknown option '", arg, "' (see --help)");
+        }
+    }
+    if (opt.unix_path.empty() && opt.tcp_port < 0)
+        fatal("one of --unix/--tcp-port is required (see --help)");
+    if (opt.mode != "encode" && opt.mode != "decode" &&
+        opt.mode != "roundtrip")
+        fatal("bad --mode '", opt.mode,
+              "' (encode, decode, or roundtrip)");
+    if (opt.connections == 0 || opt.batch == 0)
+        fatal("--connections and --batch must be positive");
+    if (opt.batch > serve::protocol::kMaxBatchWords)
+        fatal("--batch over the protocol limit (",
+              serve::protocol::kMaxBatchWords, ")");
+    return opt;
+}
+
+trace::BusKind
+parseBus(const std::string &name)
+{
+    if (name == "register")
+        return trace::BusKind::Register;
+    if (name == "memory")
+        return trace::BusKind::Memory;
+    if (name == "address")
+        return trace::BusKind::Address;
+    if (name == "writeback")
+        return trace::BusKind::Writeback;
+    fatal("unknown bus '", name,
+          "' (register, memory, address, writeback)");
+}
+
+/** Materialize the replay stream named by --source. */
+std::vector<Word>
+loadStream(const std::string &source)
+{
+    if (source == "random")
+        return analysis::randomValues(1u << 18);
+    if (source.rfind("random:", 0) == 0) {
+        const unsigned n = parseUnsigned(
+            source.substr(std::string("random:").size()), "--source");
+        return analysis::randomValues(n);
+    }
+    if (source.rfind("trace:", 0) == 0) {
+        trace::FileTraceSource file(
+            source.substr(std::string("trace:").size()));
+        return trace::drain(file);
+    }
+    if (source.rfind("workload:", 0) == 0) {
+        std::string rest =
+            source.substr(std::string("workload:").size());
+        trace::BusKind bus = trace::BusKind::Writeback;
+        const std::size_t colon = rest.find(':');
+        if (colon != std::string::npos) {
+            bus = parseBus(rest.substr(colon + 1));
+            rest = rest.substr(0, colon);
+        }
+        const auto stream = analysis::openTrace(rest, bus);
+        return trace::drain(*stream);
+    }
+    fatal("bad --source '", source, "' (see --help)");
+}
+
+struct ConnStats
+{
+    u64 words = 0;
+    u64 batches = 0;
+    u64 rejects = 0;
+    u64 mismatches = 0;
+    bool failed = false;
+};
+
+/** One connection's replay loop. */
+void
+runConnection(const Options &opt, const std::vector<Word> &stream,
+              unsigned conn_index, ConnStats &out,
+              obs::Registry &registry)
+{
+    obs::Counter &m_batches = registry.counter("load.batches");
+    obs::Counter &m_words = registry.counter("load.words");
+    obs::Counter &m_rejects = registry.counter("load.rejects");
+    obs::Counter &m_mismatches = registry.counter("load.mismatches");
+    obs::Histogram &m_batch_ns = registry.histogram("load.batch_ns");
+
+    serve::Client client =
+        opt.unix_path.empty()
+            ? serve::Client::connectTcpSocket(
+                  opt.host, static_cast<u16>(opt.tcp_port))
+            : serve::Client::connectUnixSocket(opt.unix_path);
+
+    serve::ClientSession encoder = client.openOrThrow(opt.spec);
+    std::optional<serve::ClientSession> decoder;
+    coding::CodecSession local(opt.spec);  // pre-encoder for --mode decode
+    if (opt.mode == "roundtrip")
+        decoder = client.openOrThrow(opt.spec);
+
+    const unsigned total_batches =
+        opt.batches > 0
+            ? opt.batches
+            : static_cast<unsigned>(
+                  (stream.size() + opt.batch - 1) / opt.batch);
+
+    // Each connection starts at a different offset so concurrent
+    // sessions do not replay identical bytes in lock-step.
+    std::size_t pos =
+        (static_cast<std::size_t>(conn_index) * opt.batch * 17) %
+        std::max<std::size_t>(stream.size(), 1);
+
+    std::vector<Word> batch;
+    std::vector<u64> pre_encoded;
+    for (unsigned b = 0; b < total_batches; ++b) {
+        batch.clear();
+        for (unsigned i = 0; i < opt.batch; ++i) {
+            batch.push_back(stream[pos]);
+            pos = (pos + 1) % stream.size();
+        }
+
+        // In decode mode the stream is pre-encoded locally — exactly
+        // once per batch, outside the retry loop, so a shed batch is
+        // retried with identical wire states.
+        if (opt.mode == "decode") {
+            pre_encoded.clear();
+            local.encodeBatch(batch, pre_encoded);
+        }
+
+        // Retry overload sheds with a brief backoff; anything else
+        // fatal for this connection.
+        for (int attempt = 0;; ++attempt) {
+            const u64 t0 = obs::nowNs();
+            std::optional<serve::ServeError> error;
+            if (opt.mode == "decode") {
+                const auto result = encoder.decode(pre_encoded);
+                error = result.error;
+                if (result.ok()) {
+                    for (std::size_t i = 0; i < batch.size(); ++i) {
+                        if (result.data[i] != batch[i]) {
+                            ++out.mismatches;
+                            m_mismatches.inc();
+                        }
+                    }
+                }
+            } else {
+                const auto result = encoder.encode(batch);
+                error = result.error;
+                if (result.ok() && decoder) {
+                    const auto decoded = decoder->decode(result.data);
+                    if (decoded.ok()) {
+                        for (std::size_t i = 0; i < batch.size();
+                             ++i) {
+                            if (decoded.data[i] != batch[i]) {
+                                ++out.mismatches;
+                                m_mismatches.inc();
+                            }
+                        }
+                    } else {
+                        error = decoded.error;
+                    }
+                }
+            }
+
+            if (!error) {
+                m_batch_ns.record(
+                    static_cast<double>(obs::nowNs() - t0));
+                ++out.batches;
+                out.words += batch.size();
+                m_batches.inc();
+                m_words.inc(batch.size());
+                break;
+            }
+            if (error->code == serve::protocol::ErrCode::Overloaded &&
+                attempt < 100) {
+                ++out.rejects;
+                m_rejects.inc();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                continue;
+            }
+            logWarn("load: connection ", conn_index, " giving up: ",
+                    serve::protocol::errName(error->code), " (",
+                    error->message, ")");
+            out.failed = true;
+            return;
+        }
+    }
+
+    encoder.close();
+    if (decoder)
+        decoder->close();
+}
+
+int
+runMain(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    const std::vector<Word> stream = loadStream(opt.source);
+    if (stream.empty())
+        fatal("replay stream is empty");
+
+    obs::Registry &registry = obs::Registry::global();
+    std::vector<ConnStats> stats(opt.connections);
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+
+    const u64 t0 = obs::nowNs();
+    for (unsigned c = 0; c < opt.connections; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                runConnection(opt, stream, c, stats[c], registry);
+            } catch (const std::exception &e) {
+                logError("load: connection ", c, " failed: ",
+                         e.what());
+                stats[c].failed = true;
+            }
+            if (stats[c].failed)
+                failures.fetch_add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double elapsed =
+        static_cast<double>(obs::nowNs() - t0) / 1e9;
+
+    ConnStats total;
+    for (const ConnStats &s : stats) {
+        total.words += s.words;
+        total.batches += s.batches;
+        total.rejects += s.rejects;
+        total.mismatches += s.mismatches;
+    }
+    const obs::HistogramStats lat =
+        registry.histogram("load.batch_ns").stats();
+
+    std::printf("predbus_load  spec=%s  mode=%s  source=%s  "
+                "connections=%u  batch=%u\n",
+                opt.spec.c_str(), opt.mode.c_str(),
+                opt.source.c_str(), opt.connections, opt.batch);
+    std::printf("  words %llu  batches %llu  rejects %llu  "
+                "mismatches %llu  elapsed %.3fs\n",
+                static_cast<unsigned long long>(total.words),
+                static_cast<unsigned long long>(total.batches),
+                static_cast<unsigned long long>(total.rejects),
+                static_cast<unsigned long long>(total.mismatches),
+                elapsed);
+    std::printf("  throughput %.0f words/s\n",
+                elapsed > 0.0
+                    ? static_cast<double>(total.words) / elapsed
+                    : 0.0);
+    std::printf("  batch latency ms  p50 %.3f  p95 %.3f  p99 %.3f\n",
+                lat.p50 / 1e6, lat.p95 / 1e6, lat.p99 / 1e6);
+
+    if (!opt.metrics_file.empty()) {
+        obs::ReportContext ctx;
+        ctx.tool = "predbus_load";
+        ctx.config = {
+            {"spec", opt.spec},
+            {"mode", opt.mode},
+            {"source", opt.source},
+            {"connections", std::to_string(opt.connections)},
+            {"batch", std::to_string(opt.batch)},
+        };
+        std::ofstream os(opt.metrics_file);
+        if (!os)
+            fatal("cannot write ", opt.metrics_file);
+        writeMetricsReport(os, ctx, registry);
+        logInfo("wrote metrics report ", opt.metrics_file);
+    }
+
+    if (failures.load() > 0 || total.mismatches > 0)
+        return 1;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const FatalError &e) {
+        logError("predbus_load: ", e.what());
+        return 1;
+    } catch (const PanicError &e) {
+        logError("predbus_load: internal error: ", e.what());
+        return 2;
+    }
+}

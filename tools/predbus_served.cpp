@@ -1,0 +1,201 @@
+/**
+ * @file
+ * predbus_served — the stateful bus-transcoding daemon.
+ *
+ * Serves the predbus framing protocol (docs/SERVING.md) over a Unix
+ * domain socket and/or TCP: per-session encoder/decoder FSM pairs
+ * built from src/coding factory specs, a fixed worker pool over a
+ * bounded request queue (explicit OVERLOADED sheds, never unbounded
+ * buffering), checksum-based desync detection with a RESYNC recovery
+ * handshake, and graceful drain on SIGTERM/SIGINT — in-flight batches
+ * complete, responses are flushed, then the process exits 0.
+ *
+ *   predbus_served --unix /tmp/predbus.sock
+ *   predbus_served --tcp 7411 --workers 8 --queue 512
+ *   predbus_served --tcp 0 --metrics=serve-metrics.json
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "serve/server.h"
+
+using namespace predbus;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: predbus_served [options]\n"
+          "\n"
+          "  --unix PATH       listen on a Unix domain socket\n"
+          "  --tcp PORT        listen on 127.0.0.1:PORT (0 = "
+          "ephemeral,\n"
+          "                    resolved port printed on startup)\n"
+          "  --workers N       worker pool size (default: hardware "
+          "threads)\n"
+          "  --queue N         bounded request-queue capacity "
+          "(default 256)\n"
+          "  --max-pending N   per-connection pending cap (default "
+          "32)\n"
+          "  --max-sessions N  per-connection session cap (default "
+          "64)\n"
+          "  --metrics=FILE    write the serve.* metrics report JSON "
+          "on exit\n"
+          "  --help            this text\n"
+          "\n"
+          "At least one of --unix/--tcp is required. SIGTERM/SIGINT "
+          "drain\n"
+          "gracefully: in-flight batches complete before exit.\n";
+}
+
+struct Options
+{
+    serve::ServerOptions server;
+    std::string metrics_file;
+};
+
+std::string
+argValue(int argc, char **argv, int &i, const std::string &flag)
+{
+    if (i + 1 >= argc)
+        fatal("missing value for ", flag);
+    return argv[++i];
+}
+
+unsigned
+parseUnsigned(const std::string &value, const std::string &flag)
+{
+    try {
+        return static_cast<unsigned>(std::stoul(value));
+    } catch (const std::exception &) {
+        fatal("bad ", flag, " value '", value, "'");
+    }
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (arg == "--unix") {
+            opt.server.unix_path = argValue(argc, argv, i, arg);
+        } else if (arg == "--tcp") {
+            opt.server.tcp_port = static_cast<int>(
+                parseUnsigned(argValue(argc, argv, i, arg), arg));
+        } else if (arg == "--workers") {
+            opt.server.workers =
+                parseUnsigned(argValue(argc, argv, i, arg), arg);
+        } else if (arg == "--queue") {
+            opt.server.queue_capacity =
+                parseUnsigned(argValue(argc, argv, i, arg), arg);
+        } else if (arg == "--max-pending") {
+            opt.server.max_pending =
+                parseUnsigned(argValue(argc, argv, i, arg), arg);
+        } else if (arg == "--max-sessions") {
+            opt.server.max_sessions =
+                parseUnsigned(argValue(argc, argv, i, arg), arg);
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            opt.metrics_file =
+                arg.substr(std::string("--metrics=").size());
+        } else {
+            fatal("unknown option '", arg, "' (see --help)");
+        }
+    }
+    if (opt.server.unix_path.empty() && opt.server.tcp_port < 0)
+        fatal("one of --unix/--tcp is required (see --help)");
+    return opt;
+}
+
+// Self-pipe: the handler is async-signal-safe, the main thread blocks
+// on the read end until a shutdown signal arrives.
+int signal_pipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(signal_pipe[1], &byte, 1);
+}
+
+int
+runMain(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    if (::pipe(signal_pipe) != 0)
+        fatal("cannot create signal pipe");
+    struct sigaction sa
+    {
+    };
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    serve::Server server(opt.server);
+    std::cout << "predbus_served listening"
+              << (opt.server.unix_path.empty()
+                      ? ""
+                      : " unix=" + opt.server.unix_path)
+              << (opt.server.tcp_port < 0
+                      ? ""
+                      : " tcp=" + std::to_string(server.tcpPort()))
+              << std::endl;
+
+    char byte = 0;
+    while (::read(signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    logInfo("serve: shutdown signal received, draining");
+    server.beginDrain();
+    server.waitDrained();
+    server.stop();
+    logInfo("serve: drained, exiting");
+
+    if (!opt.metrics_file.empty()) {
+        obs::ReportContext ctx;
+        ctx.tool = "predbus_served";
+        ctx.config = {
+            {"unix", opt.server.unix_path},
+            {"tcp", std::to_string(server.tcpPort())},
+            {"queue", std::to_string(opt.server.queue_capacity)},
+        };
+        std::ofstream os(opt.metrics_file);
+        if (!os)
+            fatal("cannot write ", opt.metrics_file);
+        writeMetricsReport(os, ctx, obs::Registry::global());
+        logInfo("wrote metrics report ", opt.metrics_file);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const FatalError &e) {
+        logError("predbus_served: ", e.what());
+        return 1;
+    } catch (const PanicError &e) {
+        logError("predbus_served: internal error: ", e.what());
+        return 2;
+    }
+}

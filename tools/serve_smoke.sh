@@ -1,0 +1,51 @@
+#!/bin/sh
+# End-to-end smoke for the serving pipeline:
+#   1. start predbus_served on a Unix socket,
+#   2. replay a deterministic random stream through predbus_load
+#      (roundtrip mode verifies losslessness batch by batch),
+#   3. SIGTERM the server and require a graceful, zero-status drain.
+# Usage: tools/serve_smoke.sh path/to/predbus_served path/to/predbus_load
+set -e
+
+SERVED=${1:?predbus_served path required}
+LOAD=${2:?predbus_load path required}
+
+DIR=$(mktemp -d)
+SOCK="$DIR/predbus.sock"
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$SERVED" --unix "$SOCK" --workers 2 --queue 64 \
+    --metrics="$DIR/serve-metrics.json" > "$DIR/served.out" &
+SERVER_PID=$!
+
+# Wait for the socket to appear (the server prints its listening line
+# only after the listeners are bound).
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve_smoke: server did not come up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$LOAD" --unix "$SOCK" --spec window:8 --source random:8192 \
+    --connections 2 --batch 256 --mode roundtrip
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+STATUS=$?
+SERVER_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "serve_smoke: server exited $STATUS on SIGTERM" >&2
+    exit 1
+fi
+
+# The drain wrote a metrics report; require valid JSON.
+python3 -m json.tool "$DIR/serve-metrics.json" > /dev/null
+echo "serve_smoke: OK"
