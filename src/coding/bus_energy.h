@@ -27,10 +27,18 @@ class BusEnergyMeter
     /** Account the transition from the previous state to @p state. */
     void observe(u64 state);
 
+    /** Account a span of consecutive states: equal to observe() per
+     * element, with the running state and totals kept in locals. */
+    void observeSpan(const u64 *states, std::size_t n);
+    void observeSpan(const Word *values, std::size_t n);
+
     const EnergyCount &count() const { return total; }
     void reset();
 
   private:
+    template <typename T>
+    void observeSpanImpl(const T *states, std::size_t n);
+
     unsigned width;
     u64 prev = 0;
     bool first = true;
@@ -74,18 +82,26 @@ class StreamingEvaluator
     explicit StreamingEvaluator(Transcoder &codec,
                                 bool verify_decode = false);
 
-    /** Process the next chunk of the trace. */
+    /** Process the next chunk of the trace. Internally batched
+     * through the codec's span API in fixed-size pieces, so callers
+     * may feed any granularity without a throughput penalty. */
     void feed(std::span<const Word> values);
 
     /** Totals over everything fed so far. */
     CodingResult result() const;
 
   private:
+    /** Span batching granularity: large enough to amortize dispatch,
+     * small enough to keep the scratch buffers in L2. */
+    static constexpr std::size_t kFeedChunk = 8192;
+
     Transcoder &codec;
     bool verify;
     BusEnergyMeter base_meter;
     BusEnergyMeter coded_meter;
     u64 words = 0;
+    std::vector<u64> enc_buf;
+    std::vector<Word> dec_buf;
 };
 
 /**

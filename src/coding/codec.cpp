@@ -6,6 +6,28 @@ namespace predbus::coding
 {
 
 void
+Transcoder::encodeSpan(const Word *in, u64 *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = encode(in[i]);
+}
+
+void
+Transcoder::decodeSpan(const u64 *in, Word *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = decode(in[i]);
+}
+
+void
+Transcoder::reset()
+{
+    resetState();
+    op_counts = OpCounts{};
+    published = OpCounts{};
+}
+
+void
 Transcoder::setStatsSink(obs::Registry &registry,
                          const std::string &prefix)
 {

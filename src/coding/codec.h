@@ -26,6 +26,7 @@
 #ifndef PREDBUS_CODING_CODEC_H
 #define PREDBUS_CODING_CODEC_H
 
+#include <cstddef>
 #include <string>
 
 #include "common/types.h"
@@ -59,6 +60,25 @@ struct OpCounts
     u64 raw_sends = 0;     ///< words sent unencoded (raw / raw-inverted)
     u64 hits = 0;          ///< dictionary or predictor hits
     u64 last_hits = 0;     ///< repeats coded as code 0
+
+    OpCounts &
+    operator+=(const OpCounts &o)
+    {
+        cycles += o.cycles;
+        matches += o.matches;
+        shifts += o.shifts;
+        counter_incs += o.counter_incs;
+        compares += o.compares;
+        swaps += o.swaps;
+        divisions += o.divisions;
+        raw_sends += o.raw_sends;
+        hits += o.hits;
+        last_hits += o.last_hits;
+        return *this;
+    }
+
+    friend bool operator==(const OpCounts &, const OpCounts &) =
+        default;
 };
 
 /** Counted wire events over a run (paper Eqs. 2-3). */
@@ -102,8 +122,29 @@ class Transcoder
     /** Advance the decoder with a wire state; returns the value. */
     virtual Word decode(u64 wire_state) = 0;
 
-    /** Reset both FSMs and the operation counters. */
-    virtual void reset() = 0;
+    /**
+     * Batch encode: out[i] is exactly what encode(in[i]) would have
+     * returned word by word — wire states, operation counts, and FSM
+     * evolution are byte-identical to the per-word path. The base
+     * implementation is a scalar loop over encode(); the hot codec
+     * families override it with tight batch loops (state cached in
+     * locals, no per-word virtual dispatch, SIMD dictionary probes
+     * where available). @p in and @p out must not alias and must hold
+     * @p n elements.
+     */
+    virtual void encodeSpan(const Word *in, u64 *out, std::size_t n);
+
+    /** Batch decode; same equivalence contract as encodeSpan(). */
+    virtual void decodeSpan(const u64 *in, Word *out, std::size_t n);
+
+    /**
+     * Reset both FSMs and the operation counters, and re-baseline the
+     * stats sink: a reused transcoder's next flushStats() publishes
+     * only ops performed after the reset (never a stale delta).
+     * Non-virtual on purpose — codecs reset their FSM state in
+     * resetState() and can't forget the counter/baseline part.
+     */
+    void reset();
 
     /**
      * Spatial-style coders with more than 64 wires meter their own
@@ -129,9 +170,9 @@ class Transcoder
 
     bool hasStatsSink() const { return stats.attached; }
 
-    /** Mark the current op counters as already published (call after
-     * reset() so a reused transcoder's next flush reports only the
-     * new run). */
+    /** Mark the current op counters as already published. reset()
+     * re-baselines automatically; this remains for callers that
+     * adopt a transcoder mid-run without resetting it. */
     void syncStatsBaseline() { published = op_counts; }
 
     /** Publish op-count deltas since the last flush (no-op without a
@@ -139,6 +180,10 @@ class Transcoder
     void flushStats();
 
   protected:
+    /** Reset the codec's FSM state (both ends). The public reset()
+     * clears op_counts and the publish baseline afterwards. */
+    virtual void resetState() = 0;
+
     OpCounts op_counts;
 
   private:

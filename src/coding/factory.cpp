@@ -35,7 +35,23 @@ class RawBus : public Transcoder
         return static_cast<Word>(wire_state);
     }
 
-    void reset() override { op_counts = OpCounts{}; }
+    void
+    encodeSpan(const Word *in, u64 *out, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = in[i];
+        op_counts.cycles += n;
+    }
+
+    void
+    decodeSpan(const u64 *in, Word *out, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = static_cast<Word>(in[i]);
+    }
+
+  protected:
+    void resetState() override {}
 };
 
 } // namespace

@@ -91,12 +91,60 @@ InversionCoder::decode(u64 wire_state)
            patterns[static_cast<std::size_t>(index)];
 }
 
+// Batch loops keep the wire state and pattern table pointer in
+// registers across the span; the pattern-selection arithmetic is the
+// same double-precision comparison as encode(), so the chosen states
+// are identical.
 void
-InversionCoder::reset()
+InversionCoder::encodeSpan(const Word *in, u64 *out, std::size_t n)
+{
+    u64 state = enc_state;
+    const Word *pat = patterns.data();
+    const std::size_t n_pat = patterns.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Word value = in[i];
+        u64 best_state = 0;
+        double best_cost = 0.0;
+        for (std::size_t j = 0; j < n_pat; ++j) {
+            const u64 data = u64{value ^ pat[j]};
+            const u64 cand = data | (u64{j} << kDataWidth);
+            const double cost = transitionCost(state, cand, total_width,
+                                               assumed_lambda);
+            if (j == 0 || cost < best_cost) {
+                best_cost = cost;
+                best_state = cand;
+            }
+        }
+        state = best_state;
+        out[i] = best_state;
+    }
+    op_counts.cycles += n;
+    op_counts.compares += n * n_pat;
+    op_counts.raw_sends += n;
+    enc_state = state;
+}
+
+void
+InversionCoder::decodeSpan(const u64 *in, Word *out, std::size_t n)
+{
+    const Word *pat = patterns.data();
+    const std::size_t n_pat = patterns.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const u64 wire_state = in[i];
+        const u64 index = wire_state >> kDataWidth;
+        panicIf(index >= n_pat, "inversion: bad pattern index");
+        out[i] = static_cast<Word>(wire_state & kDataMask) ^
+                 pat[static_cast<std::size_t>(index)];
+    }
+    if (n)
+        dec_state = in[n - 1];
+}
+
+void
+InversionCoder::resetState()
 {
     enc_state = 0;
     dec_state = 0;
-    op_counts = OpCounts{};
 }
 
 } // namespace predbus::coding

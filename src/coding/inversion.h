@@ -37,7 +37,11 @@ class InversionCoder : public Transcoder
     unsigned width() const override { return total_width; }
     u64 encode(Word value) override;
     Word decode(u64 wire_state) override;
-    void reset() override;
+    void encodeSpan(const Word *in, u64 *out, std::size_t n) override;
+    void decodeSpan(const u64 *in, Word *out, std::size_t n) override;
+
+  protected:
+    void resetState() override;
 
   private:
     std::vector<Word> patterns;

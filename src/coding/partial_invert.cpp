@@ -93,12 +93,26 @@ PartialBusInvert::decode(u64 wire_state)
     return static_cast<Word>(value);
 }
 
+// Devirtualized batch loops over the per-word paths.
 void
-PartialBusInvert::reset()
+PartialBusInvert::encodeSpan(const Word *in, u64 *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = PartialBusInvert::encode(in[i]);
+}
+
+void
+PartialBusInvert::decodeSpan(const u64 *in, Word *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = PartialBusInvert::decode(in[i]);
+}
+
+void
+PartialBusInvert::resetState()
 {
     enc_state = 0;
     dec_state = 0;
-    op_counts = OpCounts{};
 }
 
 } // namespace predbus::coding

@@ -29,7 +29,11 @@ class PartialBusInvert : public Transcoder
     unsigned width() const override { return kDataWidth + n_groups; }
     u64 encode(Word value) override;
     Word decode(u64 wire_state) override;
-    void reset() override;
+    void encodeSpan(const Word *in, u64 *out, std::size_t n) override;
+    void decodeSpan(const u64 *in, Word *out, std::size_t n) override;
+
+  protected:
+    void resetState() override;
 
   private:
     double transitionCostBits(u64 candidate, unsigned span,

@@ -121,19 +121,113 @@ class PredictiveTranscoder : public Transcoder
         return value;
     }
 
+    /**
+     * Batch encoder: the same per-word algorithm with the FSM scalars
+     * (wire state, LAST value) held in locals for the whole span, the
+     * dictionary probe inlined (no virtual dispatch per word), and op
+     * counts accumulated locally and folded in once. Byte-identical
+     * to encode() word by word.
+     */
     void
-    reset() override
+    encodeSpan(const Word *in, u64 *out, std::size_t n) override
+    {
+        u64 state = enc_state;
+        Word last = enc_last;
+        bool has_last = enc_has_last;
+        OpCounts ops;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Word value = in[i];
+            ++ops.cycles;
+            const bool is_repeat = has_last && value == last;
+            const LookupResult res = enc_dict.access(value, &ops);
+            if (is_repeat) {
+                ++ops.last_hits;
+            } else if (res.hit && res.index < kMaxCodePoints) {
+                const u64 code_state =
+                    withCtl((state ^ codeVector(res.index)) & kDataMask,
+                            CtlState::Code);
+                if (cost_aware) {
+                    const u64 raw_state =
+                        chooseRawState(state, value, lambda);
+                    const double code_cost = transitionCost(
+                        state, code_state, kCodedWidth, lambda);
+                    const double raw_cost = transitionCost(
+                        state, raw_state, kCodedWidth, lambda);
+                    if (raw_cost < code_cost) {
+                        ++ops.raw_sends;
+                        state = raw_state;
+                    } else {
+                        ++ops.hits;
+                        state = code_state;
+                    }
+                } else {
+                    ++ops.hits;
+                    state = code_state;
+                }
+            } else {
+                ++ops.raw_sends;
+                state = chooseRawState(state, value, lambda);
+            }
+            last = value;
+            has_last = true;
+            out[i] = state;
+        }
+        enc_state = state;
+        enc_last = last;
+        enc_has_last = has_last;
+        op_counts += ops;
+    }
+
+    void
+    decodeSpan(const u64 *in, Word *out, std::size_t n) override
+    {
+        u64 state = dec_state;
+        Word last = dec_last;
+        bool has_last = dec_has_last;
+        using Kind = DecodedCodeword::Kind;
+        for (std::size_t i = 0; i < n; ++i) {
+            const u64 wire_state = in[i];
+            const auto decoded = interpret(wire_state, state);
+            panicIf(!decoded, scheme, ": undecodable wire state");
+            Word value = 0;
+            switch (decoded->kind) {
+              case Kind::LastValue:
+                panicIf(!has_last, scheme,
+                        ": LAST code with no history");
+                value = last;
+                break;
+              case Kind::Dictionary:
+                value = dec_dict.valueAt(decoded->index);
+                break;
+              case Kind::Raw:
+              case Kind::RawInverted:
+                value = decoded->raw;
+                break;
+            }
+            dec_dict.access(value, nullptr);
+            state = wire_state;
+            last = value;
+            has_last = true;
+            out[i] = value;
+        }
+        dec_state = state;
+        dec_last = last;
+        dec_has_last = has_last;
+    }
+
+    /** Dictionary access for tests/telemetry (encoder side). */
+    const Dict &dictionary() const { return enc_dict; }
+
+  protected:
+    void
+    resetState() override
     {
         enc_dict.reset();
         dec_dict.reset();
         enc_state = dec_state = 0;
         enc_has_last = dec_has_last = false;
         enc_last = dec_last = 0;
-        op_counts = OpCounts{};
     }
-
-    /** Dictionary access for tests/telemetry (encoder side). */
-    const Dict &dictionary() const { return enc_dict; }
 
   private:
     std::string scheme;

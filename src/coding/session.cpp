@@ -2,6 +2,7 @@
 
 #include "coding/factory.h"
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace predbus::coding
 {
@@ -21,33 +22,50 @@ void
 CodecSession::encodeBatch(std::span<const Word> values,
                           std::vector<u64> &out)
 {
-    out.reserve(out.size() + values.size());
-    for (const Word value : values) {
-        const u64 state = transcoder->encode(value);
-        sum = checksumFold(sum, state);
-        out.push_back(state);
-    }
+    const std::size_t base = out.size();
+    out.resize(base + values.size());
+    transcoder->encodeSpan(values.data(), out.data() + base,
+                           values.size());
+    for (std::size_t i = base; i < out.size(); ++i)
+        sum = checksumFold(sum, out[i]);
     ++seq_no;
+    if (m_batches) {
+        m_encode_words->inc(values.size());
+        m_batches->inc();
+    }
 }
 
 void
 CodecSession::decodeBatch(std::span<const u64> states,
                           std::vector<Word> &out)
 {
-    out.reserve(out.size() + states.size());
-    for (const u64 state : states) {
-        const Word value = transcoder->decode(state);
-        sum = checksumFold(sum, value);
-        out.push_back(value);
-    }
+    const std::size_t base = out.size();
+    out.resize(base + states.size());
+    transcoder->decodeSpan(states.data(), out.data() + base,
+                           states.size());
+    for (std::size_t i = base; i < out.size(); ++i)
+        sum = checksumFold(sum, out[i]);
     ++seq_no;
+    if (m_batches) {
+        m_decode_words->inc(states.size());
+        m_batches->inc();
+    }
+}
+
+void
+CodecSession::attachSpanMetrics(obs::Registry &registry)
+{
+    m_encode_words = &registry.counter("coding.span.encode_words");
+    m_decode_words = &registry.counter("coding.span.decode_words");
+    m_batches = &registry.counter("coding.span.batches");
 }
 
 void
 CodecSession::resync()
 {
+    // reset() also re-baselines the stats sink, so a post-resync
+    // flushStats() publishes only new-epoch operations.
     transcoder->reset();
-    transcoder->syncStatsBaseline();
     seq_no = 0;
     sum = kChecksumSeed;
     ++epoch_no;

@@ -30,6 +30,12 @@
 
 #include "coding/codec.h"
 
+namespace predbus::obs
+{
+class Counter;
+class Registry;
+}
+
 namespace predbus::coding
 {
 
@@ -72,19 +78,28 @@ class CodecSession
 
     /**
      * Encode @p values, appending one wire state per value to @p out.
-     * Advances the sequence number by one and folds each produced
-     * state into the checksum.
+     * The whole payload goes through the transcoder's encodeSpan()
+     * batch path; the checksum is folded over the produced span.
+     * Advances the sequence number by one.
      */
     void encodeBatch(std::span<const Word> values,
                      std::vector<u64> &out);
 
     /**
-     * Decode @p states, appending one value per state to @p out.
-     * Advances the sequence number and folds each decoded value
-     * (zero-extended) into the checksum.
+     * Decode @p states, appending one value per state to @p out via
+     * decodeSpan(). Advances the sequence number and folds each
+     * decoded value (zero-extended) into the checksum.
      */
     void decodeBatch(std::span<const u64> states,
                      std::vector<Word> &out);
+
+    /**
+     * Optional metrics: once attached, batches count into the
+     * coding.span.encode_words / coding.span.decode_words /
+     * coding.span.batches counters of @p registry. Counters are
+     * shared across all attached sessions of the registry.
+     */
+    void attachSpanMetrics(obs::Registry &registry);
 
     /**
      * Recovery handshake: reset both FSMs to their initial state,
@@ -99,6 +114,9 @@ class CodecSession
     u64 seq_no = 0;
     u64 sum = kChecksumSeed;
     u32 epoch_no = 0;
+    obs::Counter *m_encode_words = nullptr;
+    obs::Counter *m_decode_words = nullptr;
+    obs::Counter *m_batches = nullptr;
 };
 
 } // namespace predbus::coding

@@ -63,12 +63,11 @@ SpatialCoder::decode(u64 wire_state)
 }
 
 void
-SpatialCoder::reset()
+SpatialCoder::resetState()
 {
     count = EnergyCount{};
     enc_cur = 0;
     enc_first = true;
-    op_counts = OpCounts{};
 }
 
 } // namespace predbus::coding

@@ -29,10 +29,12 @@ class SpatialCoder : public Transcoder
      * opaque token (the one-hot position). */
     u64 encode(Word value) override;
     Word decode(u64 wire_state) override;
-    void reset() override;
 
     bool metersInternally() const override { return true; }
     EnergyCount internalCount() const override { return count; }
+
+  protected:
+    void resetState() override;
 
   private:
     unsigned in_bits;

@@ -23,9 +23,8 @@ StrideTranscoder::name() const
 void
 StrideTranscoder::Fsm::push(Word v)
 {
-    for (std::size_t i = history.size(); i-- > 1;)
-        history[i] = history[i - 1];
-    history[0] = v;
+    head = head == 0 ? history.size() - 1 : head - 1;
+    history[head] = v;
     if (filled < history.size())
         ++filled;
     last = v;
@@ -37,8 +36,8 @@ StrideTranscoder::Fsm::predict(unsigned k, Word &out) const
 {
     if (filled < 2 * k)
         return false;
-    const Word recent = history[k - 1];
-    const Word older = history[2 * k - 1];
+    const Word recent = at(k - 1);
+    const Word older = at(2 * k - 1);
     out = recent + (recent - older);
     return true;
 }
@@ -104,14 +103,29 @@ StrideTranscoder::decode(u64 wire_state)
     return value;
 }
 
+// Devirtualized batch loops: qualified calls inline the per-word
+// paths, so the span costs one virtual dispatch total.
 void
-StrideTranscoder::reset()
+StrideTranscoder::encodeSpan(const Word *in, u64 *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = StrideTranscoder::encode(in[i]);
+}
+
+void
+StrideTranscoder::decodeSpan(const u64 *in, Word *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = StrideTranscoder::decode(in[i]);
+}
+
+void
+StrideTranscoder::resetState()
 {
     enc = Fsm{};
     dec = Fsm{};
     enc.history.assign(2 * K, 0);
     dec.history.assign(2 * K, 0);
-    op_counts = OpCounts{};
 }
 
 } // namespace predbus::coding

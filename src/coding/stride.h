@@ -30,18 +30,38 @@ class StrideTranscoder : public Transcoder
     unsigned width() const override { return kCodedWidth; }
     u64 encode(Word value) override;
     Word decode(u64 wire_state) override;
-    void reset() override;
+    void encodeSpan(const Word *in, u64 *out, std::size_t n) override;
+    void decodeSpan(const u64 *in, Word *out, std::size_t n) override;
 
     unsigned strides() const { return K; }
 
+  protected:
+    void resetState() override;
+
   private:
+    /**
+     * Ring buffer of the last 2K values: push writes one slot and
+     * moves the head instead of shifting all 2K entries (what the
+     * hardware shift register does, but O(1) in software).
+     */
     struct Fsm
     {
-        std::vector<Word> history;  ///< [0] = most recent
+        std::vector<Word> history;
+        std::size_t head = 0;       ///< index of the most recent value
         std::size_t filled = 0;
         u64 state = 0;
         Word last = 0;
         bool has_last = false;
+
+        /** The @p offset -th most recent value (0 = newest). */
+        Word
+        at(std::size_t offset) const
+        {
+            std::size_t i = head + offset;
+            if (i >= history.size())
+                i -= history.size();
+            return history[i];
+        }
 
         void push(Word v);
         /** Prediction for interval k; false if history too short. */

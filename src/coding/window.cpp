@@ -1,14 +1,348 @@
 #include "coding/window.h"
 
+#include <algorithm>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 namespace predbus::coding
 {
+
+namespace
+{
+
+using ProbeFn = int (*)(const Word *, unsigned, Word);
+
+int
+probeScalar(const Word *vals, unsigned filled, Word v)
+{
+    for (unsigned i = 0; i < filled; ++i)
+        if (vals[i] == v)
+            return static_cast<int>(i);
+    return -1;
+}
+
+#if defined(__x86_64__)
+// The vals array is padded to whole 8-lane blocks, so the unaligned
+// loads never run past the allocation; lanes at or beyond `filled`
+// are masked out of the match bitmap (padding holds zeros, which a
+// probe for value 0 must not hit).
+__attribute__((target("avx2"))) int
+probeAvx2(const Word *vals, unsigned filled, Word v)
+{
+    const __m256i needle = _mm256_set1_epi32(static_cast<int>(v));
+    for (unsigned b = 0; b < filled; b += 8) {
+        const __m256i block = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(vals + b));
+        unsigned mask =
+            static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(
+                _mm256_cmpeq_epi32(block, needle))));
+        const unsigned remain = filled - b;
+        if (remain < 8)
+            mask &= (1u << remain) - 1u;
+        if (mask)
+            return static_cast<int>(b + __builtin_ctz(mask));
+    }
+    return -1;
+}
+#endif
+
+ProbeFn
+pickProbe()
+{
+#if defined(__x86_64__)
+    if (__builtin_cpu_supports("avx2"))
+        return probeAvx2;
+#endif
+    return probeScalar;
+}
+
+const ProbeFn g_probe = pickProbe();
+
+// Integer transition cost at lambda == 1: tau and kappa are exact
+// small integers (<= 67), so comparing their integer sums decides
+// exactly like comparing the doubles tau + 1.0 * kappa — the fused
+// kernels use this to keep the raw-choice math off the FPU in the
+// (default) lambda == 1 configuration.
+inline int
+costAtUnitLambda(u64 from, u64 to)
+{
+    return hammingDistance(from, to) +
+           couplingEvents(from, to, kCodedWidth);
+}
+
+inline u64
+chooseRawStateUnitLambda(u64 cur, Word value)
+{
+    const u64 cand_raw = withCtl(value, CtlState::Raw);
+    const u64 cand_inv =
+        withCtl(~u64{value} & kDataMask, CtlState::RawInv);
+    return costAtUnitLambda(cur, cand_raw) <=
+                   costAtUnitLambda(cur, cand_inv)
+               ? cand_raw
+               : cand_inv;
+}
+
+// State-update steps shared by every fused kernel. These are the
+// exact computations PredictiveTranscoder::encode() performs on a
+// dictionary hit / miss; keeping them in one place guarantees the
+// scalar, AVX2, and register-resident kernels stay byte-identical.
+inline void
+applyHit(u64 &state, unsigned idx, OpCounts &ops, Word value,
+         double lambda, bool cost_aware, bool unit_lambda)
+{
+    const u64 code_state = withCtl(
+        (state ^ codeVector(idx)) & kDataMask, CtlState::Code);
+    if (cost_aware) {
+        const u64 raw_state =
+            unit_lambda ? chooseRawStateUnitLambda(state, value)
+                        : chooseRawState(state, value, lambda);
+        bool raw_cheaper;
+        if (unit_lambda) {
+            raw_cheaper = costAtUnitLambda(state, raw_state) <
+                          costAtUnitLambda(state, code_state);
+        } else {
+            raw_cheaper =
+                transitionCost(state, raw_state, kCodedWidth, lambda) <
+                transitionCost(state, code_state, kCodedWidth, lambda);
+        }
+        if (raw_cheaper) {
+            ++ops.raw_sends;
+            state = raw_state;
+        } else {
+            ++ops.hits;
+            state = code_state;
+        }
+    } else {
+        ++ops.hits;
+        state = code_state;
+    }
+}
+
+inline void
+applyMiss(u64 &state, OpCounts &ops, Word value, double lambda,
+          bool unit_lambda)
+{
+    ++ops.raw_sends;
+    state = unit_lambda ? chooseRawStateUnitLambda(state, value)
+                        : chooseRawState(state, value, lambda);
+}
+
+// The fused span kernels: WindowDict::access() and the predictive
+// encode logic in one loop, FSM scalars and dictionary cursor in
+// locals, op counts batched. The bodies must stay identical except
+// for the probe — the AVX2 variants are additionally compiled with
+// popcnt, so the transition-cost popcounts become single
+// instructions (results are bit-identical; only the instruction
+// selection changes). Counter and update ordering matches
+// PredictiveTranscoder::encode() + WindowDict::access().
+
+// A repeat (value == last) always probes as a hit — the previous
+// access of the same value either hit (no dictionary change) or
+// inserted it, and hits never mutate the dictionary — so the repeat
+// fast path below skips the probe and insert entirely; only the
+// matches counter (which access() bumps unconditionally) and the
+// last-hit counter advance. This is byte-identical to the per-word
+// path, which probes on repeats but is guaranteed a hit.
+#define PREDBUS_WINDOW_SPAN_BODY(PROBE)                                \
+    const bool unit_lambda = lambda == 1.0;                            \
+    u64 state = state_ref;                                             \
+    Word last = last_ref;                                              \
+    bool has_last = has_last_ref;                                      \
+    unsigned filled = filled_ref;                                      \
+    unsigned head = head_ref;                                          \
+    OpCounts ops;                                                      \
+    for (std::size_t i = 0; i < n_words; ++i) {                        \
+        const Word value = in[i];                                      \
+        ++ops.cycles;                                                  \
+        ++ops.matches;                                                 \
+        if (has_last && value == last) {                               \
+            ++ops.last_hits;                                           \
+            out[i] = state;                                            \
+            continue;                                                  \
+        }                                                              \
+        const int idx = PROBE(vals, filled, value);                    \
+        if (idx >= 0) {                                                \
+            applyHit(state, static_cast<unsigned>(idx), ops, value,    \
+                     lambda, cost_aware, unit_lambda);                 \
+        } else {                                                       \
+            vals[head] = value;                                        \
+            head = head + 1 == wn ? 0 : head + 1;                      \
+            if (filled < wn)                                           \
+                ++filled;                                              \
+            ++ops.shifts;                                              \
+            applyMiss(state, ops, value, lambda, unit_lambda);         \
+        }                                                              \
+        last = value;                                                  \
+        has_last = true;                                               \
+        out[i] = state;                                                \
+    }                                                                  \
+    state_ref = state;                                                 \
+    last_ref = last;                                                   \
+    has_last_ref = has_last;                                           \
+    filled_ref = filled;                                               \
+    head_ref = head;                                                   \
+    ops_out += ops;
+
+void
+winSpanScalar(Word *vals, unsigned wn, unsigned &filled_ref,
+              unsigned &head_ref, const Word *in, u64 *out,
+              std::size_t n_words, u64 &state_ref, Word &last_ref,
+              bool &has_last_ref, OpCounts &ops_out, double lambda,
+              bool cost_aware)
+{
+    PREDBUS_WINDOW_SPAN_BODY(probeScalar)
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2,popcnt"))) void
+winSpanAvx2(Word *vals, unsigned wn, unsigned &filled_ref,
+            unsigned &head_ref, const Word *in, u64 *out,
+            std::size_t n_words, u64 &state_ref, Word &last_ref,
+            bool &has_last_ref, OpCounts &ops_out, double lambda,
+            bool cost_aware)
+{
+    PREDBUS_WINDOW_SPAN_BODY(probeAvx2)
+}
+
+// Blend selectors for the register-resident kernel: row h has lane h
+// all-ones, so blendv writes exactly the head lane.
+alignas(32) constexpr u32 kLaneMask[8][8] = {
+    {~0u, 0, 0, 0, 0, 0, 0, 0}, {0, ~0u, 0, 0, 0, 0, 0, 0},
+    {0, 0, ~0u, 0, 0, 0, 0, 0}, {0, 0, 0, ~0u, 0, 0, 0, 0},
+    {0, 0, 0, 0, ~0u, 0, 0, 0}, {0, 0, 0, 0, 0, ~0u, 0, 0},
+    {0, 0, 0, 0, 0, 0, ~0u, 0}, {0, 0, 0, 0, 0, 0, 0, ~0u},
+};
+
+// wn <= 8 fast path: the whole dictionary lives in one YMM register
+// across the loop, so the CAM probe is a compare + movemask with no
+// loads and the miss insert is a blend. Lanes at or beyond `filled`
+// hold zeros and are masked out of the match bitmap via `valid`;
+// lanes at or beyond wn are never written (head < wn), so storing
+// the full register back preserves the padding zeros. Lowest set
+// bit of the movemask is the lowest index, matching first-match
+// probe order (resident values are unique anyway).
+__attribute__((target("avx2,popcnt"))) void
+winSpanAvx2Small(Word *vals, unsigned wn, unsigned &filled_ref,
+                 unsigned &head_ref, const Word *in, u64 *out,
+                 std::size_t n_words, u64 &state_ref, Word &last_ref,
+                 bool &has_last_ref, OpCounts &ops_out, double lambda,
+                 bool cost_aware)
+{
+    const bool unit_lambda = lambda == 1.0;
+    u64 state = state_ref;
+    Word last = last_ref;
+    bool has_last = has_last_ref;
+    unsigned filled = filled_ref;
+    unsigned head = head_ref;
+    OpCounts ops;
+    __m256i dict = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(vals));
+    unsigned valid = (1u << filled) - 1u;
+    for (std::size_t i = 0; i < n_words; ++i) {
+        const Word value = in[i];
+        ++ops.cycles;
+        ++ops.matches;
+        if (has_last && value == last) {
+            ++ops.last_hits;
+            out[i] = state;
+            continue;
+        }
+        const __m256i needle =
+            _mm256_set1_epi32(static_cast<int>(value));
+        const unsigned mask =
+            static_cast<unsigned>(_mm256_movemask_ps(
+                _mm256_castsi256_ps(
+                    _mm256_cmpeq_epi32(dict, needle)))) &
+            valid;
+        if (mask) {
+            applyHit(state,
+                     static_cast<unsigned>(__builtin_ctz(mask)), ops,
+                     value, lambda, cost_aware, unit_lambda);
+        } else {
+            dict = _mm256_blendv_epi8(
+                dict, needle,
+                _mm256_load_si256(reinterpret_cast<const __m256i *>(
+                    kLaneMask[head])));
+            head = head + 1 == wn ? 0 : head + 1;
+            if (filled < wn) {
+                ++filled;
+                valid = (1u << filled) - 1u;
+            }
+            ++ops.shifts;
+            applyMiss(state, ops, value, lambda, unit_lambda);
+        }
+        last = value;
+        has_last = true;
+        out[i] = state;
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(vals), dict);
+    state_ref = state;
+    last_ref = last;
+    has_last_ref = has_last;
+    filled_ref = filled;
+    head_ref = head;
+    ops_out += ops;
+}
+#endif
+
+#undef PREDBUS_WINDOW_SPAN_BODY
+
+} // namespace
+
+namespace detail
+{
+
+void
+windowEncodeSpan(WindowDict &dict, const Word *in, u64 *out,
+                 std::size_t n, u64 &state, Word &last, bool &has_last,
+                 OpCounts &ops, double lambda, bool cost_aware)
+{
+#if defined(__x86_64__)
+    if (g_probe != probeScalar) {
+        auto kernel = dict.n <= 8 ? winSpanAvx2Small : winSpanAvx2;
+        kernel(dict.vals.data(), dict.n, dict.filled, dict.head, in,
+               out, n, state, last, has_last, ops, lambda, cost_aware);
+        return;
+    }
+#endif
+    winSpanScalar(dict.vals.data(), dict.n, dict.filled, dict.head, in,
+                  out, n, state, last, has_last, ops, lambda,
+                  cost_aware);
+}
+
+} // namespace detail
+
+template <>
+void
+PredictiveTranscoder<WindowDict>::encodeSpan(const Word *in, u64 *out,
+                                             std::size_t n)
+{
+    OpCounts ops;
+    detail::windowEncodeSpan(enc_dict, in, out, n, enc_state, enc_last,
+                             enc_has_last, ops, lambda, cost_aware);
+    op_counts += ops;
+}
+
+const char *
+windowProbeKind()
+{
+    return g_probe == probeScalar ? "scalar" : "avx2";
+}
 
 WindowDict::WindowDict(unsigned n_entries)
 {
     if (n_entries == 0 || n_entries > kMaxCodePoints)
         fatal("window size must be 1..", kMaxCodePoints);
-    vals.assign(n_entries, 0);
-    valid.assign(n_entries, false);
+    n = n_entries;
+    vals.assign((n + 7u) & ~7u, 0);
+}
+
+int
+WindowDict::find(Word v) const
+{
+    return g_probe(vals.data(), filled, v);
 }
 
 LookupResult
@@ -16,14 +350,16 @@ WindowDict::access(Word v, OpCounts *ops)
 {
     if (ops)
         ++ops->matches;
-    for (unsigned i = 0; i < vals.size(); ++i) {
-        if (valid[i] && vals[i] == v)
-            return LookupResult{true, i};
-    }
-    // Miss: replace the oldest entry (pointer-based shift).
+    const int i = find(v);
+    if (i >= 0)
+        return LookupResult{true, static_cast<unsigned>(i)};
+    // Miss: replace the oldest entry (pointer-based shift). Before the
+    // first wraparound head == filled, so the insert extends the dense
+    // valid prefix; afterwards every slot is live and filled stays n.
     vals[head] = v;
-    valid[head] = true;
-    head = (head + 1) % vals.size();
+    head = head + 1 == n ? 0 : head + 1;
+    if (filled < n)
+        ++filled;
     if (ops)
         ++ops->shifts;
     return LookupResult{false, 0};
@@ -32,25 +368,22 @@ WindowDict::access(Word v, OpCounts *ops)
 Word
 WindowDict::valueAt(unsigned index) const
 {
-    panicIf(index >= vals.size(), "window index out of range");
+    panicIf(index >= n, "window index out of range");
     return vals[index];
 }
 
 void
 WindowDict::reset()
 {
-    std::fill(valid.begin(), valid.end(), false);
     std::fill(vals.begin(), vals.end(), 0);
+    filled = 0;
     head = 0;
 }
 
 bool
 WindowDict::contains(Word v) const
 {
-    for (unsigned i = 0; i < vals.size(); ++i)
-        if (valid[i] && vals[i] == v)
-            return true;
-    return false;
+    return find(v) >= 0;
 }
 
 } // namespace predbus::coding

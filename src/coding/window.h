@@ -7,6 +7,13 @@
  * hits leave the register untouched; misses replace the oldest entry
  * (only the head entry's bits change — the paper's "pointer-based
  * shift entries" circuit). Codes are physical positions.
+ *
+ * State is structure-of-arrays: one contiguous value array (padded to
+ * a whole number of 8-lane blocks) plus a fill count. Validity is a
+ * dense prefix — the head cycles 0..N-1 setting entries in order — so
+ * no per-entry valid bit is needed, and the CAM probe is a flat
+ * compare over the filled prefix that an AVX2 kernel (selected at
+ * runtime, scalar fallback) can do 8 entries per instruction.
  */
 
 #ifndef PREDBUS_CODING_WINDOW_H
@@ -19,6 +26,24 @@
 namespace predbus::coding
 {
 
+/** Probe kernel window dictionaries use on this host: "avx2" or
+ * "scalar". Fixed at startup. */
+const char *windowProbeKind();
+
+class WindowDict;
+
+namespace detail
+{
+/** Batch encode kernel for window transcoders: the predictive
+ * per-word algorithm with the CAM probe, insert, and raw-choice cost
+ * math inlined into one loop (AVX2+popcnt variant selected at
+ * runtime). Defined in window.cpp; byte-identical to encode(). */
+void windowEncodeSpan(WindowDict &dict, const Word *in, u64 *out,
+                      std::size_t n, u64 &state, Word &last,
+                      bool &has_last, OpCounts &ops, double lambda,
+                      bool cost_aware);
+} // namespace detail
+
 class WindowDict
 {
   public:
@@ -26,20 +51,39 @@ class WindowDict
 
     LookupResult access(Word v, OpCounts *ops);
     Word valueAt(unsigned index) const;
-    unsigned entries() const { return static_cast<unsigned>(vals.size()); }
+    unsigned entries() const { return n; }
     void reset();
 
     /** True if @p v is currently resident (for tests). */
     bool contains(Word v) const;
 
+    /**
+     * Position of @p v in the window, -1 if absent. Resident values
+     * are unique (a value already present hits and is never
+     * re-inserted), so any-match SIMD order equals first-match.
+     */
+    int find(Word v) const;
+
   private:
-    std::vector<Word> vals;
-    std::vector<bool> valid;
-    unsigned head = 0;   ///< next replacement position
+    friend void detail::windowEncodeSpan(WindowDict &, const Word *,
+                                         u64 *, std::size_t, u64 &,
+                                         Word &, bool &, OpCounts &,
+                                         double, bool);
+
+    unsigned n = 0;       ///< logical entry count
+    unsigned filled = 0;  ///< dense-prefix count of valid entries
+    unsigned head = 0;    ///< next replacement position
+    std::vector<Word> vals;  ///< padded to a multiple of 8 lanes
 };
 
 /** The paper's Window-based transcoder. */
 using WindowTranscoder = PredictiveTranscoder<WindowDict>;
+
+/** Window family hot path: route spans through the fused kernel. */
+template <>
+void PredictiveTranscoder<WindowDict>::encodeSpan(const Word *in,
+                                                  u64 *out,
+                                                  std::size_t n);
 
 } // namespace predbus::coding
 

@@ -135,14 +135,28 @@ WorkZoneCoder::decode(u64 wire_state)
     return value;
 }
 
+// Devirtualized batch loops over the per-word paths.
 void
-WorkZoneCoder::reset()
+WorkZoneCoder::encodeSpan(const Word *in, u64 *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = WorkZoneCoder::encode(in[i]);
+}
+
+void
+WorkZoneCoder::decodeSpan(const u64 *in, Word *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = WorkZoneCoder::decode(in[i]);
+}
+
+void
+WorkZoneCoder::resetState()
 {
     enc = Fsm{};
     dec = Fsm{};
     enc.zones.assign(n_zones, Zone{});
     dec.zones.assign(n_zones, Zone{});
-    op_counts = OpCounts{};
 }
 
 } // namespace predbus::coding

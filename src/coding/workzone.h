@@ -34,11 +34,15 @@ class WorkZoneCoder : public Transcoder
     unsigned width() const override { return total_width; }
     u64 encode(Word value) override;
     Word decode(u64 wire_state) override;
-    void reset() override;
+    void encodeSpan(const Word *in, u64 *out, std::size_t n) override;
+    void decodeSpan(const u64 *in, Word *out, std::size_t n) override;
 
     /** Offsets coded one-hot: delta in [-16, 16] excluding nothing;
      * delta==0 uses the all-zero flip. */
     static constexpr s32 kRange = 16;
+
+  protected:
+    void resetState() override;
 
   private:
     struct Zone

@@ -292,6 +292,7 @@ Server::handleOpen(Conn &conn, const protocol::Frame &frame)
     }
     try {
         coding::CodecSession codec(spec);
+        codec.attachSpanMetrics(registry);
         const u32 width = codec.codec().width();
         const u32 id = conn.next_session++;
         conn.sessions.emplace(id, Conn::Session(std::move(codec)));

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Differential fuzz for the span codec paths: for every factory
+ * codec, encodeSpan()/decodeSpan() must be byte-identical to the
+ * per-word encode()/decode() loop — wire states, decoded values,
+ * operation counts, FSM evolution across chunk boundaries, behavior
+ * after a mid-span reset(), published stats deltas, and session
+ * checksums. The fused window kernels (scalar, AVX2, and the
+ * register-resident small-window variant) all ride through here.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+#include <gtest/gtest.h>
+
+#include "coding/bus_energy.h"
+#include "coding/factory.h"
+#include "coding/session.h"
+#include "coding/window.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+using namespace predbus;
+
+namespace
+{
+
+/** Every spec family the factory accepts, at sizes that exercise the
+ * distinct kernels (window <= 8 register-resident, > 8 array probe,
+ * 93 = the full code space). */
+const std::vector<std::string> kSpecs = {
+    "raw",          "window:1",   "window:8",  "window:8:ca",
+    "window:13",    "window:64",  "window:93", "ctx:28+8",
+    "ctx:28+8:trans",             "ctx:12+4:d64",
+    "stride:1",     "stride:8",   "inv:2",     "inv:16:l1.83",
+    "pbi:4",        "wze:4",      "spatial:6",
+};
+
+std::vector<Word>
+randomStream(std::size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<Word> out(n);
+    for (auto &v : out)
+        v = rng.next32();
+    return out;
+}
+
+/** Mostly arithmetic sequences with occasional phase breaks: the
+ * stride predictor's best case, the window predictor's worst. */
+std::vector<Word>
+strideStream(std::size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<Word> out(n);
+    Word v = rng.next32();
+    Word step = rng.next32() & 0xff;
+    for (auto &o : out) {
+        o = v;
+        v += step;
+        if (rng.chance(0.02)) {
+            v = rng.next32();
+            step = rng.next32() & 0xff;
+        }
+    }
+    return out;
+}
+
+/** Small working set with heavy repeats: hits and last-value codes
+ * dominate (the paper's high-locality regime). */
+std::vector<Word>
+lowEntropyStream(std::size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<Word> pool(5);
+    for (auto &p : pool)
+        p = rng.next32();
+    std::vector<Word> out(n);
+    Word cur = pool[0];
+    for (auto &o : out) {
+        if (rng.chance(0.4))
+            cur = pool[rng.below(pool.size())];
+        o = cur;
+    }
+    return out;
+}
+
+struct Streams
+{
+    const char *label;
+    std::vector<Word> (*make)(std::size_t, u64);
+};
+
+const Streams kStreams[] = {
+    {"random", randomStream},
+    {"stride", strideStream},
+    {"low_entropy", lowEntropyStream},
+};
+
+/** Clamp a stream into the codec's accepted input range: spatial:B
+ * codecs take B-bit values; every other family takes full words. */
+std::vector<Word>
+fitToSpec(const std::string &spec, std::vector<Word> values)
+{
+    if (spec.rfind("spatial:", 0) == 0) {
+        const unsigned bits =
+            static_cast<unsigned>(std::stoul(spec.substr(8)));
+        for (auto &v : values)
+            v &= (Word{1} << bits) - 1u;
+    }
+    return values;
+}
+
+/** Reference per-word run: encode word by word, then decode the wire
+ * states word by word on a second instance of the same spec. */
+struct Reference
+{
+    std::vector<u64> wire;
+    std::vector<Word> decoded;
+    coding::OpCounts enc_ops;
+
+    Reference(const std::string &spec, const std::vector<Word> &values)
+    {
+        auto enc = coding::makeFromSpec(spec);
+        wire.resize(values.size());
+        for (std::size_t i = 0; i < values.size(); ++i)
+            wire[i] = enc->encode(values[i]);
+        enc_ops = enc->ops();
+        auto dec = coding::makeFromSpec(spec);
+        decoded.resize(wire.size());
+        for (std::size_t i = 0; i < wire.size(); ++i)
+            decoded[i] = dec->decode(wire[i]);
+    }
+};
+
+/** Span run chunked at @p chunk words; chunk boundaries must be
+ * invisible (the FSM state carries across calls). */
+void
+expectSpanMatches(const std::string &spec,
+                  const std::vector<Word> &values, std::size_t chunk,
+                  const Reference &ref)
+{
+    auto enc = coding::makeFromSpec(spec);
+    std::vector<u64> wire(values.size());
+    for (std::size_t off = 0; off < values.size();) {
+        const std::size_t n = std::min(chunk, values.size() - off);
+        enc->encodeSpan(values.data() + off, wire.data() + off, n);
+        off += n;
+    }
+    EXPECT_EQ(wire, ref.wire) << spec << " chunk=" << chunk;
+    EXPECT_TRUE(enc->ops() == ref.enc_ops)
+        << spec << " chunk=" << chunk << ": op counts diverge";
+
+    auto dec = coding::makeFromSpec(spec);
+    std::vector<Word> decoded(wire.size());
+    for (std::size_t off = 0; off < wire.size();) {
+        const std::size_t n = std::min(chunk, wire.size() - off);
+        dec->decodeSpan(wire.data() + off, decoded.data() + off, n);
+        off += n;
+    }
+    EXPECT_EQ(decoded, ref.decoded) << spec << " chunk=" << chunk;
+    EXPECT_EQ(decoded, values) << spec << ": round trip broken";
+}
+
+TEST(CodecSpan, MatchesPerWordEverySpecStreamAndChunk)
+{
+    const std::size_t kWords = 4096;
+    const std::size_t kChunks[] = {1, 7, 64, 1000, 4096, 9999};
+    u64 seed = 1;
+    for (const std::string &spec : kSpecs) {
+        for (const Streams &s : kStreams) {
+            SCOPED_TRACE(spec + " / " + s.label);
+            const std::vector<Word> values =
+                fitToSpec(spec, s.make(kWords, seed++));
+            const Reference ref(spec, values);
+            for (const std::size_t chunk : kChunks)
+                expectSpanMatches(spec, values, chunk, ref);
+        }
+    }
+}
+
+TEST(CodecSpan, MidSpanResetRestartsBothPathsIdentically)
+{
+    for (const std::string &spec : kSpecs) {
+        SCOPED_TRACE(spec);
+        const std::vector<Word> a =
+            fitToSpec(spec, randomStream(700, 77));
+        const std::vector<Word> b =
+            fitToSpec(spec, lowEntropyStream(900, 78));
+
+        auto scalar = coding::makeFromSpec(spec);
+        std::vector<u64> scalar_wire(b.size());
+        for (const Word v : a)
+            scalar->encode(v);
+        scalar->reset();
+        for (std::size_t i = 0; i < b.size(); ++i)
+            scalar_wire[i] = scalar->encode(b[i]);
+
+        auto span = coding::makeFromSpec(spec);
+        std::vector<u64> junk(a.size());
+        span->encodeSpan(a.data(), junk.data(), a.size());
+        span->reset();
+        std::vector<u64> span_wire(b.size());
+        span->encodeSpan(b.data(), span_wire.data(), b.size());
+
+        EXPECT_EQ(span_wire, scalar_wire)
+            << spec << ": reset() did not restore initial FSM state";
+        // After reset() the counters restart from zero on both paths.
+        EXPECT_TRUE(span->ops() == scalar->ops())
+            << spec << ": op counts diverge after mid-span reset";
+        EXPECT_EQ(span->ops().cycles, b.size());
+    }
+}
+
+TEST(CodecSpan, StatsSinkSeesIdenticalDeltas)
+{
+    for (const std::string &spec : {std::string("window:8"),
+                                    std::string("ctx:28+8"),
+                                    std::string("stride:8")}) {
+        SCOPED_TRACE(spec);
+        const std::vector<Word> values = randomStream(3000, 5);
+
+        obs::Registry scalar_reg;
+        auto scalar = coding::makeFromSpec(spec);
+        scalar->setStatsSink(scalar_reg, "codec");
+        for (const Word v : values)
+            scalar->encode(v);
+        scalar->flushStats();
+
+        obs::Registry span_reg;
+        auto span = coding::makeFromSpec(spec);
+        span->setStatsSink(span_reg, "codec");
+        span->encodeSpan(values.data(),
+                         std::vector<u64>(values.size()).data(),
+                         values.size());
+        span->flushStats();
+
+        const auto scalar_snap = scalar_reg.counters();
+        const auto span_snap = span_reg.counters();
+        EXPECT_EQ(span_snap, scalar_snap)
+            << spec << ": published metric deltas diverge";
+    }
+}
+
+TEST(CodecSpan, SessionChecksumsMatchPerWordFolding)
+{
+    for (const std::string &spec : kSpecs) {
+        SCOPED_TRACE(spec);
+        const std::vector<Word> values =
+            fitToSpec(spec, lowEntropyStream(2500, 9));
+
+        // Per-word reference: encode word by word, fold each state.
+        auto ref = coding::makeFromSpec(spec);
+        u64 ref_sum = coding::kChecksumSeed;
+        std::vector<u64> ref_wire;
+        ref_wire.reserve(values.size());
+        for (const Word v : values) {
+            ref_wire.push_back(ref->encode(v));
+            ref_sum = coding::checksumFold(ref_sum, ref_wire.back());
+        }
+
+        coding::CodecSession enc_session(spec);
+        std::vector<u64> wire;
+        enc_session.encodeBatch(values, wire);
+        EXPECT_EQ(wire, ref_wire) << spec;
+        EXPECT_EQ(enc_session.checksum(), ref_sum) << spec;
+        EXPECT_EQ(enc_session.seq(), 1u);
+
+        // Decode side: folding the decoded words must also match.
+        u64 dec_sum = coding::kChecksumSeed;
+        for (const Word v : values)
+            dec_sum = coding::checksumFold(dec_sum, v);
+        coding::CodecSession dec_session(spec);
+        std::vector<Word> decoded;
+        dec_session.decodeBatch(wire, decoded);
+        EXPECT_EQ(decoded, values) << spec;
+        EXPECT_EQ(dec_session.checksum(), dec_sum) << spec;
+    }
+}
+
+TEST(CodecSpan, EnergyEvaluationIdenticalViaSpans)
+{
+    // evaluate() feeds the streaming evaluator in span chunks; a
+    // per-word meter walk over the same wire states must agree on
+    // tau/kappa exactly.
+    for (const std::string &spec : {std::string("window:8"),
+                                    std::string("window:64"),
+                                    std::string("inv:2")}) {
+        SCOPED_TRACE(spec);
+        const std::vector<Word> values = randomStream(6000, 21);
+        auto codec = coding::makeFromSpec(spec);
+        const coding::CodingResult via_span =
+            coding::evaluate(*codec, values, true);
+
+        auto ref = coding::makeFromSpec(spec);
+        coding::BusEnergyMeter meter(ref->width());
+        for (const Word v : values)
+            meter.observe(ref->encode(v));
+        EXPECT_EQ(via_span.coded.tau, meter.count().tau) << spec;
+        EXPECT_EQ(via_span.coded.kappa, meter.count().kappa) << spec;
+        EXPECT_TRUE(via_span.ops == ref->ops()) << spec;
+    }
+}
+
+TEST(CodecSpan, WindowProbeKindReportsThisHost)
+{
+    const std::string kind = coding::windowProbeKind();
+    EXPECT_TRUE(kind == "avx2" || kind == "scalar") << kind;
+}
+
+} // namespace

@@ -16,7 +16,9 @@
 
 #include "analysis/experiment.h"
 #include "analysis/runner.h"
+#include "coding/factory.h"
 #include "common/log.h"
+#include "common/rng.h"
 #include "obs/json_check.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -410,6 +412,40 @@ TEST(RunnerFailures, PanicTypePreservedInAggregate)
                              panic("invariant broke at ", i);
                      }),
                  PanicError);
+}
+
+TEST(Metrics, TranscoderResetRebaselinesStatsSink)
+{
+    // Regression: reset() used to clear op_counts without touching
+    // the publish baseline, so a reused transcoder's next
+    // flushStats() computed current - baseline with baseline >
+    // current and published a garbage (or, with the wraparound
+    // guard, double-counted) delta unless the caller remembered to
+    // call syncStatsBaseline() too. reset() now re-baselines itself.
+    obs::Registry registry;
+    auto codec = coding::makeFromSpec("window:8");
+    codec->setStatsSink(registry, "w8");
+    obs::Counter &cycles = registry.counter("coding.w8.cycles");
+
+    Rng rng(4242);
+    const auto run = [&](std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i)
+            codec->encode(rng.next32());
+    };
+
+    run(1000);
+    codec->flushStats();
+    EXPECT_EQ(cycles.value(), 1000u);
+
+    codec->reset();  // no syncStatsBaseline() — must not matter
+    run(1500);
+    codec->flushStats();
+    EXPECT_EQ(cycles.value(), 2500u) << "stale baseline after reset";
+
+    codec->reset();
+    run(200);
+    codec->flushStats();
+    EXPECT_EQ(cycles.value(), 2700u);
 }
 
 TEST(Log, LevelGatesRecords)

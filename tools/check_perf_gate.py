@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a fresh bench_codec_throughput run against the
+committed baseline (BENCH_codec_throughput.json at the repo root).
+
+The primary gate is dimensionless on purpose: span_speedup (span
+words/sec over per-word scalar words/sec, measured back to back in
+the same process on the same stream) is stable across machines, while
+absolute words/sec swings with the host. A codec regresses if its
+span_speedup falls more than --tolerance (default 10%) below the
+baseline's. The window:8 speedup additionally has a hard floor
+(--window8-floor, default 3.0): the register-resident kernel must
+stay at least 3x over per-word scalar regardless of what the baseline
+file says.
+
+Absolute throughput is checked only with --absolute, for runs on the
+same host that produced the baseline (see docs/PERF.md for the
+baseline update procedure).
+
+Usage:
+  tools/check_perf_gate.py --current bench_current.json \
+      [--baseline BENCH_codec_throughput.json] [--tolerance 0.10] \
+      [--window8-floor 3.0] [--absolute]
+
+Exit status: 0 clean, 1 on regression or malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "predbus.bench_codec_throughput.v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"check_perf_gate: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(
+            f"check_perf_gate: {path}: schema "
+            f"{doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    codecs = {c["spec"]: c for c in doc.get("codecs", [])}
+    if not codecs:
+        sys.exit(f"check_perf_gate: {path}: no codec rows")
+    return doc, codecs
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True,
+                    help="JSON from a fresh bench run")
+    ap.add_argument("--baseline",
+                    default=os.path.join(
+                        root, "BENCH_codec_throughput.json"),
+                    help="committed baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative span_speedup drop")
+    ap.add_argument("--window8-floor", type=float, default=3.0,
+                    help="hard minimum span_speedup for window:8")
+    ap.add_argument("--absolute", action="store_true",
+                    help="also gate absolute span words/sec "
+                         "(same-host runs only)")
+    args = ap.parse_args()
+
+    _, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
+
+    failures = []
+    for spec, b in sorted(base.items()):
+        c = cur.get(spec)
+        if c is None:
+            failures.append(f"{spec}: missing from current run")
+            continue
+        b_spd, c_spd = b["span_speedup"], c["span_speedup"]
+        floor = b_spd * (1.0 - args.tolerance)
+        if c_spd < floor:
+            failures.append(
+                f"{spec}: span_speedup {c_spd:.3f} < {floor:.3f} "
+                f"(baseline {b_spd:.3f} - {args.tolerance:.0%})"
+            )
+        if args.absolute:
+            b_abs = b["span_words_per_sec"]
+            c_abs = c["span_words_per_sec"]
+            if c_abs < b_abs * (1.0 - args.tolerance):
+                failures.append(
+                    f"{spec}: span {c_abs:.3e} w/s < baseline "
+                    f"{b_abs:.3e} - {args.tolerance:.0%}"
+                )
+
+    w8 = cur.get("window:8")
+    if w8 is None:
+        failures.append("window:8: missing from current run")
+    elif w8["span_speedup"] < args.window8_floor:
+        failures.append(
+            f"window:8: span_speedup {w8['span_speedup']:.3f} below "
+            f"the hard floor {args.window8_floor:.2f}"
+        )
+
+    for f in failures:
+        print(f"check_perf_gate: FAIL {f}", file=sys.stderr)
+    if failures:
+        return 1
+    n = len(base)
+    simd = cur_doc.get("simd", "?")
+    print(f"check_perf_gate: OK ({n} codecs, simd={simd}, "
+          f"window:8 speedup {w8['span_speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
