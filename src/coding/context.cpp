@@ -3,8 +3,397 @@
 #include <algorithm>
 #include <cmath>
 
+#include "coding/span_kernel.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 namespace predbus::coding
 {
+
+namespace
+{
+
+using detail::applyHit;
+using detail::applyMiss;
+
+// ---------------------------------------------------------------
+// 64-bit key probe over a dense prefix, runtime-dispatched like the
+// window CAM probe (value keys and (prev,current) transition keys are
+// both one u64 lane).
+
+using Probe64Fn = int (*)(const u64 *, unsigned, u64);
+
+int
+probeKeysScalar(const u64 *keys, unsigned count, u64 key)
+{
+    for (unsigned i = 0; i < count; ++i)
+        if (keys[i] == key)
+            return static_cast<int>(i);
+    return -1;
+}
+
+#if defined(__x86_64__)
+// Key arrays are padded to whole 4-lane blocks, so the unaligned
+// loads never run past the allocation; lanes at or beyond `count`
+// are masked out of the match bitmap (they hold padding zeros or
+// stale evicted keys, either of which could alias a live probe).
+// Resident keys are unique (Invariant 1), so any-match order equals
+// first-match.
+__attribute__((target("avx2"))) int
+probeKeysAvx2(const u64 *keys, unsigned count, u64 key)
+{
+    const __m256i needle =
+        _mm256_set1_epi64x(static_cast<long long>(key));
+    for (unsigned b = 0; b < count; b += 4) {
+        const __m256i block = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + b));
+        unsigned mask = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(block, needle))));
+        const unsigned remain = count - b;
+        if (remain < 4)
+            mask &= (1u << remain) - 1u;
+        if (mask)
+            return static_cast<int>(b + __builtin_ctz(mask));
+    }
+    return -1;
+}
+#endif
+
+Probe64Fn
+pickProbe64()
+{
+#if defined(__x86_64__)
+    if (detail::useAvx2Kernels())
+        return probeKeysAvx2;
+#endif
+    return probeKeysScalar;
+}
+
+const Probe64Fn g_probe64 = pickProbe64();
+
+// ---------------------------------------------------------------
+// Pending-bit mask helpers (two u64 words cover every legal table
+// size; table_size + sr_size <= kMaxCodePoints == 93).
+
+inline bool
+maskTest(const u64 *w, unsigned p)
+{
+    return (w[p >> 6] >> (p & 63)) & 1u;
+}
+
+inline void
+maskSet(u64 *w, unsigned p)
+{
+    w[p >> 6] |= u64{1} << (p & 63);
+}
+
+inline void
+maskClear(u64 *w, unsigned p)
+{
+    w[p >> 6] &= ~(u64{1} << (p & 63));
+}
+
+inline void
+maskAssign(u64 *w, unsigned p, bool v)
+{
+    if (v)
+        maskSet(w, p);
+    else
+        maskClear(w, p);
+}
+
+/** Lowest set bit at position >= @p from, or -1 if none. */
+inline int
+maskNext(const u64 *w, unsigned from)
+{
+    for (unsigned wi = from >> 6; wi < 2; ++wi) {
+        u64 word = w[wi];
+        if (wi == (from >> 6))
+            word &= ~u64{0} << (from & 63);
+        if (word)
+            return static_cast<int>(wi * 64 +
+                                    static_cast<unsigned>(
+                                        __builtin_ctzll(word)));
+    }
+    return -1;
+}
+
+// ---------------------------------------------------------------
+// Raw-array view of a ContextDict for the fused kernels (the kernels
+// live in this anonymous namespace and are not friends; the friend
+// entry point contextEncodeSpan() unpacks the dictionary once).
+
+struct CtxView
+{
+    u64 *tab_keys;
+    u32 *tab_counts;
+    u64 *pend;
+    u64 *sr_keys;
+    u32 *sr_counts;
+    unsigned tsize;
+    unsigned ssize;
+    u32 divide_period;
+};
+
+/** Miss path shared by access() and the span kernels: shift @p key
+ * into the SR; the displaced entry may be promoted into the table if
+ * it earned more counts than the table floor (clamped to keep
+ * Invariant 2). */
+inline void
+missInsertView(const CtxView &v, unsigned &valid_count,
+               unsigned &sr_head, unsigned &sr_filled, u64 key,
+               OpCounts &ops)
+{
+    if (sr_head < sr_filled) {
+        const u64 okey = v.sr_keys[sr_head];
+        const u32 ocount = v.sr_counts[sr_head];
+        if (valid_count < v.tsize) {
+            // Fill the table densely from the top.
+            v.tab_keys[valid_count] = okey;
+            v.tab_counts[valid_count] =
+                valid_count == 0
+                    ? ocount
+                    : std::min(ocount, v.tab_counts[valid_count - 1]);
+            maskClear(v.pend, valid_count);
+            ++valid_count;
+        } else if (ocount > v.tab_counts[v.tsize - 1]) {
+            v.tab_keys[v.tsize - 1] = okey;
+            v.tab_counts[v.tsize - 1] =
+                std::min(ocount, v.tab_counts[v.tsize - 2]);
+            maskClear(v.pend, v.tsize - 1);
+        }
+    }
+    v.sr_keys[sr_head] = key;
+    v.sr_counts[sr_head] = 1;
+    if (sr_head == sr_filled)
+        ++sr_filled;
+    sr_head = sr_head + 1 == v.ssize ? 0 : sr_head + 1;
+    ++ops.shifts;
+}
+
+/**
+ * The paper's sorting step driven by the pending bitmask: pairs whose
+ * upper entry has no pending bit provably do nothing (the swap and
+ * the increment both require it), so only set bits are visited — the
+ * compare charge for the untouched pairs is pure arithmetic. A swap
+ * moves a bit from p to p-1, a pair the sequential walk has already
+ * passed, so re-scanning from p+1 reproduces the per-pair loop of
+ * ContextDict::sortStep() exactly (state and op counts).
+ */
+inline void
+sparseSortStep(const CtxView &v, unsigned valid_count, OpCounts &ops)
+{
+    // Step 2: the top entry increments when pending.
+    if (valid_count > 0 && maskTest(v.pend, 0)) {
+        if (v.tab_counts[0] < ContextDict::kCounterMax)
+            ++v.tab_counts[0];
+        maskClear(v.pend, 0);
+        ++ops.counter_incs;
+    }
+    // Step 3: adjacent pairs; every pair is compared (charged), only
+    // pending ones act.
+    if (valid_count > 1)
+        ops.compares += valid_count - 1;
+    int p = maskNext(v.pend, 1);
+    while (p >= 0 && static_cast<unsigned>(p) < valid_count) {
+        const unsigned up = static_cast<unsigned>(p);
+        if (v.tab_counts[up] == v.tab_counts[up - 1]) {
+            std::swap(v.tab_keys[up], v.tab_keys[up - 1]);
+            const bool below = maskTest(v.pend, up - 1);
+            maskSet(v.pend, up - 1);
+            maskAssign(v.pend, up, below);
+            ++ops.swaps;
+        } else {
+            if (v.tab_counts[up] < ContextDict::kCounterMax)
+                ++v.tab_counts[up];
+            maskClear(v.pend, up);
+            ++ops.counter_incs;
+        }
+        p = maskNext(v.pend, up + 1);
+    }
+}
+
+inline void
+divideView(const CtxView &v, unsigned valid_count, unsigned sr_filled,
+           OpCounts &ops)
+{
+    for (unsigned i = 0; i < valid_count; ++i)
+        v.tab_counts[i] >>= 1;
+    for (unsigned j = 0; j < sr_filled; ++j)
+        v.sr_counts[j] >>= 1;
+    ++ops.divisions;
+}
+
+// The fused span kernels: ContextDict::access() and the predictive
+// encode logic in one loop, FSM scalars and dictionary cursors in
+// locals, op counts batched, the per-word divide-period modulo
+// replaced by a countdown, and the sorting step driven by the pending
+// mask. TRANS selects the key flavor at compile time; the AVX2
+// variants are additionally compiled with popcnt so the
+// transition-cost popcounts become single instructions (results are
+// bit-identical; only instruction selection changes). Counter and
+// update ordering matches PredictiveTranscoder::encode() +
+// ContextDict::access().
+#define PREDBUS_CTX_SPAN_BODY(PROBE, TRANS)                            \
+    const bool unit_lambda = lambda == 1.0;                            \
+    u64 state = state_ref;                                             \
+    Word last = last_ref;                                              \
+    bool has_last = has_last_ref;                                      \
+    unsigned valid_count = valid_count_ref;                            \
+    unsigned sr_head = sr_head_ref;                                    \
+    unsigned sr_filled = sr_filled_ref;                                \
+    u64 cycle = cycle_ref;                                             \
+    Word prev = prev_ref;                                              \
+    u32 until_divide = 0;                                              \
+    if (v.divide_period)                                               \
+        until_divide =                                                 \
+            v.divide_period -                                          \
+            static_cast<u32>(cycle % v.divide_period);                 \
+    OpCounts ops;                                                      \
+    for (std::size_t i = 0; i < n_words; ++i) {                        \
+        const Word value = in[i];                                      \
+        ++ops.cycles;                                                  \
+        ++ops.matches;                                                 \
+        const bool is_repeat = has_last && value == last;              \
+        const u64 key = (TRANS) ? ((u64{prev} << 32) | value)          \
+                                : u64{value};                          \
+        bool hit = false;                                              \
+        unsigned hit_index = 0;                                        \
+        const int ti = PROBE(v.tab_keys, valid_count, key);            \
+        if (ti >= 0) {                                                 \
+            hit = true;                                                \
+            hit_index = static_cast<unsigned>(ti);                     \
+            maskSet(v.pend, hit_index);                                \
+        } else {                                                       \
+            const int sj = PROBE(v.sr_keys, sr_filled, key);           \
+            if (sj >= 0) {                                             \
+                hit = true;                                            \
+                hit_index = v.tsize + static_cast<unsigned>(sj);       \
+                if (v.sr_counts[sj] < ContextDict::kCounterMax) {      \
+                    ++v.sr_counts[sj];                                 \
+                    ++ops.counter_incs;                                \
+                }                                                      \
+            } else {                                                   \
+                missInsertView(v, valid_count, sr_head, sr_filled,     \
+                               key, ops);                              \
+            }                                                          \
+        }                                                              \
+        sparseSortStep(v, valid_count, ops);                           \
+        ++cycle;                                                       \
+        if (v.divide_period && --until_divide == 0) {                  \
+            divideView(v, valid_count, sr_filled, ops);                \
+            until_divide = v.divide_period;                            \
+        }                                                              \
+        prev = value;                                                  \
+        if (is_repeat) {                                               \
+            ++ops.last_hits;                                           \
+        } else if (hit && hit_index < kMaxCodePoints) {                \
+            applyHit(state, hit_index, ops, value, lambda,             \
+                     cost_aware, unit_lambda);                         \
+        } else {                                                       \
+            applyMiss(state, ops, value, lambda, unit_lambda);         \
+        }                                                              \
+        last = value;                                                  \
+        has_last = true;                                               \
+        out[i] = state;                                                \
+    }                                                                  \
+    state_ref = state;                                                 \
+    last_ref = last;                                                   \
+    has_last_ref = has_last;                                           \
+    valid_count_ref = valid_count;                                     \
+    sr_head_ref = sr_head;                                             \
+    sr_filled_ref = sr_filled;                                         \
+    cycle_ref = cycle;                                                 \
+    prev_ref = prev;                                                   \
+    ops_out += ops;
+
+#define PREDBUS_CTX_SPAN_PARAMS                                        \
+    const CtxView &v, unsigned &valid_count_ref,                       \
+        unsigned &sr_head_ref, unsigned &sr_filled_ref,                \
+        u64 &cycle_ref, Word &prev_ref, const Word *in, u64 *out,      \
+        std::size_t n_words, u64 &state_ref, Word &last_ref,           \
+        bool &has_last_ref, OpCounts &ops_out, double lambda,          \
+        bool cost_aware
+
+void
+ctxSpanScalarValue(PREDBUS_CTX_SPAN_PARAMS)
+{
+    PREDBUS_CTX_SPAN_BODY(probeKeysScalar, false)
+}
+
+void
+ctxSpanScalarTrans(PREDBUS_CTX_SPAN_PARAMS)
+{
+    PREDBUS_CTX_SPAN_BODY(probeKeysScalar, true)
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2,popcnt"))) void
+ctxSpanAvx2Value(PREDBUS_CTX_SPAN_PARAMS)
+{
+    PREDBUS_CTX_SPAN_BODY(probeKeysAvx2, false)
+}
+
+__attribute__((target("avx2,popcnt"))) void
+ctxSpanAvx2Trans(PREDBUS_CTX_SPAN_PARAMS)
+{
+    PREDBUS_CTX_SPAN_BODY(probeKeysAvx2, true)
+}
+#endif
+
+#undef PREDBUS_CTX_SPAN_BODY
+#undef PREDBUS_CTX_SPAN_PARAMS
+
+} // namespace
+
+namespace detail
+{
+
+void
+contextEncodeSpan(ContextDict &d, const Word *in, u64 *out,
+                  std::size_t n, u64 &state, Word &last,
+                  bool &has_last, OpCounts &ops, double lambda,
+                  bool cost_aware)
+{
+    const CtxView v{d.tab_keys.data(), d.tab_counts.data(),
+                    d.pend.data(),     d.sr_keys.data(),
+                    d.sr_counts.data(), d.cfg.table_size,
+                    d.cfg.sr_size,      d.cfg.divide_period};
+    const bool trans = d.cfg.transition_based;
+#if defined(__x86_64__)
+    if (g_probe64 != probeKeysScalar) {
+        (trans ? ctxSpanAvx2Trans : ctxSpanAvx2Value)(
+            v, d.valid_count, d.sr_head, d.sr_filled, d.cycle, d.prev,
+            in, out, n, state, last, has_last, ops, lambda,
+            cost_aware);
+        return;
+    }
+#endif
+    (trans ? ctxSpanScalarTrans : ctxSpanScalarValue)(
+        v, d.valid_count, d.sr_head, d.sr_filled, d.cycle, d.prev, in,
+        out, n, state, last, has_last, ops, lambda, cost_aware);
+}
+
+} // namespace detail
+
+template <>
+void
+PredictiveTranscoder<ContextDict>::encodeSpan(const Word *in, u64 *out,
+                                              std::size_t n)
+{
+    if (enc_dict.config().oracle_sort) {
+        // The ablation flavor keeps the generic per-word loop.
+        Transcoder::encodeSpan(in, out, n);
+        return;
+    }
+    OpCounts ops;
+    detail::contextEncodeSpan(enc_dict, in, out, n, enc_state,
+                              enc_last, enc_has_last, ops, lambda,
+                              cost_aware);
+    op_counts += ops;
+}
 
 ContextDict::ContextDict(const ContextConfig &config) : cfg(config)
 {
@@ -15,8 +404,10 @@ ContextDict::ContextDict(const ContextConfig &config) : cfg(config)
     if (cfg.table_size + cfg.sr_size > kMaxCodePoints)
         fatal("context table+SR exceeds ", kMaxCodePoints,
               " code points");
-    table.resize(cfg.table_size);
-    sr.resize(cfg.sr_size);
+    tab_keys.assign((cfg.table_size + 3u) & ~3u, 0);
+    tab_counts.assign(cfg.table_size, 0);
+    sr_keys.assign((cfg.sr_size + 3u) & ~3u, 0);
+    sr_counts.assign(cfg.sr_size, 0);
 }
 
 u64
@@ -33,63 +424,30 @@ ContextDict::access(Word v, OpCounts *ops)
     if (ops)
         ++ops->matches;
 
-    // Probe the frequency table (positions are the codes).
-    for (unsigned i = 0; i < valid_count; ++i) {
-        if (table[i].key == key) {
-            res = LookupResult{true, i};
-            // Pending increment (paper step 1). A hit while the bit
-            // is already set is lost — the paper's stated caveat.
-            table[i].pending = true;
-            break;
-        }
-    }
-
-    // Probe the staging shift register.
-    if (!res.hit) {
-        for (unsigned j = 0; j < sr.size(); ++j) {
-            if (sr[j].valid && sr[j].key == key) {
-                res = LookupResult{true, cfg.table_size + j};
-                if (sr[j].count < kCounterMax) {
-                    ++sr[j].count;
-                    if (ops)
-                        ++ops->counter_incs;
-                }
-                break;
+    // Probe the frequency table (positions are the codes). The
+    // per-word path inlines the scalar probe — an indirect call per
+    // probe costs more than it saves at one word per call; the span
+    // kernels carry the SIMD dispatch.
+    const int ti = probeKeysScalar(tab_keys.data(), valid_count, key);
+    if (ti >= 0) {
+        res = LookupResult{true, static_cast<unsigned>(ti)};
+        // Pending increment (paper step 1). A hit while the bit is
+        // already set is lost — the paper's stated caveat.
+        pendSet(static_cast<unsigned>(ti));
+    } else {
+        // Probe the staging shift register.
+        const int sj = probeKeysScalar(sr_keys.data(), sr_filled, key);
+        if (sj >= 0) {
+            res = LookupResult{
+                true, cfg.table_size + static_cast<unsigned>(sj)};
+            if (sr_counts[sj] < kCounterMax) {
+                ++sr_counts[sj];
+                if (ops)
+                    ++ops->counter_incs;
             }
+        } else {
+            missInsert(key, ops);
         }
-    }
-
-    // Miss everywhere: shift in; the displaced entry may be promoted
-    // into the table if it earned more counts than the table floor.
-    if (!res.hit) {
-        const SrEntry outgoing = sr[sr_head];
-        if (outgoing.valid) {
-            if (valid_count < cfg.table_size) {
-                // Fill the table densely from the top; clamp to keep
-                // invariant 2.
-                TabEntry &slot = table[valid_count];
-                slot.key = outgoing.key;
-                slot.count =
-                    (valid_count == 0)
-                        ? outgoing.count
-                        : std::min(outgoing.count,
-                                   table[valid_count - 1].count);
-                slot.pending = false;
-                slot.valid = true;
-                ++valid_count;
-            } else if (outgoing.count >
-                       table[cfg.table_size - 1].count) {
-                TabEntry &slot = table[cfg.table_size - 1];
-                slot.key = outgoing.key;
-                slot.count = std::min(
-                    outgoing.count, table[cfg.table_size - 2].count);
-                slot.pending = false;
-            }
-        }
-        sr[sr_head] = SrEntry{key, 1, true};
-        sr_head = (sr_head + 1) % sr.size();
-        if (ops)
-            ++ops->shifts;
     }
 
     // Per-cycle maintenance: sorting step and counter division.
@@ -103,6 +461,18 @@ ContextDict::access(Word v, OpCounts *ops)
 }
 
 void
+ContextDict::missInsert(u64 key, OpCounts *ops)
+{
+    const CtxView v{tab_keys.data(), tab_counts.data(), pend.data(),
+                    sr_keys.data(),  sr_counts.data(),  cfg.table_size,
+                    cfg.sr_size,     cfg.divide_period};
+    OpCounts local;
+    missInsertView(v, valid_count, sr_head, sr_filled, key, local);
+    if (ops)
+        *ops += local;
+}
+
+void
 ContextDict::sortStep(OpCounts *ops)
 {
     if (cfg.oracle_sort) {
@@ -111,10 +481,10 @@ ContextDict::sortStep(OpCounts *ops)
         // full sorting network ran: n*log2(n) comparisons and the
         // observed displacement in swaps.
         for (unsigned i = 0; i < valid_count; ++i) {
-            if (table[i].pending) {
-                if (table[i].count < kCounterMax)
-                    table[i].count++;
-                table[i].pending = false;
+            if (pendTest(i)) {
+                if (tab_counts[i] < kCounterMax)
+                    tab_counts[i]++;
+                pendClear(i);
                 if (ops)
                     ++ops->counter_incs;
             }
@@ -125,8 +495,9 @@ ContextDict::sortStep(OpCounts *ops)
                 std::max(1.0, std::log2(double(valid_count))));
         for (unsigned i = 1; i < valid_count; ++i) {
             unsigned j = i;
-            while (j > 0 && table[j].count > table[j - 1].count) {
-                std::swap(table[j], table[j - 1]);
+            while (j > 0 && tab_counts[j] > tab_counts[j - 1]) {
+                std::swap(tab_counts[j], tab_counts[j - 1]);
+                std::swap(tab_keys[j], tab_keys[j - 1]);
                 if (ops)
                     ++ops->swaps;
                 --j;
@@ -135,10 +506,10 @@ ContextDict::sortStep(OpCounts *ops)
         return;
     }
     // Paper §5.3.1. Step 2: the top entry increments when pending.
-    if (valid_count > 0 && table[0].pending) {
-        if (table[0].count < kCounterMax)
-            table[0].count++;
-        table[0].pending = false;
+    if (valid_count > 0 && pendTest(0)) {
+        if (tab_counts[0] < kCounterMax)
+            tab_counts[0]++;
+        pendClear(0);
         if (ops)
             ++ops->counter_incs;
     }
@@ -146,16 +517,19 @@ ContextDict::sortStep(OpCounts *ops)
     for (unsigned p = 1; p < valid_count; ++p) {
         if (ops)
             ++ops->compares;
-        if (table[p].count == table[p - 1].count) {
-            if (table[p].pending) {
-                std::swap(table[p], table[p - 1]);
+        if (tab_counts[p] == tab_counts[p - 1]) {
+            if (pendTest(p)) {
+                std::swap(tab_keys[p], tab_keys[p - 1]);
+                const bool below = pendTest(p - 1);
+                pendSet(p - 1);
+                maskAssign(pend.data(), p, below);
                 if (ops)
                     ++ops->swaps;
             }
-        } else if (table[p].pending) {
-            if (table[p].count < kCounterMax)
-                table[p].count++;
-            table[p].pending = false;
+        } else if (pendTest(p)) {
+            if (tab_counts[p] < kCounterMax)
+                tab_counts[p]++;
+            pendClear(p);
             if (ops)
                 ++ops->counter_incs;
         }
@@ -166,10 +540,9 @@ void
 ContextDict::divideCounters(OpCounts *ops)
 {
     for (unsigned i = 0; i < valid_count; ++i)
-        table[i].count >>= 1;
-    for (auto &entry : sr)
-        if (entry.valid)
-            entry.count >>= 1;
+        tab_counts[i] >>= 1;
+    for (unsigned j = 0; j < sr_filled; ++j)
+        sr_counts[j] >>= 1;
     if (ops)
         ++ops->divisions;
 }
@@ -179,20 +552,24 @@ ContextDict::valueAt(unsigned index) const
 {
     if (index < cfg.table_size) {
         panicIf(index >= valid_count, "context: invalid table index");
-        return static_cast<Word>(table[index].key & 0xffffffffu);
+        return static_cast<Word>(tab_keys[index] & 0xffffffffu);
     }
     const unsigned j = index - cfg.table_size;
-    panicIf(j >= sr.size() || !sr[j].valid,
+    panicIf(j >= cfg.sr_size || j >= sr_filled,
             "context: invalid SR index");
-    return static_cast<Word>(sr[j].key & 0xffffffffu);
+    return static_cast<Word>(sr_keys[j] & 0xffffffffu);
 }
 
 void
 ContextDict::reset()
 {
-    std::fill(table.begin(), table.end(), TabEntry{});
-    std::fill(sr.begin(), sr.end(), SrEntry{});
+    std::fill(tab_keys.begin(), tab_keys.end(), 0);
+    std::fill(tab_counts.begin(), tab_counts.end(), 0);
+    std::fill(sr_keys.begin(), sr_keys.end(), 0);
+    std::fill(sr_counts.begin(), sr_counts.end(), 0);
+    pend = {};
     sr_head = 0;
+    sr_filled = 0;
     valid_count = 0;
     cycle = 0;
     prev = 0;
@@ -202,7 +579,7 @@ bool
 ContextDict::sortedByCount() const
 {
     for (unsigned p = 1; p < valid_count; ++p)
-        if (table[p].count > table[p - 1].count)
+        if (tab_counts[p] > tab_counts[p - 1])
             return false;
     return true;
 }

@@ -13,11 +13,22 @@
  * The value-based flavor keys on bus values (Fig 13); the
  * transition-based flavor keys on (previous, current) value pairs
  * (Fig 14).
+ *
+ * State is structure-of-arrays: one contiguous u64 key lane array per
+ * store (frequency table and staging SR, each padded to whole 4-lane
+ * blocks), a parallel u32 counter array, and the pending bits packed
+ * into a bitmask. Validity is a dense prefix in both stores — the
+ * table fills from the top and the SR head cycles 0..S-1 setting
+ * entries in order — so there is no per-entry valid bit and the CAM
+ * probe is a flat 64-bit compare over the filled prefix that an AVX2
+ * kernel (selected at runtime, scalar fallback, see
+ * PREDBUS_FORCE_SCALAR in docs/PERF.md) does 4 keys per instruction.
  */
 
 #ifndef PREDBUS_CODING_CONTEXT_H
 #define PREDBUS_CODING_CONTEXT_H
 
+#include <array>
 #include <vector>
 
 #include "coding/predictive.h"
@@ -41,6 +52,21 @@ struct ContextConfig
     bool oracle_sort = false;
 };
 
+class ContextDict;
+
+namespace detail
+{
+/** Batch encode kernel for context transcoders: the predictive
+ * per-word algorithm with the key probe, SR shift/promotion,
+ * pending-mask sorting step, and raw-choice cost math inlined into
+ * one loop (AVX2+popcnt variant selected at runtime). Defined in
+ * context.cpp; byte-identical to encode(). */
+void contextEncodeSpan(ContextDict &dict, const Word *in, u64 *out,
+                       std::size_t n, u64 &state, Word &last,
+                       bool &has_last, OpCounts &ops, double lambda,
+                       bool cost_aware);
+} // namespace detail
+
 class ContextDict
 {
   public:
@@ -52,48 +78,65 @@ class ContextDict
 
     unsigned tableSize() const { return cfg.table_size; }
     unsigned srSize() const { return cfg.sr_size; }
+    const ContextConfig &config() const { return cfg; }
 
     /** Counter of table position @p i (tests). */
-    u32 tableCount(unsigned i) const { return table[i].count; }
-    bool tableValid(unsigned i) const { return table[i].valid; }
-    u64 tableKey(unsigned i) const { return table[i].key; }
+    u32 tableCount(unsigned i) const { return tab_counts[i]; }
+    bool tableValid(unsigned i) const { return i < valid_count; }
+    u64 tableKey(unsigned i) const { return tab_keys[i]; }
     unsigned validCount() const { return valid_count; }
 
     /** Invariant 2 check: counters non-increasing down the table. */
     bool sortedByCount() const;
 
+    /** Saturation value of the 4x4-bit Johnson counters. */
+    static constexpr u32 kCounterMax = 4095;
+
   private:
-    struct TabEntry
-    {
-        u64 key = 0;
-        u32 count = 0;
-        bool pending = false;
-        bool valid = false;
-    };
-    struct SrEntry
-    {
-        u64 key = 0;
-        u32 count = 0;
-        bool valid = false;
-    };
+    friend void detail::contextEncodeSpan(ContextDict &, const Word *,
+                                          u64 *, std::size_t, u64 &,
+                                          Word &, bool &, OpCounts &,
+                                          double, bool);
 
     u64 makeKey(Word v) const;
     void sortStep(OpCounts *ops);
     void divideCounters(OpCounts *ops);
+    /** Miss path: shift @p key into the SR, possibly promoting the
+     * displaced entry into the table (shared by access() and the span
+     * kernel so the two can never drift). */
+    void missInsert(u64 key, OpCounts *ops);
 
-    static constexpr u32 kCounterMax = 4095;  ///< 4x4-bit Johnson
+    bool pendTest(unsigned p) const
+    {
+        return (pend[p >> 6] >> (p & 63)) & 1u;
+    }
+    void pendSet(unsigned p) { pend[p >> 6] |= u64{1} << (p & 63); }
+    void pendClear(unsigned p)
+    {
+        pend[p >> 6] &= ~(u64{1} << (p & 63));
+    }
 
     ContextConfig cfg;
-    std::vector<TabEntry> table;   ///< position 0 = most frequent
-    std::vector<SrEntry> sr;
+    std::vector<u64> tab_keys;    ///< padded to whole 4-lane blocks
+    std::vector<u32> tab_counts;  ///< position 0 = most frequent
+    std::array<u64, 2> pend{};    ///< pending bits by table position
+    std::vector<u64> sr_keys;     ///< padded to whole 4-lane blocks
+    std::vector<u32> sr_counts;
     unsigned sr_head = 0;
-    unsigned valid_count = 0;      ///< dense prefix of valid entries
+    unsigned sr_filled = 0;       ///< dense prefix of valid SR entries
+    unsigned valid_count = 0;     ///< dense prefix of valid table rows
     u64 cycle = 0;
-    Word prev = 0;                 ///< previous value (transition keys)
+    Word prev = 0;                ///< previous value (transition keys)
 };
 
 /** Context-based transcoders. */
 using ContextTranscoder = PredictiveTranscoder<ContextDict>;
+
+/** Context family hot path: route spans through the fused kernel. */
+template <>
+void PredictiveTranscoder<ContextDict>::encodeSpan(const Word *in,
+                                                   u64 *out,
+                                                   std::size_t n);
 
 } // namespace predbus::coding
 

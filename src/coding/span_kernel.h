@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Internal building blocks shared by the fused span kernels
+ * (window.cpp, context.cpp, stride.cpp): the exact hit/miss wire-state
+ * updates of PredictiveTranscoder::encode(), the unit-lambda integer
+ * cost shortcut, and the SIMD-dispatch policy (AVX2 detection plus the
+ * PREDBUS_FORCE_SCALAR=1 override that pins every kernel to its scalar
+ * fallback for differential testing on SIMD hosts).
+ *
+ * Everything here is an implementation detail of src/coding — the
+ * kernels must stay byte-identical to the per-word paths, and keeping
+ * the state-update steps in one place is what guarantees it.
+ */
+
+#ifndef PREDBUS_CODING_SPAN_KERNEL_H
+#define PREDBUS_CODING_SPAN_KERNEL_H
+
+#include <cstdlib>
+
+#include "coding/codec.h"
+#include "coding/protocol.h"
+
+namespace predbus::coding::detail
+{
+
+/**
+ * True when PREDBUS_FORCE_SCALAR=1 (or any value other than "0" or
+ * empty) is set: runtime SIMD dispatch must select the scalar
+ * fallback. Read once; the kernels cache their choice at static init.
+ */
+inline bool
+forceScalarKernels()
+{
+    const char *env = std::getenv("PREDBUS_FORCE_SCALAR");
+    return env != nullptr && env[0] != '\0' && !(env[0] == '0' &&
+                                                 env[1] == '\0');
+}
+
+/** True when the fused kernels should use their AVX2 variants. */
+inline bool
+useAvx2Kernels()
+{
+#if defined(__x86_64__)
+    return __builtin_cpu_supports("avx2") && !forceScalarKernels();
+#else
+    return false;
+#endif
+}
+
+// Integer transition cost at lambda == 1: tau and kappa are exact
+// small integers (<= 67), so comparing their integer sums decides
+// exactly like comparing the doubles tau + 1.0 * kappa — the fused
+// kernels use this to keep the raw-choice math off the FPU in the
+// (default) lambda == 1 configuration.
+inline int
+costAtUnitLambda(u64 from, u64 to)
+{
+    return hammingDistance(from, to) +
+           couplingEvents(from, to, kCodedWidth);
+}
+
+inline u64
+chooseRawStateUnitLambda(u64 cur, Word value)
+{
+    const u64 cand_raw = withCtl(value, CtlState::Raw);
+    const u64 cand_inv =
+        withCtl(~u64{value} & kDataMask, CtlState::RawInv);
+    return costAtUnitLambda(cur, cand_raw) <=
+                   costAtUnitLambda(cur, cand_inv)
+               ? cand_raw
+               : cand_inv;
+}
+
+// State-update steps shared by every fused kernel. These are the
+// exact computations PredictiveTranscoder::encode() performs on a
+// dictionary hit / miss; keeping them in one place guarantees the
+// scalar and AVX2 kernels of every family stay byte-identical.
+inline void
+applyHit(u64 &state, unsigned idx, OpCounts &ops, Word value,
+         double lambda, bool cost_aware, bool unit_lambda)
+{
+    const u64 code_state = withCtl(
+        (state ^ codeVector(idx)) & kDataMask, CtlState::Code);
+    if (cost_aware) {
+        const u64 raw_state =
+            unit_lambda ? chooseRawStateUnitLambda(state, value)
+                        : chooseRawState(state, value, lambda);
+        bool raw_cheaper;
+        if (unit_lambda) {
+            raw_cheaper = costAtUnitLambda(state, raw_state) <
+                          costAtUnitLambda(state, code_state);
+        } else {
+            raw_cheaper =
+                transitionCost(state, raw_state, kCodedWidth, lambda) <
+                transitionCost(state, code_state, kCodedWidth, lambda);
+        }
+        if (raw_cheaper) {
+            ++ops.raw_sends;
+            state = raw_state;
+        } else {
+            ++ops.hits;
+            state = code_state;
+        }
+    } else {
+        ++ops.hits;
+        state = code_state;
+    }
+}
+
+inline void
+applyMiss(u64 &state, OpCounts &ops, Word value, double lambda,
+          bool unit_lambda)
+{
+    ++ops.raw_sends;
+    state = unit_lambda ? chooseRawStateUnitLambda(state, value)
+                        : chooseRawState(state, value, lambda);
+}
+
+} // namespace predbus::coding::detail
+
+#endif // PREDBUS_CODING_SPAN_KERNEL_H

@@ -1,17 +1,265 @@
 #include "coding/stride.h"
 
+#include <algorithm>
+
 #include "common/log.h"
+#include "coding/span_kernel.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 namespace predbus::coding
 {
+
+namespace
+{
+
+using detail::applyMiss;
+
+// Predictor sweep for one word: returns the lowest matching interval
+// k (1-based), or 0 on a full miss. h points at the contiguous
+// history window (h[0] = most recent); intervals with insufficient
+// history (filled < 2k) can never hit, exactly like
+// Fsm::predict() returning false in the per-word loop.
+unsigned
+findKScalar(const Word *h, std::size_t filled, unsigned K, Word v)
+{
+    const unsigned kmax =
+        static_cast<unsigned>(std::min<std::size_t>(K, filled / 2));
+    for (unsigned k = 1; k <= kmax; ++k) {
+        const Word recent = h[k - 1];
+        const Word pred =
+            static_cast<Word>(recent + recent - h[2 * k - 1]);
+        if (pred == v)
+            return k;
+    }
+    return 0;
+}
+
+#if defined(__x86_64__)
+// All 8 predictors in parallel for K == 8: lane b holds
+// pred_{b+1} = 2*h[b] - h[2b+1]. The odd-indexed "older" operands
+// h[1],h[3],...,h[15] are gathered from the two history vectors with
+// one in-lane-crossing permute each and a blend. Intervals beyond
+// filled/2 are masked out of the match bitmap; the lowest surviving
+// lane is the lowest matching interval, matching the sequential
+// sweep (the per-word loop also takes the smallest k).
+//
+// Bounds: the window buffer holds 2*win words with head <= win, so
+// for K == 8 (win = 16, buffer 32) the h[8..15] load ends exactly at
+// the allocation boundary. This kernel is only selected for K == 8.
+__attribute__((target("avx2"))) unsigned
+findKAvx2(const Word *h, std::size_t filled, unsigned K, Word v)
+{
+    (void)K;
+    const __m256i recent = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(h));
+    const __m256i older8 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(h + 8));
+    const __m256i odd_lo = _mm256_permutevar8x32_epi32(
+        recent, _mm256_setr_epi32(1, 3, 5, 7, 0, 0, 0, 0));
+    const __m256i odd_hi = _mm256_permutevar8x32_epi32(
+        older8, _mm256_setr_epi32(0, 0, 0, 0, 1, 3, 5, 7));
+    const __m256i older = _mm256_blend_epi32(odd_lo, odd_hi, 0xF0);
+    const __m256i pred = _mm256_sub_epi32(
+        _mm256_add_epi32(recent, recent), older);
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(
+            pred, _mm256_set1_epi32(static_cast<int>(v))))));
+    const unsigned kmax =
+        static_cast<unsigned>(std::min<std::size_t>(8, filled / 2));
+    mask &= (1u << kmax) - 1u;
+    return mask ? static_cast<unsigned>(__builtin_ctz(mask)) + 1 : 0;
+}
+#endif
+
+// The fused stride span kernel. Three tiers per position:
+//
+//  1. Repeat run: L consecutive copies of the LAST value leave the
+//     wire state untouched and only advance counters; the history
+//     window afterwards is L copies of the value in front of the old
+//     window (or saturated with it once L >= win), computable without
+//     per-word work.
+//  2. Constant-stride run: once interval 1 predicts in[i], every
+//     following word whose delta keeps the same (nonzero) stride s is
+//     again an interval-1 hit, because after pushing in[i+j-1] the
+//     predictor extrapolates in[i+j-1] + s = in[i+j]. Interval-1 hits
+//     toggle data bit 0 under Code control, so the output alternates
+//     between two precomputed wire states, and the history window
+//     after a saturating run is the closed form v_end - t*s.
+//  3. Everything else goes through the predictor sweep (SIMD for
+//     K == 8) plus the shared raw-choice math from span_kernel.h.
+//
+// Wire states, op counts, and FSM evolution are byte-identical to
+// encode(): run words charge exactly one compare (the interval-1 hit
+// the per-word loop breaks on), repeats charge none, sweep words
+// charge k on a hit at interval k and K on a miss. The push logic
+// mirrors Fsm::push() on the unpacked refs (the friend entry point
+// below hands the kernel the FSM internals, window.cpp style). A
+// macro rather than a template so the AVX2 kernel function's target
+// attribute covers the sweep call site and findKAvx2 inlines into it
+// (a cross-target indirect call per word would eat the SIMD win).
+#define PREDBUS_STRIDE_SPAN_BODY(FINDK)                                \
+    const std::size_t win = bufsize / 2;                               \
+    const bool unit_lambda = lambda == 1.0;                            \
+    std::size_t head = head_ref;                                       \
+    std::size_t filled = filled_ref;                                   \
+    u64 state = state_ref;                                             \
+    Word last = last_ref;                                              \
+    bool has_last = has_last_ref;                                      \
+    OpCounts ops;                                                      \
+    const auto push = [&](Word v) {                                    \
+        if (head == 0) {                                               \
+            std::copy(buf, buf + win, buf + win);                      \
+            head = win;                                                \
+        }                                                              \
+        buf[--head] = v;                                               \
+        if (filled < win)                                              \
+            ++filled;                                                  \
+        last = v;                                                      \
+        has_last = true;                                               \
+    };                                                                 \
+    std::size_t i = 0;                                                 \
+    while (i < n) {                                                    \
+        const Word value = in[i];                                      \
+        if (has_last && value == last) {                               \
+            std::size_t run = 1;                                       \
+            while (i + run < n && in[i + run] == value)                \
+                ++run;                                                 \
+            ops.cycles += run;                                         \
+            ops.last_hits += run;                                      \
+            std::fill(out + i, out + i + run, state);                  \
+            if (run >= win) {                                          \
+                std::fill(buf, buf + win, value);                      \
+                head = 0;                                              \
+                filled = win;                                          \
+            } else {                                                   \
+                for (std::size_t j = 0; j < run; ++j)                  \
+                    push(value);                                       \
+            }                                                          \
+            i += run;                                                  \
+            continue;                                                  \
+        }                                                              \
+        if (filled >= 2) {                                             \
+            const Word h0 = buf[head];                                 \
+            const Word h1 = buf[head + 1];                             \
+            if (static_cast<Word>(h0 + h0 - h1) == value) {            \
+                const Word s = static_cast<Word>(value - h0);          \
+                std::size_t run = 1;                                   \
+                while (i + run < n &&                                  \
+                       static_cast<Word>(in[i + run] -                 \
+                                         in[i + run - 1]) == s)        \
+                    ++run;                                             \
+                ops.cycles += run;                                     \
+                ops.compares += run;                                   \
+                ops.hits += run;                                       \
+                const u64 s_odd = withCtl(                             \
+                    (state ^ codeVector(0)) & kDataMask,               \
+                    CtlState::Code);                                   \
+                const u64 s_even = withCtl(                            \
+                    (s_odd ^ codeVector(0)) & kDataMask,               \
+                    CtlState::Code);                                   \
+                for (std::size_t j = 0; j < run; ++j)                  \
+                    out[i + j] = (j & 1) ? s_even : s_odd;             \
+                state = out[i + run - 1];                              \
+                const Word v_end = in[i + run - 1];                    \
+                if (run >= win) {                                      \
+                    for (std::size_t tpos = 0; tpos < win; ++tpos)     \
+                        buf[tpos] = static_cast<Word>(                 \
+                            v_end - static_cast<Word>(tpos) * s);      \
+                    head = 0;                                          \
+                    filled = win;                                      \
+                    last = v_end;                                      \
+                } else {                                               \
+                    for (std::size_t j = 0; j < run; ++j)              \
+                        push(in[i + j]);                               \
+                }                                                      \
+                i += run;                                              \
+                continue;                                              \
+            }                                                          \
+        }                                                              \
+        ++ops.cycles;                                                  \
+        const unsigned k = FINDK(buf + head, filled, K, value);        \
+        if (k != 0) {                                                  \
+            ops.compares += k;                                         \
+            ++ops.hits;                                                \
+            state = withCtl((state ^ codeVector(k - 1)) & kDataMask,   \
+                            CtlState::Code);                           \
+        } else {                                                       \
+            ops.compares += K;                                         \
+            applyMiss(state, ops, value, lambda, unit_lambda);         \
+        }                                                              \
+        push(value);                                                   \
+        out[i] = state;                                                \
+        ++i;                                                           \
+    }                                                                  \
+    head_ref = head;                                                   \
+    filled_ref = filled;                                               \
+    state_ref = state;                                                 \
+    last_ref = last;                                                   \
+    has_last_ref = has_last;                                           \
+    ops_out += ops;
+
+void
+strideSpanScalar(Word *buf, std::size_t bufsize, std::size_t &head_ref,
+                 std::size_t &filled_ref, u64 &state_ref,
+                 Word &last_ref, bool &has_last_ref, unsigned K,
+                 const Word *in, u64 *out, std::size_t n,
+                 OpCounts &ops_out, double lambda)
+{
+    PREDBUS_STRIDE_SPAN_BODY(findKScalar)
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2,popcnt"))) void
+strideSpanAvx2(Word *buf, std::size_t bufsize, std::size_t &head_ref,
+               std::size_t &filled_ref, u64 &state_ref, Word &last_ref,
+               bool &has_last_ref, unsigned K, const Word *in,
+               u64 *out, std::size_t n, OpCounts &ops_out,
+               double lambda)
+{
+    PREDBUS_STRIDE_SPAN_BODY(findKAvx2)
+}
+#endif
+
+#undef PREDBUS_STRIDE_SPAN_BODY
+
+} // namespace
+
+namespace detail
+{
+
+void
+strideEncodeSpan(StrideTranscoder &t, const Word *in, u64 *out,
+                 std::size_t n)
+{
+    auto &f = t.enc;
+#if defined(__x86_64__)
+    static const bool avx2 = useAvx2Kernels();
+    if (avx2 && t.K == 8) {
+        strideSpanAvx2(f.buf.data(), f.buf.size(), f.head, f.filled,
+                       f.state, f.last, f.has_last, t.K, in, out, n,
+                       t.op_counts, t.lambda);
+        return;
+    }
+#endif
+    strideSpanScalar(f.buf.data(), f.buf.size(), f.head, f.filled,
+                     f.state, f.last, f.has_last, t.K, in, out, n,
+                     t.op_counts, t.lambda);
+}
+
+} // namespace detail
 
 StrideTranscoder::StrideTranscoder(unsigned num_strides, double lambda)
     : K(num_strides), lambda(lambda)
 {
     if (K == 0 || K > kMaxCodePoints)
         fatal("stride count must be 1..", kMaxCodePoints);
-    enc.history.assign(2 * K, 0);
-    dec.history.assign(2 * K, 0);
+    enc.buf.assign(4 * static_cast<std::size_t>(K), 0);
+    enc.head = 2 * static_cast<std::size_t>(K);
+    dec.buf.assign(4 * static_cast<std::size_t>(K), 0);
+    dec.head = 2 * static_cast<std::size_t>(K);
 }
 
 std::string
@@ -23,9 +271,19 @@ StrideTranscoder::name() const
 void
 StrideTranscoder::Fsm::push(Word v)
 {
-    head = head == 0 ? history.size() - 1 : head - 1;
-    history[head] = v;
-    if (filled < history.size())
+    if (head == 0) {
+        // Window hit the front of the buffer: relocate it to the top
+        // half (the hardware shift register's shift, amortized to one
+        // copy per win pushes).
+        const std::size_t win = buf.size() / 2;
+        std::copy(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(win),
+                  buf.begin() + static_cast<std::ptrdiff_t>(win));
+        head = win;
+    }
+    --head;
+    buf[head] = v;
+    if (filled < buf.size() / 2)
         ++filled;
     last = v;
     has_last = true;
@@ -34,7 +292,7 @@ StrideTranscoder::Fsm::push(Word v)
 bool
 StrideTranscoder::Fsm::predict(unsigned k, Word &out) const
 {
-    if (filled < 2 * k)
+    if (filled < 2 * static_cast<std::size_t>(k))
         return false;
     const Word recent = at(k - 1);
     const Word older = at(2 * k - 1);
@@ -103,15 +361,14 @@ StrideTranscoder::decode(u64 wire_state)
     return value;
 }
 
-// Devirtualized batch loops: qualified calls inline the per-word
-// paths, so the span costs one virtual dispatch total.
 void
 StrideTranscoder::encodeSpan(const Word *in, u64 *out, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = StrideTranscoder::encode(in[i]);
+    detail::strideEncodeSpan(*this, in, out, n);
 }
 
+// Devirtualized batch loop: the qualified call inlines the per-word
+// path, so the span costs one virtual dispatch total.
 void
 StrideTranscoder::decodeSpan(const u64 *in, Word *out, std::size_t n)
 {
@@ -124,8 +381,10 @@ StrideTranscoder::resetState()
 {
     enc = Fsm{};
     dec = Fsm{};
-    enc.history.assign(2 * K, 0);
-    dec.history.assign(2 * K, 0);
+    enc.buf.assign(4 * static_cast<std::size_t>(K), 0);
+    enc.head = 2 * static_cast<std::size_t>(K);
+    dec.buf.assign(4 * static_cast<std::size_t>(K), 0);
+    dec.head = 2 * static_cast<std::size_t>(K);
 }
 
 } // namespace predbus::coding

@@ -8,6 +8,13 @@
  * lowest matching interval wins and is sent as a low-weight code
  * (confidence ordering); LAST-value repeats are code 0; otherwise the
  * word goes raw.
+ *
+ * History lives in a doubled sliding buffer so the 2K most recent
+ * values are always contiguous at buf[head..head+2K): a push is one
+ * store and a decrement (amortizing one block copy every 2K pushes),
+ * h[offset] is a plain indexed load with no modulo, and the span
+ * kernel's 8-way SIMD predictor compare reads the history window with
+ * two vector loads.
  */
 
 #ifndef PREDBUS_CODING_STRIDE_H
@@ -19,6 +26,18 @@
 
 namespace predbus::coding
 {
+
+class StrideTranscoder;
+
+namespace detail
+{
+/** Batch encode kernel for stride transcoders: closed-form constant
+ * stride runs, an 8-way predictor compare (AVX2 variant selected at
+ * runtime for K == 8), and the raw-choice cost math inlined into one
+ * loop. Defined in stride.cpp; byte-identical to encode(). */
+void strideEncodeSpan(StrideTranscoder &t, const Word *in, u64 *out,
+                      std::size_t n);
+} // namespace detail
 
 class StrideTranscoder : public Transcoder
 {
@@ -39,15 +58,22 @@ class StrideTranscoder : public Transcoder
     void resetState() override;
 
   private:
+    friend void detail::strideEncodeSpan(StrideTranscoder &,
+                                         const Word *, u64 *,
+                                         std::size_t);
+
     /**
-     * Ring buffer of the last 2K values: push writes one slot and
-     * moves the head instead of shifting all 2K entries (what the
-     * hardware shift register does, but O(1) in software).
+     * Doubled sliding window over the last 2K values: buf holds 4K
+     * words, the window is buf[head..head+2K) with the most recent
+     * value first, and a push decrements head (relocating the window
+     * to the upper half when head reaches 0 — what the hardware shift
+     * register does, but O(1) amortized in software and contiguous
+     * for the SIMD predictors).
      */
     struct Fsm
     {
-        std::vector<Word> history;
-        std::size_t head = 0;       ///< index of the most recent value
+        std::vector<Word> buf;
+        std::size_t head = 0;       ///< window start (most recent)
         std::size_t filled = 0;
         u64 state = 0;
         Word last = 0;
@@ -57,10 +83,7 @@ class StrideTranscoder : public Transcoder
         Word
         at(std::size_t offset) const
         {
-            std::size_t i = head + offset;
-            if (i >= history.size())
-                i -= history.size();
-            return history[i];
+            return buf[head + offset];
         }
 
         void push(Word v);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "coding/span_kernel.h"
+
 #if defined(__x86_64__)
 #include <immintrin.h>
 #endif
@@ -11,6 +13,9 @@ namespace predbus::coding
 
 namespace
 {
+
+using detail::applyHit;
+using detail::applyMiss;
 
 using ProbeFn = int (*)(const Word *, unsigned, Word);
 
@@ -52,82 +57,13 @@ ProbeFn
 pickProbe()
 {
 #if defined(__x86_64__)
-    if (__builtin_cpu_supports("avx2"))
+    if (detail::useAvx2Kernels())
         return probeAvx2;
 #endif
     return probeScalar;
 }
 
 const ProbeFn g_probe = pickProbe();
-
-// Integer transition cost at lambda == 1: tau and kappa are exact
-// small integers (<= 67), so comparing their integer sums decides
-// exactly like comparing the doubles tau + 1.0 * kappa — the fused
-// kernels use this to keep the raw-choice math off the FPU in the
-// (default) lambda == 1 configuration.
-inline int
-costAtUnitLambda(u64 from, u64 to)
-{
-    return hammingDistance(from, to) +
-           couplingEvents(from, to, kCodedWidth);
-}
-
-inline u64
-chooseRawStateUnitLambda(u64 cur, Word value)
-{
-    const u64 cand_raw = withCtl(value, CtlState::Raw);
-    const u64 cand_inv =
-        withCtl(~u64{value} & kDataMask, CtlState::RawInv);
-    return costAtUnitLambda(cur, cand_raw) <=
-                   costAtUnitLambda(cur, cand_inv)
-               ? cand_raw
-               : cand_inv;
-}
-
-// State-update steps shared by every fused kernel. These are the
-// exact computations PredictiveTranscoder::encode() performs on a
-// dictionary hit / miss; keeping them in one place guarantees the
-// scalar, AVX2, and register-resident kernels stay byte-identical.
-inline void
-applyHit(u64 &state, unsigned idx, OpCounts &ops, Word value,
-         double lambda, bool cost_aware, bool unit_lambda)
-{
-    const u64 code_state = withCtl(
-        (state ^ codeVector(idx)) & kDataMask, CtlState::Code);
-    if (cost_aware) {
-        const u64 raw_state =
-            unit_lambda ? chooseRawStateUnitLambda(state, value)
-                        : chooseRawState(state, value, lambda);
-        bool raw_cheaper;
-        if (unit_lambda) {
-            raw_cheaper = costAtUnitLambda(state, raw_state) <
-                          costAtUnitLambda(state, code_state);
-        } else {
-            raw_cheaper =
-                transitionCost(state, raw_state, kCodedWidth, lambda) <
-                transitionCost(state, code_state, kCodedWidth, lambda);
-        }
-        if (raw_cheaper) {
-            ++ops.raw_sends;
-            state = raw_state;
-        } else {
-            ++ops.hits;
-            state = code_state;
-        }
-    } else {
-        ++ops.hits;
-        state = code_state;
-    }
-}
-
-inline void
-applyMiss(u64 &state, OpCounts &ops, Word value, double lambda,
-          bool unit_lambda)
-{
-    ++ops.raw_sends;
-    state = unit_lambda ? chooseRawStateUnitLambda(state, value)
-                        : chooseRawState(state, value, lambda);
-}
 
 // The fused span kernels: WindowDict::access() and the predictive
 // encode logic in one loop, FSM scalars and dictionary cursor in

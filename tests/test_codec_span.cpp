@@ -10,12 +10,14 @@
  */
 
 #include <cstddef>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 #include <gtest/gtest.h>
 
 #include "coding/bus_energy.h"
+#include "coding/context.h"
 #include "coding/factory.h"
 #include "coding/session.h"
 #include "coding/window.h"
@@ -308,6 +310,109 @@ TEST(CodecSpan, WindowProbeKindReportsThisHost)
 {
     const std::string kind = coding::windowProbeKind();
     EXPECT_TRUE(kind == "avx2" || kind == "scalar") << kind;
+}
+
+// The force-scalar ctest variant (codec_span_force_scalar in
+// tests/CMakeLists.txt) reruns this whole file with
+// PREDBUS_FORCE_SCALAR=1; this test pins the dispatch itself so the
+// rerun provably exercises the scalar kernels and not a silently
+// still-vectorized path.
+TEST(CodecSpan, ForceScalarEnvPinsDispatchToScalar)
+{
+    const char *env = std::getenv("PREDBUS_FORCE_SCALAR");
+    const bool forced = env != nullptr && env[0] != '\0' &&
+                        !(env[0] == '0' && env[1] == '\0');
+    if (forced)
+        EXPECT_STREQ(coding::windowProbeKind(), "scalar");
+    else
+        GTEST_SKIP() << "PREDBUS_FORCE_SCALAR not set";
+}
+
+/** The encoder-side context dictionary of a factory-made ctx codec. */
+const coding::ContextDict &
+contextDictOf(const coding::Transcoder &codec)
+{
+    const auto *ctx =
+        dynamic_cast<const coding::ContextTranscoder *>(&codec);
+    EXPECT_NE(ctx, nullptr);
+    return ctx->dictionary();
+}
+
+// Counter-division boundaries (every divide_period accesses) must be
+// invisible to chunking: the fused kernel tracks the period with a
+// countdown rather than the per-word modulo, and a chunk edge landing
+// anywhere around the boundary has to produce the same division
+// schedule. Chunk sizes straddle the period (63/64/65) on purpose.
+TEST(CodecSpan, ContextDividePeriodBoundaryCrossesMidSpan)
+{
+    const std::string spec = "ctx:12+4:d64";
+    const std::vector<Word> values = lowEntropyStream(1000, 41);
+    const Reference ref(spec, values);
+    ASSERT_EQ(ref.enc_ops.divisions, 1000u / 64u);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{63},
+                                    std::size_t{64}, std::size_t{65},
+                                    std::size_t{127},
+                                    std::size_t{1000}})
+        expectSpanMatches(spec, values, chunk, ref);
+}
+
+// Saturate table counters at kCounterMax (no division, d0): the
+// paper's sorting network still charges the increment even when a
+// saturated Johnson counter stays put, and the span kernel must agree
+// on that accounting exactly. Four distinct leading values push the
+// first two through the SR into the table; the long alternation then
+// drives their counters to the ceiling (a repeat never reaches the
+// dictionary, so the pair must alternate).
+TEST(CodecSpan, ContextCounterSaturationMatchesScalar)
+{
+    const std::string spec = "ctx:4+2:d0";
+    std::vector<Word> values = {10, 20, 30, 40};
+    for (int i = 0; i < 9000; ++i) {
+        values.push_back(10);
+        values.push_back(20);
+    }
+    const Reference ref(spec, values);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{97},
+                                    values.size()})
+        expectSpanMatches(spec, values, chunk, ref);
+
+    auto span = coding::makeFromSpec(spec);
+    std::vector<u64> wire(values.size());
+    span->encodeSpan(values.data(), wire.data(), values.size());
+    const coding::ContextDict &dict = contextDictOf(*span);
+    EXPECT_EQ(dict.tableCount(0), coding::ContextDict::kCounterMax);
+    EXPECT_TRUE(dict.sortedByCount());
+}
+
+// Entries at equal counts swap on the pending-bit pass (paper Fig 27
+// step 3 prefers the swap when counts tie). Random picks from a pool
+// that fits the dictionary keep all counters close together, so ties
+// and swaps occur throughout the run; the span kernel's sparse
+// pending-mask walk must reproduce the same swap sequence, op counts
+// included, at any chunking.
+TEST(CodecSpan, ContextEqualCounterSwapsStableAcrossChunking)
+{
+    const std::string spec = "ctx:12+4:d0";
+    Rng rng(7);
+    std::vector<Word> values;
+    for (int i = 0; i < 6400; ++i)
+        values.push_back(0x1000 + rng.below(8));
+    const Reference ref(spec, values);
+    ASSERT_GT(ref.enc_ops.swaps, 0u);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{5},
+                                    std::size_t{129}, values.size()})
+        expectSpanMatches(spec, values, chunk, ref);
+
+    auto span = coding::makeFromSpec(spec);
+    std::vector<u64> wire(values.size());
+    span->encodeSpan(values.data(), wire.data(), values.size());
+    const coding::ContextDict &dict = contextDictOf(*span);
+    EXPECT_TRUE(dict.sortedByCount());
+    // Invariant 1: resident table tags stay unique through the swaps.
+    for (unsigned i = 0; i < dict.validCount(); ++i)
+        for (unsigned j = i + 1; j < dict.validCount(); ++j)
+            EXPECT_NE(dict.tableKey(i), dict.tableKey(j))
+                << "duplicate tag at " << i << "," << j;
 }
 
 } // namespace

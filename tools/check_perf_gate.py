@@ -7,10 +7,15 @@ words/sec over per-word scalar words/sec, measured back to back in
 the same process on the same stream) is stable across machines, while
 absolute words/sec swings with the host. A codec regresses if its
 span_speedup falls more than --tolerance (default 10%) below the
-baseline's. The window:8 speedup additionally has a hard floor
-(--window8-floor, default 3.0): the register-resident kernel must
-stay at least 3x over per-word scalar regardless of what the baseline
-file says.
+baseline's.
+
+On top of the relative gate, hard floors pin the speedup story
+regardless of what the baseline file says:
+  --window8-floor (3.0)  window:8 register-resident kernel
+  --ctx-floor     (2.0)  every ctx:* family (SoA dictionary kernels)
+  --stride8-floor (1.5)  stride:8 (SIMD predictor sweep)
+  --global-floor  (0.95) every codec: the default span path must
+                         never lose to the per-word scalar loop
 
 Absolute throughput is checked only with --absolute, for runs on the
 same host that produced the baseline (see docs/PERF.md for the
@@ -19,7 +24,8 @@ baseline update procedure).
 Usage:
   tools/check_perf_gate.py --current bench_current.json \
       [--baseline BENCH_codec_throughput.json] [--tolerance 0.10] \
-      [--window8-floor 3.0] [--absolute]
+      [--window8-floor 3.0] [--ctx-floor 2.0] [--stride8-floor 1.5] \
+      [--global-floor 0.95] [--absolute]
 
 Exit status: 0 clean, 1 on regression or malformed input.
 """
@@ -62,6 +68,12 @@ def main():
                     help="allowed relative span_speedup drop")
     ap.add_argument("--window8-floor", type=float, default=3.0,
                     help="hard minimum span_speedup for window:8")
+    ap.add_argument("--ctx-floor", type=float, default=2.0,
+                    help="hard minimum span_speedup for ctx:* specs")
+    ap.add_argument("--stride8-floor", type=float, default=1.5,
+                    help="hard minimum span_speedup for stride:8")
+    ap.add_argument("--global-floor", type=float, default=0.95,
+                    help="hard minimum span_speedup for every codec")
     ap.add_argument("--absolute", action="store_true",
                     help="also gate absolute span words/sec "
                          "(same-host runs only)")
@@ -92,14 +104,25 @@ def main():
                     f"{b_abs:.3e} - {args.tolerance:.0%}"
                 )
 
+    def family_floor(spec):
+        if spec == "window:8":
+            return args.window8_floor
+        if spec.startswith("ctx:"):
+            return args.ctx_floor
+        if spec == "stride:8":
+            return args.stride8_floor
+        return args.global_floor
+
     w8 = cur.get("window:8")
     if w8 is None:
         failures.append("window:8: missing from current run")
-    elif w8["span_speedup"] < args.window8_floor:
-        failures.append(
-            f"window:8: span_speedup {w8['span_speedup']:.3f} below "
-            f"the hard floor {args.window8_floor:.2f}"
-        )
+    for spec, c in sorted(cur.items()):
+        floor = max(family_floor(spec), args.global_floor)
+        if c["span_speedup"] < floor:
+            failures.append(
+                f"{spec}: span_speedup {c['span_speedup']:.3f} below "
+                f"the hard floor {floor:.2f}"
+            )
 
     for f in failures:
         print(f"check_perf_gate: FAIL {f}", file=sys.stderr)
