@@ -15,12 +15,15 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -30,6 +33,8 @@
 #include "coding/window.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/server.h"
 
@@ -68,6 +73,15 @@ struct ServeRow
     double p50_ns = 0.0;
     double p99_ns = 0.0;
     double words_per_sec = 0.0;
+};
+
+struct ObsRow
+{
+    double lockfree_record_ns = 0.0;  ///< quiet single-thread record
+    double mutex_record_ns = 0.0;     ///< same for the old design
+    double scraped_lockfree_record_ns = 0.0;  ///< under a live scraper
+    double scraped_mutex_record_ns = 0.0;
+    double record_speedup = 0.0;  ///< scraped mutex / scraped lock-free
 };
 
 double
@@ -210,9 +224,154 @@ benchServe(const std::vector<Word> &values, const Options &opt)
     return row;
 }
 
+/**
+ * Faithful replica of the pre-lock-free obs::Histogram: min/max/n/sum
+ * plus raw-sample retention under one mutex on record(), stats() that
+ * copies and sorts the samples under the same mutex. The microbench
+ * below measures both designs twice — quiet (nothing reading) and
+ * with a live scraper polling stats(), which is the workload the
+ * SERVER_STATS plane creates — and the perf gate pins the scraped
+ * ratio, so a future change that sneaks a lock back onto the record
+ * path fails CI, not just a code review.
+ */
+class MutexHistogram
+{
+  public:
+    static constexpr std::size_t kMaxSamples = 1u << 20;
+
+    void
+    record(double value)
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (n == 0) {
+            lo = hi = value;
+        } else {
+            lo = std::min(lo, value);
+            hi = std::max(hi, value);
+        }
+        ++n;
+        sum += value;
+        if (samples.size() < kMaxSamples)
+            samples.push_back(value);
+    }
+
+    obs::HistogramStats
+    stats() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        obs::HistogramStats s;
+        s.count = n;
+        if (n == 0)
+            return s;
+        s.min = lo;
+        s.max = hi;
+        s.mean = sum / static_cast<double>(n);
+        std::vector<double> sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        s.p50 = percentileSorted(sorted, 0.50);
+        s.p95 = percentileSorted(sorted, 0.95);
+        s.p99 = percentileSorted(sorted, 0.99);
+        return s;
+    }
+
+    void
+    clear()
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        n = 0;
+        sum = 0.0;
+        samples.clear();  // keeps capacity, like a warmed-up run
+    }
+
+  private:
+    mutable std::mutex mutex;
+    u64 n = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double sum = 0.0;
+    std::vector<double> samples;
+};
+
+/** ns/record for @p kRecords calls of @p record, one timed pass. */
+template <typename RecordFn>
+double
+recordPassNs(std::size_t records, RecordFn record)
+{
+    const double t0 = nowSec();
+    for (std::size_t i = 0; i < records; ++i)
+        record(static_cast<double>((i & 0xFFFF) + 1));
+    return (nowSec() - t0) * 1e9 / static_cast<double>(records);
+}
+
+/** Same pass with a scraper thread polling @p scrape throughout. */
+template <typename RecordFn, typename ScrapeFn>
+double
+scrapedPassNs(std::size_t records, RecordFn record, ScrapeFn scrape)
+{
+    std::atomic<bool> stop{false};
+    std::thread scraper([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            scrape();
+            std::this_thread::yield();
+        }
+    });
+    const double ns = recordPassNs(records, record);
+    stop.store(true);
+    scraper.join();
+    return ns;
+}
+
+ObsRow
+benchObs(const Options &opt)
+{
+    constexpr std::size_t kQuiet = 1u << 20;
+    constexpr std::size_t kScraped = 1u << 17;
+    obs::Registry registry;
+    obs::Histogram &lockfree =
+        registry.histogram("bench.obs.record_ns");
+    MutexHistogram mutexed;
+    const auto keepBest = [](double &slot, double ns) {
+        if (slot == 0.0 || ns < slot)
+            slot = ns;
+    };
+
+    ObsRow row;
+    for (unsigned r = 0; r < opt.reps; ++r) {
+        keepBest(row.lockfree_record_ns,
+                 recordPassNs(kQuiet, [&](double v) {
+                     lockfree.record(v);
+                 }));
+        mutexed.clear();
+        keepBest(row.mutex_record_ns,
+                 recordPassNs(kQuiet, [&](double v) {
+                     mutexed.record(v);
+                 }));
+
+        keepBest(row.scraped_lockfree_record_ns,
+                 scrapedPassNs(
+                     kScraped,
+                     [&](double v) { lockfree.record(v); },
+                     [&] { (void)lockfree.stats(); }));
+        mutexed.clear();
+        keepBest(row.scraped_mutex_record_ns,
+                 scrapedPassNs(
+                     kScraped,
+                     [&](double v) { mutexed.record(v); },
+                     [&] { (void)mutexed.stats(); }));
+    }
+    panicIf(lockfree.count() !=
+                u64{kQuiet + kScraped} * opt.reps,
+            "obs microbench lost records");
+    if (row.scraped_lockfree_record_ns > 0.0)
+        row.record_speedup = row.scraped_mutex_record_ns /
+                             row.scraped_lockfree_record_ns;
+    return row;
+}
+
 void
 emitJson(std::ostream &os, const Options &opt,
-         const std::vector<CodecRow> &rows, const ServeRow *serve_row)
+         const std::vector<CodecRow> &rows, const ServeRow *serve_row,
+         const ObsRow &obs_row)
 {
     os << "{\n";
     os << "  \"schema\": \"predbus.bench_codec_throughput.v1\",\n";
@@ -241,12 +400,24 @@ emitJson(std::ostream &os, const Options &opt,
            << ", \"words_per_sec\": "
            << static_cast<u64>(serve_row->words_per_sec) << "}";
     }
+    char obs_buf[256];
+    std::snprintf(obs_buf, sizeof obs_buf,
+                  "{\"lockfree_record_ns\": %.2f, "
+                  "\"mutex_record_ns\": %.2f, "
+                  "\"scraped_lockfree_record_ns\": %.2f, "
+                  "\"scraped_mutex_record_ns\": %.2f, "
+                  "\"record_speedup\": %.3f}",
+                  obs_row.lockfree_record_ns, obs_row.mutex_record_ns,
+                  obs_row.scraped_lockfree_record_ns,
+                  obs_row.scraped_mutex_record_ns,
+                  obs_row.record_speedup);
+    os << ",\n  \"obs\": " << obs_buf;
     os << "\n}\n";
 }
 
 void
 emitTable(std::ostream &os, const std::vector<CodecRow> &rows,
-          const ServeRow *serve_row)
+          const ServeRow *serve_row, const ObsRow &obs_row)
 {
     os << "codec              scalar Mw/s      span Mw/s    speedup\n";
     for (const CodecRow &r : rows) {
@@ -267,6 +438,15 @@ emitTable(std::ostream &os, const std::vector<CodecRow> &rows,
                       serve_row->words_per_sec / 1e6);
         os << line;
     }
+    char obs_line[192];
+    std::snprintf(obs_line, sizeof obs_line,
+                  "obs histogram record: quiet %.1f vs %.1f ns, "
+                  "live-scraped %.1f vs %.1f ns (%.1fx)\n",
+                  obs_row.lockfree_record_ns, obs_row.mutex_record_ns,
+                  obs_row.scraped_lockfree_record_ns,
+                  obs_row.scraped_mutex_record_ns,
+                  obs_row.record_speedup);
+    os << obs_line;
 }
 
 bool
@@ -340,12 +520,15 @@ main(int argc, char **argv)
     const bool have_serve = !opt.skip_serve;
     if (have_serve)
         serve_row = benchServe(values, opt);
+    const ObsRow obs_row = benchObs(opt);
 
     std::ostringstream body;
     if (opt.json)
-        emitJson(body, opt, rows, have_serve ? &serve_row : nullptr);
+        emitJson(body, opt, rows, have_serve ? &serve_row : nullptr,
+                 obs_row);
     else
-        emitTable(body, rows, have_serve ? &serve_row : nullptr);
+        emitTable(body, rows, have_serve ? &serve_row : nullptr,
+                  obs_row);
 
     if (!opt.out_path.empty()) {
         std::ofstream file(opt.out_path);

@@ -13,7 +13,11 @@ constexpr int kMaxDepth = 64;
 class Checker
 {
   public:
-    explicit Checker(const std::string &text) : s(text) {}
+    explicit Checker(const std::string &text,
+                     std::vector<JsonScalar> *out = nullptr)
+        : s(text), out(out)
+    {
+    }
 
     std::optional<std::string>
     check()
@@ -69,7 +73,7 @@ class Checker
     }
 
     bool
-    string()
+    string(std::string *decoded = nullptr)
     {
         if (peek() != '"')
             return setError("expected string");
@@ -92,15 +96,32 @@ class Checker
                         if (!std::isxdigit(static_cast<unsigned char>(
                                 peek())))
                             return setError("bad \\u escape");
+                    if (decoded) {
+                        // Keep \uXXXX verbatim; good enough for
+                        // path/label rendering.
+                        decoded->append(s, pos - 6, 6);
+                    }
                     continue;
                 }
                 if (esc != '"' && esc != '\\' && esc != '/' &&
                     esc != 'b' && esc != 'f' && esc != 'n' &&
                     esc != 'r' && esc != 't')
                     return setError("bad escape");
+                if (decoded) {
+                    switch (esc) {
+                      case 'b': decoded->push_back('\b'); break;
+                      case 'f': decoded->push_back('\f'); break;
+                      case 'n': decoded->push_back('\n'); break;
+                      case 'r': decoded->push_back('\r'); break;
+                      case 't': decoded->push_back('\t'); break;
+                      default: decoded->push_back(esc);
+                    }
+                }
                 ++pos;
                 continue;
             }
+            if (decoded)
+                decoded->push_back(static_cast<char>(ch));
             ++pos;
         }
         return setError("unterminated string");
@@ -138,6 +159,21 @@ class Checker
         return true;
     }
 
+    /** Emit a scalar leaf at the current path (flatten mode only). */
+    void
+    emit(std::string value_text)
+    {
+        if (!out)
+            return;
+        std::string joined;
+        for (std::size_t i = 0; i < path.size(); ++i) {
+            if (i)
+                joined.push_back('.');
+            joined += path[i];
+        }
+        out->push_back({std::move(joined), std::move(value_text)});
+    }
+
     bool
     value(int depth)
     {
@@ -146,11 +182,31 @@ class Checker
         switch (peek()) {
           case '{': return object(depth);
           case '[': return array(depth);
-          case '"': return string();
-          case 't': return literal("true");
-          case 'f': return literal("false");
-          case 'n': return literal("null");
-          default: return number();
+          case '"': {
+            std::string decoded;
+            if (!string(out ? &decoded : nullptr))
+                return false;
+            emit(std::move(decoded));
+            return true;
+          }
+          case 't':
+          case 'f':
+          case 'n': {
+            const char *word = peek() == 't'   ? "true"
+                               : peek() == 'f' ? "false"
+                                               : "null";
+            if (!literal(word))
+                return false;
+            emit(word);
+            return true;
+          }
+          default: {
+            const std::size_t start = pos;
+            if (!number())
+                return false;
+            emit(s.substr(start, pos - start));
+            return true;
+          }
         }
     }
 
@@ -165,8 +221,11 @@ class Checker
         }
         for (;;) {
             skipWs();
-            if (!string())
+            std::string key;
+            if (!string(out ? &key : nullptr))
                 return false;
+            if (out)
+                path.push_back(std::move(key));
             skipWs();
             if (peek() != ':')
                 return setError("expected ':'");
@@ -174,6 +233,8 @@ class Checker
             skipWs();
             if (!value(depth + 1))
                 return false;
+            if (out)
+                path.pop_back();
             skipWs();
             if (peek() == ',') {
                 ++pos;
@@ -196,10 +257,14 @@ class Checker
             ++pos;
             return true;
         }
-        for (;;) {
+        for (std::size_t index = 0;; ++index) {
             skipWs();
+            if (out)
+                path.push_back(std::to_string(index));
             if (!value(depth + 1))
                 return false;
+            if (out)
+                path.pop_back();
             skipWs();
             if (peek() == ',') {
                 ++pos;
@@ -214,6 +279,8 @@ class Checker
     }
 
     const std::string &s;
+    std::vector<JsonScalar> *out = nullptr;
+    std::vector<std::string> path;
     std::size_t pos = 0;
     std::string error;
 };
@@ -224,6 +291,16 @@ std::optional<std::string>
 jsonSyntaxError(const std::string &text)
 {
     return Checker(text).check();
+}
+
+std::optional<std::string>
+jsonFlatten(const std::string &text, std::vector<JsonScalar> &out)
+{
+    out.clear();
+    auto err = Checker(text, &out).check();
+    if (err)
+        out.clear();
+    return err;
 }
 
 } // namespace predbus::obs

@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace predbus::obs
 {
@@ -21,6 +22,22 @@ namespace predbus::obs
  * character offset of the first error.
  */
 std::optional<std::string> jsonSyntaxError(const std::string &text);
+
+/** One scalar leaf of a JSON document. */
+struct JsonScalar
+{
+    std::string path;   ///< dotted keys, array elements by index
+    std::string value;  ///< strings unescaped; numbers/bools/null raw
+};
+
+/**
+ * Validate @p text exactly like jsonSyntaxError and, when valid, fill
+ * @p out with every scalar leaf in document order keyed by its dotted
+ * path ("gauges.serve.sessions", "events.3.type"). Enough structure
+ * for table rendering without building a DOM.
+ */
+std::optional<std::string> jsonFlatten(const std::string &text,
+                                       std::vector<JsonScalar> &out);
 
 } // namespace predbus::obs
 

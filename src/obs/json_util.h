@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the hand-written JSON emitters (reports, trace
+ * export, serve stats). Kept tiny on purpose: escaping and number
+ * formatting are the only two things every emitter must agree on so
+ * that the in-tree checker (json_check.h) accepts all of them.
+ */
+
+#ifndef PREDBUS_OBS_JSON_UTIL_H
+#define PREDBUS_OBS_JSON_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace predbus::obs
+{
+
+/** Write @p s as a quoted, escaped JSON string. */
+inline void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                os << "\\u00" << hex[(ch >> 4) & 0xf]
+                   << hex[ch & 0xf];
+            } else {
+                os << ch;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Fixed-point JSON number (never exponent form, never NaN/Inf). */
+inline void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    os << buf;
+}
+
+} // namespace predbus::obs
+
+#endif // PREDBUS_OBS_JSON_UTIL_H

@@ -1,54 +1,268 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
+#include <cmath>
+#include <limits>
 
 #include "common/log.h"
-#include "common/stats.h"
 
 namespace predbus::obs
 {
 
+namespace
+{
+
+u64
+doubleBits(double v)
+{
+    return std::bit_cast<u64>(v);
+}
+
+double
+bitsDouble(u64 bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+/** Relaxed CAS-add of a double stored as bits in @p target. */
+void
+atomicAddDouble(std::atomic<u64> &target, double delta)
+{
+    u64 old = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(
+        old, doubleBits(bitsDouble(old) + delta),
+        std::memory_order_relaxed)) {
+    }
+}
+
+/** Relaxed CAS toward the smaller / larger of the held double. */
+template <typename Better>
+void
+atomicExtremeDouble(std::atomic<u64> &target, double candidate,
+                    Better better)
+{
+    u64 old = target.load(std::memory_order_relaxed);
+    while (better(candidate, bitsDouble(old)) &&
+           !target.compare_exchange_weak(old, doubleBits(candidate),
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+std::size_t
+Histogram::bucketIndex(double value)
+{
+    if (!(value >= 1.0))  // NaN, negatives, and [0, 1) share bucket 0
+        return 0;
+    if (value >= 0x1p64)
+        return kBuckets - 1;
+    // Finite, in [1, 2^64): the biased exponent selects the octave,
+    // the mantissa's top kSubBits bits the linear sub-bucket. Exact
+    // equivalent of floor((v/2^e - 1) * kSubBuckets) with no FP ops.
+    const u64 bits = doubleBits(value);
+    const unsigned e =
+        (static_cast<unsigned>(bits >> 52) & 0x7ff) - 1023;
+    const unsigned sub = static_cast<unsigned>(
+        (bits >> (52 - kSubBits)) & (kSubBuckets - 1));
+    return 1 + std::size_t{e} * kSubBuckets + sub;
+}
+
+double
+Histogram::bucketLowerBound(std::size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    const std::size_t lin = index - 1;
+    const int e = static_cast<int>(lin / kSubBuckets);
+    const double sub = static_cast<double>(lin % kSubBuckets);
+    return std::ldexp(1.0 + sub / kSubBuckets, e);
+}
+
+double
+Histogram::bucketUpperBound(std::size_t index)
+{
+    if (index == 0)
+        return 1.0;
+    if (index >= kBuckets - 1)
+        return 0x1p64;
+    return bucketLowerBound(index + 1);
+}
+
+Histogram::Histogram()
+    : sum_bits(doubleBits(0.0)),
+      min_bits(doubleBits(std::numeric_limits<double>::infinity())),
+      max_bits(doubleBits(-std::numeric_limits<double>::infinity())),
+      buckets(std::make_unique<std::atomic<u64>[]>(kBuckets))
+{
+}
+
 void
 Histogram::record(double value)
 {
-    std::lock_guard<std::mutex> g(mutex);
-    if (n == 0) {
-        lo = hi = value;
-    } else {
-        lo = std::min(lo, value);
-        hi = std::max(hi, value);
-    }
-    ++n;
-    sum += value;
-    if (samples.size() < kMaxSamples)
-        samples.push_back(value);
+    // Two atomic RMWs (bucket add, exact-sum CAS); min/max are a
+    // relaxed load each unless the extreme actually moves. The total
+    // count is not kept separately — it is the bucket sum, so count
+    // and buckets can never disagree.
+    buckets[bucketIndex(value)].fetch_add(1,
+                                          std::memory_order_relaxed);
+    atomicAddDouble(sum_bits, value);
+    atomicExtremeDouble(min_bits, value,
+                        [](double a, double b) { return a < b; });
+    atomicExtremeDouble(max_bits, value,
+                        [](double a, double b) { return a > b; });
 }
 
 u64
 Histogram::count() const
 {
-    std::lock_guard<std::mutex> g(mutex);
-    return n;
+    u64 total = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        total += buckets[i].load(std::memory_order_relaxed);
+    return total;
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.sum = bitsDouble(sum_bits.load(std::memory_order_relaxed));
+    s.min = bitsDouble(min_bits.load(std::memory_order_relaxed));
+    s.max = bitsDouble(max_bits.load(std::memory_order_relaxed));
+    s.buckets.resize(kBuckets);
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        s.buckets[i] = buckets[i].load(std::memory_order_relaxed);
+    for (const u64 b : s.buckets)
+        s.count += b;
+    return s;
 }
 
 HistogramStats
 Histogram::stats() const
 {
-    std::lock_guard<std::mutex> g(mutex);
+    return snapshot().stats();
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (other.count == 0 && other.buckets.empty())
+        return;
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else if (other.count > 0) {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+    if (buckets.empty())
+        buckets.resize(Histogram::kBuckets);
+    for (std::size_t i = 0;
+         i < buckets.size() && i < other.buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+}
+
+HistogramSnapshot
+HistogramSnapshot::deltaSince(const HistogramSnapshot &prev) const
+{
+    HistogramSnapshot d;
+    d.count = count > prev.count ? count - prev.count : 0;
+    d.sum = sum > prev.sum ? sum - prev.sum : 0.0;
+    d.min = min;
+    d.max = max;
+    d.buckets.resize(buckets.size());
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const u64 before =
+            i < prev.buckets.size() ? prev.buckets[i] : 0;
+        d.buckets[i] =
+            buckets[i] > before ? buckets[i] - before : 0;
+    }
+    return d;
+}
+
+HistogramStats
+HistogramSnapshot::stats() const
+{
     HistogramStats s;
-    s.count = n;
-    if (n == 0)
+    s.count = count;
+    if (count == 0)
         return s;
-    s.min = lo;
-    s.max = hi;
-    s.mean = sum / static_cast<double>(n);
-    std::vector<double> sorted = samples;
-    std::sort(sorted.begin(), sorted.end());
-    s.p50 = percentileSorted(sorted, 0.50);
-    s.p95 = percentileSorted(sorted, 0.95);
-    s.p99 = percentileSorted(sorted, 0.99);
+    s.min = min;
+    s.max = max;
+    s.mean = sum / static_cast<double>(count);
+
+    // Quantiles against the buckets' own total: a record() racing the
+    // snapshot may make `count` and the bucket sum differ by a few,
+    // but rank lookups stay internally consistent this way.
+    u64 total = 0;
+    for (const u64 b : buckets)
+        total += b;
+    if (total == 0) {
+        s.p50 = s.p95 = s.p99 = s.max;
+        return s;
+    }
+    const auto quantile = [&](double q) {
+        const double rank =
+            q * static_cast<double>(total - 1);
+        u64 cum = 0;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            cum += buckets[i];
+            if (static_cast<double>(cum) > rank) {
+                const double mid =
+                    (Histogram::bucketLowerBound(i) +
+                     Histogram::bucketUpperBound(i)) /
+                    2.0;
+                return std::clamp(mid, min, max);
+            }
+        }
+        return max;
+    };
+    s.p50 = quantile(0.50);
+    s.p95 = quantile(0.95);
+    s.p99 = quantile(0.99);
     return s;
+}
+
+RegistrySnapshot
+deltaSnapshot(const RegistrySnapshot &prev,
+              const RegistrySnapshot &now)
+{
+    RegistrySnapshot d;
+    d.gauges = now.gauges;
+
+    d.counters.reserve(now.counters.size());
+    {
+        auto p = prev.counters.begin();
+        for (const auto &[name, value] : now.counters) {
+            while (p != prev.counters.end() && p->first < name)
+                ++p;
+            const u64 before =
+                (p != prev.counters.end() && p->first == name)
+                    ? p->second
+                    : 0;
+            d.counters.emplace_back(
+                name, value > before ? value - before : 0);
+        }
+    }
+
+    d.histograms.reserve(now.histograms.size());
+    {
+        auto p = prev.histograms.begin();
+        for (const auto &[name, snap] : now.histograms) {
+            while (p != prev.histograms.end() && p->first < name)
+                ++p;
+            if (p != prev.histograms.end() && p->first == name)
+                d.histograms.emplace_back(name,
+                                          snap.deltaSince(p->second));
+            else
+                d.histograms.emplace_back(name, snap);
+        }
+    }
+    return d;
 }
 
 Registry &
@@ -166,6 +380,23 @@ Registry::histograms() const
     return out;
 }
 
+RegistrySnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> g(mutex);
+    RegistrySnapshot s;
+    s.counters.reserve(counter_map.size());
+    for (const auto &[name, c] : counter_map)
+        s.counters.emplace_back(name, c->value());
+    s.gauges.reserve(gauge_map.size());
+    for (const auto &[name, gauge] : gauge_map)
+        s.gauges.emplace_back(name, gauge->value());
+    s.histograms.reserve(histogram_map.size());
+    for (const auto &[name, h] : histogram_map)
+        s.histograms.emplace_back(name, h->snapshot());
+    return s;
+}
+
 std::string
 metricSegment(const std::string &label)
 {
@@ -176,7 +407,7 @@ metricSegment(const std::string &label)
         if ((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
             ch == '_')
             out.push_back(ch);
-        else if (ch >= 'A' && ch <= 'Z')
+        else if (ch >= 'A' && ch >= 'A' && ch <= 'Z')
             out.push_back(
                 static_cast<char>(std::tolower(u)));
         else

@@ -24,6 +24,12 @@
  * or `<subsystem>.<object>.<event>`. Histogram names carry their unit
  * as a suffix ("_ns", "_bytes"). tools/check_metrics_names.sh lints
  * the convention and docs/OBSERVABILITY.md registers every name.
+ *
+ * Everything here is readable *live*: Registry::snapshot() takes a
+ * point-in-time copy of every metric while writers keep writing
+ * (lock-free value reads; the only lock is the name map, which
+ * writers on the hot path never touch), so a long-lived daemon can be
+ * scraped at any moment, not just at exit.
  */
 
 #ifndef PREDBUS_OBS_METRICS_H
@@ -76,7 +82,9 @@ class Gauge
     std::atomic<s64> v{0};
 };
 
-/** Summary of a histogram's samples (percentiles interpolated). */
+/** Summary of a histogram's samples. Count, sum-derived mean, and
+ * min/max are exact; percentiles are read off the log-bucket
+ * boundaries (≤ ±1.6% relative — see Histogram). */
 struct HistogramStats
 {
     u64 count = 0;
@@ -89,32 +97,113 @@ struct HistogramStats
 };
 
 /**
- * Sample distribution (timings, sizes). record() takes a mutex — fine
- * for per-cell / per-run events, not for per-word hot loops (use a
- * Counter there). Raw samples are retained up to kMaxSamples so
- * percentiles are exact for any realistic grid; count/min/max/mean
- * stay exact beyond that.
+ * Point-in-time copy of one histogram: exact count/sum/min/max plus
+ * the full bucket array. Snapshots are plain values — merge them
+ * across registries (merge is associative and commutative), subtract
+ * consecutive ones for interval views (deltaSince), and derive
+ * quantiles at any time with stats(). Taken while writers are
+ * recording, a snapshot is a consistent *sample*: every bucket value
+ * is a real count that was current at some instant during the copy,
+ * and quantiles are computed against the buckets' own total so a
+ * record() racing the copy can never misplace a percentile.
+ */
+struct HistogramSnapshot
+{
+    u64 count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< meaningless when count == 0
+    double max = 0.0;
+    std::vector<u64> buckets;  ///< Histogram::kBuckets entries
+
+    /** Fold @p other in: buckets/count/sum add, min/max widen. */
+    void merge(const HistogramSnapshot &other);
+
+    /**
+     * Buckets/count/sum since @p prev (clamped at zero if @p prev is
+     * not actually older). min/max cannot be deltaed and keep this
+     * snapshot's lifetime values.
+     */
+    HistogramSnapshot deltaSince(const HistogramSnapshot &prev) const;
+
+    /** Summary statistics (quantiles from the buckets). */
+    HistogramStats stats() const;
+};
+
+/**
+ * Sample distribution (timings, sizes) in fixed memory, safe for hot
+ * paths and long-lived daemons. record() is lock-free and wait-free
+ * on the bucket path: one relaxed atomic add into a log-scaled bucket
+ * plus CAS loops for the exact sum/min/max — no mutex, no allocation,
+ * no unbounded growth (the old implementation kept every raw sample
+ * under a mutex and could not be read while a run was in flight).
+ *
+ * Bucketing: values in [1, 2^64) land in 64 octaves × kSubBuckets
+ * linear sub-buckets each (sub-bucket = the mantissa's top kSubBits
+ * bits), so the relative bucket width is 2^-kSubBits ≈ 3.1% and any
+ * quantile read off a bucket midpoint is within ±1.6% of the true
+ * order statistic. Values below 1 (including ≤ 0) share bucket 0;
+ * values ≥ 2^64 clamp into the top bucket. Memory: kBuckets
+ * (= 2049) × 8 bytes ≈ 16 KiB per histogram, forever.
  */
 class Histogram
 {
   public:
-    static constexpr std::size_t kMaxSamples = 1u << 20;
+    static constexpr unsigned kSubBits = 5;
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;
+    static constexpr unsigned kOctaves = 64;
+    static constexpr std::size_t kBuckets =
+        1 + std::size_t{kOctaves} * kSubBuckets;
 
+    /** Bucket index for @p value (total order, clamped at both ends). */
+    static std::size_t bucketIndex(double value);
+
+    /** Inclusive lower bound of bucket @p index (0 for bucket 0). */
+    static double bucketLowerBound(std::size_t index);
+
+    /** Exclusive upper bound of bucket @p index. */
+    static double bucketUpperBound(std::size_t index);
+
+    Histogram();
+
+    /** Lock-free; safe from any number of threads concurrently. */
     void record(double value);
 
+    /** Exact total samples (the bucket sum — no separate counter). */
     u64 count() const;
 
-    /** Consistent snapshot of all summary statistics. */
+    /** Point-in-time copy; safe concurrently with record(). */
+    HistogramSnapshot snapshot() const;
+
+    /** Summary statistics (= snapshot().stats()). */
     HistogramStats stats() const;
 
   private:
-    mutable std::mutex mutex;
-    std::vector<double> samples;
-    u64 n = 0;
-    double sum = 0.0;
-    double lo = 0.0;
-    double hi = 0.0;
+    std::atomic<u64> sum_bits;  ///< double bits, CAS-added
+    std::atomic<u64> min_bits;  ///< double bits, CAS-min
+    std::atomic<u64> max_bits;  ///< double bits, CAS-max
+    std::unique_ptr<std::atomic<u64>[]> buckets;
 };
+
+/**
+ * Point-in-time copy of a whole registry, sorted by name. Take one at
+ * any moment (writers are never blocked), diff two for an interval
+ * view, serialize for a scrape.
+ */
+struct RegistrySnapshot
+{
+    std::vector<std::pair<std::string, u64>> counters;
+    std::vector<std::pair<std::string, s64>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/**
+ * What happened between two snapshots: counters and histogram
+ * buckets/counts/sums are subtracted (names missing from @p prev keep
+ * their full value; values that shrank clamp at zero), gauges carry
+ * @p now's current value (a gauge has no meaningful delta).
+ */
+RegistrySnapshot deltaSnapshot(const RegistrySnapshot &prev,
+                               const RegistrySnapshot &now);
 
 /**
  * Named metric container. Thread-safe; metric objects have stable
@@ -140,6 +229,9 @@ class Registry
     std::vector<std::pair<std::string, s64>> gauges() const;
     std::vector<std::pair<std::string, HistogramStats>>
     histograms() const;
+
+    /** Copy every metric at this instant; writers are not blocked. */
+    RegistrySnapshot snapshot() const;
 
   private:
     void checkName(const std::string &name, const char *kind) const;

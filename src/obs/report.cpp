@@ -1,9 +1,8 @@
 #include "obs/report.h"
 
-#include <cmath>
-#include <cstdio>
 #include <ostream>
 
+#include "obs/json_util.h"
 #include "obs/metrics.h"
 
 #ifndef PREDBUS_GIT_DESCRIBE
@@ -32,41 +31,6 @@ compilerString()
 #else
     return "unknown";
 #endif
-}
-
-void
-jsonEscape(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (char ch : s) {
-        switch (ch) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\r': os << "\\r"; break;
-          case '\t': os << "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(ch) < 0x20) {
-                const char *hex = "0123456789abcdef";
-                os << "\\u00" << hex[(ch >> 4) & 0xf]
-                   << hex[ch & 0xf];
-            } else {
-                os << ch;
-            }
-        }
-    }
-    os << '"';
-}
-
-/** Fixed-point JSON number (never exponent form, never NaN/Inf). */
-void
-jsonNumber(std::ostream &os, double v)
-{
-    if (!std::isfinite(v))
-        v = 0.0;
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.3f", v);
-    os << buf;
 }
 
 void

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/json_util.h"
 #include "obs/metrics.h"
 
 namespace predbus::obs
@@ -28,7 +29,19 @@ TraceBuffer &
 TraceBuffer::global()
 {
     static TraceBuffer buffer;
+    static const bool attached = [] {
+        buffer.attachDropCounter(
+            &Registry::global().counter("obs.trace.dropped"));
+        return true;
+    }();
+    (void)attached;
     return buffer;
+}
+
+void
+TraceBuffer::attachDropCounter(Counter *counter)
+{
+    drop_counter.store(counter, std::memory_order_relaxed);
 }
 
 void
@@ -45,6 +58,9 @@ TraceBuffer::record(std::string name, u64 start_ns, u64 dur_ns)
     std::lock_guard<std::mutex> g(mutex);
     if (spans.size() >= capacity) {
         drops.fetch_add(1, std::memory_order_relaxed);
+        if (Counter *c =
+                drop_counter.load(std::memory_order_relaxed))
+            c->inc();
         return;
     }
     SpanEvent ev;
@@ -98,30 +114,6 @@ TraceBuffer::clear()
 
 namespace
 {
-
-void
-jsonEscape(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (char ch : s) {
-        switch (ch) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\r': os << "\\r"; break;
-          case '\t': os << "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(ch) < 0x20) {
-                const char *hex = "0123456789abcdef";
-                os << "\\u00" << hex[(ch >> 4) & 0xf]
-                   << hex[ch & 0xf];
-            } else {
-                os << ch;
-            }
-        }
-    }
-    os << '"';
-}
 
 /** Microseconds with sub-ns-safe fixed formatting ("12.345"). */
 void

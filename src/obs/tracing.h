@@ -26,6 +26,7 @@
 namespace predbus::obs
 {
 
+class Counter;
 class Histogram;
 
 /** Nanoseconds of steady time since the first obs clock use. */
@@ -64,6 +65,13 @@ class TraceBuffer
     /** Record a completed span (no-op while disabled). */
     void record(std::string name, u64 start_ns, u64 dur_ns);
 
+    /**
+     * Mirror every future drop into @p counter (the global buffer
+     * attaches "obs.trace.dropped" from the global registry, so
+     * overflow shows up in metrics reports instead of being silent).
+     */
+    void attachDropCounter(Counter *counter);
+
     std::size_t size() const;
     u64 dropped() const;
     std::vector<SpanEvent> events() const;
@@ -80,6 +88,7 @@ class TraceBuffer
 
     std::atomic<bool> on{false};
     std::atomic<u64> drops{0};
+    std::atomic<Counter *> drop_counter{nullptr};
     mutable std::mutex mutex;
     std::vector<SpanEvent> spans;
     std::size_t capacity;

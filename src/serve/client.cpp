@@ -114,6 +114,22 @@ Client::openOrThrow(const std::string &spec)
     return *session;
 }
 
+std::string
+Client::serverStats(bool include_events)
+{
+    send(protocol::makeServerStats(include_events));
+    const protocol::Frame response = recv();
+    std::optional<ServeError> error;
+    if (takeError(response, error)) {
+        fatal("serve client: SERVER_STATS failed: ",
+              protocol::errName(error->code));
+    }
+    std::string json;
+    if (!protocol::parseServerStatsOk(response, json))
+        fatal("serve client: bad SERVER_STATS response");
+    return json;
+}
+
 BatchResult<u64>
 ClientSession::encode(std::span<const Word> words)
 {

@@ -69,6 +69,13 @@ class Client
     /** Convenience: open() that throws FatalError on server errors. */
     ClientSession openOrThrow(const std::string &spec);
 
+    /**
+     * SERVER_STATS round trip: the server's stats JSON
+     * (schema predbus.serverstats.v1; see serve/stats.h), with the
+     * flight-recorder events included when @p include_events is set.
+     */
+    std::string serverStats(bool include_events = false);
+
   private:
     explicit Client(int sock) : sock(sock) {}
 

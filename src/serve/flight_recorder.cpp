@@ -1,0 +1,112 @@
+#include "serve/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/tracing.h"
+
+namespace predbus::serve
+{
+
+const char *
+flightEventName(FlightEventKind kind)
+{
+    switch (kind) {
+      case FlightEventKind::SessionOpen:
+        return "session_open";
+      case FlightEventKind::SessionClose:
+        return "session_close";
+      case FlightEventKind::Desync:
+        return "desync";
+      case FlightEventKind::Resync:
+        return "resync";
+      case FlightEventKind::Shed:
+        return "shed";
+      case FlightEventKind::Drain:
+        return "drain";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 16;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots(std::make_unique<Slot[]>(roundUpPow2(capacity))),
+      mask(roundUpPow2(capacity) - 1)
+{
+}
+
+void
+FlightRecorder::record(FlightEventKind kind, u32 session, u64 seq,
+                       std::string_view label)
+{
+    const u64 ticket =
+        cursor.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots[ticket & mask];
+
+    FlightEvent ev;
+    ev.time_ns = obs::nowNs();
+    ev.seq = seq;
+    ev.session = session;
+    ev.kind = static_cast<u8>(kind);
+    const std::size_t n =
+        std::min(label.size(), sizeof(ev.label) - 1);
+    std::memcpy(ev.label, label.data(), n);
+
+    // Seqlock write: go odd, store, go even-with-ticket. If a lapped
+    // writer races us on this slot, readers see mismatched stamps and
+    // drop the slot — one lost event beats a lock on the hot path.
+    slot.stamp.store(2 * ticket + 1, std::memory_order_release);
+    slot.event = ev;
+    slot.stamp.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<FlightEvent>
+FlightRecorder::dump() const
+{
+    std::vector<std::pair<u64, FlightEvent>> kept;
+    kept.reserve(mask + 1);
+    for (std::size_t i = 0; i <= mask; ++i) {
+        const Slot &slot = slots[i];
+        const u64 before =
+            slot.stamp.load(std::memory_order_acquire);
+        if (before == 0 || (before & 1) != 0)
+            continue;  // empty or mid-write
+        FlightEvent ev = slot.event;
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const u64 after =
+            slot.stamp.load(std::memory_order_relaxed);
+        if (after != before)
+            continue;  // overwritten while copying
+        kept.emplace_back((before - 2) / 2, ev);
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::vector<FlightEvent> out;
+    out.reserve(kept.size());
+    for (auto &[ticket, ev] : kept)
+        out.push_back(ev);
+    return out;
+}
+
+u64
+FlightRecorder::recorded() const
+{
+    return cursor.load(std::memory_order_relaxed);
+}
+
+} // namespace predbus::serve

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Flight recorder: a bounded, lock-free ring of recent protocol
+ * events (session open/close, desync, resync, shed, drain) kept by
+ * the server for postmortems. Writers are the reader/worker threads
+ * on their hot paths, so record() must never block or allocate: one
+ * relaxed fetch_add claims a slot, a per-slot seqlock stamp makes
+ * torn writes detectable, and the newest events simply overwrite the
+ * oldest. dump() (the STATS-with-events path and the SIGUSR1 handler)
+ * reads concurrently with writers and skips any slot it catches
+ * mid-write.
+ */
+
+#ifndef PREDBUS_SERVE_FLIGHT_RECORDER_H
+#define PREDBUS_SERVE_FLIGHT_RECORDER_H
+
+#include <atomic>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::serve
+{
+
+enum class FlightEventKind : u8
+{
+    SessionOpen = 1,
+    SessionClose = 2,
+    Desync = 3,
+    Resync = 4,
+    Shed = 5,
+    Drain = 6,
+};
+
+/** Stable lowercase name ("desync", "shed", ...). */
+const char *flightEventName(FlightEventKind kind);
+
+/** One recorded event. Fixed-size so slots are plain memory. */
+struct FlightEvent
+{
+    u64 time_ns = 0;  ///< obs::nowNs() at record time
+    u64 seq = 0;      ///< batch sequence involved (0 if n/a)
+    u32 session = 0;  ///< session id (0 if n/a)
+    u8 kind = 0;      ///< FlightEventKind
+    char label[27] = {};  ///< short detail, NUL-terminated, truncated
+};
+
+class FlightRecorder
+{
+  public:
+    /** @p capacity is rounded up to a power of two, min 16. */
+    explicit FlightRecorder(std::size_t capacity = 256);
+
+    /** Lock-free, wait-free; safe from any thread. */
+    void record(FlightEventKind kind, u32 session, u64 seq,
+                std::string_view label);
+
+    /**
+     * Snapshot of the retained events, oldest first. Taken while
+     * writers keep writing: a slot caught mid-overwrite is skipped,
+     * every returned event is complete and in true record order.
+     */
+    std::vector<FlightEvent> dump() const;
+
+    /** Total events ever recorded (retained + overwritten). */
+    u64 recorded() const;
+
+    std::size_t capacity() const { return mask + 1; }
+
+  private:
+    /**
+     * Per-slot seqlock: stamp 0 = never written, odd = write in
+     * progress, even 2t+2 = slot holds the event claimed at ticket t.
+     * The ticket doubles as the global order for dump().
+     */
+    struct Slot
+    {
+        std::atomic<u64> stamp{0};
+        FlightEvent event;
+    };
+
+    std::atomic<u64> cursor{0};
+    std::unique_ptr<Slot[]> slots;
+    std::size_t mask;
+};
+
+} // namespace predbus::serve
+
+#endif // PREDBUS_SERVE_FLIGHT_RECORDER_H

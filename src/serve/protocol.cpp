@@ -237,6 +237,14 @@ makeClose(u32 session)
 }
 
 Frame
+makeServerStats(bool include_events)
+{
+    Frame frame = frameOf(MsgType::ServerStats, 0, 0);
+    frame.payload.push_back(include_events ? 1 : 0);
+    return frame;
+}
+
+Frame
 makeOpenOk(u32 session, u32 width)
 {
     Frame frame = frameOf(MsgType::OpenOk, session, 0);
@@ -298,6 +306,20 @@ Frame
 makeCloseOk(u32 session)
 {
     return frameOf(MsgType::CloseOk, session, 0);
+}
+
+Frame
+makeServerStatsOk(const std::string &json)
+{
+    Frame frame = frameOf(MsgType::ServerStatsOk, 0, 0);
+    // Hard-capped so the frame always fits kMaxPayload; a snapshot is
+    // a few KiB in practice, hitting the cap means a bug upstream.
+    const std::size_t n =
+        std::min<std::size_t>(json.size(), kMaxPayload - 4);
+    putU32(frame.payload, static_cast<u32>(n));
+    frame.payload.insert(frame.payload.end(), json.begin(),
+                         json.begin() + static_cast<long>(n));
+    return frame;
 }
 
 Frame
@@ -419,6 +441,27 @@ parseDecodeOk(const Frame &frame, u64 &checksum,
         words.push_back(w);
     }
     return cur.done();
+}
+
+bool
+parseServerStats(const Frame &frame, bool &include_events)
+{
+    if (!isType(frame, MsgType::ServerStats))
+        return false;
+    if (frame.payload.size() != 1 || (frame.payload[0] & ~1u) != 0)
+        return false;
+    include_events = frame.payload[0] != 0;
+    return true;
+}
+
+bool
+parseServerStatsOk(const Frame &frame, std::string &json)
+{
+    if (!isType(frame, MsgType::ServerStatsOk))
+        return false;
+    Cursor cur(frame.payload);
+    u32 len = 0;
+    return cur.getU32(len) && cur.getBytes(len, json) && cur.done();
 }
 
 bool

@@ -63,14 +63,16 @@ enum class MsgType : u8
     Stats = 0x04,        ///< empty payload
     Resync = 0x05,       ///< empty payload
     Close = 0x06,        ///< empty payload
+    ServerStats = 0x07,  ///< payload: u8 flags (bit0: include events)
 
-    OpenOk = 0x81,    ///< payload: u32 session, u32 width
-    EncodeOk = 0x82,  ///< payload: u64 checksum, u32 n, u64 state[n]
-    DecodeOk = 0x83,  ///< payload: u64 checksum, u32 n, u32 word[n]
-    StatsOk = 0x84,   ///< payload: SessionStats
-    ResyncOk = 0x85,  ///< payload: u32 epoch
-    CloseOk = 0x86,   ///< empty payload
-    Error = 0xff,     ///< payload: u16 code, u16 len, message bytes
+    OpenOk = 0x81,        ///< payload: u32 session, u32 width
+    EncodeOk = 0x82,      ///< payload: u64 checksum, u32 n, u64 state[n]
+    DecodeOk = 0x83,      ///< payload: u64 checksum, u32 n, u32 word[n]
+    StatsOk = 0x84,       ///< payload: SessionStats
+    ResyncOk = 0x85,      ///< payload: u32 epoch
+    CloseOk = 0x86,       ///< empty payload
+    ServerStatsOk = 0x87, ///< payload: u32 len, JSON bytes
+    Error = 0xff,         ///< payload: u16 code, u16 len, message bytes
 };
 
 /** Error codes carried by MsgType::Error. */
@@ -143,6 +145,7 @@ Frame makeDecode(u32 session, u64 seq, u64 checksum,
 Frame makeStats(u32 session);
 Frame makeResync(u32 session);
 Frame makeClose(u32 session);
+Frame makeServerStats(bool include_events);
 
 // -- response builders --------------------------------------------------
 Frame makeOpenOk(u32 session, u32 width);
@@ -153,6 +156,7 @@ Frame makeDecodeOk(u32 session, u64 seq, u64 checksum,
 Frame makeStatsOk(u32 session, const SessionStats &stats);
 Frame makeResyncOk(u32 session, u32 epoch);
 Frame makeCloseOk(u32 session);
+Frame makeServerStatsOk(const std::string &json);
 Frame makeError(u32 session, u64 seq, ErrCode code,
                 const std::string &message);
 
@@ -167,7 +171,9 @@ bool parseEncodeOk(const Frame &frame, u64 &checksum,
                    std::vector<u64> &states);
 bool parseDecodeOk(const Frame &frame, u64 &checksum,
                    std::vector<Word> &words);
+bool parseServerStats(const Frame &frame, bool &include_events);
 bool parseStatsOk(const Frame &frame, SessionStats &stats);
+bool parseServerStatsOk(const Frame &frame, std::string &json);
 bool parseResyncOk(const Frame &frame, u32 &epoch);
 bool parseError(const Frame &frame, ErrCode &code,
                 std::string &message);

@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "obs/tracing.h"
+#include "serve/stats.h"
 
 namespace predbus::serve
 {
@@ -22,6 +23,13 @@ resolveWorkers(unsigned requested)
         return requested;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 2;
+}
+
+/** Codec family as a metric segment: the spec before the first ':'. */
+std::string
+familyOf(const std::string &spec)
+{
+    return obs::metricSegment(spec.substr(0, spec.find(':')));
 }
 
 } // namespace
@@ -40,7 +48,10 @@ Server::Server(ServerOptions options, obs::Registry &reg)
       m_desyncs(reg.counter("serve.desyncs")),
       m_resyncs(reg.counter("serve.resyncs")),
       m_queue_depth(reg.gauge("serve.queue_depth")),
-      m_batch_ns(reg.histogram("serve.batch_ns"))
+      m_batch_ns(reg.histogram("serve.batch_ns")),
+      m_stats_requests(reg.counter("serve.stats_requests")),
+      recorder(opt.flight_capacity),
+      start_ns(obs::nowNs())
 {
     if (opt.unix_path.empty() && opt.tcp_port < 0)
         fatal("server needs a unix path and/or a tcp port");
@@ -119,6 +130,9 @@ Server::readerLoop(ConnPtr conn)
         if (result == ReadResult::Ok) {
             if (draining.load() || stopping.load()) {
                 m_rejects.inc();
+                recorder.record(FlightEventKind::Shed,
+                                frame.hdr.session, frame.hdr.seq,
+                                "draining");
                 replyError(*conn, frame, protocol::ErrCode::Draining,
                            "server is draining");
                 continue;
@@ -144,6 +158,9 @@ Server::readerLoop(ConnPtr conn)
             }
             if (!enqueued) {
                 m_rejects.inc();
+                recorder.record(FlightEventKind::Shed,
+                                frame.hdr.session, frame.hdr.seq,
+                                "queue_full");
                 replyError(*conn, frame, protocol::ErrCode::Overloaded,
                            "request queue full");
             }
@@ -268,6 +285,9 @@ Server::handleFrame(Conn &conn, const protocol::Frame &frame)
       case MsgType::Resync:
       case MsgType::Close:
         return handleControl(conn, frame);
+      case MsgType::ServerStats:
+        // Admin frame: server-scoped, needs no session.
+        return handleServerStats(conn, frame);
       default:
         m_errors.inc();
         return replyError(conn, frame, protocol::ErrCode::BadFrame,
@@ -295,9 +315,13 @@ Server::handleOpen(Conn &conn, const protocol::Frame &frame)
         codec.attachSpanMetrics(registry);
         const u32 width = codec.codec().width();
         const u32 id = conn.next_session++;
-        conn.sessions.emplace(id, Conn::Session(std::move(codec)));
+        std::string family = familyOf(spec);
+        familyGauge(family).add(1);
+        conn.sessions.emplace(
+            id, Conn::Session(std::move(codec), std::move(family)));
         m_sessions_opened.inc();
         m_sessions_active.add(1);
+        recorder.record(FlightEventKind::SessionOpen, id, 0, spec);
         return reply(conn, protocol::makeOpenOk(id, width));
     } catch (const FatalError &e) {
         m_errors.inc();
@@ -345,6 +369,11 @@ Server::handleBatch(Conn &conn, const protocol::Frame &frame)
         session.desynced = true;
         m_desyncs.inc();
         m_errors.inc();
+        recorder.record(FlightEventKind::Desync, frame.hdr.session,
+                        frame.hdr.seq,
+                        frame.hdr.seq != codec.seq() + 1
+                            ? "seq_mismatch"
+                            : "checksum_mismatch");
         return replyError(conn, frame, protocol::ErrCode::Desync,
                           "sequence/checksum mismatch; RESYNC "
                           "required");
@@ -400,10 +429,17 @@ Server::handleControl(Conn &conn, const protocol::Frame &frame)
         session.codec.resync();
         session.desynced = false;
         m_resyncs.inc();
+        recorder.record(FlightEventKind::Resync, frame.hdr.session,
+                        0,
+                        "epoch=" +
+                            std::to_string(session.codec.epoch()));
         return reply(conn,
                      protocol::makeResyncOk(frame.hdr.session,
                                             session.codec.epoch()));
       case protocol::MsgType::Close:
+        familyGauge(session.family).add(-1);
+        recorder.record(FlightEventKind::SessionClose,
+                        frame.hdr.session, 0, session.family);
         conn.sessions.erase(it);
         m_sessions_active.add(-1);
         return reply(conn, protocol::makeCloseOk(frame.hdr.session));
@@ -411,6 +447,39 @@ Server::handleControl(Conn &conn, const protocol::Frame &frame)
         panic("handleControl: unexpected type ",
               unsigned{frame.hdr.type});
     }
+}
+
+bool
+Server::handleServerStats(Conn &conn, const protocol::Frame &frame)
+{
+    bool include_events = false;
+    if (!protocol::parseServerStats(frame, include_events)) {
+        m_errors.inc();
+        return replyError(conn, frame, protocol::ErrCode::BadFrame,
+                          "malformed SERVER_STATS payload");
+    }
+    m_stats_requests.inc();
+    return reply(conn,
+                 protocol::makeServerStatsOk(
+                     statsJson(include_events)));
+}
+
+obs::Gauge &
+Server::familyGauge(const std::string &family)
+{
+    return registry.gauge("serve.sessions." + family);
+}
+
+std::string
+Server::statsJson(bool include_events) const
+{
+    ServerStatsContext ctx;
+    ctx.uptime_s =
+        static_cast<double>(obs::nowNs() - start_ns) / 1e9;
+    ctx.draining = draining.load(std::memory_order_relaxed);
+    ctx.recorder = &recorder;
+    ctx.include_events = include_events;
+    return serverStatsJson(registry.snapshot(), ctx);
 }
 
 bool
@@ -445,6 +514,11 @@ Server::finalize(const ConnPtr &conn)
         }
     }
     if (!conn->sessions.empty()) {
+        for (const auto &[id, session] : conn->sessions) {
+            familyGauge(session.family).add(-1);
+            recorder.record(FlightEventKind::SessionClose, id, 0,
+                            session.family);
+        }
         m_sessions_active.add(-static_cast<s64>(conn->sessions.size()));
         conn->sessions.clear();
     }
@@ -460,7 +534,8 @@ Server::finalize(const ConnPtr &conn)
 void
 Server::beginDrain()
 {
-    draining.store(true);
+    if (!draining.exchange(true))
+        recorder.record(FlightEventKind::Drain, 0, 0, "begin");
     std::lock_guard<std::mutex> lock(conns_mutex);
     for (const ConnPtr &conn : conns)
         ::shutdown(conn->fd, SHUT_RD);

@@ -45,6 +45,7 @@
 
 #include "coding/session.h"
 #include "obs/metrics.h"
+#include "serve/flight_recorder.h"
 #include "serve/net.h"
 #include "serve/protocol.h"
 
@@ -66,6 +67,8 @@ struct ServerOptions
     unsigned max_pending = 32;
     /** Per-connection bound on open sessions. */
     unsigned max_sessions = 64;
+    /** Flight-recorder ring capacity (rounded up to a power of 2). */
+    unsigned flight_capacity = 256;
 };
 
 class Server
@@ -82,6 +85,16 @@ class Server
 
     /** Actual TCP port (after ephemeral resolution); 0 if disabled. */
     u16 tcpPort() const { return tcp_port; }
+
+    /**
+     * Server-stats JSON (serve/stats.h schema) at this instant — the
+     * SERVER_STATS payload; also used by predbus_served for the
+     * --stats-interval JSON-lines and the SIGUSR1 postmortem dump.
+     */
+    std::string statsJson(bool include_events) const;
+
+    /** The protocol-event flight recorder (bounded, lock-free). */
+    const FlightRecorder &flightRecorder() const { return recorder; }
 
     /** Stop accepting and half-close connections; in-flight batches
      * still complete and their responses are written. */
@@ -117,10 +130,11 @@ class Server
         struct Session
         {
             coding::CodecSession codec;
+            std::string family;  ///< codec family metric segment
             bool desynced = false;
 
-            explicit Session(coding::CodecSession codec)
-                : codec(std::move(codec))
+            Session(coding::CodecSession codec, std::string family)
+                : codec(std::move(codec)), family(std::move(family))
             {
             }
         };
@@ -141,6 +155,10 @@ class Server
     bool handleOpen(Conn &conn, const protocol::Frame &frame);
     bool handleBatch(Conn &conn, const protocol::Frame &frame);
     bool handleControl(Conn &conn, const protocol::Frame &frame);
+    bool handleServerStats(Conn &conn, const protocol::Frame &frame);
+
+    /** The "serve.sessions.<family>" resident-session gauge. */
+    obs::Gauge &familyGauge(const std::string &family);
 
     bool reply(Conn &conn, const protocol::Frame &frame);
     bool replyError(Conn &conn, const protocol::Frame &request,
@@ -188,6 +206,11 @@ class Server
     obs::Counter &m_resyncs;
     obs::Gauge &m_queue_depth;
     obs::Histogram &m_batch_ns;
+    obs::Counter &m_stats_requests;
+
+    // Live-telemetry plane: event ring + uptime anchor.
+    FlightRecorder recorder;
+    u64 start_ns = 0;
 };
 
 } // namespace predbus::serve

@@ -1,0 +1,82 @@
+#include "serve/stats.h"
+
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace predbus::serve
+{
+
+namespace
+{
+
+void
+writeHistogram(std::ostream &os, const obs::HistogramStats &h)
+{
+    os << "{\"count\":" << h.count;
+    const std::pair<const char *, double> fields[] = {
+        {"min", h.min},   {"max", h.max}, {"mean", h.mean},
+        {"p50", h.p50},   {"p95", h.p95}, {"p99", h.p99},
+    };
+    for (const auto &[key, value] : fields) {
+        os << ",\"" << key << "\":";
+        obs::jsonNumber(os, value);
+    }
+    os << '}';
+}
+
+} // namespace
+
+std::string
+serverStatsJson(const obs::RegistrySnapshot &snapshot,
+                const ServerStatsContext &ctx)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"predbus.serverstats.v1\",\"uptime_s\":";
+    obs::jsonNumber(os, ctx.uptime_s);
+    os << ",\"draining\":" << (ctx.draining ? "true" : "false");
+
+    os << ",\"counters\":{";
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+        os << (i ? "," : "");
+        obs::jsonEscape(os, snapshot.counters[i].first);
+        os << ':' << snapshot.counters[i].second;
+    }
+    os << "},\"gauges\":{";
+    for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+        os << (i ? "," : "");
+        obs::jsonEscape(os, snapshot.gauges[i].first);
+        os << ':' << snapshot.gauges[i].second;
+    }
+    os << "},\"histograms\":{";
+    for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+        os << (i ? "," : "");
+        obs::jsonEscape(os, snapshot.histograms[i].first);
+        os << ':';
+        writeHistogram(os, snapshot.histograms[i].second.stats());
+    }
+    os << '}';
+
+    os << ",\"events_recorded\":"
+       << (ctx.recorder ? ctx.recorder->recorded() : 0);
+    if (ctx.recorder && ctx.include_events) {
+        os << ",\"events\":[";
+        const std::vector<FlightEvent> events = ctx.recorder->dump();
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const FlightEvent &ev = events[i];
+            os << (i ? "," : "") << "{\"t_ns\":" << ev.time_ns
+               << ",\"kind\":\""
+               << flightEventName(
+                      static_cast<FlightEventKind>(ev.kind))
+               << "\",\"session\":" << ev.session
+               << ",\"seq\":" << ev.seq << ",\"label\":";
+            obs::jsonEscape(os, ev.label);
+            os << '}';
+        }
+        os << ']';
+    }
+    os << '}';
+    return os.str();
+}
+
+} // namespace predbus::serve

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Server-stats JSON (schema "predbus.serverstats.v1"): the payload of
+ * the SERVER_STATS response, each --stats-interval JSON-line, and the
+ * SIGUSR1 postmortem dump. One compact line of RFC-8259 JSON:
+ *
+ *   {"schema":"predbus.serverstats.v1","uptime_s":...,
+ *    "draining":false,"counters":{...},"gauges":{...},
+ *    "histograms":{"name":{"count":..,"min":..,"max":..,"mean":..,
+ *                          "p50":..,"p95":..,"p99":..}},
+ *    "events_recorded":N,
+ *    "events":[{"t_ns":..,"kind":"desync","session":..,"seq":..,
+ *               "label":".."}]}        // only when requested
+ *
+ * Counters/gauges/histograms mirror a Registry snapshot taken at call
+ * time (writers are never blocked), so every name in
+ * docs/OBSERVABILITY.md appears here under the same key.
+ */
+
+#ifndef PREDBUS_SERVE_STATS_H
+#define PREDBUS_SERVE_STATS_H
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/flight_recorder.h"
+
+namespace predbus::serve
+{
+
+struct ServerStatsContext
+{
+    double uptime_s = 0.0;
+    bool draining = false;
+    /** nullptr leaves events_recorded at 0 and omits "events". */
+    const FlightRecorder *recorder = nullptr;
+    bool include_events = false;
+};
+
+/** Serialize @p snapshot + @p ctx as one compact JSON line (no
+ * trailing newline). */
+std::string serverStatsJson(const obs::RegistrySnapshot &snapshot,
+                            const ServerStatsContext &ctx);
+
+} // namespace predbus::serve
+
+#endif // PREDBUS_SERVE_STATS_H

@@ -7,6 +7,8 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -446,6 +448,293 @@ TEST(Metrics, TranscoderResetRebaselinesStatsSink)
     run(200);
     codec->flushStats();
     EXPECT_EQ(cycles.value(), 2700u);
+}
+
+TEST(Metrics, HistogramBucketBoundsEncloseValues)
+{
+    // Spot values across the full range land in a bucket whose
+    // bounds enclose them, and the bounds keep the documented
+    // 2^-kSubBits relative width (quantile error <= +/-1.6%).
+    for (const double v :
+         {1.0, 1.5, 2.0, 3.14159, 1000.0, 1e6, 123456789.0, 1e15,
+          9e18}) {
+        const std::size_t idx = obs::Histogram::bucketIndex(v);
+        ASSERT_GT(idx, 0u) << v;
+        ASSERT_LT(idx, obs::Histogram::kBuckets) << v;
+        const double lo = obs::Histogram::bucketLowerBound(idx);
+        const double hi = obs::Histogram::bucketUpperBound(idx);
+        EXPECT_LE(lo, v) << v;
+        EXPECT_GT(hi, v) << v;
+        EXPECT_LE((hi - lo) / lo,
+                  1.0 / obs::Histogram::kSubBuckets + 1e-9)
+            << v;
+    }
+    // Everything below 1 (negatives, zero, NaN) shares bucket 0;
+    // everything at or above 2^64 clamps into the top bucket.
+    EXPECT_EQ(obs::Histogram::bucketIndex(0.99), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(0.0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(-5.0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(
+                  std::numeric_limits<double>::quiet_NaN()),
+              0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(0x1p64),
+              obs::Histogram::kBuckets - 1);
+    EXPECT_EQ(obs::Histogram::bucketIndex(1e300),
+              obs::Histogram::kBuckets - 1);
+    EXPECT_EQ(obs::Histogram::bucketIndex(1.0), 1u);
+}
+
+TEST(Metrics, HistogramHammerMatchesSingleThreadedReference)
+{
+    // The same multiset of samples recorded by 8 racing threads and
+    // by one thread must produce identical snapshots: exact count,
+    // sum, min, max, and bucket-for-bucket equality. Integer-valued
+    // samples keep the CAS-accumulated sum order-independent.
+    obs::Registry registry;
+    obs::Histogram &hammered =
+        registry.histogram("test.hammer.dur_ns");
+    obs::Histogram &reference =
+        registry.histogram("test.reference.dur_ns");
+
+    constexpr unsigned kThreads = 8;
+    constexpr u64 kPerThread = 50000;
+    const auto sample = [](unsigned t, u64 i) {
+        return static_cast<double>((t * kPerThread + i) % 9973 + 1);
+    };
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hammered, &sample, t] {
+            for (u64 i = 0; i < kPerThread; ++i)
+                hammered.record(sample(t, i));
+        });
+    }
+    for (unsigned t = 0; t < kThreads; ++t)
+        for (u64 i = 0; i < kPerThread; ++i)
+            reference.record(sample(t, i));
+    for (auto &t : threads)
+        t.join();
+
+    const obs::HistogramSnapshot a = hammered.snapshot();
+    const obs::HistogramSnapshot b = reference.snapshot();
+    EXPECT_EQ(a.count, kThreads * kPerThread);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.buckets, b.buckets);
+
+    const obs::HistogramStats sa = a.stats();
+    const obs::HistogramStats sb = b.stats();
+    EXPECT_EQ(sa.p50, sb.p50);
+    EXPECT_EQ(sa.p95, sb.p95);
+    EXPECT_EQ(sa.p99, sb.p99);
+    // Percentiles stay within the documented bucket tolerance of the
+    // true order statistics of 1..9973 (uniform).
+    EXPECT_NEAR(sa.p50, 9973 * 0.50, 9973 * 0.017);
+    EXPECT_NEAR(sa.p95, 9973 * 0.95, 9973 * 0.017);
+    EXPECT_NEAR(sa.p99, 9973 * 0.99, 9973 * 0.017);
+}
+
+TEST(Metrics, HistogramSnapshotDuringWritesIsConsistent)
+{
+    // Snapshots taken while writers are mid-record must always be
+    // internally consistent: monotonically growing totals, ordered
+    // quantiles inside [min, max], and no torn values.
+    obs::Registry registry;
+    obs::Histogram &h = registry.histogram("test.live.dur_ns");
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < 4; ++t) {
+        writers.emplace_back([&h, &stop] {
+            u64 i = 1;
+            while (!stop.load(std::memory_order_relaxed))
+                h.record(static_cast<double>(i++ % 100000 + 1));
+        });
+    }
+
+    u64 prev_total = 0;
+    u64 prev_count = 0;
+    for (int round = 0; round < 200; ++round) {
+        const obs::HistogramSnapshot snap = h.snapshot();
+        u64 total = 0;
+        for (const u64 b : snap.buckets)
+            total += b;
+        EXPECT_GE(total, prev_total);
+        EXPECT_GE(snap.count, prev_count);
+        prev_total = total;
+        prev_count = snap.count;
+        if (total == 0)
+            continue;
+        const obs::HistogramStats stats = snap.stats();
+        EXPECT_LE(stats.p50, stats.p95);
+        EXPECT_LE(stats.p95, stats.p99);
+        EXPECT_GE(stats.p50, snap.min);
+        EXPECT_LE(stats.p99, snap.max);
+    }
+    stop.store(true);
+    for (auto &t : writers)
+        t.join();
+}
+
+TEST(Metrics, HistogramSnapshotMergeIsAssociative)
+{
+    obs::Registry registry;
+    obs::Histogram &ha = registry.histogram("test.merge.a_ns");
+    obs::Histogram &hb = registry.histogram("test.merge.b_ns");
+    obs::Histogram &hc = registry.histogram("test.merge.c_ns");
+    for (int i = 1; i <= 100; ++i)
+        ha.record(static_cast<double>(i));
+    for (int i = 500; i <= 600; ++i)
+        hb.record(static_cast<double>(i));
+    hc.record(7.0);
+
+    // (a+b)+c == a+(b+c), and both see every sample exactly once.
+    obs::HistogramSnapshot left = ha.snapshot();
+    left.merge(hb.snapshot());
+    left.merge(hc.snapshot());
+    obs::HistogramSnapshot bc = hb.snapshot();
+    bc.merge(hc.snapshot());
+    obs::HistogramSnapshot right = ha.snapshot();
+    right.merge(bc);
+
+    EXPECT_EQ(left.count, 202u);
+    EXPECT_EQ(left.count, right.count);
+    EXPECT_EQ(left.sum, right.sum);
+    EXPECT_EQ(left.min, 1.0);
+    EXPECT_EQ(left.max, 600.0);
+    EXPECT_EQ(left.min, right.min);
+    EXPECT_EQ(left.max, right.max);
+    EXPECT_EQ(left.buckets, right.buckets);
+
+    // Merging an empty snapshot is the identity (count==0 min/max
+    // must not poison the result).
+    obs::HistogramSnapshot empty;
+    empty.buckets.resize(obs::Histogram::kBuckets, 0);
+    obs::HistogramSnapshot merged = ha.snapshot();
+    merged.merge(empty);
+    EXPECT_EQ(merged.min, 1.0);
+    EXPECT_EQ(merged.max, 100.0);
+    EXPECT_EQ(merged.count, 100u);
+}
+
+TEST(Metrics, HistogramDeltaSinceIsolatesTheInterval)
+{
+    obs::Registry registry;
+    obs::Histogram &h = registry.histogram("test.delta.dur_ns");
+    for (int i = 1; i <= 1000; ++i)
+        h.record(static_cast<double>(i));
+    const obs::HistogramSnapshot before = h.snapshot();
+    for (int i = 0; i < 500; ++i)
+        h.record(42.0);
+    const obs::HistogramSnapshot after = h.snapshot();
+
+    const obs::HistogramSnapshot delta = after.deltaSince(before);
+    EXPECT_EQ(delta.count, 500u);
+    EXPECT_EQ(delta.sum, 500 * 42.0);
+    const obs::HistogramStats stats = delta.stats();
+    // Every interval sample is 42: the quantiles collapse onto its
+    // bucket (midpoint within the 3.1% bucket width).
+    EXPECT_NEAR(stats.p50, 42.0, 42.0 * 0.032);
+    EXPECT_EQ(stats.p50, stats.p99);
+}
+
+TEST(Metrics, RegistryDeltaSnapshotSubtractsCountersKeepsGauges)
+{
+    obs::Registry registry;
+    obs::Counter &hits = registry.counter("test.window.hits");
+    obs::Gauge &depth = registry.gauge("test.window.depth");
+    obs::Histogram &lat = registry.histogram("test.window.lat_ns");
+
+    hits.inc(10);
+    depth.set(3);
+    lat.record(100.0);
+    const obs::RegistrySnapshot before = registry.snapshot();
+
+    hits.inc(7);
+    depth.set(9);
+    lat.record(200.0);
+    registry.counter("test.window.fresh").inc(2);  // new mid-interval
+    const obs::RegistrySnapshot now = registry.snapshot();
+
+    const obs::RegistrySnapshot delta = deltaSnapshot(before, now);
+    const auto counter = [&](const std::string &name) {
+        for (const auto &[n, v] : delta.counters)
+            if (n == name)
+                return v;
+        return u64{0};
+    };
+    EXPECT_EQ(counter("test.window.hits"), 7u);
+    EXPECT_EQ(counter("test.window.fresh"), 2u);
+    ASSERT_EQ(delta.gauges.size(), 1u);
+    EXPECT_EQ(delta.gauges[0].second, 9);  // gauges carry "now"
+    ASSERT_EQ(delta.histograms.size(), 1u);
+    EXPECT_EQ(delta.histograms[0].second.count, 1u);
+    EXPECT_EQ(delta.histograms[0].second.sum, 200.0);
+}
+
+TEST(Metrics, RegistrySnapshotWhileWritersRace)
+{
+    obs::Registry registry;
+    obs::Counter &c = registry.counter("test.race.counter");
+    obs::Histogram &h = registry.histogram("test.race.dur_ns");
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            c.inc();
+            h.record(5.0);
+        }
+    });
+    u64 prev = 0;
+    for (int round = 0; round < 100; ++round) {
+        const obs::RegistrySnapshot snap = registry.snapshot();
+        ASSERT_EQ(snap.counters.size(), 1u);
+        EXPECT_GE(snap.counters[0].second, prev);
+        prev = snap.counters[0].second;
+    }
+    stop.store(true);
+    writer.join();
+}
+
+TEST(JsonCheck, FlattenProducesDottedScalarPaths)
+{
+    std::vector<obs::JsonScalar> rows;
+    const std::string doc =
+        R"({"a": {"b": 1, "c": "x\"y"}, "list": [true, {"d": null}],)"
+        R"( "n": -2.5e3})";
+    ASSERT_EQ(obs::jsonFlatten(doc, rows), std::nullopt);
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows[0].path, "a.b");
+    EXPECT_EQ(rows[0].value, "1");
+    EXPECT_EQ(rows[1].path, "a.c");
+    EXPECT_EQ(rows[1].value, "x\"y");  // unescaped
+    EXPECT_EQ(rows[2].path, "list.0");
+    EXPECT_EQ(rows[2].value, "true");
+    EXPECT_EQ(rows[3].path, "list.1.d");
+    EXPECT_EQ(rows[3].value, "null");
+    EXPECT_EQ(rows[4].path, "n");
+    EXPECT_EQ(rows[4].value, "-2.5e3");
+}
+
+TEST(JsonCheck, FlattenRejectsInvalidAndClearsOutput)
+{
+    std::vector<obs::JsonScalar> rows;
+    rows.push_back({"stale", "1"});
+    EXPECT_NE(obs::jsonFlatten("{\"a\": }", rows), std::nullopt);
+    EXPECT_TRUE(rows.empty());
+}
+
+TEST(Tracing, DroppedSpansMirrorIntoCounter)
+{
+    obs::Registry registry;
+    obs::Counter &dropped = registry.counter("obs.trace.dropped");
+    obs::TraceBuffer buffer(4);
+    buffer.attachDropCounter(&dropped);
+    buffer.setEnabled(true);
+    for (int i = 0; i < 10; ++i)
+        buffer.record("span", 0, 1);
+    EXPECT_EQ(buffer.dropped(), 6u);
+    EXPECT_EQ(dropped.value(), 6u);
 }
 
 TEST(Log, LevelGatesRecords)

@@ -1,0 +1,492 @@
+/**
+ * @file
+ * The live telemetry plane of the serving subsystem: SERVER_STATS
+ * frame round trips and malformed-payload rejection, the flight
+ * recorder's lock-free ring (ordering, overwrite, concurrent dump),
+ * and end-to-end scrapes against a live server — the JSON must
+ * validate, agree with the registry, list per-family session gauges,
+ * surface forced desync/RESYNC in the event dump, and never perturb
+ * the encoded bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "analysis/suite.h"
+#include "coding/session.h"
+#include "common/log.h"
+#include "obs/json_check.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/flight_recorder.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+
+using namespace predbus;
+using serve::FlightEvent;
+using serve::FlightEventKind;
+using serve::FlightRecorder;
+using serve::protocol::Frame;
+using serve::protocol::MsgType;
+
+namespace
+{
+
+// -- SERVER_STATS framing ----------------------------------------------
+
+TEST(ServerStatsProtocol, RequestRoundTrip)
+{
+    for (const bool events : {false, true}) {
+        const Frame frame =
+            serve::protocol::makeServerStats(events);
+        EXPECT_EQ(frame.hdr.type,
+                  static_cast<u8>(MsgType::ServerStats));
+        EXPECT_EQ(frame.hdr.session, 0u);
+        ASSERT_EQ(frame.payload.size(), 1u);
+        bool parsed = !events;
+        ASSERT_TRUE(serve::protocol::parseServerStats(frame, parsed));
+        EXPECT_EQ(parsed, events);
+    }
+}
+
+TEST(ServerStatsProtocol, RequestRejectsMalformedPayloads)
+{
+    bool events = false;
+
+    Frame empty = serve::protocol::makeServerStats(false);
+    empty.payload.clear();
+    empty.hdr.payload_len = 0;
+    EXPECT_FALSE(serve::protocol::parseServerStats(empty, events));
+
+    Frame oversize = serve::protocol::makeServerStats(false);
+    oversize.payload.push_back(0);
+    oversize.hdr.payload_len = 2;
+    EXPECT_FALSE(serve::protocol::parseServerStats(oversize, events));
+
+    // Reserved flag bits must be rejected, not silently ignored —
+    // they are how the frame grows in a future protocol version.
+    Frame reserved = serve::protocol::makeServerStats(false);
+    reserved.payload[0] = 0x02;
+    EXPECT_FALSE(serve::protocol::parseServerStats(reserved, events));
+    reserved.payload[0] = 0x81;
+    EXPECT_FALSE(serve::protocol::parseServerStats(reserved, events));
+}
+
+TEST(ServerStatsProtocol, ResponseRoundTrip)
+{
+    const std::string json =
+        "{\"schema\":\"predbus.serverstats.v1\",\"counters\":{}}";
+    const Frame frame = serve::protocol::makeServerStatsOk(json);
+    EXPECT_EQ(frame.hdr.type,
+              static_cast<u8>(MsgType::ServerStatsOk));
+    std::string parsed;
+    ASSERT_TRUE(serve::protocol::parseServerStatsOk(frame, parsed));
+    EXPECT_EQ(parsed, json);
+}
+
+TEST(ServerStatsProtocol, ResponseRejectsTruncatedPayloads)
+{
+    std::string parsed;
+
+    Frame frame = serve::protocol::makeServerStatsOk("{\"a\":1}");
+    frame.payload.pop_back();  // length prefix now overruns
+    frame.hdr.payload_len = static_cast<u32>(frame.payload.size());
+    EXPECT_FALSE(serve::protocol::parseServerStatsOk(frame, parsed));
+
+    Frame bare = serve::protocol::makeServerStatsOk("{}");
+    bare.payload.resize(2);  // shorter than the u32 length itself
+    bare.hdr.payload_len = 2;
+    EXPECT_FALSE(serve::protocol::parseServerStatsOk(bare, parsed));
+
+    // Trailing garbage after the declared JSON bytes is malformed.
+    Frame padded = serve::protocol::makeServerStatsOk("{}");
+    padded.payload.push_back('x');
+    padded.hdr.payload_len = static_cast<u32>(padded.payload.size());
+    EXPECT_FALSE(serve::protocol::parseServerStatsOk(padded, parsed));
+}
+
+// -- flight recorder ----------------------------------------------------
+
+TEST(FlightRecorder, RecordsInOrderBelowCapacity)
+{
+    FlightRecorder recorder(16);
+    EXPECT_EQ(recorder.capacity(), 16u);
+    for (u32 i = 0; i < 10; ++i) {
+        recorder.record(FlightEventKind::SessionOpen, i, i * 7,
+                        "window:8");
+    }
+    const std::vector<FlightEvent> events = recorder.dump();
+    ASSERT_EQ(events.size(), 10u);
+    EXPECT_EQ(recorder.recorded(), 10u);
+    for (u32 i = 0; i < 10; ++i) {
+        EXPECT_EQ(events[i].session, i);
+        EXPECT_EQ(events[i].seq, u64{i} * 7);
+        EXPECT_EQ(events[i].kind,
+                  static_cast<u8>(FlightEventKind::SessionOpen));
+        EXPECT_STREQ(events[i].label, "window:8");
+    }
+    // Timestamps never run backwards within a single writer.
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].time_ns, events[i - 1].time_ns);
+}
+
+TEST(FlightRecorder, OverwritesOldestAtCapacity)
+{
+    FlightRecorder recorder(16);
+    for (u32 i = 0; i < 100; ++i)
+        recorder.record(FlightEventKind::Shed, i, i, "queue_full");
+    EXPECT_EQ(recorder.recorded(), 100u);
+    const std::vector<FlightEvent> events = recorder.dump();
+    ASSERT_EQ(events.size(), 16u);
+    // The ring retains exactly the newest events, oldest first.
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].session, 84u + i);
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(FlightRecorder(1).capacity(), 16u);   // min 16
+    EXPECT_EQ(FlightRecorder(16).capacity(), 16u);
+    EXPECT_EQ(FlightRecorder(17).capacity(), 32u);
+    EXPECT_EQ(FlightRecorder(100).capacity(), 128u);
+}
+
+TEST(FlightRecorder, LabelsTruncateSafely)
+{
+    FlightRecorder recorder(16);
+    const std::string longlabel(200, 'x');
+    recorder.record(FlightEventKind::Desync, 1, 2, longlabel);
+    const std::vector<FlightEvent> events = recorder.dump();
+    ASSERT_EQ(events.size(), 1u);
+    const std::string label = events[0].label;
+    EXPECT_LT(label.size(), sizeof(events[0].label));
+    EXPECT_EQ(label, longlabel.substr(0, label.size()));
+}
+
+TEST(FlightRecorder, EventKindNamesAreStable)
+{
+    EXPECT_STREQ(serve::flightEventName(FlightEventKind::SessionOpen),
+                 "session_open");
+    EXPECT_STREQ(serve::flightEventName(FlightEventKind::SessionClose),
+                 "session_close");
+    EXPECT_STREQ(serve::flightEventName(FlightEventKind::Desync),
+                 "desync");
+    EXPECT_STREQ(serve::flightEventName(FlightEventKind::Resync),
+                 "resync");
+    EXPECT_STREQ(serve::flightEventName(FlightEventKind::Shed),
+                 "shed");
+    EXPECT_STREQ(serve::flightEventName(FlightEventKind::Drain),
+                 "drain");
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverTearAnEvent)
+{
+    FlightRecorder recorder(64);
+    constexpr unsigned kWriters = 4;
+    constexpr u32 kPerWriter = 20000;
+    std::atomic<bool> stop{false};
+
+    // Reader thread dumps continuously while writers hammer the ring;
+    // every event a dump returns must be complete and well-formed.
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::vector<FlightEvent> events = recorder.dump();
+            u64 prev_time = 0;
+            for (const FlightEvent &e : events) {
+                EXPECT_EQ(e.kind,
+                          static_cast<u8>(FlightEventKind::Desync));
+                // session encodes (writer, i); seq mirrors it — a
+                // torn slot would mix two different writes.
+                EXPECT_EQ(e.seq, u64{e.session});
+                EXPECT_GE(e.time_ns, prev_time);
+                prev_time = e.time_ns;
+                const std::string label = e.label;
+                EXPECT_EQ(label, "seq_mismatch");
+            }
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&recorder, w] {
+            for (u32 i = 0; i < kPerWriter; ++i) {
+                const u32 tag = w * kPerWriter + i;
+                recorder.record(FlightEventKind::Desync, tag, tag,
+                                "seq_mismatch");
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+    stop.store(true);
+    reader.join();
+
+    EXPECT_EQ(recorder.recorded(), u64{kWriters} * kPerWriter);
+    const std::vector<FlightEvent> final_events = recorder.dump();
+    EXPECT_EQ(final_events.size(), recorder.capacity());
+}
+
+// -- end-to-end scrapes -------------------------------------------------
+
+/** Unique per-test unix socket path under the system temp dir. */
+std::string
+socketPath()
+{
+    static std::atomic<int> counter{0};
+    return "/tmp/predbus_stats_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+class ServeStats : public ::testing::Test
+{
+  protected:
+    serve::Server &
+    startServer(serve::ServerOptions opt = {})
+    {
+        path = socketPath();
+        opt.unix_path = path;
+        server = std::make_unique<serve::Server>(opt, registry);
+        return *server;
+    }
+
+    serve::Client
+    connect()
+    {
+        return serve::Client::connectUnixSocket(path);
+    }
+
+    /** Flatten a scrape; fails the test on invalid JSON. */
+    std::vector<obs::JsonScalar>
+    flatten(const std::string &json)
+    {
+        std::vector<obs::JsonScalar> rows;
+        const auto err = obs::jsonFlatten(json, rows);
+        EXPECT_EQ(err, std::nullopt)
+            << err.value_or("") << "\n" << json;
+        return rows;
+    }
+
+    /** Value of a flattened path ("" if absent). */
+    static std::string
+    valueOf(const std::vector<obs::JsonScalar> &rows,
+            const std::string &path)
+    {
+        for (const obs::JsonScalar &row : rows)
+            if (row.path == path)
+                return row.value;
+        return "";
+    }
+
+    obs::Registry registry;
+    std::string path;
+    std::unique_ptr<serve::Server> server;
+};
+
+TEST_F(ServeStats, ScrapeAgreesWithRegistryMidLoad)
+{
+    startServer();
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("window:8");
+    const std::vector<Word> stream =
+        analysis::randomValues(2048, 0x57A7);
+
+    for (std::size_t pos = 0; pos < 1024; pos += 256) {
+        ASSERT_TRUE(
+            session.encode(std::span(stream).subspan(pos, 256)).ok());
+    }
+
+    // Mid-load scrape: valid JSON whose counters match the registry
+    // the server publishes into.
+    const std::string mid = client.serverStats(false);
+    const auto rows = flatten(mid);
+    EXPECT_EQ(valueOf(rows, "schema"), "predbus.serverstats.v1");
+    EXPECT_EQ(valueOf(rows, "draining"), "false");
+    EXPECT_EQ(valueOf(rows, "counters.serve.batches"), "4");
+    EXPECT_EQ(valueOf(rows, "counters.serve.batches"),
+              std::to_string(registry.counter("serve.batches")
+                                 .value()));
+    EXPECT_EQ(valueOf(rows, "counters.serve.words"), "1024");
+    EXPECT_EQ(valueOf(rows, "gauges.serve.sessions_active"), "1");
+    EXPECT_EQ(valueOf(rows, "gauges.serve.sessions.window"), "1");
+    EXPECT_EQ(valueOf(rows, "histograms.serve.batch_ns.count"), "4");
+    EXPECT_NE(valueOf(rows, "uptime_s"), "");
+    // Events were not requested: recorded count present, list absent.
+    EXPECT_NE(valueOf(rows, "events_recorded"), "");
+    for (const obs::JsonScalar &row : rows)
+        EXPECT_EQ(row.path.rfind("events.", 0), std::string::npos);
+
+    // Counters only ever advance between scrapes.
+    for (std::size_t pos = 1024; pos < 2048; pos += 256) {
+        ASSERT_TRUE(
+            session.encode(std::span(stream).subspan(pos, 256)).ok());
+    }
+    const auto rows2 = flatten(client.serverStats(false));
+    EXPECT_EQ(valueOf(rows2, "counters.serve.batches"), "8");
+    EXPECT_EQ(valueOf(rows2, "counters.serve.words"), "2048");
+    // Each scrape counts itself before snapshotting.
+    EXPECT_EQ(valueOf(rows2, "counters.serve.stats_requests"), "2");
+
+    session.close();
+    const auto rows3 = flatten(client.serverStats(false));
+    EXPECT_EQ(valueOf(rows3, "gauges.serve.sessions.window"), "0");
+}
+
+TEST_F(ServeStats, PerFamilySessionGauges)
+{
+    startServer();
+    serve::Client client = connect();
+    serve::ClientSession w1 = client.openOrThrow("window:8");
+    serve::ClientSession w2 = client.openOrThrow("window:16");
+    serve::ClientSession s1 = client.openOrThrow("stride:4");
+
+    const auto rows = flatten(client.serverStats(false));
+    EXPECT_EQ(valueOf(rows, "gauges.serve.sessions.window"), "2");
+    EXPECT_EQ(valueOf(rows, "gauges.serve.sessions.stride"), "1");
+    EXPECT_EQ(valueOf(rows, "gauges.serve.sessions_active"), "3");
+
+    w1.close();
+    s1.close();
+    const auto rows2 = flatten(client.serverStats(false));
+    EXPECT_EQ(valueOf(rows2, "gauges.serve.sessions.window"), "1");
+    EXPECT_EQ(valueOf(rows2, "gauges.serve.sessions.stride"), "0");
+    w2.close();
+}
+
+TEST_F(ServeStats, ForcedDesyncShowsUpInFlightEvents)
+{
+    startServer();
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("window:8");
+    const std::vector<Word> stream =
+        analysis::randomValues(512, 0xDE57);
+    ASSERT_TRUE(session.encode(std::span(stream).first(256)).ok());
+
+    // Poison the checksum to force a desync, then recover.
+    client.send(serve::protocol::makeEncode(
+        session.id(), session.seq() + 1, session.checksum() ^ 0xBAD,
+        std::span(stream).last(256)));
+    serve::protocol::ErrCode code{};
+    std::string message;
+    ASSERT_TRUE(
+        serve::protocol::parseError(client.recv(), code, message));
+    ASSERT_EQ(code, serve::protocol::ErrCode::Desync);
+    EXPECT_EQ(session.resync(), 1u);
+
+    const std::string json = client.serverStats(true);
+    const auto rows = flatten(json);
+    std::set<std::string> kinds;
+    for (const obs::JsonScalar &row : rows) {
+        if (row.path.rfind("events.", 0) == 0 &&
+            row.path.size() > 5 &&
+            row.path.compare(row.path.size() - 5, 5, ".kind") == 0)
+            kinds.insert(row.value);
+    }
+    // The acceptance sequence: open, the forced desync, and the
+    // RESYNC recovery all appear in one dump, in record order.
+    EXPECT_TRUE(kinds.count("session_open")) << json;
+    EXPECT_TRUE(kinds.count("desync")) << json;
+    EXPECT_TRUE(kinds.count("resync")) << json;
+
+    // The recorder itself holds them in causal order.
+    const auto events = server->flightRecorder().dump();
+    std::vector<u8> sequence;
+    for (const FlightEvent &e : events)
+        sequence.push_back(e.kind);
+    const auto open_at = std::find(
+        sequence.begin(), sequence.end(),
+        static_cast<u8>(FlightEventKind::SessionOpen));
+    const auto desync_at = std::find(
+        sequence.begin(), sequence.end(),
+        static_cast<u8>(FlightEventKind::Desync));
+    const auto resync_at = std::find(
+        sequence.begin(), sequence.end(),
+        static_cast<u8>(FlightEventKind::Resync));
+    ASSERT_NE(open_at, sequence.end());
+    ASSERT_NE(desync_at, sequence.end());
+    ASSERT_NE(resync_at, sequence.end());
+    EXPECT_LT(open_at, desync_at);
+    EXPECT_LT(desync_at, resync_at);
+}
+
+TEST_F(ServeStats, DrainAndShedAreRecorded)
+{
+    startServer();
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("window:8");
+    (void)session;
+    server->beginDrain();
+    server->waitDrained();
+    const auto events = server->flightRecorder().dump();
+    const bool drained = std::any_of(
+        events.begin(), events.end(), [](const FlightEvent &e) {
+            return e.kind == static_cast<u8>(FlightEventKind::Drain);
+        });
+    EXPECT_TRUE(drained);
+    server->stop();
+}
+
+TEST_F(ServeStats, EncodedBytesIdenticalWithConcurrentScraping)
+{
+    startServer();
+    const std::vector<Word> stream =
+        analysis::randomValues(4096, 0x0B5);
+    constexpr std::size_t kBatch = 256;
+
+    // A scraper hammers SERVER_STATS on its own connection for the
+    // whole run; the encode stream must not notice.
+    std::atomic<bool> stop{false};
+    std::thread scraper([&] {
+        serve::Client client = connect();
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::string json = client.serverStats(true);
+            ASSERT_EQ(obs::jsonSyntaxError(json), std::nullopt)
+                << json;
+        }
+    });
+
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("ctx:16+4");
+    coding::CodecSession local("ctx:16+4");
+    for (std::size_t pos = 0; pos < stream.size(); pos += kBatch) {
+        const std::span<const Word> batch(stream.data() + pos,
+                                          kBatch);
+        const auto remote = session.encode(batch);
+        ASSERT_TRUE(remote.ok());
+        std::vector<u64> expected;
+        local.encodeBatch(batch, expected);
+        ASSERT_EQ(remote.data, expected);
+        ASSERT_EQ(remote.checksum, local.checksum());
+    }
+    stop.store(true);
+    scraper.join();
+    EXPECT_GT(registry.counter("serve.stats_requests").value(), 0u);
+}
+
+TEST_F(ServeStats, StatsJsonDirectDumpIsValid)
+{
+    startServer();
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("inv:2");
+    const std::vector<Word> stream =
+        analysis::randomValues(256, 0x51);
+    ASSERT_TRUE(session.encode(stream).ok());
+
+    // The SIGUSR1 path calls statsJson(true) directly (no socket).
+    const std::string json = server->statsJson(true);
+    const auto rows = flatten(json);
+    EXPECT_EQ(valueOf(rows, "schema"), "predbus.serverstats.v1");
+    EXPECT_EQ(valueOf(rows, "gauges.serve.sessions.inv"), "1");
+    EXPECT_EQ(valueOf(rows, "events.0.kind"), "session_open");
+    EXPECT_EQ(valueOf(rows, "events.0.label"), "inv:2");
+}
+
+} // namespace

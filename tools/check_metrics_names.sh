@@ -10,6 +10,10 @@
 # are documented as patterns and validated at registration by
 # Registry::validName instead.
 #
+# The reverse direction is linted too: every concrete (non-<pattern>)
+# name in the registry table must still appear somewhere in the
+# sources, so renamed or deleted metrics cannot leave stale doc rows.
+#
 # Usage: tools/check_metrics_names.sh   (exit 0 clean, 1 on violations)
 set -eu
 
@@ -40,5 +44,21 @@ for name in $names; do
     fi
 done
 
-[ "$status" -eq 0 ] && echo "check_metrics_names: OK ($(printf '%s\n' "$names" | grep -c .) names)"
+# Reverse check: documented names must exist in the sources. Table
+# rows whose name contains '<' are runtime patterns
+# (coding.<codec>.*, serve.sessions.<family>) and rows listing
+# several suffixes ('/' shorthand like sim.cache.il1.*) are expanded
+# by the forward grep anyway, so both are skipped here.
+documented=$(grep -oE '^\| `[a-z0-9_.]+` \|' "$DOCS" |
+             sed -E 's/^\| `([a-z0-9_.]+)` \|$/\1/' | sort -u)
+for name in $documented; do
+    if ! printf '%s\n' "$names" | grep -qFx "$name"; then
+        echo "check_metrics_names: '$name' is documented in" \
+             "docs/OBSERVABILITY.md but no longer appears in the" \
+             "sources" >&2
+        status=1
+    fi
+done
+
+[ "$status" -eq 0 ] && echo "check_metrics_names: OK ($(printf '%s\n' "$names" | grep -c .) names, $(printf '%s\n' "$documented" | grep -c .) documented)"
 exit "$status"

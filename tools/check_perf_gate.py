@@ -16,6 +16,10 @@ regardless of what the baseline file says:
   --stride8-floor (1.5)  stride:8 (SIMD predictor sweep)
   --global-floor  (0.95) every codec: the default span path must
                          never lose to the per-word scalar loop
+  --obs-floor     (1.0)  obs.record_speedup: the lock-free histogram
+                         record must never lose to the old mutexed
+                         sample-vector path (CI runs 0.9 to absorb
+                         shared-runner noise)
 
 Absolute throughput is checked only with --absolute, for runs on the
 same host that produced the baseline (see docs/PERF.md for the
@@ -74,6 +78,9 @@ def main():
                     help="hard minimum span_speedup for stride:8")
     ap.add_argument("--global-floor", type=float, default=0.95,
                     help="hard minimum span_speedup for every codec")
+    ap.add_argument("--obs-floor", type=float, default=1.0,
+                    help="hard minimum histogram record_speedup "
+                         "(lock-free vs mutexed)")
     ap.add_argument("--absolute", action="store_true",
                     help="also gate absolute span words/sec "
                          "(same-host runs only)")
@@ -124,6 +131,20 @@ def main():
                 f"the hard floor {floor:.2f}"
             )
 
+    obs = cur_doc.get("obs")
+    if obs is None:
+        failures.append("obs: histogram microbench missing from "
+                        "current run")
+        obs_speedup = 0.0
+    else:
+        obs_speedup = obs.get("record_speedup", 0.0)
+        if obs_speedup < args.obs_floor:
+            failures.append(
+                f"obs: record_speedup {obs_speedup:.3f} below the "
+                f"hard floor {args.obs_floor:.2f} (lock-free "
+                f"histogram record lost to the mutexed path)"
+            )
+
     for f in failures:
         print(f"check_perf_gate: FAIL {f}", file=sys.stderr)
     if failures:
@@ -131,7 +152,8 @@ def main():
     n = len(base)
     simd = cur_doc.get("simd", "?")
     print(f"check_perf_gate: OK ({n} codecs, simd={simd}, "
-          f"window:8 speedup {w8['span_speedup']:.2f}x)")
+          f"window:8 speedup {w8['span_speedup']:.2f}x, "
+          f"obs record {obs_speedup:.2f}x)")
     return 0
 
 

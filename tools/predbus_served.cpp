@@ -16,11 +16,16 @@
  */
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
@@ -53,17 +58,32 @@ usage(std::ostream &os)
           "64)\n"
           "  --metrics=FILE    write the serve.* metrics report JSON "
           "on exit\n"
+          "  --stats-interval SEC\n"
+          "                    emit a server-stats JSON line (schema\n"
+          "                    predbus.serverstats.v1) every SEC "
+          "seconds\n"
+          "  --stats-out=FILE  destination for the JSON lines "
+          "(default:\n"
+          "                    stdout)\n"
           "  --help            this text\n"
           "\n"
           "At least one of --unix/--tcp is required. SIGTERM/SIGINT "
           "drain\n"
-          "gracefully: in-flight batches complete before exit.\n";
+          "gracefully: in-flight batches complete before exit. "
+          "SIGUSR1\n"
+          "dumps the stats snapshot with the flight-recorder events "
+          "to\n"
+          "stderr and keeps serving (live clients also get it via "
+          "the\n"
+          "SERVER_STATS frame / predbus_stats).\n";
 }
 
 struct Options
 {
     serve::ServerOptions server;
     std::string metrics_file;
+    double stats_interval = 0.0;  ///< 0: ticker disabled
+    std::string stats_out;        ///< empty: stdout
 };
 
 std::string
@@ -113,6 +133,18 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("--metrics=", 0) == 0) {
             opt.metrics_file =
                 arg.substr(std::string("--metrics=").size());
+        } else if (arg == "--stats-interval") {
+            try {
+                opt.stats_interval =
+                    std::stod(argValue(argc, argv, i, arg));
+            } catch (const std::exception &) {
+                fatal("bad --stats-interval value");
+            }
+            if (opt.stats_interval <= 0.0)
+                fatal("--stats-interval must be positive");
+        } else if (arg.rfind("--stats-out=", 0) == 0) {
+            opt.stats_out =
+                arg.substr(std::string("--stats-out=").size());
         } else {
             fatal("unknown option '", arg, "' (see --help)");
         }
@@ -123,16 +155,67 @@ parseArgs(int argc, char **argv)
 }
 
 // Self-pipe: the handler is async-signal-safe, the main thread blocks
-// on the read end until a shutdown signal arrives.
+// on the read end. Byte 1 = drain and exit (TERM/INT), byte 2 =
+// postmortem stats dump, keep serving (USR1).
 int signal_pipe[2] = {-1, -1};
 
 void
-onSignal(int)
+onSignal(int sig)
 {
-    const char byte = 1;
+    const char byte = sig == SIGUSR1 ? 2 : 1;
     [[maybe_unused]] const ssize_t n =
         ::write(signal_pipe[1], &byte, 1);
 }
+
+/** Background JSON-lines stats writer (--stats-interval). */
+class StatsTicker
+{
+  public:
+    StatsTicker(const serve::Server &server, double interval_s,
+                const std::string &path)
+        : server(server)
+    {
+        if (!path.empty()) {
+            file.open(path, std::ios::app);
+            if (!file)
+                fatal("cannot write ", path);
+        }
+        thread = std::thread([this, interval_s] {
+            const auto interval = std::chrono::duration<double>(
+                interval_s);
+            std::unique_lock<std::mutex> lock(mutex);
+            while (!cv.wait_for(lock, interval,
+                                [this] { return stopping; }))
+                emit();
+        });
+    }
+
+    ~StatsTicker()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        cv.notify_all();
+        thread.join();
+        emit();  // final line so short runs still record one snapshot
+    }
+
+  private:
+    void
+    emit()
+    {
+        std::ostream &os = file.is_open() ? file : std::cout;
+        os << server.statsJson(false) << '\n' << std::flush;
+    }
+
+    const serve::Server &server;
+    std::ofstream file;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stopping = false;
+    std::thread thread;
+};
 
 int
 runMain(int argc, char **argv)
@@ -147,8 +230,12 @@ runMain(int argc, char **argv)
     sa.sa_handler = onSignal;
     ::sigaction(SIGTERM, &sa, nullptr);
     ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGUSR1, &sa, nullptr);
 
     serve::Server server(opt.server);
+    std::optional<StatsTicker> ticker;
+    if (opt.stats_interval > 0.0)
+        ticker.emplace(server, opt.stats_interval, opt.stats_out);
     std::cout << "predbus_served listening"
               << (opt.server.unix_path.empty()
                       ? ""
@@ -158,8 +245,18 @@ runMain(int argc, char **argv)
                       : " tcp=" + std::to_string(server.tcpPort()))
               << std::endl;
 
-    char byte = 0;
-    while (::read(signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    for (;;) {
+        char byte = 0;
+        const ssize_t n = ::read(signal_pipe[0], &byte, 1);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n > 0 && byte == 2) {
+            // SIGUSR1 postmortem: full snapshot + flight-recorder
+            // events to stderr, then keep serving.
+            std::cerr << server.statsJson(true) << std::endl;
+            continue;
+        }
+        break;
     }
     logInfo("serve: shutdown signal received, draining");
     server.beginDrain();

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * predbus_stats — scrape a running predbus_served.
+ *
+ * Sends the SERVER_STATS admin frame and renders the returned
+ * predbus.serverstats.v1 JSON (docs/OBSERVABILITY.md), either raw
+ * (--format=json, one line per scrape — pipeable JSON-lines) or as an
+ * aligned path/value table (--format=table, every scalar leaf of the
+ * document flattened to a dotted path). Every payload is validated
+ * with the in-tree RFC-8259 checker before printing; a server that
+ * emits broken JSON fails the scrape.
+ *
+ *   predbus_stats --unix /tmp/predbus.sock
+ *   predbus_stats --tcp-port 7411 --events --format=json
+ *   predbus_stats --unix S --watch 1 --count 10
+ *   predbus_stats --check-json snapshot.json
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/json_check.h"
+#include "serve/client.h"
+
+using namespace predbus;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: predbus_stats [options]\n"
+          "\n"
+          "  --unix PATH       connect to a Unix domain socket\n"
+          "  --host H          TCP host (default 127.0.0.1)\n"
+          "  --tcp-port P      TCP port\n"
+          "  --events          include the flight-recorder events\n"
+          "  --format=F        table (default) | json (raw "
+          "serverstats\n"
+          "                    line, pipeable as JSON-lines)\n"
+          "  --watch SEC       re-scrape every SEC seconds until "
+          "killed\n"
+          "  --count N         stop after N scrapes (with --watch)\n"
+          "  --out=FILE        append output to FILE instead of "
+          "stdout\n"
+          "  --check-json FILE offline: validate FILE with the "
+          "in-tree\n"
+          "                    RFC-8259 checker and exit (no "
+          "server)\n"
+          "  --help            this text\n";
+}
+
+struct Options
+{
+    std::string unix_path;
+    std::string host = "127.0.0.1";
+    int tcp_port = -1;
+    bool events = false;
+    std::string format = "table";
+    double watch_interval = 0.0;  ///< 0: single scrape
+    unsigned count = 0;           ///< 0: until killed
+    std::string out_file;
+    std::string check_file;
+};
+
+std::string
+argValue(int argc, char **argv, int &i, const std::string &flag)
+{
+    if (i + 1 >= argc)
+        fatal("missing value for ", flag);
+    return argv[++i];
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (arg == "--unix") {
+            opt.unix_path = argValue(argc, argv, i, arg);
+        } else if (arg == "--host") {
+            opt.host = argValue(argc, argv, i, arg);
+        } else if (arg == "--tcp-port") {
+            try {
+                opt.tcp_port =
+                    std::stoi(argValue(argc, argv, i, arg));
+            } catch (const std::exception &) {
+                fatal("bad --tcp-port value");
+            }
+        } else if (arg == "--events") {
+            opt.events = true;
+        } else if (arg.rfind("--format=", 0) == 0) {
+            opt.format = arg.substr(std::string("--format=").size());
+        } else if (arg == "--watch") {
+            try {
+                opt.watch_interval =
+                    std::stod(argValue(argc, argv, i, arg));
+            } catch (const std::exception &) {
+                fatal("bad --watch value");
+            }
+            if (opt.watch_interval <= 0.0)
+                fatal("--watch interval must be positive");
+        } else if (arg == "--count") {
+            try {
+                opt.count = static_cast<unsigned>(
+                    std::stoul(argValue(argc, argv, i, arg)));
+            } catch (const std::exception &) {
+                fatal("bad --count value");
+            }
+        } else if (arg.rfind("--out=", 0) == 0) {
+            opt.out_file = arg.substr(std::string("--out=").size());
+        } else if (arg == "--check-json") {
+            opt.check_file = argValue(argc, argv, i, arg);
+        } else {
+            fatal("unknown option '", arg, "' (see --help)");
+        }
+    }
+    if (opt.format != "table" && opt.format != "json")
+        fatal("bad --format '", opt.format, "' (table or json)");
+    if (opt.check_file.empty() && opt.unix_path.empty() &&
+        opt.tcp_port < 0)
+        fatal("one of --unix/--tcp-port is required (see --help)");
+    return opt;
+}
+
+/** --check-json: validate a file offline; exit status is the result. */
+int
+checkJsonFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot read ", path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (const auto err = obs::jsonSyntaxError(buf.str())) {
+        std::fprintf(stderr, "predbus_stats: %s: %s\n", path.c_str(),
+                     err->c_str());
+        return 1;
+    }
+    std::printf("%s: valid JSON\n", path.c_str());
+    return 0;
+}
+
+void
+renderTable(std::ostream &os, const std::string &json)
+{
+    std::vector<obs::JsonScalar> rows;
+    if (const auto err = obs::jsonFlatten(json, rows))
+        fatal("server stats JSON failed validation: ", *err);
+    std::size_t width = 0;
+    for (const obs::JsonScalar &row : rows)
+        width = std::max(width, row.path.size());
+    for (const obs::JsonScalar &row : rows) {
+        os << row.path
+           << std::string(width - row.path.size() + 2, ' ')
+           << row.value << '\n';
+    }
+}
+
+int
+runMain(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    if (!opt.check_file.empty())
+        return checkJsonFile(opt.check_file);
+
+    std::ofstream file;
+    if (!opt.out_file.empty()) {
+        file.open(opt.out_file, std::ios::app);
+        if (!file)
+            fatal("cannot write ", opt.out_file);
+    }
+    std::ostream &os = file.is_open() ? file : std::cout;
+
+    serve::Client client =
+        opt.unix_path.empty()
+            ? serve::Client::connectTcpSocket(
+                  opt.host, static_cast<u16>(opt.tcp_port))
+            : serve::Client::connectUnixSocket(opt.unix_path);
+
+    const unsigned scrapes =
+        opt.watch_interval > 0.0 ? opt.count : 1;
+    for (unsigned n = 0; scrapes == 0 || n < scrapes; ++n) {
+        if (n > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(opt.watch_interval));
+        }
+        const std::string json = client.serverStats(opt.events);
+        // The scrape path IS the validator: any malformed payload
+        // from the server fails here, watch mode included.
+        if (const auto err = obs::jsonSyntaxError(json))
+            fatal("server stats JSON failed validation: ", *err);
+        if (opt.format == "json") {
+            os << json << '\n' << std::flush;
+        } else {
+            if (n > 0)
+                os << "---\n";
+            renderTable(os, json);
+            os << std::flush;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const FatalError &e) {
+        logError("predbus_stats: ", e.what());
+        return 1;
+    } catch (const PanicError &e) {
+        logError("predbus_stats: internal error: ", e.what());
+        return 2;
+    }
+}

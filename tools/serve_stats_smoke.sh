@@ -1,0 +1,110 @@
+#!/bin/sh
+# End-to-end smoke for the live telemetry plane:
+#   1. start predbus_served with the JSON-lines self-scrape ticker,
+#   2. scrape it with predbus_stats before and after a predbus_load
+#      run and require the serve.* counters to have advanced,
+#   3. validate a scraped snapshot with the in-tree RFC 8259 checker
+#      (predbus_stats --check-json) and with python3,
+#   4. require the flight recorder to have seen the load's sessions,
+#   5. SIGUSR1 must dump a postmortem snapshot to stderr mid-serve,
+#   6. SIGTERM must still drain gracefully, leaving a valid
+#      stats.jsonl behind.
+# Usage: tools/serve_stats_smoke.sh predbus_served predbus_load predbus_stats
+set -e
+
+SERVED=${1:?predbus_served path required}
+LOAD=${2:?predbus_load path required}
+STATS=${3:?predbus_stats path required}
+
+DIR=$(mktemp -d)
+SOCK="$DIR/predbus.sock"
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$SERVED" --unix "$SOCK" --workers 2 --queue 64 \
+    --stats-interval 0.2 --stats-out="$DIR/stats.jsonl" \
+    > "$DIR/served.out" 2> "$DIR/served.err" &
+SERVER_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve_stats_smoke: server did not come up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Scrape the idle server, drive load, scrape again.
+"$STATS" --unix "$SOCK" > "$DIR/scrape1.txt"
+grep -q 'predbus\.serverstats\.v1' "$DIR/scrape1.txt"
+
+"$LOAD" --unix "$SOCK" --spec window:8 --source random:8192 \
+    --connections 2 --batch 256 --mode roundtrip
+
+"$STATS" --unix "$SOCK" > "$DIR/scrape2.txt"
+
+batches_before=$(awk '$1 == "counters.serve.batches" { print $2 }' \
+    "$DIR/scrape1.txt")
+batches_after=$(awk '$1 == "counters.serve.batches" { print $2 }' \
+    "$DIR/scrape2.txt")
+if [ -z "$batches_before" ] || [ -z "$batches_after" ] ||
+        [ "$batches_after" -le "$batches_before" ]; then
+    echo "serve_stats_smoke: serve.batches did not advance" \
+         "($batches_before -> $batches_after)" >&2
+    exit 1
+fi
+
+# Each scrape counts itself, so by now at least two are on record.
+scrapes=$(awk '$1 == "counters.serve.stats_requests" { print $2 }' \
+    "$DIR/scrape2.txt")
+if [ -z "$scrapes" ] || [ "$scrapes" -lt 2 ]; then
+    echo "serve_stats_smoke: serve.stats_requests is '$scrapes'," \
+         "expected >= 2" >&2
+    exit 1
+fi
+
+# Raw snapshot with flight-recorder events: both validators must
+# accept it, and the load's sessions must be on the ring.
+"$STATS" --unix "$SOCK" --events --format=json \
+    --out="$DIR/snapshot.json"
+"$STATS" --check-json "$DIR/snapshot.json"
+python3 -m json.tool "$DIR/snapshot.json" > /dev/null
+grep -q '"kind":"session_open"' "$DIR/snapshot.json"
+
+# SIGUSR1 postmortem: snapshot + events to stderr, server keeps going.
+kill -USR1 "$SERVER_PID"
+i=0
+until grep -q 'predbus\.serverstats\.v1' "$DIR/served.err" 2>/dev/null
+do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve_stats_smoke: no SIGUSR1 dump on stderr" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$STATS" --unix "$SOCK" > /dev/null  # still serving after the dump
+
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "serve_stats_smoke: server exited $STATUS on SIGTERM" >&2
+    exit 1
+fi
+
+# The ticker left JSON-lines delta snapshots; every line must parse.
+python3 - "$DIR/stats.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "stats.jsonl is empty"
+for line in lines:
+    json.loads(line)
+EOF
+echo "serve_stats_smoke: OK"
