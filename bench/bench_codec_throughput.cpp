@@ -224,6 +224,153 @@ benchServe(const std::vector<Word> &values, const Options &opt)
     return row;
 }
 
+struct EnergyOverheadRow
+{
+    double unmetered_words_per_sec = 0.0;
+    double metered_words_per_sec = 0.0;
+    double metering_ratio = 0.0;  ///< metered / unmetered (1.0 = free)
+};
+
+/** One paired pass of 256-word encode batches over @p values: the
+ * unmetered and metered sessions alternate every 16 batches so both
+ * sides of the ratio see the same CPU frequency and background load
+ * at sub-millisecond granularity (the overhead being measured is a
+ * couple percent, smaller than whole-pass scheduler noise). The value
+ * set is swept repeatedly until each side covers at least 512Ki
+ * words. */
+struct PairedPass
+{
+    double unmetered_sec = 0.0;
+    double metered_sec = 0.0;
+    u64 words = 0;  ///< words each side processed
+};
+
+PairedPass
+pairedLoopbackPass(serve::ClientSession &unmetered,
+                   serve::ClientSession &metered,
+                   const std::vector<Word> &values,
+                   const serve::protocol::TraceContext &trace)
+{
+    constexpr std::size_t kBatch = 256;
+    constexpr std::size_t kChunkBatches = 16;
+    constexpr u64 kMinPassWords = 512 * 1024;
+    PairedPass pass;
+    const std::size_t usable =
+        values.size() - values.size() % kBatch;
+    while (pass.words < kMinPassWords) {
+        std::size_t off = 0;
+        while (off < usable) {
+            const std::size_t chunk_end =
+                std::min(off + kChunkBatches * kBatch, usable);
+            double t0 = nowSec();
+            for (std::size_t at = off; at + kBatch <= chunk_end;
+                 at += kBatch) {
+                const auto result = unmetered.encode(
+                    std::span<const Word>(values.data() + at, kBatch),
+                    nullptr);
+                panicIf(!result.ok(), "metering bench batch failed");
+            }
+            pass.unmetered_sec += nowSec() - t0;
+            t0 = nowSec();
+            for (std::size_t at = off; at + kBatch <= chunk_end;
+                 at += kBatch) {
+                const auto result = metered.encode(
+                    std::span<const Word>(values.data() + at, kBatch),
+                    &trace);
+                panicIf(!result.ok(), "metering bench batch failed");
+            }
+            pass.metered_sec += nowSec() - t0;
+            pass.words += chunk_end - off;
+            off = chunk_end;
+        }
+        if (off == 0)
+            break;  // value set smaller than one batch
+    }
+    return pass;
+}
+
+/**
+ * Serve-path cost of the live energy/tracing plane: two identical
+ * single-worker loopback servers, one with metering + batch tail
+ * sampling off, one with both on and every batch trace-stamped. Each
+ * rep runs one pass against each server back to back and the median
+ * paired ratio is the reported metering_ratio. The gate pins it
+ * (tools/check_perf_gate.py --energy-overhead-floor): metering must
+ * stay within a few percent of the unmetered serve path.
+ */
+EnergyOverheadRow
+benchEnergyOverhead(const std::vector<Word> &values,
+                    const Options &opt)
+{
+    const std::string base_path =
+        "/tmp/predbus_bench_" + std::to_string(::getpid());
+
+    serve::ServerOptions off_opt;
+    off_opt.unix_path = base_path + "_unmetered.sock";
+    off_opt.workers = 1;
+    off_opt.meter_energy = false;
+    off_opt.batch_trace_capacity = 0;
+    serve::Server off_server(off_opt);
+
+    serve::ServerOptions on_opt;
+    on_opt.unix_path = base_path + "_metered.sock";
+    on_opt.workers = 1;
+    on_opt.meter_energy = true;
+    on_opt.batch_trace_capacity = 64;
+    serve::Server on_server(on_opt);
+
+    auto off_client =
+        serve::Client::connectUnixSocket(off_opt.unix_path);
+    auto on_client =
+        serve::Client::connectUnixSocket(on_opt.unix_path);
+    auto off_session = off_client.openOrThrow("window:8");
+    auto on_session = on_client.openOrThrow("window:8");
+
+    serve::protocol::TraceContext trace;
+    trace.trace_id = 0x1d8f00dbeefcafe5ull;
+    trace.span_id = 0x0badc0ffee123457ull;
+
+    // The ratio is the gated quantity, so the two sides must see the
+    // same CPU frequency and background load: chunks of batches
+    // alternate between the two servers at sub-millisecond
+    // granularity, and the ratio is taken over the *total* paired
+    // times of the whole run, so a noise burst lands on both sides of
+    // the division and cancels. Dividing two independently best-of'd
+    // rates instead lets scheduler noise land on one side only, which
+    // on a busy host swings the quotient by far more than the
+    // metering cost being measured.
+    EnergyOverheadRow row;
+    double unmetered_sec = 0.0;
+    double metered_sec = 0.0;
+    for (unsigned r = 0; r < opt.reps; ++r) {
+        const PairedPass pass =
+            pairedLoopbackPass(off_session, on_session, values, trace);
+        if (pass.words == 0 || pass.unmetered_sec <= 0.0 ||
+            pass.metered_sec <= 0.0)
+            continue;
+        const double w = static_cast<double>(pass.words);
+        row.unmetered_words_per_sec =
+            std::max(row.unmetered_words_per_sec,
+                     w / pass.unmetered_sec);
+        row.metered_words_per_sec = std::max(
+            row.metered_words_per_sec, w / pass.metered_sec);
+        unmetered_sec += pass.unmetered_sec;
+        metered_sec += pass.metered_sec;
+    }
+    off_session.close();
+    on_session.close();
+    off_server.stop();
+    on_server.stop();
+    ::unlink(off_opt.unix_path.c_str());
+    ::unlink(on_opt.unix_path.c_str());
+
+    // rate_metered / rate_unmetered with the shared word count
+    // cancelled.
+    if (metered_sec > 0.0)
+        row.metering_ratio = unmetered_sec / metered_sec;
+    return row;
+}
+
 /**
  * Faithful replica of the pre-lock-free obs::Histogram: min/max/n/sum
  * plus raw-sample retention under one mutex on record(), stats() that
@@ -371,7 +518,7 @@ benchObs(const Options &opt)
 void
 emitJson(std::ostream &os, const Options &opt,
          const std::vector<CodecRow> &rows, const ServeRow *serve_row,
-         const ObsRow &obs_row)
+         const EnergyOverheadRow *energy_row, const ObsRow &obs_row)
 {
     os << "{\n";
     os << "  \"schema\": \"predbus.bench_codec_throughput.v1\",\n";
@@ -412,12 +559,26 @@ emitJson(std::ostream &os, const Options &opt,
                   obs_row.scraped_mutex_record_ns,
                   obs_row.record_speedup);
     os << ",\n  \"obs\": " << obs_buf;
+    if (energy_row) {
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "{\"unmetered_words_per_sec\": %llu, "
+                      "\"metered_words_per_sec\": %llu, "
+                      "\"metering_ratio\": %.3f}",
+                      static_cast<unsigned long long>(
+                          energy_row->unmetered_words_per_sec),
+                      static_cast<unsigned long long>(
+                          energy_row->metered_words_per_sec),
+                      energy_row->metering_ratio);
+        os << ",\n  \"energy_overhead\": " << buf;
+    }
     os << "\n}\n";
 }
 
 void
 emitTable(std::ostream &os, const std::vector<CodecRow> &rows,
-          const ServeRow *serve_row, const ObsRow &obs_row)
+          const ServeRow *serve_row,
+          const EnergyOverheadRow *energy_row, const ObsRow &obs_row)
 {
     os << "codec              scalar Mw/s      span Mw/s    speedup\n";
     for (const CodecRow &r : rows) {
@@ -436,6 +597,16 @@ emitTable(std::ostream &os, const std::vector<CodecRow> &rows,
                       "%.2f Mw/s\n",
                       serve_row->p50_ns, serve_row->p99_ns,
                       serve_row->words_per_sec / 1e6);
+        os << line;
+    }
+    if (energy_row) {
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "serve metering overhead: %.2f vs %.2f Mw/s "
+                      "unmetered (ratio %.3f)\n",
+                      energy_row->metered_words_per_sec / 1e6,
+                      energy_row->unmetered_words_per_sec / 1e6,
+                      energy_row->metering_ratio);
         os << line;
     }
     char obs_line[192];
@@ -517,18 +688,21 @@ main(int argc, char **argv)
         rows.push_back(benchCodec(spec, values, opt));
 
     ServeRow serve_row;
+    EnergyOverheadRow energy_row;
     const bool have_serve = !opt.skip_serve;
-    if (have_serve)
+    if (have_serve) {
         serve_row = benchServe(values, opt);
+        energy_row = benchEnergyOverhead(values, opt);
+    }
     const ObsRow obs_row = benchObs(opt);
 
     std::ostringstream body;
     if (opt.json)
         emitJson(body, opt, rows, have_serve ? &serve_row : nullptr,
-                 obs_row);
+                 have_serve ? &energy_row : nullptr, obs_row);
     else
         emitTable(body, rows, have_serve ? &serve_row : nullptr,
-                  obs_row);
+                  have_serve ? &energy_row : nullptr, obs_row);
 
     if (!opt.out_path.empty()) {
         std::ofstream file(opt.out_path);

@@ -2,12 +2,244 @@
 
 #include <algorithm>
 
+#include "coding/span_kernel.h"
 #include "common/bitops.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define PREDBUS_METER_AVX2_DISPATCH 1
+#endif
+
 namespace predbus::coding
 {
+
+namespace
+{
+
+/* Span kernels below use the XOR-delta identity: with both states
+ * pre-masked and d = prev ^ cur,
+ *
+ *   hammingDistance(prev, cur)       == popcount(d)
+ *   couplingEvents(prev, cur, width) == popcount((d ^ (d >> 1))
+ *                                                & maskLow(width - 1))
+ *
+ * (the relative views cancel: (p^(p>>1)) ^ (c^(c>>1)) = d ^ (d>>1)).
+ * maskLow(0) == 0, so a 1-wire meter's kappa term masks to zero and
+ * no width branch is needed.  The caller guarantees i >= 1 and n >= 1
+ * so states[i-1] is always a valid "previous" element to reload. */
+
+template <typename T>
+void
+spanCountsScalar(const T *states, std::size_t i, std::size_t n,
+                 u64 mask, u64 mask2, u64 &prev, u64 &tau_out,
+                 u64 &kappa_out)
+{
+    u64 p = prev;
+    u64 tau = 0;
+    u64 kappa = 0;
+    for (; i < n; ++i) {
+        const u64 cur = u64{states[i]} & mask;
+        const u64 d = p ^ cur;
+        tau += static_cast<u64>(std::popcount(d));
+        kappa += static_cast<u64>(std::popcount((d ^ (d >> 1)) & mask2));
+        p = cur;
+    }
+    prev = p;
+    tau_out += tau;
+    kappa_out += kappa;
+}
+
+#ifdef PREDBUS_METER_AVX2_DISPATCH
+
+/* Same dispatch policy as the fused codec kernels, including the
+ * PREDBUS_FORCE_SCALAR override, so the force-scalar differential
+ * suite pins the meter to spanCountsScalar too. */
+bool
+haveAvx2()
+{
+    static const bool have = detail::useAvx2Kernels();
+    return have;
+}
+
+/* Vectorized tau/kappa over a span of 32-bit words (the unencoded
+ * bus).  The delta stream d_j = x[j-1] ^ x[j] is formed from two
+ * overlapping unaligned loads; per-byte popcounts come from the
+ * classic 4-bit-LUT vpshufb trick and are folded into four u64 lanes
+ * with vpsadbw each iteration, so the accumulators never overflow. */
+__attribute__((target("avx2"))) void
+spanCountsAvx2(const Word *states, std::size_t i, std::size_t n,
+               u64 mask, u64 mask2, u64 &prev, u64 &tau_out,
+               u64 &kappa_out)
+{
+    u64 p = prev;
+    u64 tau = 0;
+    u64 kappa = 0;
+    if (i < n) {
+        // First delta pairs with the carried previous state, which is
+        // not states[i-1] when the span continues an earlier one.
+        const u64 cur = u64{states[i]} & mask;
+        const u64 d = p ^ cur;
+        tau += static_cast<u64>(std::popcount(d));
+        kappa += static_cast<u64>(std::popcount((d ^ (d >> 1)) & mask2));
+        p = cur;
+        ++i;
+    }
+    const __m256i vmask = _mm256_set1_epi32(static_cast<int>(mask));
+    const __m256i vmask2 = _mm256_set1_epi32(static_cast<int>(mask2));
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                         0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low4 = _mm256_set1_epi8(0x0f);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc_t = zero;
+    __m256i acc_k = zero;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i cur = _mm256_and_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(states + i)),
+            vmask);
+        const __m256i prv = _mm256_and_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(states + i - 1)),
+            vmask);
+        const __m256i d = _mm256_xor_si256(cur, prv);
+        const __m256i e = _mm256_and_si256(
+            _mm256_xor_si256(d, _mm256_srli_epi32(d, 1)), vmask2);
+        const __m256i dl =
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(d, low4));
+        const __m256i dh = _mm256_shuffle_epi8(
+            lut, _mm256_and_si256(_mm256_srli_epi32(d, 4), low4));
+        const __m256i el =
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(e, low4));
+        const __m256i eh = _mm256_shuffle_epi8(
+            lut, _mm256_and_si256(_mm256_srli_epi32(e, 4), low4));
+        acc_t = _mm256_add_epi64(
+            acc_t, _mm256_sad_epu8(_mm256_add_epi8(dl, dh), zero));
+        acc_k = _mm256_add_epi64(
+            acc_k, _mm256_sad_epu8(_mm256_add_epi8(el, eh), zero));
+    }
+    u64 lanes_t[4];
+    u64 lanes_k[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes_t), acc_t);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes_k), acc_k);
+    tau += lanes_t[0] + lanes_t[1] + lanes_t[2] + lanes_t[3];
+    kappa += lanes_k[0] + lanes_k[1] + lanes_k[2] + lanes_k[3];
+    p = u64{states[i - 1]} & mask;
+    for (; i < n; ++i) {
+        const u64 cur = u64{states[i]} & mask;
+        const u64 d = p ^ cur;
+        tau += static_cast<u64>(std::popcount(d));
+        kappa += static_cast<u64>(std::popcount((d ^ (d >> 1)) & mask2));
+        p = cur;
+    }
+    prev = p;
+    tau_out += tau;
+    kappa_out += kappa;
+}
+
+/* One vector step of the 64-bit kernel below: four masked deltas,
+ * their coupling view, and byte-popcounts folded into the two u64
+ * lane accumulators. A separate function (not a lambda) because the
+ * target attribute does not propagate into closures. */
+__attribute__((target("avx2"))) inline void
+stepCounts64(const u64 *states, std::size_t at, __m256i vmask,
+             __m256i vmask2, __m256i lut, __m256i low4, __m256i zero,
+             __m256i &acc_t, __m256i &acc_k)
+{
+    const __m256i cur = _mm256_and_si256(
+        _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(states + at)),
+        vmask);
+    const __m256i prv = _mm256_and_si256(
+        _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(states + at - 1)),
+        vmask);
+    const __m256i d = _mm256_xor_si256(cur, prv);
+    const __m256i e = _mm256_and_si256(
+        _mm256_xor_si256(d, _mm256_srli_epi64(d, 1)), vmask2);
+    const __m256i dl =
+        _mm256_shuffle_epi8(lut, _mm256_and_si256(d, low4));
+    const __m256i dh = _mm256_shuffle_epi8(
+        lut, _mm256_and_si256(_mm256_srli_epi64(d, 4), low4));
+    const __m256i el =
+        _mm256_shuffle_epi8(lut, _mm256_and_si256(e, low4));
+    const __m256i eh = _mm256_shuffle_epi8(
+        lut, _mm256_and_si256(_mm256_srli_epi64(e, 4), low4));
+    acc_t = _mm256_add_epi64(
+        acc_t, _mm256_sad_epu8(_mm256_add_epi8(dl, dh), zero));
+    acc_k = _mm256_add_epi64(
+        acc_k, _mm256_sad_epu8(_mm256_add_epi8(el, eh), zero));
+}
+
+/* Same kernel over 64-bit wire states (coded buses up to 64 wires),
+ * four elements per vector with 64-bit lane shifts. */
+__attribute__((target("avx2"))) void
+spanCountsAvx2(const u64 *states, std::size_t i, std::size_t n,
+               u64 mask, u64 mask2, u64 &prev, u64 &tau_out,
+               u64 &kappa_out)
+{
+    u64 p = prev;
+    u64 tau = 0;
+    u64 kappa = 0;
+    if (i < n) {
+        const u64 cur = states[i] & mask;
+        const u64 d = p ^ cur;
+        tau += static_cast<u64>(std::popcount(d));
+        kappa += static_cast<u64>(std::popcount((d ^ (d >> 1)) & mask2));
+        p = cur;
+        ++i;
+    }
+    const __m256i vmask =
+        _mm256_set1_epi64x(static_cast<long long>(mask));
+    const __m256i vmask2 =
+        _mm256_set1_epi64x(static_cast<long long>(mask2));
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                         0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low4 = _mm256_set1_epi8(0x0f);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc_t = zero;
+    __m256i acc_k = zero;
+    // Two independent vectors per iteration: at 4 elements per
+    // 256-bit lane group the single-vector loop is latency-bound on
+    // the accumulator adds.
+    __m256i acc_t2 = zero;
+    __m256i acc_k2 = zero;
+    for (; i + 8 <= n; i += 8) {
+        stepCounts64(states, i, vmask, vmask2, lut, low4, zero,
+                     acc_t, acc_k);
+        stepCounts64(states, i + 4, vmask, vmask2, lut, low4, zero,
+                     acc_t2, acc_k2);
+    }
+    for (; i + 4 <= n; i += 4)
+        stepCounts64(states, i, vmask, vmask2, lut, low4, zero,
+                     acc_t, acc_k);
+    acc_t = _mm256_add_epi64(acc_t, acc_t2);
+    acc_k = _mm256_add_epi64(acc_k, acc_k2);
+    u64 lanes_t[4];
+    u64 lanes_k[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes_t), acc_t);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes_k), acc_k);
+    tau += lanes_t[0] + lanes_t[1] + lanes_t[2] + lanes_t[3];
+    kappa += lanes_k[0] + lanes_k[1] + lanes_k[2] + lanes_k[3];
+    p = states[i - 1] & mask;
+    for (; i < n; ++i) {
+        const u64 cur = states[i] & mask;
+        const u64 d = p ^ cur;
+        tau += static_cast<u64>(std::popcount(d));
+        kappa += static_cast<u64>(std::popcount((d ^ (d >> 1)) & mask2));
+        p = cur;
+    }
+    prev = p;
+    tau_out += tau;
+    kappa_out += kappa;
+}
+
+#endif // PREDBUS_METER_AVX2_DISPATCH
+
+} // namespace
 
 BusEnergyMeter::BusEnergyMeter(unsigned n_wires) : width(n_wires)
 {
@@ -35,31 +267,24 @@ template <typename T>
 void
 BusEnergyMeter::observeSpanImpl(const T *states, std::size_t n)
 {
+    if (n == 0)
+        return;
     const u64 mask = maskLow(width);
-    u64 p = prev;
+    const u64 mask2 = maskLow(width - 1);
     std::size_t i = 0;
-    if (first && n > 0) {
-        p = u64{states[0]} & mask;
+    if (first) {
+        prev = u64{states[0]} & mask;
         first = false;
         i = 1;
     }
     u64 tau = 0;
     u64 kappa = 0;
-    if (width > 1) {
-        for (; i < n; ++i) {
-            const u64 cur = u64{states[i]} & mask;
-            tau += static_cast<u64>(hammingDistance(p, cur));
-            kappa += static_cast<u64>(couplingEvents(p, cur, width));
-            p = cur;
-        }
-    } else {
-        for (; i < n; ++i) {
-            const u64 cur = u64{states[i]} & mask;
-            tau += static_cast<u64>(hammingDistance(p, cur));
-            p = cur;
-        }
-    }
-    prev = p;
+#ifdef PREDBUS_METER_AVX2_DISPATCH
+    if (haveAvx2())
+        spanCountsAvx2(states, i, n, mask, mask2, prev, tau, kappa);
+    else
+#endif
+        spanCountsScalar(states, i, n, mask, mask2, prev, tau, kappa);
     total.tau += tau;
     total.kappa += kappa;
 }

@@ -1,5 +1,7 @@
 #include "coding/session.h"
 
+#include <algorithm>
+
 #include "coding/factory.h"
 #include "common/log.h"
 #include "obs/metrics.h"
@@ -28,6 +30,13 @@ CodecSession::encodeBatch(std::span<const Word> values,
                            values.size());
     for (std::size_t i = base; i < out.size(); ++i)
         sum = checksumFold(sum, out[i]);
+    if (base_meter) {
+        base_meter->observeSpan(values.data(), values.size());
+        if (!transcoder->metersInternally())
+            coded_meter->observeSpan(out.data() + base,
+                                     values.size());
+        metered_words += values.size();
+    }
     ++seq_no;
     if (m_batches) {
         m_encode_words->inc(values.size());
@@ -45,6 +54,12 @@ CodecSession::decodeBatch(std::span<const u64> states,
                            states.size());
     for (std::size_t i = base; i < out.size(); ++i)
         sum = checksumFold(sum, out[i]);
+    if (base_meter) {
+        base_meter->observeSpan(out.data() + base, states.size());
+        if (!transcoder->metersInternally())
+            coded_meter->observeSpan(states.data(), states.size());
+        metered_words += states.size();
+    }
     ++seq_no;
     if (m_batches) {
         m_decode_words->inc(states.size());
@@ -61,6 +76,32 @@ CodecSession::attachSpanMetrics(obs::Registry &registry)
 }
 
 void
+CodecSession::enableEnergyMetering()
+{
+    if (base_meter)
+        return;
+    // Same widths as StreamingEvaluator: the baseline is the paper's
+    // unencoded 32-wire data bus, the coded side is the codec's own
+    // (BusEnergyMeter caps at 64; wider codecs meter internally).
+    base_meter.emplace(kDataWidth);
+    coded_meter.emplace(std::min(transcoder->width(), 64u));
+}
+
+SessionEnergy
+CodecSession::energy() const
+{
+    SessionEnergy e;
+    if (!base_meter)
+        return e;
+    e.base = base_meter->count();
+    e.coded = transcoder->metersInternally()
+                  ? transcoder->internalCount()
+                  : coded_meter->count();
+    e.words = metered_words;
+    return e;
+}
+
+void
 CodecSession::resync()
 {
     // reset() also re-baselines the stats sink, so a post-resync
@@ -69,6 +110,11 @@ CodecSession::resync()
     seq_no = 0;
     sum = kChecksumSeed;
     ++epoch_no;
+    if (base_meter) {
+        base_meter->reset();
+        coded_meter->reset();
+        metered_words = 0;
+    }
 }
 
 } // namespace predbus::coding

@@ -24,10 +24,12 @@
 #define PREDBUS_CODING_SESSION_H
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "coding/bus_energy.h"
 #include "coding/codec.h"
 
 namespace predbus::obs
@@ -53,6 +55,23 @@ checksumFold(u64 sum, u64 value)
     }
     return sum;
 }
+
+/** Live wire-event attribution for one session (see energy()). */
+struct SessionEnergy
+{
+    EnergyCount base;   ///< unencoded 32-wire bus over the same words
+    EnergyCount coded;  ///< coded bus (width() wires)
+    u64 words = 0;      ///< words metered so far
+
+    /** Paper's "Normalized Energy Removed" at coupling ratio
+     * @p lambda; 0 when nothing has been metered yet. */
+    double
+    removedFraction(double lambda) const
+    {
+        const double b = base.cost(lambda);
+        return (b > 0.0) ? 1.0 - coded.cost(lambda) / b : 0.0;
+    }
+};
 
 /** One stateful transcoding session. */
 class CodecSession
@@ -102,6 +121,30 @@ class CodecSession
     void attachSpanMetrics(obs::Registry &registry);
 
     /**
+     * Turn on live energy metering: every subsequent batch also runs
+     * a base-vs-coded BusEnergyMeter pair mirroring the offline
+     * StreamingEvaluator exactly — encode meters the input words on
+     * the unencoded 32-wire bus and the produced states on the coded
+     * bus; decode meters the decoded words as base and the incoming
+     * states as coded. Because the meters carry the previous wire
+     * state across batches, the totals are independent of batch
+     * boundaries: a served stream reports exactly the tau/kappa an
+     * offline evaluate() of the same trace reports. Idempotent.
+     */
+    void enableEnergyMetering();
+
+    bool
+    energyMeteringEnabled() const
+    {
+        return base_meter.has_value();
+    }
+
+    /** Totals over every batch since metering was enabled (all-zero
+     * when metering is off). Codecs that meter internally
+     * (metersInternally()) report their internalCount() as coded. */
+    SessionEnergy energy() const;
+
+    /**
      * Recovery handshake: reset both FSMs to their initial state,
      * restart the sequence number and checksum, and begin a new
      * epoch. After resync() the session behaves exactly like a fresh
@@ -114,6 +157,9 @@ class CodecSession
     u64 seq_no = 0;
     u64 sum = kChecksumSeed;
     u32 epoch_no = 0;
+    std::optional<BusEnergyMeter> base_meter;
+    std::optional<BusEnergyMeter> coded_meter;
+    u64 metered_words = 0;
     obs::Counter *m_encode_words = nullptr;
     obs::Counter *m_decode_words = nullptr;
     obs::Counter *m_batches = nullptr;

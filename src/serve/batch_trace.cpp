@@ -1,0 +1,129 @@
+#include "serve/batch_trace.h"
+
+#include <algorithm>
+
+namespace predbus::serve
+{
+
+namespace
+{
+
+/** Sift the root of a min-heap (by key) down to its place. */
+void
+siftDown(std::vector<BatchSpan> &heap, std::vector<u64> &keys)
+{
+    std::size_t i = 0;
+    const std::size_t n = heap.size();
+    for (;;) {
+        std::size_t best = i;
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = 2 * i + 2;
+        if (l < n && keys[l] < keys[best])
+            best = l;
+        if (r < n && keys[r] < keys[best])
+            best = r;
+        if (best == i)
+            return;
+        std::swap(keys[i], keys[best]);
+        std::swap(heap[i], heap[best]);
+        i = best;
+    }
+}
+
+void
+siftUp(std::vector<BatchSpan> &heap, std::vector<u64> &keys)
+{
+    std::size_t i = heap.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (keys[parent] <= keys[i])
+            return;
+        std::swap(keys[i], keys[parent]);
+        std::swap(heap[i], heap[parent]);
+        i = parent;
+    }
+}
+
+} // namespace
+
+BatchTailSampler::BatchTailSampler(std::size_t per_class_capacity)
+    : cap(per_class_capacity)
+{
+    slow.heap.reserve(cap);
+    slow.keys.reserve(cap);
+    worst.heap.reserve(cap);
+    worst.keys.reserve(cap);
+}
+
+void
+BatchTailSampler::admit(Tail &tail, const BatchSpan &span, u64 key)
+{
+    // Fast path: the class is full and this batch does not beat its
+    // weakest retained entry. floor only ever rises, so a stale read
+    // can at worst admit a borderline batch, never lose a qualifying
+    // one.
+    if (tail.full && key <= tail.floor.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (tail.heap.size() < cap) {
+        tail.heap.push_back(span);
+        tail.keys.push_back(key);
+        siftUp(tail.heap, tail.keys);
+        if (tail.heap.size() == cap) {
+            tail.full = true;
+            tail.floor.store(tail.keys[0], std::memory_order_relaxed);
+        }
+        return;
+    }
+    if (key <= tail.keys[0])
+        return;
+    tail.heap[0] = span;
+    tail.keys[0] = key;
+    siftDown(tail.heap, tail.keys);
+    tail.floor.store(tail.keys[0], std::memory_order_relaxed);
+}
+
+void
+BatchTailSampler::offer(const BatchSpan &span)
+{
+    if (!enabled())
+        return;
+    admit(slow, span, span.latencyKey());
+    // Invert the savings key so "keep largest" retains the worst
+    // savers. Batches too small to meter anything (key 0 → ~0) are
+    // the first retained, which is what a savings postmortem wants.
+    admit(worst, span, ~span.savedMilliKey());
+}
+
+std::vector<BatchSpan>
+BatchTailSampler::dump() const
+{
+    std::vector<BatchSpan> out;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        out.reserve(slow.heap.size() + worst.heap.size());
+        out.insert(out.end(), slow.heap.begin(), slow.heap.end());
+        out.insert(out.end(), worst.heap.begin(), worst.heap.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const BatchSpan &a, const BatchSpan &b) {
+                  if (a.t_ns != b.t_ns)
+                      return a.t_ns < b.t_ns;
+                  if (a.session != b.session)
+                      return a.session < b.session;
+                  return a.seq < b.seq;
+              });
+    // A batch retained by both classes appears twice; dedupe on the
+    // (time, session, seq, direction) identity.
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const BatchSpan &a, const BatchSpan &b) {
+                              return a.t_ns == b.t_ns &&
+                                     a.session == b.session &&
+                                     a.seq == b.seq &&
+                                     a.is_encode == b.is_encode;
+                          }),
+              out.end());
+    return out;
+}
+
+} // namespace predbus::serve

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tail sampler for per-batch request spans. Every ENCODE/DECODE batch
+ * produces one BatchSpan (trace ids, queue wait, codec time, words,
+ * energy delta); keeping them all would be unbounded, and a plain ring
+ * of the most *recent* batches would evict exactly the batches worth
+ * keeping. Instead the sampler retains the tail of two distributions:
+ * the K slowest batches (queue + codec time) and the K worst-savings
+ * batches (lowest transition savings per word), which is what a
+ * postmortem actually wants from SERVER_STATS --events.
+ *
+ * The hot path (offer(), called by worker threads per batch) keeps an
+ * atomic admission threshold per class, so a batch that beats neither
+ * tail costs two relaxed loads and no lock; only admissions take the
+ * mutex to maintain the K-slot heaps.
+ */
+
+#ifndef PREDBUS_SERVE_BATCH_TRACE_H
+#define PREDBUS_SERVE_BATCH_TRACE_H
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::serve
+{
+
+/** One served batch, as retained by the tail sampler. */
+struct BatchSpan
+{
+    u64 trace_id = 0;   ///< client trace context (0 = unstamped)
+    u64 span_id = 0;
+    u64 t_ns = 0;       ///< obs::nowNs() when the frame was read
+    u64 queue_ns = 0;   ///< read → worker pickup
+    u64 codec_ns = 0;   ///< encode/decode span time
+    u64 seq = 0;
+    u64 words = 0;
+    u64 base_tau = 0;   ///< energy delta of this batch (0 when
+    u64 base_kappa = 0; ///< metering is off)
+    u64 coded_tau = 0;
+    u64 coded_kappa = 0;
+    u32 session = 0;
+    bool is_encode = false;
+    char family[15] = {};  ///< codec family, NUL-terminated
+
+    void
+    setFamily(const char *name)
+    {
+        std::strncpy(family, name, sizeof(family) - 1);
+        family[sizeof(family) - 1] = '\0';
+    }
+
+    /** Retention keys (see class comment). */
+    u64 latencyKey() const { return queue_ns + codec_ns; }
+
+    /** Per-mille transitions saved at lambda=1, clamped to >= 0 so
+     * the integer key orders "worst savings first" without floats.
+     * Batches with no metered events rank worst (key 0). */
+    static u64
+    savedMilli(u64 base_events, u64 coded_events)
+    {
+        if (base_events == 0 || coded_events >= base_events)
+            return 0;
+        return (base_events - coded_events) * 1000 / base_events;
+    }
+
+    u64
+    savedMilliKey() const
+    {
+        return savedMilli(base_tau + base_kappa,
+                          coded_tau + coded_kappa);
+    }
+};
+
+/**
+ * Retains the top-K slowest and K worst-savings batches seen so far.
+ * offer() is called per batch from worker threads; dump() (the
+ * SERVER_STATS --events path) merges both classes, dedupes batches
+ * retained by both, and sorts by arrival time.
+ */
+class BatchTailSampler
+{
+  public:
+    /** @p per_class_capacity 0 disables the sampler entirely. */
+    explicit BatchTailSampler(std::size_t per_class_capacity);
+
+    bool enabled() const { return cap > 0; }
+
+    /** Hot-path pre-check: counts the batch and reports whether a
+     * span with these keys could enter either tail, so the caller can
+     * skip building a BatchSpan at all for batches both tails would
+     * reject (the steady state once the heaps are warm). A stale
+     * floor read can at worst let a borderline batch through to
+     * offer(), which re-checks under the same admission rules. */
+    bool
+    consider(u64 latency_key, u64 saved_milli)
+    {
+        if (!enabled())
+            return false;
+        total.fetch_add(1, std::memory_order_relaxed);
+        const bool slow_ok =
+            !slow.full ||
+            latency_key > slow.floor.load(std::memory_order_relaxed);
+        const bool worst_ok =
+            !worst.full ||
+            ~saved_milli > worst.floor.load(std::memory_order_relaxed);
+        return slow_ok || worst_ok;
+    }
+
+    /** Submit a span consider() let through. Takes the mutex only on
+     * admission; the batch was already counted by consider(). */
+    void offer(const BatchSpan &span);
+
+    /** Total batches ever offered. */
+    u64 offered() const { return total.load(std::memory_order_relaxed); }
+
+    /** Retained spans, deduped across classes, oldest first. */
+    std::vector<BatchSpan> dump() const;
+
+  private:
+    /** One K-slot retention class: a min-heap on key() so the weakest
+     * retained entry is evictable in O(log K). */
+    struct Tail
+    {
+        std::vector<BatchSpan> heap;  ///< min-heap by key
+        std::vector<u64> keys;        ///< parallel to heap
+        /** Admission floor: once full, a span must beat this. */
+        std::atomic<u64> floor{0};
+        bool full = false;
+    };
+
+    /** @p better: for latency, bigger keys are worth keeping; for
+     * savings, *smaller* keys are worse batches, so the key is
+     * inverted by the caller. */
+    void admit(Tail &tail, const BatchSpan &span, u64 key);
+
+    std::size_t cap;
+    std::atomic<u64> total{0};
+    mutable std::mutex mu;
+    Tail slow;   ///< key = latencyKey(), keep largest
+    Tail worst;  ///< key = ~savedMilliKey(), keep largest (= worst savings)
+};
+
+} // namespace predbus::serve
+
+#endif // PREDBUS_SERVE_BATCH_TRACE_H

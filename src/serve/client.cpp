@@ -131,11 +131,12 @@ Client::serverStats(bool include_events)
 }
 
 BatchResult<u64>
-ClientSession::encode(std::span<const Word> words)
+ClientSession::encode(std::span<const Word> words,
+                      const protocol::TraceContext *trace)
 {
     BatchResult<u64> result;
     client->send(
-        protocol::makeEncode(id_, seq_no + 1, sum, words));
+        protocol::makeEncode(id_, seq_no + 1, sum, words, trace));
     const protocol::Frame response = client->recv();
     if (takeError(response, result.error))
         return result;
@@ -155,11 +156,12 @@ ClientSession::encode(std::span<const Word> words)
 }
 
 BatchResult<Word>
-ClientSession::decode(std::span<const u64> states)
+ClientSession::decode(std::span<const u64> states,
+                      const protocol::TraceContext *trace)
 {
     BatchResult<Word> result;
     client->send(
-        protocol::makeDecode(id_, seq_no + 1, sum, states));
+        protocol::makeDecode(id_, seq_no + 1, sum, states, trace));
     const protocol::Frame response = client->recv();
     if (takeError(response, result.error))
         return result;

@@ -113,11 +113,17 @@ class ClientSession
     u64 seq() const { return seq_no; }
     u64 checksum() const { return sum; }
 
-    /** Encode a batch of words into wire states. */
-    BatchResult<u64> encode(std::span<const Word> words);
+    /** Encode a batch of words into wire states. @p trace, when
+     * non-null, stamps the request with a trace context the server
+     * copies onto its per-batch span (end-to-end tracing). */
+    BatchResult<u64> encode(std::span<const Word> words,
+                            const protocol::TraceContext *trace =
+                                nullptr);
 
     /** Decode a batch of wire states into words. */
-    BatchResult<Word> decode(std::span<const u64> states);
+    BatchResult<Word> decode(std::span<const u64> states,
+                             const protocol::TraceContext *trace =
+                                 nullptr);
 
     /** Fetch the server-side session statistics. */
     protocol::SessionStats stats();

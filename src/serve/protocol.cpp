@@ -139,7 +139,7 @@ writeHeader(std::vector<u8> &out, const FrameHeader &hdr)
     putU32(out, kMagic);
     out.push_back(kVersion);
     out.push_back(hdr.type);
-    putU16(out, 0);  // reserved
+    putU16(out, hdr.flags);
     putU32(out, hdr.session);
     putU32(out, hdr.payload_len);
     putU64(out, hdr.seq);
@@ -161,6 +161,9 @@ parseHeader(std::span<const u8> bytes, FrameHeader &hdr)
     const u32 magic = u32At(0);
     const u8 version = bytes[4];
     hdr.type = bytes[5];
+    // Unknown flag bits pass through unmodified: receivers only test
+    // the bits they know, so the field can grow meaning later.
+    hdr.flags = static_cast<u16>(bytes[6] | (u16{bytes[7]} << 8));
     hdr.session = u32At(8);
     hdr.payload_len = u32At(12);
     hdr.seq = seq;
@@ -194,11 +197,44 @@ makeOpenSession(const std::string &spec)
     return frame;
 }
 
+namespace
+{
+
+/** Stamp @p trace (when given) as the flagged payload prefix. */
+void
+putTraceContext(Frame &frame, const TraceContext *trace)
+{
+    if (!trace)
+        return;
+    frame.hdr.flags |= kFlagTraceContext;
+    putU64(frame.payload, trace->trace_id);
+    putU64(frame.payload, trace->span_id);
+}
+
+/** Consume the trace-context prefix if the frame's flag announces
+ * one; false only when the flagged prefix is truncated. */
+bool
+getTraceContext(const Frame &frame, Cursor &cur,
+                std::optional<TraceContext> &trace)
+{
+    trace.reset();
+    if ((frame.hdr.flags & kFlagTraceContext) == 0)
+        return true;
+    TraceContext ctx;
+    if (!cur.getU64(ctx.trace_id) || !cur.getU64(ctx.span_id))
+        return false;
+    trace = ctx;
+    return true;
+}
+
+} // namespace
+
 Frame
 makeEncode(u32 session, u64 seq, u64 checksum,
-           std::span<const Word> words)
+           std::span<const Word> words, const TraceContext *trace)
 {
     Frame frame = frameOf(MsgType::Encode, session, seq);
+    putTraceContext(frame, trace);
     putU64(frame.payload, checksum);
     putU32(frame.payload, static_cast<u32>(words.size()));
     for (const Word w : words)
@@ -208,9 +244,10 @@ makeEncode(u32 session, u64 seq, u64 checksum,
 
 Frame
 makeDecode(u32 session, u64 seq, u64 checksum,
-           std::span<const u64> states)
+           std::span<const u64> states, const TraceContext *trace)
 {
     Frame frame = frameOf(MsgType::Decode, session, seq);
+    putTraceContext(frame, trace);
     putU64(frame.payload, checksum);
     putU32(frame.payload, static_cast<u32>(states.size()));
     for (const u64 s : states)
@@ -291,6 +328,10 @@ makeStatsOk(u32 session, const SessionStats &stats)
                         ops.divisions, ops.raw_sends, ops.hits,
                         ops.last_hits})
         putU64(frame.payload, v);
+    for (const u64 v : {stats.base_energy.tau, stats.base_energy.kappa,
+                        stats.coded_energy.tau,
+                        stats.coded_energy.kappa, stats.metered_words})
+        putU64(frame.payload, v);
     return frame;
 }
 
@@ -348,13 +389,15 @@ parseOpenSession(const Frame &frame, std::string &spec)
 
 bool
 parseEncode(const Frame &frame, u64 &checksum,
-            std::vector<Word> &words)
+            std::vector<Word> &words,
+            std::optional<TraceContext> &trace)
 {
     if (!isType(frame, MsgType::Encode))
         return false;
     Cursor cur(frame.payload);
     u32 count = 0;
-    if (!cur.getU64(checksum) || !cur.getU32(count) ||
+    if (!getTraceContext(frame, cur, trace) ||
+        !cur.getU64(checksum) || !cur.getU32(count) ||
         count > kMaxBatchWords)
         return false;
     words.clear();
@@ -369,14 +412,24 @@ parseEncode(const Frame &frame, u64 &checksum,
 }
 
 bool
+parseEncode(const Frame &frame, u64 &checksum,
+            std::vector<Word> &words)
+{
+    std::optional<TraceContext> trace;
+    return parseEncode(frame, checksum, words, trace);
+}
+
+bool
 parseDecode(const Frame &frame, u64 &checksum,
-            std::vector<u64> &states)
+            std::vector<u64> &states,
+            std::optional<TraceContext> &trace)
 {
     if (!isType(frame, MsgType::Decode))
         return false;
     Cursor cur(frame.payload);
     u32 count = 0;
-    if (!cur.getU64(checksum) || !cur.getU32(count) ||
+    if (!getTraceContext(frame, cur, trace) ||
+        !cur.getU64(checksum) || !cur.getU32(count) ||
         count > kMaxBatchWords)
         return false;
     states.clear();
@@ -388,6 +441,14 @@ parseDecode(const Frame &frame, u64 &checksum,
         states.push_back(s);
     }
     return cur.done();
+}
+
+bool
+parseDecode(const Frame &frame, u64 &checksum,
+            std::vector<u64> &states)
+{
+    std::optional<TraceContext> trace;
+    return parseDecode(frame, checksum, states, trace);
 }
 
 bool
@@ -448,9 +509,11 @@ parseServerStats(const Frame &frame, bool &include_events)
 {
     if (!isType(frame, MsgType::ServerStats))
         return false;
-    if (frame.payload.size() != 1 || (frame.payload[0] & ~1u) != 0)
+    if (frame.payload.size() != 1)
         return false;
-    include_events = frame.payload[0] != 0;
+    // Only bit 0 is assigned; unknown/reserved flag bits are ignored
+    // so a newer client's request still gets a v1 snapshot.
+    include_events = (frame.payload[0] & 1u) != 0;
     return true;
 }
 
@@ -478,6 +541,13 @@ parseStatsOk(const Frame &frame, SessionStats &stats)
                        &ops.counter_incs, &ops.compares, &ops.swaps,
                        &ops.divisions, &ops.raw_sends, &ops.hits,
                        &ops.last_hits}) {
+        if (!cur.getU64(*field))
+            return false;
+    }
+    for (u64 *field :
+         {&stats.base_energy.tau, &stats.base_energy.kappa,
+          &stats.coded_energy.tau, &stats.coded_energy.kappa,
+          &stats.metered_words}) {
         if (!cur.getU64(*field))
             return false;
     }

@@ -10,7 +10,8 @@
  *   0      4    magic "PBS1" (0x31534250 LE)
  *   4      1    version (1)
  *   5      1    type (MsgType)
- *   6      2    reserved (0)
+ *   6      2    flags (bit 0: trace context; others reserved and
+ *               IGNORED on receipt — senders write 0)
  *   8      4    session id (0 when not session-scoped)
  *   12     4    payload_len (<= kMaxPayload)
  *   16     8    seq (per-session batch sequence; 0 otherwise)
@@ -22,6 +23,13 @@
  * advancing the session FSMs, which is how cross-network dictionary
  * desynchronization is detected. Responses carry the checksum *after*
  * the batch so the client can verify the server the same way.
+ *
+ * Trace context (docs/PROTOCOL.md): when header flag bit 0 is set on
+ * an ENCODE/DECODE request, the payload is prefixed with 16 bytes —
+ * u64 trace id, u64 span id — before the regular batch layout. The
+ * server tags the batch's observability span with both ids so client
+ * and server traces merge on the shared trace id. Frames without the
+ * flag are byte-identical to the pre-trace protocol.
  *
  * This layer is pure bytes — no sockets, no sessions — so the framing
  * parser can be fuzzed in isolation (tests/test_serve_protocol.cpp).
@@ -55,15 +63,38 @@ constexpr u32 kMaxBatchWords = 65536;
 /** Largest accepted codec spec string. */
 constexpr u32 kMaxSpecLen = 256;
 
+/** Header flag bit 0: the payload starts with a TraceContext. Other
+ * flag bits are reserved; receivers ignore them (forward compat). */
+constexpr u16 kFlagTraceContext = 0x0001;
+
+/** On-wire size of a trace context (two little-endian u64s). */
+constexpr std::size_t kTraceContextSize = 16;
+
+/**
+ * End-to-end request tracing identifiers, stamped by clients on
+ * ENCODE/DECODE frames. The trace id names one logical operation
+ * across processes; the span id names the client-side span within it.
+ * Both are opaque to the server — it only copies them onto the
+ * observability span it opens for the batch.
+ */
+struct TraceContext
+{
+    u64 trace_id = 0;
+    u64 span_id = 0;
+};
+
 enum class MsgType : u8
 {
     OpenSession = 0x01,  ///< payload: u16 len, spec bytes
-    Encode = 0x02,       ///< payload: u64 checksum, u32 n, u32 word[n]
-    Decode = 0x03,       ///< payload: u64 checksum, u32 n, u64 state[n]
+    Encode = 0x02,       ///< payload: [trace ctx,] u64 checksum,
+                         ///<          u32 n, u32 word[n]
+    Decode = 0x03,       ///< payload: [trace ctx,] u64 checksum,
+                         ///<          u32 n, u64 state[n]
     Stats = 0x04,        ///< empty payload
     Resync = 0x05,       ///< empty payload
     Close = 0x06,        ///< empty payload
-    ServerStats = 0x07,  ///< payload: u8 flags (bit0: include events)
+    ServerStats = 0x07,  ///< payload: u8 flags (bit0: include events;
+                         ///<          unknown bits ignored)
 
     OpenOk = 0x81,        ///< payload: u32 session, u32 width
     EncodeOk = 0x82,      ///< payload: u64 checksum, u32 n, u64 state[n]
@@ -96,6 +127,7 @@ const char *errName(ErrCode code);
 struct FrameHeader
 {
     u8 type = 0;
+    u16 flags = 0;  ///< kFlag* bits; unknown bits are ignored
     u32 session = 0;
     u32 payload_len = 0;
     u64 seq = 0;
@@ -134,14 +166,24 @@ struct SessionStats
     u32 epoch = 0;
     u32 width = 0;
     coding::OpCounts ops;
+    /** Live energy attribution (zero when metering is disabled):
+     * wire events of the unencoded 32-wire bus vs the coded bus over
+     * every word this session transcoded (coding/bus_energy.h). */
+    coding::EnergyCount base_energy;
+    coding::EnergyCount coded_energy;
+    u64 metered_words = 0;
 };
 
 // -- request builders ---------------------------------------------------
 Frame makeOpenSession(const std::string &spec);
+/** @p trace, when non-null, sets kFlagTraceContext and prefixes the
+ * payload with the 16-byte trace context. */
 Frame makeEncode(u32 session, u64 seq, u64 checksum,
-                 std::span<const Word> words);
+                 std::span<const Word> words,
+                 const TraceContext *trace = nullptr);
 Frame makeDecode(u32 session, u64 seq, u64 checksum,
-                 std::span<const u64> states);
+                 std::span<const u64> states,
+                 const TraceContext *trace = nullptr);
 Frame makeStats(u32 session);
 Frame makeResync(u32 session);
 Frame makeClose(u32 session);
@@ -166,6 +208,14 @@ bool parseEncode(const Frame &frame, u64 &checksum,
                  std::vector<Word> &words);
 bool parseDecode(const Frame &frame, u64 &checksum,
                  std::vector<u64> &states);
+/** @p trace is engaged iff the frame carries kFlagTraceContext (a
+ * flagged frame whose payload is too short for the prefix fails). */
+bool parseEncode(const Frame &frame, u64 &checksum,
+                 std::vector<Word> &words,
+                 std::optional<TraceContext> &trace);
+bool parseDecode(const Frame &frame, u64 &checksum,
+                 std::vector<u64> &states,
+                 std::optional<TraceContext> &trace);
 bool parseOpenOk(const Frame &frame, u32 &session, u32 &width);
 bool parseEncodeOk(const Frame &frame, u64 &checksum,
                    std::vector<u64> &states);

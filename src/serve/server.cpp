@@ -50,7 +50,16 @@ Server::Server(ServerOptions options, obs::Registry &reg)
       m_queue_depth(reg.gauge("serve.queue_depth")),
       m_batch_ns(reg.histogram("serve.batch_ns")),
       m_stats_requests(reg.counter("serve.stats_requests")),
+      m_queue_wait_ns(reg.histogram("serve.queue_wait_ns")),
+      m_energy_base_tau(reg.counter("serve.energy.base_tau")),
+      m_energy_base_kappa(reg.counter("serve.energy.base_kappa")),
+      m_energy_coded_tau(reg.counter("serve.energy.coded_tau")),
+      m_energy_coded_kappa(reg.counter("serve.energy.coded_kappa")),
+      m_energy_words(reg.counter("serve.energy.words")),
+      m_energy_saved_pct_milli(
+          reg.gauge("serve.energy.saved_pct_milli")),
       recorder(opt.flight_capacity),
+      batch_sampler(opt.batch_trace_capacity),
       start_ns(obs::nowNs())
 {
     if (opt.unix_path.empty() && opt.tcp_port < 0)
@@ -127,6 +136,7 @@ Server::readerLoop(ConnPtr conn)
     for (;;) {
         protocol::Frame frame;
         const ReadResult result = readFrame(conn->fd, frame);
+        const u64 recv_ns = obs::nowNs();
         if (result == ReadResult::Ok) {
             if (draining.load() || stopping.load()) {
                 m_rejects.inc();
@@ -146,7 +156,8 @@ Server::readerLoop(ConnPtr conn)
                         static_cast<int>(opt.queue_capacity)) {
                     queued.fetch_add(1, std::memory_order_relaxed);
                     m_queue_depth.add(1);
-                    conn->pending.push_back(std::move(frame));
+                    conn->pending.push_back(
+                        Conn::PendingFrame{std::move(frame), recv_ns});
                     if (!conn->scheduled) {
                         conn->scheduled = true;
                         std::lock_guard<std::mutex> rlock(ready_mutex);
@@ -222,14 +233,14 @@ Server::workerLoop()
             ready.pop_front();
         }
 
-        protocol::Frame frame;
+        Conn::PendingFrame item;
         bool have = false;
         bool broken;
         {
             std::lock_guard<std::mutex> lock(conn->mutex);
             broken = conn->broken;
             if (!broken && !conn->pending.empty()) {
-                frame = std::move(conn->pending.front());
+                item = std::move(conn->pending.front());
                 conn->pending.pop_front();
                 queued.fetch_sub(1, std::memory_order_relaxed);
                 m_queue_depth.add(-1);
@@ -237,7 +248,7 @@ Server::workerLoop()
             }
         }
 
-        if (have && !handleFrame(*conn, frame)) {
+        if (have && !handleFrame(*conn, item.frame, item.recv_ns)) {
             // Write failed: the peer is gone. Drop what's left and
             // kick the reader off the socket.
             std::lock_guard<std::mutex> lock(conn->mutex);
@@ -272,7 +283,8 @@ Server::workerLoop()
 }
 
 bool
-Server::handleFrame(Conn &conn, const protocol::Frame &frame)
+Server::handleFrame(Conn &conn, const protocol::Frame &frame,
+                    u64 recv_ns)
 {
     using protocol::MsgType;
     switch (static_cast<MsgType>(frame.hdr.type)) {
@@ -280,7 +292,7 @@ Server::handleFrame(Conn &conn, const protocol::Frame &frame)
         return handleOpen(conn, frame);
       case MsgType::Encode:
       case MsgType::Decode:
-        return handleBatch(conn, frame);
+        return handleBatch(conn, frame, recv_ns);
       case MsgType::Stats:
       case MsgType::Resync:
       case MsgType::Close:
@@ -313,12 +325,27 @@ Server::handleOpen(Conn &conn, const protocol::Frame &frame)
     try {
         coding::CodecSession codec(spec);
         codec.attachSpanMetrics(registry);
+        if (opt.meter_energy)
+            codec.enableEnergyMetering();
         const u32 width = codec.codec().width();
         const u32 id = conn.next_session++;
         std::string family = familyOf(spec);
         familyGauge(family).add(1);
-        conn.sessions.emplace(
-            id, Conn::Session(std::move(codec), std::move(family)));
+        Conn::Session session(std::move(codec), std::move(family));
+        if (opt.meter_energy) {
+            const std::string prefix =
+                "serve.energy." + session.family + ".";
+            session.fam.base_tau =
+                &registry.counter(prefix + "base_tau");
+            session.fam.base_kappa =
+                &registry.counter(prefix + "base_kappa");
+            session.fam.coded_tau =
+                &registry.counter(prefix + "coded_tau");
+            session.fam.coded_kappa =
+                &registry.counter(prefix + "coded_kappa");
+            session.fam.words = &registry.counter(prefix + "words");
+        }
+        conn.sessions.emplace(id, std::move(session));
         m_sessions_opened.inc();
         m_sessions_active.add(1);
         recorder.record(FlightEventKind::SessionOpen, id, 0, spec);
@@ -330,8 +357,55 @@ Server::handleOpen(Conn &conn, const protocol::Frame &frame)
     }
 }
 
+coding::SessionEnergy
+Server::publishEnergy(Conn::Session &session)
+{
+    const coding::SessionEnergy now = session.codec.energy();
+    coding::SessionEnergy delta;
+    delta.base.tau = now.base.tau - session.published.base.tau;
+    delta.base.kappa = now.base.kappa - session.published.base.kappa;
+    delta.coded.tau = now.coded.tau - session.published.coded.tau;
+    delta.coded.kappa =
+        now.coded.kappa - session.published.coded.kappa;
+    delta.words = now.words - session.published.words;
+    session.published = now;
+
+    session.fam.base_tau->inc(delta.base.tau);
+    session.fam.base_kappa->inc(delta.base.kappa);
+    session.fam.coded_tau->inc(delta.coded.tau);
+    session.fam.coded_kappa->inc(delta.coded.kappa);
+    session.fam.words->inc(delta.words);
+    m_energy_base_tau.inc(delta.base.tau);
+    m_energy_base_kappa.inc(delta.base.kappa);
+    m_energy_coded_tau.inc(delta.coded.tau);
+    m_energy_coded_kappa.inc(delta.coded.kappa);
+    m_energy_words.inc(delta.words);
+    return delta;
+}
+
+void
+Server::refreshEnergyGauge() const
+{
+    // Server-wide savings gauge, derived from the counter totals
+    // (per-mille so the s64 gauge keeps float-free precision). The
+    // gauge is a pure function of the counters, so it is refreshed on
+    // scrape instead of per batch to keep publishEnergy off the
+    // floating-point unit in the serve hot path.
+    coding::EnergyCount base{m_energy_base_tau.value(),
+                             m_energy_base_kappa.value()};
+    coding::EnergyCount coded{m_energy_coded_tau.value(),
+                              m_energy_coded_kappa.value()};
+    const double b = base.cost(opt.energy_lambda);
+    if (b > 0.0) {
+        const double saved =
+            1000.0 * (1.0 - coded.cost(opt.energy_lambda) / b);
+        m_energy_saved_pct_milli.set(static_cast<s64>(saved));
+    }
+}
+
 bool
-Server::handleBatch(Conn &conn, const protocol::Frame &frame)
+Server::handleBatch(Conn &conn, const protocol::Frame &frame,
+                    u64 recv_ns)
 {
     const auto it = conn.sessions.find(frame.hdr.session);
     if (it == conn.sessions.end()) {
@@ -351,9 +425,11 @@ Server::handleBatch(Conn &conn, const protocol::Frame &frame)
     u64 client_sum = 0;
     std::vector<Word> words;
     std::vector<u64> states;
+    std::optional<protocol::TraceContext> trace;
     const bool parsed =
-        is_encode ? protocol::parseEncode(frame, client_sum, words)
-                  : protocol::parseDecode(frame, client_sum, states);
+        is_encode
+            ? protocol::parseEncode(frame, client_sum, words, trace)
+            : protocol::parseDecode(frame, client_sum, states, trace);
     if (!parsed) {
         m_errors.inc();
         return replyError(conn, frame, protocol::ErrCode::BadFrame,
@@ -397,9 +473,40 @@ Server::handleBatch(Conn &conn, const protocol::Frame &frame)
             protocol::makeDecodeOk(frame.hdr.session, codec.seq(),
                                    codec.checksum(), words);
     }
+    const u64 t1 = obs::nowNs();
     m_batches.inc();
     m_words.inc(batch_words);
-    m_batch_ns.record(static_cast<double>(obs::nowNs() - t0));
+    m_batch_ns.record(static_cast<double>(t1 - t0));
+    const u64 queue_ns = t0 > recv_ns ? t0 - recv_ns : 0;
+    m_queue_wait_ns.record(static_cast<double>(queue_ns));
+
+    coding::SessionEnergy delta;
+    if (codec.energyMeteringEnabled())
+        delta = publishEnergy(session);
+
+    const u64 saved_milli =
+        BatchSpan::savedMilli(delta.base.tau + delta.base.kappa,
+                              delta.coded.tau + delta.coded.kappa);
+    if (batch_sampler.consider(queue_ns + (t1 - t0), saved_milli)) {
+        BatchSpan span;
+        if (trace) {
+            span.trace_id = trace->trace_id;
+            span.span_id = trace->span_id;
+        }
+        span.t_ns = recv_ns;
+        span.queue_ns = queue_ns;
+        span.codec_ns = t1 - t0;
+        span.seq = frame.hdr.seq;
+        span.words = batch_words;
+        span.base_tau = delta.base.tau;
+        span.base_kappa = delta.base.kappa;
+        span.coded_tau = delta.coded.tau;
+        span.coded_kappa = delta.coded.kappa;
+        span.session = frame.hdr.session;
+        span.is_encode = is_encode;
+        span.setFamily(session.family.c_str());
+        batch_sampler.offer(span);
+    }
     return reply(conn, response);
 }
 
@@ -422,11 +529,18 @@ Server::handleControl(Conn &conn, const protocol::Frame &frame)
           stats.epoch = session.codec.epoch();
           stats.width = session.codec.codec().width();
           stats.ops = session.codec.codec().ops();
+          const coding::SessionEnergy energy = session.codec.energy();
+          stats.base_energy = energy.base;
+          stats.coded_energy = energy.coded;
+          stats.metered_words = energy.words;
           return reply(conn, protocol::makeStatsOk(frame.hdr.session,
                                                    stats));
       }
       case protocol::MsgType::Resync:
         session.codec.resync();
+        // The session meters restart with the new epoch; restart the
+        // published baseline too or the next delta would underflow.
+        session.published = coding::SessionEnergy{};
         session.desynced = false;
         m_resyncs.inc();
         recorder.record(FlightEventKind::Resync, frame.hdr.session,
@@ -473,12 +587,17 @@ Server::familyGauge(const std::string &family)
 std::string
 Server::statsJson(bool include_events) const
 {
+    refreshEnergyGauge();
     ServerStatsContext ctx;
     ctx.uptime_s =
         static_cast<double>(obs::nowNs() - start_ns) / 1e9;
     ctx.draining = draining.load(std::memory_order_relaxed);
     ctx.recorder = &recorder;
     ctx.include_events = include_events;
+    ctx.batches = &batch_sampler;
+    ctx.energy_lambda = opt.energy_lambda;
+    ctx.joule_per_tau = opt.energy_joule_per_tau;
+    ctx.joule_per_kappa = opt.energy_joule_per_kappa;
     return serverStatsJson(registry.snapshot(), ctx);
 }
 

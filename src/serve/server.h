@@ -45,6 +45,7 @@
 
 #include "coding/session.h"
 #include "obs/metrics.h"
+#include "serve/batch_trace.h"
 #include "serve/flight_recorder.h"
 #include "serve/net.h"
 #include "serve/protocol.h"
@@ -69,6 +70,20 @@ struct ServerOptions
     unsigned max_sessions = 64;
     /** Flight-recorder ring capacity (rounded up to a power of 2). */
     unsigned flight_capacity = 256;
+    /** Live energy attribution: meter every session's base-vs-coded
+     * wire events into the serve.energy.* metrics. */
+    bool meter_energy = true;
+    /** Batch tail-sampler slots per retention class (slowest /
+     * worst-savings); 0 disables per-batch span retention. */
+    unsigned batch_trace_capacity = 64;
+    /** Coupling ratio lambda for the saved-percent gauge and the
+     * energy section of SERVER_STATS. */
+    double energy_lambda = 1.0;
+    /** Joules per self transition / per coupling event; both 0 keeps
+     * SERVER_STATS in raw event counts (no Joule rows). Set from a
+     * wires::WireModel by predbus_served --energy-wire. */
+    double energy_joule_per_tau = 0.0;
+    double energy_joule_per_kappa = 0.0;
 };
 
 class Server
@@ -121,17 +136,40 @@ class Server
         int fd = -1;
         std::mutex mutex;
         std::mutex write_mutex;
-        std::deque<protocol::Frame> pending;
+
+        /** A parsed frame plus the instant the reader finished
+         * framing it — the anchor for the queue-wait measurement. */
+        struct PendingFrame
+        {
+            protocol::Frame frame;
+            u64 recv_ns = 0;
+        };
+        std::deque<PendingFrame> pending;
         bool scheduled = false;
         bool input_done = false;
         bool broken = false;
         bool finalized = false;
+
+        /** Per-family serve.energy.<family>.* counters, resolved once
+         * at session open (shared across sessions of a family). */
+        struct FamilyEnergy
+        {
+            obs::Counter *base_tau = nullptr;
+            obs::Counter *base_kappa = nullptr;
+            obs::Counter *coded_tau = nullptr;
+            obs::Counter *coded_kappa = nullptr;
+            obs::Counter *words = nullptr;
+        };
 
         struct Session
         {
             coding::CodecSession codec;
             std::string family;  ///< codec family metric segment
             bool desynced = false;
+            /** Energy totals already published to the counters;
+             * per-batch deltas are current - published. */
+            coding::SessionEnergy published;
+            FamilyEnergy fam;
 
             Session(coding::CodecSession codec, std::string family)
                 : codec(std::move(codec)), family(std::move(family))
@@ -150,12 +188,23 @@ class Server
     void workerLoop();
 
     /** Handle one request frame; returns false when the connection
-     * should be torn down (write failure). */
-    bool handleFrame(Conn &conn, const protocol::Frame &frame);
+     * should be torn down (write failure). @p recv_ns is when the
+     * reader finished framing the request (queue-wait anchor). */
+    bool handleFrame(Conn &conn, const protocol::Frame &frame,
+                     u64 recv_ns);
     bool handleOpen(Conn &conn, const protocol::Frame &frame);
-    bool handleBatch(Conn &conn, const protocol::Frame &frame);
+    bool handleBatch(Conn &conn, const protocol::Frame &frame,
+                     u64 recv_ns);
     bool handleControl(Conn &conn, const protocol::Frame &frame);
     bool handleServerStats(Conn &conn, const protocol::Frame &frame);
+
+    /** Publish the session's unpublished energy delta into the
+     * per-family and server-wide counters; returns the delta. */
+    coding::SessionEnergy publishEnergy(Conn::Session &session);
+
+    /** Recompute serve.energy.saved_pct_milli from the energy
+     * counters; called on scrape, not per batch. */
+    void refreshEnergyGauge() const;
 
     /** The "serve.sessions.<family>" resident-session gauge. */
     obs::Gauge &familyGauge(const std::string &family);
@@ -207,9 +256,19 @@ class Server
     obs::Gauge &m_queue_depth;
     obs::Histogram &m_batch_ns;
     obs::Counter &m_stats_requests;
+    obs::Histogram &m_queue_wait_ns;
 
-    // Live-telemetry plane: event ring + uptime anchor.
+    // Server-wide energy attribution (zero when metering is off).
+    obs::Counter &m_energy_base_tau;
+    obs::Counter &m_energy_base_kappa;
+    obs::Counter &m_energy_coded_tau;
+    obs::Counter &m_energy_coded_kappa;
+    obs::Counter &m_energy_words;
+    obs::Gauge &m_energy_saved_pct_milli;
+
+    // Live-telemetry plane: event ring + batch tail + uptime anchor.
     FlightRecorder recorder;
+    BatchTailSampler batch_sampler;
     u64 start_ns = 0;
 };
 

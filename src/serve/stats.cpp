@@ -1,7 +1,10 @@
 #include "serve/stats.h"
 
+#include <map>
 #include <sstream>
+#include <string_view>
 
+#include "coding/codec.h"
 #include "obs/json_util.h"
 
 namespace predbus::serve
@@ -9,6 +12,85 @@ namespace predbus::serve
 
 namespace
 {
+
+/** One aggregated serve.energy.* row (server-wide or per-family). */
+struct EnergyRow
+{
+    u64 words = 0;
+    u64 base_tau = 0;
+    u64 base_kappa = 0;
+    u64 coded_tau = 0;
+    u64 coded_kappa = 0;
+
+    bool
+    assign(const std::string &field, u64 value)
+    {
+        if (field == "words")
+            words = value;
+        else if (field == "base_tau")
+            base_tau = value;
+        else if (field == "base_kappa")
+            base_kappa = value;
+        else if (field == "coded_tau")
+            coded_tau = value;
+        else if (field == "coded_kappa")
+            coded_kappa = value;
+        else
+            return false;
+        return true;
+    }
+};
+
+void
+writeEnergyRow(std::ostream &os, const EnergyRow &row,
+               const ServerStatsContext &ctx)
+{
+    os << "{\"words\":" << row.words << ",\"base_tau\":"
+       << row.base_tau << ",\"base_kappa\":" << row.base_kappa
+       << ",\"coded_tau\":" << row.coded_tau << ",\"coded_kappa\":"
+       << row.coded_kappa;
+    const u64 base_ev = row.base_tau + row.base_kappa;
+    const u64 coded_ev = row.coded_tau + row.coded_kappa;
+    os << ",\"saved_transitions\":"
+       << (static_cast<s64>(base_ev) - static_cast<s64>(coded_ev));
+    const coding::EnergyCount base{row.base_tau, row.base_kappa};
+    const coding::EnergyCount coded{row.coded_tau, row.coded_kappa};
+    const double b = base.cost(ctx.energy_lambda);
+    os << ",\"saved_pct\":";
+    obs::jsonNumber(
+        os, b > 0.0
+                ? 100.0 * (1.0 - coded.cost(ctx.energy_lambda) / b)
+                : 0.0);
+    if (ctx.joule_per_tau > 0.0 || ctx.joule_per_kappa > 0.0) {
+        // Picojoules: obs::jsonNumber prints fixed %.3f, so Joules
+        // (~1e-12 per event) would all round to zero.
+        const double scale = 1e12;
+        const double base_pj =
+            scale * (ctx.joule_per_tau * row.base_tau +
+                     ctx.joule_per_kappa * row.base_kappa);
+        const double coded_pj =
+            scale * (ctx.joule_per_tau * row.coded_tau +
+                     ctx.joule_per_kappa * row.coded_kappa);
+        os << ",\"base_pj\":";
+        obs::jsonNumber(os, base_pj);
+        os << ",\"coded_pj\":";
+        obs::jsonNumber(os, coded_pj);
+        os << ",\"saved_pj\":";
+        obs::jsonNumber(os, base_pj - coded_pj);
+    }
+    os << '}';
+}
+
+/** Hex-string form of a trace/span id (see file header). */
+void
+writeHexId(std::ostream &os, u64 id)
+{
+    static const char digits[] = "0123456789abcdef";
+    os << '"';
+    for (int shift = 60; shift >= 0; shift -= 4)
+        os << digits[(id >> shift) & 0xf];
+    os << '"';
+}
 
 void
 writeHistogram(std::ostream &os, const obs::HistogramStats &h)
@@ -57,6 +139,38 @@ serverStatsJson(const obs::RegistrySnapshot &snapshot,
     }
     os << '}';
 
+    // Energy attribution, derived from the serve.energy.* counters of
+    // the same snapshot (so totals and the raw counter section can
+    // never disagree).
+    EnergyRow total;
+    std::map<std::string, EnergyRow> families;
+    constexpr std::string_view prefix = "serve.energy.";
+    for (const auto &[name, value] : snapshot.counters) {
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        const std::string rest = name.substr(prefix.size());
+        const std::size_t dot = rest.find('.');
+        if (dot == std::string::npos)
+            total.assign(rest, value);
+        else
+            families[rest.substr(0, dot)].assign(
+                rest.substr(dot + 1), value);
+    }
+    os << ",\"energy\":{\"lambda\":";
+    obs::jsonNumber(os, ctx.energy_lambda);
+    os << ",\"total\":";
+    writeEnergyRow(os, total, ctx);
+    os << ",\"families\":{";
+    bool first_family = true;
+    for (const auto &[family, row] : families) {
+        os << (first_family ? "" : ",");
+        first_family = false;
+        obs::jsonEscape(os, family);
+        os << ':';
+        writeEnergyRow(os, row, ctx);
+    }
+    os << "}}";
+
     os << ",\"events_recorded\":"
        << (ctx.recorder ? ctx.recorder->recorded() : 0);
     if (ctx.recorder && ctx.include_events) {
@@ -71,6 +185,45 @@ serverStatsJson(const obs::RegistrySnapshot &snapshot,
                << "\",\"session\":" << ev.session
                << ",\"seq\":" << ev.seq << ",\"label\":";
             obs::jsonEscape(os, ev.label);
+            os << '}';
+        }
+        os << ']';
+    }
+
+    os << ",\"batches_recorded\":"
+       << (ctx.batches ? ctx.batches->offered() : 0);
+    if (ctx.batches && ctx.include_events) {
+        os << ",\"batches\":[";
+        const std::vector<BatchSpan> spans = ctx.batches->dump();
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            const BatchSpan &sp = spans[i];
+            os << (i ? "," : "") << "{\"t_ns\":" << sp.t_ns
+               << ",\"trace_id\":";
+            writeHexId(os, sp.trace_id);
+            os << ",\"span_id\":";
+            writeHexId(os, sp.span_id);
+            os << ",\"kind\":\"" << (sp.is_encode ? "encode" : "decode")
+               << "\",\"session\":" << sp.session
+               << ",\"seq\":" << sp.seq
+               << ",\"queue_ns\":" << sp.queue_ns
+               << ",\"codec_ns\":" << sp.codec_ns
+               << ",\"words\":" << sp.words << ",\"family\":";
+            obs::jsonEscape(os, sp.family);
+            os << ",\"base_tau\":" << sp.base_tau
+               << ",\"base_kappa\":" << sp.base_kappa
+               << ",\"coded_tau\":" << sp.coded_tau
+               << ",\"coded_kappa\":" << sp.coded_kappa;
+            const coding::EnergyCount base{sp.base_tau,
+                                           sp.base_kappa};
+            const coding::EnergyCount coded{sp.coded_tau,
+                                            sp.coded_kappa};
+            const double b = base.cost(ctx.energy_lambda);
+            os << ",\"saved_pct\":";
+            obs::jsonNumber(
+                os,
+                b > 0.0 ? 100.0 * (1.0 -
+                                   coded.cost(ctx.energy_lambda) / b)
+                        : 0.0);
             os << '}';
         }
         os << ']';

@@ -8,13 +8,26 @@
  *    "draining":false,"counters":{...},"gauges":{...},
  *    "histograms":{"name":{"count":..,"min":..,"max":..,"mean":..,
  *                          "p50":..,"p95":..,"p99":..}},
+ *    "energy":{"lambda":..,"total":{...},"families":{"window":{...}}},
  *    "events_recorded":N,
  *    "events":[{"t_ns":..,"kind":"desync","session":..,"seq":..,
- *               "label":".."}]}        // only when requested
+ *               "label":".."}],        // only when requested
+ *    "batches_recorded":N,
+ *    "batches":[{"t_ns":..,"trace_id":"..","span_id":"..",
+ *                "kind":"encode","session":..,"seq":..,
+ *                "queue_ns":..,"codec_ns":..,"words":..,
+ *                "family":"..","base_tau":..,...,"saved_pct":..}]}
+ *                                      // only when requested
  *
  * Counters/gauges/histograms mirror a Registry snapshot taken at call
  * time (writers are never blocked), so every name in
- * docs/OBSERVABILITY.md appears here under the same key.
+ * docs/OBSERVABILITY.md appears here under the same key. The "energy"
+ * section is derived from the serve.energy.* counters of the same
+ * snapshot: each row carries the raw wire-event totals, the
+ * transitions saved, and the percent saved at the server's coupling
+ * ratio lambda — plus base/coded/saved picojoules when the server was
+ * given a wire model. Trace/span ids in "batches" are 16-digit hex
+ * strings (u64s would lose precision in double-based JSON readers).
  */
 
 #ifndef PREDBUS_SERVE_STATS_H
@@ -23,6 +36,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "serve/batch_trace.h"
 #include "serve/flight_recorder.h"
 
 namespace predbus::serve
@@ -35,6 +49,13 @@ struct ServerStatsContext
     /** nullptr leaves events_recorded at 0 and omits "events". */
     const FlightRecorder *recorder = nullptr;
     bool include_events = false;
+    /** nullptr leaves batches_recorded at 0 and omits "batches". */
+    const BatchTailSampler *batches = nullptr;
+    /** Coupling ratio for every derived saved_pct. */
+    double energy_lambda = 1.0;
+    /** Joules per wire event; both 0 omits the *_pj fields. */
+    double joule_per_tau = 0.0;
+    double joule_per_kappa = 0.0;
 };
 
 /** Serialize @p snapshot + @p ctx as one compact JSON line (no

@@ -716,6 +716,81 @@ TEST(JsonCheck, FlattenProducesDottedScalarPaths)
     EXPECT_EQ(rows[4].value, "-2.5e3");
 }
 
+TEST(JsonCheck, FlattenKeysWithDotsQuotesAndBackslashes)
+{
+    // Keys are emitted unescaped and joined with '.': a key that
+    // itself contains a dot is indistinguishable from nesting in the
+    // joined path (documented table-rendering tradeoff), but the
+    // escape processing must still be exact.
+    std::vector<obs::JsonScalar> rows;
+    const std::string doc =
+        R"({"a.b": 1, "q\"k": 2, "b\\s": 3, "t\tn\nr\r": "v\\x",)"
+        R"( "": 5})";
+    ASSERT_EQ(obs::jsonSyntaxError(doc), std::nullopt);
+    ASSERT_EQ(obs::jsonFlatten(doc, rows), std::nullopt);
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows[0].path, "a.b");  // same path a nested {"a":{"b":
+    EXPECT_EQ(rows[0].value, "1");
+    EXPECT_EQ(rows[1].path, "q\"k");
+    EXPECT_EQ(rows[1].value, "2");
+    EXPECT_EQ(rows[2].path, "b\\s");  // single backslash, unescaped
+    EXPECT_EQ(rows[2].value, "3");
+    EXPECT_EQ(rows[3].path, "t\tn\nr\r");
+    EXPECT_EQ(rows[3].value, "v\\x");
+    EXPECT_EQ(rows[4].path, "");  // empty key is legal JSON
+    EXPECT_EQ(rows[4].value, "5");
+
+    // A dotted key inside nesting joins just like real nesting does.
+    const std::string nested = R"({"outer": {"a.b": true}})";
+    ASSERT_EQ(obs::jsonFlatten(nested, rows), std::nullopt);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].path, "outer.a.b");
+}
+
+TEST(JsonCheck, FlattenEmptyObjectsAndArraysEmitNothing)
+{
+    // Empty containers are valid JSON but have no scalar leaves, so
+    // they vanish from the flattened view — including when they are
+    // the whole document or buried in live siblings.
+    std::vector<obs::JsonScalar> rows;
+    for (const std::string doc : {"{}", "[]", "[[], {}]",
+                                  R"({"a": {}, "b": []})"}) {
+        ASSERT_EQ(obs::jsonSyntaxError(doc), std::nullopt) << doc;
+        ASSERT_EQ(obs::jsonFlatten(doc, rows), std::nullopt) << doc;
+        EXPECT_TRUE(rows.empty()) << doc;
+    }
+
+    const std::string mixed =
+        R"({"before": 1, "hole": {"deep": []}, "after": [2, {}, 3]})";
+    ASSERT_EQ(obs::jsonFlatten(mixed, rows), std::nullopt);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].path, "before");
+    // The empty slot still consumes an array index.
+    EXPECT_EQ(rows[1].path, "after.0");
+    EXPECT_EQ(rows[1].value, "2");
+    EXPECT_EQ(rows[2].path, "after.2");
+    EXPECT_EQ(rows[2].value, "3");
+}
+
+TEST(JsonCheck, FlattenUnicodeEscapesKeptVerbatim)
+{
+    // \uXXXX stays verbatim in both keys and values (path/label
+    // rendering does not need code-point decoding), and malformed
+    // unicode escapes are syntax errors, not passthrough.
+    std::vector<obs::JsonScalar> rows;
+    const std::string doc =
+        "{\"k\\u00e9y\": \"va\\u0041l\"}";
+    ASSERT_EQ(obs::jsonFlatten(doc, rows), std::nullopt);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].path, "k\\u00e9y");
+    EXPECT_EQ(rows[0].value, "va\\u0041l");
+
+    EXPECT_NE(obs::jsonSyntaxError(R"({"k\u00g9": 1})"),
+              std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError(R"({"k\u00e": 1})"), std::nullopt);
+    EXPECT_NE(obs::jsonSyntaxError(R"({"k\x41": 1})"), std::nullopt);
+}
+
 TEST(JsonCheck, FlattenRejectsInvalidAndClearsOutput)
 {
     std::vector<obs::JsonScalar> rows;

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -207,6 +208,107 @@ TEST(ServeFraming, PayloadParsersRoundTrip)
     ASSERT_TRUE(protocol::parseError(err, code, message));
     EXPECT_EQ(code, ErrCode::Desync);
     EXPECT_EQ(message, "boom");
+}
+
+TEST(ServeFraming, TraceContextRoundTrip)
+{
+    const std::vector<Word> words{4, 8, 15, 16, 23, 42};
+    const std::vector<u64> states{9, 0, u64{5} << 40};
+    protocol::TraceContext trace;
+    trace.trace_id = 0x0123456789ABCDEFull;
+    trace.span_id = 0xFEDCBA9876543210ull;
+
+    // Stamped frames set the flag bit and carry the 16-byte prefix.
+    const Frame enc = protocol::makeEncode(3, 9, 0xAA, words, &trace);
+    EXPECT_EQ(enc.hdr.flags & protocol::kFlagTraceContext,
+              protocol::kFlagTraceContext);
+    u64 sum = 0;
+    std::vector<Word> got_words;
+    std::optional<protocol::TraceContext> got_trace;
+    ASSERT_TRUE(protocol::parseEncode(enc, sum, got_words, got_trace));
+    EXPECT_EQ(got_words, words);
+    ASSERT_TRUE(got_trace.has_value());
+    EXPECT_EQ(got_trace->trace_id, trace.trace_id);
+    EXPECT_EQ(got_trace->span_id, trace.span_id);
+
+    const Frame dec = protocol::makeDecode(3, 9, 0xBB, states, &trace);
+    std::vector<u64> got_states;
+    got_trace.reset();
+    ASSERT_TRUE(
+        protocol::parseDecode(dec, sum, got_states, got_trace));
+    EXPECT_EQ(got_states, states);
+    ASSERT_TRUE(got_trace.has_value());
+    EXPECT_EQ(got_trace->trace_id, trace.trace_id);
+
+    // Unstamped frames parse with the optional disengaged, through
+    // both the trace-aware and the legacy overloads.
+    const Frame plain = protocol::makeEncode(3, 9, 0xAA, words);
+    EXPECT_EQ(plain.hdr.flags & protocol::kFlagTraceContext, 0u);
+    got_trace.reset();
+    ASSERT_TRUE(
+        protocol::parseEncode(plain, sum, got_words, got_trace));
+    EXPECT_FALSE(got_trace.has_value());
+    ASSERT_TRUE(protocol::parseEncode(enc, sum, got_words));
+    EXPECT_EQ(got_words, words);
+}
+
+TEST(ServeFraming, TraceContextRejectsTruncatedPrefix)
+{
+    protocol::TraceContext trace;
+    trace.trace_id = 1;
+    trace.span_id = 2;
+    Frame enc = protocol::makeEncode(
+        1, 1, 0, std::vector<Word>{1, 2}, &trace);
+
+    // Flag set but fewer than 16 prefix bytes available: malformed.
+    enc.payload.resize(protocol::kTraceContextSize - 1);
+    enc.hdr.payload_len = static_cast<u32>(enc.payload.size());
+    u64 sum = 0;
+    std::vector<Word> words;
+    std::optional<protocol::TraceContext> got;
+    EXPECT_FALSE(protocol::parseEncode(enc, sum, words, got));
+}
+
+TEST(ServeFraming, UnknownHeaderFlagBitsAreIgnored)
+{
+    // Reserved header flag bits pass through the parser untouched so
+    // a newer peer's frames still interoperate; only bit 0 is
+    // interpreted today.
+    const std::vector<Word> words{7, 7, 7};
+    Frame enc = protocol::makeEncode(2, 5, 0xCC, words);
+    enc.hdr.flags = 0xFF00;  // reserved bits only
+
+    std::vector<u8> bytes;
+    protocol::writeHeader(bytes, enc.hdr);
+    protocol::FrameHeader parsed;
+    ASSERT_EQ(protocol::parseHeader(bytes, parsed),
+              protocol::HeaderStatus::Ok);
+    EXPECT_EQ(parsed.flags, 0xFF00u);
+
+    u64 sum = 0;
+    std::vector<Word> got_words;
+    std::optional<protocol::TraceContext> got_trace;
+    ASSERT_TRUE(
+        protocol::parseEncode(enc, sum, got_words, got_trace));
+    EXPECT_EQ(got_words, words);
+    EXPECT_FALSE(got_trace.has_value());
+}
+
+TEST(ServeFraming, StatsOkCarriesEnergyFields)
+{
+    protocol::SessionStats stats;
+    stats.base_energy = {123456, 7890};
+    stats.coded_energy = {1111, 22};
+    stats.metered_words = 4096;
+
+    const Frame frame = protocol::makeStatsOk(9, stats);
+    protocol::SessionStats parsed;
+    ASSERT_TRUE(protocol::parseStatsOk(frame, parsed));
+    EXPECT_EQ(parsed.base_energy.tau, 123456u);
+    EXPECT_EQ(parsed.base_energy.kappa, 7890u);
+    EXPECT_EQ(parsed.coded_energy.tau, 1111u);
+    EXPECT_EQ(parsed.coded_energy.kappa, 22u);
+    EXPECT_EQ(parsed.metered_words, 4096u);
 }
 
 TEST(ServeFraming, PayloadParsersRejectTruncationAndTrailingBytes)

@@ -21,6 +21,8 @@
 #include <unistd.h>
 
 #include "analysis/suite.h"
+#include "coding/bus_energy.h"
+#include "coding/factory.h"
 #include "coding/session.h"
 #include "common/log.h"
 #include "obs/json_check.h"
@@ -71,14 +73,28 @@ TEST(ServerStatsProtocol, RequestRejectsMalformedPayloads)
     oversize.payload.push_back(0);
     oversize.hdr.payload_len = 2;
     EXPECT_FALSE(serve::protocol::parseServerStats(oversize, events));
+}
 
-    // Reserved flag bits must be rejected, not silently ignored —
-    // they are how the frame grows in a future protocol version.
+TEST(ServerStatsProtocol, RequestIgnoresReservedFlagBits)
+{
+    // Reserved flag bits are IGNORED, not rejected: a newer client
+    // that sets a bit this server predates still gets a valid v1
+    // snapshot (the server answers the parts of the request it
+    // understands). Only bit 0 (include events) is interpreted.
+    bool events = false;
+
     Frame reserved = serve::protocol::makeServerStats(false);
     reserved.payload[0] = 0x02;
-    EXPECT_FALSE(serve::protocol::parseServerStats(reserved, events));
-    reserved.payload[0] = 0x81;
-    EXPECT_FALSE(serve::protocol::parseServerStats(reserved, events));
+    EXPECT_TRUE(serve::protocol::parseServerStats(reserved, events));
+    EXPECT_FALSE(events);
+
+    reserved.payload[0] = 0x81;  // high bits + events bit
+    EXPECT_TRUE(serve::protocol::parseServerStats(reserved, events));
+    EXPECT_TRUE(events);
+
+    reserved.payload[0] = 0xFE;  // every reserved bit, events off
+    EXPECT_TRUE(serve::protocol::parseServerStats(reserved, events));
+    EXPECT_FALSE(events);
 }
 
 TEST(ServerStatsProtocol, ResponseRoundTrip)
@@ -469,6 +485,228 @@ TEST_F(ServeStats, EncodedBytesIdenticalWithConcurrentScraping)
     stop.store(true);
     scraper.join();
     EXPECT_GT(registry.counter("serve.stats_requests").value(), 0u);
+}
+
+TEST_F(ServeStats, ReservedStatsFlagBitsStillReturnSnapshot)
+{
+    // Forward compatibility end to end: a SERVER_STATS request with
+    // reserved flag bits set (a newer client speaking to this server)
+    // still gets a complete, valid v1 snapshot.
+    startServer();
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("window:8");
+    ASSERT_TRUE(
+        session.encode(analysis::randomValues(256, 0xF1A6)).ok());
+
+    for (const u8 flags : {u8{0x02}, u8{0x82}, u8{0xFE}}) {
+        Frame request = serve::protocol::makeServerStats(false);
+        request.payload[0] = flags;
+        client.send(request);
+        const Frame response = client.recv();
+        ASSERT_EQ(response.hdr.type,
+                  static_cast<u8>(MsgType::ServerStatsOk))
+            << "flags=" << unsigned{flags};
+        std::string json;
+        ASSERT_TRUE(
+            serve::protocol::parseServerStatsOk(response, json));
+        const auto rows = flatten(json);
+        EXPECT_EQ(valueOf(rows, "schema"), "predbus.serverstats.v1");
+        EXPECT_EQ(valueOf(rows, "counters.serve.batches"), "1");
+    }
+}
+
+// -- live energy attribution --------------------------------------------
+
+TEST_F(ServeStats, LiveEnergyMatchesOfflineEvaluator)
+{
+    // The acceptance contract of the serve.energy.* plane: the live
+    // counters a scrape reports must equal an offline
+    // StreamingEvaluator run over the same stream — exactly, not
+    // approximately, because the session meters carry wire state
+    // across batch boundaries just like the evaluator does.
+    startServer();
+    const std::vector<Word> stream =
+        analysis::randomValues(4096, 0xE4E6);
+
+    for (const std::string spec : {"window:8", "inv:2"}) {
+        serve::Client client = connect();
+        serve::ClientSession session = client.openOrThrow(spec);
+        for (std::size_t pos = 0; pos < stream.size(); pos += 256) {
+            ASSERT_TRUE(
+                session.encode(std::span(stream).subspan(pos, 256))
+                    .ok());
+        }
+
+        auto codec = coding::makeFromSpec(spec);
+        coding::StreamingEvaluator offline(*codec);
+        offline.feed(stream);
+        const coding::CodingResult expect = offline.result();
+
+        // Session-level STATS carries the same meters.
+        const serve::protocol::SessionStats stats = session.stats();
+        EXPECT_EQ(stats.metered_words, stream.size()) << spec;
+        EXPECT_EQ(stats.base_energy.tau, expect.base.tau) << spec;
+        EXPECT_EQ(stats.base_energy.kappa, expect.base.kappa) << spec;
+        EXPECT_EQ(stats.coded_energy.tau, expect.coded.tau) << spec;
+        EXPECT_EQ(stats.coded_energy.kappa, expect.coded.kappa)
+            << spec;
+
+        // Per-family counters aggregate the published deltas.
+        const std::string family = spec.substr(0, spec.find(':'));
+        const std::string prefix = "serve.energy." + family + ".";
+        EXPECT_EQ(registry.counter(prefix + "words").value(),
+                  stream.size());
+        EXPECT_EQ(registry.counter(prefix + "base_tau").value(),
+                  expect.base.tau);
+        EXPECT_EQ(registry.counter(prefix + "base_kappa").value(),
+                  expect.base.kappa);
+        EXPECT_EQ(registry.counter(prefix + "coded_tau").value(),
+                  expect.coded.tau);
+        EXPECT_EQ(registry.counter(prefix + "coded_kappa").value(),
+                  expect.coded.kappa);
+        session.close();
+    }
+
+    // The scrape's "energy" section is derived from those counters:
+    // per-family saved_pct must match removedFraction to the printed
+    // precision, and the server-wide totals are the family sums.
+    serve::Client client = connect();
+    const auto rows = flatten(client.serverStats(false));
+    auto codec = coding::makeFromSpec("window:8");
+    coding::StreamingEvaluator offline(*codec);
+    offline.feed(stream);
+    const double expect_pct =
+        offline.result().removedFraction(1.0) * 100.0;
+    const std::string got =
+        valueOf(rows, "energy.families.window.saved_pct");
+    ASSERT_NE(got, "");
+    EXPECT_NEAR(std::stod(got), expect_pct, 0.01);
+    EXPECT_EQ(valueOf(rows, "energy.total.words"),
+              std::to_string(2 * stream.size()));
+}
+
+TEST_F(ServeStats, DecodeBatchesAreMeteredToo)
+{
+    startServer();
+    const std::vector<Word> stream =
+        analysis::randomValues(1024, 0xDEC0);
+
+    // Encode locally, decode through the server: the decode session's
+    // meters must see the same base (decoded words) and coded (wire
+    // states) streams the offline evaluator sees.
+    coding::CodecSession local("window:8");
+    std::vector<u64> states;
+    local.encodeBatch(stream, states);
+
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("window:8");
+    for (std::size_t pos = 0; pos < states.size(); pos += 256) {
+        const auto result =
+            session.decode(std::span(states).subspan(pos, 256));
+        ASSERT_TRUE(result.ok());
+        for (std::size_t i = 0; i < result.data.size(); ++i)
+            ASSERT_EQ(result.data[i], stream[pos + i]);
+    }
+
+    auto codec = coding::makeFromSpec("window:8");
+    coding::StreamingEvaluator offline(*codec);
+    offline.feed(stream);
+    const coding::CodingResult expect = offline.result();
+    const serve::protocol::SessionStats stats = session.stats();
+    EXPECT_EQ(stats.metered_words, stream.size());
+    EXPECT_EQ(stats.base_energy.tau, expect.base.tau);
+    EXPECT_EQ(stats.base_energy.kappa, expect.base.kappa);
+    EXPECT_EQ(stats.coded_energy.tau, expect.coded.tau);
+    EXPECT_EQ(stats.coded_energy.kappa, expect.coded.kappa);
+}
+
+TEST_F(ServeStats, MeteringAndTracingNeverChangeBytes)
+{
+    // Byte-identical wire contract: the same stream through a fully
+    // instrumented server (metering on, batch tracing on, every
+    // frame trace-stamped) and through a stripped server (both off,
+    // no trace contexts) produces identical states and checksums.
+    const std::vector<Word> stream =
+        analysis::randomValues(2048, 0xB17E);
+
+    serve::ServerOptions bare;
+    bare.meter_energy = false;
+    bare.batch_trace_capacity = 0;
+    startServer(bare);
+    serve::Client bare_client = connect();
+    serve::ClientSession bare_session =
+        bare_client.openOrThrow("ctx:16+4");
+
+    obs::Registry full_registry;
+    const std::string full_path = socketPath();
+    serve::ServerOptions full_opt;
+    full_opt.unix_path = full_path;
+    serve::Server full_server(full_opt, full_registry);
+    serve::Client full_client =
+        serve::Client::connectUnixSocket(full_path);
+    serve::ClientSession full_session =
+        full_client.openOrThrow("ctx:16+4");
+
+    serve::protocol::TraceContext trace;
+    trace.trace_id = 0x7e57ab1e0ddba11ull;
+    for (std::size_t pos = 0; pos < stream.size(); pos += 256) {
+        trace.span_id = pos + 1;
+        const std::span<const Word> batch(stream.data() + pos, 256);
+        const auto plain = bare_session.encode(batch);
+        const auto traced = full_session.encode(batch, &trace);
+        ASSERT_TRUE(plain.ok());
+        ASSERT_TRUE(traced.ok());
+        ASSERT_EQ(plain.data, traced.data);
+        ASSERT_EQ(plain.checksum, traced.checksum);
+    }
+    // The stripped server really was stripped, and the instrumented
+    // one really metered: the instrumentation is the only delta.
+    EXPECT_EQ(registry.counter("serve.energy.words").value(), 0u);
+    EXPECT_EQ(full_registry.counter("serve.energy.words").value(),
+              stream.size());
+}
+
+TEST_F(ServeStats, BatchTailSamplerSurfacesTracedBatches)
+{
+    startServer();
+    serve::Client client = connect();
+    serve::ClientSession session = client.openOrThrow("window:8");
+    const std::vector<Word> stream =
+        analysis::randomValues(1024, 0x7ACE);
+
+    serve::protocol::TraceContext trace;
+    trace.trace_id = 0xabcdef0123456789ull;
+    for (std::size_t pos = 0; pos < stream.size(); pos += 256) {
+        trace.span_id = 0x1000 + pos;
+        ASSERT_TRUE(
+            session.encode(std::span(stream).subspan(pos, 256), &trace)
+                .ok());
+    }
+
+    // Events requested: the batch tail appears with the stamped ids
+    // (16-digit hex strings), timing split, and per-batch energy.
+    const auto rows = flatten(client.serverStats(true));
+    EXPECT_EQ(valueOf(rows, "batches_recorded"), "4");
+    EXPECT_EQ(valueOf(rows, "batches.0.trace_id"),
+              "abcdef0123456789");
+    EXPECT_EQ(valueOf(rows, "batches.0.span_id"),
+              "0000000000001000");
+    EXPECT_EQ(valueOf(rows, "batches.0.kind"), "encode");
+    EXPECT_EQ(valueOf(rows, "batches.0.family"), "window");
+    EXPECT_EQ(valueOf(rows, "batches.0.words"), "256");
+    EXPECT_NE(valueOf(rows, "batches.0.codec_ns"), "");
+    EXPECT_NE(valueOf(rows, "batches.0.queue_ns"), "");
+    EXPECT_NE(valueOf(rows, "batches.0.base_tau"), "");
+    EXPECT_NE(valueOf(rows, "batches.0.saved_pct"), "");
+
+    // The queue-wait histogram saw every batch.
+    EXPECT_EQ(valueOf(rows, "histograms.serve.queue_wait_ns.count"),
+              "4");
+
+    // Without --events the tail stays out of the payload.
+    const auto quiet = flatten(client.serverStats(false));
+    EXPECT_EQ(valueOf(quiet, "batches_recorded"), "4");
+    EXPECT_EQ(valueOf(quiet, "batches.0.trace_id"), "");
 }
 
 TEST_F(ServeStats, StatsJsonDirectDumpIsValid)

@@ -20,6 +20,17 @@ regardless of what the baseline file says:
                          record must never lose to the old mutexed
                          sample-vector path (CI runs 0.9 to absorb
                          shared-runner noise)
+  --energy-overhead-floor (0.97)
+                         energy_overhead.metering_ratio: serve-path
+                         throughput with live energy metering + batch
+                         tracing on must stay within 2% of the
+                         unmetered path; the floor sits at 0.97 =
+                         2% claim + 1% measurement margin, since the
+                         paired-ratio bench still jitters ~±0.7% on a
+                         busy host (CI runs 0.90 to absorb
+                         shared-runner noise); skipped when the
+                         current run has no serve section
+                         (--skip-serve benches)
 
 Absolute throughput is checked only with --absolute, for runs on the
 same host that produced the baseline (see docs/PERF.md for the
@@ -81,6 +92,10 @@ def main():
     ap.add_argument("--obs-floor", type=float, default=1.0,
                     help="hard minimum histogram record_speedup "
                          "(lock-free vs mutexed)")
+    ap.add_argument("--energy-overhead-floor", type=float,
+                    default=0.97,
+                    help="hard minimum serve metering_ratio (metered "
+                         "over unmetered serve-loopback words/sec)")
     ap.add_argument("--absolute", action="store_true",
                     help="also gate absolute span words/sec "
                          "(same-host runs only)")
@@ -145,15 +160,37 @@ def main():
                 f"histogram record lost to the mutexed path)"
             )
 
+    # The metering microbench rides with the serve loopback: a
+    # --skip-serve run has neither, and the gate only insists on it
+    # when the run actually exercised the serve path.
+    energy = cur_doc.get("energy_overhead")
+    energy_ratio = None
+    if energy is not None:
+        energy_ratio = energy.get("metering_ratio", 0.0)
+        if energy_ratio < args.energy_overhead_floor:
+            failures.append(
+                f"energy_overhead: metering_ratio {energy_ratio:.3f} "
+                f"below the hard floor "
+                f"{args.energy_overhead_floor:.2f} (live energy "
+                f"metering costs too much serve throughput)"
+            )
+    elif cur_doc.get("serve") is not None:
+        failures.append("energy_overhead: metering microbench missing "
+                        "from current run")
+
     for f in failures:
         print(f"check_perf_gate: FAIL {f}", file=sys.stderr)
     if failures:
         return 1
     n = len(base)
     simd = cur_doc.get("simd", "?")
+    energy_note = (
+        f", metering ratio {energy_ratio:.3f}"
+        if energy_ratio is not None else ""
+    )
     print(f"check_perf_gate: OK ({n} codecs, simd={simd}, "
           f"window:8 speedup {w8['span_speedup']:.2f}x, "
-          f"obs record {obs_speedup:.2f}x)")
+          f"obs record {obs_speedup:.2f}x{energy_note})")
     return 0
 
 

@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +34,8 @@
 #include "analysis/suite.h"
 #include "coding/session.h"
 #include "common/log.h"
+#include "obs/json_check.h"
+#include "obs/json_util.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/tracing.h"
@@ -72,7 +75,19 @@ usage(std::ostream &os)
           "                     over the stream)\n"
           "  --metrics=FILE     write the load.* metrics report "
           "JSON\n"
-          "  --help             this text\n";
+          "  --trace-out=FILE   write a merged client+server Chrome\n"
+          "                     trace (trace contexts stamped on "
+          "every\n"
+          "                     batch join the client-side spans "
+          "with\n"
+          "                     the server's retained batch spans)\n"
+          "  --help             this text\n"
+          "\n"
+          "Every batch is stamped with a 16-byte trace context; the "
+          "run\n"
+          "ends with a live-savings line aggregated from the "
+          "server's\n"
+          "per-session energy meters (STATS frame).\n";
 }
 
 struct Options
@@ -87,6 +102,7 @@ struct Options
     unsigned batch = 256;
     unsigned batches = 0;  ///< 0: one pass over the stream
     std::string metrics_file;
+    std::string trace_out;
 };
 
 std::string
@@ -141,6 +157,9 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("--metrics=", 0) == 0) {
             opt.metrics_file =
                 arg.substr(std::string("--metrics=").size());
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opt.trace_out =
+                arg.substr(std::string("--trace-out=").size());
         } else {
             fatal("unknown option '", arg, "' (see --help)");
         }
@@ -205,6 +224,17 @@ loadStream(const std::string &source)
     fatal("bad --source '", source, "' (see --help)");
 }
 
+/** One client-side batch span, for the merged Chrome trace. */
+struct ClientSpan
+{
+    u64 trace_id = 0;
+    u64 span_id = 0;
+    u64 t0_ns = 0;
+    u64 t1_ns = 0;
+    u64 words = 0;
+    bool is_encode = false;
+};
+
 struct ConnStats
 {
     u64 words = 0;
@@ -212,13 +242,19 @@ struct ConnStats
     u64 rejects = 0;
     u64 mismatches = 0;
     bool failed = false;
+    /** Encoder-session stats fetched before close (server-metered
+     * energy rides in here). */
+    serve::protocol::SessionStats session;
+    bool have_session = false;
+    std::vector<ClientSpan> spans;  ///< only with --trace-out
 };
 
-/** One connection's replay loop. */
+/** One connection's replay loop. @p nonce seeds this run's trace ids
+ * (every batch is stamped; ids are unique per run/conn/batch). */
 void
 runConnection(const Options &opt, const std::vector<Word> &stream,
-              unsigned conn_index, ConnStats &out,
-              obs::Registry &registry)
+              unsigned conn_index, u64 nonce, bool collect_spans,
+              ConnStats &out, obs::Registry &registry)
 {
     obs::Counter &m_batches = registry.counter("load.batches");
     obs::Counter &m_words = registry.counter("load.words");
@@ -267,13 +303,25 @@ runConnection(const Options &opt, const std::vector<Word> &stream,
             local.encodeBatch(batch, pre_encoded);
         }
 
+        // End-to-end trace context: one trace id per batch, distinct
+        // span ids for the encode and decode legs. The server copies
+        // them onto its per-batch span, so client and server traces
+        // merge on the shared trace id.
+        serve::protocol::TraceContext trace;
+        trace.trace_id = nonce ^ (u64{conn_index + 1} << 40) ^
+                         (u64{b} + 1);
+        trace.span_id = trace.trace_id * 0x9e3779b97f4a7c15ull | 1;
+        serve::protocol::TraceContext decode_trace = trace;
+        decode_trace.span_id = trace.span_id + 1;
+
         // Retry overload sheds with a brief backoff; anything else
         // fatal for this connection.
         for (int attempt = 0;; ++attempt) {
             const u64 t0 = obs::nowNs();
             std::optional<serve::ServeError> error;
             if (opt.mode == "decode") {
-                const auto result = encoder.decode(pre_encoded);
+                const auto result =
+                    encoder.decode(pre_encoded, &trace);
                 error = result.error;
                 if (result.ok()) {
                     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -284,10 +332,11 @@ runConnection(const Options &opt, const std::vector<Word> &stream,
                     }
                 }
             } else {
-                const auto result = encoder.encode(batch);
+                const auto result = encoder.encode(batch, &trace);
                 error = result.error;
                 if (result.ok() && decoder) {
-                    const auto decoded = decoder->decode(result.data);
+                    const auto decoded =
+                        decoder->decode(result.data, &decode_trace);
                     if (decoded.ok()) {
                         for (std::size_t i = 0; i < batch.size();
                              ++i) {
@@ -303,8 +352,14 @@ runConnection(const Options &opt, const std::vector<Word> &stream,
             }
 
             if (!error) {
-                m_batch_ns.record(
-                    static_cast<double>(obs::nowNs() - t0));
+                const u64 t1 = obs::nowNs();
+                m_batch_ns.record(static_cast<double>(t1 - t0));
+                if (collect_spans) {
+                    out.spans.push_back(
+                        ClientSpan{trace.trace_id, trace.span_id, t0,
+                                   t1, batch.size(),
+                                   opt.mode != "decode"});
+                }
                 ++out.batches;
                 out.words += batch.size();
                 m_batches.inc();
@@ -327,9 +382,114 @@ runConnection(const Options &opt, const std::vector<Word> &stream,
         }
     }
 
+    out.session = encoder.stats();
+    out.have_session = true;
     encoder.close();
     if (decoder)
         decoder->close();
+}
+
+/** 16-digit hex id, matching the server's batch-span id strings. */
+std::string
+hexId(u64 id)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+/**
+ * Merged Chrome trace (chrome://tracing / Perfetto "traceEvents"):
+ * client spans as pid 1 (tid = connection), the server's retained
+ * batch spans as pid 2 (tid = session id). Both sides stamp the same
+ * monotonic clock on the same host, so timestamps line up directly;
+ * shared trace ids in args join the two views of one batch.
+ */
+void
+writeChromeTrace(const std::string &path,
+                 const std::vector<ConnStats> &stats,
+                 const std::string &server_json)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write ", path);
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    const auto sep = [&os, &first] {
+        if (!first)
+            os << ',';
+        first = false;
+    };
+
+    for (std::size_t c = 0; c < stats.size(); ++c) {
+        for (const ClientSpan &sp : stats[c].spans) {
+            sep();
+            os << "{\"name\":\""
+               << (sp.is_encode ? "encode" : "decode")
+               << "\",\"cat\":\"client\",\"ph\":\"X\",\"ts\":";
+            obs::jsonNumber(os, static_cast<double>(sp.t0_ns) / 1e3);
+            os << ",\"dur\":";
+            obs::jsonNumber(os,
+                            static_cast<double>(sp.t1_ns - sp.t0_ns) /
+                                1e3);
+            os << ",\"pid\":1,\"tid\":" << c + 1
+               << ",\"args\":{\"trace_id\":\"" << hexId(sp.trace_id)
+               << "\",\"span_id\":\"" << hexId(sp.span_id)
+               << "\",\"words\":" << sp.words << "}}";
+        }
+    }
+
+    // Server side: the tail-sampled batch spans out of SERVER_STATS
+    // --events, keyed "batches.<i>.<field>" in the flattened view.
+    std::vector<obs::JsonScalar> rows;
+    if (const auto err = obs::jsonFlatten(server_json, rows)) {
+        logWarn("load: server stats JSON failed validation (", *err,
+                "); writing client-only trace");
+        rows.clear();
+    }
+    std::map<unsigned, std::map<std::string, std::string>> batches;
+    for (const obs::JsonScalar &row : rows) {
+        if (row.path.rfind("batches.", 0) != 0)
+            continue;
+        const std::string rest = row.path.substr(8);
+        const std::size_t dot = rest.find('.');
+        if (dot == std::string::npos)
+            continue;
+        try {
+            batches[static_cast<unsigned>(
+                std::stoul(rest.substr(0, dot)))][rest.substr(dot + 1)] =
+                row.value;
+        } catch (const std::exception &) {
+        }
+    }
+    for (const auto &[index, fields] : batches) {
+        const auto field = [&fields](const char *name) {
+            const auto it = fields.find(name);
+            return it == fields.end() ? std::string("0") : it->second;
+        };
+        const double t_ns = std::stod(field("t_ns"));
+        const double queue_ns = std::stod(field("queue_ns"));
+        const double codec_ns = std::stod(field("codec_ns"));
+        sep();
+        os << "{\"name\":\"serve:" << field("kind")
+           << "\",\"cat\":\"server\",\"ph\":\"X\",\"ts\":";
+        obs::jsonNumber(os, t_ns / 1e3);
+        os << ",\"dur\":";
+        obs::jsonNumber(os, (queue_ns + codec_ns) / 1e3);
+        os << ",\"pid\":2,\"tid\":" << field("session")
+           << ",\"args\":{\"trace_id\":\"" << field("trace_id")
+           << "\",\"span_id\":\"" << field("span_id")
+           << "\",\"family\":\"" << field("family")
+           << "\",\"seq\":" << field("seq")
+           << ",\"words\":" << field("words")
+           << ",\"queue_ns\":" << field("queue_ns")
+           << ",\"codec_ns\":" << field("codec_ns")
+           << ",\"saved_pct\":" << field("saved_pct") << "}}";
+    }
+    os << "]}\n";
+    logInfo("wrote merged trace ", path, " (",
+            batches.size(), " server spans)");
 }
 
 int
@@ -345,11 +505,14 @@ runMain(int argc, char **argv)
     std::vector<std::thread> threads;
     std::atomic<int> failures{0};
 
+    const u64 nonce = obs::nowNs();
+    const bool collect_spans = !opt.trace_out.empty();
     const u64 t0 = obs::nowNs();
     for (unsigned c = 0; c < opt.connections; ++c) {
         threads.emplace_back([&, c] {
             try {
-                runConnection(opt, stream, c, stats[c], registry);
+                runConnection(opt, stream, c, nonce, collect_spans,
+                              stats[c], registry);
             } catch (const std::exception &e) {
                 logError("load: connection ", c, " failed: ",
                          e.what());
@@ -395,6 +558,55 @@ runMain(int argc, char **argv)
     std::printf("  batch latency ms  p50 %.3f  p95 %.3f  p99 %.3f  "
                 "(log-bucketed, +/-1.6%%)\n",
                 lat.p50 / 1e6, lat.p95 / 1e6, lat.p99 / 1e6);
+
+    // End-to-end savings, aggregated from the server's per-session
+    // energy meters (primary-session STATS fetched before close).
+    coding::EnergyCount base, coded;
+    u64 metered_words = 0;
+    for (const ConnStats &s : stats) {
+        if (!s.have_session)
+            continue;
+        base.tau += s.session.base_energy.tau;
+        base.kappa += s.session.base_energy.kappa;
+        coded.tau += s.session.coded_energy.tau;
+        coded.kappa += s.session.coded_energy.kappa;
+        metered_words += s.session.metered_words;
+    }
+    if (metered_words > 0) {
+        const double b = base.cost(1.0);
+        std::printf("  live savings (server-metered)  words %llu  "
+                    "base events %llu  coded events %llu  "
+                    "saved %.2f%% (lambda 1)\n",
+                    static_cast<unsigned long long>(metered_words),
+                    static_cast<unsigned long long>(base.tau +
+                                                    base.kappa),
+                    static_cast<unsigned long long>(coded.tau +
+                                                    coded.kappa),
+                    b > 0.0 ? 100.0 * (1.0 - coded.cost(1.0) / b)
+                            : 0.0);
+    } else {
+        std::printf("  live savings unavailable (server energy "
+                    "metering disabled)\n");
+    }
+
+    if (!opt.trace_out.empty()) {
+        // One post-run scrape picks up the server's retained batch
+        // spans; trace ids stamped above join them to ours.
+        std::string server_json;
+        try {
+            serve::Client scraper =
+                opt.unix_path.empty()
+                    ? serve::Client::connectTcpSocket(
+                          opt.host, static_cast<u16>(opt.tcp_port))
+                    : serve::Client::connectUnixSocket(opt.unix_path);
+            server_json = scraper.serverStats(true);
+        } catch (const FatalError &e) {
+            logWarn("load: post-run stats scrape failed (", e.what(),
+                    "); writing client-only trace");
+            server_json = "{}";
+        }
+        writeChromeTrace(opt.trace_out, stats, server_json);
+    }
 
     if (!opt.metrics_file.empty()) {
         obs::ReportContext ctx;

@@ -33,6 +33,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "serve/server.h"
+#include "wires/wire_model.h"
 
 using namespace predbus;
 
@@ -56,6 +57,25 @@ usage(std::ostream &os)
           "32)\n"
           "  --max-sessions N  per-connection session cap (default "
           "64)\n"
+          "  --no-energy       disable live energy metering "
+          "(serve.energy.*)\n"
+          "  --energy-lambda L coupling ratio for saved-percent "
+          "figures\n"
+          "                    (default 1.0)\n"
+          "  --energy-wire TECH:MM[:bare]\n"
+          "                    report Joules using the src/wires "
+          "model:\n"
+          "                    technology (e.g. 0.13um), bus length "
+          "in mm,\n"
+          "                    optional ':bare' for an unbuffered "
+          "bus;\n"
+          "                    also sets lambda to the model's "
+          "effective\n"
+          "                    ratio unless --energy-lambda is given\n"
+          "  --batch-trace N   per-class batch tail-sampler slots "
+          "(slowest /\n"
+          "                    worst-savings; default 64, 0 "
+          "disables)\n"
           "  --metrics=FILE    write the serve.* metrics report JSON "
           "on exit\n"
           "  --stats-interval SEC\n"
@@ -104,10 +124,50 @@ parseUnsigned(const std::string &value, const std::string &flag)
     }
 }
 
+/** "TECH:MM[:bare]" → Joule-per-event and lambda server options. */
+void
+applyWireSpec(Options &opt, const std::string &spec,
+              bool explicit_lambda)
+{
+    const std::size_t c1 = spec.find(':');
+    if (c1 == std::string::npos)
+        fatal("--energy-wire wants TECH:MM[:bare], got '", spec, "'");
+    const std::size_t c2 = spec.find(':', c1 + 1);
+    const std::string tech_name = spec.substr(0, c1);
+    const std::string mm_str =
+        spec.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                    : c2 - c1 - 1);
+    bool buffered = true;
+    if (c2 != std::string::npos) {
+        const std::string tail = spec.substr(c2 + 1);
+        if (tail == "bare")
+            buffered = false;
+        else if (tail != "buffered")
+            fatal("--energy-wire tail must be 'bare' or 'buffered', "
+                  "got '", tail, "'");
+    }
+    double length_mm = 0.0;
+    try {
+        length_mm = std::stod(mm_str);
+    } catch (const std::exception &) {
+        fatal("bad --energy-wire length '", mm_str, "'");
+    }
+    if (length_mm <= 0.0)
+        fatal("--energy-wire length must be positive");
+    const wires::WireModel model(wires::technology(tech_name),
+                                 length_mm, buffered);
+    opt.server.energy_joule_per_tau = model.energyPerTransition();
+    opt.server.energy_joule_per_kappa = model.energyPerCoupling();
+    if (!explicit_lambda)
+        opt.server.energy_lambda = model.effectiveLambda();
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
+    bool explicit_lambda = false;
+    std::string wire_spec;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -130,6 +190,21 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--max-sessions") {
             opt.server.max_sessions =
                 parseUnsigned(argValue(argc, argv, i, arg), arg);
+        } else if (arg == "--no-energy") {
+            opt.server.meter_energy = false;
+        } else if (arg == "--energy-lambda") {
+            try {
+                opt.server.energy_lambda =
+                    std::stod(argValue(argc, argv, i, arg));
+            } catch (const std::exception &) {
+                fatal("bad --energy-lambda value");
+            }
+            explicit_lambda = true;
+        } else if (arg == "--energy-wire") {
+            wire_spec = argValue(argc, argv, i, arg);
+        } else if (arg == "--batch-trace") {
+            opt.server.batch_trace_capacity =
+                parseUnsigned(argValue(argc, argv, i, arg), arg);
         } else if (arg.rfind("--metrics=", 0) == 0) {
             opt.metrics_file =
                 arg.substr(std::string("--metrics=").size());
@@ -151,6 +226,8 @@ parseArgs(int argc, char **argv)
     }
     if (opt.server.unix_path.empty() && opt.server.tcp_port < 0)
         fatal("one of --unix/--tcp is required (see --help)");
+    if (!wire_spec.empty())
+        applyWireSpec(opt, wire_spec, explicit_lambda);
     return opt;
 }
 

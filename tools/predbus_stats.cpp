@@ -21,9 +21,12 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -44,11 +47,24 @@ usage(std::ostream &os)
           "  --host H          TCP host (default 127.0.0.1)\n"
           "  --tcp-port P      TCP port\n"
           "  --events          include the flight-recorder events\n"
+          "  --energy          render the live energy attribution as "
+          "a\n"
+          "                    per-family table (words, wire events, "
+          "%\n"
+          "                    saved, Joules when the server has a "
+          "wire\n"
+          "                    model); with --format=json the raw "
+          "line\n"
+          "                    already carries the \"energy\" "
+          "section\n"
           "  --format=F        table (default) | json (raw "
           "serverstats\n"
           "                    line, pipeable as JSON-lines)\n"
           "  --watch SEC       re-scrape every SEC seconds until "
-          "killed\n"
+          "killed;\n"
+          "                    reconnects with bounded backoff if "
+          "the\n"
+          "                    server restarts mid-watch\n"
           "  --count N         stop after N scrapes (with --watch)\n"
           "  --out=FILE        append output to FILE instead of "
           "stdout\n"
@@ -65,6 +81,7 @@ struct Options
     std::string host = "127.0.0.1";
     int tcp_port = -1;
     bool events = false;
+    bool energy = false;
     std::string format = "table";
     double watch_interval = 0.0;  ///< 0: single scrape
     unsigned count = 0;           ///< 0: until killed
@@ -102,6 +119,8 @@ parseArgs(int argc, char **argv)
             }
         } else if (arg == "--events") {
             opt.events = true;
+        } else if (arg == "--energy") {
+            opt.energy = true;
         } else if (arg.rfind("--format=", 0) == 0) {
             opt.format = arg.substr(std::string("--format=").size());
         } else if (arg == "--watch") {
@@ -154,6 +173,90 @@ checkJsonFile(const std::string &path)
     return 0;
 }
 
+/** Render the "energy" section as one aligned per-family table:
+ * "total" last, Joule columns only when the server reported them. */
+void
+renderEnergyTable(std::ostream &os, const std::string &json)
+{
+    std::vector<obs::JsonScalar> rows;
+    if (const auto err = obs::jsonFlatten(json, rows))
+        fatal("server stats JSON failed validation: ", *err);
+
+    // energy.total.<field> and energy.families.<family>.<field>
+    std::string lambda = "?";
+    std::vector<std::pair<std::string,
+                          std::map<std::string, std::string>>> groups;
+    auto groupFor =
+        [&groups](const std::string &name)
+        -> std::map<std::string, std::string> & {
+        for (auto &[n, fields] : groups) {
+            if (n == name)
+                return fields;
+        }
+        groups.emplace_back(name,
+                            std::map<std::string, std::string>{});
+        return groups.back().second;
+    };
+    for (const obs::JsonScalar &row : rows) {
+        if (row.path == "energy.lambda") {
+            lambda = row.value;
+        } else if (row.path.rfind("energy.total.", 0) == 0) {
+            groupFor("total")[row.path.substr(13)] = row.value;
+        } else if (row.path.rfind("energy.families.", 0) == 0) {
+            const std::string rest = row.path.substr(16);
+            const std::size_t dot = rest.find('.');
+            if (dot != std::string::npos) {
+                groupFor(rest.substr(0, dot))[rest.substr(dot + 1)] =
+                    row.value;
+            }
+        }
+    }
+    // Families first (already in document order), total last.
+    std::stable_partition(
+        groups.begin(), groups.end(),
+        [](const auto &g) { return g.first != "total"; });
+
+    const bool joules =
+        !groups.empty() && groups.front().second.count("base_pj") > 0;
+    std::vector<std::string> columns = {
+        "family",     "words",       "base_tau",
+        "base_kappa", "coded_tau",   "coded_kappa",
+        "saved_pct",
+    };
+    if (joules) {
+        columns.insert(columns.end(),
+                       {"base_pj", "coded_pj", "saved_pj"});
+    }
+
+    std::vector<std::vector<std::string>> cells;
+    cells.push_back(columns);
+    for (const auto &[name, fields] : groups) {
+        std::vector<std::string> line{name};
+        for (std::size_t c = 1; c < columns.size(); ++c) {
+            const auto it = fields.find(columns[c]);
+            line.push_back(it == fields.end() ? "0" : it->second);
+        }
+        cells.push_back(std::move(line));
+    }
+
+    os << "energy (lambda " << lambda << ")\n";
+    std::vector<std::size_t> widths(columns.size(), 0);
+    for (const auto &line : cells) {
+        for (std::size_t c = 0; c < line.size(); ++c)
+            widths[c] = std::max(widths[c], line[c].size());
+    }
+    for (const auto &line : cells) {
+        for (std::size_t c = 0; c < line.size(); ++c) {
+            const std::size_t pad = widths[c] - line[c].size();
+            if (c == 0)  // left-align the name, right-align numbers
+                os << line[c] << std::string(pad, ' ');
+            else
+                os << "  " << std::string(pad, ' ') << line[c];
+        }
+        os << '\n';
+    }
+}
+
 void
 renderTable(std::ostream &os, const std::string &json)
 {
@@ -185,20 +288,56 @@ runMain(int argc, char **argv)
     }
     std::ostream &os = file.is_open() ? file : std::cout;
 
-    serve::Client client =
-        opt.unix_path.empty()
-            ? serve::Client::connectTcpSocket(
-                  opt.host, static_cast<u16>(opt.tcp_port))
-            : serve::Client::connectUnixSocket(opt.unix_path);
+    auto connect = [&opt]() {
+        return opt.unix_path.empty()
+                   ? serve::Client::connectTcpSocket(
+                         opt.host, static_cast<u16>(opt.tcp_port))
+                   : serve::Client::connectUnixSocket(opt.unix_path);
+    };
+    std::optional<serve::Client> client(connect());
+
+    // Watch-mode reconnect policy: a failed scrape (server restarted
+    // mid-watch) drops the connection and retries with doubling
+    // backoff, capped per attempt and bounded in attempt count so a
+    // permanently-gone server still terminates the watch. Only
+    // successful scrapes count toward --count.
+    constexpr double kBackoffStartS = 0.1;
+    constexpr double kBackoffCapS = 2.0;
+    constexpr unsigned kMaxConsecutiveFailures = 30;
 
     const unsigned scrapes =
         opt.watch_interval > 0.0 ? opt.count : 1;
-    for (unsigned n = 0; scrapes == 0 || n < scrapes; ++n) {
-        if (n > 0) {
+    unsigned done = 0;
+    unsigned failures = 0;
+    double backoff = kBackoffStartS;
+    while (scrapes == 0 || done < scrapes) {
+        if (done > 0 && failures == 0) {
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(opt.watch_interval));
         }
-        const std::string json = client.serverStats(opt.events);
+        std::string json;
+        try {
+            if (!client)
+                client.emplace(connect());
+            json = client->serverStats(opt.events);
+        } catch (const FatalError &e) {
+            if (opt.watch_interval <= 0.0)
+                throw;  // one-shot mode: fail like before
+            client.reset();
+            if (++failures > kMaxConsecutiveFailures) {
+                fatal("server unreachable after ", failures - 1,
+                      " reconnect attempts: ", e.what());
+            }
+            logWarn("predbus_stats: scrape failed (", e.what(),
+                    "); retrying in ", backoff, "s");
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+            backoff = std::min(backoff * 2.0, kBackoffCapS);
+            continue;
+        }
+        failures = 0;
+        backoff = kBackoffStartS;
+
         // The scrape path IS the validator: any malformed payload
         // from the server fails here, watch mode included.
         if (const auto err = obs::jsonSyntaxError(json))
@@ -206,11 +345,15 @@ runMain(int argc, char **argv)
         if (opt.format == "json") {
             os << json << '\n' << std::flush;
         } else {
-            if (n > 0)
+            if (done > 0)
                 os << "---\n";
-            renderTable(os, json);
+            if (opt.energy)
+                renderEnergyTable(os, json);
+            else
+                renderTable(os, json);
             os << std::flush;
         }
+        ++done;
     }
     return 0;
 }
