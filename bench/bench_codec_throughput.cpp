@@ -37,6 +37,7 @@
 #include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "store/session_store.h"
 
 using namespace predbus;
 
@@ -371,6 +372,75 @@ benchEnergyOverhead(const std::vector<Word> &values,
     return row;
 }
 
+struct StoreRow
+{
+    double churn_sessions_per_sec = 0.0;  ///< touches through the tier
+    double resume_p50_ns = 0.0;
+    double resume_p99_ns = 0.0;
+};
+
+/**
+ * Session-store churn bench: a population of sessions 16x the
+ * resident budget, touched round-robin — the adversarial order for
+ * the per-shard LRU, so (after warm-up) every touch is a disk resume
+ * plus an eviction snapshot. The reported rate is session activations
+ * per second through the spill tier; the gate's --churn-floor pins it
+ * far below any healthy value, as a backstop against the snapshot or
+ * segment-file path going accidentally quadratic.
+ */
+StoreRow
+benchStoreChurn(const std::vector<Word> &values, const Options &opt)
+{
+    constexpr unsigned kSessions = 512;
+    constexpr std::size_t kResidentSessions = 32;
+    constexpr std::size_t kTouchWords = 64;
+
+    obs::Registry registry;
+    const std::size_t snap_bytes =
+        coding::CodecSession("window:8").snapshot().size() + 1;
+    store::StoreOptions sopt;
+    sopt.shards = 4;
+    sopt.resident_bytes = kResidentSessions * snap_bytes;
+    store::ShardedSessionStore store(std::move(sopt), &registry);
+    for (unsigned i = 0; i < kSessions; ++i) {
+        store.put((u64{i} << 32) | 1,
+                  store::StoredSession{
+                      coding::CodecSession("window:8"), false});
+    }
+
+    StoreRow row;
+    std::vector<u64> states;
+    std::size_t pos = 0;
+    const unsigned touches = kSessions * 4;
+    for (unsigned r = 0; r < opt.reps; ++r) {
+        const double t0 = nowSec();
+        for (unsigned t = 0; t < touches; ++t) {
+            const u64 key = (u64{t % kSessions} << 32) | 1;
+            store::StoredSession *stored = store.get(key);
+            panicIf(stored == nullptr,
+                    "store churn bench lost a session");
+            states.clear();
+            stored->session.encodeBatch(
+                std::span<const Word>(values.data() + pos,
+                                      kTouchWords),
+                states);
+            pos = (pos + kTouchWords) %
+                  (values.size() - kTouchWords);
+        }
+        const double dt = nowSec() - t0;
+        if (dt > 0.0) {
+            row.churn_sessions_per_sec =
+                std::max(row.churn_sessions_per_sec,
+                         static_cast<double>(touches) / dt);
+        }
+    }
+    const obs::HistogramStats resume =
+        registry.histogram("serve.store.resume_ns").stats();
+    row.resume_p50_ns = resume.p50;
+    row.resume_p99_ns = resume.p99;
+    return row;
+}
+
 /**
  * Faithful replica of the pre-lock-free obs::Histogram: min/max/n/sum
  * plus raw-sample retention under one mutex on record(), stats() that
@@ -518,7 +588,8 @@ benchObs(const Options &opt)
 void
 emitJson(std::ostream &os, const Options &opt,
          const std::vector<CodecRow> &rows, const ServeRow *serve_row,
-         const EnergyOverheadRow *energy_row, const ObsRow &obs_row)
+         const EnergyOverheadRow *energy_row, const ObsRow &obs_row,
+         const StoreRow &store_row)
 {
     os << "{\n";
     os << "  \"schema\": \"predbus.bench_codec_throughput.v1\",\n";
@@ -572,13 +643,23 @@ emitJson(std::ostream &os, const Options &opt,
                       energy_row->metering_ratio);
         os << ",\n  \"energy_overhead\": " << buf;
     }
+    char store_buf[160];
+    std::snprintf(store_buf, sizeof store_buf,
+                  "{\"churn_sessions_per_sec\": %llu, "
+                  "\"resume_p50_ns\": %.0f, "
+                  "\"resume_p99_ns\": %.0f}",
+                  static_cast<unsigned long long>(
+                      store_row.churn_sessions_per_sec),
+                  store_row.resume_p50_ns, store_row.resume_p99_ns);
+    os << ",\n  \"store\": " << store_buf;
     os << "\n}\n";
 }
 
 void
 emitTable(std::ostream &os, const std::vector<CodecRow> &rows,
           const ServeRow *serve_row,
-          const EnergyOverheadRow *energy_row, const ObsRow &obs_row)
+          const EnergyOverheadRow *energy_row, const ObsRow &obs_row,
+          const StoreRow &store_row)
 {
     os << "codec              scalar Mw/s      span Mw/s    speedup\n";
     for (const CodecRow &r : rows) {
@@ -607,6 +688,17 @@ emitTable(std::ostream &os, const std::vector<CodecRow> &rows,
                       energy_row->metered_words_per_sec / 1e6,
                       energy_row->unmetered_words_per_sec / 1e6,
                       energy_row->metering_ratio);
+        os << line;
+    }
+    {
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "store churn: %.0f sessions/s through the "
+                      "spill tier (resume p50 %.0f ns, p99 %.0f "
+                      "ns)\n",
+                      store_row.churn_sessions_per_sec,
+                      store_row.resume_p50_ns,
+                      store_row.resume_p99_ns);
         os << line;
     }
     char obs_line[192];
@@ -695,14 +787,17 @@ main(int argc, char **argv)
         energy_row = benchEnergyOverhead(values, opt);
     }
     const ObsRow obs_row = benchObs(opt);
+    const StoreRow store_row = benchStoreChurn(values, opt);
 
     std::ostringstream body;
     if (opt.json)
         emitJson(body, opt, rows, have_serve ? &serve_row : nullptr,
-                 have_serve ? &energy_row : nullptr, obs_row);
+                 have_serve ? &energy_row : nullptr, obs_row,
+                 store_row);
     else
         emitTable(body, rows, have_serve ? &serve_row : nullptr,
-                  have_serve ? &energy_row : nullptr, obs_row);
+                  have_serve ? &energy_row : nullptr, obs_row,
+                  store_row);
 
     if (!opt.out_path.empty()) {
         std::ofstream file(opt.out_path);

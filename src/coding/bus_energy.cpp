@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "coding/snapshot.h"
 #include "coding/span_kernel.h"
 #include "common/bitops.h"
 #include "common/log.h"
@@ -307,6 +308,27 @@ BusEnergyMeter::reset()
     prev = 0;
     first = true;
     total = EnergyCount{};
+}
+
+void
+BusEnergyMeter::save(StateWriter &w) const
+{
+    w.writeU32(width);
+    w.writeU64(prev);
+    w.writeBool(first);
+    saveEnergyCount(w, total);
+}
+
+void
+BusEnergyMeter::load(StateReader &r)
+{
+    if (r.readU32() != width) {
+        r.markFailed();
+        return;
+    }
+    prev = r.readU64();
+    first = r.readBool();
+    loadEnergyCount(r, total);
 }
 
 EnergyCount

@@ -35,6 +35,11 @@ class BusEnergyMeter
     const EnergyCount &count() const { return total; }
     void reset();
 
+    /** Serialize / restore the running wire state and totals
+     * (snapshot.h); the wire count is config and must match. */
+    void save(StateWriter &w) const;
+    void load(StateReader &r);
+
   private:
     template <typename T>
     void observeSpanImpl(const T *states, std::size_t n);

@@ -1,5 +1,6 @@
 #include "coding/codec.h"
 
+#include "coding/snapshot.h"
 #include "obs/metrics.h"
 
 namespace predbus::coding
@@ -25,6 +26,22 @@ Transcoder::reset()
     resetState();
     op_counts = OpCounts{};
     published = OpCounts{};
+}
+
+void
+Transcoder::save(StateWriter &w) const
+{
+    saveOpCounts(w, op_counts);
+    saveOpCounts(w, published);
+    saveState(w);
+}
+
+void
+Transcoder::load(StateReader &r)
+{
+    loadOpCounts(r, op_counts);
+    loadOpCounts(r, published);
+    loadState(r);
 }
 
 void

@@ -40,6 +40,9 @@ class Registry;
 namespace predbus::coding
 {
 
+class StateWriter;
+class StateReader;
+
 /** Data bus width in bits (the paper studies 32-bit buses). */
 constexpr unsigned kDataWidth = 32;
 
@@ -179,10 +182,30 @@ class Transcoder
      * sink). */
     void flushStats();
 
+    /**
+     * Serialize the complete codec state — operation counters, the
+     * stats-publish baseline, and both FSM ends via saveState() — in
+     * the coding/snapshot.h format. Non-virtual on purpose (mirrors
+     * reset()/resetState()): families serialize their FSMs and can't
+     * forget the counter/baseline part. The metrics sink attachment
+     * is runtime wiring, not state, and is not serialized.
+     */
+    void save(StateWriter &w) const;
+
+    /** Inverse of save(); the reader's sticky failure flag reports
+     * truncation or semantic mismatches (wrong family/config). */
+    void load(StateReader &r);
+
   protected:
     /** Reset the codec's FSM state (both ends). The public reset()
      * clears op_counts and the publish baseline afterwards. */
     virtual void resetState() = 0;
+
+    /** Serialize / restore the family's FSM state (both ends). The
+     * defaults are for stateless codecs (the raw bus); every stateful
+     * family overrides both. */
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 
     OpCounts op_counts;
 

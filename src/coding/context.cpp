@@ -575,6 +575,67 @@ ContextDict::reset()
     prev = 0;
 }
 
+void
+ContextDict::save(StateWriter &w) const
+{
+    w.writeU32(cfg.table_size);
+    w.writeU32(cfg.sr_size);
+    w.writeU32(cfg.divide_period);
+    w.writeBool(cfg.transition_based);
+    w.writeBool(cfg.oracle_sort);
+    for (const u64 k : tab_keys)
+        w.writeU64(k);
+    for (const u32 c : tab_counts)
+        w.writeU32(c);
+    w.writeU64(pend[0]);
+    w.writeU64(pend[1]);
+    for (const u64 k : sr_keys)
+        w.writeU64(k);
+    for (const u32 c : sr_counts)
+        w.writeU32(c);
+    w.writeU32(sr_head);
+    w.writeU32(sr_filled);
+    w.writeU32(valid_count);
+    w.writeU64(cycle);
+    w.writeU32(prev);
+}
+
+void
+ContextDict::load(StateReader &r)
+{
+    if (r.readU32() != cfg.table_size ||
+        r.readU32() != cfg.sr_size ||
+        r.readU32() != cfg.divide_period ||
+        r.readBool() != cfg.transition_based ||
+        r.readBool() != cfg.oracle_sort) {
+        r.markFailed();
+        return;
+    }
+    for (u64 &k : tab_keys)
+        k = r.readU64();
+    for (u32 &c : tab_counts)
+        c = r.readU32();
+    pend[0] = r.readU64();
+    pend[1] = r.readU64();
+    for (u64 &k : sr_keys)
+        k = r.readU64();
+    for (u32 &c : sr_counts)
+        c = r.readU32();
+    const u32 s_sr_head = r.readU32();
+    const u32 s_sr_filled = r.readU32();
+    const u32 s_valid = r.readU32();
+    cycle = r.readU64();
+    prev = r.readU32();
+    if (s_sr_head >= cfg.sr_size || s_sr_filled > cfg.sr_size ||
+        s_valid > cfg.table_size) {
+        r.markFailed();
+        return;
+    }
+    sr_head = s_sr_head;
+    sr_filled = s_sr_filled;
+    valid_count = s_valid;
+}
+
 bool
 ContextDict::sortedByCount() const
 {

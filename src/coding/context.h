@@ -76,6 +76,12 @@ class ContextDict
     Word valueAt(unsigned index) const;
     void reset();
 
+    /** Serialize / restore both stores, the pending mask, and the
+     * cycle/prev scalars (snapshot.h). The configuration is not
+     * state: load() fails the reader on a config mismatch. */
+    void save(StateWriter &w) const;
+    void load(StateReader &r);
+
     unsigned tableSize() const { return cfg.table_size; }
     unsigned srSize() const { return cfg.sr_size; }
     const ContextConfig &config() const { return cfg; }

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "coding/protocol.h"
+#include "coding/snapshot.h"
 #include "common/log.h"
 
 namespace predbus::coding
@@ -145,6 +146,20 @@ InversionCoder::resetState()
 {
     enc_state = 0;
     dec_state = 0;
+}
+
+void
+InversionCoder::saveState(StateWriter &w) const
+{
+    w.writeU64(enc_state);
+    w.writeU64(dec_state);
+}
+
+void
+InversionCoder::loadState(StateReader &r)
+{
+    enc_state = r.readU64();
+    dec_state = r.readU64();
 }
 
 } // namespace predbus::coding

@@ -42,6 +42,8 @@ class InversionCoder : public Transcoder
 
   protected:
     void resetState() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     std::vector<Word> patterns;

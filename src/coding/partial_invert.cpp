@@ -1,6 +1,7 @@
 #include "coding/partial_invert.h"
 
 #include "common/bitops.h"
+#include "coding/snapshot.h"
 #include "common/log.h"
 
 namespace predbus::coding
@@ -113,6 +114,20 @@ PartialBusInvert::resetState()
 {
     enc_state = 0;
     dec_state = 0;
+}
+
+void
+PartialBusInvert::saveState(StateWriter &w) const
+{
+    w.writeU64(enc_state);
+    w.writeU64(dec_state);
+}
+
+void
+PartialBusInvert::loadState(StateReader &r)
+{
+    enc_state = r.readU64();
+    dec_state = r.readU64();
 }
 
 } // namespace predbus::coding

@@ -34,6 +34,8 @@ class PartialBusInvert : public Transcoder
 
   protected:
     void resetState() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     double transitionCostBits(u64 candidate, unsigned span,

@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "coding/protocol.h"
+#include "coding/snapshot.h"
 #include "common/log.h"
 
 namespace predbus::coding
@@ -227,6 +228,32 @@ class PredictiveTranscoder : public Transcoder
         enc_state = dec_state = 0;
         enc_has_last = dec_has_last = false;
         enc_last = dec_last = 0;
+    }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        enc_dict.save(w);
+        dec_dict.save(w);
+        w.writeU64(enc_state);
+        w.writeU64(dec_state);
+        w.writeU32(enc_last);
+        w.writeU32(dec_last);
+        w.writeBool(enc_has_last);
+        w.writeBool(dec_has_last);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        enc_dict.load(r);
+        dec_dict.load(r);
+        enc_state = r.readU64();
+        dec_state = r.readU64();
+        enc_last = r.readU32();
+        dec_last = r.readU32();
+        enc_has_last = r.readBool();
+        dec_has_last = r.readBool();
     }
 
   private:

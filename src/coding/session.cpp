@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "coding/factory.h"
+#include "coding/snapshot.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 
@@ -18,6 +19,73 @@ CodecSession::CodecSession(std::unique_ptr<Transcoder> transcoder)
 CodecSession::CodecSession(const std::string &spec)
     : CodecSession(makeFromSpec(spec))
 {
+    spec_str = spec;
+}
+
+std::vector<u8>
+CodecSession::snapshot() const
+{
+    if (spec_str.empty())
+        fatal("session snapshot requires a spec-constructed session");
+    StateWriter w;
+    w.writeU32(kSnapshotMagic);
+    w.writeU16(kSnapshotVersion);
+    w.writeU16(0);
+    w.writeString(spec_str);
+    w.writeU64(seq_no);
+    w.writeU64(sum);
+    w.writeU32(epoch_no);
+    w.writeBool(base_meter.has_value());
+    if (base_meter) {
+        base_meter->save(w);
+        coded_meter->save(w);
+        w.writeU64(metered_words);
+    }
+    transcoder->save(w);
+    std::vector<u8> bytes = w.take();
+    const u64 check = snapshotChecksum(bytes.data(), bytes.size());
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(static_cast<u8>(check >> (8 * i)));
+    return bytes;
+}
+
+CodecSession
+CodecSession::restore(std::span<const u8> bytes)
+{
+    if (bytes.size() < 16)
+        fatal("session snapshot truncated (", bytes.size(), " bytes)");
+    const std::size_t body = bytes.size() - 8;
+    u64 stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= static_cast<u64>(bytes[body + i]) << (8 * i);
+    if (snapshotChecksum(bytes.data(), body) != stored)
+        fatal("session snapshot failed its integrity checksum");
+
+    StateReader r(bytes.first(body));
+    if (r.readU32() != kSnapshotMagic)
+        fatal("session snapshot has a bad magic");
+    const u16 version = r.readU16();
+    if (version != kSnapshotVersion)
+        fatal("unsupported session snapshot version ", version);
+    r.readU16();  // reserved
+    const std::string spec = r.readString();
+    if (!r.ok() || spec.empty())
+        fatal("session snapshot carries no codec spec");
+
+    CodecSession session(spec);
+    session.seq_no = r.readU64();
+    session.sum = r.readU64();
+    session.epoch_no = r.readU32();
+    if (r.readBool()) {
+        session.enableEnergyMetering();
+        session.base_meter->load(r);
+        session.coded_meter->load(r);
+        session.metered_words = r.readU64();
+    }
+    session.transcoder->load(r);
+    if (!r.ok() || !r.atEnd())
+        fatal("session snapshot is corrupt (", spec, ")");
+    return session;
 }
 
 void

@@ -86,6 +86,28 @@ class CodecSession
     const Transcoder &codec() const { return *transcoder; }
     Transcoder &codec() { return *transcoder; }
 
+    /** The factory spec this session was built from; empty when the
+     * session adopted a ready-made transcoder. */
+    const std::string &spec() const { return spec_str; }
+
+    /**
+     * Serialize the complete session — spec, sequence number, rolling
+     * checksum, epoch, energy-meter state, and both transcoder FSMs —
+     * into the versioned, checksummed coding/snapshot.h format. A
+     * restore()d image continues the stream byte-identically: same
+     * wire states, checksums, OpCounts, and energy totals as the
+     * uninterrupted session. Requires a spec-constructed session
+     * (throws FatalError otherwise; the spec is what restore() feeds
+     * the factory). Metric attachments are runtime wiring and are not
+     * captured — re-attach after restore.
+     */
+    std::vector<u8> snapshot() const;
+
+    /** Rebuild a session from snapshot() bytes. Any corruption —
+     * failed checksum, truncation, bad magic/version, or a config
+     * mismatch inside — throws FatalError. */
+    static CodecSession restore(std::span<const u8> bytes);
+
     /** Batches processed since construction / the last resync(). */
     u64 seq() const { return seq_no; }
 
@@ -154,6 +176,7 @@ class CodecSession
 
   private:
     std::unique_ptr<Transcoder> transcoder;
+    std::string spec_str;
     u64 seq_no = 0;
     u64 sum = kChecksumSeed;
     u32 epoch_no = 0;

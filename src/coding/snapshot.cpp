@@ -1,0 +1,63 @@
+#include "coding/snapshot.h"
+
+#include "coding/codec.h"
+
+namespace predbus::coding
+{
+
+u64
+snapshotChecksum(const u8 *data, std::size_t n)
+{
+    u64 sum = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum ^= data[i];
+        sum *= 0x100000001b3ull;
+    }
+    return sum;
+}
+
+void
+saveOpCounts(StateWriter &w, const OpCounts &ops)
+{
+    w.writeU64(ops.cycles);
+    w.writeU64(ops.matches);
+    w.writeU64(ops.shifts);
+    w.writeU64(ops.counter_incs);
+    w.writeU64(ops.compares);
+    w.writeU64(ops.swaps);
+    w.writeU64(ops.divisions);
+    w.writeU64(ops.raw_sends);
+    w.writeU64(ops.hits);
+    w.writeU64(ops.last_hits);
+}
+
+void
+loadOpCounts(StateReader &r, OpCounts &ops)
+{
+    ops.cycles = r.readU64();
+    ops.matches = r.readU64();
+    ops.shifts = r.readU64();
+    ops.counter_incs = r.readU64();
+    ops.compares = r.readU64();
+    ops.swaps = r.readU64();
+    ops.divisions = r.readU64();
+    ops.raw_sends = r.readU64();
+    ops.hits = r.readU64();
+    ops.last_hits = r.readU64();
+}
+
+void
+saveEnergyCount(StateWriter &w, const EnergyCount &count)
+{
+    w.writeU64(count.tau);
+    w.writeU64(count.kappa);
+}
+
+void
+loadEnergyCount(StateReader &r, EnergyCount &count)
+{
+    count.tau = r.readU64();
+    count.kappa = r.readU64();
+}
+
+} // namespace predbus::coding

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Binary state serialization for transcoder FSMs and codec sessions.
+ *
+ * A CodecSessionSnapshot is the unit the session store (src/store)
+ * spills to disk: a versioned, checksummed byte image of *everything*
+ * a CodecSession owns — the factory spec, sequence number, rolling
+ * stream checksum, epoch, energy-meter totals, and the complete FSM
+ * state of both transcoder ends (dictionaries, history rings, wire
+ * states, operation counters). CodecSession::restore() rebuilds a
+ * session that continues the stream byte-identically: same wire
+ * states, same checksums, same OpCounts, same energy totals as if the
+ * session had never been serialized.
+ *
+ * Layout (all little-endian):
+ *
+ *   offset size  field
+ *   0      4     magic "PBSS" (0x53534250)
+ *   4      2     format version (kSnapshotVersion)
+ *   6      2     reserved (0)
+ *   8      ...   payload: spec string, session scalars, meter state,
+ *                transcoder state (see session.cpp)
+ *   end-8  8     FNV-1a 64 over every preceding byte
+ *
+ * Corruption anywhere — a flipped bit, a truncated tail, an oversized
+ * length field — fails the checksum or runs the reader out of bounds
+ * and restore() throws FatalError without constructing a session.
+ *
+ * StateWriter/StateReader are the (de)serialization primitives the
+ * per-family Transcoder::saveState()/loadState() hooks use. The
+ * reader is bounds-checked and *sticky*: any out-of-range read marks
+ * it failed and every subsequent read returns zero, so load code can
+ * run straight-line and check ok() once at the end.
+ */
+
+#ifndef PREDBUS_CODING_SNAPSHOT_H
+#define PREDBUS_CODING_SNAPSHOT_H
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::coding
+{
+
+struct OpCounts;
+struct EnergyCount;
+
+/** Snapshot format magic ("PBSS") and current version. */
+constexpr u32 kSnapshotMagic = 0x53534250;
+constexpr u16 kSnapshotVersion = 1;
+
+/** FNV-1a 64 over raw bytes (the snapshot integrity checksum). */
+u64 snapshotChecksum(const u8 *data, std::size_t n);
+
+/** Append-only little-endian byte sink. */
+class StateWriter
+{
+  public:
+    void
+    writeU8(u8 v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    writeU16(u16 v)
+    {
+        for (int i = 0; i < 2; ++i)
+            buf.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void
+    writeU32(u32 v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void
+    writeU64(u64 v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void writeBool(bool v) { writeU8(v ? 1 : 0); }
+
+    /** u32 length prefix + raw bytes. */
+    void
+    writeBytes(const void *data, std::size_t n)
+    {
+        writeU32(static_cast<u32>(n));
+        const u8 *p = static_cast<const u8 *>(data);
+        buf.insert(buf.end(), p, p + n);
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        writeBytes(s.data(), s.size());
+    }
+
+    const std::vector<u8> &bytes() const { return buf; }
+    std::vector<u8> take() { return std::move(buf); }
+
+  private:
+    std::vector<u8> buf;
+};
+
+/** Bounds-checked little-endian reader with a sticky failure flag. */
+class StateReader
+{
+  public:
+    explicit StateReader(std::span<const u8> bytes) : data(bytes) {}
+
+    u8
+    readU8()
+    {
+        u8 v = 0;
+        if (take(1))
+            v = data[pos - 1];
+        return v;
+    }
+
+    u16
+    readU16()
+    {
+        u16 v = 0;
+        if (take(2))
+            for (int i = 0; i < 2; ++i)
+                v |= static_cast<u16>(data[pos - 2 + i]) << (8 * i);
+        return v;
+    }
+
+    u32
+    readU32()
+    {
+        u32 v = 0;
+        if (take(4))
+            for (int i = 0; i < 4; ++i)
+                v |= static_cast<u32>(data[pos - 4 + i]) << (8 * i);
+        return v;
+    }
+
+    u64
+    readU64()
+    {
+        u64 v = 0;
+        if (take(8))
+            for (int i = 0; i < 8; ++i)
+                v |= static_cast<u64>(data[pos - 8 + i]) << (8 * i);
+        return v;
+    }
+
+    bool readBool() { return readU8() != 0; }
+
+    /** Length-prefixed byte run; empty on any bound violation. */
+    std::vector<u8>
+    readBytes()
+    {
+        const u32 n = readU32();
+        std::vector<u8> out;
+        if (take(n)) {
+            out.assign(data.begin() +
+                           static_cast<std::ptrdiff_t>(pos - n),
+                       data.begin() + static_cast<std::ptrdiff_t>(pos));
+        }
+        return out;
+    }
+
+    std::string
+    readString()
+    {
+        const std::vector<u8> raw = readBytes();
+        return std::string(raw.begin(), raw.end());
+    }
+
+    /** Record a semantic mismatch (wrong config, bad bound). */
+    void
+    markFailed()
+    {
+        failed = true;
+    }
+
+    bool ok() const { return !failed; }
+    bool atEnd() const { return pos == data.size(); }
+    std::size_t remaining() const { return data.size() - pos; }
+
+  private:
+    bool
+    take(std::size_t n)
+    {
+        if (failed || n > data.size() - pos) {
+            failed = true;
+            return false;
+        }
+        pos += n;
+        return true;
+    }
+
+    std::span<const u8> data;
+    std::size_t pos = 0;
+    bool failed = false;
+};
+
+/** OpCounts / EnergyCount field-by-field (shared by every family). */
+void saveOpCounts(StateWriter &w, const OpCounts &ops);
+void loadOpCounts(StateReader &r, OpCounts &ops);
+void saveEnergyCount(StateWriter &w, const EnergyCount &count);
+void loadEnergyCount(StateReader &r, EnergyCount &count);
+
+} // namespace predbus::coding
+
+#endif // PREDBUS_CODING_SNAPSHOT_H

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "coding/snapshot.h"
 #include "common/log.h"
 
 namespace predbus::coding
@@ -68,6 +69,27 @@ SpatialCoder::resetState()
     count = EnergyCount{};
     enc_cur = 0;
     enc_first = true;
+}
+
+void
+SpatialCoder::saveState(StateWriter &w) const
+{
+    w.writeU32(in_bits);
+    saveEnergyCount(w, count);
+    w.writeU32(enc_cur);
+    w.writeBool(enc_first);
+}
+
+void
+SpatialCoder::loadState(StateReader &r)
+{
+    if (r.readU32() != in_bits) {
+        r.markFailed();
+        return;
+    }
+    loadEnergyCount(r, count);
+    enc_cur = r.readU32();
+    enc_first = r.readBool();
 }
 
 } // namespace predbus::coding

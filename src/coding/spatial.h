@@ -35,6 +35,8 @@ class SpatialCoder : public Transcoder
 
   protected:
     void resetState() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     unsigned in_bits;

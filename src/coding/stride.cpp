@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "coding/snapshot.h"
 #include "common/log.h"
 #include "coding/span_kernel.h"
 
@@ -385,6 +386,65 @@ StrideTranscoder::resetState()
     enc.head = 2 * static_cast<std::size_t>(K);
     dec.buf.assign(4 * static_cast<std::size_t>(K), 0);
     dec.head = 2 * static_cast<std::size_t>(K);
+}
+
+namespace
+{
+
+void
+saveFsm(StateWriter &w, const std::vector<Word> &buf, u64 head,
+        u64 filled, u64 state, Word last, bool has_last)
+{
+    w.writeU32(static_cast<u32>(buf.size()));
+    for (const Word v : buf)
+        w.writeU32(v);
+    w.writeU64(head);
+    w.writeU64(filled);
+    w.writeU64(state);
+    w.writeU32(last);
+    w.writeBool(has_last);
+}
+
+} // namespace
+
+void
+StrideTranscoder::saveState(StateWriter &w) const
+{
+    w.writeU32(K);
+    for (const Fsm *f : {&enc, &dec})
+        saveFsm(w, f->buf, f->head, f->filled, f->state, f->last,
+                f->has_last);
+}
+
+void
+StrideTranscoder::loadState(StateReader &r)
+{
+    if (r.readU32() != K) {
+        r.markFailed();
+        return;
+    }
+    for (Fsm *f : {&enc, &dec}) {
+        if (r.readU32() != f->buf.size()) {
+            r.markFailed();
+            return;
+        }
+        for (Word &v : f->buf)
+            v = r.readU32();
+        const u64 head = r.readU64();
+        const u64 filled = r.readU64();
+        // The window buf[head..head+2K) must fit inside the doubled
+        // buffer and history never exceeds 2K values.
+        if (head > 2 * static_cast<u64>(K) ||
+            filled > 2 * static_cast<u64>(K)) {
+            r.markFailed();
+            return;
+        }
+        f->head = head;
+        f->filled = filled;
+        f->state = r.readU64();
+        f->last = r.readU32();
+        f->has_last = r.readBool();
+    }
 }
 
 } // namespace predbus::coding

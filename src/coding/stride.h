@@ -56,6 +56,8 @@ class StrideTranscoder : public Transcoder
 
   protected:
     void resetState() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     friend void detail::strideEncodeSpan(StrideTranscoder &,

@@ -322,4 +322,33 @@ WindowDict::contains(Word v) const
     return find(v) >= 0;
 }
 
+void
+WindowDict::save(StateWriter &w) const
+{
+    w.writeU32(n);
+    w.writeU32(filled);
+    w.writeU32(head);
+    w.writeU32(static_cast<u32>(vals.size()));
+    for (const Word v : vals)
+        w.writeU32(v);
+}
+
+void
+WindowDict::load(StateReader &r)
+{
+    const u32 s_n = r.readU32();
+    const u32 s_filled = r.readU32();
+    const u32 s_head = r.readU32();
+    const u32 s_len = r.readU32();
+    if (s_n != n || s_filled > n || s_head >= n ||
+        s_len != vals.size()) {
+        r.markFailed();
+        return;
+    }
+    for (Word &v : vals)
+        v = r.readU32();
+    filled = s_filled;
+    head = s_head;
+}
+
 } // namespace predbus::coding

@@ -54,6 +54,12 @@ class WindowDict
     unsigned entries() const { return n; }
     void reset();
 
+    /** Serialize / restore the register contents (snapshot.h). The
+     * entry count is config, not state: load() fails the reader if it
+     * doesn't match this dictionary's. */
+    void save(StateWriter &w) const;
+    void load(StateReader &r);
+
     /** True if @p v is currently resident (for tests). */
     bool contains(Word v) const;
 

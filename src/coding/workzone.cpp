@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/bitops.h"
+#include "coding/snapshot.h"
 #include "common/log.h"
 
 namespace predbus::coding
@@ -157,6 +158,39 @@ WorkZoneCoder::resetState()
     dec = Fsm{};
     enc.zones.assign(n_zones, Zone{});
     dec.zones.assign(n_zones, Zone{});
+}
+
+void
+WorkZoneCoder::saveState(StateWriter &w) const
+{
+    w.writeU32(n_zones);
+    for (const Fsm *f : {&enc, &dec}) {
+        for (const Zone &z : f->zones) {
+            w.writeU32(z.prev);
+            w.writeBool(z.valid);
+            w.writeU64(z.lru);
+        }
+        w.writeU64(f->state);
+        w.writeU64(f->use_counter);
+    }
+}
+
+void
+WorkZoneCoder::loadState(StateReader &r)
+{
+    if (r.readU32() != n_zones) {
+        r.markFailed();
+        return;
+    }
+    for (Fsm *f : {&enc, &dec}) {
+        for (Zone &z : f->zones) {
+            z.prev = r.readU32();
+            z.valid = r.readBool();
+            z.lru = r.readU64();
+        }
+        f->state = r.readU64();
+        f->use_counter = r.readU64();
+    }
 }
 
 } // namespace predbus::coding

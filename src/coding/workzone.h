@@ -43,6 +43,8 @@ class WorkZoneCoder : public Transcoder
 
   protected:
     void resetState() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     struct Zone

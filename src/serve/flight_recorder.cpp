@@ -24,6 +24,10 @@ flightEventName(FlightEventKind kind)
         return "shed";
       case FlightEventKind::Drain:
         return "drain";
+      case FlightEventKind::SessionSpill:
+        return "session_spill";
+      case FlightEventKind::SessionResume:
+        return "session_resume";
     }
     return "unknown";
 }

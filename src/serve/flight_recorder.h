@@ -32,6 +32,8 @@ enum class FlightEventKind : u8
     Resync = 4,
     Shed = 5,
     Drain = 6,
+    SessionSpill = 7,   ///< session state pushed to the store's disk tier
+    SessionResume = 8,  ///< session state lazily restored from disk
 };
 
 /** Stable lowercase name ("desync", "shed", ...). */

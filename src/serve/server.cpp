@@ -2,7 +2,7 @@
 
 #include <cerrno>
 
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -75,22 +75,58 @@ Server::Server(ServerOptions options, obs::Registry &reg)
             listenTcp(static_cast<u16>(opt.tcp_port), tcp_port));
     }
 
-    const unsigned workers = resolveWorkers(opt.workers);
-    {
-        // Accept threads push reader threads into `threads` under
-        // conns_mutex; hold it here so their pushes can't interleave
-        // with ours.
-        std::lock_guard<std::mutex> lock(conns_mutex);
-        threads.reserve(workers + listen_fds.size());
-        for (unsigned i = 0; i < workers; ++i)
-            threads.emplace_back([this] { workerLoop(); });
-        for (const int fd : listen_fds)
-            threads.emplace_back([this, fd] { acceptLoop(fd); });
-    }
+    n_shards = resolveWorkers(opt.workers);
+    shard_queues.reserve(n_shards);
+    for (unsigned i = 0; i < n_shards; ++i)
+        shard_queues.push_back(std::make_unique<ShardQueue>());
+
+    // One store shard per shard thread: the thread that executes a
+    // connection is the only one touching its slice of the store.
+    store::StoreOptions store_opt;
+    store_opt.shards = n_shards;
+    store_opt.resident_bytes = opt.store_resident_bytes;
+    store_opt.spill_dir = opt.store_spill_dir;
+    store_opt.segment_bytes = opt.store_segment_bytes;
+    session_store = std::make_unique<store::ShardedSessionStore>(
+        std::move(store_opt), &registry);
+
+    store::StoreHooks hooks;
+    hooks.before_spill = [this](u64 key,
+                                store::StoredSession &stored) {
+        // Flush the unpublished energy delta so the spilled snapshot
+        // and the published counters agree; after_resume re-baselines
+        // from the restored totals.
+        if (stored.session.energyMeteringEnabled())
+            publishEnergy(shardOfKey(key).meta.at(key),
+                          stored.session);
+    };
+    hooks.after_resume = [this](u64 key,
+                                store::StoredSession &stored) {
+        stored.session.attachSpanMetrics(registry);
+        shardOfKey(key).meta.at(key).published =
+            stored.session.energy();
+    };
+    hooks.on_event = [this](const store::StoreEvent &event) {
+        recorder.record(
+            event.kind == store::StoreEventKind::Spill
+                ? FlightEventKind::SessionSpill
+                : FlightEventKind::SessionResume,
+            static_cast<u32>(event.key), 0,
+            "shard=" + std::to_string(event.shard) +
+                " b=" + std::to_string(event.bytes));
+    };
+    session_store->setHooks(std::move(hooks));
+
+    threads.reserve(n_shards + 1);
+    for (unsigned i = 0; i < n_shards; ++i)
+        threads.emplace_back([this, i] { shardLoop(i); });
+    threads.emplace_back([this] { ioLoop(); });
+
     logInfo("serve: listening (",
             opt.unix_path.empty() ? "no unix" : opt.unix_path,
-            ", tcp port ", tcp_port, "), ", workers, " workers, queue ",
-            opt.queue_capacity);
+            ", tcp port ", tcp_port, "), ", n_shards,
+            " shards, queue ", opt.queue_capacity,
+            ", store budget ", opt.store_resident_bytes, " B");
 }
 
 Server::~Server()
@@ -98,139 +134,266 @@ Server::~Server()
     stop();
 }
 
-void
-Server::acceptLoop(int listen_fd)
+Server::ShardQueue &
+Server::shardOf(const Conn &conn)
 {
-    while (!stopping.load() && !draining.load()) {
-        pollfd pfd{listen_fd, POLLIN, 0};
-        const int n = ::poll(&pfd, 1, 100);
-        if (n <= 0)
-            continue;
+    return *shard_queues[conn.serial % n_shards];
+}
+
+Server::ShardQueue &
+Server::shardOfKey(u64 key)
+{
+    return *shard_queues[(key >> 32) % n_shards];
+}
+
+// ---------------------------------------------------------------- IO plane
+
+void
+Server::ioLoop()
+{
+    const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd < 0)
+        fatal("epoll_create1 failed: errno ", errno);
+    for (const int fd : listen_fds) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) != 0)
+            fatal("epoll_ctl(listener) failed: errno ", errno);
+    }
+
+    std::unordered_map<int, ConnPtr> by_fd;
+    epoll_event events[64];
+    while (!stopping.load()) {
+        const int n = ::epoll_wait(epfd, events, 64, 100);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            logWarn("serve: epoll_wait failed: errno ", errno);
+            break;
+        }
+        for (int i = 0; i < n && !stopping.load(); ++i) {
+            const int fd = events[i].data.fd;
+            const bool is_listener =
+                std::find(listen_fds.begin(), listen_fds.end(), fd) !=
+                listen_fds.end();
+            if (is_listener) {
+                acceptReady(fd, epfd, by_fd);
+                continue;
+            }
+            const auto it = by_fd.find(fd);
+            if (it != by_fd.end())
+                onReadable(it->second, epfd, by_fd);
+        }
+    }
+
+    // Sockets the IO plane still watched: hand them to the shard
+    // threads (stop() shuts the fds down, so their streams are over).
+    for (auto &[fd, conn] : by_fd)
+        markInputDone(conn);
+    ::close(epfd);
+}
+
+void
+Server::acceptReady(int listen_fd, int epoll_fd,
+                    std::unordered_map<int, ConnPtr> &by_fd)
+{
+    for (;;) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR || errno == ECONNABORTED)
+            if (errno == EINTR)
                 continue;
-            logWarn("serve: accept failed: errno ", errno);
-            continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                errno != ECONNABORTED)
+                logWarn("serve: accept failed: errno ", errno);
+            return;
         }
         if (stopping.load() || draining.load()) {
             closeFd(fd);
-            break;
+            return;
         }
         auto conn = std::make_shared<Conn>();
         conn->fd = fd;
+        conn->serial = next_serial++;
         m_accepted.inc();
         m_conns_active.add(1);
         {
             std::lock_guard<std::mutex> lock(conns_mutex);
             conns.push_back(conn);
-            threads.emplace_back(
-                [this, conn] { readerLoop(conn); });
         }
-    }
-}
-
-void
-Server::readerLoop(ConnPtr conn)
-{
-    for (;;) {
-        protocol::Frame frame;
-        const ReadResult result = readFrame(conn->fd, frame);
-        const u64 recv_ns = obs::nowNs();
-        if (result == ReadResult::Ok) {
-            if (draining.load() || stopping.load()) {
-                m_rejects.inc();
-                recorder.record(FlightEventKind::Shed,
-                                frame.hdr.session, frame.hdr.seq,
-                                "draining");
-                replyError(*conn, frame, protocol::ErrCode::Draining,
-                           "server is draining");
-                continue;
-            }
-            bool enqueued = false;
-            {
-                std::lock_guard<std::mutex> lock(conn->mutex);
-                if (conn->pending.size() <
-                        opt.max_pending &&
-                    queued.load(std::memory_order_relaxed) <
-                        static_cast<int>(opt.queue_capacity)) {
-                    queued.fetch_add(1, std::memory_order_relaxed);
-                    m_queue_depth.add(1);
-                    conn->pending.push_back(
-                        Conn::PendingFrame{std::move(frame), recv_ns});
-                    if (!conn->scheduled) {
-                        conn->scheduled = true;
-                        std::lock_guard<std::mutex> rlock(ready_mutex);
-                        ready.push_back(conn);
-                        ready_cv.notify_one();
-                    }
-                    enqueued = true;
-                }
-            }
-            if (!enqueued) {
-                m_rejects.inc();
-                recorder.record(FlightEventKind::Shed,
-                                frame.hdr.session, frame.hdr.seq,
-                                "queue_full");
-                replyError(*conn, frame, protocol::ErrCode::Overloaded,
-                           "request queue full");
-            }
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            logWarn("serve: epoll_ctl(conn) failed: errno ", errno);
+            markInputDone(conn);
             continue;
         }
-
-        // Stream over: clean EOF, a framing violation, or an IO
-        // error. Report framing violations best-effort, then stop
-        // reading; frames already queued still complete.
-        protocol::Frame nil;
-        switch (result) {
-          case ReadResult::BadMagic:
-            m_errors.inc();
-            replyError(*conn, nil, protocol::ErrCode::BadFrame,
-                       "bad frame magic");
-            break;
-          case ReadResult::BadVersion:
-            m_errors.inc();
-            replyError(*conn, nil, protocol::ErrCode::BadVersion,
-                       "unsupported protocol version");
-            break;
-          case ReadResult::TooLarge:
-            m_errors.inc();
-            replyError(*conn, nil, protocol::ErrCode::TooLarge,
-                       "frame payload over limit");
-            break;
-          case ReadResult::Truncated:
-          case ReadResult::IoError:
-          case ReadResult::Eof:
-          case ReadResult::Ok:
-            break;
-        }
-        break;
+        by_fd.emplace(fd, std::move(conn));
+        // The listener is level-triggered: if more connections are
+        // queued, the next epoll_wait delivers it again. One accept
+        // per pass keeps a connect storm from starving reads.
+        return;
     }
-
-    bool finalize_now = false;
-    {
-        std::lock_guard<std::mutex> lock(conn->mutex);
-        conn->input_done = true;
-        finalize_now = !conn->scheduled && conn->pending.empty();
-    }
-    if (finalize_now)
-        finalize(conn);
 }
 
 void
-Server::workerLoop()
+Server::onReadable(const ConnPtr &conn, int epoll_fd,
+                   std::unordered_map<int, ConnPtr> &by_fd)
 {
+    // Blocking fd + level-triggered readiness: one recv() per event
+    // never blocks, and leftover bytes re-arm epoll immediately.
+    u8 buf[64 * 1024];
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK))
+        return;
+
+    bool stream_over = n <= 0;
+    if (n > 0) {
+        conn->rbuf.insert(conn->rbuf.end(), buf, buf + n);
+        // A framing violation poisons the stream: the error reply is
+        // already out, stop reading (queued frames still complete).
+        stream_over = !parseInbound(conn);
+        if (stream_over)
+            ::shutdown(conn->fd, SHUT_RD);
+    }
+    if (stream_over) {
+        ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+        by_fd.erase(conn->fd);
+        markInputDone(conn);
+    }
+}
+
+bool
+Server::parseInbound(const ConnPtr &conn)
+{
+    bool ok = true;
+    std::vector<u8> &rbuf = conn->rbuf;
+    std::size_t &rpos = conn->rpos;
+    while (ok) {
+        const std::size_t avail = rbuf.size() - rpos;
+        if (avail < protocol::kHeaderSize)
+            break;
+        protocol::FrameHeader hdr;
+        const protocol::HeaderStatus status = protocol::parseHeader(
+            std::span<const u8>(rbuf.data() + rpos,
+                                protocol::kHeaderSize),
+            hdr);
+        if (status != protocol::HeaderStatus::Ok) {
+            m_errors.inc();
+            protocol::Frame nil;
+            switch (status) {
+              case protocol::HeaderStatus::BadMagic:
+                replyError(*conn, nil, protocol::ErrCode::BadFrame,
+                           "bad frame magic");
+                break;
+              case protocol::HeaderStatus::BadVersion:
+                replyError(*conn, nil, protocol::ErrCode::BadVersion,
+                           "unsupported protocol version");
+                break;
+              default:
+                replyError(*conn, nil, protocol::ErrCode::TooLarge,
+                           "frame payload over limit");
+                break;
+            }
+            ok = false;
+            break;
+        }
+        if (avail < protocol::kHeaderSize + hdr.payload_len)
+            break;
+        protocol::Frame frame;
+        frame.hdr = hdr;
+        const u8 *payload = rbuf.data() + rpos + protocol::kHeaderSize;
+        frame.payload.assign(payload, payload + hdr.payload_len);
+        rpos += protocol::kHeaderSize + hdr.payload_len;
+        dispatchInbound(conn, std::move(frame), obs::nowNs());
+    }
+    if (rpos > 0) {
+        rbuf.erase(rbuf.begin(),
+                   rbuf.begin() + static_cast<std::ptrdiff_t>(rpos));
+        rpos = 0;
+    }
+    return ok;
+}
+
+void
+Server::dispatchInbound(const ConnPtr &conn, protocol::Frame frame,
+                        u64 recv_ns)
+{
+    if (draining.load() || stopping.load()) {
+        m_rejects.inc();
+        recorder.record(FlightEventKind::Shed, frame.hdr.session,
+                        frame.hdr.seq, "draining");
+        replyError(*conn, frame, protocol::ErrCode::Draining,
+                   "server is draining");
+        return;
+    }
+    bool enqueued = false;
+    {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (conn->pending.size() < opt.max_pending &&
+            queued.load(std::memory_order_relaxed) <
+                static_cast<int>(opt.queue_capacity)) {
+            queued.fetch_add(1, std::memory_order_relaxed);
+            m_queue_depth.add(1);
+            conn->pending.push_back(
+                Conn::PendingFrame{std::move(frame), recv_ns});
+            if (!conn->scheduled) {
+                conn->scheduled = true;
+                scheduleOnShard(conn);
+            }
+            enqueued = true;
+        }
+    }
+    if (!enqueued) {
+        m_rejects.inc();
+        recorder.record(FlightEventKind::Shed, frame.hdr.session,
+                        frame.hdr.seq, "queue_full");
+        replyError(*conn, frame, protocol::ErrCode::Overloaded,
+                   "request queue full");
+    }
+}
+
+void
+Server::scheduleOnShard(const ConnPtr &conn)
+{
+    ShardQueue &q = shardOf(*conn);
+    std::lock_guard<std::mutex> lock(q.mutex);
+    q.ready.push_back(conn);
+    q.cv.notify_one();
+}
+
+void
+Server::markInputDone(const ConnPtr &conn)
+{
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->input_done = true;
+    // If nobody holds the schedule token, take it: the shard thread
+    // must run at least once more to drain pending and finalize.
+    if (!conn->scheduled) {
+        conn->scheduled = true;
+        scheduleOnShard(conn);
+    }
+}
+
+// ----------------------------------------------------------- shard plane
+
+void
+Server::shardLoop(unsigned shard_id)
+{
+    ShardQueue &q = *shard_queues[shard_id];
     for (;;) {
         ConnPtr conn;
         {
-            std::unique_lock<std::mutex> lock(ready_mutex);
-            ready_cv.wait(lock, [this] {
-                return pool_stopping || !ready.empty();
+            std::unique_lock<std::mutex> lock(q.mutex);
+            q.cv.wait(lock, [this, &q] {
+                return pool_stopping.load() || !q.ready.empty();
             });
-            if (pool_stopping)
+            if (pool_stopping.load())
                 return;
-            conn = std::move(ready.front());
-            ready.pop_front();
+            conn = std::move(q.ready.front());
+            q.ready.pop_front();
         }
 
         Conn::PendingFrame item;
@@ -250,7 +413,7 @@ Server::workerLoop()
 
         if (have && !handleFrame(*conn, item.frame, item.recv_ns)) {
             // Write failed: the peer is gone. Drop what's left and
-            // kick the reader off the socket.
+            // kick the IO thread off the socket.
             std::lock_guard<std::mutex> lock(conn->mutex);
             conn->broken = true;
             broken = true;
@@ -269,9 +432,7 @@ Server::workerLoop()
                 conn->pending.clear();
             }
             if (!conn->pending.empty()) {
-                std::lock_guard<std::mutex> rlock(ready_mutex);
-                ready.push_back(conn);
-                ready_cv.notify_one();
+                scheduleOnShard(conn);
             } else {
                 conn->scheduled = false;
                 finalize_now = conn->input_done;
@@ -316,7 +477,7 @@ Server::handleOpen(Conn &conn, const protocol::Frame &frame)
         return replyError(conn, frame, protocol::ErrCode::BadFrame,
                           "malformed OPEN_SESSION payload");
     }
-    if (conn.sessions.size() >= opt.max_sessions) {
+    if (conn.session_ids.size() >= opt.max_sessions) {
         m_errors.inc();
         return replyError(conn, frame,
                           protocol::ErrCode::SessionLimit,
@@ -329,23 +490,28 @@ Server::handleOpen(Conn &conn, const protocol::Frame &frame)
             codec.enableEnergyMetering();
         const u32 width = codec.codec().width();
         const u32 id = conn.next_session++;
-        std::string family = familyOf(spec);
-        familyGauge(family).add(1);
-        Conn::Session session(std::move(codec), std::move(family));
+        const u64 key = sessionKey(conn.serial, id);
+
+        SessionMeta meta;
+        meta.family = familyOf(spec);
+        familyGauge(meta.family).add(1);
         if (opt.meter_energy) {
             const std::string prefix =
-                "serve.energy." + session.family + ".";
-            session.fam.base_tau =
+                "serve.energy." + meta.family + ".";
+            meta.fam.base_tau =
                 &registry.counter(prefix + "base_tau");
-            session.fam.base_kappa =
+            meta.fam.base_kappa =
                 &registry.counter(prefix + "base_kappa");
-            session.fam.coded_tau =
+            meta.fam.coded_tau =
                 &registry.counter(prefix + "coded_tau");
-            session.fam.coded_kappa =
+            meta.fam.coded_kappa =
                 &registry.counter(prefix + "coded_kappa");
-            session.fam.words = &registry.counter(prefix + "words");
+            meta.fam.words = &registry.counter(prefix + "words");
         }
-        conn.sessions.emplace(id, std::move(session));
+        shardOf(conn).meta.emplace(key, std::move(meta));
+        session_store->put(
+            key, store::StoredSession{std::move(codec), false});
+        conn.session_ids.insert(id);
         m_sessions_opened.inc();
         m_sessions_active.add(1);
         recorder.record(FlightEventKind::SessionOpen, id, 0, spec);
@@ -358,23 +524,22 @@ Server::handleOpen(Conn &conn, const protocol::Frame &frame)
 }
 
 coding::SessionEnergy
-Server::publishEnergy(Conn::Session &session)
+Server::publishEnergy(SessionMeta &meta, coding::CodecSession &codec)
 {
-    const coding::SessionEnergy now = session.codec.energy();
+    const coding::SessionEnergy now = codec.energy();
     coding::SessionEnergy delta;
-    delta.base.tau = now.base.tau - session.published.base.tau;
-    delta.base.kappa = now.base.kappa - session.published.base.kappa;
-    delta.coded.tau = now.coded.tau - session.published.coded.tau;
-    delta.coded.kappa =
-        now.coded.kappa - session.published.coded.kappa;
-    delta.words = now.words - session.published.words;
-    session.published = now;
+    delta.base.tau = now.base.tau - meta.published.base.tau;
+    delta.base.kappa = now.base.kappa - meta.published.base.kappa;
+    delta.coded.tau = now.coded.tau - meta.published.coded.tau;
+    delta.coded.kappa = now.coded.kappa - meta.published.coded.kappa;
+    delta.words = now.words - meta.published.words;
+    meta.published = now;
 
-    session.fam.base_tau->inc(delta.base.tau);
-    session.fam.base_kappa->inc(delta.base.kappa);
-    session.fam.coded_tau->inc(delta.coded.tau);
-    session.fam.coded_kappa->inc(delta.coded.kappa);
-    session.fam.words->inc(delta.words);
+    meta.fam.base_tau->inc(delta.base.tau);
+    meta.fam.base_kappa->inc(delta.base.kappa);
+    meta.fam.coded_tau->inc(delta.coded.tau);
+    meta.fam.coded_kappa->inc(delta.coded.kappa);
+    meta.fam.words->inc(delta.words);
     m_energy_base_tau.inc(delta.base.tau);
     m_energy_base_kappa.inc(delta.base.kappa);
     m_energy_coded_tau.inc(delta.coded.tau);
@@ -407,14 +572,17 @@ bool
 Server::handleBatch(Conn &conn, const protocol::Frame &frame,
                     u64 recv_ns)
 {
-    const auto it = conn.sessions.find(frame.hdr.session);
-    if (it == conn.sessions.end()) {
+    const u64 key = sessionKey(conn.serial, frame.hdr.session);
+    store::StoredSession *stored =
+        conn.session_ids.count(frame.hdr.session)
+            ? session_store->get(key)
+            : nullptr;
+    if (!stored) {
         m_errors.inc();
         return replyError(conn, frame, protocol::ErrCode::NoSession,
                           "unknown session");
     }
-    Conn::Session &session = it->second;
-    if (session.desynced) {
+    if (stored->desynced) {
         m_errors.inc();
         return replyError(conn, frame, protocol::ErrCode::Desync,
                           "session desynchronized; RESYNC required");
@@ -439,10 +607,10 @@ Server::handleBatch(Conn &conn, const protocol::Frame &frame,
     // The networked synchronized-dictionary invariant: the batch must
     // be the next in sequence and the client's view of the output
     // stream must match ours, or the FSMs are not advanced at all.
-    coding::CodecSession &codec = session.codec;
+    coding::CodecSession &codec = stored->session;
     if (frame.hdr.seq != codec.seq() + 1 ||
         client_sum != codec.checksum()) {
-        session.desynced = true;
+        stored->desynced = true;
         m_desyncs.inc();
         m_errors.inc();
         recorder.record(FlightEventKind::Desync, frame.hdr.session,
@@ -455,6 +623,7 @@ Server::handleBatch(Conn &conn, const protocol::Frame &frame,
                           "required");
     }
 
+    SessionMeta &meta = shardOf(conn).meta.at(key);
     const u64 t0 = obs::nowNs();
     protocol::Frame response;
     std::size_t batch_words = 0;
@@ -482,7 +651,7 @@ Server::handleBatch(Conn &conn, const protocol::Frame &frame,
 
     coding::SessionEnergy delta;
     if (codec.energyMeteringEnabled())
-        delta = publishEnergy(session);
+        delta = publishEnergy(meta, codec);
 
     const u64 saved_milli =
         BatchSpan::savedMilli(delta.base.tau + delta.base.kappa,
@@ -504,7 +673,7 @@ Server::handleBatch(Conn &conn, const protocol::Frame &frame,
         span.coded_kappa = delta.coded.kappa;
         span.session = frame.hdr.session;
         span.is_encode = is_encode;
-        span.setFamily(session.family.c_str());
+        span.setFamily(meta.family.c_str());
         batch_sampler.offer(span);
     }
     return reply(conn, response);
@@ -513,23 +682,28 @@ Server::handleBatch(Conn &conn, const protocol::Frame &frame,
 bool
 Server::handleControl(Conn &conn, const protocol::Frame &frame)
 {
-    const auto it = conn.sessions.find(frame.hdr.session);
-    if (it == conn.sessions.end()) {
+    const u64 key = sessionKey(conn.serial, frame.hdr.session);
+    store::StoredSession *stored =
+        conn.session_ids.count(frame.hdr.session)
+            ? session_store->get(key)
+            : nullptr;
+    if (!stored) {
         m_errors.inc();
         return replyError(conn, frame, protocol::ErrCode::NoSession,
                           "unknown session");
     }
-    Conn::Session &session = it->second;
+    coding::CodecSession &codec = stored->session;
+    SessionMeta &meta = shardOf(conn).meta.at(key);
 
     switch (static_cast<protocol::MsgType>(frame.hdr.type)) {
       case protocol::MsgType::Stats: {
           protocol::SessionStats stats;
-          stats.seq = session.codec.seq();
-          stats.checksum = session.codec.checksum();
-          stats.epoch = session.codec.epoch();
-          stats.width = session.codec.codec().width();
-          stats.ops = session.codec.codec().ops();
-          const coding::SessionEnergy energy = session.codec.energy();
+          stats.seq = codec.seq();
+          stats.checksum = codec.checksum();
+          stats.epoch = codec.epoch();
+          stats.width = codec.codec().width();
+          stats.ops = codec.codec().ops();
+          const coding::SessionEnergy energy = codec.energy();
           stats.base_energy = energy.base;
           stats.coded_energy = energy.coded;
           stats.metered_words = energy.words;
@@ -537,24 +711,25 @@ Server::handleControl(Conn &conn, const protocol::Frame &frame)
                                                    stats));
       }
       case protocol::MsgType::Resync:
-        session.codec.resync();
+        codec.resync();
         // The session meters restart with the new epoch; restart the
         // published baseline too or the next delta would underflow.
-        session.published = coding::SessionEnergy{};
-        session.desynced = false;
+        meta.published = coding::SessionEnergy{};
+        stored->desynced = false;
         m_resyncs.inc();
         recorder.record(FlightEventKind::Resync, frame.hdr.session,
                         0,
-                        "epoch=" +
-                            std::to_string(session.codec.epoch()));
+                        "epoch=" + std::to_string(codec.epoch()));
         return reply(conn,
                      protocol::makeResyncOk(frame.hdr.session,
-                                            session.codec.epoch()));
+                                            codec.epoch()));
       case protocol::MsgType::Close:
-        familyGauge(session.family).add(-1);
+        familyGauge(meta.family).add(-1);
         recorder.record(FlightEventKind::SessionClose,
-                        frame.hdr.session, 0, session.family);
-        conn.sessions.erase(it);
+                        frame.hdr.session, 0, meta.family);
+        shardOf(conn).meta.erase(key);
+        session_store->erase(key);
+        conn.session_ids.erase(frame.hdr.session);
         m_sessions_active.add(-1);
         return reply(conn, protocol::makeCloseOk(frame.hdr.session));
       default:
@@ -632,14 +807,22 @@ Server::finalize(const ConnPtr &conn)
             conn->pending.clear();
         }
     }
-    if (!conn->sessions.empty()) {
-        for (const auto &[id, session] : conn->sessions) {
-            familyGauge(session.family).add(-1);
-            recorder.record(FlightEventKind::SessionClose, id, 0,
-                            session.family);
+    if (!conn->session_ids.empty()) {
+        ShardQueue &q = shardOf(*conn);
+        for (const u32 id : conn->session_ids) {
+            const u64 key = sessionKey(conn->serial, id);
+            const auto meta_it = q.meta.find(key);
+            if (meta_it != q.meta.end()) {
+                familyGauge(meta_it->second.family).add(-1);
+                recorder.record(FlightEventKind::SessionClose, id, 0,
+                                meta_it->second.family);
+                q.meta.erase(meta_it);
+            }
+            session_store->erase(key);
         }
-        m_sessions_active.add(-static_cast<s64>(conn->sessions.size()));
-        conn->sessions.clear();
+        m_sessions_active.add(
+            -static_cast<s64>(conn->session_ids.size()));
+        conn->session_ids.clear();
     }
     closeFd(conn->fd);
     m_conns_active.add(-1);
@@ -685,29 +868,21 @@ Server::stop()
         for (const ConnPtr &conn : conns)
             ::shutdown(conn->fd, SHUT_RDWR);
     }
-    {
-        std::lock_guard<std::mutex> lock(ready_mutex);
-        pool_stopping = true;
-        ready_cv.notify_all();
+    pool_stopping.store(true);
+    for (const auto &q : shard_queues) {
+        std::lock_guard<std::mutex> lock(q->mutex);
+        q->cv.notify_all();
     }
 
-    // Joining drains the accept loops, the readers (their sockets are
-    // shut down), and the workers. New reader threads cannot appear:
-    // the accept loops observe `stopping` before spawning.
-    for (;;) {
-        std::vector<std::thread> to_join;
-        {
-            std::lock_guard<std::mutex> lock(conns_mutex);
-            to_join.swap(threads);
-        }
-        if (to_join.empty())
-            break;
-        for (std::thread &t : to_join)
-            t.join();
-    }
+    // The IO thread exits on its next wakeup (100 ms poll at worst);
+    // the shard threads exit on the pool_stopping signal.
+    for (std::thread &t : threads)
+        t.join();
+    threads.clear();
 
-    // Workers may have exited holding schedule tokens; retire any
-    // connection still registered.
+    // Shard threads may have exited holding schedule tokens; every
+    // thread is joined now, so the stopping thread owns all shards
+    // and may retire any connection still registered.
     std::vector<ConnPtr> leftover;
     {
         std::lock_guard<std::mutex> lock(conns_mutex);

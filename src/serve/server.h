@@ -4,30 +4,42 @@
  *
  * Architecture (docs/SERVING.md):
  *
- *   accept threads (one per listener: TCP and/or Unix socket)
- *     -> one reader thread per connection: frames the byte stream,
- *        applies backpressure, and enqueues parsed frames
- *     -> a fixed worker pool draining a bounded request queue
+ *   one epoll IO thread: accepts on every listener, frames each
+ *     connection's byte stream incrementally, and applies parse-time
+ *     backpressure (Overloaded/Draining errors go out before a frame
+ *     ever reaches the execution plane)
+ *   N shard threads: each owns a fixed subset of connections (by
+ *     connection serial) and the matching shard of the session store,
+ *     draining a per-shard ready queue of connections with work
  *
  * Ordering: a session's FSMs must see its batches in order, so a
- * connection is scheduled onto the pool as a unit — it sits in the
- * ready queue at most once, and whichever worker holds it processes
- * exactly one pending frame before re-scheduling. Different
- * connections run on different workers concurrently; one connection's
- * requests are strictly serialized.
+ * connection sits in its shard's ready queue at most once and the
+ * shard thread processes exactly one pending frame before
+ * re-scheduling it. All sessions of a connection live in that
+ * connection's shard — in-order per-session semantics need no
+ * cross-shard coordination, and the shard thread touches its slice of
+ * the session store without locks (store/session_store.h).
  *
- * Backpressure: the reader rejects a frame *at parse time* with an
+ * Sessions: codec state lives in a store::ShardedSessionStore keyed
+ * by (connection serial << 32 | session id). When the resident-bytes
+ * budget overflows, cold sessions are snapshotted and spilled to
+ * disk; the next request for one lazily restores it byte-identically
+ * — spill and resume are invisible on the wire (they surface only as
+ * serve.store.* metrics and session_spill/session_resume flight
+ * events).
+ *
+ * Backpressure: the IO thread rejects a frame *at parse time* with an
  * Overloaded error when the global queued-frame budget
  * (Options::queue_capacity) or the per-connection pending cap
  * (Options::max_pending) is full. Memory is bounded by
  * queue_capacity x kMaxPayload regardless of client behavior;
  * nothing buffers without bound.
  *
- * Drain: beginDrain() stops accepting, half-closes every connection
- * (SHUT_RD), and lets the workers finish every already-queued batch —
- * responses are still written. waitDrained() blocks until the last
- * connection retires. stop() is the hard variant used by tests and
- * the final step of a graceful shutdown.
+ * Drain: beginDrain() stops accepting and half-closes every
+ * connection (SHUT_RD); the shard threads finish every already-queued
+ * batch and responses are still written. waitDrained() blocks until
+ * the last connection retires. stop() is the hard variant used by
+ * tests and the final step of a graceful shutdown.
  */
 
 #ifndef PREDBUS_SERVE_SERVER_H
@@ -36,11 +48,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "coding/session.h"
@@ -49,6 +62,7 @@
 #include "serve/flight_recorder.h"
 #include "serve/net.h"
 #include "serve/protocol.h"
+#include "store/session_store.h"
 
 namespace predbus::serve
 {
@@ -60,7 +74,8 @@ struct ServerOptions
     std::string unix_path;
     /** TCP port (0 = ephemeral); negative disables the TCP listener. */
     int tcp_port = -1;
-    /** Worker pool size; 0 = hardware concurrency. */
+    /** Shard-thread count; 0 = hardware concurrency. Also the session
+     * store's shard count (one store shard per thread). */
     unsigned workers = 0;
     /** Global bound on queued-but-unprocessed frames. */
     unsigned queue_capacity = 256;
@@ -84,6 +99,14 @@ struct ServerOptions
      * wires::WireModel by predbus_served --energy-wire. */
     double energy_joule_per_tau = 0.0;
     double energy_joule_per_kappa = 0.0;
+
+    /** Session-store resident budget across all shards; sessions past
+     * it spill to disk and resume lazily (docs/STORE.md). */
+    std::size_t store_resident_bytes = 64u << 20;
+    /** Spill directory; empty = a private temp dir removed on stop. */
+    std::string store_spill_dir;
+    /** Spill segment-file rotation size. */
+    std::size_t store_segment_bytes = 4u << 20;
 };
 
 class Server
@@ -111,6 +134,12 @@ class Server
     /** The protocol-event flight recorder (bounded, lock-free). */
     const FlightRecorder &flightRecorder() const { return recorder; }
 
+    /** The tiered session store (resident shards + disk spill). */
+    const store::ShardedSessionStore &sessionStore() const
+    {
+        return *session_store;
+    }
+
     /** Stop accepting and half-close connections; in-flight batches
      * still complete and their responses are written. */
     void beginDrain();
@@ -119,25 +148,29 @@ class Server
      * first, or this waits for clients to hang up on their own). */
     void waitDrained();
 
-    /** Hard stop: abort connections, stop the pool, join all threads.
+    /** Hard stop: abort connections, stop the threads, join them.
      * Idempotent; the destructor calls it. */
     void stop();
 
   private:
     /** Per-connection state. Field access rules:
+     *  - rbuf/rpos: IO thread only (inbound framing buffer);
      *  - pending/scheduled/input_done/broken/finalized: conn mutex;
-     *  - sessions/next_session/desynced: only the (single) worker
-     *    currently holding the connection's schedule token, or the
-     *    finalizer after the token is permanently dropped;
-     *  - writes to fd: write_mutex (reader rejects vs worker replies).
+     *  - session_ids/next_session: only the owning shard thread, or
+     *    the finalizer after every thread is joined;
+     *  - writes to fd: write_mutex (IO-thread sheds vs shard replies).
      */
     struct Conn
     {
         int fd = -1;
+        u32 serial = 0;  ///< shard-affinity tag, assigned at accept
         std::mutex mutex;
         std::mutex write_mutex;
 
-        /** A parsed frame plus the instant the reader finished
+        std::vector<u8> rbuf;  ///< unparsed inbound bytes
+        std::size_t rpos = 0;  ///< consumed prefix of rbuf
+
+        /** A parsed frame plus the instant the IO thread finished
          * framing it — the anchor for the queue-wait measurement. */
         struct PendingFrame
         {
@@ -150,46 +183,80 @@ class Server
         bool broken = false;
         bool finalized = false;
 
-        /** Per-family serve.energy.<family>.* counters, resolved once
-         * at session open (shared across sessions of a family). */
-        struct FamilyEnergy
-        {
-            obs::Counter *base_tau = nullptr;
-            obs::Counter *base_kappa = nullptr;
-            obs::Counter *coded_tau = nullptr;
-            obs::Counter *coded_kappa = nullptr;
-            obs::Counter *words = nullptr;
-        };
-
-        struct Session
-        {
-            coding::CodecSession codec;
-            std::string family;  ///< codec family metric segment
-            bool desynced = false;
-            /** Energy totals already published to the counters;
-             * per-batch deltas are current - published. */
-            coding::SessionEnergy published;
-            FamilyEnergy fam;
-
-            Session(coding::CodecSession codec, std::string family)
-                : codec(std::move(codec)), family(std::move(family))
-            {
-            }
-        };
-
-        std::map<u32, Session> sessions;
+        std::set<u32> session_ids;
         u32 next_session = 1;
     };
 
     using ConnPtr = std::shared_ptr<Conn>;
 
-    void acceptLoop(int listen_fd);
-    void readerLoop(ConnPtr conn);
-    void workerLoop();
+    /** Per-family serve.energy.<family>.* counters, resolved once at
+     * session open (shared across sessions of a family). */
+    struct FamilyEnergy
+    {
+        obs::Counter *base_tau = nullptr;
+        obs::Counter *base_kappa = nullptr;
+        obs::Counter *coded_tau = nullptr;
+        obs::Counter *coded_kappa = nullptr;
+        obs::Counter *words = nullptr;
+    };
+
+    /** Serve-level session state that stays resident when the codec
+     * spills: tiny, and needed to publish energy deltas at spill
+     * time. Owned by the session's shard thread. */
+    struct SessionMeta
+    {
+        std::string family;  ///< codec family metric segment
+        FamilyEnergy fam;
+        /** Energy totals already published to the counters; per-batch
+         * deltas are current - published. */
+        coding::SessionEnergy published;
+    };
+
+    /** One shard of the execution plane: a ready queue of connections
+     * with work, and the resident metadata of this shard's sessions.
+     * The meta map is touched only by the shard's thread. */
+    struct ShardQueue
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<ConnPtr> ready;
+        std::unordered_map<u64, SessionMeta> meta;
+    };
+
+    /** Store key: connection serial tags the shard, session id the
+     * session within the connection. */
+    static u64
+    sessionKey(u32 serial, u32 session_id)
+    {
+        return (static_cast<u64>(serial) << 32) | session_id;
+    }
+
+    void ioLoop();
+    void shardLoop(unsigned shard_id);
+
+    /** Accept every pending connection on @p listen_fd. */
+    void acceptReady(int listen_fd, int epoll_fd,
+                     std::unordered_map<int, ConnPtr> &by_fd);
+    /** One readiness event on @p conn's socket: read, frame,
+     * dispatch. Detaches the fd from epoll on EOF/violation. */
+    void onReadable(const ConnPtr &conn, int epoll_fd,
+                    std::unordered_map<int, ConnPtr> &by_fd);
+    /** Frame rbuf and dispatch complete frames; false on a framing
+     * violation (error already sent — stop reading this stream). */
+    bool parseInbound(const ConnPtr &conn);
+    /** Parse-time admission: shed (Draining/Overloaded) or enqueue
+     * onto the connection's shard. */
+    void dispatchInbound(const ConnPtr &conn, protocol::Frame frame,
+                         u64 recv_ns);
+    /** Mark the read side finished and make sure the shard thread
+     * takes one more pass (it drains pending, then finalizes). */
+    void markInputDone(const ConnPtr &conn);
+    /** Push @p conn onto its shard's ready queue. */
+    void scheduleOnShard(const ConnPtr &conn);
 
     /** Handle one request frame; returns false when the connection
-     * should be torn down (write failure). @p recv_ns is when the
-     * reader finished framing the request (queue-wait anchor). */
+     * should be torn down (write failure). @p recv_ns is when the IO
+     * thread finished framing the request (queue-wait anchor). */
     bool handleFrame(Conn &conn, const protocol::Frame &frame,
                      u64 recv_ns);
     bool handleOpen(Conn &conn, const protocol::Frame &frame);
@@ -198,9 +265,14 @@ class Server
     bool handleControl(Conn &conn, const protocol::Frame &frame);
     bool handleServerStats(Conn &conn, const protocol::Frame &frame);
 
+    /** The shard structures of @p conn / of store key @p key. */
+    ShardQueue &shardOf(const Conn &conn);
+    ShardQueue &shardOfKey(u64 key);
+
     /** Publish the session's unpublished energy delta into the
      * per-family and server-wide counters; returns the delta. */
-    coding::SessionEnergy publishEnergy(Conn::Session &session);
+    coding::SessionEnergy publishEnergy(SessionMeta &meta,
+                                        coding::CodecSession &codec);
 
     /** Recompute serve.energy.saved_pct_milli from the energy
      * counters; called on scrape, not per batch. */
@@ -213,7 +285,9 @@ class Server
     bool replyError(Conn &conn, const protocol::Frame &request,
                     protocol::ErrCode code, const std::string &message);
 
-    /** Drop the connection's sessions and fd exactly once. */
+    /** Drop the connection's sessions (both store tiers) and fd
+     * exactly once. Runs on the owning shard thread, or on the
+     * stopping thread after every worker is joined. */
     void finalize(const ConnPtr &conn);
 
     ServerOptions opt;
@@ -223,11 +297,13 @@ class Server
     std::vector<int> listen_fds;
     u16 tcp_port = 0;
 
-    // Ready queue of connections with pending work.
-    std::mutex ready_mutex;
-    std::condition_variable ready_cv;
-    std::deque<ConnPtr> ready;
-    bool pool_stopping = false;
+    // Execution plane: one queue per shard thread.
+    unsigned n_shards = 0;
+    std::vector<std::unique_ptr<ShardQueue>> shard_queues;
+    std::atomic<bool> pool_stopping{false};
+
+    // Tiered session store (one store shard per shard thread).
+    std::unique_ptr<store::ShardedSessionStore> session_store;
 
     // Global queued-frame budget (backpressure).
     std::atomic<int> queued{0};
@@ -237,6 +313,7 @@ class Server
     std::condition_variable conns_cv;
     std::vector<ConnPtr> conns;
     std::vector<std::thread> threads;
+    u32 next_serial = 1;  ///< IO thread only
     std::atomic<bool> draining{false};
     std::atomic<bool> stopping{false};
     bool stopped = false;

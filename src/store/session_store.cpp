@@ -1,0 +1,228 @@
+#include "store/session_store.h"
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
+
+namespace predbus::store
+{
+
+ShardedSessionStore::ShardedSessionStore(StoreOptions options,
+                                         obs::Registry *registry)
+    : opt(std::move(options)),
+      n_shards(opt.shards > 0 ? opt.shards : 1),
+      shard_budget(
+          std::max<std::size_t>(1, opt.resident_bytes / n_shards)),
+      shard_vec(n_shards),
+      cache(opt.spill_dir, opt.segment_bytes)
+{
+    if (registry) {
+        g_resident_sessions =
+            &registry->gauge("serve.store.resident_sessions");
+        g_resident_bytes =
+            &registry->gauge("serve.store.resident_bytes");
+        g_spilled_sessions =
+            &registry->gauge("serve.store.spilled_sessions");
+        g_spilled_bytes = &registry->gauge("serve.store.spilled_bytes");
+        c_spills = &registry->counter("serve.store.spills");
+        c_resumes = &registry->counter("serve.store.resumes");
+        c_evictions = &registry->counter("serve.store.evictions");
+        h_resume_ns = &registry->histogram("serve.store.resume_ns");
+    }
+}
+
+ShardedSessionStore::~ShardedSessionStore() = default;
+
+void
+ShardedSessionStore::setHooks(StoreHooks h)
+{
+    hooks = std::move(h);
+}
+
+void
+ShardedSessionStore::publishGauges() const
+{
+    if (!g_resident_sessions)
+        return;
+    g_resident_sessions->set(static_cast<s64>(
+        total_sessions.load(std::memory_order_relaxed)));
+    g_resident_bytes->set(static_cast<s64>(
+        total_bytes.load(std::memory_order_relaxed)));
+    g_spilled_sessions->set(static_cast<s64>(cache.count()));
+    g_spilled_bytes->set(static_cast<s64>(cache.bytes()));
+}
+
+void
+ShardedSessionStore::spillOne(Shard &shard, unsigned shard_id,
+                              u64 key)
+{
+    auto it = shard.map.find(key);
+    panicIf(it == shard.map.end(), "spill of a non-resident session");
+    Resident &res = it->second;
+    if (hooks.before_spill)
+        hooks.before_spill(key, res.stored);
+
+    // Spill record: one flags byte (bit0 = desynced latch) followed
+    // by the versioned, checksummed session snapshot.
+    const std::vector<u8> snap = res.stored.session.snapshot();
+    std::vector<u8> record;
+    record.reserve(1 + snap.size());
+    record.push_back(res.stored.desynced ? 1 : 0);
+    record.insert(record.end(), snap.begin(), snap.end());
+    cache.put(key, record);
+
+    total_sessions.fetch_sub(1, std::memory_order_relaxed);
+    total_bytes.fetch_sub(res.bytes, std::memory_order_relaxed);
+    shard.resident_bytes -= res.bytes;
+    shard.lru.erase(res.lru_it);
+    shard.map.erase(it);
+
+    if (c_spills) {
+        c_spills->inc();
+        c_evictions->inc();
+    }
+    if (hooks.on_event)
+        hooks.on_event(StoreEvent{StoreEventKind::Spill, key,
+                                  shard_id, snap.size()});
+}
+
+void
+ShardedSessionStore::enforceBudget(Shard &shard, unsigned shard_id,
+                                   u64 protect)
+{
+    // Evict from the cold end; never spill the session the caller is
+    // about to use (it sits at the LRU front, so meeting it at the
+    // tail means it is the only resident entry — an oversized
+    // singleton stays resident rather than thrash).
+    while (shard.resident_bytes > shard_budget && !shard.lru.empty()) {
+        const u64 victim = shard.lru.back();
+        if (victim == protect)
+            break;
+        spillOne(shard, shard_id, victim);
+    }
+    publishGauges();
+}
+
+StoredSession *
+ShardedSessionStore::put(u64 key, StoredSession session)
+{
+    if (session.session.spec().empty())
+        fatal("session store requires spec-constructed sessions");
+    const unsigned shard_id = shardOf(key);
+    Shard &shard = shard_vec[shard_id];
+    panicIf(shard.map.count(key) != 0 || cache.contains(key),
+            "session store put() over an existing key");
+
+    const std::size_t snap_bytes = session.session.snapshot().size();
+    Resident res{std::move(session), snap_bytes, {}};
+    shard.lru.push_front(key);
+    res.lru_it = shard.lru.begin();
+    shard.resident_bytes += res.bytes;
+    total_sessions.fetch_add(1, std::memory_order_relaxed);
+    total_bytes.fetch_add(res.bytes, std::memory_order_relaxed);
+    auto [it, inserted] = shard.map.emplace(key, std::move(res));
+    panicIf(!inserted, "session store map insert raced");
+
+    enforceBudget(shard, shard_id, key);
+    return &it->second.stored;
+}
+
+StoredSession *
+ShardedSessionStore::get(u64 key)
+{
+    const unsigned shard_id = shardOf(key);
+    Shard &shard = shard_vec[shard_id];
+
+    if (auto it = shard.map.find(key); it != shard.map.end()) {
+        Resident &res = it->second;
+        shard.lru.splice(shard.lru.begin(), shard.lru, res.lru_it);
+        return &res.stored;
+    }
+
+    // Not resident: lazily resume from the disk tier.
+    std::vector<u8> record;
+    const u64 t0 = obs::nowNs();
+    if (!cache.take(key, record))
+        return nullptr;
+    if (record.empty())
+        fatal("spilled session record is empty");
+    StoredSession revived{coding::CodecSession::restore(
+                              std::span<const u8>(record).subspan(1)),
+                          (record[0] & 1) != 0};
+    Resident res{std::move(revived), record.size() - 1, {}};
+
+    shard.lru.push_front(key);
+    res.lru_it = shard.lru.begin();
+    shard.resident_bytes += res.bytes;
+    total_sessions.fetch_add(1, std::memory_order_relaxed);
+    total_bytes.fetch_add(res.bytes, std::memory_order_relaxed);
+    auto [it, inserted] = shard.map.emplace(key, std::move(res));
+    panicIf(!inserted, "session store resume insert raced");
+
+    StoredSession &stored = it->second.stored;
+    if (hooks.after_resume)
+        hooks.after_resume(key, stored);
+    const u64 dt = obs::nowNs() - t0;
+    if (c_resumes) {
+        c_resumes->inc();
+        h_resume_ns->record(dt);
+    }
+    if (hooks.on_event)
+        hooks.on_event(StoreEvent{StoreEventKind::Resume, key,
+                                  shard_id, record.size() - 1});
+
+    enforceBudget(shard, shard_id, key);
+    return &stored;
+}
+
+bool
+ShardedSessionStore::contains(u64 key) const
+{
+    const Shard &shard = shard_vec[shardOf(key)];
+    return shard.map.count(key) != 0 || cache.contains(key);
+}
+
+bool
+ShardedSessionStore::erase(u64 key)
+{
+    Shard &shard = shard_vec[shardOf(key)];
+    if (auto it = shard.map.find(key); it != shard.map.end()) {
+        Resident &res = it->second;
+        shard.resident_bytes -= res.bytes;
+        total_sessions.fetch_sub(1, std::memory_order_relaxed);
+        total_bytes.fetch_sub(res.bytes, std::memory_order_relaxed);
+        shard.lru.erase(res.lru_it);
+        shard.map.erase(it);
+        publishGauges();
+        return true;
+    }
+    const bool hit = cache.erase(key);
+    if (hit)
+        publishGauges();
+    return hit;
+}
+
+void
+ShardedSessionStore::spillAllForTest()
+{
+    for (unsigned s = 0; s < n_shards; ++s) {
+        Shard &shard = shard_vec[s];
+        while (!shard.lru.empty())
+            spillOne(shard, s, shard.lru.back());
+    }
+    publishGauges();
+}
+
+std::size_t
+ShardedSessionStore::residentCount() const
+{
+    return total_sessions.load(std::memory_order_relaxed);
+}
+
+std::size_t
+ShardedSessionStore::residentBytes() const
+{
+    return total_bytes.load(std::memory_order_relaxed);
+}
+
+} // namespace predbus::store

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Sharded session store with a RAM-resident working set and a tiered
+ * spill to disk.
+ *
+ * The serve path needs to hold many more logical codec sessions than
+ * fit in memory: a session is tiny on the wire (one OPEN frame) but
+ * its FSM state — dictionaries, stride rings, energy meters — is not
+ * free, and idle sessions must not pin it. The store keeps sessions in
+ * N shards; each shard has a private hash map, an LRU list, and a
+ * resident-bytes budget. When a shard exceeds its budget, the
+ * least-recently-used sessions are serialized (CodecSession::snapshot)
+ * and pushed down to the SpillCache; the next request for a spilled
+ * session lazily restores it — byte-identically, so spill and resume
+ * are invisible to the protocol.
+ *
+ * Concurrency contract: every operation on a key MUST be performed by
+ * the thread that owns shardOf(key). Shard maps take no lock — the
+ * single-owner discipline (shard-affine execution in serve::Server) is
+ * what makes lookup lock-free. Only the disk tier and the metric
+ * gauges are shared, and they synchronize internally.
+ *
+ * The key's high 32 bits are the affinity tag (the serve layer puts
+ * the connection serial there), so every session of one connection
+ * lands in one shard and in-order per-session semantics need no
+ * cross-shard coordination.
+ */
+
+#ifndef PREDBUS_STORE_SESSION_STORE_H
+#define PREDBUS_STORE_SESSION_STORE_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/session.h"
+#include "store/spill_cache.h"
+
+namespace predbus::obs
+{
+class Counter;
+class Gauge;
+class Histogram;
+class Registry;
+}
+
+namespace predbus::store
+{
+
+struct StoreOptions
+{
+    unsigned shards = 4;
+    /** Whole-store resident budget, split evenly across shards. */
+    std::size_t resident_bytes = 64u << 20;
+    /** Spill directory; empty = private temp dir (see SpillCache). */
+    std::string spill_dir;
+    std::size_t segment_bytes = 4u << 20;
+};
+
+/** One stored session: the codec plus the serve-level flags that must
+ * survive a spill cycle. */
+struct StoredSession
+{
+    coding::CodecSession session;
+    bool desynced = false;
+};
+
+enum class StoreEventKind : u8
+{
+    Spill = 0,   ///< session serialized and pushed to the disk tier
+    Resume = 1,  ///< session restored from the disk tier
+};
+
+struct StoreEvent
+{
+    StoreEventKind kind;
+    u64 key;
+    unsigned shard;
+    std::size_t bytes;  ///< snapshot size
+};
+
+/** Integration points for the serve layer. All hooks run on the
+ * calling shard thread. */
+struct StoreHooks
+{
+    /** Runs just before a session is serialized for spill — the place
+     * to flush externally-published deltas so the snapshot and the
+     * published baselines agree. */
+    std::function<void(u64 key, StoredSession &)> before_spill;
+    /** Runs after a spilled session is restored, before get()
+     * returns it — re-attach metrics, re-baseline publishers. */
+    std::function<void(u64 key, StoredSession &)> after_resume;
+    /** Every spill/resume, e.g. for the flight recorder. */
+    std::function<void(const StoreEvent &)> on_event;
+};
+
+class ShardedSessionStore
+{
+  public:
+    /** @p registry, when given, wires the serve.store.* gauges,
+     * counters, and the resume-latency histogram. */
+    explicit ShardedSessionStore(StoreOptions opt,
+                                 obs::Registry *registry = nullptr);
+    ~ShardedSessionStore();
+
+    ShardedSessionStore(const ShardedSessionStore &) = delete;
+    ShardedSessionStore &operator=(const ShardedSessionStore &) =
+        delete;
+
+    void setHooks(StoreHooks hooks);
+
+    unsigned shards() const { return static_cast<unsigned>(n_shards); }
+
+    /** Shard owning @p key: the high 32 bits are the affinity tag. */
+    unsigned
+    shardOf(u64 key) const
+    {
+        return static_cast<unsigned>((key >> 32) % n_shards);
+    }
+
+    /**
+     * Insert a new session under @p key (which must not be present in
+     * any tier). Returns a pointer valid until the session is spilled
+     * or erased; inserting may spill *other* sessions past the shard
+     * budget. The session must be spec-constructed (snapshot()
+     * requires it).
+     */
+    StoredSession *put(u64 key, StoredSession session);
+
+    /**
+     * Look up @p key: touches the LRU when resident, lazily resumes
+     * from the spill tier when not (counting a resume + latency), and
+     * returns nullptr when the key is in neither tier. The pointer is
+     * valid until the session is spilled or erased — i.e. until the
+     * next put/get on this shard.
+     */
+    StoredSession *get(u64 key);
+
+    /** True when @p key is resident or spilled (never resumes). */
+    bool contains(u64 key) const;
+
+    /** Remove @p key from whichever tier holds it. */
+    bool erase(u64 key);
+
+    /** Force every resident session of every shard down to the spill
+     * tier (test/maintenance; caller must own ALL shards, i.e. be the
+     * only thread touching the store). */
+    void spillAllForTest();
+
+    std::size_t residentCount() const;
+    std::size_t residentBytes() const;
+    std::size_t spilledCount() const { return cache.count(); }
+    std::size_t spilledBytes() const { return cache.bytes(); }
+
+    SpillCache &spillCache() { return cache; }
+
+  private:
+    struct Resident
+    {
+        StoredSession stored;
+        std::size_t bytes = 0;  ///< snapshot size (constant per spec)
+        std::list<u64>::iterator lru_it;
+    };
+
+    struct Shard
+    {
+        std::unordered_map<u64, Resident> map;
+        std::list<u64> lru;  ///< front = most recent
+        std::size_t resident_bytes = 0;
+    };
+
+    void spillOne(Shard &shard, unsigned shard_id, u64 key);
+    void enforceBudget(Shard &shard, unsigned shard_id, u64 protect);
+    void publishGauges() const;
+
+    StoreOptions opt;
+    std::size_t n_shards;
+    std::size_t shard_budget;
+    std::vector<Shard> shard_vec;
+    SpillCache cache;
+    StoreHooks hooks;
+
+    // Cross-shard totals for the gauges: shards are single-owner, so
+    // the only shared mutable state is these relaxed counters.
+    std::atomic<std::size_t> total_sessions{0};
+    std::atomic<std::size_t> total_bytes{0};
+
+    obs::Gauge *g_resident_sessions = nullptr;
+    obs::Gauge *g_resident_bytes = nullptr;
+    obs::Gauge *g_spilled_sessions = nullptr;
+    obs::Gauge *g_spilled_bytes = nullptr;
+    obs::Counter *c_spills = nullptr;
+    obs::Counter *c_resumes = nullptr;
+    obs::Counter *c_evictions = nullptr;
+    obs::Histogram *h_resume_ns = nullptr;
+};
+
+} // namespace predbus::store
+
+#endif // PREDBUS_STORE_SESSION_STORE_H

@@ -1,0 +1,267 @@
+#include "store/spill_cache.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "coding/snapshot.h"
+#include "common/log.h"
+
+namespace predbus::store
+{
+
+namespace
+{
+
+/** On-disk record header: magic, key, payload length. The payload is
+ * followed by its own 8-byte FNV-1a checksum (coding::snapshotChecksum),
+ * so every field a restore depends on is covered. */
+constexpr u32 kRecordMagic = 0x52534250u;  // "PBSR"
+constexpr std::size_t kHeaderBytes = 4 + 8 + 4;
+
+void
+packU32(u8 *p, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+void
+packU64(u8 *p, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+u32
+unpackU32(const u8 *p)
+{
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<u32>(p[i]) << (8 * i);
+    return v;
+}
+
+u64
+unpackU64(const u8 *p)
+{
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<u64>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+pwriteAll(int fd, const u8 *data, std::size_t n, u64 off,
+          const std::string &path)
+{
+    while (n > 0) {
+        const ssize_t w =
+            ::pwrite(fd, data, n, static_cast<off_t>(off));
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("spill cache write to '", path,
+                  "' failed: ", std::strerror(errno));
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+        off += static_cast<u64>(w);
+    }
+}
+
+bool
+preadAll(int fd, u8 *data, std::size_t n, u64 off)
+{
+    while (n > 0) {
+        const ssize_t r =
+            ::pread(fd, data, n, static_cast<off_t>(off));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0)
+            return false;
+        data += r;
+        n -= static_cast<std::size_t>(r);
+        off += static_cast<u64>(r);
+    }
+    return true;
+}
+
+} // namespace
+
+SpillCache::SpillCache(std::string directory, std::size_t segment_bytes)
+    : dir(std::move(directory)), segment_limit(segment_bytes)
+{
+    if (dir.empty()) {
+        char tmpl[] = "/tmp/predbus-store-XXXXXX";
+        if (!::mkdtemp(tmpl))
+            fatal("cannot create spill directory: ",
+                  std::strerror(errno));
+        dir = tmpl;
+        own_dir = true;
+    } else if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        fatal("cannot create spill directory '", dir,
+              "': ", std::strerror(errno));
+    }
+    std::lock_guard lock(mu);
+    openActiveLocked();
+}
+
+SpillCache::~SpillCache()
+{
+    std::lock_guard lock(mu);
+    for (auto &[id, seg] : segments) {
+        if (seg.fd >= 0)
+            ::close(seg.fd);
+        ::unlink(seg.path.c_str());
+    }
+    segments.clear();
+    if (own_dir)
+        ::rmdir(dir.c_str());
+}
+
+void
+SpillCache::openActiveLocked()
+{
+    Segment seg;
+    seg.path =
+        dir + "/seg-" + std::to_string(next_segment_id) + ".spill";
+    seg.fd = ::open(seg.path.c_str(),
+                    O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (seg.fd < 0)
+        fatal("cannot open spill segment '", seg.path,
+              "': ", std::strerror(errno));
+    active_id = next_segment_id++;
+    segments.emplace(active_id, std::move(seg));
+}
+
+void
+SpillCache::dropRecordLocked(u64 key, const Location &loc)
+{
+    auto seg_it = segments.find(loc.segment);
+    panicIf(seg_it == segments.end(),
+            "spill index points at a missing segment");
+    Segment &seg = seg_it->second;
+    --seg.live_records;
+    seg.live_bytes -= loc.len;
+    live_bytes_total -= loc.len;
+    index.erase(key);
+    // A fully-dead, non-active segment is reclaimed immediately.
+    if (seg.live_records == 0 && loc.segment != active_id) {
+        ::close(seg.fd);
+        ::unlink(seg.path.c_str());
+        segments.erase(seg_it);
+    }
+}
+
+void
+SpillCache::put(u64 key, std::span<const u8> record)
+{
+    std::lock_guard lock(mu);
+    if (auto it = index.find(key); it != index.end())
+        dropRecordLocked(key, it->second);
+
+    Segment &seg = segments.at(active_id);
+    const u32 len = static_cast<u32>(record.size());
+    std::vector<u8> buf(kHeaderBytes + record.size() + 8);
+    packU32(buf.data(), kRecordMagic);
+    packU64(buf.data() + 4, key);
+    packU32(buf.data() + 12, len);
+    std::copy(record.begin(), record.end(),
+              buf.begin() + kHeaderBytes);
+    packU64(buf.data() + kHeaderBytes + record.size(),
+            coding::snapshotChecksum(record.data(), record.size()));
+    pwriteAll(seg.fd, buf.data(), buf.size(), seg.append_off,
+              seg.path);
+
+    index[key] = Location{active_id,
+                          seg.append_off + kHeaderBytes, len};
+    seg.append_off += buf.size();
+    ++seg.live_records;
+    seg.live_bytes += len;
+    live_bytes_total += len;
+
+    if (seg.append_off >= segment_limit)
+        openActiveLocked();
+}
+
+bool
+SpillCache::take(u64 key, std::vector<u8> &out)
+{
+    std::lock_guard lock(mu);
+    const auto it = index.find(key);
+    if (it == index.end())
+        return false;
+    const Location loc = it->second;
+    const Segment &seg = segments.at(loc.segment);
+
+    std::vector<u8> buf(static_cast<std::size_t>(loc.len) + 8);
+    if (!preadAll(seg.fd, buf.data(), buf.size(), loc.offset))
+        fatal("spill cache read from '", seg.path,
+              "' failed: ", std::strerror(errno));
+    const u64 stored = unpackU64(buf.data() + loc.len);
+    if (coding::snapshotChecksum(buf.data(), loc.len) != stored)
+        fatal("spilled session record failed its checksum in '",
+              seg.path, "'");
+
+    // Cross-check the header too: catches an index pointing at the
+    // wrong record after a logic bug, not just media corruption.
+    u8 hdr[kHeaderBytes];
+    if (!preadAll(seg.fd, hdr, sizeof hdr, loc.offset - kHeaderBytes)
+        || unpackU32(hdr) != kRecordMagic
+        || unpackU64(hdr + 4) != key || unpackU32(hdr + 12) != loc.len)
+        fatal("spilled session record header mismatch in '", seg.path,
+              "'");
+
+    buf.resize(loc.len);
+    out = std::move(buf);
+    dropRecordLocked(key, loc);
+    return true;
+}
+
+bool
+SpillCache::erase(u64 key)
+{
+    std::lock_guard lock(mu);
+    const auto it = index.find(key);
+    if (it == index.end())
+        return false;
+    dropRecordLocked(key, it->second);
+    return true;
+}
+
+bool
+SpillCache::contains(u64 key) const
+{
+    std::lock_guard lock(mu);
+    return index.count(key) != 0;
+}
+
+std::size_t
+SpillCache::count() const
+{
+    std::lock_guard lock(mu);
+    return index.size();
+}
+
+std::size_t
+SpillCache::bytes() const
+{
+    std::lock_guard lock(mu);
+    return live_bytes_total;
+}
+
+std::size_t
+SpillCache::segmentCount() const
+{
+    std::lock_guard lock(mu);
+    return segments.size();
+}
+
+} // namespace predbus::store

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Disk tier of the session store: an append-only segment-file cache
+ * for spilled session snapshots.
+ *
+ * Records are appended to a small number of segment files with a
+ * per-record header and payload checksum; an in-memory index maps key
+ * to (segment, offset, length). Reads verify the checksum before the
+ * bytes reach CodecSession::restore, so a torn or bit-rotted record is
+ * detected here rather than as a mystery desync later. Segments
+ * rotate at a configurable size, and a segment whose records have all
+ * been taken or erased is unlinked — disk usage tracks the *live*
+ * spilled population, not the historical churn.
+ *
+ * The cache is internally locked (one coarse mutex): the disk tier is
+ * orders of magnitude slower than the lock, and sharing one cache
+ * across all store shards keeps segment rotation simple.
+ */
+
+#ifndef PREDBUS_STORE_SPILL_CACHE_H
+#define PREDBUS_STORE_SPILL_CACHE_H
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace predbus::store
+{
+
+class SpillCache
+{
+  public:
+    /**
+     * @param dir  Directory for segment files. Empty means "create a
+     *             private temporary directory" (removed, with every
+     *             segment in it, on destruction). A caller-provided
+     *             directory is created if missing; only the segments
+     *             this cache wrote are removed on destruction.
+     * @param segment_bytes  Rotation threshold for the active segment.
+     */
+    explicit SpillCache(std::string dir, std::size_t segment_bytes);
+    ~SpillCache();
+
+    SpillCache(const SpillCache &) = delete;
+    SpillCache &operator=(const SpillCache &) = delete;
+
+    /** Append @p record under @p key, replacing any previous record
+     * for the key. Throws FatalError on I/O failure. */
+    void put(u64 key, std::span<const u8> record);
+
+    /** Move the record for @p key out of the cache into @p out.
+     * Returns false when the key is absent; throws FatalError when
+     * the stored record fails its checksum (disk corruption). */
+    bool take(u64 key, std::vector<u8> &out);
+
+    /** Drop the record for @p key, if any. */
+    bool erase(u64 key);
+
+    bool contains(u64 key) const;
+
+    /** Live records / live payload bytes currently spilled. */
+    std::size_t count() const;
+    std::size_t bytes() const;
+
+    /** Segment files currently on disk (for tests). */
+    std::size_t segmentCount() const;
+
+    const std::string &directory() const { return dir; }
+
+  private:
+    struct Location
+    {
+        u32 segment = 0;
+        u64 offset = 0;  ///< payload offset within the segment
+        u32 len = 0;     ///< payload length
+    };
+
+    struct Segment
+    {
+        int fd = -1;
+        std::string path;
+        u64 append_off = 0;
+        std::size_t live_records = 0;
+        u64 live_bytes = 0;
+    };
+
+    void openActiveLocked();
+    void dropRecordLocked(u64 key, const Location &loc);
+
+    mutable std::mutex mu;
+    std::string dir;
+    bool own_dir = false;
+    std::size_t segment_limit;
+    u32 next_segment_id = 0;
+    u32 active_id = 0;
+    std::unordered_map<u32, Segment> segments;
+    std::unordered_map<u64, Location> index;
+    std::size_t live_bytes_total = 0;
+};
+
+} // namespace predbus::store
+
+#endif // PREDBUS_STORE_SPILL_CACHE_H

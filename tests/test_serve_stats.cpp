@@ -202,6 +202,11 @@ TEST(FlightRecorder, EventKindNamesAreStable)
                  "shed");
     EXPECT_STREQ(serve::flightEventName(FlightEventKind::Drain),
                  "drain");
+    EXPECT_STREQ(serve::flightEventName(FlightEventKind::SessionSpill),
+                 "session_spill");
+    EXPECT_STREQ(
+        serve::flightEventName(FlightEventKind::SessionResume),
+        "session_resume");
 }
 
 TEST(FlightRecorder, ConcurrentWritersNeverTearAnEvent)
@@ -249,6 +254,59 @@ TEST(FlightRecorder, ConcurrentWritersNeverTearAnEvent)
     EXPECT_EQ(recorder.recorded(), u64{kWriters} * kPerWriter);
     const std::vector<FlightEvent> final_events = recorder.dump();
     EXPECT_EQ(final_events.size(), recorder.capacity());
+}
+
+TEST(FlightRecorder, SpillAndResumeEventsNeverTear)
+{
+    // Spill and resume events are written by shard threads while the
+    // stats path dumps: interleave the two kinds from many writers
+    // and require that kind, session/seq tag, and label always belong
+    // to the same write. A torn slot would pair a spill kind with a
+    // resume label (or mismatched tags).
+    FlightRecorder recorder(64);
+    constexpr unsigned kWriters = 4;
+    constexpr u32 kPerWriter = 20000;
+    std::atomic<bool> stop{false};
+
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            for (const FlightEvent &e : recorder.dump()) {
+                EXPECT_EQ(e.seq, u64{e.session});
+                const std::string label = e.label;
+                if (e.session % 2 == 0) {
+                    EXPECT_EQ(
+                        e.kind,
+                        static_cast<u8>(FlightEventKind::SessionSpill));
+                    EXPECT_EQ(label, "shard=0 b=512");
+                } else {
+                    EXPECT_EQ(e.kind,
+                              static_cast<u8>(
+                                  FlightEventKind::SessionResume));
+                    EXPECT_EQ(label, "shard=1 b=256");
+                }
+            }
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&recorder, w] {
+            for (u32 i = 0; i < kPerWriter; ++i) {
+                const u32 tag = 2 * (w * kPerWriter + i) + (w % 2);
+                recorder.record(tag % 2 == 0
+                                    ? FlightEventKind::SessionSpill
+                                    : FlightEventKind::SessionResume,
+                                tag, tag,
+                                tag % 2 == 0 ? "shard=0 b=512"
+                                             : "shard=1 b=256");
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+    stop.store(true);
+    reader.join();
+    EXPECT_EQ(recorder.recorded(), u64{kWriters} * kPerWriter);
 }
 
 // -- end-to-end scrapes -------------------------------------------------
@@ -725,6 +783,84 @@ TEST_F(ServeStats, StatsJsonDirectDumpIsValid)
     EXPECT_EQ(valueOf(rows, "gauges.serve.sessions.inv"), "1");
     EXPECT_EQ(valueOf(rows, "events.0.kind"), "session_open");
     EXPECT_EQ(valueOf(rows, "events.0.label"), "inv:2");
+}
+
+// -- session store telemetry --------------------------------------------
+
+TEST_F(ServeStats, SessionSpillAndResumeSurfaceInStoreTelemetry)
+{
+    // A resident budget too small for even one session forces every
+    // session swap through the disk tier: each batch resumes its own
+    // session and evicts the other. The wire bytes must not notice,
+    // and the spill/resume traffic must surface in the serve.store.*
+    // metrics and the flight recorder.
+    serve::ServerOptions opt;
+    opt.workers = 1;
+    opt.store_resident_bytes = 1;
+    startServer(opt);
+    serve::Client client = connect();
+    serve::ClientSession a = client.openOrThrow("window:8");
+    serve::ClientSession b = client.openOrThrow("ctx:16+4");
+    coding::CodecSession mirror_a("window:8");
+    coding::CodecSession mirror_b("ctx:16+4");
+
+    const std::vector<Word> stream =
+        analysis::randomValues(2048, 0x5B11);
+    for (std::size_t pos = 0; pos < stream.size(); pos += 256) {
+        const std::span<const Word> batch(stream.data() + pos, 256);
+        for (auto &[session, mirror] :
+             {std::pair<serve::ClientSession &,
+                        coding::CodecSession &>{a, mirror_a},
+              {b, mirror_b}}) {
+            const auto remote = session.encode(batch);
+            ASSERT_TRUE(remote.ok());
+            std::vector<u64> expected;
+            mirror.encodeBatch(batch, expected);
+            ASSERT_EQ(remote.data, expected);
+            ASSERT_EQ(remote.checksum, mirror.checksum());
+        }
+    }
+
+    EXPECT_GT(registry.counter("serve.store.spills").value(), 0u);
+    EXPECT_GT(registry.counter("serve.store.resumes").value(), 0u);
+    EXPECT_EQ(registry.counter("serve.store.spills").value(),
+              registry.counter("serve.store.evictions").value());
+
+    // One session resident (the last one touched), one on disk.
+    const auto rows = flatten(client.serverStats(false));
+    EXPECT_EQ(valueOf(rows, "gauges.serve.store.resident_sessions"),
+              "1");
+    EXPECT_EQ(valueOf(rows, "gauges.serve.store.spilled_sessions"),
+              "1");
+    EXPECT_NE(valueOf(rows, "gauges.serve.store.spilled_bytes"), "0");
+    EXPECT_NE(
+        valueOf(rows, "histograms.serve.store.resume_ns.count"), "");
+
+    // The flight recorder saw both directions, labelled with the
+    // owning shard and the snapshot size.
+    bool spill_seen = false;
+    bool resume_seen = false;
+    for (const FlightEvent &e : server->flightRecorder().dump()) {
+        const std::string label = e.label;
+        if (e.kind ==
+            static_cast<u8>(FlightEventKind::SessionSpill)) {
+            spill_seen = true;
+            EXPECT_EQ(label.rfind("shard=", 0), 0u) << label;
+            EXPECT_NE(label.find(" b="), std::string::npos) << label;
+        }
+        if (e.kind ==
+            static_cast<u8>(FlightEventKind::SessionResume)) {
+            resume_seen = true;
+            EXPECT_EQ(label.rfind("shard=", 0), 0u) << label;
+        }
+    }
+    EXPECT_TRUE(spill_seen);
+    EXPECT_TRUE(resume_seen);
+
+    // Session STATS still reads coherently through a resume.
+    const serve::protocol::SessionStats stats = a.stats();
+    EXPECT_EQ(stats.seq, a.seq());
+    EXPECT_EQ(stats.checksum, mirror_a.checksum());
 }
 
 } // namespace

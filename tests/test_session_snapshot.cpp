@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Differential snapshot/restore suite: for every factory spec, a
+ * session serialized mid-stream and restored into a fresh process
+ * image must continue *byte-identically* — same wire states, same
+ * rolling checksums, same OpCounts, same energy totals — as the
+ * session that was never interrupted. This is the correctness
+ * foundation of the session store (src/store): spill + resume must be
+ * invisible to the protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/suite.h"
+#include "coding/factory.h"
+#include "coding/session.h"
+#include "coding/snapshot.h"
+#include "common/log.h"
+
+using namespace predbus;
+using coding::CodecSession;
+
+namespace
+{
+
+/** Every factory family, each config dimension exercised at least
+ * once (mirrors the spec grammar in coding/factory.h). */
+const std::vector<std::string> kAllSpecs = {
+    "raw",          "window:8",     "window:8:ca", "window:64",
+    "ctx:28+8",     "ctx:28+8:trans", "ctx:16+4:d16", "stride:4",
+    "stride:8",     "inv:2",        "inv:8:l1.5",  "pbi:4",
+    "wze:4",        "spatial:12",
+};
+
+/** Mixed random/strided/repeating stream; spatial:12 needs values
+ * inside 12 bits, so mask accordingly per spec. */
+std::vector<Word>
+testStream(std::size_t n, const std::string &spec)
+{
+    std::vector<Word> values = analysis::randomValues(n, 0x5AB5);
+    for (std::size_t i = n / 2; i < n; ++i) {
+        values[i] = static_cast<Word>(0x2000'0000 + 8 * i);
+        if (i % 5 == 0)
+            values[i] = values[i / 2];
+    }
+    if (spec.rfind("spatial", 0) == 0)
+        for (Word &v : values)
+            v &= 0xfffu;
+    return values;
+}
+
+void
+expectSessionsEqual(CodecSession &a, CodecSession &b,
+                    std::span<const Word> tail)
+{
+    EXPECT_EQ(a.seq(), b.seq());
+    EXPECT_EQ(a.checksum(), b.checksum());
+    EXPECT_EQ(a.epoch(), b.epoch());
+    EXPECT_EQ(a.codec().ops(), b.codec().ops());
+
+    const coding::SessionEnergy ea = a.energy();
+    const coding::SessionEnergy eb = b.energy();
+    EXPECT_EQ(ea.base.tau, eb.base.tau);
+    EXPECT_EQ(ea.base.kappa, eb.base.kappa);
+    EXPECT_EQ(ea.coded.tau, eb.coded.tau);
+    EXPECT_EQ(ea.coded.kappa, eb.coded.kappa);
+    EXPECT_EQ(ea.words, eb.words);
+
+    // The decisive part: both continue the stream with identical
+    // wire states and checksums, batch after batch.
+    std::vector<u64> states_a;
+    std::vector<u64> states_b;
+    constexpr std::size_t kBatch = 96;
+    for (std::size_t pos = 0; pos < tail.size(); pos += kBatch) {
+        const std::size_t len = std::min(kBatch, tail.size() - pos);
+        states_a.clear();
+        states_b.clear();
+        a.encodeBatch(tail.subspan(pos, len), states_a);
+        b.encodeBatch(tail.subspan(pos, len), states_b);
+        ASSERT_EQ(states_a, states_b);
+        ASSERT_EQ(a.checksum(), b.checksum());
+    }
+    EXPECT_EQ(a.codec().ops(), b.codec().ops());
+}
+
+} // namespace
+
+TEST(SessionSnapshot, EverySpecRestoresByteIdentically)
+{
+    for (const std::string &spec : kAllSpecs) {
+        SCOPED_TRACE(spec);
+        const std::vector<Word> stream = testStream(1024, spec);
+        const std::span<const Word> head(stream.data(), 512);
+        const std::span<const Word> tail(stream.data() + 512, 512);
+
+        CodecSession uninterrupted(spec);
+        uninterrupted.enableEnergyMetering();
+        CodecSession original(spec);
+        original.enableEnergyMetering();
+
+        std::vector<u64> sink;
+        uninterrupted.encodeBatch(head, sink);
+        sink.clear();
+        original.encodeBatch(head, sink);
+
+        const std::vector<u8> image = original.snapshot();
+        CodecSession restored = CodecSession::restore(image);
+        EXPECT_EQ(restored.spec(), spec);
+        expectSessionsEqual(uninterrupted, restored, tail);
+    }
+}
+
+// Snapshot points that straddle internal FSM structure: mid-span (a
+// batch boundary that is not a power of two, leaving partial dict
+// fills and ring offsets), and immediately after a RESYNC (fresh FSMs
+// but a bumped epoch).
+TEST(SessionSnapshot, MidSpanAndPostResyncPoints)
+{
+    for (const std::string &spec : kAllSpecs) {
+        SCOPED_TRACE(spec);
+        const std::vector<Word> stream = testStream(1200, spec);
+
+        for (const std::size_t cut : {1ul, 37ul, 1001ul}) {
+            SCOPED_TRACE(cut);
+            CodecSession reference(spec);
+            CodecSession snap_me(spec);
+            std::vector<u64> sink;
+            reference.encodeBatch(
+                std::span(stream.data(), cut), sink);
+            sink.clear();
+            snap_me.encodeBatch(std::span(stream.data(), cut), sink);
+
+            CodecSession restored =
+                CodecSession::restore(snap_me.snapshot());
+            expectSessionsEqual(
+                reference, restored,
+                std::span(stream.data() + cut, stream.size() - cut));
+        }
+
+        // Post-RESYNC: epoch and restarted counters must survive.
+        CodecSession reference(spec);
+        CodecSession snap_me(spec);
+        std::vector<u64> sink;
+        reference.encodeBatch(std::span(stream.data(), 300), sink);
+        sink.clear();
+        snap_me.encodeBatch(std::span(stream.data(), 300), sink);
+        reference.resync();
+        snap_me.resync();
+        EXPECT_EQ(snap_me.epoch(), 1u);
+
+        CodecSession restored =
+            CodecSession::restore(snap_me.snapshot());
+        EXPECT_EQ(restored.epoch(), 1u);
+        expectSessionsEqual(reference, restored,
+                            std::span(stream.data(), 300));
+    }
+}
+
+// Decode-side state must survive too: a restored decoder session
+// recovers the same values from states produced by a continuous
+// encoder.
+TEST(SessionSnapshot, DecoderStateSurvives)
+{
+    for (const std::string spec :
+         {"window:8", "ctx:28+8", "stride:4", "inv:2", "wze:4"}) {
+        SCOPED_TRACE(spec);
+        const std::vector<Word> stream = testStream(800, spec);
+        CodecSession encoder(spec);
+        std::vector<u64> states;
+        encoder.encodeBatch(stream, states);
+
+        CodecSession dec_ref(spec);
+        CodecSession dec_snap(spec);
+        std::vector<Word> words;
+        const std::span<const u64> head(states.data(), 400);
+        const std::span<const u64> tail(states.data() + 400, 400);
+        dec_ref.decodeBatch(head, words);
+        words.clear();
+        dec_snap.decodeBatch(head, words);
+
+        CodecSession restored =
+            CodecSession::restore(dec_snap.snapshot());
+        std::vector<Word> out_ref;
+        std::vector<Word> out_restored;
+        dec_ref.decodeBatch(tail, out_ref);
+        restored.decodeBatch(tail, out_restored);
+        EXPECT_EQ(out_ref, out_restored);
+        EXPECT_EQ(out_restored,
+                  std::vector<Word>(stream.begin() + 400,
+                                    stream.end()));
+        EXPECT_EQ(dec_ref.checksum(), restored.checksum());
+    }
+}
+
+TEST(SessionSnapshot, RejectsCorruptAndTruncatedImages)
+{
+    CodecSession session("window:8");
+    const std::vector<Word> stream = testStream(256, "window:8");
+    std::vector<u64> sink;
+    session.encodeBatch(stream, sink);
+    const std::vector<u8> image = session.snapshot();
+
+    // Pristine image restores.
+    EXPECT_NO_THROW(CodecSession::restore(image));
+
+    // Any single flipped bit fails the integrity checksum (flip a
+    // spread of positions including header, payload, and the checksum
+    // itself).
+    for (const std::size_t at :
+         {std::size_t{0}, std::size_t{5}, image.size() / 2,
+          image.size() - 1}) {
+        std::vector<u8> bad = image;
+        bad[at] ^= 0x40;
+        EXPECT_THROW(CodecSession::restore(bad), FatalError)
+            << "flipped byte " << at;
+    }
+
+    // Every truncation length is rejected.
+    for (std::size_t n = 0; n < image.size(); n += 7) {
+        const std::vector<u8> cut(image.begin(),
+                                  image.begin() +
+                                      static_cast<std::ptrdiff_t>(n));
+        EXPECT_THROW(CodecSession::restore(cut), FatalError)
+            << "truncated to " << n;
+    }
+
+    // A wrong version number is rejected even with a valid checksum:
+    // rebuild the trailer after patching the version field.
+    std::vector<u8> wrong_version = image;
+    wrong_version[4] = 0x7f;
+    wrong_version.resize(wrong_version.size() - 8);
+    const u64 fixed = coding::snapshotChecksum(wrong_version.data(),
+                                               wrong_version.size());
+    for (int i = 0; i < 8; ++i)
+        wrong_version.push_back(static_cast<u8>(fixed >> (8 * i)));
+    EXPECT_THROW(CodecSession::restore(wrong_version), FatalError);
+
+    // Snapshots require a spec (a transcoder-adopting session has no
+    // way to name its factory config).
+    CodecSession adopted(coding::makeFromSpec("window:8"));
+    EXPECT_THROW(adopted.snapshot(), FatalError);
+}
+
+// Restored sessions keep restoring: a snapshot of a restored session
+// equals a snapshot of the uninterrupted one (serialization is a
+// fixed point, which the store relies on for repeated spill cycles).
+TEST(SessionSnapshot, RepeatedSpillCyclesAreStable)
+{
+    const std::string spec = "ctx:28+8";
+    const std::vector<Word> stream = testStream(900, spec);
+    CodecSession reference(spec);
+    reference.enableEnergyMetering();
+    CodecSession cycled(spec);
+    cycled.enableEnergyMetering();
+
+    std::vector<u64> sink;
+    for (std::size_t pos = 0; pos < stream.size(); pos += 300) {
+        const std::span<const Word> batch(stream.data() + pos, 300);
+        sink.clear();
+        reference.encodeBatch(batch, sink);
+        sink.clear();
+        cycled.encodeBatch(batch, sink);
+        cycled = CodecSession::restore(cycled.snapshot());
+    }
+    EXPECT_EQ(reference.snapshot(), cycled.snapshot());
+}

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the sharded session store and its disk spill tier:
+ * LRU eviction against the resident-bytes budget, lazy resume with
+ * byte-identical continuation, the desync latch surviving a spill
+ * cycle, segment rotation/reclamation, and the serve.store.* metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/suite.h"
+#include "coding/factory.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "store/session_store.h"
+#include "store/spill_cache.h"
+
+using namespace predbus;
+using coding::CodecSession;
+using store::ShardedSessionStore;
+using store::SpillCache;
+using store::StoredSession;
+
+namespace
+{
+
+/** Key with the affinity tag (serve's connection serial) in the high
+ * half, mirroring how the serve layer forms keys. */
+u64
+key(u32 conn, u32 session)
+{
+    return (static_cast<u64>(conn) << 32) | session;
+}
+
+StoredSession
+freshSession(const std::string &spec = "window:8")
+{
+    return StoredSession{CodecSession(spec), false};
+}
+
+std::size_t
+snapshotBytes(const std::string &spec = "window:8")
+{
+    return CodecSession(spec).snapshot().size() + 1;  // + flags byte
+}
+
+template <typename Pairs>
+auto
+metricValue(const Pairs &pairs, const std::string &name)
+{
+    for (const auto &[key, value] : pairs)
+        if (key == name)
+            return value;
+    ADD_FAILURE() << "metric '" << name << "' not found";
+    return decltype(pairs.front().second){};
+}
+
+} // namespace
+
+TEST(SpillCache, PutTakeEraseAndRotation)
+{
+    SpillCache cache("", /*segment_bytes=*/256);
+    EXPECT_EQ(cache.count(), 0u);
+    EXPECT_EQ(cache.segmentCount(), 1u);
+
+    std::vector<u8> rec(100);
+    for (std::size_t i = 0; i < rec.size(); ++i)
+        rec[i] = static_cast<u8>(i * 7);
+    for (u64 k = 1; k <= 8; ++k) {
+        rec[0] = static_cast<u8>(k);
+        cache.put(k, rec);
+    }
+    EXPECT_EQ(cache.count(), 8u);
+    EXPECT_EQ(cache.bytes(), 800u);
+    // 8 × ~128-byte records against a 256-byte segment limit must
+    // have rotated several times.
+    EXPECT_GT(cache.segmentCount(), 2u);
+
+    std::vector<u8> out;
+    for (u64 k = 1; k <= 8; ++k) {
+        ASSERT_TRUE(cache.take(k, out));
+        EXPECT_EQ(out.size(), rec.size());
+        EXPECT_EQ(out[0], static_cast<u8>(k));
+        EXPECT_FALSE(cache.take(k, out));  // take is destructive
+    }
+    EXPECT_EQ(cache.count(), 0u);
+    EXPECT_EQ(cache.bytes(), 0u);
+    // Every fully-dead, non-active segment was unlinked.
+    EXPECT_EQ(cache.segmentCount(), 1u);
+
+    cache.put(42, rec);
+    EXPECT_TRUE(cache.contains(42));
+    EXPECT_TRUE(cache.erase(42));
+    EXPECT_FALSE(cache.erase(42));
+}
+
+TEST(SpillCache, ReplacingAKeyDropsTheOldRecord)
+{
+    SpillCache cache("", 4096);
+    const std::vector<u8> a(50, 0xaa);
+    const std::vector<u8> b(70, 0xbb);
+    cache.put(7, a);
+    cache.put(7, b);
+    EXPECT_EQ(cache.count(), 1u);
+    EXPECT_EQ(cache.bytes(), 70u);
+    std::vector<u8> out;
+    ASSERT_TRUE(cache.take(7, out));
+    EXPECT_EQ(out, b);
+}
+
+TEST(SessionStore, PutGetEraseBasics)
+{
+    obs::Registry registry;
+    store::StoreOptions opt;
+    opt.shards = 2;
+    ShardedSessionStore s(opt, &registry);
+
+    const u64 k = key(1, 1);
+    EXPECT_EQ(s.get(k), nullptr);
+    StoredSession *stored = s.put(k, freshSession());
+    ASSERT_NE(stored, nullptr);
+    EXPECT_EQ(s.get(k), stored);
+    EXPECT_TRUE(s.contains(k));
+    EXPECT_EQ(s.residentCount(), 1u);
+    EXPECT_GT(s.residentBytes(), 0u);
+
+    EXPECT_TRUE(s.erase(k));
+    EXPECT_FALSE(s.erase(k));
+    EXPECT_EQ(s.get(k), nullptr);
+    EXPECT_EQ(s.residentCount(), 0u);
+}
+
+TEST(SessionStore, ShardAffinityFollowsTheHighHalf)
+{
+    store::StoreOptions opt;
+    opt.shards = 4;
+    ShardedSessionStore s(opt);
+    for (u32 conn = 0; conn < 16; ++conn)
+        for (u32 sess = 1; sess < 4; ++sess)
+            EXPECT_EQ(s.shardOf(key(conn, sess)), conn % 4);
+}
+
+TEST(SessionStore, EvictsLruPastTheBudgetAndResumesLazily)
+{
+    obs::Registry registry;
+    store::StoreOptions opt;
+    opt.shards = 1;
+    opt.resident_bytes = 3 * snapshotBytes();  // room for ~3 sessions
+    ShardedSessionStore s(opt, &registry);
+
+    std::vector<store::StoreEvent> events;
+    store::StoreHooks hooks;
+    hooks.on_event = [&](const store::StoreEvent &e) {
+        events.push_back(e);
+    };
+    s.setHooks(std::move(hooks));
+
+    for (u32 i = 1; i <= 10; ++i)
+        s.put(key(0, i), freshSession());
+
+    EXPECT_LE(s.residentBytes(), opt.resident_bytes);
+    EXPECT_LT(s.residentCount(), 10u);
+    EXPECT_GT(s.spilledCount(), 0u);
+    EXPECT_EQ(s.residentCount() + s.spilledCount(), 10u);
+
+    const auto snap = registry.snapshot();
+    EXPECT_GT(metricValue(snap.counters, "serve.store.spills"), 0u);
+    EXPECT_EQ(metricValue(snap.counters, "serve.store.spills"),
+              metricValue(snap.counters, "serve.store.evictions"));
+    EXPECT_EQ(static_cast<std::size_t>(metricValue(
+                  snap.gauges, "serve.store.resident_sessions")),
+              s.residentCount());
+    EXPECT_EQ(static_cast<std::size_t>(metricValue(
+                  snap.gauges, "serve.store.spilled_sessions")),
+              s.spilledCount());
+
+    // The oldest session was spilled first; touching it resumes it
+    // (and pushes something else out).
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events[0].kind, store::StoreEventKind::Spill);
+    EXPECT_EQ(events[0].key, key(0, 1));
+
+    events.clear();
+    StoredSession *revived = s.get(key(0, 1));
+    ASSERT_NE(revived, nullptr);
+    EXPECT_EQ(revived->session.spec(), "window:8");
+    // The resume event lands first; the shard then sheds a new
+    // victim to stay inside the budget.
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().kind, store::StoreEventKind::Resume);
+    EXPECT_EQ(events.front().key, key(0, 1));
+    EXPECT_EQ(metricValue(registry.snapshot().counters,
+                          "serve.store.resumes"),
+              1u);
+
+    // Erase reaches both tiers.
+    for (u32 i = 1; i <= 10; ++i)
+        EXPECT_TRUE(s.erase(key(0, i)));
+    EXPECT_EQ(s.residentCount(), 0u);
+    EXPECT_EQ(s.spilledCount(), 0u);
+}
+
+TEST(SessionStore, SpillCyclesPreserveStreamsByteIdentically)
+{
+    store::StoreOptions opt;
+    opt.shards = 1;
+    opt.resident_bytes = 2 * snapshotBytes("ctx:28+8");
+    ShardedSessionStore s(opt);
+
+    const std::vector<Word> stream = analysis::randomValues(900, 99);
+    CodecSession reference("ctx:28+8");
+    const u64 hot = key(0, 1);
+    s.put(hot, freshSession("ctx:28+8"));
+
+    std::vector<u64> ref_states;
+    std::vector<u64> got_states;
+    for (std::size_t pos = 0; pos < stream.size(); pos += 300) {
+        const std::span<const Word> batch(stream.data() + pos, 300);
+        ref_states.clear();
+        reference.encodeBatch(batch, ref_states);
+
+        StoredSession *stored = s.get(hot);
+        ASSERT_NE(stored, nullptr);
+        got_states.clear();
+        stored->session.encodeBatch(batch, got_states);
+        ASSERT_EQ(got_states, ref_states);
+        ASSERT_EQ(stored->session.checksum(), reference.checksum());
+
+        // Churn enough filler sessions through the shard to force
+        // the hot session to disk before its next batch.
+        for (u32 f = 0; f < 6; ++f)
+            s.put(key(0, 100 + static_cast<u32>(pos) + f),
+                  freshSession("ctx:28+8"));
+        EXPECT_FALSE(s.contains(hot) && s.residentCount() == 0);
+    }
+    // The hot session really did cycle through the spill tier.
+    EXPECT_GT(s.spilledCount(), 0u);
+}
+
+TEST(SessionStore, DesyncLatchAndHooksSurviveSpill)
+{
+    store::StoreOptions opt;
+    opt.shards = 1;
+    ShardedSessionStore s(opt);
+
+    int before_spills = 0;
+    int after_resumes = 0;
+    store::StoreHooks hooks;
+    hooks.before_spill = [&](u64, StoredSession &) { ++before_spills; };
+    hooks.after_resume = [&](u64, StoredSession &stored) {
+        ++after_resumes;
+        EXPECT_TRUE(stored.desynced);
+    };
+    s.setHooks(std::move(hooks));
+
+    const u64 k = key(3, 1);
+    StoredSession *stored = s.put(k, freshSession());
+    stored->desynced = true;
+    s.spillAllForTest();
+    EXPECT_EQ(s.residentCount(), 0u);
+    EXPECT_EQ(before_spills, 1);
+
+    StoredSession *revived = s.get(k);
+    ASSERT_NE(revived, nullptr);
+    EXPECT_TRUE(revived->desynced);
+    EXPECT_EQ(after_resumes, 1);
+}
+
+TEST(SessionStore, RejectsSpeclessSessionsAndDuplicateKeys)
+{
+    store::StoreOptions opt;
+    ShardedSessionStore s(opt);
+    EXPECT_THROW(
+        s.put(key(0, 1),
+              StoredSession{
+                  CodecSession(coding::makeFromSpec("window:8")),
+                  false}),
+        FatalError);
+    s.put(key(0, 2), freshSession());
+    EXPECT_THROW(s.put(key(0, 2), freshSession()), PanicError);
+}

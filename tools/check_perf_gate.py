@@ -31,6 +31,15 @@ regardless of what the baseline file says:
                          shared-runner noise); skipped when the
                          current run has no serve section
                          (--skip-serve benches)
+  --churn-floor   (200)  store.churn_sessions_per_sec: session
+                         activations per second through the session
+                         store's RAM->disk spill tier (snapshot +
+                         segment write on evict, read + restore on
+                         resume). Healthy hosts run five to six
+                         figures; the floor is a backstop against the
+                         spill path going accidentally quadratic, not
+                         a throughput target. Skipped when the
+                         current run predates the store section.
 
 Absolute throughput is checked only with --absolute, for runs on the
 same host that produced the baseline (see docs/PERF.md for the
@@ -96,6 +105,9 @@ def main():
                     default=0.97,
                     help="hard minimum serve metering_ratio (metered "
                          "over unmetered serve-loopback words/sec)")
+    ap.add_argument("--churn-floor", type=float, default=200.0,
+                    help="hard minimum store churn_sessions_per_sec "
+                         "(spill-tier session activations/sec)")
     ap.add_argument("--absolute", action="store_true",
                     help="also gate absolute span words/sec "
                          "(same-host runs only)")
@@ -178,6 +190,20 @@ def main():
         failures.append("energy_overhead: metering microbench missing "
                         "from current run")
 
+    # The store section appeared with the spill tier; older baselines
+    # and bench binaries don't emit it, so the floor is checked only
+    # when the current run carries it.
+    store = cur_doc.get("store")
+    churn = None
+    if store is not None:
+        churn = store.get("churn_sessions_per_sec", 0.0)
+        if churn < args.churn_floor:
+            failures.append(
+                f"store: churn_sessions_per_sec {churn:.0f} below "
+                f"the hard floor {args.churn_floor:.0f} (session "
+                f"spill/resume path has regressed catastrophically)"
+            )
+
     for f in failures:
         print(f"check_perf_gate: FAIL {f}", file=sys.stderr)
     if failures:
@@ -188,9 +214,13 @@ def main():
         f", metering ratio {energy_ratio:.3f}"
         if energy_ratio is not None else ""
     )
+    churn_note = (
+        f", store churn {churn:.0f}/s" if churn is not None else ""
+    )
     print(f"check_perf_gate: OK ({n} codecs, simd={simd}, "
           f"window:8 speedup {w8['span_speedup']:.2f}x, "
-          f"obs record {obs_speedup:.2f}x{energy_note})")
+          f"obs record {obs_speedup:.2f}x{energy_note}"
+          f"{churn_note})")
     return 0
 
 

@@ -68,6 +68,33 @@ usage(std::ostream &os)
           "writeback)\n"
           "  --mode M           encode | decode | roundtrip "
           "(default)\n"
+          "  --scenario SC      session-lifecycle scenario instead "
+          "of the\n"
+          "                     batch replay:\n"
+          "                       open    open -> one batch -> close "
+          "cycles\n"
+          "                       churn   keep --sessions sessions "
+          "per\n"
+          "                               connection, touch them "
+          "round-robin\n"
+          "                               (defeats the server's LRU "
+          "so every\n"
+          "                               touch crosses the spill "
+          "tier when\n"
+          "                               the resident budget is "
+          "small)\n"
+          "                       resume  open all sessions, then "
+          "one timed\n"
+          "                               touch each (resume-path "
+          "latency)\n"
+          "                     Every reply is verified against a "
+          "local\n"
+          "                     mirror restored from snapshots; "
+          "reports\n"
+          "                     sessions/sec and per-op p50/p95/p99\n"
+          "  --sessions N       logical sessions per connection for\n"
+          "                     --scenario churn/resume (default "
+          "256)\n"
           "  --connections C    parallel connections (default 4)\n"
           "  --batch N          words per batch (default 256)\n"
           "  --batches B        batches per connection (default: one "
@@ -98,6 +125,8 @@ struct Options
     std::string spec = "window:8";
     std::string source = "random";
     std::string mode = "roundtrip";
+    std::string scenario;  ///< empty: classic batch replay
+    unsigned sessions = 256;
     unsigned connections = 4;
     unsigned batch = 256;
     unsigned batches = 0;  ///< 0: one pass over the stream
@@ -145,6 +174,14 @@ parseArgs(int argc, char **argv)
             opt.source = argValue(argc, argv, i, arg);
         } else if (arg == "--mode") {
             opt.mode = argValue(argc, argv, i, arg);
+        } else if (arg == "--scenario") {
+            opt.scenario = argValue(argc, argv, i, arg);
+        } else if (arg.rfind("--scenario=", 0) == 0) {
+            opt.scenario =
+                arg.substr(std::string("--scenario=").size());
+        } else if (arg == "--sessions") {
+            opt.sessions =
+                parseUnsigned(argValue(argc, argv, i, arg), arg);
         } else if (arg == "--connections") {
             opt.connections =
                 parseUnsigned(argValue(argc, argv, i, arg), arg);
@@ -170,6 +207,12 @@ parseArgs(int argc, char **argv)
         opt.mode != "roundtrip")
         fatal("bad --mode '", opt.mode,
               "' (encode, decode, or roundtrip)");
+    if (!opt.scenario.empty() && opt.scenario != "open" &&
+        opt.scenario != "churn" && opt.scenario != "resume")
+        fatal("bad --scenario '", opt.scenario,
+              "' (open, churn, or resume)");
+    if (!opt.scenario.empty() && opt.sessions == 0)
+        fatal("--sessions must be positive");
     if (opt.connections == 0 || opt.batch == 0)
         fatal("--connections and --batch must be positive");
     if (opt.batch > serve::protocol::kMaxBatchWords)
@@ -241,6 +284,7 @@ struct ConnStats
     u64 batches = 0;
     u64 rejects = 0;
     u64 mismatches = 0;
+    u64 sessions_cycled = 0;  ///< scenario: session activations
     bool failed = false;
     /** Encoder-session stats fetched before close (server-metered
      * energy rides in here). */
@@ -389,6 +433,146 @@ runConnection(const Options &opt, const std::vector<Word> &stream,
         decoder->close();
 }
 
+/**
+ * One connection's session-lifecycle scenario (--scenario). The local
+ * mirror of every logical session is kept as a snapshot blob and
+ * restored around each touch, so the generator's memory per idle
+ * session matches the server's spilled footprint instead of a live
+ * FSM pair — 100k logical sessions cost the client tens of MB. Every
+ * reply is verified byte-for-byte against the mirror.
+ */
+void
+runScenarioConnection(const Options &opt,
+                      const std::vector<Word> &stream,
+                      unsigned conn_index, ConnStats &out,
+                      obs::Registry &registry)
+{
+    obs::Counter &m_batches = registry.counter("load.batches");
+    obs::Counter &m_words = registry.counter("load.words");
+    obs::Counter &m_rejects = registry.counter("load.rejects");
+    obs::Counter &m_mismatches = registry.counter("load.mismatches");
+    obs::Counter &m_sessions =
+        registry.counter("load.sessions_cycled");
+    obs::Histogram &m_op_ns = registry.histogram("load.op_ns");
+
+    serve::Client client =
+        opt.unix_path.empty()
+            ? serve::Client::connectTcpSocket(
+                  opt.host, static_cast<u16>(opt.tcp_port))
+            : serve::Client::connectUnixSocket(opt.unix_path);
+
+    std::size_t pos =
+        (static_cast<std::size_t>(conn_index) * opt.batch * 17) %
+        std::max<std::size_t>(stream.size(), 1);
+    std::vector<Word> batch;
+    const auto fill = [&] {
+        batch.clear();
+        for (unsigned i = 0; i < opt.batch; ++i) {
+            batch.push_back(stream[pos]);
+            pos = (pos + 1) % stream.size();
+        }
+    };
+
+    // One verified batch: the server reply must equal the local
+    // mirror's states and checksum exactly. Overload sheds retry.
+    const auto touch = [&](serve::ClientSession &session,
+                           coding::CodecSession &mirror) -> bool {
+        fill();
+        for (int attempt = 0;; ++attempt) {
+            const auto result = session.encode(batch);
+            if (result.ok()) {
+                std::vector<u64> expected;
+                mirror.encodeBatch(batch, expected);
+                if (result.data != expected ||
+                    result.checksum != mirror.checksum()) {
+                    ++out.mismatches;
+                    m_mismatches.inc();
+                }
+                ++out.batches;
+                out.words += batch.size();
+                m_batches.inc();
+                m_words.inc(batch.size());
+                return true;
+            }
+            if (result.error->code ==
+                    serve::protocol::ErrCode::Overloaded &&
+                attempt < 100) {
+                ++out.rejects;
+                m_rejects.inc();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                continue;
+            }
+            logWarn("load: connection ", conn_index, " giving up: ",
+                    serve::protocol::errName(result.error->code),
+                    " (", result.error->message, ")");
+            out.failed = true;
+            return false;
+        }
+    };
+    const auto cycled = [&] {
+        ++out.sessions_cycled;
+        m_sessions.inc();
+    };
+
+    if (opt.scenario == "open") {
+        const unsigned cycles = opt.batches ? opt.batches : 512;
+        for (unsigned c = 0; c < cycles; ++c) {
+            const u64 t0 = obs::nowNs();
+            serve::ClientSession session =
+                client.openOrThrow(opt.spec);
+            coding::CodecSession mirror(opt.spec);
+            if (!touch(session, mirror))
+                return;
+            session.close();
+            m_op_ns.record(static_cast<double>(obs::nowNs() - t0));
+            cycled();
+        }
+        return;
+    }
+
+    // churn / resume: a population of logical sessions, each seeded
+    // with one batch so its state is non-trivial before it spills.
+    const unsigned n = opt.sessions;
+    std::vector<serve::ClientSession> sessions;
+    sessions.reserve(n);
+    std::vector<std::vector<u8>> mirrors(n);
+    for (unsigned i = 0; i < n; ++i) {
+        const u64 t0 = obs::nowNs();
+        serve::ClientSession session = client.openOrThrow(opt.spec);
+        coding::CodecSession mirror(opt.spec);
+        if (!touch(session, mirror))
+            return;
+        mirrors[i] = mirror.snapshot();
+        sessions.push_back(session);
+        if (opt.scenario == "churn") {
+            m_op_ns.record(static_cast<double>(obs::nowNs() - t0));
+            cycled();
+        }
+    }
+
+    // Round-robin touches always revisit the coldest session, the
+    // adversarial order for the server's per-shard LRU: with the
+    // population over the resident budget every touch is a disk
+    // resume plus an eviction.
+    const unsigned touches = opt.scenario == "resume"
+                                 ? n
+                                 : (opt.batches ? opt.batches : 2 * n);
+    for (unsigned t = 0; t < touches; ++t) {
+        const unsigned i = t % n;
+        const u64 t0 = obs::nowNs();
+        coding::CodecSession mirror =
+            coding::CodecSession::restore(mirrors[i]);
+        if (!touch(sessions[i], mirror))
+            return;
+        mirrors[i] = mirror.snapshot();
+        m_op_ns.record(static_cast<double>(obs::nowNs() - t0));
+        cycled();
+    }
+    for (serve::ClientSession &session : sessions)
+        session.close();
+}
+
 /** 16-digit hex id, matching the server's batch-span id strings. */
 std::string
 hexId(u64 id)
@@ -511,8 +695,12 @@ runMain(int argc, char **argv)
     for (unsigned c = 0; c < opt.connections; ++c) {
         threads.emplace_back([&, c] {
             try {
-                runConnection(opt, stream, c, nonce, collect_spans,
-                              stats[c], registry);
+                if (!opt.scenario.empty())
+                    runScenarioConnection(opt, stream, c, stats[c],
+                                          registry);
+                else
+                    runConnection(opt, stream, c, nonce,
+                                  collect_spans, stats[c], registry);
             } catch (const std::exception &e) {
                 logError("load: connection ", c, " failed: ",
                          e.what());
@@ -533,6 +721,50 @@ runMain(int argc, char **argv)
         total.batches += s.batches;
         total.rejects += s.rejects;
         total.mismatches += s.mismatches;
+        total.sessions_cycled += s.sessions_cycled;
+    }
+
+    if (!opt.scenario.empty()) {
+        const obs::HistogramStats op =
+            registry.histogram("load.op_ns").stats();
+        std::printf("predbus_load  scenario=%s  spec=%s  "
+                    "connections=%u  sessions=%u  batch=%u\n",
+                    opt.scenario.c_str(), opt.spec.c_str(),
+                    opt.connections, opt.sessions, opt.batch);
+        std::printf(
+            "  sessions %llu  batches %llu  words %llu  "
+            "rejects %llu  mismatches %llu  elapsed %.3fs\n",
+            static_cast<unsigned long long>(total.sessions_cycled),
+            static_cast<unsigned long long>(total.batches),
+            static_cast<unsigned long long>(total.words),
+            static_cast<unsigned long long>(total.rejects),
+            static_cast<unsigned long long>(total.mismatches),
+            elapsed);
+        std::printf(
+            "  sessions/sec %.0f\n",
+            elapsed > 0.0
+                ? static_cast<double>(total.sessions_cycled) / elapsed
+                : 0.0);
+        std::printf("  op latency ms  p50 %.3f  p95 %.3f  p99 %.3f  "
+                    "(log-bucketed, +/-1.6%%)\n",
+                    op.p50 / 1e6, op.p95 / 1e6, op.p99 / 1e6);
+        if (!opt.metrics_file.empty()) {
+            obs::ReportContext ctx;
+            ctx.tool = "predbus_load";
+            ctx.config = {
+                {"scenario", opt.scenario},
+                {"spec", opt.spec},
+                {"connections", std::to_string(opt.connections)},
+                {"sessions", std::to_string(opt.sessions)},
+                {"batch", std::to_string(opt.batch)},
+            };
+            std::ofstream os(opt.metrics_file);
+            if (!os)
+                fatal("cannot write ", opt.metrics_file);
+            writeMetricsReport(os, ctx, registry);
+            logInfo("wrote metrics report ", opt.metrics_file);
+        }
+        return failures.load() > 0 || total.mismatches > 0 ? 1 : 0;
     }
     // Percentiles come from the bounded log-bucketed obs::Histogram
     // (fixed ~16 KiB regardless of batch count): quantiles are bucket

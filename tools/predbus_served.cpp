@@ -57,6 +57,17 @@ usage(std::ostream &os)
           "32)\n"
           "  --max-sessions N  per-connection session cap (default "
           "64)\n"
+          "  --store-budget B  resident session-state budget in "
+          "bytes\n"
+          "                    (default 64 MiB); least-recently-used\n"
+          "                    sessions past it spill to disk and "
+          "resume\n"
+          "                    lazily on their next request\n"
+          "  --store-dir PATH  session spill directory (default: a\n"
+          "                    private temp dir, removed on exit)\n"
+          "  --store-segment B spill segment file size in bytes "
+          "(default\n"
+          "                    4 MiB)\n"
           "  --no-energy       disable live energy metering "
           "(serve.energy.*)\n"
           "  --energy-lambda L coupling ratio for saved-percent "
@@ -119,6 +130,16 @@ parseUnsigned(const std::string &value, const std::string &flag)
 {
     try {
         return static_cast<unsigned>(std::stoul(value));
+    } catch (const std::exception &) {
+        fatal("bad ", flag, " value '", value, "'");
+    }
+}
+
+std::size_t
+parseSize(const std::string &value, const std::string &flag)
+{
+    try {
+        return static_cast<std::size_t>(std::stoull(value));
     } catch (const std::exception &) {
         fatal("bad ", flag, " value '", value, "'");
     }
@@ -190,6 +211,14 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--max-sessions") {
             opt.server.max_sessions =
                 parseUnsigned(argValue(argc, argv, i, arg), arg);
+        } else if (arg == "--store-budget") {
+            opt.server.store_resident_bytes =
+                parseSize(argValue(argc, argv, i, arg), arg);
+        } else if (arg == "--store-dir") {
+            opt.server.store_spill_dir = argValue(argc, argv, i, arg);
+        } else if (arg == "--store-segment") {
+            opt.server.store_segment_bytes =
+                parseSize(argValue(argc, argv, i, arg), arg);
         } else if (arg == "--no-energy") {
             opt.server.meter_energy = false;
         } else if (arg == "--energy-lambda") {

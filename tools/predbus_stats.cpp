@@ -57,6 +57,13 @@ usage(std::ostream &os)
           "line\n"
           "                    already carries the \"energy\" "
           "section\n"
+          "  --store           render the session store's tiering "
+          "state\n"
+          "                    as a compact table (resident vs "
+          "spilled\n"
+          "                    sessions/bytes, spill/resume/eviction\n"
+          "                    counters, resume latency "
+          "percentiles)\n"
           "  --format=F        table (default) | json (raw "
           "serverstats\n"
           "                    line, pipeable as JSON-lines)\n"
@@ -82,6 +89,7 @@ struct Options
     int tcp_port = -1;
     bool events = false;
     bool energy = false;
+    bool store = false;
     std::string format = "table";
     double watch_interval = 0.0;  ///< 0: single scrape
     unsigned count = 0;           ///< 0: until killed
@@ -121,6 +129,8 @@ parseArgs(int argc, char **argv)
             opt.events = true;
         } else if (arg == "--energy") {
             opt.energy = true;
+        } else if (arg == "--store") {
+            opt.store = true;
         } else if (arg.rfind("--format=", 0) == 0) {
             opt.format = arg.substr(std::string("--format=").size());
         } else if (arg == "--watch") {
@@ -257,6 +267,56 @@ renderEnergyTable(std::ostream &os, const std::string &json)
     }
 }
 
+/** Render the session store's two-tier state from the serve.store.*
+ * metrics of the scrape: the RAM tier, the disk tier, the traffic
+ * between them, and the resume-path latency percentiles. */
+void
+renderStoreTable(std::ostream &os, const std::string &json)
+{
+    std::vector<obs::JsonScalar> rows;
+    if (const auto err = obs::jsonFlatten(json, rows))
+        fatal("server stats JSON failed validation: ", *err);
+    const auto value = [&rows](const std::string &path) {
+        for (const obs::JsonScalar &row : rows)
+            if (row.path == path)
+                return row.value;
+        return std::string("0");
+    };
+    const auto ms = [&value](const std::string &path) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      std::stod(value(path)) / 1e6);
+        return std::string(buf);
+    };
+
+    const std::vector<std::pair<std::string, std::string>> lines = {
+        {"resident sessions",
+         value("gauges.serve.store.resident_sessions")},
+        {"resident bytes",
+         value("gauges.serve.store.resident_bytes")},
+        {"spilled sessions",
+         value("gauges.serve.store.spilled_sessions")},
+        {"spilled bytes", value("gauges.serve.store.spilled_bytes")},
+        {"spills", value("counters.serve.store.spills")},
+        {"resumes", value("counters.serve.store.resumes")},
+        {"evictions", value("counters.serve.store.evictions")},
+        {"resume p50 ms",
+         ms("histograms.serve.store.resume_ns.p50")},
+        {"resume p95 ms",
+         ms("histograms.serve.store.resume_ns.p95")},
+        {"resume p99 ms",
+         ms("histograms.serve.store.resume_ns.p99")},
+    };
+    std::size_t width = 0;
+    for (const auto &[name, v] : lines)
+        width = std::max(width, name.size());
+    os << "session store\n";
+    for (const auto &[name, v] : lines) {
+        os << name << std::string(width - name.size() + 2, ' ') << v
+           << '\n';
+    }
+}
+
 void
 renderTable(std::ostream &os, const std::string &json)
 {
@@ -349,6 +409,8 @@ runMain(int argc, char **argv)
                 os << "---\n";
             if (opt.energy)
                 renderEnergyTable(os, json);
+            else if (opt.store)
+                renderStoreTable(os, json);
             else
                 renderTable(os, json);
             os << std::flush;
